@@ -1,0 +1,220 @@
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/affinity.hpp"
+#include "src/common/timer.hpp"
+
+namespace reomp::benchx {
+
+namespace {
+
+using apps::RunConfig;
+using apps::RunResult;
+using core::Mode;
+using core::Strategy;
+
+Strategy config_strategy(Config c) {
+  switch (c) {
+    case Config::kStRecord: case Config::kStReplay: return Strategy::kST;
+    case Config::kDcRecord: case Config::kDcReplay: return Strategy::kDC;
+    default: return Strategy::kDE;
+  }
+}
+
+bool is_replay(Config c) {
+  return c == Config::kStReplay || c == Config::kDcReplay ||
+         c == Config::kDeReplay;
+}
+
+struct CacheKey {
+  std::string app;
+  Strategy strategy;
+  std::uint32_t threads;
+  double scale;
+
+  friend bool operator<(const CacheKey& a, const CacheKey& b) {
+    return std::tie(a.app, a.strategy, a.threads, a.scale) <
+           std::tie(b.app, b.strategy, b.threads, b.scale);
+  }
+};
+
+struct CachedRecord {
+  std::string dir;  // tmpfs record directory the replay runs read from
+  core::EpochHistogram histogram;
+};
+
+std::mutex cache_mu;
+std::map<CacheKey, std::unique_ptr<CachedRecord>> record_cache;
+
+// Record files live on tmpfs, matching the paper's evaluation setup ("We
+// store record files in a tmpfs file system", §VI). The in-memory bundle
+// path exists for tests and the I/O-isolation ablation.
+std::string bench_dir_root() { return "/tmp/reomp_bench"; }
+
+std::string sanitized(std::string s) {
+  for (char& c : s) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  return s;
+}
+
+std::string record_dir_for(const apps::AppInfo& app, Strategy strategy,
+                           std::uint32_t threads, const char* kind) {
+  return bench_dir_root() + "/" + sanitized(app.name) + "_" +
+         std::string(core::to_string(strategy)) + "_" +
+         std::to_string(threads) + "_" + kind;
+}
+
+const CachedRecord& cached_record(const apps::AppInfo& app,
+                                  Strategy strategy, std::uint32_t threads,
+                                  double scale) {
+  const CacheKey key{app.name, strategy, threads, scale};
+  std::lock_guard<std::mutex> lock(cache_mu);
+  auto it = record_cache.find(key);
+  if (it != record_cache.end()) return *it->second;
+
+  RunConfig cfg;
+  cfg.threads = threads;
+  cfg.scale = scale;
+  cfg.engine.mode = Mode::kRecord;
+  cfg.engine.strategy = strategy;
+  cfg.engine.dir = record_dir_for(app, strategy, threads, "cached");
+  RunResult r = app.run(cfg);
+  auto rec = std::make_unique<CachedRecord>();
+  rec->dir = cfg.engine.dir;
+  rec->histogram = r.epoch_histogram;
+  return *record_cache.emplace(key, std::move(rec)).first->second;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> thread_sweep() {
+  const std::int64_t cores = static_cast<std::int64_t>(logical_cpus());
+  std::vector<std::int64_t> sweep;
+  for (std::int64_t t = 1; t <= cores; t *= 2) sweep.push_back(t);
+  if (sweep.back() != cores) sweep.push_back(cores);
+  return sweep;
+}
+
+std::int64_t max_threads() { return thread_sweep().back(); }
+
+const char* config_name(Config c) {
+  switch (c) {
+    case Config::kWithout: return "wo_reomp";
+    case Config::kStRecord: return "st_record";
+    case Config::kStReplay: return "st_replay";
+    case Config::kDcRecord: return "dc_record";
+    case Config::kDcReplay: return "dc_replay";
+    case Config::kDeRecord: return "de_record";
+    case Config::kDeReplay: return "de_replay";
+  }
+  return "?";
+}
+
+double run_once(const apps::AppInfo& app, Config config,
+                std::uint32_t threads, double scale) {
+  RunConfig cfg;
+  cfg.threads = threads;
+  cfg.scale = scale;
+  if (config == Config::kWithout) {
+    cfg.engine.mode = Mode::kOff;
+  } else if (is_replay(config)) {
+    const CachedRecord& rec =
+        cached_record(app, config_strategy(config), threads, scale);
+    cfg.engine.mode = Mode::kReplay;
+    cfg.engine.strategy = config_strategy(config);
+    cfg.engine.dir = rec.dir;
+  } else {
+    cfg.engine.mode = Mode::kRecord;
+    cfg.engine.strategy = config_strategy(config);
+    cfg.engine.dir =
+        record_dir_for(app, config_strategy(config), threads, "scratch");
+  }
+
+  WallTimer timer;
+  RunResult r = app.run(cfg);
+  const double secs = timer.seconds();
+  benchmark::DoNotOptimize(r.checksum);
+  return secs;
+}
+
+const core::EpochHistogram& cached_histogram(const apps::AppInfo& app,
+                                             std::uint32_t threads,
+                                             double scale) {
+  return cached_record(app, Strategy::kDE, threads, scale).histogram;
+}
+
+double measure(const apps::AppInfo& app, Config config, std::uint32_t threads,
+               double scale, int reps) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    times.push_back(run_once(app, config, threads, scale));
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void register_figure(const std::string& figure, const apps::AppInfo& app,
+                     double scale) {
+  static constexpr Config kConfigs[] = {
+      Config::kWithout,  Config::kStRecord, Config::kStReplay,
+      Config::kDcRecord, Config::kDcReplay, Config::kDeRecord,
+      Config::kDeReplay,
+  };
+  for (Config config : kConfigs) {
+    const std::string name = figure + "/" + config_name(config);
+    auto* bench = benchmark::RegisterBenchmark(
+        name.c_str(),
+        [&app, config, scale](benchmark::State& state) {
+          const auto threads = static_cast<std::uint32_t>(state.range(0));
+          // Prime the record cache outside the timed loop so replay
+          // benchmarks time only the replay (record-once, replay-many).
+          if (config != Config::kWithout) {
+            (void)cached_record(app, config_strategy(config), threads, scale);
+          }
+          for (auto _ : state) {
+            const double secs = run_once(app, config, threads, scale);
+            state.SetIterationTime(secs);
+          }
+        });
+    bench->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(3);
+    for (std::int64_t t : thread_sweep()) bench->Arg(t);
+  }
+}
+
+void print_summary_table(const std::string& title, const apps::AppInfo& app,
+                         double scale, int reps) {
+  std::printf("\n=== %s (execution time, seconds) ===\n", title.c_str());
+  std::printf("%8s", "threads");
+  static constexpr Config kConfigs[] = {
+      Config::kWithout,  Config::kStRecord, Config::kStReplay,
+      Config::kDcRecord, Config::kDcReplay, Config::kDeRecord,
+      Config::kDeReplay,
+  };
+  for (Config c : kConfigs) std::printf(" %10s", config_name(c));
+  std::printf("\n");
+  for (std::int64_t t : thread_sweep()) {
+    std::printf("%8lld", static_cast<long long>(t));
+    for (Config c : kConfigs) {
+      const double secs =
+          measure(app, c, static_cast<std::uint32_t>(t), scale, reps);
+      std::printf(" %10.4f", secs);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+int bench_main(int argc, char** argv, const std::function<void()>& summary) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (summary) summary();
+  return 0;
+}
+
+}  // namespace reomp::benchx

@@ -1,0 +1,77 @@
+// Shared support for the per-figure / per-table benchmark binaries.
+//
+// Every binary regenerates one table or figure from the paper's evaluation
+// (§VI): it sweeps thread counts over the seven configurations — without
+// ReOMP, and {ST, DC, DE} × {record, replay} — times each, and prints the
+// figure's series via google-benchmark plus a paper-style summary table.
+//
+// Record bundles are cached per (app, strategy, threads, scale) so replay
+// benchmarks replay a single well-defined recording repeatedly, mirroring
+// the paper's record-once / replay-many workflow (§IV-D: "once we record
+// an application run, we replay the run multiple times").
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/apps/app_common.hpp"
+#include "src/apps/registry.hpp"
+#include "src/core/types.hpp"
+
+namespace reomp::benchx {
+
+/// Thread counts to sweep: powers of two up to the machine, echoing the
+/// paper's 2..112 sweep scaled to this host.
+std::vector<std::int64_t> thread_sweep();
+
+/// Largest value in thread_sweep() (the "112 threads" column of Tables
+/// IX/X).
+std::int64_t max_threads();
+
+/// The seven per-figure configurations.
+enum class Config : int {
+  kWithout = 0,
+  kStRecord, kStReplay,
+  kDcRecord, kDcReplay,
+  kDeRecord, kDeReplay,
+};
+
+const char* config_name(Config c);
+
+/// Run `app` once under `config` and return wall seconds. Replay configs
+/// replay the cached recording for (app, strategy, threads, scale).
+double run_once(const apps::AppInfo& app, Config config,
+                std::uint32_t threads, double scale);
+
+/// Record-run epoch statistics for Fig. 20 style reporting.
+const core::EpochHistogram& cached_histogram(const apps::AppInfo& app,
+                                             std::uint32_t threads,
+                                             double scale);
+
+/// Register the seven benchmark series for one figure. Each series is a
+/// google-benchmark family swept over thread_sweep().
+void register_figure(const std::string& figure, const apps::AppInfo& app,
+                     double scale);
+
+/// Print a paper-style table of the seven configurations (rows = thread
+/// counts, columns = configs) measured directly with `reps` repetitions
+/// (median). Used by the table binaries and by each figure binary's
+/// summary footer.
+void print_summary_table(const std::string& title, const apps::AppInfo& app,
+                         double scale, int reps = 1);
+
+/// Median-of-reps measurement of one cell.
+double measure(const apps::AppInfo& app, Config config, std::uint32_t threads,
+               double scale, int reps);
+
+/// Standard main body: benchmark init + run + optional summary callback.
+int bench_main(int argc, char** argv, const std::function<void()>& summary);
+
+}  // namespace reomp::benchx

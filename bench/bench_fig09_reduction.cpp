@@ -1,0 +1,18 @@
+// Figure 9: execution time of omp_reduction across thread counts, for the
+// seven configurations (w/o ReOMP, {ST,DC,DE} x {record,replay}).
+//
+// Expected shape (paper §VI-A1): all configurations are indistinguishable —
+// the reduction gates only one merge per thread, so record-and-replay
+// overhead is negligible for every strategy.
+#include "bench/bench_common.hpp"
+#include "src/apps/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  const apps::AppInfo& app = apps::synthetic_benchmarks()[0];
+  constexpr double kScale = 1.0;
+  benchx::register_figure("fig09_omp_reduction", app, kScale);
+  return benchx::bench_main(argc, argv, [&] {
+    benchx::print_summary_table("Figure 9: omp_reduction", app, kScale);
+  });
+}

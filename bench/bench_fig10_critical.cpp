@@ -1,0 +1,19 @@
+// Figure 10: execution time of omp_critical across thread counts.
+//
+// Expected shape (paper §VI-A2): DC/DE record beat ST record (parallel
+// per-thread files, I/O overlap); ST replay is much slower than DC/DE
+// replay (two inter-thread communications per region and a single global
+// record cursor vs one next_clock increment). DC and DE coincide: critical
+// sections are kOther, so DE degenerates to DC here.
+#include "bench/bench_common.hpp"
+#include "src/apps/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  const apps::AppInfo& app = apps::synthetic_benchmarks()[1];
+  constexpr double kScale = 1.0;
+  benchx::register_figure("fig10_omp_critical", app, kScale);
+  return benchx::bench_main(argc, argv, [&] {
+    benchx::print_summary_table("Figure 10: omp_critical", app, kScale);
+  });
+}

@@ -1,0 +1,18 @@
+// Figure 11: execution time of omp_atomic across thread counts.
+//
+// Expected shape (paper §VI-A3): like omp_critical — DC/DE beat ST in both
+// record and replay; atomics are kOther RMW so DE tracks DC. Relative
+// overhead vs the uninstrumented run is much larger than for omp_critical
+// because a bare atomic add is orders of magnitude cheaper than a gate.
+#include "bench/bench_common.hpp"
+#include "src/apps/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  const apps::AppInfo& app = apps::synthetic_benchmarks()[2];
+  constexpr double kScale = 1.0;
+  benchx::register_figure("fig11_omp_atomic", app, kScale);
+  return benchx::bench_main(argc, argv, [&] {
+    benchx::print_summary_table("Figure 11: omp_atomic", app, kScale);
+  });
+}

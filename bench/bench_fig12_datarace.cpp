@@ -1,0 +1,19 @@
+// Figure 12: execution time of data_race across thread counts.
+//
+// Expected shape (paper §VI-A3): the most expensive pattern for every
+// strategy (an uninstrumented racy `sum += 1` is nearly free, a gated one
+// is not), and the one where DE separates from DC: interleaved racy loads
+// and stores form same-kind runs that DE replays concurrently, so DE
+// replay beats DC replay (paper Table IX: 73.05x vs 98.31x relative).
+#include "bench/bench_common.hpp"
+#include "src/apps/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  const apps::AppInfo& app = apps::synthetic_benchmarks()[3];
+  constexpr double kScale = 1.0;
+  benchx::register_figure("fig12_data_race", app, kScale);
+  return benchx::bench_main(argc, argv, [&] {
+    benchx::print_summary_table("Figure 12: data_race", app, kScale);
+  });
+}

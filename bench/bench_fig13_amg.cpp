@@ -1,0 +1,15 @@
+// Figure 13: execution time of the AMG proxy across thread counts, seven
+// configurations. Expected shape: ST replay degrades sharply with thread
+// count (the paper clipped it at 200 s); DC/DE stay close to the record
+// runs, with modest DE gains (AMG's parallel-epoch fraction is low).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  const apps::AppInfo& app = apps::app_by_name("AMG");
+  constexpr double kScale = 1.0;
+  benchx::register_figure("fig13_amg", app, kScale);
+  return benchx::bench_main(argc, argv, [&] {
+    benchx::print_summary_table("Figure 13: OpenMP AMG", app, kScale);
+  });
+}

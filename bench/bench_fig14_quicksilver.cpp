@@ -1,0 +1,15 @@
+// Figure 14: execution time of the QuickSilver proxy across thread counts.
+// Expected shape: DC/DE beat ST in replay, but DE ~= DC — QuickSilver's
+// SMA traffic is atomic-RMW tallies and critical-section census logging
+// (kOther), so almost no epochs are parallel (paper: 4%).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  const apps::AppInfo& app = apps::app_by_name("QuickSilver");
+  constexpr double kScale = 1.0;
+  benchx::register_figure("fig14_quicksilver", app, kScale);
+  return benchx::bench_main(argc, argv, [&] {
+    benchx::print_summary_table("Figure 14: OpenMP QuickSilver", app, kScale);
+  });
+}

@@ -1,0 +1,15 @@
+// Figure 15: execution time of the miniFE proxy across thread counts.
+// Expected shape: DC/DE replay beats ST replay; DE gains a moderate edge
+// over DC from the assembly-progress load runs (paper: 27.5% parallel
+// epochs, 3.58x vs 2.87x replay speedup at 112 threads).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  const apps::AppInfo& app = apps::app_by_name("miniFE");
+  constexpr double kScale = 1.0;
+  benchx::register_figure("fig15_minife", app, kScale);
+  return benchx::bench_main(argc, argv, [&] {
+    benchx::print_summary_table("Figure 15: OpenMP miniFE", app, kScale);
+  });
+}

@@ -1,0 +1,15 @@
+// Figure 16: execution time of the HACC proxy across thread counts.
+// Expected shape: the widest DE-over-DC replay gap of the five apps —
+// HACC's progress-board spin pattern yields the highest parallel-epoch
+// fraction (paper: 85%, 5.61x vs 4.01x replay speedup at 112 threads).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  const apps::AppInfo& app = apps::app_by_name("HACC");
+  constexpr double kScale = 1.0;
+  benchx::register_figure("fig16_hacc", app, kScale);
+  return benchx::bench_main(argc, argv, [&] {
+    benchx::print_summary_table("Figure 16: OpenMP HACC", app, kScale);
+  });
+}

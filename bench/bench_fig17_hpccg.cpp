@@ -1,0 +1,14 @@
+// Figure 17: execution time of the HPCCG proxy across thread counts.
+// Expected shape: DC/DE replay beats ST replay; DE beats DC clearly
+// (paper: 57% parallel epochs, 3.37x vs 1.91x replay speedup).
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  const apps::AppInfo& app = apps::app_by_name("HPCCG");
+  constexpr double kScale = 1.0;
+  benchx::register_figure("fig17_hpccg", app, kScale);
+  return benchx::bench_main(argc, argv, [&] {
+    benchx::print_summary_table("Figure 17: OpenMP HPCCG", app, kScale);
+  });
+}

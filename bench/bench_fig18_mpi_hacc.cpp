@@ -1,0 +1,12 @@
+// Figure 18: OpenMP+MPI HACC under ReMPI+ReOMP (DE), sweeping rank/thread
+// combinations. Expected shape: record and replay track the uninstrumented
+// run with a small, scale-independent overhead (per-thread and per-rank
+// record streams — no shared cursor anywhere).
+#include "bench/bench_hybrid_common.hpp"
+
+int main() {
+  reomp::benchx::run_hybrid_figure("Figure 18: OpenMP+MPI HACC",
+                                   reomp::apps::run_hybrid_hacc,
+                                   /*scale=*/1.0);
+  return 0;
+}

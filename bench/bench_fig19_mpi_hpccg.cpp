@@ -1,0 +1,11 @@
+// Figure 19: OpenMP+MPI HPCCG under ReMPI+ReOMP (DE), sweeping rank/thread
+// combinations. Expected shape: as Fig. 18 — small, scale-independent
+// record/replay overhead.
+#include "bench/bench_hybrid_common.hpp"
+
+int main() {
+  reomp::benchx::run_hybrid_figure("Figure 19: OpenMP+MPI HPCCG",
+                                   reomp::apps::run_hybrid_hpccg,
+                                   /*scale=*/1.0);
+  return 0;
+}

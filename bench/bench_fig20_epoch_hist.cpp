@@ -1,0 +1,34 @@
+// Figure 20: number of occurrences of each epoch size, per application,
+// from DE record runs. Also reports the fraction of epochs with size > 1
+// (paper §VI-B: AMG 10.6%, miniFE 27.5%, HACC 85%, HPCCG 57%,
+// QuickSilver 4%) — the predictor of DE's replay advantage.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  benchmark::Initialize(&argc, argv);
+
+  const auto threads = static_cast<std::uint32_t>(benchx::max_threads());
+  constexpr double kScale = 1.0;
+
+  std::printf("=== Figure 20: epoch-size histograms (DE record, %u threads) "
+              "===\n", threads);
+  for (const auto& app : apps::all_apps()) {
+    const auto& hist = benchx::cached_histogram(app, threads, kScale);
+    std::printf("\n%s  (epochs=%llu, accesses=%llu, parallel fraction=%.1f%%)\n",
+                app.name.c_str(),
+                static_cast<unsigned long long>(hist.total_epochs()),
+                static_cast<unsigned long long>(hist.total_accesses()),
+                100.0 * hist.parallel_epoch_fraction());
+    std::printf("%12s %16s\n", "epoch size", "# occurrences");
+    for (const auto& [size, count] : hist.counts()) {
+      std::printf("%12llu %16llu\n", static_cast<unsigned long long>(size),
+                  static_cast<unsigned long long>(count));
+    }
+    std::fflush(stdout);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared sweep for the hybrid (ReMPI+ReOMP) benches, Figs. 18 & 19.
+//
+// The paper sweeps total thread count (ranks x threads) from 24 to 4800
+// across nodes with three curves: w/o instrumentation, DE record, DE
+// replay. This host sweeps rank/thread combinations up to the core count;
+// the claim being reproduced is that record and replay stay within a
+// small, scale-independent margin of the uninstrumented run.
+#pragma once
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "src/apps/hybrid.hpp"
+#include "src/common/affinity.hpp"
+#include "src/common/timer.hpp"
+
+namespace reomp::benchx {
+
+inline std::vector<std::pair<int, std::uint32_t>> hybrid_sweep() {
+  const auto cores = static_cast<int>(logical_cpus());
+  std::vector<std::pair<int, std::uint32_t>> sweep = {
+      {1, 2}, {2, 2}, {2, 4}, {4, 4}, {4, 6}, {6, 8},
+  };
+  std::vector<std::pair<int, std::uint32_t>> fit;
+  for (auto [r, t] : sweep) {
+    if (r * static_cast<int>(t) <= 2 * cores) fit.emplace_back(r, t);
+  }
+  return fit;
+}
+
+inline void run_hybrid_figure(
+    const char* title,
+    apps::HybridResult (*fn)(const apps::HybridConfig&), double scale) {
+  std::printf("=== %s (execution time, seconds) ===\n", title);
+  std::printf("%6s %8s %7s %12s %12s %12s\n", "ranks", "threads", "total",
+              "wo", "de_record", "de_replay");
+  for (auto [ranks, threads] : hybrid_sweep()) {
+    apps::HybridConfig cfg;
+    cfg.ranks = ranks;
+    cfg.threads_per_rank = threads;
+    cfg.scale = scale;
+    cfg.strategy = core::Strategy::kDE;
+
+    cfg.mode = core::Mode::kOff;
+    WallTimer t0;
+    (void)fn(cfg);
+    const double wo = t0.seconds();
+
+    cfg.mode = core::Mode::kRecord;
+    WallTimer t1;
+    apps::HybridResult rec = fn(cfg);
+    const double record = t1.seconds();
+
+    cfg.mode = core::Mode::kReplay;
+    cfg.bundle = &rec.bundle;
+    WallTimer t2;
+    (void)fn(cfg);
+    const double replay = t2.seconds();
+
+    std::printf("%6d %8u %7d %12.4f %12.4f %12.4f\n", ranks, threads,
+                ranks * static_cast<int>(threads), wo, record, replay);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace reomp::benchx

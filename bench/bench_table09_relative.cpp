@@ -1,0 +1,40 @@
+// Table IX: relative execution times of ST/DC/DE record and replay vs the
+// uninstrumented run, for the four synthetic benchmarks at max threads.
+//
+// Expected shape: omp_reduction ~1x everywhere; omp_critical small factors;
+// omp_atomic and data_race large factors with ST >> DC >= DE, and the
+// replay gap (ST replay vs DC/DE replay) the widest in data_race.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/apps/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  benchmark::Initialize(&argc, argv);
+
+  const auto threads = static_cast<std::uint32_t>(benchx::max_threads());
+  constexpr double kScale = 1.0;
+  constexpr int kReps = 3;
+
+  std::printf("=== Table IX: relative execution times vs w/o ReOMP at %u "
+              "threads ===\n", threads);
+  std::printf("%-15s %9s %9s %9s %9s %9s %9s\n", "benchmark", "ST.rec",
+              "ST.rep", "DC.rec", "DC.rep", "DE.rec", "DE.rep");
+
+  for (const auto& app : apps::synthetic_benchmarks()) {
+    const double base =
+        benchx::measure(app, benchx::Config::kWithout, threads, kScale, kReps);
+    auto rel = [&](benchx::Config c) {
+      return benchx::measure(app, c, threads, kScale, kReps) / base;
+    };
+    std::printf("%-15s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+                app.name.c_str(), rel(benchx::Config::kStRecord),
+                rel(benchx::Config::kStReplay), rel(benchx::Config::kDcRecord),
+                rel(benchx::Config::kDcReplay), rel(benchx::Config::kDeRecord),
+                rel(benchx::Config::kDeReplay));
+    std::fflush(stdout);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

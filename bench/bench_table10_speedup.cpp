@@ -1,0 +1,41 @@
+// Table X: factors of performance improvement of DC/DE recording over ST
+// recording at max threads, for the five applications.
+//
+// Expected shape (paper): record factors near 1x (0.9-1.3); replay factors
+// well above 1x for both DC and DE, with DE > DC everywhere and the DE
+// advantage largest for HACC and smallest for QuickSilver.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reomp;
+  benchmark::Initialize(&argc, argv);
+
+  const auto threads = static_cast<std::uint32_t>(benchx::max_threads());
+  constexpr double kScale = 1.0;
+  constexpr int kReps = 3;
+
+  std::printf("=== Table X: DC/DE improvement over ST at %u threads ===\n",
+              threads);
+  std::printf("%-12s %10s %10s %10s %10s\n", "app", "DC.record", "DE.record",
+              "DC.replay", "DE.replay");
+
+  for (const auto& app : apps::all_apps()) {
+    const double st_rec = benchx::measure(app, benchx::Config::kStRecord,
+                                          threads, kScale, kReps);
+    const double st_rep = benchx::measure(app, benchx::Config::kStReplay,
+                                          threads, kScale, kReps);
+    auto factor = [&](benchx::Config c, double st) {
+      return st / benchx::measure(app, c, threads, kScale, kReps);
+    };
+    std::printf("%-12s %10.2f %10.2f %10.2f %10.2f\n", app.name.c_str(),
+                factor(benchx::Config::kDcRecord, st_rec),
+                factor(benchx::Config::kDeRecord, st_rec),
+                factor(benchx::Config::kDcReplay, st_rep),
+                factor(benchx::Config::kDeReplay, st_rep));
+    std::fflush(stdout);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,245 @@
+#include "src/apps/amg.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "src/romp/reduction.hpp"
+
+namespace reomp::apps {
+
+namespace {
+
+/// One grid level: square n x n arrays for solution, rhs and residual.
+struct Level {
+  int n = 0;
+  std::vector<double> u, f, r;
+
+  explicit Level(int size)
+      : n(size),
+        u(static_cast<std::size_t>(size) * size, 0.0),
+        f(static_cast<std::size_t>(size) * size, 0.0),
+        r(static_cast<std::size_t>(size) * size, 0.0) {}
+
+  [[nodiscard]] std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(i) * n + j;
+  }
+};
+
+}  // namespace
+
+AmgParams amg_params_for_scale(double scale) {
+  AmgParams p;
+  p.vcycles = static_cast<int>(scaled(scale, p.vcycles, 1));
+  return p;
+}
+
+RunResult run_amg(const RunConfig& cfg) {
+  return run_amg(cfg, amg_params_for_scale(cfg.scale));
+}
+
+RunResult run_amg(const RunConfig& cfg, const AmgParams& params) {
+  romp::Team team(team_options(cfg));
+
+  const romp::Handle h_norm = team.register_handle("amg:level_norm");
+  const romp::Handle h_flag = team.register_handle("amg:level_flag");
+  const romp::Handle h_weight = team.register_handle("amg:relax_weight");
+  const romp::Handle h_sweep = team.register_handle("amg:sweep_count");
+
+  // Build the level hierarchy (coarsest last). n must stay >= 3.
+  std::vector<Level> levels;
+  int n = params.n;
+  for (int l = 0; l < params.levels && n >= 5; ++l) {
+    levels.emplace_back(n);
+    n = (n - 1) / 2 + 1;
+  }
+
+  // Fine-level RHS: a pair of point charges.
+  Level& fine = levels.front();
+  fine.f[fine.idx(fine.n / 3, fine.n / 3)] = 1.0;
+  fine.f[fine.idx(2 * fine.n / 3, 2 * fine.n / 3)] = -1.0;
+
+  auto norm_reducer = romp::make_sum_reducer<double>(team, h_norm);
+  std::atomic<std::uint64_t> level_flag{0};
+  std::atomic<std::uint64_t> relax_weight{1000};  // racy dynamic weight
+  std::atomic<std::uint64_t> sweep_count{0};
+  std::uint64_t weight_trace = 0;
+  double sweep_sig = 0.0;  // guarded by h_sweep's gate/critical
+
+  // Red-black Gauss-Seidel: each half-sweep updates one color and reads
+  // only the other, so the in-place update is race-free across threads
+  // (only *gated* accesses may race in these proxies — an ungated race
+  // would be unrecorded nondeterminism and break replay).
+  // One parallel region per smooth() call; sweeps and colors synchronize
+  // with team barriers inside it (region launches are far more expensive
+  // than barriers, and this is how production OpenMP smoothers are
+  // written: `#pragma omp parallel` around the sweep loop).
+  std::uint64_t publish_token = 0;  // serial: deterministic across runs
+  auto smooth = [&](Level& lv, int sweeps) {
+    const std::uint64_t token_base = ++publish_token * 1000;
+    const std::int64_t rows = lv.n - 2;
+    const std::int64_t p = team.num_threads();
+    team.parallel([&](romp::WorkerCtx& w) {
+      const std::int64_t lo = 1 + rows * w.tid / p;
+      const std::int64_t hi = 1 + rows * (w.tid + 1) / p;
+      for (int s = 0; s < sweeps; ++s) {
+        for (int color = 0; color < 2; ++color) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            for (int j = 1 + ((i + color) % 2); j < lv.n - 1; j += 2) {
+              const auto k = lv.idx(static_cast<int>(i), j);
+              lv.u[k] = 0.25 * (lv.u[k - 1] + lv.u[k + 1] +
+                                lv.u[k - lv.n] + lv.u[k + lv.n] +
+                                lv.f[k]);
+            }
+          }
+          // Red/black boundary barrier; the black half-sweep shares the
+          // end-of-sweep barrier below (the gated bookkeeping between them
+          // does not touch u).
+          if (color == 0) team.barrier(w);
+        }
+        // Per-sweep shared traffic: thread 0 republishes the (racy)
+        // dynamic relaxation weight, every thread reads it once, and every
+        // thread bumps a sweep counter under a critical — AMG's gate mix
+        // is dominated by such per-sweep bookkeeping (mostly kOther
+        // singles, hence the lowest parallel-epoch fraction of the
+        // non-MC apps).
+        if (w.tid == 0) {
+          // The published value must be deterministic: a racy read of
+          // sweep_count here would leak unrecorded nondeterminism into
+          // the stored value (only the access *order* is recorded).
+          team.racy_store(w, h_weight, relax_weight,
+                          token_base + static_cast<std::uint64_t>(s));
+        }
+        std::uint64_t seen = 0;
+        for (int q = 0; q < params.flag_polls; ++q) {
+          seen = team.racy_load(w, h_weight, relax_weight);
+        }
+        team.critical(w, h_sweep, [&] {
+          sweep_count.store(
+              sweep_count.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+          // Order-sensitive signature of who entered when — the AMG
+          // proxy's observable thread-interleaving nondeterminism (the
+          // norm reduction alone often rounds identically under
+          // reordering).
+          sweep_sig = sweep_sig * 1.0000001 + w.tid;
+        });
+        if (w.tid == 0) weight_trace += seen;
+        team.barrier(w);  // sweep boundary
+      }
+    });
+  };
+
+  auto residual = [&](Level& lv) {
+    team.parallel_for(1, lv.n - 1, [&](romp::WorkerCtx&, std::int64_t lo,
+                                       std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        for (int j = 1; j < lv.n - 1; ++j) {
+          const auto k = lv.idx(static_cast<int>(i), j);
+          lv.r[k] = lv.f[k] - (4.0 * lv.u[k] - lv.u[k - 1] - lv.u[k + 1] -
+                               lv.u[k - lv.n] - lv.u[k + lv.n]);
+        }
+      }
+    });
+  };
+
+  // Arrival-order residual norm + benign-race level flag: the per-level
+  // gated traffic (the recorded nondeterminism in AMG's mix).
+  auto level_sync = [&](Level& lv, int level_no) -> double {
+    norm_reducer.reset();
+    team.parallel_for(0, static_cast<std::int64_t>(lv.u.size()),
+                      [&](romp::WorkerCtx& w, std::int64_t lo,
+                          std::int64_t hi) {
+      double local = 0.0;
+      for (std::int64_t k = lo; k < hi; ++k) {
+        local += lv.r[static_cast<std::size_t>(k)] *
+                 lv.r[static_cast<std::size_t>(k)];
+      }
+      norm_reducer.local(w) += local;
+      norm_reducer.combine(w);
+    });
+    team.parallel([&](romp::WorkerCtx& w) {
+      if (w.tid == 0) {
+        team.racy_store(w, h_flag, level_flag,
+                        static_cast<std::uint64_t>(level_no + 1));
+      }
+      for (int k = 0; k < params.flag_polls; ++k) {
+        team.racy_load(w, h_flag, level_flag);
+      }
+    });
+    return norm_reducer.result();
+  };
+
+  double norm_trace = 0.0;
+
+  for (int vc = 0; vc < params.vcycles; ++vc) {
+    // Downstroke: smooth, compute residual, restrict (full weighting).
+    for (std::size_t l = 0; l + 1 < levels.size(); ++l) {
+      Level& lv = levels[l];
+      Level& coarse = levels[l + 1];
+      smooth(lv, params.smooth_sweeps);
+      residual(lv);
+      norm_trace += level_sync(lv, static_cast<int>(l));
+      std::fill(coarse.u.begin(), coarse.u.end(), 0.0);
+      team.parallel_for(1, coarse.n - 1, [&](romp::WorkerCtx&,
+                                             std::int64_t lo,
+                                             std::int64_t hi) {
+        for (std::int64_t ci = lo; ci < hi; ++ci) {
+          for (int cj = 1; cj < coarse.n - 1; ++cj) {
+            const int fi = 2 * static_cast<int>(ci);
+            const int fj = 2 * cj;
+            coarse.f[coarse.idx(static_cast<int>(ci), cj)] =
+                0.25 * lv.r[lv.idx(fi, fj)] +
+                0.125 * (lv.r[lv.idx(fi - 1, fj)] + lv.r[lv.idx(fi + 1, fj)] +
+                         lv.r[lv.idx(fi, fj - 1)] + lv.r[lv.idx(fi, fj + 1)]) +
+                0.0625 * (lv.r[lv.idx(fi - 1, fj - 1)] +
+                          lv.r[lv.idx(fi - 1, fj + 1)] +
+                          lv.r[lv.idx(fi + 1, fj - 1)] +
+                          lv.r[lv.idx(fi + 1, fj + 1)]);
+          }
+        }
+      });
+    }
+    // Coarsest solve: extra smoothing.
+    smooth(levels.back(), params.smooth_sweeps * 4);
+
+    // Upstroke: prolong (bilinear) and post-smooth.
+    for (std::size_t l = levels.size() - 1; l > 0; --l) {
+      Level& coarse = levels[l];
+      Level& lv = levels[l - 1];
+      // Prolongation writes fine rows 2ci-1..2ci+1; split coarse rows by
+      // parity so concurrently processed rows never touch the same fine row.
+      for (int parity = 0; parity < 2; ++parity) {
+        const std::int64_t count = (coarse.n - 2 + (1 - parity)) / 2;
+        team.parallel_for(0, count, [&](romp::WorkerCtx&, std::int64_t lo,
+                                        std::int64_t hi) {
+          for (std::int64_t k2 = lo; k2 < hi; ++k2) {
+            const int ci = 1 + parity + 2 * static_cast<int>(k2);
+            if (ci >= coarse.n - 1) continue;
+            for (int cj = 1; cj < coarse.n - 1; ++cj) {
+              const double v = coarse.u[coarse.idx(ci, cj)];
+              const int fi = 2 * ci;
+              const int fj = 2 * cj;
+              lv.u[lv.idx(fi, fj)] += v;
+              lv.u[lv.idx(fi - 1, fj)] += 0.5 * v;
+              lv.u[lv.idx(fi + 1, fj)] += 0.5 * v;
+              lv.u[lv.idx(fi, fj - 1)] += 0.5 * v;
+              lv.u[lv.idx(fi, fj + 1)] += 0.5 * v;
+            }
+          }
+        });
+      }
+      smooth(lv, params.smooth_sweeps);
+    }
+  }
+
+  team.finalize();
+  RunResult result;
+  result.checksum = norm_trace + static_cast<double>(level_flag.load()) +
+                    static_cast<double>(weight_trace) + sweep_sig +
+                    static_cast<double>(sweep_count.load());
+  harvest(team, result);
+  return result;
+}
+
+}  // namespace reomp::apps

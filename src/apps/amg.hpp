@@ -1,0 +1,28 @@
+// AMG proxy: geometric multigrid V-cycles on a 2D Poisson problem (a
+// structured stand-in for algebraic multigrid's setup+solve).
+//
+// Shared-memory access mix (drives Fig. 13 / Fig. 20, ~10.6% parallel
+// epochs): per-level convergence checks via arrival-order norm reductions
+// (critical / kOther) dominate; a small racy level-done flag pattern adds
+// short load runs. Mostly serialized SMA traffic => DE helps less than on
+// HACC/HPCCG but replay still beats ST by avoiding the global file cursor.
+#pragma once
+
+#include "src/apps/app_common.hpp"
+
+namespace reomp::apps {
+
+struct AmgParams {
+  int n = 65;          // finest grid is n x n (2^k + 1)
+  int levels = 4;
+  int vcycles = 10;
+  int smooth_sweeps = 2;
+  int flag_polls = 6;  // racy weight polls per thread per sweep
+};
+
+AmgParams amg_params_for_scale(double scale);
+
+RunResult run_amg(const RunConfig& cfg);
+RunResult run_amg(const RunConfig& cfg, const AmgParams& params);
+
+}  // namespace reomp::apps

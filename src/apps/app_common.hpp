@@ -1,0 +1,74 @@
+// Shared plumbing for the five proxy applications.
+//
+// Each proxy reproduces the *shared-memory access mix* of one paper
+// application (AMG, QuickSilver, miniFE, HACC, HPCCG, §VI-B): the mix —
+// reductions, criticals, atomic RMW, and benign-race load/store patterns —
+// is what determines the epoch-size distribution (Fig. 20) and therefore
+// how much DE helps. The numerics are real (stencils, CG, Monte Carlo,
+// particle-mesh) but scaled to commodity cores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/bundle.hpp"
+#include "src/core/options.hpp"
+#include "src/romp/team.hpp"
+
+namespace reomp::apps {
+
+struct RunConfig {
+  std::uint32_t threads = 4;
+  core::Options engine;  // mode/strategy/dir/bundle; num_threads overwritten
+  std::uint64_t seed = 42;
+  /// Work multiplier: benches shrink (<1) or grow (>1) the default problem.
+  double scale = 1.0;
+  bool pin_threads = true;
+};
+
+struct RunResult {
+  /// Order-sensitive numeric output (FP sums in arrival order, racy
+  /// counters with lost updates): identical across replays, generally
+  /// different across record runs.
+  double checksum = 0.0;
+  /// Gated SMA-region executions, for sanity checks and per-event costs.
+  std::uint64_t gated_events = 0;
+  /// Record-mode runs: the in-memory record (when engine.dir was empty).
+  core::RecordBundle bundle;
+  /// Record-mode runs: epoch-size histogram (Fig. 20).
+  core::EpochHistogram epoch_histogram;
+};
+
+/// Build a Team from a RunConfig (copies engine options, sets threads).
+/// Replay runs synchronize barriers with the replay-gate policy: a yielded
+/// barrier waiter delays the gate-order handoff chain it sits behind.
+inline romp::TeamOptions team_options(const RunConfig& cfg) {
+  romp::TeamOptions topt;
+  topt.num_threads = cfg.threads;
+  topt.engine = cfg.engine;
+  topt.pin_threads = cfg.pin_threads;
+  if (cfg.engine.mode == core::Mode::kReplay) {
+    topt.sync_policy = cfg.engine.wait_policy;
+  }
+  return topt;
+}
+
+/// Collect record-mode outputs from a finalized team into `result`.
+inline void harvest(romp::Team& team, RunResult& result) {
+  result.gated_events = team.engine().total_events();
+  if (team.engine().mode() == core::Mode::kRecord) {
+    result.epoch_histogram = team.engine().epoch_histogram();
+    if (team.engine().options().dir.empty()) {
+      result.bundle = team.engine().take_bundle();
+    }
+  }
+}
+
+/// Scale an iteration/size count, keeping at least `min_value`.
+inline std::int64_t scaled(double scale, std::int64_t base,
+                           std::int64_t min_value = 1) {
+  const auto v = static_cast<std::int64_t>(static_cast<double>(base) * scale);
+  return v < min_value ? min_value : v;
+}
+
+}  // namespace reomp::apps

@@ -1,0 +1,196 @@
+#include "src/apps/hacc.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "src/common/cacheline.hpp"
+#include "src/common/prng.hpp"
+
+namespace reomp::apps {
+
+namespace {
+
+struct Particle {
+  double x, y, z;
+  double vx, vy, vz;
+};
+
+}  // namespace
+
+HaccParams hacc_params_for_scale(double scale) {
+  HaccParams p;
+  p.particles_per_thread =
+      static_cast<int>(scaled(scale, p.particles_per_thread, 100));
+  p.steps = static_cast<int>(scaled(scale, p.steps, 1));
+  return p;
+}
+
+RunResult run_hacc(const RunConfig& cfg) {
+  return run_hacc(cfg, hacc_params_for_scale(cfg.scale));
+}
+
+RunResult run_hacc(const RunConfig& cfg, const HaccParams& params) {
+  romp::Team team(team_options(cfg));
+
+  const romp::Handle h_progress = team.register_handle("hacc:progress");
+  const romp::Handle h_density = team.register_handle("hacc:density_merge");
+  const romp::Handle h_energy = team.register_handle("hacc:energy");
+
+  const int g = params.grid;
+  const std::size_t ncells = static_cast<std::size_t>(g) * g * g;
+  const std::uint32_t nthreads = cfg.threads;
+
+  // Per-thread particle populations, seeded deterministically.
+  std::vector<std::vector<Particle>> particles(nthreads);
+  for (std::uint32_t t = 0; t < nthreads; ++t) {
+    Xoshiro256 rng(derive_seed(cfg.seed, t));
+    particles[t].resize(static_cast<std::size_t>(params.particles_per_thread));
+    for (auto& p : particles[t]) {
+      p.x = rng.next_double() * g;
+      p.y = rng.next_double() * g;
+      p.z = rng.next_double() * g;
+      p.vx = (rng.next_double() - 0.5) * 0.1;
+      p.vy = (rng.next_double() - 0.5) * 0.1;
+      p.vz = (rng.next_double() - 0.5) * 0.1;
+    }
+  }
+
+  std::vector<double> density(ncells, 0.0);
+  std::vector<double> phi(ncells, 0.0);
+  std::vector<double> phi_next(ncells, 0.0);
+  // Per-thread private deposit grids, merged under one critical per step.
+  std::vector<std::vector<double>> local_density(
+      nthreads, std::vector<double>(ncells, 0.0));
+
+  // Benign-race progress board: the sum of published substep counters.
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<double> energy{0.0};
+
+  auto cell_of = [g](double x, double y, double z) {
+    auto clampi = [g](int v) { return v < 0 ? 0 : (v >= g ? g - 1 : v); };
+    const int ix = clampi(static_cast<int>(x));
+    const int iy = clampi(static_cast<int>(y));
+    const int iz = clampi(static_cast<int>(z));
+    return (static_cast<std::size_t>(iz) * g + iy) * g + ix;
+  };
+
+  RunResult result;
+  double board_trace = 0.0;
+
+  for (int step = 0; step < params.steps; ++step) {
+    std::fill(density.begin(), density.end(), 0.0);
+
+    std::vector<std::uint64_t> board_obs(nthreads, 0);  // per-tid, race-free
+    team.parallel([&](romp::WorkerCtx& w) {
+      auto& mine = particles[w.tid];
+      auto& grid_local = local_density[w.tid];
+      std::fill(grid_local.begin(), grid_local.end(), 0.0);
+      std::uint64_t board_sum = 0;
+
+      // Substep loop: deposit a slice of particles, publish progress with
+      // a racy store, then busy-poll the board — the paper's
+      // producer/consumer spin pattern generating long load runs.
+      const std::size_t slice =
+          (mine.size() + params.substeps - 1) / params.substeps;
+      for (int s = 0; s < params.substeps; ++s) {
+        const std::size_t lo = slice * static_cast<std::size_t>(s);
+        const std::size_t hi = std::min(mine.size(), lo + slice);
+        for (std::size_t i = lo; i < hi; ++i) {
+          grid_local[cell_of(mine[i].x, mine[i].y, mine[i].z)] += 1.0;
+        }
+        // Publish: a small burst of blind racy stores (token per chunk of
+        // deposited particles; last writer wins — the board is a heuristic
+        // progress hint). Bursts from concurrently publishing threads
+        // coalesce into long store runs, which share epochs under
+        // Condition 1 (ii).
+        for (int b = 0; b < params.publish_burst; ++b) {
+          team.racy_store(w, h_progress, progress,
+                          static_cast<std::uint64_t>(s + 1) * 16 +
+                              static_cast<std::uint64_t>(b));
+        }
+        // Spin on the board for a fixed number of gated polls (bounded so
+        // record and replay issue identical access counts); consecutive
+        // polls across the team form the long load runs that give HACC
+        // the paper's ~85% parallel-epoch fraction.
+        std::uint64_t seen = 0;
+        for (int k = 0; k < params.polls_per_substep; ++k) {
+          seen = team.racy_load(w, h_progress, progress);
+        }
+        board_sum += seen;
+      }
+
+      // Merge the private grid into the shared density (one critical per
+      // thread per step; arrival order changes FP rounding).
+      team.critical(w, h_density, [&] {
+        for (std::size_t c = 0; c < ncells; ++c) density[c] += grid_local[c];
+      });
+      board_obs[w.tid] = board_sum;  // polled values, replayed bit-exact
+    });
+    for (std::uint32_t t = 0; t < nthreads; ++t) {
+      board_trace += static_cast<double>(board_obs[t]) * (t + 1);
+    }
+
+    // Poisson relaxation: phi <- jacobi(density). Pure data-parallel.
+    for (int sweep = 0; sweep < params.poisson_sweeps; ++sweep) {
+      team.parallel_for(0, static_cast<std::int64_t>(ncells),
+                        [&](romp::WorkerCtx&, std::int64_t lo,
+                            std::int64_t hi) {
+        for (std::int64_t c = lo; c < hi; ++c) {
+          const int iz = static_cast<int>(c / (g * g));
+          const int iy = static_cast<int>((c / g) % g);
+          const int ix = static_cast<int>(c % g);
+          double nb = 0.0;
+          int count = 0;
+          auto acc = [&](int jx, int jy, int jz) {
+            if (jx < 0 || jx >= g || jy < 0 || jy >= g || jz < 0 || jz >= g)
+              return;
+            nb += phi[(static_cast<std::size_t>(jz) * g + jy) * g + jx];
+            ++count;
+          };
+          acc(ix - 1, iy, iz); acc(ix + 1, iy, iz);
+          acc(ix, iy - 1, iz); acc(ix, iy + 1, iz);
+          acc(ix, iy, iz - 1); acc(ix, iy, iz + 1);
+          phi_next[static_cast<std::size_t>(c)] =
+              count > 0
+                  ? (nb - density[static_cast<std::size_t>(c)]) / count
+                  : 0.0;
+        }
+      });
+      phi.swap(phi_next);
+    }
+
+    // Kick-drift using central-difference forces; accumulate kinetic
+    // energy into a shared cell via racy update (load+store pair).
+    team.parallel([&](romp::WorkerCtx& w) {
+      double ke = 0.0;
+      for (auto& p : particles[w.tid]) {
+        const std::size_t c = cell_of(p.x, p.y, p.z);
+        const double f = -phi[c] * 1e-3;
+        p.vx += f; p.vy += f; p.vz += f;
+        p.x += p.vx; p.y += p.vy; p.z += p.vz;
+        // Periodic wrap.
+        auto wrap = [g](double v) {
+          while (v < 0) v += g;
+          while (v >= g) v -= g;
+          return v;
+        };
+        p.x = wrap(p.x); p.y = wrap(p.y); p.z = wrap(p.z);
+        ke += 0.5 * (p.vx * p.vx + p.vy * p.vy + p.vz * p.vz);
+      }
+      // Racy FP accumulation: lost updates possible, recorded & replayed.
+      team.racy_update(w, h_energy, energy,
+                       [ke](double v) { return v + ke; });
+    });
+  }
+
+  team.finalize();
+  double phisum = 0.0;
+  for (double v : phi) phisum += v;
+  result.checksum = energy.load() + phisum + board_trace +
+                    static_cast<double>(progress.load());
+  harvest(team, result);
+  return result;
+}
+
+}  // namespace reomp::apps

@@ -1,0 +1,33 @@
+// HACC proxy: particle-mesh gravity step (cloud-in-cell deposit, Jacobi
+// Poisson relaxation, force interpolation, kick-drift).
+//
+// Shared-memory access mix (drives Fig. 16 / Fig. 20 — HACC has the
+// *highest* parallel-epoch fraction in the paper, 85%): the dominant gated
+// traffic is the asynchronous progress exchange between threads — each
+// thread publishes its substep progress with racy stores and busy-polls
+// the team's combined progress with racy loads before advancing. The long
+// poll runs produce large epochs, which is why DE's replay speedup peaks
+// on HACC (5.61x at 112 threads, Table X). Density merging uses one
+// critical per thread per step (kOther, rare).
+#pragma once
+
+#include "src/apps/app_common.hpp"
+
+namespace reomp::apps {
+
+struct HaccParams {
+  int grid = 16;              // grid^3 mesh
+  int particles_per_thread = 2000;
+  int steps = 4;
+  int substeps = 10;          // progress publishes per step per thread
+  int publish_burst = 4;      // blind stores per publish
+  int polls_per_substep = 20; // racy progress polls per substep
+  int poisson_sweeps = 4;
+};
+
+HaccParams hacc_params_for_scale(double scale);
+
+RunResult run_hacc(const RunConfig& cfg);
+RunResult run_hacc(const RunConfig& cfg, const HaccParams& params);
+
+}  // namespace reomp::apps

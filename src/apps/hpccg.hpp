@@ -1,0 +1,31 @@
+// HPCCG proxy: conjugate gradient on a 27-point stencil over a 3D
+// chimney-shaped domain (nx × ny × nz with nz elongated), matrix-free.
+//
+// Shared-memory access mix (drives Fig. 17 / Fig. 20, ~57% parallel
+// epochs in the paper):
+//   * two floating-point dot-product reductions per CG iteration, merged
+//     in arrival order (critical / kOther),
+//   * a benign-race residual broadcast: thread 0 publishes the squared
+//     residual with a racy store and every thread polls it with racy loads
+//     before deciding convergence — the producer/consumer spin pattern the
+//     paper highlights (§IV-D). The poll loads form long same-kind runs,
+//     i.e. large epochs.
+#pragma once
+
+#include "src/apps/app_common.hpp"
+
+namespace reomp::apps {
+
+struct HpccgParams {
+  int nx = 16, ny = 16, nz = 64;  // chimney: elongated z
+  int max_iters = 25;
+  int sync_rounds = 10;    // publish/poll rounds per iteration
+  int polls_per_iter = 4;  // racy residual polls per thread per round
+};
+
+HpccgParams hpccg_params_for_scale(double scale);
+
+RunResult run_hpccg(const RunConfig& cfg);
+RunResult run_hpccg(const RunConfig& cfg, const HpccgParams& params);
+
+}  // namespace reomp::apps

@@ -1,0 +1,304 @@
+#include "src/apps/hybrid.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/apps/app_common.hpp"
+#include "src/common/prng.hpp"
+#include "src/minimpi/world.hpp"
+#include "src/romp/reduction.hpp"
+#include "src/romp/team.hpp"
+
+namespace reomp::apps {
+
+namespace {
+
+/// Engine options for rank `r` derived from the hybrid config.
+core::Options rank_engine_options(const HybridConfig& cfg, int r) {
+  core::Options opt;
+  opt.mode = cfg.mode;
+  opt.strategy = cfg.strategy;
+  opt.num_threads = cfg.threads_per_rank;
+  // ranks x threads routinely exceeds the core count: replay waiters must
+  // yield, or a descheduled next-in-line thread stalls every spinner.
+  opt.wait_policy = Backoff::Policy::kSpinYield;
+  if (!cfg.dir.empty()) {
+    opt.dir = cfg.dir + "/rank" + std::to_string(r);
+  } else if (cfg.mode == core::Mode::kReplay) {
+    opt.bundle = &cfg.bundle->rank_bundles.at(static_cast<std::size_t>(r));
+  }
+  return opt;
+}
+
+mpi::WorldOptions world_options(const HybridConfig& cfg) {
+  mpi::WorldOptions wopt;
+  wopt.num_ranks = cfg.ranks;
+  wopt.record = cfg.mode;
+  if (!cfg.dir.empty()) {
+    wopt.dir = cfg.dir;
+  } else if (cfg.mode == core::Mode::kReplay) {
+    wopt.bundle = &cfg.bundle->rempi;
+  }
+  return wopt;
+}
+
+/// Shared collection of per-rank outputs; summed in rank order so the
+/// aggregate checksum is deterministic given deterministic per-rank values.
+struct RankOutputs {
+  explicit RankOutputs(int ranks)
+      : checksum(static_cast<std::size_t>(ranks), 0.0),
+        events(static_cast<std::size_t>(ranks), 0),
+        bundles(static_cast<std::size_t>(ranks)) {}
+
+  std::vector<double> checksum;
+  std::vector<std::uint64_t> events;
+  std::vector<core::RecordBundle> bundles;
+};
+
+HybridResult collect(const HybridConfig& cfg, mpi::World& world,
+                     RankOutputs& out) {
+  HybridResult result;
+  for (int r = 0; r < cfg.ranks; ++r) {
+    result.checksum += out.checksum[static_cast<std::size_t>(r)] *
+                       static_cast<double>(r + 1);
+    result.gated_events += out.events[static_cast<std::size_t>(r)];
+  }
+  if (cfg.mode == core::Mode::kRecord && cfg.dir.empty()) {
+    result.bundle.rempi = world.take_bundle();
+    result.bundle.rank_bundles = std::move(out.bundles);
+  }
+  return result;
+}
+
+}  // namespace
+
+HybridResult run_hybrid_hpccg(const HybridConfig& cfg) {
+  // Slab decomposition of an nx*ny*(nz_total) chimney along z.
+  const int nx = 12, ny = 12;
+  const int nz_local = static_cast<int>(scaled(cfg.scale, 24, 4));
+  const int iters = static_cast<int>(scaled(cfg.scale, 12, 2));
+  constexpr int kHaloTag = 100;
+
+  mpi::World world(world_options(cfg));
+  RankOutputs out(cfg.ranks);
+
+  mpi::run_world(world, [&](mpi::Comm& comm) {
+    const int r = comm.rank();
+    const int nranks = comm.size();
+
+    romp::TeamOptions topt;
+    topt.num_threads = cfg.threads_per_rank;
+    topt.engine = rank_engine_options(cfg, r);
+    topt.pin_threads = cfg.pin_threads;
+    romp::Team team(topt);
+
+    const romp::Handle h_dot = team.register_handle("hpccg:dot");
+    const romp::Handle h_flag = team.register_handle("hpccg:residual_flag");
+
+    const std::int64_t plane = static_cast<std::int64_t>(nx) * ny;
+    const std::int64_t n = plane * nz_local;
+    // Local slab with one ghost plane on each side.
+    std::vector<double> x(static_cast<std::size_t>(n + 2 * plane), 0.0);
+    std::vector<double> p(x.size(), 0.0);
+    std::vector<double> ap(x.size(), 0.0);
+    std::vector<double> rr(x.size(), 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      rr[static_cast<std::size_t>(plane + i)] = 27.0;
+      p[static_cast<std::size_t>(plane + i)] = 27.0;
+    }
+
+    auto dot_reducer = romp::make_sum_reducer<double>(team, h_dot);
+    std::atomic<std::uint64_t> flag{0};
+
+    auto exchange_halo = [&](std::vector<double>& v) {
+      const int up = r + 1, down = r - 1;
+      std::vector<double> top(static_cast<std::size_t>(plane));
+      std::vector<double> bottom(static_cast<std::size_t>(plane));
+      std::copy_n(v.begin() + plane, plane, bottom.begin());
+      std::copy_n(v.begin() + plane * nz_local, plane, top.begin());
+      int expected = 0;
+      if (down >= 0) { comm.send_vec(down, kHaloTag, bottom); ++expected; }
+      if (up < nranks) { comm.send_vec(up, kHaloTag, top); ++expected; }
+      // Wildcard receives: arrival order is the recorded nondeterminism.
+      for (int k = 0; k < expected; ++k) {
+        mpi::Status st;
+        auto ghost = comm.recv_vec<double>(mpi::kAnySource, kHaloTag, &st);
+        if (st.source == down) {
+          std::copy(ghost.begin(), ghost.end(), v.begin());
+        } else {
+          std::copy(ghost.begin(), ghost.end(),
+                    v.begin() + plane * (nz_local + 1));
+        }
+      }
+    };
+
+    auto local_dot = [&](const std::vector<double>& a,
+                         const std::vector<double>& b) {
+      dot_reducer.reset();
+      team.parallel_for(0, n, [&](romp::WorkerCtx& w, std::int64_t lo,
+                                  std::int64_t hi) {
+        double local = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          local += a[static_cast<std::size_t>(plane + i)] *
+                   b[static_cast<std::size_t>(plane + i)];
+        }
+        dot_reducer.local(w) += local;
+        dot_reducer.combine(w);  // intra-rank arrival order (ReOMP)
+      });
+      // Inter-rank arrival order (ReMPI).
+      return comm.allreduce_sum(dot_reducer.result());
+    };
+
+    double checksum = 0.0;
+    double rho = local_dot(rr, rr);
+
+    for (int it = 0; it < iters; ++it) {
+      exchange_halo(p);
+      // ap = A p on the slab (7-point stencil for brevity; the access
+      // pattern, not the stencil width, is what the experiment measures).
+      team.parallel_for(0, n, [&](romp::WorkerCtx&, std::int64_t lo,
+                                  std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto k = static_cast<std::size_t>(plane + i);
+          const std::int64_t ix = i % nx, iy = (i / nx) % ny;
+          double s = 6.0 * p[k];
+          if (ix > 0) s -= p[k - 1];
+          if (ix < nx - 1) s -= p[k + 1];
+          if (iy > 0) s -= p[k - static_cast<std::size_t>(nx)];
+          if (iy < ny - 1) s -= p[k + static_cast<std::size_t>(nx)];
+          s -= p[k - static_cast<std::size_t>(plane)];
+          s -= p[k + static_cast<std::size_t>(plane)];
+          ap[k] = s;
+        }
+      });
+      const double pap = local_dot(p, ap);
+      const double alpha = pap != 0.0 ? rho / pap : 0.0;
+      team.parallel_for(0, n, [&](romp::WorkerCtx&, std::int64_t lo,
+                                  std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto k = static_cast<std::size_t>(plane + i);
+          x[k] += alpha * p[k];
+          rr[k] -= alpha * ap[k];
+        }
+      });
+      const double rho_new = local_dot(rr, rr);
+      // Benign-race residual flag, as in the OpenMP-only app.
+      team.parallel([&](romp::WorkerCtx& w) {
+        if (w.tid == 0) {
+          team.racy_store(w, h_flag, flag, static_cast<std::uint64_t>(it + 1));
+        }
+        team.racy_load(w, h_flag, flag);
+      });
+      const double beta = rho != 0.0 ? rho_new / rho : 0.0;
+      rho = rho_new;
+      team.parallel_for(0, n, [&](romp::WorkerCtx&, std::int64_t lo,
+                                  std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto k = static_cast<std::size_t>(plane + i);
+          p[k] = rr[k] + beta * p[k];
+        }
+      });
+      checksum += rho;
+    }
+
+    team.finalize();
+    out.checksum[static_cast<std::size_t>(r)] = checksum;
+    out.events[static_cast<std::size_t>(r)] = team.engine().total_events();
+    if (cfg.mode == core::Mode::kRecord && cfg.dir.empty()) {
+      out.bundles[static_cast<std::size_t>(r)] = team.engine().take_bundle();
+    }
+  });
+
+  return collect(cfg, world, out);
+}
+
+HybridResult run_hybrid_hacc(const HybridConfig& cfg) {
+  const int particles = static_cast<int>(scaled(cfg.scale, 1500, 100));
+  const int steps = static_cast<int>(scaled(cfg.scale, 3, 1));
+  const int substeps = 6, polls = 8;
+  constexpr int kFluxTag = 200;
+
+  mpi::World world(world_options(cfg));
+  RankOutputs out(cfg.ranks);
+
+  mpi::run_world(world, [&](mpi::Comm& comm) {
+    const int r = comm.rank();
+    const int nranks = comm.size();
+
+    romp::TeamOptions topt;
+    topt.num_threads = cfg.threads_per_rank;
+    topt.engine = rank_engine_options(cfg, r);
+    topt.pin_threads = cfg.pin_threads;
+    romp::Team team(topt);
+
+    const romp::Handle h_prog = team.register_handle("hacc:progress");
+    const romp::Handle h_energy = team.register_handle("hacc:energy");
+
+    std::atomic<std::uint64_t> progress{0};
+    std::atomic<double> energy{0.0};
+
+    // Per-thread particle velocities (positions elided: the force model is
+    // a mean-field kick, which keeps the hybrid driver compact while
+    // preserving the SMA/messaging pattern).
+    std::vector<std::vector<double>> vel(cfg.threads_per_rank);
+    for (std::uint32_t t = 0; t < cfg.threads_per_rank; ++t) {
+      Xoshiro256 rng(derive_seed(cfg.seed + static_cast<std::uint64_t>(r), t));
+      vel[t].resize(static_cast<std::size_t>(particles));
+      for (auto& v : vel[t]) v = (rng.next_double() - 0.5) * 0.1;
+    }
+
+    double checksum = 0.0;
+    for (int step = 0; step < steps; ++step) {
+      // Thread phase: kick particles; publish/poll the progress board.
+      team.parallel([&](romp::WorkerCtx& w) {
+        auto& mine = vel[w.tid];
+        const std::size_t slice = (mine.size() + substeps - 1) / substeps;
+        double ke = 0.0;
+        for (int s = 0; s < substeps; ++s) {
+          const std::size_t lo = slice * static_cast<std::size_t>(s);
+          const std::size_t hi = std::min(mine.size(), lo + slice);
+          for (std::size_t i = lo; i < hi; ++i) {
+            mine[i] += 1e-3 * std::sin(static_cast<double>(i + s));
+            ke += 0.5 * mine[i] * mine[i];
+          }
+          const std::uint64_t seen = team.racy_load(w, h_prog, progress);
+          team.racy_store(w, h_prog, progress, seen + 1);
+          for (int k = 0; k < polls; ++k) {
+            team.racy_load(w, h_prog, progress);
+          }
+        }
+        team.racy_update(w, h_energy, energy,
+                         [ke](double v) { return v + ke; });
+      });
+
+      // Rank phase: arrival-order energy allreduce + wildcard-matched flux
+      // ring exchange (every rank sends to its successor; receives from
+      // ANY_SOURCE so the match order is genuinely racy with nranks > 2).
+      const double total_energy = comm.allreduce_sum(energy.load());
+      if (nranks > 1) {
+        const int next = (r + 1) % nranks;
+        comm.send_value(next, kFluxTag, energy.load() / (r + 1));
+        mpi::Status st;
+        const double flux =
+            comm.recv_value<double>(mpi::kAnySource, kFluxTag, &st);
+        checksum += flux * (st.source + 1);
+      }
+      checksum += total_energy;
+    }
+
+    team.finalize();
+    out.checksum[static_cast<std::size_t>(r)] =
+        checksum + static_cast<double>(progress.load());
+    out.events[static_cast<std::size_t>(r)] = team.engine().total_events();
+    if (cfg.mode == core::Mode::kRecord && cfg.dir.empty()) {
+      out.bundles[static_cast<std::size_t>(r)] = team.engine().take_bundle();
+    }
+  });
+
+  return collect(cfg, world, out);
+}
+
+}  // namespace reomp::apps

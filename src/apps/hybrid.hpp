@@ -1,0 +1,53 @@
+// Hybrid MPI+OpenMP drivers: ReMPI+ReOMP composition (paper §VI-C,
+// Figs. 18 & 19).
+//
+// Each minimpi rank runs its own romp Team (its own ReOMP engine with its
+// own per-thread record files), while the World's RempiRecorder captures
+// wildcard message-match order and reduction arrival order. The two layers
+// are composed exactly as in the paper — independent recorders, no shared
+// state — which is what makes the overhead MPI-scale independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/bundle.hpp"
+#include "src/core/options.hpp"
+#include "src/minimpi/rempi.hpp"
+
+namespace reomp::apps {
+
+struct HybridBundle {
+  mpi::RempiBundle rempi;                        // message-match order
+  std::vector<core::RecordBundle> rank_bundles;  // per-rank ReOMP records
+};
+
+struct HybridConfig {
+  int ranks = 2;
+  std::uint32_t threads_per_rank = 2;
+  core::Mode mode = core::Mode::kOff;     // applied to both layers
+  core::Strategy strategy = core::Strategy::kDE;
+  std::string dir;                        // "" => in-memory bundles
+  const HybridBundle* bundle = nullptr;   // replay source when dir empty
+  std::uint64_t seed = 42;
+  double scale = 1.0;
+  bool pin_threads = false;  // ranks*threads may exceed cores; don't pin
+};
+
+struct HybridResult {
+  double checksum = 0.0;  // order-sensitive (FP reductions, racy counters)
+  std::uint64_t gated_events = 0;
+  HybridBundle bundle;    // record mode, in-memory
+};
+
+/// HPCCG with 1D slab decomposition: halo exchange via wildcard receives,
+/// dot products via arrival-order allreduce, per-rank CG threads via romp.
+HybridResult run_hybrid_hpccg(const HybridConfig& cfg);
+
+/// HACC-style particle step: per-rank particle-mesh work with the
+/// benign-race progress board, plus arrival-order energy allreduce and a
+/// wildcard-matched boundary-flux exchange.
+HybridResult run_hybrid_hacc(const HybridConfig& cfg);
+
+}  // namespace reomp::apps

@@ -1,0 +1,30 @@
+// miniFE proxy: implicit finite-element assembly + CG solve.
+//
+// Shared-memory access mix (drives Fig. 15 / Fig. 20, ~27.5% parallel
+// epochs): hexahedral elements are assembled in parallel with atomic
+// scatter-adds into the shared right-hand side (kOther RMW — serialized in
+// every strategy), interleaved with a moderate benign-race "assembly
+// progress" poll pattern; the solve phase adds arrival-order dot-product
+// reductions.
+#pragma once
+
+#include "src/apps/app_common.hpp"
+
+namespace reomp::apps {
+
+struct MinifeParams {
+  int nx = 10, ny = 10, nz = 20;  // elements per dimension
+  int cg_iters = 12;
+  int polls_per_batch = 24;  // racy progress polls between element batches
+  int batch = 6;            // elements per batch
+  /// Every k-th node is treated as partition-shared and committed with an
+  /// atomic scatter-add (kOther); the rest merge under a critical.
+  std::size_t shared_node_stride = 12;
+};
+
+MinifeParams minife_params_for_scale(double scale);
+
+RunResult run_minife(const RunConfig& cfg);
+RunResult run_minife(const RunConfig& cfg, const MinifeParams& params);
+
+}  // namespace reomp::apps

@@ -1,0 +1,146 @@
+#include "src/apps/quicksilver.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/common/prng.hpp"
+
+namespace reomp::apps {
+
+namespace {
+
+struct Particle {
+  double x, y, z;
+  double ux, uy, uz;  // direction
+  double energy;
+  bool alive = true;
+};
+
+}  // namespace
+
+QuicksilverParams quicksilver_params_for_scale(double scale) {
+  QuicksilverParams p;
+  p.particles_per_thread =
+      static_cast<int>(scaled(scale, p.particles_per_thread, 50));
+  return p;
+}
+
+RunResult run_quicksilver(const RunConfig& cfg) {
+  return run_quicksilver(cfg, quicksilver_params_for_scale(cfg.scale));
+}
+
+RunResult run_quicksilver(const RunConfig& cfg,
+                          const QuicksilverParams& params) {
+  romp::Team team(team_options(cfg));
+
+  const romp::Handle h_absorb = team.register_handle("qs:tally_absorb");
+  const romp::Handle h_scatter = team.register_handle("qs:tally_scatter");
+  const romp::Handle h_census = team.register_handle("qs:census_log");
+  const romp::Handle h_peek = team.register_handle("qs:balance_peek");
+
+  const int m = params.mesh;
+  const double extent = static_cast<double>(m);
+  const std::size_t ncells = static_cast<std::size_t>(m) * m * m;
+
+  // Shared tallies: energy deposited per cell (atomic RMW), event counters.
+  auto deposition = std::make_unique<std::atomic<double>[]>(ncells);
+  for (std::size_t i = 0; i < ncells; ++i) deposition[i].store(0.0);
+  std::atomic<std::uint64_t> absorbed{0};
+  std::atomic<std::uint64_t> scattered{0};
+  std::atomic<std::uint64_t> balance{0};  // benign-race "load balance" board
+
+  // Census log: arrival-order event journal under a critical section.
+  std::vector<double> census_log;
+
+  team.parallel([&](romp::WorkerCtx& w) {
+    Xoshiro256 rng(derive_seed(cfg.seed, w.tid));
+    std::vector<Particle> pop(
+        static_cast<std::size_t>(params.particles_per_thread));
+    for (auto& p : pop) {
+      p.x = rng.next_double() * extent;
+      p.y = rng.next_double() * extent;
+      p.z = rng.next_double() * extent;
+      const double phi = 2.0 * M_PI * rng.next_double();
+      const double mu = 2.0 * rng.next_double() - 1.0;
+      const double s = std::sqrt(1.0 - mu * mu);
+      p.ux = s * std::cos(phi);
+      p.uy = s * std::sin(phi);
+      p.uz = mu;
+      p.energy = 1.0 + rng.next_double();
+    }
+
+    auto cell_of = [&](const Particle& p) {
+      auto clampi = [m](int v) { return v < 0 ? 0 : (v >= m ? m - 1 : v); };
+      return (static_cast<std::size_t>(clampi(static_cast<int>(p.z))) * m +
+              clampi(static_cast<int>(p.y))) * m +
+             clampi(static_cast<int>(p.x));
+    };
+
+    int processed = 0;
+    for (auto& p : pop) {
+      for (int seg = 0; seg < params.max_segments && p.alive; ++seg) {
+        // Sample flight distance, move, reflect at boundaries.
+        const double dist = -std::log(rng.next_double() + 1e-12) * 0.7;
+        p.x += p.ux * dist; p.y += p.uy * dist; p.z += p.uz * dist;
+        auto reflect = [extent](double& x, double& u) {
+          if (x < 0) { x = -x; u = -u; }
+          if (x > extent) { x = 2 * extent - x; u = -u; }
+        };
+        reflect(p.x, p.ux); reflect(p.y, p.uy); reflect(p.z, p.uz);
+
+        const double xi = rng.next_double();
+        if (xi < 0.15) {
+          // Absorption: deposit remaining energy (atomic RMW tally — the
+          // dominant QuickSilver SMA pattern).
+          team.atomic_fetch_add(w, h_absorb, deposition[cell_of(p)],
+                                p.energy);
+          team.atomic_fetch_add<std::uint64_t>(w, h_absorb, absorbed, 1);
+          p.alive = false;
+        } else if (xi < 0.55) {
+          // Scatter: new direction, lose some energy, tally the event.
+          const double phi = 2.0 * M_PI * rng.next_double();
+          const double mu = 2.0 * rng.next_double() - 1.0;
+          const double s = std::sqrt(1.0 - mu * mu);
+          p.ux = s * std::cos(phi);
+          p.uy = s * std::sin(phi);
+          p.uz = mu;
+          p.energy *= 0.9;
+          team.atomic_fetch_add<std::uint64_t>(w, h_scatter, scattered, 1);
+        }
+      }
+      if (p.alive) {
+        // Census: surviving particle logged in arrival order.
+        team.critical(w, h_census,
+                      [&] { census_log.push_back(p.energy); });
+      }
+      // Sparse benign-race peek at the balance board (rare: QuickSilver's
+      // epoch sizes stay ~1).
+      if (++processed % 128 == 0) {
+        const std::uint64_t seen = team.racy_load(w, h_peek, balance);
+        team.racy_store(w, h_peek, balance, seen + 128);
+      }
+    }
+  });
+
+  team.finalize();
+
+  // Checksum is order-sensitive: census_log order + FP deposition order.
+  double dep = 0.0;
+  for (std::size_t i = 0; i < ncells; ++i) {
+    dep += deposition[i].load() * static_cast<double>(i % 7 + 1);
+  }
+  double census = 0.0;
+  for (std::size_t i = 0; i < census_log.size(); ++i) {
+    census += census_log[i] * static_cast<double>(i + 1);
+  }
+
+  RunResult result;
+  result.checksum = dep + census + static_cast<double>(absorbed.load()) +
+                    static_cast<double>(scattered.load());
+  harvest(team, result);
+  return result;
+}
+
+}  // namespace reomp::apps

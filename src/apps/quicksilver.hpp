@@ -1,0 +1,27 @@
+// QuickSilver proxy: simplified dynamic Monte Carlo particle transport.
+//
+// Shared-memory access mix (drives Fig. 14 / Fig. 20 — QuickSilver has
+// the *lowest* parallel-epoch fraction in the paper, ~4%): tallies are
+// atomic RMW updates (kOther, never epoch-parallel) and census events go
+// through a critical-section event log, so almost every epoch has size 1
+// and DE degenerates to DC ("fewer opportunities for concurrent
+// instructions", §VI-B).
+#pragma once
+
+#include "src/apps/app_common.hpp"
+
+namespace reomp::apps {
+
+struct QuicksilverParams {
+  int particles_per_thread = 600;
+  int max_segments = 24;  // flight segments per particle before census
+  int mesh = 8;           // mesh^3 tally cells
+};
+
+QuicksilverParams quicksilver_params_for_scale(double scale);
+
+RunResult run_quicksilver(const RunConfig& cfg);
+RunResult run_quicksilver(const RunConfig& cfg,
+                          const QuicksilverParams& params);
+
+}  // namespace reomp::apps

@@ -1,0 +1,31 @@
+#include "src/apps/registry.hpp"
+
+#include <stdexcept>
+
+#include "src/apps/amg.hpp"
+#include "src/apps/hacc.hpp"
+#include "src/apps/hpccg.hpp"
+#include "src/apps/minife.hpp"
+#include "src/apps/quicksilver.hpp"
+
+namespace reomp::apps {
+
+const std::vector<AppInfo>& all_apps() {
+  static const std::vector<AppInfo> apps = {
+      {"AMG", run_amg},
+      {"QuickSilver", run_quicksilver},
+      {"miniFE", run_minife},
+      {"HACC", run_hacc},
+      {"HPCCG", run_hpccg},
+  };
+  return apps;
+}
+
+const AppInfo& app_by_name(const std::string& name) {
+  for (const auto& app : all_apps()) {
+    if (app.name == name) return app;
+  }
+  throw std::out_of_range("unknown app '" + name + "'");
+}
+
+}  // namespace reomp::apps

@@ -1,0 +1,22 @@
+// Registry of the five proxy applications, for benches and sweep tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/apps/app_common.hpp"
+
+namespace reomp::apps {
+
+struct AppInfo {
+  std::string name;                     // paper name: AMG, QuickSilver, ...
+  RunResult (*run)(const RunConfig&);   // uniform entry point
+};
+
+/// All five apps in the paper's presentation order.
+const std::vector<AppInfo>& all_apps();
+
+/// Lookup by (case-sensitive) name; throws std::out_of_range when unknown.
+const AppInfo& app_by_name(const std::string& name);
+
+}  // namespace reomp::apps

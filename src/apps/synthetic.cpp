@@ -1,0 +1,124 @@
+#include "src/apps/synthetic.hpp"
+
+#include <atomic>
+
+#include "src/romp/reduction.hpp"
+#include "src/romp/team.hpp"
+
+namespace reomp::apps {
+
+namespace {
+
+std::int64_t per_thread(std::int64_t total, std::uint32_t threads,
+                        std::uint32_t tid) {
+  // Split `total` as evenly as possible (first threads get the remainder).
+  const std::int64_t base = total / threads;
+  return base + (tid < total % threads ? 1 : 0);
+}
+
+}  // namespace
+
+SyntheticParams synthetic_params_for_scale(double scale) {
+  SyntheticParams p;
+  p.total_iters = scaled(scale, p.total_iters, 100);
+  p.reduction_iters = scaled(scale, p.reduction_iters, 1000);
+  return p;
+}
+
+RunResult run_synthetic_reduction(const RunConfig& cfg) {
+  const SyntheticParams params = synthetic_params_for_scale(cfg.scale);
+  romp::Team team(team_options(cfg));
+  const romp::Handle h = team.register_handle("synthetic:reduction");
+  auto reducer = romp::make_sum_reducer<double>(team, h);
+
+  team.parallel([&](romp::WorkerCtx& w) {
+    const std::int64_t n =
+        per_thread(params.reduction_iters, cfg.threads, w.tid);
+    double local = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      local += 1.0;  // private accumulation: no SMA traffic
+    }
+    reducer.local(w) = local;
+    reducer.combine(w);  // the single gated access per thread
+  });
+
+  team.finalize();
+  RunResult r;
+  r.checksum = reducer.result();
+  harvest(team, r);
+  return r;
+}
+
+RunResult run_synthetic_critical(const RunConfig& cfg) {
+  const SyntheticParams params = synthetic_params_for_scale(cfg.scale);
+  romp::Team team(team_options(cfg));
+  const romp::Handle h = team.register_handle("synthetic:critical");
+
+  double sum = 0.0;  // protected by the critical
+  team.parallel([&](romp::WorkerCtx& w) {
+    const std::int64_t n = per_thread(params.total_iters, cfg.threads, w.tid);
+    for (std::int64_t i = 0; i < n; ++i) {
+      team.critical(w, h, [&] { sum += 1.0; });
+    }
+  });
+
+  team.finalize();
+  RunResult r;
+  r.checksum = sum;
+  harvest(team, r);
+  return r;
+}
+
+RunResult run_synthetic_atomic(const RunConfig& cfg) {
+  const SyntheticParams params = synthetic_params_for_scale(cfg.scale);
+  romp::Team team(team_options(cfg));
+  const romp::Handle h = team.register_handle("synthetic:atomic");
+
+  std::atomic<double> sum{0.0};
+  team.parallel([&](romp::WorkerCtx& w) {
+    const std::int64_t n = per_thread(params.total_iters, cfg.threads, w.tid);
+    for (std::int64_t i = 0; i < n; ++i) {
+      team.atomic_fetch_add(w, h, sum, 1.0);
+    }
+  });
+
+  team.finalize();
+  RunResult r;
+  r.checksum = sum.load();
+  harvest(team, r);
+  return r;
+}
+
+RunResult run_synthetic_datarace(const RunConfig& cfg) {
+  const SyntheticParams params = synthetic_params_for_scale(cfg.scale);
+  romp::Team team(team_options(cfg));
+  const romp::Handle h = team.register_handle("synthetic:data_race");
+
+  std::atomic<double> sum{0.0};  // relaxed accesses; racy by design
+  team.parallel([&](romp::WorkerCtx& w) {
+    const std::int64_t n = per_thread(params.total_iters, cfg.threads, w.tid);
+    for (std::int64_t i = 0; i < n; ++i) {
+      // Plain `sum += 1` compiled as a load and a store: updates can be
+      // lost, and the final value depends on the interleaving.
+      team.racy_update(w, h, sum, [](double v) { return v + 1.0; });
+    }
+  });
+
+  team.finalize();
+  RunResult r;
+  r.checksum = sum.load();
+  harvest(team, r);
+  return r;
+}
+
+const std::vector<AppInfo>& synthetic_benchmarks() {
+  static const std::vector<AppInfo> benches = {
+      {"omp_reduction", run_synthetic_reduction},
+      {"omp_critical", run_synthetic_critical},
+      {"omp_atomic", run_synthetic_atomic},
+      {"data_race", run_synthetic_datarace},
+  };
+  return benches;
+}
+
+}  // namespace reomp::apps

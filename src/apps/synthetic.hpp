@@ -1,0 +1,43 @@
+// The paper's synthetic benchmarks (Fig. 8, Table VIII): the `sum += 1`
+// loop with four sharing disciplines.
+//
+//   omp_reduction: reduction(+ : sum)      — one gated merge per thread
+//   omp_critical:  #pragma omp critical    — one kOther region per iter
+//   omp_atomic:    #pragma omp atomic      — one kOther RMW per iter
+//   data_race:     plain sum += 1          — racy load+store per iter
+//
+// `volatile`-style suppression of the sum is achieved by routing every
+// access through the engine's atomic wrappers (the compiler cannot fold
+// the loop away), matching the paper's use of a volatile accumulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/apps/app_common.hpp"
+#include "src/apps/registry.hpp"
+
+namespace reomp::apps {
+
+struct SyntheticParams {
+  /// Total gated iterations across the team (strong scaling, like the
+  /// paper's fixed-N loop). Sized so the gated loop dominates team setup.
+  std::int64_t total_iters = 60000;
+  /// Reduction variant: total private iterations (ungated). Sized so the
+  /// private loop dominates, as in the paper ("we iterate long enough to
+  /// have execution time of the main loop dominate").
+  std::int64_t reduction_iters = 50000000;
+};
+
+SyntheticParams synthetic_params_for_scale(double scale);
+
+RunResult run_synthetic_reduction(const RunConfig& cfg);
+RunResult run_synthetic_critical(const RunConfig& cfg);
+RunResult run_synthetic_atomic(const RunConfig& cfg);
+RunResult run_synthetic_datarace(const RunConfig& cfg);
+
+/// The four synthetics in the paper's presentation order
+/// (Fig. 9, 10, 11, 12).
+const std::vector<AppInfo>& synthetic_benchmarks();
+
+}  // namespace reomp::apps

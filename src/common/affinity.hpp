@@ -1,0 +1,19 @@
+// Thread affinity: pin worker k to core k, filling socket 0 first — the
+// paper's affinity policy ("places threads onto the first socket until all
+// cores in the socket are assigned", §VI-A2), which produces the NUMA knee
+// in Figs. 10-12.
+#pragma once
+
+#include <cstdint>
+
+namespace reomp {
+
+/// Pin the calling thread to logical CPU `cpu % hardware_concurrency`.
+/// Returns false when pinning is unsupported or fails (the caller proceeds
+/// unpinned; correctness never depends on affinity).
+bool pin_current_thread(std::uint32_t cpu);
+
+/// Number of logical CPUs visible to this process.
+std::uint32_t logical_cpus();
+
+}  // namespace reomp

@@ -1,0 +1,49 @@
+// Sense-reversing centralized barrier for fixed-size thread teams.
+//
+// The romp runtime needs a reusable barrier with deterministic semantics
+// and no dependence on std::barrier's completion-function ordering; the
+// classic sense-reversing design is the standard HPC choice for small teams.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/backoff.hpp"
+
+namespace reomp {
+
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(std::uint32_t participants) noexcept
+      : participants_(participants), remaining_(participants) {}
+
+  SenseBarrier(const SenseBarrier&) = delete;
+  SenseBarrier& operator=(const SenseBarrier&) = delete;
+
+  /// Block until all `participants` threads have arrived. Each caller keeps
+  /// a thread-local sense; we derive it from a per-call flip to stay
+  /// call-site agnostic.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(participants_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      Backoff backoff;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        backoff.pause();
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint32_t participants() const noexcept {
+    return participants_;
+  }
+
+ private:
+  const std::uint32_t participants_;
+  std::atomic<std::uint32_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace reomp

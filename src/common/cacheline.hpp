@@ -1,0 +1,46 @@
+// Cache-line utilities: padding wrappers to prevent false sharing between
+// per-thread hot variables (replay cursors, clock counters, tallies).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace reomp {
+
+// Fixed rather than std::hardware_destructive_interference_size: that value
+// varies with -mtune and would silently change struct layouts across builds
+// (GCC warns about exactly this under -Winterference-size). 64 bytes is
+// correct for every x86-64 and the common aarch64 parts.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Value wrapper aligned and padded to a full cache line. Use for counters
+/// written by one thread and read by others (e.g. `next_clock`) so that
+/// unrelated neighbours do not ping-pong the line.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  static_assert(std::is_object_v<T>);
+
+  T value{};
+
+  CachePadded() = default;
+  explicit CachePadded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Round the footprint up to a cache-line multiple even when T is larger
+  // than one line.
+  static constexpr std::size_t padded_size() {
+    return ((sizeof(T) + kCacheLineSize - 1) / kCacheLineSize) * kCacheLineSize;
+  }
+  [[maybe_unused]] char pad_[padded_size() - sizeof(T) > 0
+                                ? padded_size() - sizeof(T)
+                                : kCacheLineSize]{};
+};
+
+}  // namespace reomp

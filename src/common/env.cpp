@@ -1,0 +1,39 @@
+#include "src/common/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace reomp {
+
+std::optional<std::string> env_string(std::string_view name) {
+  const char* v = std::getenv(std::string(name).c_str());
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t env_int(std::string_view name, std::int64_t fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+bool env_bool(std::string_view name, bool fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  std::string lower = *s;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") {
+    return false;
+  }
+  return fallback;
+}
+
+}  // namespace reomp

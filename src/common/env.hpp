@@ -1,0 +1,24 @@
+// Environment-variable configuration helpers.
+//
+// ReOMP switches between record and replay modes with environment variables
+// (paper §V: "We switch between record and replay modes with an environment
+// variable"), mirroring how the real tool is driven from job scripts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace reomp {
+
+/// Raw lookup; nullopt when unset.
+std::optional<std::string> env_string(std::string_view name);
+
+/// Integer lookup with default; malformed values fall back to `fallback`.
+std::int64_t env_int(std::string_view name, std::int64_t fallback);
+
+/// Boolean lookup: "1", "true", "yes", "on" (case-insensitive) are true.
+bool env_bool(std::string_view name, bool fallback);
+
+}  // namespace reomp

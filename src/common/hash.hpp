@@ -1,0 +1,43 @@
+// Hashing helpers: FNV-1a over bytes/strings and hash combining.
+//
+// The toolflow hashes race-site descriptors (function, file, line, column)
+// into stable gate IDs (paper §III: "we generated a unique hash value to
+// create a data race instance. These hash values will serve as the thread
+// lock ID").
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace reomp {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view bytes,
+                              std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a_u64(std::uint64_t v,
+                                  std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  // boost::hash_combine's 64-bit variant.
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace reomp

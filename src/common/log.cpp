@@ -1,0 +1,54 @@
+#include "src/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "src/common/env.hpp"
+
+namespace reomp {
+
+namespace {
+
+LogLevel initial_threshold() {
+  auto s = env_string("REOMP_LOG_LEVEL");
+  if (!s) return LogLevel::kWarn;
+  if (*s == "debug") return LogLevel::kDebug;
+  if (*s == "info") return LogLevel::kInfo;
+  if (*s == "warn") return LogLevel::kWarn;
+  if (*s == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> t{static_cast<int>(initial_threshold())};
+  return t;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(threshold_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[reomp %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace reomp

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr. Not on any hot path: the record/replay
+// fast paths never log; this exists for tool diagnostics (mode selection,
+// manifest mismatches, race reports).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace reomp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default kWarn so that
+/// benchmarks stay quiet. Controlled by REOMP_LOG_LEVEL=debug|info|warn|error.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Thread-safe write of one formatted line.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define REOMP_LOG(level)                                   \
+  if (static_cast<int>(level) <                            \
+      static_cast<int>(::reomp::log_threshold())) {        \
+  } else                                                   \
+    ::reomp::detail::LogMessage(level)
+
+#define REOMP_LOG_DEBUG REOMP_LOG(::reomp::LogLevel::kDebug)
+#define REOMP_LOG_INFO REOMP_LOG(::reomp::LogLevel::kInfo)
+#define REOMP_LOG_WARN REOMP_LOG(::reomp::LogLevel::kWarn)
+#define REOMP_LOG_ERROR REOMP_LOG(::reomp::LogLevel::kError)
+
+}  // namespace reomp

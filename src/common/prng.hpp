@@ -1,0 +1,82 @@
+// Deterministic, splittable PRNGs for workload generation.
+//
+// Benchmarks and mini-apps must generate identical workloads in record and
+// replay runs, so all randomness flows through explicitly seeded generators
+// (never std::random_device / time seeds).
+#pragma once
+
+#include <cstdint>
+
+namespace reomp {
+
+/// SplitMix64: tiny, high-quality stream used mostly to seed xoshiro and to
+/// derive per-thread seeds from a base seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast general-purpose generator for particle/Monte-Carlo
+/// workloads (QuickSilver, HACC proxies).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias worth caring about
+  /// for workload generation.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Derive a statistically independent seed for worker `index` from `base`.
+inline std::uint64_t derive_seed(std::uint64_t base,
+                                 std::uint64_t index) noexcept {
+  SplitMix64 sm(base ^ (0xa0761d6478bd642fULL * (index + 1)));
+  return sm.next();
+}
+
+}  // namespace reomp

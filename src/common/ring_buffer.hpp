@@ -1,0 +1,52 @@
+// Fixed-capacity ring buffer.
+//
+// DE recording keeps a bounded access history per gate to compute X_C
+// (paper §IV-D: "We use a long-enough ring buffer so that the old access can
+// automatically be discarded"). The ring is single-writer (whoever holds the
+// gate lock) so it needs no internal synchronization.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace reomp {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity > 0 ? capacity : 1) {}
+
+  /// Append, overwriting the oldest element when full.
+  void push(const T& v) {
+    slots_[head_] = v;
+    head_ = (head_ + 1) % slots_.size();
+    if (size_ < slots_.size()) ++size_;
+  }
+
+  /// Element `i` positions back from the most recent (back(0) == newest).
+  /// Precondition: i < size().
+  [[nodiscard]] const T& back(std::size_t i) const {
+    assert(i < size_);
+    const std::size_t idx =
+        (head_ + slots_.size() - 1 - i) % slots_.size();
+    return slots_[idx];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;  // next write position
+  std::size_t size_ = 0;
+};
+
+}  // namespace reomp

@@ -1,0 +1,55 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// The record path of every strategy (paper Fig. 4 line 1, Fig. 5 line 20)
+// serializes the SMA region plus clock assignment under a lock; a TTAS
+// spinlock is the appropriate primitive because the critical section is a
+// handful of instructions and contention is the common case.
+#pragma once
+
+#include <atomic>
+
+#include "src/common/backoff.hpp"
+
+namespace reomp {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      // Spin on a plain load first so waiters do not generate bus traffic.
+      while (locked_.load(std::memory_order_relaxed)) backoff.pause();
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// RAII guard, analogous to std::lock_guard but usable with Spinlock in
+/// headers without pulling in <mutex>.
+template <typename Lock>
+class LockGuard {
+ public:
+  explicit LockGuard(Lock& lock) : lock_(lock) { lock_.lock(); }
+  ~LockGuard() { lock_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+}  // namespace reomp

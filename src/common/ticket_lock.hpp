@@ -1,0 +1,48 @@
+// FIFO ticket spinlock.
+//
+// The record-side gate lock uses this rather than a TTAS lock for two
+// reasons. (1) Schedule fidelity: an unfair lock lets the releasing thread
+// re-acquire immediately (its line is still cache-local), so the recorded
+// interleaving degenerates into long single-thread bursts that do not
+// represent how the uninstrumented application schedules its accesses —
+// the record tool would be perturbing the very nondeterminism it records.
+// (2) Comparability: every strategy pays the same, predictable handoff
+// cost, so measured record overheads reflect what each strategy does under
+// the lock, exactly the quantity the paper's record-run comparison studies.
+// LLVM's __kmpc_critical similarly uses queuing locks under contention.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/backoff.hpp"
+#include "src/common/cacheline.hpp"
+
+namespace reomp {
+
+class TicketLock {
+ public:
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void lock() noexcept {
+    const std::uint32_t my =
+        next_->fetch_add(1, std::memory_order_relaxed);
+    while (serving_->load(std::memory_order_acquire) != my) {
+      cpu_relax();
+    }
+  }
+
+  void unlock() noexcept {
+    serving_->store(serving_->load(std::memory_order_relaxed) + 1,
+                    std::memory_order_release);
+  }
+
+ private:
+  // Separate lines: waiters hammer `serving_`; arrivals hit `next_`.
+  CachePadded<std::atomic<std::uint32_t>> next_{};
+  CachePadded<std::atomic<std::uint32_t>> serving_{};
+};
+
+}  // namespace reomp

@@ -1,0 +1,58 @@
+// LEB128 varint + zigzag codecs for the record-file format.
+//
+// Per-thread clock sequences are near-monotonic, so delta+zigzag+varint
+// keeps record files small — the same observation that drives ReMPI's
+// clock-delta compression (Sato et al., SC'15).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace reomp {
+
+/// Append `v` to `out` as unsigned LEB128. Returns bytes written (1..10).
+inline std::size_t varint_encode(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  std::size_t n = 0;
+  do {
+    std::uint8_t byte = v & 0x7f;
+    v >>= 7;
+    if (v != 0) byte |= 0x80;
+    out.push_back(byte);
+    ++n;
+  } while (v != 0);
+  return n;
+}
+
+/// Decode an unsigned LEB128 starting at `data[pos]`. On success advances
+/// `pos` past the varint; on truncated/overlong input returns nullopt and
+/// leaves `pos` unspecified.
+inline std::optional<std::uint64_t> varint_decode(const std::uint8_t* data,
+                                                  std::size_t size,
+                                                  std::size_t& pos) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (pos < size) {
+    const std::uint8_t byte = data[pos++];
+    if (shift == 63 && (byte & 0x7e) != 0) return std::nullopt;  // overflow
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+    if (shift > 63) return std::nullopt;
+  }
+  return std::nullopt;  // truncated
+}
+
+/// Zigzag: map signed deltas onto small unsigned values.
+constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace reomp

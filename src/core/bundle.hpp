@@ -1,0 +1,26 @@
+// In-memory record bundle: the contents of a record directory held in RAM.
+//
+// Used by unit tests (record → replay without touching the filesystem) and
+// by benchmark configurations that isolate ordering overhead from file-I/O
+// overhead. Functionally identical to a record directory on tmpfs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/epoch_stats.hpp"
+#include "src/trace/manifest.hpp"
+
+namespace reomp::core {
+
+struct RecordBundle {
+  trace::Manifest manifest;
+  /// Per-thread encoded streams, indexed by ThreadId (DC/DE).
+  std::vector<std::vector<std::uint8_t>> thread_streams;
+  /// Single shared encoded stream (ST).
+  std::vector<std::uint8_t> shared_stream;
+  /// Epoch-size histogram collected during the record run (Fig. 20).
+  EpochHistogram epoch_histogram;
+};
+
+}  // namespace reomp::core

@@ -1,0 +1,137 @@
+#include "src/core/clock_strategy.hpp"
+
+#include <algorithm>
+
+#include "src/common/backoff.hpp"
+#include "src/core/engine.hpp"
+
+namespace reomp::core {
+
+ClockStrategyBase::ClockStrategyBase(Engine& engine, bool use_epochs)
+    : engine_(engine),
+      use_epochs_(use_epochs),
+      write_inside_lock_(engine.options().write_inside_lock),
+      collect_stats_(engine.options().collect_epoch_stats),
+      history_cap_(engine.options().history_capacity) {}
+
+void ClockStrategyBase::record_gate_in(ThreadCtx&, GateState& g) {
+  // Fig. 5 line 20: the SMA region plus clock assignment are serialized.
+  g.lock.lock();
+}
+
+void ClockStrategyBase::resolve_pending(GateState& g,
+                                        AccessKind current_kind) {
+  if (!g.pending.active()) return;
+  // Condition 1 (ii): the pending store may be swapped with its preceding
+  // store run only because a *store* follows it — which is the access being
+  // processed right now. Anything else pins the pending store in place.
+  const std::uint32_t xc =
+      current_kind == AccessKind::kStore ? g.pending.run_before : 0;
+  const std::uint64_t epoch = g.pending.clock - xc;
+  g.pending.entry->value = epoch;
+  if (collect_stats_) g.epoch_tracker.on_epoch(epoch);
+  // Release pairs with the owning thread's acquire in flush_resolved().
+  g.pending.entry->resolved.store(true, std::memory_order_release);
+  g.pending.clear();
+}
+
+void ClockStrategyBase::record_gate_out(ThreadCtx& t, GateState& g,
+                                        GateId gid, AccessKind kind) {
+  // ---- under the gate lock (taken in record_gate_in) ----
+  if (use_epochs_) {
+    resolve_pending(g, kind);
+  }
+
+  const std::uint64_t clock = g.global_clock++;  // Fig. 5 line 22
+
+  // Entries whose value is known immediately bypass the write-behind
+  // buffer entirely when nothing older is still deferred: the value is
+  // carried in a local and appended after unlock. Only DE stores (epoch
+  // unknown until the next access) must go through the buffer.
+  bool direct = false;
+  std::uint64_t direct_value = 0;
+
+  if (use_epochs_) {
+    // Length of the same-kind run immediately preceding this access,
+    // bounded by the history window (the paper's ring-buffer cap).
+    const std::uint32_t prev_run =
+        g.run_kind == kind ? std::min(g.run_len, history_cap_) : 0;
+    if (g.run_kind == kind) {
+      if (g.run_len < ~std::uint32_t{0}) ++g.run_len;
+    } else {
+      g.run_kind = kind;
+      g.run_len = 1;
+    }
+
+    if (kind == AccessKind::kStore) {
+      // Epoch unknown until the next access: defer.
+      BufferedEntry& e = t.buffer.emplace_back(gid, 0, /*done=*/false);
+      g.pending.entry = &e;
+      g.pending.clock = clock;
+      g.pending.run_before = prev_run;
+    } else {
+      const std::uint64_t xc = kind == AccessKind::kLoad ? prev_run : 0;
+      const std::uint64_t epoch = clock - xc;
+      if (collect_stats_) g.epoch_tracker.on_epoch(epoch);
+      if (t.buffer.empty()) {
+        direct = true;
+        direct_value = epoch;
+      } else {
+        t.buffer.emplace_back(gid, epoch, /*done=*/true);
+      }
+    }
+  } else {
+    // DC: record the raw clock (X = 0 in Fig. 5). No deferral ever, so the
+    // buffer is always empty; epoch stats are skipped (every DC epoch has
+    // size 1 by construction).
+    direct = true;
+    direct_value = clock;
+  }
+
+  if (write_inside_lock_) {  // ablation: forfeit the I/O overlap
+    if (direct) t.writer->append({gid, direct_value});
+    t.flush_resolved();
+    g.lock.unlock();
+    return;
+  }
+  g.lock.unlock();
+  // ---- outside the lock ----
+  // Fig. 5 lines 23-24: the I/O happens after unlock, overlapping with
+  // other threads' SMA regions and I/O (§IV-C3).
+  if (direct) t.writer->append({gid, direct_value});
+  t.flush_resolved();
+}
+
+void ClockStrategyBase::replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
+                                       AccessKind) {
+  // Fig. 5 line 31: each thread reads the next value from its own stream.
+  auto entry = t.reader->next();
+  if (!entry) {
+    engine_.diverged("thread " + std::to_string(t.tid) + " entered gate '" +
+                     g.name + "' beyond the end of its record stream");
+  }
+  if (entry->gate != gid) {
+    engine_.diverged("thread " + std::to_string(t.tid) + " is at gate '" +
+                     g.name + "' but its record expects gate '" +
+                     engine_.gate_ref(entry->gate).name + "'");
+  }
+  // Fig. 5 line 32: wait for our turn. next_clock counts completed gate
+  // executions, so `>= value` admits every member of the current epoch at
+  // once (DE) and exactly one access at a time for unique values (DC).
+  Backoff backoff(engine_.options().wait_policy);
+  while (g.next_clock->load(std::memory_order_acquire) < entry->value) {
+    backoff.pause();
+  }
+}
+
+void ClockStrategyBase::replay_gate_out(ThreadCtx&, GateState& g, GateId,
+                                        AccessKind) {
+  // Fig. 5 line 34: one inter-thread communication per region (Fig. 7).
+  g.next_clock->fetch_add(1, std::memory_order_acq_rel);
+}
+
+void ClockStrategyBase::finalize_record(ThreadCtx& t) {
+  t.flush_resolved();
+}
+
+}  // namespace reomp::core

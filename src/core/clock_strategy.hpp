@@ -1,0 +1,71 @@
+// Distributed clock (DC, paper §IV-B) and distributed epoch (DE, §IV-D)
+// recording. Both record a value-per-access into the executing thread's own
+// file and replay with the Fig. 5 next_clock protocol; they differ only in
+// the recorded value:
+//
+//   DC: value = clock            (X = 0 in Fig. 5)
+//   DE: value = clock - X_C      (epoch)
+//
+// X_C computation (online, per gate, under the gate lock):
+//   * load  x_i: X_C = length of the run of consecutive loads immediately
+//     preceding x_i (Condition 1 (i): loads commute among themselves).
+//   * store x_i: X_C depends on x_{i+1} — Condition 1 (ii) lets x_i swap
+//     with the preceding store run only when *another store follows*. The
+//     store's entry is therefore deferred in the gate's PendingStore slot
+//     and resolved by the next access: next is a store => X_C = preceding
+//     store-run length; next is a load/other (or end of run) => X_C = 0.
+//     This yields exactly Table V: stores x3,x4 share epoch 3, store x5
+//     (followed by load x6) gets its own epoch 5.
+//   * other (critical/reduction/RMW): X_C = 0 and the run is broken.
+//
+// Replay (Fig. 5 lines 30-34): wait until next_clock >= value, run the SMA
+// region, then next_clock++. DC values are unique so entry is exclusive;
+// DE values repeat within an epoch so commuting accesses run concurrently.
+#pragma once
+
+#include "src/core/strategy.hpp"
+
+namespace reomp::core {
+
+class ClockStrategyBase : public IStrategy {
+ public:
+  ClockStrategyBase(Engine& engine, bool use_epochs);
+
+  void record_gate_in(ThreadCtx& t, GateState& g) override;
+  void record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                       AccessKind kind) override;
+  void replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
+                      AccessKind kind) override;
+  void replay_gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                       AccessKind kind) override;
+  void finalize_record(ThreadCtx& t) override;
+
+  [[nodiscard]] bool replay_allows_concurrency() const override {
+    return use_epochs_;
+  }
+
+ private:
+  /// Resolve the gate's pending store given the kind of the access that
+  /// just arrived. Caller holds the gate lock.
+  void resolve_pending(GateState& g, AccessKind current_kind);
+
+  Engine& engine_;
+  const bool use_epochs_;       // false => DC, true => DE
+  const bool write_inside_lock_;
+  const bool collect_stats_;
+  const std::uint32_t history_cap_;
+};
+
+class DcStrategy final : public ClockStrategyBase {
+ public:
+  explicit DcStrategy(Engine& engine)
+      : ClockStrategyBase(engine, /*use_epochs=*/false) {}
+};
+
+class DeStrategy final : public ClockStrategyBase {
+ public:
+  explicit DeStrategy(Engine& engine)
+      : ClockStrategyBase(engine, /*use_epochs=*/true) {}
+};
+
+}  // namespace reomp::core

@@ -1,0 +1,285 @@
+#include "src/core/engine.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "src/common/log.hpp"
+#include "src/trace/trace_dir.hpp"
+
+namespace reomp::core {
+
+namespace {
+
+trace::Manifest make_manifest(const Options& opt) {
+  trace::Manifest m;
+  m.strategy = std::string(to_string(opt.strategy));
+  m.num_threads = opt.num_threads;
+  m.extra["history_cap"] = std::to_string(opt.history_capacity);
+  return m;
+}
+
+void check_manifest(const trace::Manifest& m, const Options& opt) {
+  if (m.strategy != std::string(to_string(opt.strategy))) {
+    throw std::runtime_error("replay strategy '" +
+                             std::string(to_string(opt.strategy)) +
+                             "' does not match recorded strategy '" +
+                             m.strategy + "'");
+  }
+  if (m.num_threads != opt.num_threads) {
+    throw std::runtime_error(
+        "replay thread count " + std::to_string(opt.num_threads) +
+        " does not match recorded " + std::to_string(m.num_threads));
+  }
+}
+
+}  // namespace
+
+Engine::Engine(Options opt) : opt_(std::move(opt)) {
+  if (opt_.num_threads == 0) {
+    throw std::invalid_argument("Engine requires num_threads >= 1");
+  }
+  gates_.resize(opt_.max_gates);
+  threads_.reserve(opt_.num_threads);
+  for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+    auto ctx = std::make_unique<ThreadCtx>();
+    ctx->tid = tid;
+    threads_.push_back(std::move(ctx));
+  }
+
+  if (opt_.mode == Mode::kRecord) {
+    open_record_streams();
+  } else if (opt_.mode == Mode::kReplay) {
+    open_replay_streams();
+  }
+  if (opt_.mode != Mode::kOff) {
+    strategy_ = make_strategy(opt_.strategy, *this);
+  }
+}
+
+Engine::~Engine() {
+  try {
+    finalize();
+  } catch (const std::exception& e) {
+    // Destructors must not throw; replay-consistency failures discovered at
+    // teardown are reported but not propagated.
+    REOMP_LOG_ERROR << "finalize during destruction failed: " << e.what();
+  }
+}
+
+void Engine::open_record_streams() {
+  const bool to_file = !opt_.dir.empty();
+  if (to_file) {
+    trace::ensure_dir(opt_.dir);
+    trace::clear_dir(opt_.dir);
+  }
+  if (opt_.strategy == Strategy::kST) {
+    // Single shared file: the ST bottleneck (paper §IV-C1).
+    if (to_file) {
+      st_.sink =
+          std::make_unique<trace::FileSink>(trace::shared_file_path(opt_.dir));
+    } else {
+      auto sink = std::make_unique<trace::MemorySink>();
+      st_memory_sink_ = sink.get();
+      st_.sink = std::move(sink);
+    }
+    st_.writer = std::make_unique<trace::RecordWriter>(*st_.sink);
+    return;
+  }
+  // DC/DE: one stream per thread (paper Fig. 3-(b)).
+  memory_sinks_.assign(opt_.num_threads, nullptr);
+  for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+    ThreadCtx& t = *threads_[tid];
+    if (to_file) {
+      t.sink = std::make_unique<trace::FileSink>(
+          trace::thread_file_path(opt_.dir, tid));
+    } else {
+      auto sink = std::make_unique<trace::MemorySink>();
+      memory_sinks_[tid] = sink.get();
+      t.sink = std::move(sink);
+    }
+    t.writer = std::make_unique<trace::RecordWriter>(*t.sink);
+  }
+}
+
+void Engine::open_replay_streams() {
+  const bool from_file = !opt_.dir.empty();
+  if (from_file) {
+    auto m = trace::Manifest::load(trace::manifest_path(opt_.dir));
+    if (!m) {
+      throw std::runtime_error("cannot load record manifest from '" +
+                               opt_.dir + "'");
+    }
+    check_manifest(*m, opt_);
+  } else {
+    if (opt_.bundle == nullptr) {
+      throw std::invalid_argument(
+          "replay mode needs either a record dir or an in-memory bundle");
+    }
+    check_manifest(opt_.bundle->manifest, opt_);
+  }
+
+  if (opt_.strategy == Strategy::kST) {
+    if (from_file) {
+      st_.source = std::make_unique<trace::FileSource>(
+          trace::shared_file_path(opt_.dir));
+    } else {
+      st_.source =
+          std::make_unique<trace::MemorySource>(opt_.bundle->shared_stream);
+    }
+    st_.reader = std::make_unique<trace::RecordReader>(*st_.source);
+    return;
+  }
+  for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+    ThreadCtx& t = *threads_[tid];
+    if (from_file) {
+      t.source = std::make_unique<trace::FileSource>(
+          trace::thread_file_path(opt_.dir, tid));
+    } else {
+      t.source = std::make_unique<trace::MemorySource>(
+          opt_.bundle->thread_streams.at(tid));
+    }
+    t.reader = std::make_unique<trace::RecordReader>(*t.source);
+  }
+}
+
+GateId Engine::register_gate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const std::uint32_t n = num_gates_.load(std::memory_order_relaxed);
+  for (GateId id = 0; id < n; ++id) {
+    if (gates_[id]->name == name) return id;
+  }
+  if (n >= opt_.max_gates) {
+    throw std::runtime_error("gate table full (max_gates=" +
+                             std::to_string(opt_.max_gates) + ")");
+  }
+  auto g = std::make_unique<GateState>();
+  g->name = name;
+  gates_[n] = std::move(g);
+  // Release so a concurrently indexing gate_ref sees the fully built slot.
+  num_gates_.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+ThreadCtx& Engine::bind_thread(ThreadId tid) {
+  if (tid >= opt_.num_threads) {
+    throw std::out_of_range("thread id " + std::to_string(tid) +
+                            " >= num_threads " +
+                            std::to_string(opt_.num_threads));
+  }
+  return *threads_[tid];
+}
+
+std::uint64_t Engine::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& t : threads_) n += t->events;
+  return n;
+}
+
+void Engine::diverged(const std::string& msg) const {
+  REOMP_LOG_ERROR << "replay divergence: " << msg;
+  throw ReplayDivergence(msg);
+}
+
+void Engine::finalize() {
+  if (finalized_ || opt_.mode == Mode::kOff) {
+    finalized_ = true;
+    return;
+  }
+  if (opt_.mode == Mode::kRecord) {
+    finalize_record();
+  } else {
+    finalize_replay();
+  }
+  finalized_ = true;
+}
+
+void Engine::finalize_record() {
+  // Resolve dangling pending stores: with no subsequent access, a trailing
+  // store cannot legally swap with its predecessor (Condition 1 (ii) needs
+  // a third store), so it gets its own epoch (X_C = 0).
+  const std::uint32_t n = gate_count();
+  for (GateId id = 0; id < n; ++id) {
+    GateState& g = *gates_[id];
+    if (g.pending.active()) {
+      g.pending.entry->value = g.pending.clock;  // X_C = 0
+      if (opt_.collect_epoch_stats) g.epoch_tracker.on_epoch(g.pending.clock);
+      g.pending.entry->resolved.store(true, std::memory_order_release);
+      g.pending.clear();
+    }
+    g.epoch_tracker.flush();
+    epoch_histogram_.merge(g.epoch_tracker.histogram());
+  }
+
+  for (auto& t : threads_) {
+    if (t->writer != nullptr) {
+      t->flush_resolved();
+      if (!t->buffer.empty()) {
+        // Cannot happen: every pending store was resolved above.
+        REOMP_LOG_ERROR << "thread " << t->tid << " retains "
+                        << t->buffer.size() << " unresolved record entries";
+      }
+      t->writer->flush();
+    }
+  }
+  if (st_.writer != nullptr) st_.writer->flush();
+
+  trace::Manifest manifest = make_manifest(opt_);
+  manifest.extra["events"] = std::to_string(total_events());
+  // Persist the gate table so offline tools (tools/reomp_records) can
+  // resolve gate ids in the streams back to names.
+  manifest.extra["gates"] = std::to_string(n);
+  for (GateId id = 0; id < n; ++id) {
+    manifest.extra["gate." + std::to_string(id)] = gates_[id]->name;
+  }
+
+  if (!opt_.dir.empty()) {
+    manifest.save(trace::manifest_path(opt_.dir));
+    if (opt_.collect_epoch_stats) {
+      std::ofstream stats(opt_.dir + "/stats.txt", std::ios::trunc);
+      stats << epoch_histogram_.to_text();
+    }
+  } else {
+    bundle_out_.manifest = manifest;
+    bundle_out_.epoch_histogram = epoch_histogram_;
+    if (opt_.strategy == Strategy::kST) {
+      bundle_out_.shared_stream =
+          st_memory_sink_ != nullptr ? st_memory_sink_->take()
+                                     : std::vector<std::uint8_t>{};
+    } else {
+      bundle_out_.thread_streams.resize(opt_.num_threads);
+      for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+        if (memory_sinks_[tid] != nullptr) {
+          bundle_out_.thread_streams[tid] = memory_sinks_[tid]->take();
+        }
+      }
+    }
+  }
+}
+
+void Engine::finalize_replay() {
+  // Every recorded event must have been consumed, otherwise the replay run
+  // performed fewer gated accesses than the record run.
+  if (opt_.strategy == Strategy::kST) {
+    const std::uint64_t cur = st_.current.load(std::memory_order_acquire);
+    if (cur != StChannel::kNone && cur != StChannel::kExhausted) {
+      diverged("replay ended with an unconsumed ST record entry");
+    }
+    if (st_.reader != nullptr && st_.reader->next().has_value()) {
+      diverged("replay consumed fewer events than recorded (ST stream)");
+    }
+    return;
+  }
+  for (auto& t : threads_) {
+    if (t->reader != nullptr && t->reader->next().has_value()) {
+      diverged("thread " + std::to_string(t->tid) +
+               " consumed fewer events than recorded");
+    }
+  }
+}
+
+RecordBundle Engine::take_bundle() {
+  if (!finalized_) finalize();
+  return std::move(bundle_out_);
+}
+
+}  // namespace reomp::core

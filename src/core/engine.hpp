@@ -1,0 +1,214 @@
+// The ReOMP engine: gate registry, thread contexts, mode dispatch.
+//
+// Usage (paper Fig. 1): bracket every shared-memory-access region with
+// gate_in/gate_out, or use the sma_* wrappers for single racy loads/stores.
+//
+//   Engine eng(options);
+//   GateId g = eng.register_gate("sum-race");
+//   // per worker thread, with deterministic logical tid:
+//   ThreadCtx& ctx = eng.bind_thread(tid);
+//   eng.gate_in(ctx, g, AccessKind::kStore);
+//   <shared memory access region>
+//   eng.gate_out(ctx, g, AccessKind::kStore);
+//   // once, after the parallel work:
+//   eng.finalize();
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/spinlock.hpp"
+#include "src/core/bundle.hpp"
+#include "src/core/gate_state.hpp"
+#include "src/core/options.hpp"
+#include "src/core/strategy.hpp"
+#include "src/core/types.hpp"
+#include "src/trace/byte_io.hpp"
+#include "src/trace/record_stream.hpp"
+
+namespace reomp::core {
+
+/// Thrown when a replay run observes behaviour inconsistent with the record
+/// (wrong gate, wrong thread, more or fewer gate executions). A divergence
+/// means the application is not deterministic modulo the recorded order —
+/// e.g. an ungated race — and the record cannot drive it.
+class ReplayDivergence : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Engine {
+ public:
+  explicit Engine(Options opt);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- setup ----
+
+  /// Register a gate (idempotent per name: re-registering a name returns
+  /// the existing id). Must be called consistently across record and replay
+  /// runs; registration order defines gate ids.
+  GateId register_gate(const std::string& name);
+
+  /// Bind the calling thread to logical id `tid` (0 <= tid < num_threads).
+  /// Returns the per-thread context used by all gate calls.
+  ThreadCtx& bind_thread(ThreadId tid);
+
+  ThreadCtx& thread_ctx(ThreadId tid) { return *threads_.at(tid); }
+
+  // ---- the gate protocol (paper Figs. 4 & 5) ----
+
+  void gate_in(ThreadCtx& t, GateId gate, AccessKind kind) {
+    if (opt_.mode == Mode::kOff) return;
+    GateState& g = gate_ref(gate);
+    if (opt_.mode == Mode::kRecord) {
+      strategy_->record_gate_in(t, g);
+    } else {
+      strategy_->replay_gate_in(t, g, gate, kind);
+    }
+  }
+
+  void gate_out(ThreadCtx& t, GateId gate, AccessKind kind) {
+    if (opt_.mode == Mode::kOff) return;
+    GateState& g = gate_ref(gate);
+    if (opt_.mode == Mode::kRecord) {
+      strategy_->record_gate_out(t, g, gate, kind);
+    } else {
+      strategy_->replay_gate_out(t, g, gate, kind);
+    }
+    ++t.events;
+  }
+
+  // ---- convenience wrappers for single racy accesses ----
+  // Locations gated for Condition-1 load/store interchange must be accessed
+  // through these (they use relaxed atomics so that DE's intra-epoch
+  // concurrency is well-defined at the language level).
+
+  template <typename T>
+  T sma_load(ThreadCtx& t, GateId gate, const std::atomic<T>& loc) {
+    if (opt_.mode == Mode::kOff) return loc.load(std::memory_order_relaxed);
+    gate_in(t, gate, AccessKind::kLoad);
+    const T v = loc.load(std::memory_order_relaxed);
+    gate_out(t, gate, AccessKind::kLoad);
+    return v;
+  }
+
+  template <typename T>
+  void sma_store(ThreadCtx& t, GateId gate, std::atomic<T>& loc, T value) {
+    if (opt_.mode == Mode::kOff) {
+      loc.store(value, std::memory_order_relaxed);
+      return;
+    }
+    gate_in(t, gate, AccessKind::kStore);
+    loc.store(value, std::memory_order_relaxed);
+    gate_out(t, gate, AccessKind::kStore);
+  }
+
+  /// Read-modify-write: never epoch-parallel (Condition 1 covers only pure
+  /// loads and stores, paper §IV-D), so classified kOther.
+  template <typename T>
+  T sma_fetch_add(ThreadCtx& t, GateId gate, std::atomic<T>& loc, T delta) {
+    if (opt_.mode == Mode::kOff) {
+      return loc.fetch_add(delta, std::memory_order_relaxed);
+    }
+    gate_in(t, gate, AccessKind::kOther);
+    const T old = loc.fetch_add(delta, std::memory_order_relaxed);
+    gate_out(t, gate, AccessKind::kOther);
+    return old;
+  }
+
+  // ---- lifecycle ----
+
+  /// Flush and close all record streams / verify all replay streams were
+  /// fully consumed. Idempotent; also invoked by the destructor.
+  void finalize();
+
+  /// After finalize of an in-memory record run: the bundle a replay engine
+  /// can be constructed from.
+  RecordBundle take_bundle();
+
+  /// After finalize of a record run: epoch-size histogram (Fig. 20).
+  [[nodiscard]] const EpochHistogram& epoch_histogram() const {
+    return epoch_histogram_;
+  }
+
+  [[nodiscard]] const Options& options() const { return opt_; }
+  [[nodiscard]] Mode mode() const { return opt_.mode; }
+  [[nodiscard]] Strategy strategy() const { return opt_.strategy; }
+  [[nodiscard]] std::uint32_t gate_count() const {
+    return num_gates_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t total_events() const;
+
+  [[noreturn]] void diverged(const std::string& msg) const;
+
+  // ---- internals shared with strategies ----
+
+  /// ST shared channel: one serialized record stream (record runs) and one
+  /// global replay cursor with the Fig. 4 next_tid protocol (replay runs).
+  struct StChannel {
+    static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+    static constexpr std::uint64_t kExhausted = ~std::uint64_t{0} - 1;
+
+    static std::uint64_t pack(GateId gate, ThreadId tid) {
+      return (static_cast<std::uint64_t>(gate) << 32) | tid;
+    }
+    static GateId gate_of(std::uint64_t packed) {
+      return static_cast<GateId>(packed >> 32);
+    }
+    static ThreadId tid_of(std::uint64_t packed) {
+      return static_cast<ThreadId>(packed & 0xffffffffu);
+    }
+
+    Spinlock file_lock;  // record: serializes appends to the shared stream
+    std::unique_ptr<trace::ByteSink> sink;
+    std::unique_ptr<trace::RecordWriter> writer;
+
+    Spinlock cursor_lock;  // replay: serializes reads from the shared stream
+    std::unique_ptr<trace::ByteSource> source;
+    std::unique_ptr<trace::RecordReader> reader;
+    std::atomic<std::uint64_t> current{kNone};  // Fig. 4's next_tid
+  };
+
+  StChannel& st_channel() { return st_; }
+  GateState& gate_ref(GateId gate) {
+    if (gate >= gate_count()) {
+      throw std::out_of_range("unregistered gate id " + std::to_string(gate));
+    }
+    return *gates_[gate];
+  }
+
+ private:
+  void open_record_streams();
+  void open_replay_streams();
+  void finalize_record();
+  void finalize_replay();
+
+  Options opt_;
+  // Fixed-capacity gate table: slots preallocated so gate_ref is a plain
+  // index with no lock even while registration is still appending.
+  std::vector<std::unique_ptr<GateState>> gates_;
+  std::atomic<std::uint32_t> num_gates_{0};
+  std::mutex registry_mu_;
+
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  std::unique_ptr<IStrategy> strategy_;
+  StChannel st_;
+
+  // In-memory mode plumbing.
+  std::vector<trace::MemorySink*> memory_sinks_;  // borrowed from ThreadCtx
+  trace::MemorySink* st_memory_sink_ = nullptr;
+  RecordBundle bundle_out_;
+
+  EpochHistogram epoch_histogram_;
+  bool finalized_ = false;
+};
+
+}  // namespace reomp::core

@@ -1,0 +1,15 @@
+#include "src/core/epoch_stats.hpp"
+
+#include <sstream>
+
+namespace reomp::core {
+
+std::string EpochHistogram::to_text() const {
+  std::ostringstream os;
+  for (const auto& [size, count] : counts()) {
+    os << size << " " << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace reomp::core

@@ -1,0 +1,95 @@
+// Per-gate and per-thread runtime state shared by the strategies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/common/cacheline.hpp"
+#include "src/common/spinlock.hpp"
+#include "src/common/ticket_lock.hpp"
+#include "src/core/epoch_stats.hpp"
+#include "src/core/types.hpp"
+#include "src/trace/record_stream.hpp"
+
+namespace reomp::core {
+
+/// One record entry in a thread's write-behind buffer. A load's epoch is
+/// known immediately; a store's epoch is only known once the *next* access
+/// to the gate arrives (Condition 1 (ii) requires a store after the pair
+/// being swapped), so store entries sit unresolved until then. `resolved`
+/// is the release/acquire handoff between the resolving thread (under the
+/// gate lock) and the owning thread (flushing its own buffer, lock-free).
+struct BufferedEntry {
+  BufferedEntry(GateId g, std::uint64_t v, bool done)
+      : gate(g), value(v), resolved(done) {}
+
+  GateId gate;
+  std::uint64_t value;  // clock, epoch, or tid depending on strategy
+  std::atomic<bool> resolved;
+};
+
+/// Deferred-store slot (DE only). At most one per gate: a new access always
+/// resolves the previous pending store before creating its own entry.
+struct PendingStore {
+  BufferedEntry* entry = nullptr;  // lives in the owner's buffer deque
+  std::uint64_t clock = 0;
+  std::uint32_t run_before = 0;  // consecutive stores immediately preceding
+
+  [[nodiscard]] bool active() const { return entry != nullptr; }
+  void clear() { entry = nullptr; }
+};
+
+/// All per-gate state. Record-run fields are guarded by `lock`; replay-run
+/// fields are the lone `next_clock` cache line.
+struct GateState {
+  std::string name;
+
+  // ---- record-run state (guarded by `lock`) ----
+  // FIFO so the recorded schedule is not burst-biased (see ticket_lock.hpp).
+  TicketLock lock;
+  std::uint64_t global_clock = 0;  // paper Fig. 5 line 22
+  AccessKind run_kind = AccessKind::kOther;
+  std::uint32_t run_len = 0;  // consecutive same-kind accesses incl. newest
+  PendingStore pending;
+  EpochTracker epoch_tracker;
+
+  // ---- replay-run state ----
+  // Counts *completed* gate executions; an access with epoch e may enter
+  // once next_clock >= e (paper Fig. 5 lines 32/34).
+  CachePadded<std::atomic<std::uint64_t>> next_clock{};
+};
+
+/// Per-thread engine context. Owned by the engine, handed to the binding
+/// thread; all mutation is by the owner except BufferedEntry resolution.
+struct ThreadCtx {
+  ThreadId tid = 0;
+
+  // Record side: write-behind buffer + encoder over the thread's own sink.
+  // std::deque: stable element addresses across push_back, so PendingStore
+  // can hold a BufferedEntry* while the owner keeps appending.
+  std::deque<BufferedEntry> buffer;
+  std::unique_ptr<trace::ByteSink> sink;
+  std::unique_ptr<trace::RecordWriter> writer;
+
+  // Replay side: decoder over the thread's own source (DC/DE).
+  std::unique_ptr<trace::ByteSource> source;
+  std::unique_ptr<trace::RecordReader> reader;
+
+  std::uint64_t events = 0;  // gate executions by this thread
+
+  /// Flush the resolved prefix of the write-behind buffer to the encoder.
+  /// Called by the owning thread only (outside any gate lock unless the
+  /// write_inside_lock ablation is on).
+  void flush_resolved() {
+    while (!buffer.empty() &&
+           buffer.front().resolved.load(std::memory_order_acquire)) {
+      writer->append({buffer.front().gate, buffer.front().value});
+      buffer.pop_front();
+    }
+  }
+};
+
+}  // namespace reomp::core

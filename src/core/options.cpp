@@ -1,0 +1,31 @@
+#include "src/core/options.hpp"
+
+#include "src/common/env.hpp"
+#include "src/common/log.hpp"
+
+namespace reomp::core {
+
+Options Options::from_env(std::uint32_t num_threads) {
+  Options opt;
+  opt.num_threads = num_threads;
+  if (auto m = env_string("REOMP_MODE")) {
+    if (auto parsed = mode_from_string(*m)) {
+      opt.mode = *parsed;
+    } else {
+      REOMP_LOG_WARN << "unknown REOMP_MODE '" << *m << "', using 'off'";
+    }
+  }
+  if (auto s = env_string("REOMP_STRATEGY")) {
+    if (auto parsed = strategy_from_string(*s)) {
+      opt.strategy = *parsed;
+    } else {
+      REOMP_LOG_WARN << "unknown REOMP_STRATEGY '" << *s << "', using 'de'";
+    }
+  }
+  if (auto d = env_string("REOMP_DIR")) opt.dir = *d;
+  opt.history_capacity = static_cast<std::uint32_t>(
+      env_int("REOMP_HISTORY_CAP", opt.history_capacity));
+  return opt;
+}
+
+}  // namespace reomp::core

@@ -1,0 +1,56 @@
+// Engine configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/backoff.hpp"
+#include "src/core/types.hpp"
+
+namespace reomp::core {
+
+struct RecordBundle;  // bundle.hpp
+
+struct Options {
+  Mode mode = Mode::kOff;
+  Strategy strategy = Strategy::kDE;
+
+  /// Number of logical threads that will bind to the engine. Fixed up
+  /// front: the record-file set and the replay manifest are per-thread.
+  std::uint32_t num_threads = 1;
+
+  /// Upper bound on registered gates (gate table is preallocated so gate
+  /// lookup is a wait-free index).
+  std::uint32_t max_gates = 4096;
+
+  /// Record-file destination. Empty => in-memory bundle (tests, and
+  /// benchmark configurations isolating ordering cost from file I/O).
+  std::string dir;
+
+  /// Replay source when `dir` is empty. Not owned; must outlive the engine.
+  const RecordBundle* bundle = nullptr;
+
+  /// DE access-history window: X_C never exceeds this (the paper's
+  /// "long-enough ring buffer", §IV-D). Ablated by bench_ablation_ring.
+  std::uint32_t history_capacity = 1u << 20;
+
+  /// Replay waiter policy (ablation: spin vs yield). Pure spin is the
+  /// paper's replay loop and the right default when every thread owns a
+  /// core; switch to kSpinYield/kYield when oversubscribed.
+  Backoff::Policy wait_policy = Backoff::Policy::kSpin;
+
+  /// Ablation switch: when true, DC/DE write record entries while still
+  /// holding the gate lock, forfeiting the I/O-overlap advantage of
+  /// paper §IV-C3. Default false (paper behaviour).
+  bool write_inside_lock = false;
+
+  /// Collect the epoch-size histogram (paper Fig. 20). Cheap; on by default.
+  bool collect_epoch_stats = true;
+
+  /// Construct from REOMP_MODE / REOMP_STRATEGY / REOMP_DIR /
+  /// REOMP_HISTORY_CAP environment variables, mirroring the real tool's
+  /// env-driven mode switch (paper §V).
+  static Options from_env(std::uint32_t num_threads);
+};
+
+}  // namespace reomp::core

@@ -1,0 +1,85 @@
+#include "src/core/st_strategy.hpp"
+
+#include "src/common/backoff.hpp"
+#include "src/core/engine.hpp"
+
+namespace reomp::core {
+
+StStrategy::StStrategy(Engine& engine) : engine_(engine) {}
+
+void StStrategy::record_gate_in(ThreadCtx&, GateState& g) {
+  // Fig. 4 line 1: the whole record sequence is serialized per gate.
+  g.lock.lock();
+}
+
+void StStrategy::record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                                 AccessKind) {
+  // Fig. 4 lines 6-8: the thread-id append happens *inside* the gate lock,
+  // into the single shared file — both the serialized I/O (§IV-C1) and the
+  // missing I/O overlap (§IV-C3) that DC fixes.
+  auto& st = engine_.st_channel();
+  {
+    LockGuard<Spinlock> file(st.file_lock);
+    st.writer->append({gid, t.tid});
+  }
+  g.lock.unlock();
+}
+
+void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
+                                AccessKind) {
+  auto& st = engine_.st_channel();
+  const std::uint64_t me = Engine::StChannel::pack(gid, t.tid);
+  Backoff backoff(engine_.options().wait_policy);
+  for (;;) {
+    const std::uint64_t cur = st.current.load(std::memory_order_acquire);
+    if (cur == me) return;  // my turn (Fig. 4 line 11 exit)
+    if (cur == Engine::StChannel::kExhausted) {
+      engine_.diverged("thread " + std::to_string(t.tid) + " entered gate '" +
+                       engine_.gate_ref(gid).name +
+                       "' but the ST record is exhausted");
+    }
+    if (cur != Engine::StChannel::kNone) {
+      if (Engine::StChannel::tid_of(cur) == t.tid) {
+        // The record says this thread's next access is a different gate:
+        // the replay run's control flow no longer matches the record run.
+        engine_.diverged(
+            "thread " + std::to_string(t.tid) + " is at gate '" +
+            engine_.gate_ref(gid).name + "' but the record expects gate '" +
+            engine_.gate_ref(Engine::StChannel::gate_of(cur)).name + "'");
+      }
+      backoff.pause();
+      continue;
+    }
+    // Fig. 4 lines 12-14: cursor empty — any thread may read the next
+    // entry; all threads are candidates because nobody knows who is next
+    // until the entry is read.
+    if (st.cursor_lock.try_lock()) {
+      if (st.current.load(std::memory_order_relaxed) ==
+          Engine::StChannel::kNone) {
+        auto entry = st.reader->next();
+        st.current.store(entry ? Engine::StChannel::pack(
+                                     entry->gate,
+                                     static_cast<ThreadId>(entry->value))
+                               : Engine::StChannel::kExhausted,
+                         std::memory_order_release);
+      }
+      st.cursor_lock.unlock();
+    } else {
+      backoff.pause();
+    }
+  }
+}
+
+void StStrategy::replay_gate_out(ThreadCtx&, GateState&, GateId, AccessKind) {
+  // Fig. 4 line 17 analogue: releasing the turn is the signal to the thread
+  // that will read the next entry (inter-thread communication ST-4/ST-5).
+  engine_.st_channel().current.store(Engine::StChannel::kNone,
+                                     std::memory_order_release);
+}
+
+void StStrategy::finalize_record(ThreadCtx&) {
+  // Per-thread state: none (everything is in the shared channel, flushed by
+  // the engine).
+}
+
+}  // namespace reomp::core

@@ -1,0 +1,33 @@
+// Serialized thread-ID recording (ST) — the traditional baseline
+// (paper §IV-A, Figs. 3-(a), 4 and 6).
+//
+// Record: the SMA region, the thread-id fetch and the append to the single
+// shared record file all execute under the gate lock, serializing both the
+// region and the I/O. Replay: a single global cursor feeds Fig. 4's
+// `next_tid` protocol — all threads poll, any thread may grab the cursor
+// lock to read the next (gate, tid) entry, and only the matching thread may
+// proceed; two inter-thread communications per replayed region (Fig. 6).
+#pragma once
+
+#include "src/core/strategy.hpp"
+
+namespace reomp::core {
+
+class StStrategy final : public IStrategy {
+ public:
+  explicit StStrategy(Engine& engine);
+
+  void record_gate_in(ThreadCtx& t, GateState& g) override;
+  void record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                       AccessKind kind) override;
+  void replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
+                      AccessKind kind) override;
+  void replay_gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                       AccessKind kind) override;
+  void finalize_record(ThreadCtx& t) override;
+
+ private:
+  Engine& engine_;
+};
+
+}  // namespace reomp::core

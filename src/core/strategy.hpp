@@ -1,0 +1,48 @@
+// Strategy interface: how gate entry/exit is recorded and replayed.
+//
+// One implementation per paper scheme: StStrategy (§IV-A), DcStrategy
+// (§IV-B) and DeStrategy (§IV-D). The engine routes every gate_in/gate_out
+// through exactly one of these based on Options::strategy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/core/gate_state.hpp"
+#include "src/core/options.hpp"
+#include "src/core/types.hpp"
+
+namespace reomp::core {
+
+class Engine;
+
+class IStrategy {
+ public:
+  virtual ~IStrategy() = default;
+
+  // Record run. gate_in is called before the SMA region, gate_out after
+  // (paper Fig. 1). The SMA region executes between the two calls with the
+  // strategy's serialization in force.
+  virtual void record_gate_in(ThreadCtx& t, GateState& g) = 0;
+  virtual void record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                               AccessKind kind) = 0;
+
+  // Replay run.
+  virtual void replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
+                              AccessKind kind) = 0;
+  virtual void replay_gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                               AccessKind kind) = 0;
+
+  /// End of run: resolve any deferred state, flush buffers.
+  virtual void finalize_record(ThreadCtx& t) = 0;
+
+  /// Whether replay admits concurrency inside an epoch (DE) — used by the
+  /// engine to pick memory-safe access primitives for racy regions.
+  [[nodiscard]] virtual bool replay_allows_concurrency() const { return false; }
+};
+
+/// Factory. `engine` provides access to shared channels (the ST shared
+/// file/cursor) and options.
+std::unique_ptr<IStrategy> make_strategy(Strategy strategy, Engine& engine);
+
+}  // namespace reomp::core

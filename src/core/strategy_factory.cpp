@@ -1,0 +1,19 @@
+#include "src/core/clock_strategy.hpp"
+#include "src/core/st_strategy.hpp"
+#include "src/core/strategy.hpp"
+
+namespace reomp::core {
+
+std::unique_ptr<IStrategy> make_strategy(Strategy strategy, Engine& engine) {
+  switch (strategy) {
+    case Strategy::kST:
+      return std::make_unique<StStrategy>(engine);
+    case Strategy::kDC:
+      return std::make_unique<DcStrategy>(engine);
+    case Strategy::kDE:
+      return std::make_unique<DeStrategy>(engine);
+  }
+  return nullptr;  // unreachable; silences -Wreturn-type
+}
+
+}  // namespace reomp::core

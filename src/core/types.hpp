@@ -1,0 +1,78 @@
+// Core vocabulary types for ReOMP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace reomp::core {
+
+/// Logical thread id. Assigned deterministically by the runtime (worker k
+/// of a team gets id k) so that record and replay runs agree on identity.
+using ThreadId = std::uint32_t;
+
+/// Gate id: one gate per shared-memory-access site class — a named critical
+/// section, an atomic site, a reduction, or a race-report instance hash
+/// (paper §III). Dense small integers indexing the engine's gate table.
+using GateId = std::uint32_t;
+
+inline constexpr GateId kInvalidGate = ~GateId{0};
+
+/// Classification of the access performed inside a gate. Condition 1
+/// (paper §IV-D) applies to loads and stores only; everything else —
+/// critical sections, reductions, atomic RMW — is `kOther` and records
+/// exactly like DC even under the DE strategy.
+enum class AccessKind : std::uint8_t { kLoad = 0, kStore = 1, kOther = 2 };
+
+/// Tool mode, switched by environment variable in the real tool (paper §V).
+enum class Mode : std::uint8_t { kOff = 0, kRecord = 1, kReplay = 2 };
+
+/// Recording strategy (paper §IV).
+enum class Strategy : std::uint8_t {
+  kST = 0,  // serialized thread-id recording (traditional baseline)
+  kDC = 1,  // distributed clock recording
+  kDE = 2,  // distributed epoch recording
+};
+
+constexpr std::string_view to_string(AccessKind k) {
+  switch (k) {
+    case AccessKind::kLoad: return "load";
+    case AccessKind::kStore: return "store";
+    case AccessKind::kOther: return "other";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(Mode m) {
+  switch (m) {
+    case Mode::kOff: return "off";
+    case Mode::kRecord: return "record";
+    case Mode::kReplay: return "replay";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kST: return "st";
+    case Strategy::kDC: return "dc";
+    case Strategy::kDE: return "de";
+  }
+  return "?";
+}
+
+constexpr std::optional<Mode> mode_from_string(std::string_view s) {
+  if (s == "off") return Mode::kOff;
+  if (s == "record") return Mode::kRecord;
+  if (s == "replay") return Mode::kReplay;
+  return std::nullopt;
+}
+
+constexpr std::optional<Strategy> strategy_from_string(std::string_view s) {
+  if (s == "st") return Strategy::kST;
+  if (s == "dc") return Strategy::kDC;
+  if (s == "de") return Strategy::kDE;
+  return std::nullopt;
+}
+
+}  // namespace reomp::core

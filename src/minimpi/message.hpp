@@ -1,0 +1,58 @@
+// Message types for the in-process message-passing substrate.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace reomp::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct Status {
+  int source = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+/// POD (de)serialization helpers for typed send/recv.
+template <typename T>
+std::vector<std::uint8_t> to_bytes(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::uint8_t> out(sizeof(T));
+  std::memcpy(out.data(), &v, sizeof(T));
+  return out;
+}
+
+template <typename T>
+T from_bytes(const std::vector<std::uint8_t>& bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  std::memcpy(&v, bytes.data(), std::min(sizeof(T), bytes.size()));
+  return v;
+}
+
+template <typename T>
+std::vector<std::uint8_t> vec_to_bytes(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::uint8_t> out(v.size() * sizeof(T));
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+template <typename T>
+std::vector<T> vec_from_bytes(const std::vector<std::uint8_t>& bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<T> v(bytes.size() / sizeof(T));
+  std::memcpy(v.data(), bytes.data(), v.size() * sizeof(T));
+  return v;
+}
+
+}  // namespace reomp::mpi

@@ -1,0 +1,101 @@
+#include "src/minimpi/rempi.hpp"
+
+#include "src/trace/trace_dir.hpp"
+
+namespace reomp::mpi {
+
+namespace {
+// Matches pack into one RecordEntry: gate <- source+1 (so ANY encodings
+// never appear), value <- tag (zigzagged by the stream codec anyway).
+trace::RecordEntry encode(const MatchRecord& m) {
+  return {static_cast<std::uint32_t>(m.source + 1),
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(m.tag))};
+}
+
+MatchRecord decode(const trace::RecordEntry& e) {
+  return {static_cast<int>(e.gate) - 1,
+          static_cast<int>(static_cast<std::int64_t>(e.value))};
+}
+}  // namespace
+
+std::string RempiRecorder::rank_file_path(const std::string& dir, int rank) {
+  return dir + "/rank" + std::to_string(rank) + ".rempi";
+}
+
+RempiRecorder::RempiRecorder(core::Mode mode, int num_ranks, std::string dir,
+                             const RempiBundle* bundle)
+    : mode_(mode), dir_(std::move(dir)) {
+  ranks_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    ranks_.push_back(std::make_unique<RankChannel>());
+  }
+  if (mode_ == core::Mode::kOff) return;
+
+  const bool use_files = !dir_.empty();
+  if (use_files && mode_ == core::Mode::kRecord) trace::ensure_dir(dir_);
+
+  for (int r = 0; r < num_ranks; ++r) {
+    RankChannel& ch = *ranks_[r];
+    if (mode_ == core::Mode::kRecord) {
+      if (use_files) {
+        ch.sink = std::make_unique<trace::FileSink>(rank_file_path(dir_, r));
+      } else {
+        auto sink = std::make_unique<trace::MemorySink>();
+        ch.memory_sink = sink.get();
+        ch.sink = std::move(sink);
+      }
+      ch.writer = std::make_unique<trace::RecordWriter>(*ch.sink);
+    } else {  // replay
+      if (use_files) {
+        ch.source =
+            std::make_unique<trace::FileSource>(rank_file_path(dir_, r));
+      } else {
+        if (bundle == nullptr) {
+          throw std::invalid_argument(
+              "rempi replay needs a dir or an in-memory bundle");
+        }
+        ch.source = std::make_unique<trace::MemorySource>(
+            bundle->rank_streams.at(static_cast<std::size_t>(r)));
+      }
+      ch.reader = std::make_unique<trace::RecordReader>(*ch.source);
+    }
+  }
+}
+
+void RempiRecorder::record_match(int rank, const MatchRecord& m) {
+  RankChannel& ch = *ranks_.at(static_cast<std::size_t>(rank));
+  std::lock_guard<std::mutex> lock(ch.mu);
+  ch.writer->append(encode(m));
+}
+
+std::optional<MatchRecord> RempiRecorder::next_match(int rank) {
+  RankChannel& ch = *ranks_.at(static_cast<std::size_t>(rank));
+  std::lock_guard<std::mutex> lock(ch.mu);
+  auto e = ch.reader->next();
+  if (!e) return std::nullopt;
+  return decode(*e);
+}
+
+void RempiRecorder::finalize() {
+  if (finalized_ || mode_ != core::Mode::kRecord) {
+    finalized_ = true;
+    return;
+  }
+  bundle_out_.rank_streams.resize(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    RankChannel& ch = *ranks_[r];
+    std::lock_guard<std::mutex> lock(ch.mu);
+    if (ch.writer != nullptr) ch.writer->flush();
+    if (ch.memory_sink != nullptr) {
+      bundle_out_.rank_streams[r] = ch.memory_sink->take();
+    }
+  }
+  finalized_ = true;
+}
+
+RempiBundle RempiRecorder::take_bundle() {
+  if (!finalized_) finalize();
+  return std::move(bundle_out_);
+}
+
+}  // namespace reomp::mpi

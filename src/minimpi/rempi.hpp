@@ -1,0 +1,73 @@
+// ReMPI-style message-match recording (Sato et al., SC'15; paper §VI-C).
+//
+// The only MPI-level nondeterminism in this substrate is *matching*: which
+// queued message a wildcard receive (ANY_SOURCE / ANY_TAG) picks. The
+// recorder logs, per rank, the (source, tag) sequence of matches; replay
+// mode forces each wildcard receive to wait for exactly the recorded
+// message. Per-rank streams keep the design MPI-scale independent — no
+// cross-rank coordination, mirroring ReOMP's per-thread files.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/types.hpp"
+#include "src/trace/byte_io.hpp"
+#include "src/trace/record_stream.hpp"
+
+namespace reomp::mpi {
+
+/// One recorded match.
+struct MatchRecord {
+  int source = 0;
+  int tag = 0;
+};
+
+/// In-memory per-rank match traces (the bundle analogue).
+struct RempiBundle {
+  std::vector<std::vector<std::uint8_t>> rank_streams;
+};
+
+class RempiRecorder {
+ public:
+  /// mode off: pass-through. record: write matches. replay: serve matches.
+  /// `dir` empty => in-memory via `bundle` (replay) / take_bundle (record).
+  RempiRecorder(core::Mode mode, int num_ranks, std::string dir,
+                const RempiBundle* bundle = nullptr);
+
+  [[nodiscard]] core::Mode mode() const { return mode_; }
+
+  /// Record one wildcard match on `rank`.
+  void record_match(int rank, const MatchRecord& m);
+
+  /// Replay: the next match `rank` must accept, or nullopt when the stream
+  /// is exhausted (divergence — replay run receives more than recorded).
+  std::optional<MatchRecord> next_match(int rank);
+
+  void finalize();
+  RempiBundle take_bundle();
+
+  static std::string rank_file_path(const std::string& dir, int rank);
+
+ private:
+  struct RankChannel {
+    std::mutex mu;  // a rank's threads may share the channel
+    std::unique_ptr<trace::ByteSink> sink;
+    std::unique_ptr<trace::RecordWriter> writer;
+    std::unique_ptr<trace::ByteSource> source;
+    std::unique_ptr<trace::RecordReader> reader;
+    trace::MemorySink* memory_sink = nullptr;  // borrowed
+  };
+
+  core::Mode mode_;
+  std::string dir_;
+  std::vector<std::unique_ptr<RankChannel>> ranks_;
+  RempiBundle bundle_out_;
+  bool finalized_ = false;
+};
+
+}  // namespace reomp::mpi

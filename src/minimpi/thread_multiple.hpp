@@ -1,0 +1,43 @@
+// MPI_THREAD_MULTIPLE support (paper §VI-C).
+//
+// When several OpenMP threads of one rank issue wildcard receives on the
+// same communicator, run-to-run nondeterminism has two coupled layers:
+// *which queued message* a receive matches (recorded by the ReMPI layer),
+// and *which thread* performs each receive (thread scheduling). The paper
+// closes the gap by bracketing MPI receive/wait/test/probe calls with
+// gate_in/gate_out; this header provides that composition: a gated receive
+// whose gate (kOther) records the per-rank thread order of receive calls,
+// while the world's RempiRecorder records the match order. Replaying both
+// reproduces exactly which thread got which message.
+#pragma once
+
+#include "src/minimpi/world.hpp"
+#include "src/romp/team.hpp"
+
+namespace reomp::mpi {
+
+/// Blocking receive callable concurrently from any thread of the rank's
+/// team. `h` must be a handle registered on the rank's team (one per
+/// communicator is the natural choice, mirroring one lock ID per MPI call
+/// site).
+inline Status recv_gated(Comm& comm, romp::Team& team, romp::WorkerCtx& w,
+                         romp::Handle h, int source, int tag,
+                         std::vector<std::uint8_t>& payload) {
+  Status status;
+  // The gate serializes the rank's concurrent receive calls and records
+  // their thread order; the receive itself is ReMPI-recorded.
+  team.critical(w, h, [&] { status = comm.recv(source, tag, payload); });
+  return status;
+}
+
+template <typename T>
+T recv_value_gated(Comm& comm, romp::Team& team, romp::WorkerCtx& w,
+                   romp::Handle h, int source, int tag,
+                   Status* status = nullptr) {
+  std::vector<std::uint8_t> bytes;
+  Status s = recv_gated(comm, team, w, h, source, tag, bytes);
+  if (status != nullptr) *status = s;
+  return from_bytes<T>(bytes);
+}
+
+}  // namespace reomp::mpi

@@ -1,0 +1,179 @@
+#include "src/minimpi/world.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace reomp::mpi {
+
+World::World(WorldOptions opt)
+    : opt_(std::move(opt)),
+      recorder_(opt_.record, opt_.num_ranks, opt_.dir, opt_.bundle) {
+  if (opt_.num_ranks < 1) {
+    throw std::invalid_argument("World requires num_ranks >= 1");
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(opt_.num_ranks));
+  for (int r = 0; r < opt_.num_ranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Comm::send(int dest, int tag, std::vector<std::uint8_t> payload) {
+  if (dest < 0 || dest >= size()) {
+    throw std::out_of_range("send to invalid rank " + std::to_string(dest));
+  }
+  auto& box = *world_.mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(Message{rank_, tag, std::move(payload)});
+  }
+  box.cv.notify_all();
+}
+
+namespace {
+bool matches(const Message& m, int source, int tag) {
+  return (source == kAnySource || m.source == source) &&
+         (tag == kAnyTag || m.tag == tag);
+}
+}  // namespace
+
+Message Comm::take_exact(int source, int tag) {
+  auto& box = *world_.mailboxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->source == source && it->tag == tag) {
+        Message m = std::move(*it);
+        box.queue.erase(it);
+        return m;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+Message Comm::take_wildcard(int source, int tag) {
+  auto& box = *world_.mailboxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    // Arrival order: scan from the front; whichever matching message got
+    // here first wins. This is the run-to-run nondeterminism ReMPI records.
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        box.queue.erase(it);
+        return m;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+Status Comm::recv(int source, int tag, std::vector<std::uint8_t>& payload) {
+  const bool wildcard = source == kAnySource || tag == kAnyTag;
+  Message m;
+  if (!wildcard) {
+    // Deterministic receive: per-pair FIFO needs no recording.
+    m = take_exact(source, tag);
+  } else {
+    switch (world_.recorder_.mode()) {
+      case core::Mode::kOff:
+        m = take_wildcard(source, tag);
+        break;
+      case core::Mode::kRecord:
+        m = take_wildcard(source, tag);
+        world_.recorder_.record_match(rank_, {m.source, m.tag});
+        break;
+      case core::Mode::kReplay: {
+        auto rec = world_.recorder_.next_match(rank_);
+        if (!rec) {
+          throw std::runtime_error(
+              "rempi replay divergence: rank " + std::to_string(rank_) +
+              " issued more wildcard receives than recorded");
+        }
+        if (!((source == kAnySource || rec->source == source) &&
+              (tag == kAnyTag || rec->tag == tag))) {
+          throw std::runtime_error(
+              "rempi replay divergence: recorded match (source=" +
+              std::to_string(rec->source) + ", tag=" +
+              std::to_string(rec->tag) + ") does not satisfy receive (" +
+              std::to_string(source) + ", " + std::to_string(tag) + ")");
+        }
+        // Force the recorded match even if other messages arrived first.
+        m = take_exact(rec->source, rec->tag);
+        break;
+      }
+    }
+  }
+  Status s{m.source, m.tag, m.payload.size()};
+  payload = std::move(m.payload);
+  return s;
+}
+
+void Comm::barrier() {
+  auto& b = world_.barrier_;
+  std::unique_lock<std::mutex> lock(b.mu);
+  const std::uint64_t phase = b.phase;
+  if (++b.arrived == size()) {
+    b.arrived = 0;
+    ++b.phase;
+    b.cv.notify_all();
+  } else {
+    b.cv.wait(lock, [&] { return b.phase != phase; });
+  }
+}
+
+double Comm::allreduce_sum(double local) {
+  if (size() == 1) return local;
+  if (rank_ == 0) {
+    double total = local;
+    for (int i = 1; i < size(); ++i) {
+      // Arrival order changes FP rounding: the recorded nondeterminism.
+      total += recv_value<double>(kAnySource, kReduceTag);
+    }
+    return bcast(total, 0);
+  }
+  send_value(0, kReduceTag, local);
+  return bcast(0.0, 0);
+}
+
+std::vector<double> Comm::allreduce_sum(const std::vector<double>& local) {
+  if (size() == 1) return local;
+  if (rank_ == 0) {
+    std::vector<double> total = local;
+    for (int i = 1; i < size(); ++i) {
+      const auto part = recv_vec<double>(kAnySource, kReduceTag);
+      if (part.size() != total.size()) {
+        throw std::runtime_error("allreduce_sum: mismatched vector sizes");
+      }
+      for (std::size_t k = 0; k < total.size(); ++k) total[k] += part[k];
+    }
+    for (int r = 1; r < size(); ++r) send_vec(r, kBcastTag, total);
+    return total;
+  }
+  send_vec(0, kReduceTag, local);
+  return recv_vec<double>(0, kBcastTag);
+}
+
+void run_world(World& world, const std::function<void(Comm&)>& body) {
+  std::vector<std::thread> threads;
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  threads.reserve(static_cast<std::size_t>(world.size()));
+  for (int r = 0; r < world.size(); ++r) {
+    threads.emplace_back([&world, &body, &error_mu, &first_error, r] {
+      try {
+        Comm comm(world, r);
+        body(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  world.finalize();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace reomp::mpi

@@ -1,0 +1,158 @@
+// minimpi: an in-process message-passing substrate.
+//
+// Substitutes for MPI in the paper's ReMPI+ReOMP case study (§VI-C): ranks
+// are threads of one process, point-to-point messages flow through per-rank
+// mailboxes, and wildcard receives (ANY_SOURCE/ANY_TAG) match in genuine
+// arrival order — the same nondeterminism class ReMPI records on a real
+// machine. Collective reductions accumulate contributions in arrival order,
+// so floating-point results differ run to run until replayed.
+//
+//   mpi::World world({.num_ranks = 4, .record = core::Mode::kRecord, ...});
+//   mpi::run_world(world, [&](mpi::Comm& comm) { ... });
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/types.hpp"
+#include "src/minimpi/message.hpp"
+#include "src/minimpi/rempi.hpp"
+
+namespace reomp::mpi {
+
+class Comm;
+
+struct WorldOptions {
+  int num_ranks = 1;
+  /// ReMPI recording mode for wildcard matches and reduction order.
+  core::Mode record = core::Mode::kOff;
+  /// Record directory ("" => in-memory bundle).
+  std::string dir;
+  /// Replay source when dir is empty.
+  const RempiBundle* bundle = nullptr;
+};
+
+class World {
+ public:
+  explicit World(WorldOptions opt);
+
+  [[nodiscard]] int size() const { return opt_.num_ranks; }
+  RempiRecorder& recorder() { return recorder_; }
+
+  void finalize() { recorder_.finalize(); }
+  RempiBundle take_bundle() { return recorder_.take_bundle(); }
+
+ private:
+  friend class Comm;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  struct BarrierState {
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::uint64_t phase = 0;
+  };
+
+  WorldOptions opt_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  BarrierState barrier_;
+  RempiRecorder recorder_;
+};
+
+/// Per-rank communicator handle (analogous to MPI_COMM_WORLD seen from one
+/// rank). Thread-compatible: a rank's OpenMP threads may share it when the
+/// caller serializes or gates the calls (the MPI_THREAD_MULTIPLE case).
+class Comm {
+ public:
+  Comm(World& world, int rank) : world_(world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return world_.size(); }
+
+  // ---- point to point ----
+
+  void send(int dest, int tag, std::vector<std::uint8_t> payload);
+
+  /// Blocking receive. `source`/`tag` may be kAnySource/kAnyTag; wildcard
+  /// matches are recorded/replayed through the world's RempiRecorder.
+  Status recv(int source, int tag, std::vector<std::uint8_t>& payload);
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    send(dest, tag, to_bytes(v));
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag, Status* status = nullptr) {
+    std::vector<std::uint8_t> bytes;
+    Status s = recv(source, tag, bytes);
+    if (status != nullptr) *status = s;
+    return from_bytes<T>(bytes);
+  }
+
+  template <typename T>
+  void send_vec(int dest, int tag, const std::vector<T>& v) {
+    send(dest, tag, vec_to_bytes(v));
+  }
+
+  template <typename T>
+  std::vector<T> recv_vec(int source, int tag, Status* status = nullptr) {
+    std::vector<std::uint8_t> bytes;
+    Status s = recv(source, tag, bytes);
+    if (status != nullptr) *status = s;
+    return vec_from_bytes<T>(bytes);
+  }
+
+  // ---- collectives ----
+
+  void barrier();
+
+  /// Arrival-order sum-allreduce: non-roots send partials to rank 0, which
+  /// accumulates them *in the order they arrive* (wildcard receive — the
+  /// recorded nondeterminism), then broadcasts the total.
+  double allreduce_sum(double local);
+
+  /// Element-wise arrival-order sum-allreduce over a vector.
+  std::vector<double> allreduce_sum(const std::vector<double>& local);
+
+  template <typename T>
+  T bcast(T v, int root) {
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        if (r != root) send_value(r, kBcastTag, v);
+      }
+      return v;
+    }
+    return recv_value<T>(root, kBcastTag);
+  }
+
+ private:
+  static constexpr int kReduceTag = 0x7e00;
+  static constexpr int kBcastTag = 0x7e01;
+
+  /// Dequeue the first message matching (source, tag) — exact values, no
+  /// wildcards. Blocks until present.
+  Message take_exact(int source, int tag);
+  /// Dequeue the first queued message matching wildcards in arrival order.
+  Message take_wildcard(int source, int tag);
+
+  World& world_;
+  int rank_;
+};
+
+/// Spawn one thread per rank running `body(comm)`, join all, finalize the
+/// recorder. Exceptions from ranks are rethrown (first one wins).
+void run_world(World& world, const std::function<void(Comm&)>& body);
+
+}  // namespace reomp::mpi

@@ -1,0 +1,115 @@
+#include "src/race/detector.hpp"
+
+namespace reomp::race {
+
+Detector::Detector(std::uint32_t num_threads, SiteRegistry& sites)
+    : sites_(sites), threads_(num_threads) {
+  for (std::uint32_t t = 0; t < num_threads; ++t) {
+    threads_[t] = VectorClock(num_threads);
+    // Start each thread at clock 1 so the zero epoch means "never accessed".
+    threads_[t].tick(t);
+  }
+}
+
+void Detector::record_race(SiteId a, SiteId b) {
+  LockGuard<Spinlock> lock(report_mu_);
+  report_.add(sites_.name(a), sites_.name(b));
+  ++race_count_;
+}
+
+Detector::LockState& Detector::lock_state(std::uint64_t lock_id) {
+  // Caller must hold locks_mu_.
+  return locks_[lock_id];
+}
+
+void Detector::on_read(std::uint32_t tid, std::uintptr_t addr, SiteId site) {
+  const VectorClock& ct = threads_[tid];
+  shadow_.with(addr, [&](VarState& v) {
+    // write-read race: the last write is not ordered before this read.
+    if (!ct.covers(v.write)) record_race(v.write_site, site);
+
+    if (v.read_shared) {
+      v.read_vc.set(tid, ct.get(tid));
+    } else if (v.read.is_zero() || v.read.tid() == tid ||
+               ct.covers(v.read)) {
+      // Reads stay totally ordered: keep the cheap scalar representation.
+      v.read = Epoch(tid, ct.get(tid));
+      v.read_site = site;
+    } else {
+      // Concurrent readers: inflate to a vector clock (FastTrack's
+      // read-share transition).
+      v.read_shared = true;
+      v.read_vc = VectorClock(static_cast<std::uint32_t>(threads_.size()));
+      v.read_vc.set(v.read.tid(), v.read.clock());
+      v.read_vc.set(tid, ct.get(tid));
+    }
+  });
+}
+
+void Detector::on_write(std::uint32_t tid, std::uintptr_t addr, SiteId site) {
+  const VectorClock& ct = threads_[tid];
+  shadow_.with(addr, [&](VarState& v) {
+    // write-write race.
+    if (!ct.covers(v.write)) record_race(v.write_site, site);
+    // read-write race.
+    if (v.read_shared) {
+      if (!ct.covers(v.read_vc)) record_race(v.read_site, site);
+    } else if (!v.read.is_zero() && !ct.covers(v.read)) {
+      record_race(v.read_site, site);
+    }
+    v.write = Epoch(tid, ct.get(tid));
+    v.write_site = site;
+    // FastTrack: a write subsumes prior reads.
+    v.read = Epoch();
+    v.read_shared = false;
+    v.read_vc = VectorClock();
+  });
+}
+
+void Detector::on_acquire(std::uint32_t tid, std::uint64_t lock_id) {
+  LockGuard<Spinlock> lock(locks_mu_);
+  threads_[tid].join(lock_state(lock_id).clock);
+}
+
+void Detector::on_release(std::uint32_t tid, std::uint64_t lock_id) {
+  LockGuard<Spinlock> lock(locks_mu_);
+  lock_state(lock_id).clock = threads_[tid];
+  threads_[tid].tick(tid);
+}
+
+void Detector::on_barrier() {
+  // Callers guarantee all other threads are parked at the barrier, but take
+  // the lock anyway so the operation is safe under misuse.
+  LockGuard<Spinlock> lock(threads_mu_);
+  VectorClock all(static_cast<std::uint32_t>(threads_.size()));
+  for (const auto& c : threads_) all.join(c);
+  for (std::uint32_t t = 0; t < threads_.size(); ++t) {
+    threads_[t] = all;
+    threads_[t].tick(t);
+  }
+}
+
+void Detector::on_fork(std::uint32_t parent, std::uint32_t child) {
+  LockGuard<Spinlock> lock(threads_mu_);
+  threads_[child].join(threads_[parent]);
+  threads_[child].tick(child);
+  threads_[parent].tick(parent);
+}
+
+void Detector::on_join(std::uint32_t parent, std::uint32_t child) {
+  LockGuard<Spinlock> lock(threads_mu_);
+  threads_[parent].join(threads_[child]);
+  threads_[parent].tick(parent);
+}
+
+RaceReport Detector::report() const {
+  LockGuard<Spinlock> lock(report_mu_);
+  return report_;
+}
+
+std::uint64_t Detector::races_observed() const {
+  LockGuard<Spinlock> lock(report_mu_);
+  return race_count_;
+}
+
+}  // namespace reomp::race

@@ -1,0 +1,76 @@
+// Happens-before data-race detector (FastTrack-style).
+//
+// Stands in for the paper's Tsan step (Fig. 2 step (1)): the application is
+// run once with the detector attached to the same instrumentation hooks the
+// record/replay engine uses; detected races are emitted as a RaceReport
+// whose site groups become replay gates.
+//
+// Synchronization model:
+//   * locks (critical sections / named mutexes): acquire joins the lock's
+//     clock into the thread; release publishes the thread's clock and ticks
+//   * atomics: modelled as a lock keyed by the atomic's site (RMW on the
+//     same counter synchronizes, so concurrent `omp atomic` updates are not
+//     reported — matching Tsan's treatment of C++ atomics)
+//   * barriers / fork / join: all-to-all or pairwise clock joins
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/spinlock.hpp"
+#include "src/race/report.hpp"
+#include "src/race/shadow.hpp"
+#include "src/race/site.hpp"
+#include "src/race/vclock.hpp"
+
+namespace reomp::race {
+
+class Detector {
+ public:
+  Detector(std::uint32_t num_threads, SiteRegistry& sites);
+
+  // ---- memory accesses ----
+  void on_read(std::uint32_t tid, std::uintptr_t addr, SiteId site);
+  void on_write(std::uint32_t tid, std::uintptr_t addr, SiteId site);
+
+  // ---- synchronization ----
+  void on_acquire(std::uint32_t tid, std::uint64_t lock_id);
+  void on_release(std::uint32_t tid, std::uint64_t lock_id);
+  /// All-to-all: every thread's clock joins every other's (team barrier).
+  void on_barrier();
+  /// Pairwise: child starts with parent's clock (fork), parent joins the
+  /// child's clock (join).
+  void on_fork(std::uint32_t parent, std::uint32_t child);
+  void on_join(std::uint32_t parent, std::uint32_t child);
+
+  /// Snapshot of everything found so far. Thread-safe.
+  [[nodiscard]] RaceReport report() const;
+
+  [[nodiscard]] std::uint64_t races_observed() const;
+  [[nodiscard]] std::uint32_t num_threads() const {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+
+ private:
+  struct LockState {
+    VectorClock clock;
+  };
+
+  void record_race(SiteId a, SiteId b);
+  LockState& lock_state(std::uint64_t lock_id);
+
+  SiteRegistry& sites_;
+  std::vector<VectorClock> threads_;  // C_t; index = logical tid
+  mutable Spinlock threads_mu_;       // guards barrier/fork/join vs accesses
+
+  Spinlock locks_mu_;
+  std::unordered_map<std::uint64_t, LockState> locks_;
+
+  ShadowMemory shadow_;
+
+  mutable Spinlock report_mu_;
+  RaceReport report_;
+  std::uint64_t race_count_ = 0;
+};
+
+}  // namespace reomp::race

@@ -1,0 +1,119 @@
+#include "src/race/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/hash.hpp"
+
+namespace reomp::race {
+
+void RaceReport::add(const std::string& site_a, const std::string& site_b) {
+  const std::string& lo = std::min(site_a, site_b);
+  const std::string& hi = std::max(site_a, site_b);
+  for (auto& p : pairs_) {
+    if (p.site_a == lo && p.site_b == hi) {
+      ++p.count;
+      return;
+    }
+  }
+  pairs_.push_back({lo, hi, 1});
+}
+
+std::string RaceReport::to_text() const {
+  std::ostringstream os;
+  os << "# reomp race report v1\n";
+  for (const auto& p : pairs_) {
+    os << p.site_a << "\t" << p.site_b << "\t" << p.count << "\n";
+  }
+  return os.str();
+}
+
+std::optional<RaceReport> RaceReport::from_text(const std::string& text) {
+  RaceReport r;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto t1 = line.find('\t');
+    const auto t2 = line.find('\t', t1 + 1);
+    if (t1 == std::string::npos || t2 == std::string::npos) {
+      return std::nullopt;
+    }
+    RacePair p;
+    p.site_a = line.substr(0, t1);
+    p.site_b = line.substr(t1 + 1, t2 - t1 - 1);
+    p.count = std::stoull(line.substr(t2 + 1));
+    r.pairs_.push_back(std::move(p));
+  }
+  return r;
+}
+
+void RaceReport::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot write race report: " + path);
+  f << to_text();
+}
+
+std::optional<RaceReport> RaceReport::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return from_text(os.str());
+}
+
+namespace {
+
+/// Tiny union-find over site names.
+class UnionFind {
+ public:
+  std::string find(const std::string& x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    if (it->second == x) return x;
+    const std::string root = find(it->second);
+    parent_[x] = root;
+    return root;
+  }
+
+  void unite(const std::string& a, const std::string& b) {
+    const std::string ra = find(a);
+    const std::string rb = find(b);
+    if (ra != rb) parent_[std::max(ra, rb)] = std::min(ra, rb);
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+}  // namespace
+
+InstrumentPlan InstrumentPlan::from_report(const RaceReport& report) {
+  UnionFind uf;
+  for (const auto& p : report.pairs()) uf.unite(p.site_a, p.site_b);
+
+  InstrumentPlan plan;
+  for (const auto& p : report.pairs()) {
+    for (const std::string* site : {&p.site_a, &p.site_b}) {
+      const std::string root = uf.find(*site);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "race:%016llx",
+                    static_cast<unsigned long long>(fnv1a(root)));
+      plan.gate_[*site] = buf;
+    }
+  }
+  return plan;
+}
+
+std::optional<std::string> InstrumentPlan::gate_for(
+    const std::string& site) const {
+  auto it = gate_.find(site);
+  if (it == gate_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace reomp::race

@@ -1,0 +1,64 @@
+// Race report: output of the detection run, input to the instrumentation
+// step (paper Fig. 2 steps (1)->(2)).
+//
+// Each detected race is a pair of sites. For replay, every group of sites
+// that (transitively) race with each other must share one gate — the same
+// "thread lock ID" the paper derives by hashing — so the plan computes
+// connected components over the race pairs with union-find.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/race/site.hpp"
+
+namespace reomp::race {
+
+struct RacePair {
+  std::string site_a;  // names, not ids: the report outlives registries
+  std::string site_b;
+  std::uint64_t count = 0;  // occurrences observed during detection
+
+  friend bool operator==(const RacePair&, const RacePair&) = default;
+};
+
+class RaceReport {
+ public:
+  /// Record one race occurrence (order-insensitive: (a,b) == (b,a)).
+  void add(const std::string& site_a, const std::string& site_b);
+
+  [[nodiscard]] const std::vector<RacePair>& pairs() const { return pairs_; }
+  [[nodiscard]] bool empty() const { return pairs_.empty(); }
+
+  [[nodiscard]] std::string to_text() const;
+  static std::optional<RaceReport> from_text(const std::string& text);
+
+  void save(const std::string& path) const;
+  static std::optional<RaceReport> load(const std::string& path);
+
+ private:
+  std::vector<RacePair> pairs_;
+};
+
+/// Instrumentation plan: racy site name -> gate name. Sites in the same
+/// race component map to the same gate name ("race:<hex hash>"), mirroring
+/// the paper's hash-derived lock IDs.
+class InstrumentPlan {
+ public:
+  static InstrumentPlan from_report(const RaceReport& report);
+
+  /// Gate name for `site`, or nullopt when the site is race-free (no gate
+  /// needed — replay ignores it).
+  [[nodiscard]] std::optional<std::string> gate_for(
+      const std::string& site) const;
+
+  [[nodiscard]] std::size_t gated_site_count() const { return gate_.size(); }
+
+ private:
+  std::map<std::string, std::string> gate_;
+};
+
+}  // namespace reomp::race

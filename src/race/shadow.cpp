@@ -1,0 +1,28 @@
+#include "src/race/shadow.hpp"
+
+namespace reomp::race {
+
+namespace {
+std::uint32_t round_up_pow2(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+ShadowMemory::ShadowMemory(std::uint32_t shard_count) {
+  const std::uint32_t n = round_up_pow2(shard_count == 0 ? 1 : shard_count);
+  shards_ = std::make_unique<Shard[]>(n);
+  mask_ = n - 1;
+}
+
+std::size_t ShadowMemory::tracked_variables() const {
+  std::size_t n = 0;
+  for (std::uint32_t i = 0; i <= mask_; ++i) {
+    LockGuard<Spinlock> lock(shards_[i].lock);
+    n += shards_[i].vars.size();
+  }
+  return n;
+}
+
+}  // namespace reomp::race

@@ -1,0 +1,62 @@
+// Sharded shadow memory: address -> per-variable race-detection state.
+//
+// FastTrack's adaptive representation: a variable tracks its last write as
+// a scalar epoch and its reads either as a scalar epoch (the common,
+// totally-ordered case) or as a full vector clock once concurrent readers
+// are observed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/spinlock.hpp"
+#include "src/race/site.hpp"
+#include "src/race/vclock.hpp"
+
+namespace reomp::race {
+
+struct VarState {
+  Epoch write;              // last write
+  SiteId write_site = kInvalidSite;
+  Epoch read;               // last read (valid while !read_shared)
+  SiteId read_site = kInvalidSite;
+  bool read_shared = false;
+  VectorClock read_vc;      // valid while read_shared
+};
+
+/// Address-keyed shard table. Locking is per shard; accesses to distinct
+/// variables proceed in parallel, matching how the detector is exercised
+/// (many variables, few collisions).
+class ShadowMemory {
+ public:
+  explicit ShadowMemory(std::uint32_t shard_count = 64);
+
+  /// Run `fn(VarState&)` with the shard lock held.
+  template <typename Fn>
+  void with(std::uintptr_t addr, Fn&& fn) {
+    Shard& s = shard(addr);
+    LockGuard<Spinlock> lock(s.lock);
+    fn(s.vars[addr]);
+  }
+
+  /// Number of tracked variables (diagnostics/tests).
+  [[nodiscard]] std::size_t tracked_variables() const;
+
+ private:
+  struct Shard {
+    Spinlock lock;
+    std::unordered_map<std::uintptr_t, VarState> vars;
+  };
+
+  Shard& shard(std::uintptr_t addr) {
+    // Mix the low bits (variables are word-aligned, so >>3 first).
+    const std::uint64_t h = (addr >> 3) * 0x9e3779b97f4a7c15ULL;
+    return shards_[(h >> 32) & mask_];
+  }
+
+  std::unique_ptr<Shard[]> shards_;
+  std::uint32_t mask_;
+};
+
+}  // namespace reomp::race

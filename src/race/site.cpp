@@ -1,0 +1,29 @@
+#include "src/race/site.hpp"
+
+#include <stdexcept>
+
+namespace reomp::race {
+
+SiteId SiteRegistry::intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SiteId id = 0; id < names_.size(); ++id) {
+    if (names_[id] == name) return id;
+  }
+  names_.push_back(name);
+  return static_cast<SiteId>(names_.size() - 1);
+}
+
+std::string SiteRegistry::name(SiteId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= names_.size()) {
+    throw std::out_of_range("unknown site id " + std::to_string(id));
+  }
+  return names_[id];
+}
+
+std::uint32_t SiteRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::uint32_t>(names_.size());
+}
+
+}  // namespace reomp::race

@@ -1,0 +1,33 @@
+// Access-site registry.
+//
+// A *site* stands in for the (function, file, line, column) tuple the
+// paper's Tsan step captures (§III); applications register a stable name
+// per instrumented source location and pass the returned SiteId with every
+// access. Site names hash into gate lock IDs exactly as the paper hashes
+// call-stack information.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace reomp::race {
+
+using SiteId = std::uint32_t;
+inline constexpr SiteId kInvalidSite = ~SiteId{0};
+
+class SiteRegistry {
+ public:
+  /// Register (idempotent by name). Thread-safe.
+  SiteId intern(const std::string& name);
+
+  [[nodiscard]] std::string name(SiteId id) const;
+  [[nodiscard]] std::uint32_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace reomp::race

@@ -1,0 +1,97 @@
+// Vector clocks for the happens-before race detector.
+//
+// Thread count is fixed at detector construction, so clocks are plain
+// fixed-length vectors; epochs (tid, clock) pack into one word as in
+// FastTrack (Flanagan & Freund, PLDI'09).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace reomp::race {
+
+/// Packed scalar epoch: top 8 bits tid, low 56 bits clock component.
+class Epoch {
+ public:
+  Epoch() = default;
+  Epoch(std::uint32_t tid, std::uint64_t clock)
+      : bits_((static_cast<std::uint64_t>(tid) << 56) |
+              (clock & kClockMask)) {}
+
+  [[nodiscard]] std::uint32_t tid() const {
+    return static_cast<std::uint32_t>(bits_ >> 56);
+  }
+  [[nodiscard]] std::uint64_t clock() const { return bits_ & kClockMask; }
+  [[nodiscard]] bool is_zero() const { return bits_ == 0; }
+
+  friend bool operator==(Epoch, Epoch) = default;
+
+ private:
+  static constexpr std::uint64_t kClockMask = (1ULL << 56) - 1;
+  std::uint64_t bits_ = 0;
+};
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::uint32_t num_threads) : c_(num_threads, 0) {}
+
+  [[nodiscard]] std::uint64_t get(std::uint32_t tid) const {
+    return tid < c_.size() ? c_[tid] : 0;
+  }
+  void set(std::uint32_t tid, std::uint64_t v) {
+    grow(tid + 1);
+    c_[tid] = v;
+  }
+  void tick(std::uint32_t tid) {
+    grow(tid + 1);
+    ++c_[tid];
+  }
+
+  /// this := this ⊔ other (pointwise max).
+  void join(const VectorClock& other) {
+    grow(static_cast<std::uint32_t>(other.c_.size()));
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], other.c_[i]);
+    }
+  }
+
+  /// Epoch e happens-before (or equals) this clock?  e ⪯ C  <=>
+  /// e.clock <= C[e.tid].
+  [[nodiscard]] bool covers(Epoch e) const {
+    return e.is_zero() || e.clock() <= get(e.tid());
+  }
+
+  /// Every component of `other` <= this (other ⊑ this).
+  [[nodiscard]] bool covers(const VectorClock& other) const {
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      if (other.c_[i] > get(static_cast<std::uint32_t>(i))) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return c_.size(); }
+  [[nodiscard]] Epoch epoch_of(std::uint32_t tid) const {
+    return Epoch(tid, get(tid));
+  }
+
+  friend bool operator==(const VectorClock& a, const VectorClock& b) {
+    const std::size_t n = std::max(a.c_.size(), b.c_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.get(static_cast<std::uint32_t>(i)) !=
+          b.get(static_cast<std::uint32_t>(i))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void grow(std::uint32_t n) {
+    if (c_.size() < n) c_.resize(n, 0);
+  }
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace reomp::race

@@ -1,0 +1,69 @@
+// OpenMP-style reduction (`reduction(+ : sum)`).
+//
+// Each worker accumulates into a cache-padded private slot; at the end of
+// the loop the partials merge into the shared result in *arrival order*
+// under one gate — exactly the paper's omp_reduction behaviour ("every
+// thread records and replays shared memory accesses only once at the end
+// of the loop", §VI-A1). For floating point the arrival order changes the
+// rounding, so the merged result is run-to-run nondeterministic until
+// ReOMP replays it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cacheline.hpp"
+#include "src/romp/team.hpp"
+
+namespace reomp::romp {
+
+template <typename T, typename Op>
+class Reducer {
+ public:
+  Reducer(Team& team, Handle h, T identity, Op op)
+      : team_(team),
+        handle_(h),
+        identity_(identity),
+        op_(op),
+        locals_(team.num_threads()),
+        result_(identity) {
+    for (auto& slot : locals_) *slot = identity;
+  }
+
+  /// Worker-private accumulator (no synchronization, no gating).
+  T& local(const WorkerCtx& w) { return *locals_[w.tid]; }
+
+  /// Merge this worker's partial into the shared result. Call exactly once
+  /// per worker, after its loop portion. Arrival order is the recorded
+  /// nondeterminism.
+  void combine(WorkerCtx& w) {
+    T& mine = *locals_[w.tid];
+    team_.critical(w, handle_, [&] { result_ = op_(result_, mine); });
+    mine = identity_;
+  }
+
+  /// Final value; call after the parallel region.
+  [[nodiscard]] T result() const { return result_; }
+
+  void reset() {
+    result_ = identity_;
+    for (auto& slot : locals_) *slot = identity_;
+  }
+
+ private:
+  Team& team_;
+  Handle handle_;
+  T identity_;
+  Op op_;
+  std::vector<CachePadded<T>> locals_;
+  T result_;
+};
+
+template <typename T>
+auto make_sum_reducer(Team& team, Handle h) {
+  auto plus = [](T a, T b) { return a + b; };
+  return Reducer<T, decltype(plus)>(team, h, T{}, plus);
+}
+
+}  // namespace reomp::romp

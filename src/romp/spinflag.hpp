@@ -1,0 +1,54 @@
+// Producer/consumer spin-flag built on racy loads/stores.
+//
+// The paper motivates Condition 1 with exactly this pattern (§IV-D):
+// producers publish values with plain stores while consumers poll with
+// plain loads ("busy-waiting or spinning techniques ... scientific
+// applications tend to have this type of data races for user-level
+// synchronization"). Every access goes through the racy_* hooks so the
+// benign race is detected, gated, recorded and replayed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/romp/team.hpp"
+
+namespace reomp::romp {
+
+class SpinFlag {
+ public:
+  SpinFlag(Team& team, Handle h) : team_(team), handle_(h) {}
+
+  /// Producer side: publish `value` (any nonzero token).
+  void publish(WorkerCtx& w, std::uint64_t value) {
+    team_.racy_store(w, handle_, flag_, value);
+  }
+
+  /// Consumer side: one gated poll; returns current value (0 = not yet).
+  std::uint64_t poll(WorkerCtx& w) {
+    return team_.racy_load(w, handle_, flag_);
+  }
+
+  /// Consumer side: poll until the value reaches at least `target`.
+  /// `max_polls` bounds the number of *gated* polls so record and replay
+  /// perform identical access counts; between gated polls the caller's
+  /// thread yields. Returns the observed value.
+  std::uint64_t wait_at_least(WorkerCtx& w, std::uint64_t target,
+                              std::uint64_t max_polls = ~std::uint64_t{0}) {
+    std::uint64_t v = 0;
+    for (std::uint64_t i = 0; i < max_polls; ++i) {
+      v = poll(w);
+      if (v >= target) break;
+    }
+    return v;
+  }
+
+  void reset() { flag_.store(0, std::memory_order_relaxed); }
+
+ private:
+  Team& team_;
+  Handle handle_;
+  std::atomic<std::uint64_t> flag_{0};
+};
+
+}  // namespace reomp::romp

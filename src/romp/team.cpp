@@ -1,0 +1,213 @@
+#include "src/romp/team.hpp"
+
+#include <algorithm>
+
+#include "src/common/affinity.hpp"
+#include "src/common/backoff.hpp"
+#include "src/common/log.hpp"
+
+namespace reomp::romp {
+
+Team::Team(TeamOptions opt) : opt_(std::move(opt)) {
+  if (opt_.num_threads == 0) {
+    throw std::invalid_argument("Team requires num_threads >= 1");
+  }
+  opt_.engine.num_threads = opt_.num_threads;
+
+  if (opt_.detect) {
+    kind_ = RunKind::kDetect;
+    opt_.engine.mode = core::Mode::kOff;  // detector and engine are separate runs
+  } else {
+    switch (opt_.engine.mode) {
+      case core::Mode::kOff: kind_ = RunKind::kOff; break;
+      case core::Mode::kRecord: kind_ = RunKind::kRecord; break;
+      case core::Mode::kReplay: kind_ = RunKind::kReplay; break;
+    }
+  }
+
+  engine_ = std::make_unique<core::Engine>(opt_.engine);
+  if (opt_.detect) {
+    detector_ = std::make_unique<race::Detector>(opt_.num_threads, sites_);
+  }
+
+  if (opt_.pin_threads) pin_current_thread(0);
+
+  workers_.reserve(opt_.num_threads - 1);
+  for (std::uint32_t tid = 1; tid < opt_.num_threads; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+Team::~Team() {
+  shutdown_->store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    ++generation_;
+    generation_pub_->store(generation_, std::memory_order_release);
+  }
+  pool_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  try {
+    finalize();
+  } catch (const std::exception& e) {
+    REOMP_LOG_ERROR << "Team finalize in destructor failed: " << e.what();
+  }
+}
+
+Handle Team::register_handle(const std::string& name) {
+  Handle h;
+  h.gate = engine_->register_gate(name);
+  h.site = sites_.intern(name);
+  return h;
+}
+
+Handle Team::register_handle_with_plan(const std::string& name,
+                                       const race::InstrumentPlan& plan) {
+  Handle h;
+  h.site = sites_.intern(name);
+  if (auto gate_name = plan.gate_for(name)) {
+    h.gate = engine_->register_gate(*gate_name);
+  }
+  return h;
+}
+
+void Team::worker_loop(std::uint32_t tid) {
+  if (opt_.pin_threads) pin_current_thread(tid);
+  core::ThreadCtx& rctx = engine_->bind_thread(tid);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    // Hybrid wait: spin briefly (HPC apps launch parallel regions back to
+    // back — OpenMP runtimes default to active waiting between regions),
+    // then park on the condition variable so an idle team does not burn
+    // cores. The hot path is mutex-free: the task pointer is published
+    // through an atomic before the generation bump, so acquiring the
+    // generation also acquires the task (23 workers serially taking a
+    // futex mutex per region would dominate the launch).
+    bool ready = false;
+    {
+      Backoff backoff(Backoff::Policy::kSpin);
+      for (int spin = 0; spin < 20000; ++spin) {
+        if (generation_pub_->load(std::memory_order_acquire) !=
+                seen_generation ||
+            shutdown_->load(std::memory_order_acquire)) {
+          ready = true;
+          break;
+        }
+        backoff.pause();
+      }
+    }
+    if (!ready) {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      ++sleepers_;
+      pool_cv_.wait(lock, [&] {
+        return generation_ != seen_generation ||
+               shutdown_->load(std::memory_order_acquire);
+      });
+      --sleepers_;
+    }
+    if (shutdown_->load(std::memory_order_acquire)) return;
+    seen_generation = generation_pub_->load(std::memory_order_acquire);
+    const auto* task = task_pub_->load(std::memory_order_acquire);
+
+    WorkerCtx ctx{tid, this, &rctx};
+    try {
+      (*task)(ctx);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    outstanding_->fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void Team::parallel(const std::function<void(WorkerCtx&)>& fn) {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    first_error_ = nullptr;
+  }
+  outstanding_->store(opt_.num_threads - 1, std::memory_order_release);
+  task_pub_->store(&fn, std::memory_order_release);
+  bool wake_sleepers;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    ++generation_;
+    generation_pub_->store(generation_, std::memory_order_release);
+    wake_sleepers = sleepers_ > 0;
+  }
+  if (wake_sleepers) pool_cv_.notify_all();
+
+  // The caller participates as tid 0, like an OpenMP primary thread.
+  WorkerCtx ctx{0, this, &engine_->bind_thread(0)};
+  try {
+    fn(ctx);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  // Spin-join: workers decrement `outstanding_` as they finish.
+  Backoff backoff(opt_.sync_policy);
+  while (outstanding_->load(std::memory_order_acquire) != 0) {
+    backoff.pause();
+  }
+
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void Team::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(WorkerCtx&, std::int64_t, std::int64_t)>& body) {
+  const std::int64_t n = std::max<std::int64_t>(0, end - begin);
+  const std::int64_t p = opt_.num_threads;
+  parallel([&](WorkerCtx& w) {
+    // Block (static) schedule: worker k gets the k-th contiguous slice.
+    const std::int64_t lo = begin + n * w.tid / p;
+    const std::int64_t hi = begin + n * (w.tid + 1) / p;
+    if (lo < hi) body(w, lo, hi);
+  });
+}
+
+void Team::parallel_for_dynamic(
+    std::int64_t begin, std::int64_t end, std::int64_t chunk, Handle h,
+    const std::function<void(WorkerCtx&, std::int64_t, std::int64_t)>& body) {
+  if (chunk <= 0) chunk = 1;
+  std::atomic<std::int64_t> next{begin};
+  parallel([&](WorkerCtx& w) {
+    for (;;) {
+      // The claim itself is a nondeterministic shared-memory access: gate
+      // it so chunk-to-thread assignment records and replays (the paper
+      // lists task scheduling as the natural extension of this design).
+      const std::int64_t lo =
+          atomic_fetch_add<std::int64_t>(w, h, next, chunk);
+      if (lo >= end) break;
+      body(w, lo, std::min(end, lo + chunk));
+    }
+  });
+}
+
+void Team::barrier(WorkerCtx&) {
+  const std::uint64_t phase = barrier_phase_->load(std::memory_order_acquire);
+  if (barrier_arrived_->fetch_add(1, std::memory_order_acq_rel) ==
+      opt_.num_threads - 1) {
+    // Last arriver: run the detector's all-to-all join while everyone else
+    // is parked, then release the phase.
+    if (detector_) detector_->on_barrier();
+    barrier_arrived_->store(0, std::memory_order_relaxed);
+    barrier_phase_->store(phase + 1, std::memory_order_release);
+  } else {
+    Backoff backoff(opt_.sync_policy);
+    while (barrier_phase_->load(std::memory_order_acquire) == phase) {
+      backoff.pause();
+    }
+  }
+}
+
+void Team::finalize() { engine_->finalize(); }
+
+}  // namespace reomp::romp

@@ -1,0 +1,266 @@
+// romp: a miniature OpenMP-style runtime with ReOMP gates built in.
+//
+// This substrate replaces the paper's Clang/LLVM-pass instrumentation of
+// the LLVM OpenMP runtime (§V): where the pass brackets __kmpc_critical /
+// atomic instructions / racy accesses with gate_in/gate_out, romp's
+// constructs call the engine at exactly the same points. One Team owns a
+// persistent worker pool (fork-join like `#pragma omp parallel`), one
+// ReOMP engine, and optionally a race detector (the "detect" run of the
+// Fig. 2 toolflow).
+//
+//   romp::Team team({.num_threads = 8, .engine = opts});
+//   auto sum_gate = team.register_handle("sum");
+//   std::atomic<double> sum{0};
+//   team.parallel([&](romp::WorkerCtx& w) {
+//     team.atomic_fetch_add(w, sum_gate, sum, 1.0);
+//   });
+//   team.finalize();
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/cacheline.hpp"
+#include "src/core/engine.hpp"
+#include "src/race/detector.hpp"
+#include "src/race/report.hpp"
+#include "src/race/site.hpp"
+
+namespace reomp::romp {
+
+class Team;
+
+/// How this run participates in the toolflow.
+enum class RunKind : std::uint8_t {
+  kOff,     // plain execution (engine off, no detector)
+  kRecord,  // engine records
+  kReplay,  // engine replays
+  kDetect,  // race detector attached (Fig. 2 step (1))
+};
+
+/// Instrumentation handle for one shared-memory access site: a gate id for
+/// record/replay plus a site id for detection. Obtained from
+/// Team::register_handle(name); the name plays the role of the paper's
+/// hashed call-stack descriptor.
+struct Handle {
+  core::GateId gate = core::kInvalidGate;
+  race::SiteId site = race::kInvalidSite;
+};
+
+/// Per-worker context handed to every parallel body.
+struct WorkerCtx {
+  std::uint32_t tid = 0;
+  Team* team = nullptr;
+  core::ThreadCtx* rctx = nullptr;  // engine thread context
+};
+
+struct TeamOptions {
+  std::uint32_t num_threads = 1;
+  core::Options engine;      // engine.num_threads is overwritten
+  bool detect = false;       // attach the race detector (forces engine off)
+  bool pin_threads = true;   // worker k -> cpu k (paper's affinity policy)
+  /// Wait policy for team barriers and the fork-join. Distinct from the
+  /// engine's replay-gate policy: replay handoffs arrive every few hundred
+  /// ns and must pure-spin, while barrier/join waits bracket milliseconds
+  /// of compute where briefly yielding costs nothing and coexists with
+  /// shared/virtualized cores.
+  Backoff::Policy sync_policy = Backoff::Policy::kSpinYield;
+};
+
+class Team {
+ public:
+  explicit Team(TeamOptions opt);
+  ~Team();
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  // ---- setup ----
+
+  Handle register_handle(const std::string& name);
+
+  /// Wire a race-report instrumentation plan: sites named in the plan get
+  /// their shared race gate; race-free sites keep kInvalidGate and their
+  /// accesses bypass the engine (paper: only racy accesses are gated).
+  Handle register_handle_with_plan(const std::string& name,
+                                   const race::InstrumentPlan& plan);
+
+  // ---- parallel execution ----
+
+  /// Run `fn(worker)` on all num_threads workers (main thread is tid 0)
+  /// and wait for completion. Exceptions from workers are rethrown here
+  /// (first one wins), including core::ReplayDivergence.
+  void parallel(const std::function<void(WorkerCtx&)>& fn);
+
+  /// Static (block) scheduled loop: `body(w, lo, hi)` over [begin, end).
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(WorkerCtx&, std::int64_t,
+                                             std::int64_t)>& body);
+
+  /// Dynamically scheduled loop: chunks claimed via a gated fetch-add so
+  /// the (nondeterministic) chunk-to-thread assignment records and replays.
+  void parallel_for_dynamic(std::int64_t begin, std::int64_t end,
+                            std::int64_t chunk, Handle h,
+                            const std::function<void(WorkerCtx&, std::int64_t,
+                                                     std::int64_t)>& body);
+
+  /// Team barrier, callable from inside parallel(). Informs the detector.
+  void barrier(WorkerCtx& w);
+
+  // ---- gated constructs (the __kmpc_* analogues) ----
+
+  /// `#pragma omp critical` body.
+  template <typename Fn>
+  void critical(WorkerCtx& w, Handle h, Fn&& fn) {
+    switch (kind_) {
+      case RunKind::kOff: {
+        std::lock_guard<std::mutex> lock(off_mutex_);
+        fn();
+        return;
+      }
+      case RunKind::kDetect: {
+        std::lock_guard<std::mutex> lock(off_mutex_);
+        detector_->on_acquire(w.tid, h.site);
+        fn();
+        detector_->on_release(w.tid, h.site);
+        return;
+      }
+      case RunKind::kRecord:
+      case RunKind::kReplay:
+        // The gate's serialization (record) / order enforcement (replay)
+        // provides the mutual exclusion (paper §V: gate_in before
+        // __kmpc_critical, gate_out after __kmpc_end_critical).
+        engine_->gate_in(*w.rctx, h.gate, core::AccessKind::kOther);
+        fn();
+        engine_->gate_out(*w.rctx, h.gate, core::AccessKind::kOther);
+        return;
+    }
+  }
+
+  /// `#pragma omp atomic` update (RMW: kOther, never epoch-parallel).
+  template <typename T>
+  T atomic_fetch_add(WorkerCtx& w, Handle h, std::atomic<T>& loc, T delta) {
+    switch (kind_) {
+      case RunKind::kOff:
+        return loc.fetch_add(delta, std::memory_order_relaxed);
+      case RunKind::kDetect: {
+        // Atomics synchronize; model as a lock keyed by the site so racing
+        // `omp atomic` updates are not (falsely) reported.
+        detector_->on_acquire(w.tid, h.site);
+        const T old = loc.fetch_add(delta, std::memory_order_relaxed);
+        detector_->on_release(w.tid, h.site);
+        return old;
+      }
+      case RunKind::kRecord:
+      case RunKind::kReplay:
+        return engine_->sma_fetch_add(*w.rctx, h.gate, loc, delta);
+    }
+    return T{};
+  }
+
+  /// Racy (intentionally unsynchronized) load — Condition-1 eligible.
+  template <typename T>
+  T racy_load(WorkerCtx& w, Handle h, const std::atomic<T>& loc) {
+    switch (kind_) {
+      case RunKind::kOff:
+        return loc.load(std::memory_order_relaxed);
+      case RunKind::kDetect:
+        detector_->on_read(w.tid, reinterpret_cast<std::uintptr_t>(&loc),
+                           h.site);
+        return loc.load(std::memory_order_relaxed);
+      case RunKind::kRecord:
+      case RunKind::kReplay:
+        if (h.gate == core::kInvalidGate) {  // race-free per the plan
+          return loc.load(std::memory_order_relaxed);
+        }
+        return engine_->sma_load(*w.rctx, h.gate, loc);
+    }
+    return T{};
+  }
+
+  /// Racy store — Condition-1 eligible.
+  template <typename T>
+  void racy_store(WorkerCtx& w, Handle h, std::atomic<T>& loc, T value) {
+    switch (kind_) {
+      case RunKind::kOff:
+        loc.store(value, std::memory_order_relaxed);
+        return;
+      case RunKind::kDetect:
+        detector_->on_write(w.tid, reinterpret_cast<std::uintptr_t>(&loc),
+                            h.site);
+        loc.store(value, std::memory_order_relaxed);
+        return;
+      case RunKind::kRecord:
+      case RunKind::kReplay:
+        if (h.gate == core::kInvalidGate) {
+          loc.store(value, std::memory_order_relaxed);
+          return;
+        }
+        engine_->sma_store(*w.rctx, h.gate, loc, value);
+        return;
+    }
+  }
+
+  /// Racy read-modify-write expressed as load;op;store — this is the
+  /// paper's `data race` benchmark pattern (`sum += 1` with no clause).
+  template <typename T, typename Op>
+  void racy_update(WorkerCtx& w, Handle h, std::atomic<T>& loc, Op&& op) {
+    const T old = racy_load(w, h, loc);
+    racy_store(w, h, loc, op(old));
+  }
+
+  // ---- accessors ----
+
+  [[nodiscard]] RunKind kind() const { return kind_; }
+  [[nodiscard]] std::uint32_t num_threads() const { return opt_.num_threads; }
+  core::Engine& engine() { return *engine_; }
+  race::Detector* detector() { return detector_.get(); }
+  race::SiteRegistry& sites() { return sites_; }
+
+  /// Finalize the engine (flush record streams / check replay consumed).
+  void finalize();
+
+ private:
+  void worker_loop(std::uint32_t tid);
+  void run_workers(const std::function<void(WorkerCtx&)>& fn);
+
+  TeamOptions opt_;
+  RunKind kind_ = RunKind::kOff;
+
+  std::unique_ptr<core::Engine> engine_;
+  race::SiteRegistry sites_;
+  std::unique_ptr<race::Detector> detector_;
+
+  std::mutex off_mutex_;  // critical-section fallback in off/detect modes
+
+  // Fork-join pool (workers are tids 1..N-1; the caller is tid 0).
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::uint64_t generation_ = 0;  // under pool_mu_
+  std::uint32_t sleepers_ = 0;    // under pool_mu_: workers parked on the cv
+  // Hot spin targets each get their own cache line: workers spin-read
+  // generation_pub_ while peers hammer outstanding_ / barrier counters —
+  // sharing a line turns every decrement into a team-wide invalidation
+  // storm (quadratic in team size).
+  CachePadded<std::atomic<std::uint64_t>> generation_pub_{};  // spin mirror
+  CachePadded<std::atomic<const std::function<void(WorkerCtx&)>*>> task_pub_{};
+  CachePadded<std::atomic<std::uint32_t>> outstanding_{};
+  CachePadded<std::atomic<bool>> shutdown_{};
+
+  // Team barrier with a detector hook run by the last arriver.
+  CachePadded<std::atomic<std::uint32_t>> barrier_arrived_{};
+  CachePadded<std::atomic<std::uint64_t>> barrier_phase_{};
+
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace reomp::romp

@@ -1,0 +1,68 @@
+// Worksharing constructs beyond loops: single, master, sections.
+//
+// `single` and `sections` are nondeterministic — *which* thread executes
+// depends on arrival order — so their claim operations are gated atomic
+// RMWs (kOther): the record pins the winner, replay reproduces it. This is
+// exactly how ReOMP instruments the corresponding __kmpc_single /
+// __kmpc_sections runtime entry points (paper §V: "we can also instrument
+// other potential shared-memory accesses, such as ... the master and the
+// single clauses").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/romp/team.hpp"
+
+namespace reomp::romp {
+
+/// Claim state for a repeated `single` construct. One instance per lexical
+/// construct; every team member must call Team-wide once per round (the
+/// OpenMP rule that all threads encounter the single).
+struct SingleState {
+  std::atomic<std::uint64_t> tickets{0};
+};
+
+/// `#pragma omp single` body: the first arriving thread each round executes
+/// `fn`. Returns true on the executing thread. No implied barrier — pair
+/// with Team::barrier when the OpenMP default (implicit barrier) is wanted.
+template <typename Fn>
+bool single(Team& team, WorkerCtx& w, Handle h, SingleState& state, Fn&& fn) {
+  // Gated claim: arrival order is recorded, so the round winner replays.
+  const std::uint64_t ticket =
+      team.atomic_fetch_add<std::uint64_t>(w, h, state.tickets, 1);
+  const bool winner = ticket % team.num_threads() == 0;
+  if (winner) fn();
+  return winner;
+}
+
+/// `#pragma omp master`: deterministic (always thread 0), so no gate.
+template <typename Fn>
+bool master(const WorkerCtx& w, Fn&& fn) {
+  if (w.tid != 0) return false;
+  fn();
+  return true;
+}
+
+/// Claim state for one `sections` construct instance (one-shot: create a
+/// fresh state per execution of the construct).
+struct SectionsState {
+  std::atomic<std::uint64_t> cursor{0};
+};
+
+/// `#pragma omp sections`: each section body runs exactly once, claimed
+/// dynamically by whichever thread gets there first. Section-to-thread
+/// assignment is the recorded nondeterminism. Call from every team member.
+inline void sections(Team& team, WorkerCtx& w, Handle h, SectionsState& state,
+                     const std::vector<std::function<void()>>& bodies) {
+  for (;;) {
+    const std::uint64_t i =
+        team.atomic_fetch_add<std::uint64_t>(w, h, state.cursor, 1);
+    if (i >= bodies.size()) break;
+    bodies[i]();
+  }
+}
+
+}  // namespace reomp::romp

@@ -1,0 +1,106 @@
+#include "src/trace/byte_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace reomp::trace {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("write failed: ") +
+                               std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+FileSink::FileSink(const std::string& path, std::size_t buffer_bytes) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw_errno("cannot open record file for writing", path);
+  buffer_.reserve(buffer_bytes);
+}
+
+FileSink::~FileSink() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor must not throw; a failed final flush loses trailing
+    // records, which the reader detects as a truncated stream.
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileSink::write(const std::uint8_t* data, std::size_t size) {
+  if (buffer_.size() + size > buffer_.capacity()) flush();
+  if (size >= buffer_.capacity()) {
+    write_all(fd_, data, size);  // oversized: bypass the buffer
+    return;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+void FileSink::flush() {
+  if (!buffer_.empty()) {
+    write_all(fd_, buffer_.data(), buffer_.size());
+    buffer_.clear();
+  }
+}
+
+FileSource::FileSource(const std::string& path, std::size_t buffer_bytes)
+    : buffer_(buffer_bytes) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) throw_errno("cannot open record file for reading", path);
+}
+
+FileSource::~FileSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t FileSource::read(std::uint8_t* data, std::size_t size) {
+  std::size_t total = 0;
+  while (total < size) {
+    if (buf_pos_ == buf_len_) {
+      ssize_t n;
+      do {
+        n = ::read(fd_, buffer_.data(), buffer_.size());
+      } while (n < 0 && errno == EINTR);
+      if (n < 0) {
+        throw std::runtime_error(std::string("read failed: ") +
+                                 std::strerror(errno));
+      }
+      if (n == 0) break;  // EOF
+      buf_pos_ = 0;
+      buf_len_ = static_cast<std::size_t>(n);
+    }
+    const std::size_t take = std::min(size - total, buf_len_ - buf_pos_);
+    std::memcpy(data + total, buffer_.data() + buf_pos_, take);
+    buf_pos_ += take;
+    total += take;
+  }
+  return total;
+}
+
+std::size_t MemorySource::read(std::uint8_t* data, std::size_t size) {
+  const std::size_t take = std::min(size, bytes_.size() - pos_);
+  std::memcpy(data, bytes_.data() + pos_, take);
+  pos_ += take;
+  return take;
+}
+
+}  // namespace reomp::trace

@@ -1,0 +1,105 @@
+// Byte-level sinks and sources for record files.
+//
+// Two implementations each: file-backed (the production path; record
+// directories normally live on tmpfs, paper §VI) and memory-backed (unit
+// tests and the in-memory record mode used by benchmarks to separate
+// ordering overhead from filesystem overhead).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace reomp::trace {
+
+/// Append-only byte sink.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual void write(const std::uint8_t* data, std::size_t size) = 0;
+  virtual void flush() = 0;
+};
+
+/// Sequential byte source.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  /// Read up to `size` bytes; returns bytes read (0 at EOF).
+  virtual std::size_t read(std::uint8_t* data, std::size_t size) = 0;
+};
+
+/// Buffered file sink. Buffering matters: DC/DE issue one small append per
+/// SMA region, and the point of writing *after* unlock (paper §IV-C3) is
+/// lost if every append goes straight to a syscall.
+class FileSink final : public ByteSink {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened for writing.
+  explicit FileSink(const std::string& path,
+                    std::size_t buffer_bytes = kDefaultBuffer);
+  ~FileSink() override;
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void write(const std::uint8_t* data, std::size_t size) override;
+  void flush() override;
+
+  static constexpr std::size_t kDefaultBuffer = 1 << 16;
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> buffer_;
+};
+
+class FileSource final : public ByteSource {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened for reading.
+  explicit FileSource(const std::string& path,
+                      std::size_t buffer_bytes = FileSink::kDefaultBuffer);
+  ~FileSource() override;
+
+  FileSource(const FileSource&) = delete;
+  FileSource& operator=(const FileSource&) = delete;
+
+  std::size_t read(std::uint8_t* data, std::size_t size) override;
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_len_ = 0;
+};
+
+/// Growable in-memory sink; exposes its bytes for tests and for handing to
+/// MemorySource.
+class MemorySink final : public ByteSink {
+ public:
+  void write(const std::uint8_t* data, std::size_t size) override {
+    bytes_.insert(bytes_.end(), data, data + size);
+  }
+  void flush() override {}
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class MemorySource final : public ByteSource {
+ public:
+  explicit MemorySource(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  std::size_t read(std::uint8_t* data, std::size_t size) override;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace reomp::trace

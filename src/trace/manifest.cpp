@@ -1,0 +1,59 @@
+#include "src/trace/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace reomp::trace {
+
+std::string Manifest::to_text() const {
+  std::ostringstream os;
+  os << "version=" << version << "\n";
+  os << "strategy=" << strategy << "\n";
+  os << "num_threads=" << num_threads << "\n";
+  for (const auto& [k, v] : extra) os << "x." << k << "=" << v << "\n";
+  return os.str();
+}
+
+std::optional<Manifest> Manifest::from_text(const std::string& text) {
+  Manifest m;
+  bool saw_version = false;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "version") {
+      m.version = static_cast<std::uint32_t>(std::stoul(value));
+      saw_version = true;
+    } else if (key == "strategy") {
+      m.strategy = value;
+    } else if (key == "num_threads") {
+      m.num_threads = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (key.rfind("x.", 0) == 0) {
+      m.extra[key.substr(2)] = value;
+    } else {
+      return std::nullopt;  // unknown top-level key: likely wrong file
+    }
+  }
+  if (!saw_version || m.version != kFormatVersion) return std::nullopt;
+  return m;
+}
+
+void Manifest::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot write manifest: " + path);
+  f << to_text();
+}
+
+std::optional<Manifest> Manifest::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return from_text(os.str());
+}
+
+}  // namespace reomp::trace

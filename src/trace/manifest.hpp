@@ -1,0 +1,34 @@
+// Record-directory manifest.
+//
+// The manifest pins everything a replay run must agree on with the record
+// run: the recording strategy, the thread count, and arbitrary tool
+// metadata. A replay against a manifest recorded with a different strategy
+// or thread count is rejected up front rather than deadlocking mid-run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace reomp::trace {
+
+struct Manifest {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  std::uint32_t version = kFormatVersion;
+  std::string strategy;        // "st" | "dc" | "de"
+  std::uint32_t num_threads = 0;
+  std::map<std::string, std::string> extra;  // tool metadata (free-form)
+
+  /// Serialize to the `key=value` text format.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parse; returns nullopt on syntax errors or unsupported version.
+  static std::optional<Manifest> from_text(const std::string& text);
+
+  void save(const std::string& path) const;   // throws on I/O failure
+  static std::optional<Manifest> load(const std::string& path);
+};
+
+}  // namespace reomp::trace

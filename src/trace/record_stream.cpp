@@ -1,0 +1,54 @@
+#include "src/trace/record_stream.hpp"
+
+#include <stdexcept>
+
+namespace reomp::trace {
+
+namespace {
+constexpr std::size_t kChunk = 1 << 14;
+// A single entry is at most two 10-byte varints.
+constexpr std::size_t kMaxEntryBytes = 20;
+}  // namespace
+
+bool RecordReader::refill() {
+  if (eof_) return false;
+  // Keep unconsumed bytes, append a fresh chunk.
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  pos_ = 0;
+  const std::size_t old = buf_.size();
+  buf_.resize(old + kChunk);
+  const std::size_t got = source_->read(buf_.data() + old, kChunk);
+  buf_.resize(old + got);
+  if (got == 0) eof_ = true;
+  return got > 0;
+}
+
+std::optional<RecordEntry> RecordReader::next() {
+  // Ensure enough buffered bytes that a complete entry cannot straddle the
+  // end unless the stream is truly exhausted.
+  while (buf_.size() - pos_ < kMaxEntryBytes && refill()) {
+  }
+  if (pos_ == buf_.size()) return std::nullopt;
+
+  std::size_t p = pos_;
+  const auto gate = varint_decode(buf_.data(), buf_.size(), p);
+  if (!gate) throw std::runtime_error("record stream: torn gate id");
+  const auto zz = varint_decode(buf_.data(), buf_.size(), p);
+  if (!zz) throw std::runtime_error("record stream: torn value delta");
+  pos_ = p;
+
+  RecordEntry e;
+  e.gate = static_cast<std::uint32_t>(*gate);
+  prev_value_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(prev_value_) + zigzag_decode(*zz));
+  e.value = prev_value_;
+  return e;
+}
+
+std::vector<RecordEntry> RecordReader::read_all() {
+  std::vector<RecordEntry> out;
+  while (auto e = next()) out.push_back(*e);
+  return out;
+}
+
+}  // namespace reomp::trace

@@ -1,0 +1,78 @@
+// Encoded record streams: sequences of (gate_id, value) entries.
+//
+// DC/DE per-thread files hold (gate, clock/epoch) pairs in the thread's
+// program order (paper Fig. 3-(b)); the ST shared file holds (gate, tid)
+// pairs in global order (Fig. 3-(a)). Both use the same wire format:
+//
+//   entry := varint(gate_id) varint(zigzag(value - prev_value[stream]))
+//
+// Values delta-encode against the previous value in the *stream* (not per
+// gate): per-thread clock sequences are near-monotonic, so deltas are small
+// — the clock-delta-compression observation from ReMPI (SC'15).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/varint.hpp"
+#include "src/trace/byte_io.hpp"
+
+namespace reomp::trace {
+
+struct RecordEntry {
+  std::uint32_t gate = 0;
+  std::uint64_t value = 0;  // clock, epoch, or thread id depending on scheme
+
+  friend bool operator==(const RecordEntry&, const RecordEntry&) = default;
+};
+
+class RecordWriter {
+ public:
+  /// Does not own the sink; the sink must outlive the writer.
+  explicit RecordWriter(ByteSink& sink) : sink_(&sink) {}
+
+  void append(const RecordEntry& entry) {
+    scratch_.clear();
+    varint_encode(entry.gate, scratch_);
+    const std::int64_t delta = static_cast<std::int64_t>(entry.value) -
+                               static_cast<std::int64_t>(prev_value_);
+    varint_encode(zigzag_encode(delta), scratch_);
+    prev_value_ = entry.value;
+    sink_->write(scratch_.data(), scratch_.size());
+    ++count_;
+  }
+
+  void flush() { sink_->flush(); }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  ByteSink* sink_;
+  std::vector<std::uint8_t> scratch_;
+  std::uint64_t prev_value_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+class RecordReader {
+ public:
+  explicit RecordReader(ByteSource& source) : source_(&source) {}
+
+  /// Next entry, or nullopt at end of stream.
+  /// Throws std::runtime_error on a torn/corrupt entry.
+  std::optional<RecordEntry> next();
+
+  /// Drain the remainder of the stream (convenience for tests/tools).
+  std::vector<RecordEntry> read_all();
+
+ private:
+  bool refill();
+
+  ByteSource* source_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  std::uint64_t prev_value_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace reomp::trace

@@ -1,0 +1,43 @@
+#include "src/trace/trace_dir.hpp"
+
+#include <filesystem>
+
+namespace reomp::trace {
+
+namespace fs = std::filesystem;
+
+void ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec && !fs::is_directory(dir)) {
+    throw std::runtime_error("cannot create record dir '" + dir +
+                             "': " + ec.message());
+  }
+}
+
+void clear_dir(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) fs::remove(entry.path(), ec);
+  }
+}
+
+std::string manifest_path(const std::string& dir) {
+  return dir + "/manifest.txt";
+}
+
+std::string thread_file_path(const std::string& dir, std::uint32_t tid) {
+  return dir + "/t" + std::to_string(tid) + ".rec";
+}
+
+std::string shared_file_path(const std::string& dir) {
+  return dir + "/shared.rec";
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+}  // namespace reomp::trace

@@ -1,0 +1,26 @@
+// Record-directory layout and path helpers.
+//
+//   <dir>/manifest.txt   manifest (strategy, thread count, metadata)
+//   <dir>/t<k>.rec       per-thread stream, DC/DE (paper Fig. 3-(b))
+//   <dir>/shared.rec     single shared stream, ST (paper Fig. 3-(a))
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace reomp::trace {
+
+/// Create `dir` (and parents) if missing. Throws on failure.
+void ensure_dir(const std::string& dir);
+
+/// Remove every regular file directly inside `dir` (used when re-recording
+/// into an existing directory). Missing dir is not an error.
+void clear_dir(const std::string& dir);
+
+std::string manifest_path(const std::string& dir);
+std::string thread_file_path(const std::string& dir, std::uint32_t tid);
+std::string shared_file_path(const std::string& dir);
+
+bool file_exists(const std::string& path);
+
+}  // namespace reomp::trace

@@ -1,0 +1,61 @@
+// ReMPI+ReOMP composition: hybrid MPI+OpenMP record -> replay determinism
+// (paper §VI-C).
+#include <gtest/gtest.h>
+
+#include "src/apps/hybrid.hpp"
+
+namespace reomp::apps {
+namespace {
+
+using core::Mode;
+using core::Strategy;
+
+HybridResult run(HybridResult (*fn)(const HybridConfig&), Mode mode,
+                 const HybridBundle* bundle, int ranks,
+                 std::uint32_t threads) {
+  HybridConfig cfg;
+  cfg.ranks = ranks;
+  cfg.threads_per_rank = threads;
+  cfg.mode = mode;
+  cfg.strategy = Strategy::kDE;
+  cfg.bundle = bundle;
+  cfg.scale = 0.4;
+  return fn(cfg);
+}
+
+class Hybrid : public ::testing::TestWithParam<std::pair<int, std::uint32_t>> {
+};
+
+TEST_P(Hybrid, HpccgReplaysBitExact) {
+  const auto [ranks, threads] = GetParam();
+  HybridResult rec = run(run_hybrid_hpccg, Mode::kRecord, nullptr, ranks,
+                         threads);
+  ASSERT_GT(rec.gated_events, 0u);
+  HybridResult rep = run(run_hybrid_hpccg, Mode::kReplay, &rec.bundle, ranks,
+                         threads);
+  EXPECT_EQ(rep.checksum, rec.checksum);
+  EXPECT_EQ(rep.gated_events, rec.gated_events);
+}
+
+TEST_P(Hybrid, HaccReplaysBitExact) {
+  const auto [ranks, threads] = GetParam();
+  HybridResult rec = run(run_hybrid_hacc, Mode::kRecord, nullptr, ranks,
+                         threads);
+  ASSERT_GT(rec.gated_events, 0u);
+  HybridResult rep = run(run_hybrid_hacc, Mode::kReplay, &rec.bundle, ranks,
+                         threads);
+  EXPECT_EQ(rep.checksum, rec.checksum);
+  EXPECT_EQ(rep.gated_events, rec.gated_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankThreadGrid, Hybrid,
+    ::testing::Values(std::pair{1, 4u}, std::pair{2, 2u}, std::pair{4, 2u},
+                      std::pair{3, 3u}),
+    [](const auto& info) {
+      return "r" + std::to_string(info.param.first) + "t" +
+             std::to_string(info.param.second);
+    });
+
+}  // namespace
+}  // namespace reomp::apps

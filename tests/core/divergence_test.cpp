@@ -1,0 +1,150 @@
+// Replay-divergence detection: when the replayed program does not match
+// the recorded behaviour, the engine must fail loudly (ReplayDivergence),
+// never hang or silently misorder.
+#include <gtest/gtest.h>
+
+#include "src/core/bundle.hpp"
+#include "src/core/engine.hpp"
+
+namespace reomp::core {
+namespace {
+
+RecordBundle record_simple(Strategy strategy, int events_per_thread = 3) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = strategy;
+  opt.num_threads = 2;
+  Engine eng(opt);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+  for (int i = 0; i < events_per_thread; ++i) {
+    for (ThreadId t : {0u, 1u}) {
+      ThreadCtx& ctx = eng.thread_ctx(t);
+      eng.gate_in(ctx, a, AccessKind::kOther);
+      eng.gate_out(ctx, a, AccessKind::kOther);
+      eng.gate_in(ctx, b, AccessKind::kLoad);
+      eng.gate_out(ctx, b, AccessKind::kLoad);
+    }
+  }
+  eng.finalize();
+  return eng.take_bundle();
+}
+
+Engine make_replay(Strategy strategy, const RecordBundle& bundle) {
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = strategy;
+  opt.num_threads = 2;
+  opt.bundle = &bundle;
+  return Engine(opt);
+}
+
+class Divergence : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(Divergence, WrongGateIsDetected) {
+  const RecordBundle bundle = record_simple(GetParam());
+  Engine eng = make_replay(GetParam(), bundle);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+  ThreadCtx& t0 = eng.thread_ctx(0);
+  // The record says thread 0's first access is gate A; go to B instead.
+  (void)a;
+  EXPECT_THROW(eng.gate_in(t0, b, AccessKind::kLoad), ReplayDivergence);
+}
+
+TEST_P(Divergence, ExtraEventsAreDetected) {
+  const RecordBundle bundle = record_simple(GetParam(), /*events=*/1);
+  Engine eng = make_replay(GetParam(), bundle);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+  for (ThreadId t : {0u, 1u}) {
+    ThreadCtx& ctx = eng.thread_ctx(t);
+    eng.gate_in(ctx, a, AccessKind::kOther);
+    eng.gate_out(ctx, a, AccessKind::kOther);
+    eng.gate_in(ctx, b, AccessKind::kLoad);
+    eng.gate_out(ctx, b, AccessKind::kLoad);
+  }
+  // Everything recorded has been consumed; one more access must throw.
+  ThreadCtx& t0 = eng.thread_ctx(0);
+  EXPECT_THROW(eng.gate_in(t0, a, AccessKind::kOther), ReplayDivergence);
+}
+
+TEST_P(Divergence, MissingEventsAreDetectedAtFinalize) {
+  const RecordBundle bundle = record_simple(GetParam(), /*events=*/2);
+  Engine eng = make_replay(GetParam(), bundle);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+  // Replay only the first round of accesses, then finalize early.
+  for (ThreadId t : {0u, 1u}) {
+    ThreadCtx& ctx = eng.thread_ctx(t);
+    eng.gate_in(ctx, a, AccessKind::kOther);
+    eng.gate_out(ctx, a, AccessKind::kOther);
+    eng.gate_in(ctx, b, AccessKind::kLoad);
+    eng.gate_out(ctx, b, AccessKind::kLoad);
+  }
+  EXPECT_THROW(eng.finalize(), ReplayDivergence);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, Divergence,
+                         ::testing::Values(Strategy::kST, Strategy::kDC,
+                                           Strategy::kDE),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(ReplaySetup, StrategyMismatchRejected) {
+  RecordBundle bundle = record_simple(Strategy::kDC);
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = Strategy::kDE;  // recorded with DC
+  opt.num_threads = 2;
+  opt.bundle = &bundle;
+  EXPECT_THROW(Engine eng(opt), std::runtime_error);
+}
+
+TEST(ReplaySetup, ThreadCountMismatchRejected) {
+  RecordBundle bundle = record_simple(Strategy::kDE);
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = Strategy::kDE;
+  opt.num_threads = 4;  // recorded with 2
+  opt.bundle = &bundle;
+  EXPECT_THROW(Engine eng(opt), std::runtime_error);
+}
+
+TEST(ReplaySetup, MissingSourceRejected) {
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.num_threads = 2;  // neither dir nor bundle
+  EXPECT_THROW(Engine eng(opt), std::invalid_argument);
+}
+
+TEST(EngineSetup, ZeroThreadsRejected) {
+  Options opt;
+  opt.num_threads = 0;
+  EXPECT_THROW(Engine eng(opt), std::invalid_argument);
+}
+
+TEST(EngineSetup, GateTableOverflowRejected) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.num_threads = 1;
+  opt.max_gates = 2;
+  Engine eng(opt);
+  eng.register_gate("a");
+  eng.register_gate("b");
+  EXPECT_EQ(eng.register_gate("a"), 0u);  // idempotent re-registration is ok
+  EXPECT_THROW(eng.register_gate("c"), std::runtime_error);
+}
+
+TEST(EngineSetup, UnregisteredGateRejected) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.num_threads = 1;
+  Engine eng(opt);
+  ThreadCtx& t = eng.thread_ctx(0);
+  EXPECT_THROW(eng.gate_in(t, 5, AccessKind::kLoad), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace reomp::core

@@ -1,0 +1,189 @@
+// Engine odds and ends: options-from-env, epoch stats bookkeeping, the
+// write-inside-lock ablation, sma wrapper semantics, counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/core/bundle.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/epoch_stats.hpp"
+
+namespace reomp::core {
+namespace {
+
+// ---------- Options::from_env ----------
+
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_(name) {}
+  ~EnvGuard() { ::unsetenv(name_); }
+  const char* name_;
+};
+
+TEST(OptionsFromEnv, ParsesModeStrategyDir) {
+  EnvGuard g1("REOMP_MODE"), g2("REOMP_STRATEGY"), g3("REOMP_DIR"),
+      g4("REOMP_HISTORY_CAP");
+  ::setenv("REOMP_MODE", "record", 1);
+  ::setenv("REOMP_STRATEGY", "dc", 1);
+  ::setenv("REOMP_DIR", "/tmp/x", 1);
+  ::setenv("REOMP_HISTORY_CAP", "128", 1);
+  const Options opt = Options::from_env(7);
+  EXPECT_EQ(opt.mode, Mode::kRecord);
+  EXPECT_EQ(opt.strategy, Strategy::kDC);
+  EXPECT_EQ(opt.dir, "/tmp/x");
+  EXPECT_EQ(opt.history_capacity, 128u);
+  EXPECT_EQ(opt.num_threads, 7u);
+}
+
+TEST(OptionsFromEnv, UnknownValuesFallBack) {
+  EnvGuard g1("REOMP_MODE"), g2("REOMP_STRATEGY");
+  ::setenv("REOMP_MODE", "bogus", 1);
+  ::setenv("REOMP_STRATEGY", "???", 1);
+  const Options opt = Options::from_env(1);
+  EXPECT_EQ(opt.mode, Mode::kOff);
+  EXPECT_EQ(opt.strategy, Strategy::kDE);
+}
+
+// ---------- epoch histogram ----------
+
+TEST(EpochHistogram, SinglesFastPathMergesIntoCounts) {
+  EpochHistogram h;
+  h.add(1);
+  h.add(1);
+  h.add(3);
+  EXPECT_EQ(h.total_epochs(), 3u);
+  EXPECT_EQ(h.total_accesses(), 5u);
+  const auto counts = h.counts();
+  EXPECT_EQ(counts.at(1), 2u);
+  EXPECT_EQ(counts.at(3), 1u);
+  EXPECT_NEAR(h.parallel_epoch_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(EpochHistogram, MergeAndClear) {
+  EpochHistogram a, b;
+  a.add(1);
+  a.add(2);
+  b.add(2, 3);
+  b.add(1, 5);
+  a.merge(b);
+  EXPECT_EQ(a.counts().at(1), 6u);
+  EXPECT_EQ(a.counts().at(2), 4u);
+  a.clear();
+  EXPECT_EQ(a.total_epochs(), 0u);
+  EXPECT_EQ(a.parallel_epoch_fraction(), 0.0);
+}
+
+TEST(EpochTracker, CountsRunsNotValues) {
+  EpochTracker t;
+  t.on_epoch(0);
+  t.on_epoch(0);
+  t.on_epoch(0);
+  t.on_epoch(3);
+  t.on_epoch(3);
+  t.on_epoch(5);
+  t.on_epoch(6);
+  t.flush();
+  const auto counts = t.histogram().counts();
+  EXPECT_EQ(counts.at(3), 1u);  // one epoch of size 3
+  EXPECT_EQ(counts.at(2), 1u);
+  EXPECT_EQ(counts.at(1), 2u);
+}
+
+TEST(EpochTracker, FlushIsIdempotent) {
+  EpochTracker t;
+  t.on_epoch(9);
+  t.flush();
+  t.flush();
+  EXPECT_EQ(t.histogram().total_epochs(), 1u);
+}
+
+// ---------- ablation switch parity ----------
+
+TEST(WriteInsideLock, ProducesIdenticalRecords) {
+  auto record = [](bool inside) {
+    Options opt;
+    opt.mode = Mode::kRecord;
+    opt.strategy = Strategy::kDE;
+    opt.num_threads = 2;
+    opt.write_inside_lock = inside;
+    Engine eng(opt);
+    const GateId g = eng.register_gate("X");
+    for (int i = 0; i < 50; ++i) {
+      for (ThreadId t : {0u, 1u}) {
+        ThreadCtx& ctx = eng.thread_ctx(t);
+        const AccessKind kind =
+            i % 3 == 0 ? AccessKind::kStore : AccessKind::kLoad;
+        eng.gate_in(ctx, g, kind);
+        eng.gate_out(ctx, g, kind);
+      }
+    }
+    eng.finalize();
+    return eng.take_bundle();
+  };
+  const RecordBundle a = record(false);
+  const RecordBundle b = record(true);
+  EXPECT_EQ(a.thread_streams, b.thread_streams);  // same bytes either way
+}
+
+// ---------- sma wrappers ----------
+
+TEST(SmaWrappers, OffModeBypassesEngine) {
+  Options opt;  // mode off
+  opt.num_threads = 1;
+  Engine eng(opt);
+  ThreadCtx& t = eng.thread_ctx(0);
+  std::atomic<double> x{1.0};
+  EXPECT_EQ(eng.sma_load(t, 0, x), 1.0);  // gate id never validated in off
+  eng.sma_store(t, 0, x, 2.0);
+  EXPECT_EQ(eng.sma_fetch_add(t, 0, x, 3.0), 2.0);
+  EXPECT_EQ(x.load(), 5.0);
+  EXPECT_EQ(eng.total_events(), 0u);
+}
+
+TEST(SmaWrappers, RecordModeCountsEvents) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = Strategy::kDE;
+  opt.num_threads = 1;
+  Engine eng(opt);
+  const GateId g = eng.register_gate("X");
+  ThreadCtx& t = eng.thread_ctx(0);
+  std::atomic<std::uint64_t> x{0};
+  eng.sma_store(t, g, x, std::uint64_t{7});
+  (void)eng.sma_load(t, g, x);
+  (void)eng.sma_fetch_add(t, g, x, std::uint64_t{1});
+  eng.finalize();
+  EXPECT_EQ(eng.total_events(), 3u);
+  EXPECT_EQ(x.load(), 8u);
+}
+
+TEST(Finalize, IsIdempotent) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = Strategy::kDC;
+  opt.num_threads = 1;
+  Engine eng(opt);
+  const GateId g = eng.register_gate("X");
+  ThreadCtx& t = eng.thread_ctx(0);
+  eng.gate_in(t, g, AccessKind::kOther);
+  eng.gate_out(t, g, AccessKind::kOther);
+  eng.finalize();
+  eng.finalize();  // second call is a no-op
+  const RecordBundle b = eng.take_bundle();
+  EXPECT_FALSE(b.thread_streams.at(0).empty());
+}
+
+TEST(GateNames, RegistrationIsIdempotentAndOrdered) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.num_threads = 1;
+  Engine eng(opt);
+  EXPECT_EQ(eng.register_gate("alpha"), 0u);
+  EXPECT_EQ(eng.register_gate("beta"), 1u);
+  EXPECT_EQ(eng.register_gate("alpha"), 0u);
+  EXPECT_EQ(eng.gate_count(), 2u);
+  EXPECT_EQ(eng.gate_ref(1).name, "beta");
+}
+
+}  // namespace
+}  // namespace reomp::core

@@ -1,0 +1,208 @@
+// DE epoch assignment, including the paper's Table V worked example.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/bundle.hpp"
+#include "src/core/engine.hpp"
+
+namespace reomp::core {
+namespace {
+
+struct Access {
+  ThreadId tid;
+  AccessKind kind;
+};
+
+// Drive a single-gate access sequence through a record engine from one test
+// thread (the engine keys everything off the ThreadCtx, not the OS thread)
+// and return the recorded per-thread value streams.
+std::vector<std::vector<std::uint64_t>> record_sequence(
+    Strategy strategy, std::uint32_t num_threads,
+    const std::vector<Access>& accesses, RecordBundle* bundle_out = nullptr,
+    std::uint32_t history_cap = 1u << 20) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = strategy;
+  opt.num_threads = num_threads;
+  opt.history_capacity = history_cap;
+  Engine eng(opt);
+  const GateId g = eng.register_gate("X");
+  for (const auto& a : accesses) {
+    ThreadCtx& ctx = eng.thread_ctx(a.tid);
+    eng.gate_in(ctx, g, a.kind);
+    eng.gate_out(ctx, g, a.kind);
+  }
+  eng.finalize();
+  RecordBundle bundle = eng.take_bundle();
+
+  std::vector<std::vector<std::uint64_t>> values(num_threads);
+  for (ThreadId t = 0; t < num_threads; ++t) {
+    trace::MemorySource src(bundle.thread_streams[t]);
+    trace::RecordReader reader(src);
+    for (auto e = reader.next(); e; e = reader.next()) {
+      values[t].push_back(e->value);
+    }
+  }
+  if (bundle_out != nullptr) *bundle_out = std::move(bundle);
+  return values;
+}
+
+constexpr auto kLoad = AccessKind::kLoad;
+constexpr auto kStore = AccessKind::kStore;
+constexpr auto kOther = AccessKind::kOther;
+
+// Paper Table V: accesses x0..x6 on address X by threads T1,T2,T3
+// (mapped to tids 0,1,2). Expected DE epochs: 0,0,0,3,3,5,6.
+const std::vector<Access> kTableV = {
+    {0, kLoad},   // x0
+    {1, kLoad},   // x1
+    {2, kLoad},   // x2
+    {0, kStore},  // x3
+    {1, kStore},  // x4
+    {2, kStore},  // x5
+    {0, kLoad},   // x6
+};
+
+TEST(EpochTableV, DeMatchesPaperEpochs) {
+  const auto v = record_sequence(Strategy::kDE, 3, kTableV);
+  // T1 (tid 0): x0, x3, x6 -> epochs 0, 3, 6
+  EXPECT_EQ(v[0], (std::vector<std::uint64_t>{0, 3, 6}));
+  // T2 (tid 1): x1, x4 -> epochs 0, 3
+  EXPECT_EQ(v[1], (std::vector<std::uint64_t>{0, 3}));
+  // T3 (tid 2): x2, x5 -> epochs 0, 5
+  EXPECT_EQ(v[2], (std::vector<std::uint64_t>{0, 5}));
+}
+
+TEST(EpochTableV, DcRecordsRawClocks) {
+  const auto v = record_sequence(Strategy::kDC, 3, kTableV);
+  EXPECT_EQ(v[0], (std::vector<std::uint64_t>{0, 3, 6}));
+  EXPECT_EQ(v[1], (std::vector<std::uint64_t>{1, 4}));
+  EXPECT_EQ(v[2], (std::vector<std::uint64_t>{2, 5}));
+}
+
+TEST(EpochTableV, EpochHistogramMatchesPaperExample) {
+  RecordBundle bundle;
+  record_sequence(Strategy::kDE, 3, kTableV, &bundle);
+  // Paper: "the sizes of epoch 0, 3, 5 and 6 ... are respectively 3, 2, 1
+  // and 1" => histogram {1: 2, 2: 1, 3: 1}.
+  const auto& h = bundle.epoch_histogram.counts();
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.at(1), 2u);
+  EXPECT_EQ(h.at(2), 1u);
+  EXPECT_EQ(h.at(3), 1u);
+  EXPECT_EQ(bundle.epoch_histogram.total_accesses(), 7u);
+  EXPECT_EQ(bundle.epoch_histogram.total_epochs(), 4u);
+}
+
+TEST(EpochAssignment, PureLoadRunSharesOneEpoch) {
+  std::vector<Access> seq;
+  for (int i = 0; i < 10; ++i) seq.push_back({static_cast<ThreadId>(i % 3), kLoad});
+  const auto v = record_sequence(Strategy::kDE, 3, seq);
+  for (const auto& stream : v) {
+    for (const auto val : stream) EXPECT_EQ(val, 0u);
+  }
+}
+
+TEST(EpochAssignment, StoreRunKeepsLastStoreExclusive) {
+  // s0 s1 s2 s3 then load: stores 0..2 share epoch 0, store 3 gets epoch 3,
+  // load gets epoch 4.
+  std::vector<Access> seq = {{0, kStore}, {1, kStore}, {2, kStore},
+                             {0, kStore}, {1, kLoad}};
+  const auto v = record_sequence(Strategy::kDE, 3, seq);
+  EXPECT_EQ(v[0], (std::vector<std::uint64_t>{0, 3}));
+  EXPECT_EQ(v[1], (std::vector<std::uint64_t>{0, 4}));
+  EXPECT_EQ(v[2], (std::vector<std::uint64_t>{0}));
+}
+
+TEST(EpochAssignment, TrailingStoreRunResolvedAtFinalize) {
+  // Record ends mid store-run: the final store cannot swap with its
+  // predecessor (no third store follows), so it keeps its own epoch.
+  std::vector<Access> seq = {{0, kStore}, {1, kStore}, {2, kStore}};
+  const auto v = record_sequence(Strategy::kDE, 3, seq);
+  EXPECT_EQ(v[0], (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(v[1], (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(v[2], (std::vector<std::uint64_t>{2}));
+}
+
+TEST(EpochAssignment, OtherAccessesNeverShareEpochs) {
+  std::vector<Access> seq = {{0, kOther}, {1, kOther}, {2, kOther},
+                             {0, kOther}};
+  const auto v = record_sequence(Strategy::kDE, 3, seq);
+  EXPECT_EQ(v[0], (std::vector<std::uint64_t>{0, 3}));
+  EXPECT_EQ(v[1], (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(v[2], (std::vector<std::uint64_t>{2}));
+}
+
+TEST(EpochAssignment, OtherBreaksLoadRun) {
+  std::vector<Access> seq = {{0, kLoad}, {1, kOther}, {2, kLoad}, {0, kLoad}};
+  const auto v = record_sequence(Strategy::kDE, 3, seq);
+  EXPECT_EQ(v[0], (std::vector<std::uint64_t>{0, 2}));  // second load joins
+  EXPECT_EQ(v[1], (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(v[2], (std::vector<std::uint64_t>{2}));
+}
+
+TEST(EpochAssignment, StoreAfterOtherStartsFreshRun) {
+  std::vector<Access> seq = {{0, kOther}, {1, kStore}, {2, kStore},
+                             {0, kStore}, {1, kLoad}};
+  const auto v = record_sequence(Strategy::kDE, 3, seq);
+  // stores at clocks 1,2,3; store 3 followed by load -> own epoch.
+  EXPECT_EQ(v[1], (std::vector<std::uint64_t>{1, 4}));
+  EXPECT_EQ(v[2], (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(v[0], (std::vector<std::uint64_t>{0, 3}));
+}
+
+TEST(EpochAssignment, HistoryCapBoundsXc) {
+  // With cap 2, the 4th consecutive load can reach back at most 2.
+  std::vector<Access> seq = {{0, kLoad}, {1, kLoad}, {2, kLoad}, {0, kLoad}};
+  const auto v = record_sequence(Strategy::kDE, 3, seq, nullptr,
+                                 /*history_cap=*/2);
+  EXPECT_EQ(v[0], (std::vector<std::uint64_t>{0, 1}));  // clock3 - cap2 = 1
+  EXPECT_EQ(v[1], (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(v[2], (std::vector<std::uint64_t>{0}));
+}
+
+TEST(EpochAssignment, AlternatingLoadStoreDegeneratesToDc) {
+  std::vector<Access> seq = {{0, kLoad},  {1, kStore}, {2, kLoad},
+                             {0, kStore}, {1, kLoad}};
+  RecordBundle bundle;
+  record_sequence(Strategy::kDE, 3, seq, &bundle);
+  // No run longer than 1: every epoch has size 1.
+  const auto& h = bundle.epoch_histogram.counts();
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.at(1), 5u);
+}
+
+TEST(EpochAssignment, IndependentGatesTrackIndependentRuns) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = Strategy::kDE;
+  opt.num_threads = 2;
+  Engine eng(opt);
+  const GateId gx = eng.register_gate("X");
+  const GateId gy = eng.register_gate("Y");
+  ThreadCtx& t0 = eng.thread_ctx(0);
+  ThreadCtx& t1 = eng.thread_ctx(1);
+  // Interleave loads on X with stores on Y; runs must not interfere.
+  for (int i = 0; i < 3; ++i) {
+    eng.gate_in(t0, gx, AccessKind::kLoad);
+    eng.gate_out(t0, gx, AccessKind::kLoad);
+    eng.gate_in(t1, gy, AccessKind::kStore);
+    eng.gate_out(t1, gy, AccessKind::kStore);
+  }
+  eng.finalize();
+  RecordBundle bundle = eng.take_bundle();
+  trace::MemorySource s0(bundle.thread_streams[0]);
+  trace::RecordReader r0(s0);
+  // All three loads on X share epoch 0 (X has its own clock domain).
+  for (int i = 0; i < 3; ++i) {
+    auto e = r0.next();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->gate, gx);
+    EXPECT_EQ(e->value, 0u);
+  }
+  EXPECT_FALSE(r0.next().has_value());
+}
+
+}  // namespace
+}  // namespace reomp::core

@@ -1,0 +1,101 @@
+// Record-to-files / replay-from-files round trips (the production path:
+// the in-memory bundle is a test convenience; real runs use a directory,
+// typically on tmpfs).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "src/romp/team.hpp"
+#include "src/trace/manifest.hpp"
+#include "src/trace/trace_dir.hpp"
+
+namespace reomp::core {
+namespace {
+
+std::string temp_record_dir(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("reomp_file_rt_" + std::to_string(::getpid()) + "_" + tag))
+      .string();
+}
+
+double run_app(Mode mode, Strategy strategy, const std::string& dir,
+               std::uint32_t threads) {
+  romp::TeamOptions topt;
+  topt.num_threads = threads;
+  topt.engine.mode = mode;
+  topt.engine.strategy = strategy;
+  topt.engine.dir = dir;
+  romp::Team team(topt);
+  romp::Handle h = team.register_handle("file_rt:sum");
+
+  std::atomic<double> sum{0.0};
+  team.parallel([&](romp::WorkerCtx& w) {
+    for (int i = 0; i < 300; ++i) {
+      team.racy_update(w, h, sum, [](double v) { return v + 1.0; });
+    }
+  });
+  team.finalize();
+  return sum.load();
+}
+
+class FileRoundTrip : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(FileRoundTrip, RecordToDirReplayFromDir) {
+  const Strategy strategy = GetParam();
+  const std::string dir =
+      temp_record_dir(std::string(to_string(strategy)));
+  const double recorded = run_app(Mode::kRecord, strategy, dir, 4);
+
+  // The directory holds a manifest plus the strategy's record files.
+  auto manifest = trace::Manifest::load(trace::manifest_path(dir));
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->strategy, std::string(to_string(strategy)));
+  EXPECT_EQ(manifest->num_threads, 4u);
+  if (strategy == Strategy::kST) {
+    EXPECT_TRUE(trace::file_exists(trace::shared_file_path(dir)));
+  } else {
+    for (std::uint32_t t = 0; t < 4; ++t) {
+      EXPECT_TRUE(trace::file_exists(trace::thread_file_path(dir, t)))
+          << "missing per-thread file t" << t;
+    }
+  }
+
+  for (int trial = 0; trial < 2; ++trial) {
+    EXPECT_EQ(run_app(Mode::kReplay, strategy, dir, 4), recorded);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_P(FileRoundTrip, ReRecordOverwritesOldFiles) {
+  const Strategy strategy = GetParam();
+  const std::string dir =
+      temp_record_dir(std::string(to_string(strategy)) + "_rerec");
+  (void)run_app(Mode::kRecord, strategy, dir, 4);
+  const double second = run_app(Mode::kRecord, strategy, dir, 2);  // fewer
+  auto manifest = trace::Manifest::load(trace::manifest_path(dir));
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->num_threads, 2u);  // manifest reflects the re-record
+  // Stale t2/t3 files from the first recording must be gone.
+  EXPECT_FALSE(trace::file_exists(trace::thread_file_path(dir, 3)));
+  EXPECT_EQ(run_app(Mode::kReplay, strategy, dir, 2), second);
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, FileRoundTrip,
+                         ::testing::Values(Strategy::kST, Strategy::kDC,
+                                           Strategy::kDE),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(FileReplay, MissingDirFailsCleanly) {
+  romp::TeamOptions topt;
+  topt.num_threads = 2;
+  topt.engine.mode = Mode::kReplay;
+  topt.engine.dir = temp_record_dir("missing") + "/nope";
+  EXPECT_THROW(romp::Team team(topt), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace reomp::core

@@ -1,0 +1,246 @@
+// Unit and integration tests for the minimpi substrate and its
+// ReMPI-style match-order recorder.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/minimpi/world.hpp"
+
+namespace reomp::mpi {
+namespace {
+
+TEST(P2p, ExactReceivePreservesPairFifo) {
+  World world({.num_ranks = 2});
+  run_world(world, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 100; ++i) comm.send_value(1, /*tag=*/5, i);
+    } else {
+      for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(comm.recv_value<int>(0, 5), i);  // FIFO per (src, tag)
+      }
+    }
+  });
+}
+
+TEST(P2p, TagsSelectMessages) {
+  World world({.num_ranks = 2});
+  run_world(world, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, /*tag=*/1, 111);
+      comm.send_value(1, /*tag=*/2, 222);
+    } else {
+      // Receive out of send order by tag.
+      EXPECT_EQ(comm.recv_value<int>(0, 2), 222);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 111);
+    }
+  });
+}
+
+TEST(P2p, WildcardReceiveReportsSource) {
+  World world({.num_ranks = 3});
+  run_world(world, [](Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send_value(0, /*tag=*/9, comm.rank() * 10);
+    } else {
+      int total = 0;
+      for (int i = 0; i < 2; ++i) {
+        Status st;
+        const int v = comm.recv_value<int>(kAnySource, 9, &st);
+        EXPECT_EQ(v, st.source * 10);
+        total += v;
+      }
+      EXPECT_EQ(total, 30);
+    }
+  });
+}
+
+TEST(P2p, VectorPayloadRoundTrip) {
+  World world({.num_ranks = 2});
+  run_world(world, [](Comm& comm) {
+    std::vector<double> payload(1000);
+    std::iota(payload.begin(), payload.end(), 0.5);
+    if (comm.rank() == 0) {
+      comm.send_vec(1, 3, payload);
+    } else {
+      EXPECT_EQ(comm.recv_vec<double>(0, 3), payload);
+    }
+  });
+}
+
+TEST(P2p, SendToInvalidRankThrows) {
+  World world({.num_ranks = 1});
+  EXPECT_THROW(run_world(world,
+                         [](Comm& comm) { comm.send_value(5, 0, 1); }),
+               std::out_of_range);
+}
+
+TEST(Collectives, BarrierSeparatesPhases) {
+  World world({.num_ranks = 4});
+  std::atomic<int> phase0{0};
+  std::atomic<bool> violated{false};
+  run_world(world, [&](Comm& comm) {
+    phase0.fetch_add(1);
+    comm.barrier();
+    if (phase0.load() != 4) violated.store(true);
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Collectives, BcastDistributesFromRoot) {
+  World world({.num_ranks = 4});
+  run_world(world, [](Comm& comm) {
+    const double v = comm.bcast(comm.rank() == 2 ? 3.25 : 0.0, /*root=*/2);
+    EXPECT_EQ(v, 3.25);
+  });
+}
+
+TEST(Collectives, AllreduceSumsEverything) {
+  World world({.num_ranks = 5});
+  run_world(world, [](Comm& comm) {
+    const double total = comm.allreduce_sum(static_cast<double>(comm.rank()));
+    EXPECT_EQ(total, 10.0);  // 0+1+2+3+4
+  });
+}
+
+TEST(Collectives, VectorAllreduce) {
+  World world({.num_ranks = 3});
+  run_world(world, [](Comm& comm) {
+    std::vector<double> local = {1.0 * comm.rank(), 2.0 * comm.rank()};
+    const auto total = comm.allreduce_sum(local);
+    EXPECT_EQ(total, (std::vector<double>{3.0, 6.0}));
+  });
+}
+
+// ---- ReMPI-style record/replay ----
+
+// A wildcard-receive workload whose result is order-sensitive: rank 0
+// folds received values with a non-commutative combine.
+double run_fold(core::Mode mode, const RempiBundle* bundle,
+                RempiBundle* bundle_out) {
+  WorldOptions wopt;
+  wopt.num_ranks = 6;
+  wopt.record = mode;
+  wopt.bundle = bundle;
+  World world(wopt);
+  std::atomic<double> result{0.0};
+  run_world(world, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      double acc = 1.0;
+      for (int i = 1; i < comm.size(); ++i) {
+        const double v = comm.recv_value<double>(kAnySource, 1);
+        acc = acc * 1.5 + v;  // order-sensitive fold
+      }
+      result.store(acc);
+    } else {
+      // Each rank sends several messages to boost match nondeterminism.
+      comm.send_value(0, 1, static_cast<double>(comm.rank()));
+    }
+  });
+  if (bundle_out != nullptr) *bundle_out = world.take_bundle();
+  return result.load();
+}
+
+TEST(Rempi, WildcardMatchOrderReplays) {
+  for (int trial = 0; trial < 5; ++trial) {
+    RempiBundle bundle;
+    const double recorded = run_fold(core::Mode::kRecord, nullptr, &bundle);
+    const double replayed1 = run_fold(core::Mode::kReplay, &bundle, nullptr);
+    const double replayed2 = run_fold(core::Mode::kReplay, &bundle, nullptr);
+    EXPECT_EQ(replayed1, recorded) << "trial " << trial;
+    EXPECT_EQ(replayed2, recorded) << "trial " << trial;
+  }
+}
+
+TEST(Rempi, ArrivalOrderReductionReplaysBitExact) {
+  auto run = [](core::Mode mode, const RempiBundle* bundle,
+                RempiBundle* out) {
+    WorldOptions wopt;
+    wopt.num_ranks = 8;
+    wopt.record = mode;
+    wopt.bundle = bundle;
+    World world(wopt);
+    std::atomic<double> result{0.0};
+    run_world(world, [&](Comm& comm) {
+      // Mixed magnitudes: the FP sum depends on arrival order.
+      double local = comm.rank() % 2 == 0 ? 1e16 : 1.0 + 1e-7 * comm.rank();
+      const double total = comm.allreduce_sum(local);
+      if (comm.rank() == 0) result.store(total);
+    });
+    if (out != nullptr) *out = world.take_bundle();
+    return result.load();
+  };
+  RempiBundle bundle;
+  const double recorded = run(core::Mode::kRecord, nullptr, &bundle);
+  EXPECT_EQ(run(core::Mode::kReplay, &bundle, nullptr), recorded);
+}
+
+TEST(Rempi, ExtraWildcardReceiveDiverges) {
+  // Record one wildcard receive; replay attempts two.
+  RempiBundle bundle;
+  {
+    WorldOptions wopt;
+    wopt.num_ranks = 2;
+    wopt.record = core::Mode::kRecord;
+    World world(wopt);
+    run_world(world, [](Comm& comm) {
+      if (comm.rank() == 1) comm.send_value(0, 1, 7);
+      else (void)comm.recv_value<int>(kAnySource, 1);
+    });
+    bundle = world.take_bundle();
+  }
+  WorldOptions wopt;
+  wopt.num_ranks = 2;
+  wopt.record = core::Mode::kReplay;
+  wopt.bundle = &bundle;
+  World world(wopt);
+  EXPECT_THROW(
+      run_world(world,
+                [](Comm& comm) {
+                  if (comm.rank() == 1) {
+                    comm.send_value(0, 1, 7);
+                    comm.send_value(0, 1, 8);
+                  } else {
+                    (void)comm.recv_value<int>(kAnySource, 1);
+                    (void)comm.recv_value<int>(kAnySource, 1);  // diverges
+                  }
+                }),
+      std::runtime_error);
+}
+
+TEST(Rempi, IncompatibleRecordedMatchDiverges) {
+  // Record a match from rank 1 on tag 1; replay posts a receive that can
+  // never accept it (different tag).
+  RempiBundle bundle;
+  {
+    WorldOptions wopt;
+    wopt.num_ranks = 2;
+    wopt.record = core::Mode::kRecord;
+    World world(wopt);
+    run_world(world, [](Comm& comm) {
+      if (comm.rank() == 1) comm.send_value(0, 1, 7);
+      else (void)comm.recv_value<int>(kAnySource, 1);
+    });
+    bundle = world.take_bundle();
+  }
+  WorldOptions wopt;
+  wopt.num_ranks = 2;
+  wopt.record = core::Mode::kReplay;
+  wopt.bundle = &bundle;
+  World world(wopt);
+  EXPECT_THROW(
+      run_world(world,
+                [](Comm& comm) {
+                  if (comm.rank() == 1) {
+                    comm.send_value(0, 2, 7);
+                  } else {
+                    (void)comm.recv_value<int>(kAnySource, /*tag=*/2);
+                  }
+                }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace reomp::mpi

@@ -1,0 +1,113 @@
+// MPI_THREAD_MULTIPLE composition (paper §VI-C): several OpenMP threads of
+// one rank issue wildcard receives concurrently; replay must reproduce both
+// which message each receive matched (ReMPI layer) and which thread
+// performed each receive (ReOMP gate).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/core/bundle.hpp"
+#include "src/minimpi/thread_multiple.hpp"
+#include "src/romp/team.hpp"
+
+namespace reomp::mpi {
+namespace {
+
+using core::Mode;
+
+struct HybridState {
+  RempiBundle rempi;
+  core::RecordBundle reomp;
+};
+
+// Rank 0 runs 3 threads all receiving from ANY_SOURCE; ranks 1..3 each send
+// several tagged values. The per-thread folds depend on which thread got
+// which message — the full §VI-C nondeterminism stack.
+std::vector<double> run(Mode mode, const HybridState* state,
+                        HybridState* state_out) {
+  WorldOptions wopt;
+  wopt.num_ranks = 4;
+  wopt.record = mode;
+  if (mode == Mode::kReplay) wopt.bundle = &state->rempi;
+  World world(wopt);
+
+  constexpr std::uint32_t kThreads = 3;
+  constexpr int kMsgsPerSender = 6;
+  std::vector<double> per_thread(kThreads, 0.0);
+  core::RecordBundle reomp_out;
+
+  run_world(world, [&](Comm& comm) {
+    if (comm.rank() != 0) {
+      for (int i = 0; i < kMsgsPerSender; ++i) {
+        comm.send_value(0, /*tag=*/1,
+                        static_cast<double>(comm.rank() * 100 + i));
+      }
+      return;
+    }
+    romp::TeamOptions topt;
+    topt.num_threads = kThreads;
+    topt.engine.mode = mode;
+    topt.engine.wait_policy = Backoff::Policy::kSpinYield;
+    topt.pin_threads = false;
+    if (mode == Mode::kReplay) topt.engine.bundle = &state->reomp;
+    romp::Team team(topt);
+    romp::Handle h = team.register_handle("tm:recv");
+
+    constexpr int kTotal = 3 * kMsgsPerSender;
+    std::atomic<int> remaining{kTotal};
+    team.parallel([&](romp::WorkerCtx& w) {
+      double fold = 0.0;
+      // Threads greedily drain messages; who performs each receive is the
+      // thread-level nondeterminism the gate records. The claim of "is
+      // there work left" is itself gated so the count check replays.
+      for (;;) {
+        bool mine = false;
+        team.critical(w, h, [&] {
+          if (remaining.load(std::memory_order_relaxed) > 0) {
+            remaining.fetch_sub(1, std::memory_order_relaxed);
+            mine = true;
+          }
+        });
+        if (!mine) break;
+        const double v =
+            recv_value_gated<double>(comm, team, w, h, kAnySource, 1);
+        fold = fold * 1.25 + v;  // order-sensitive per-thread fold
+      }
+      per_thread[w.tid] = fold;
+    });
+    team.finalize();
+    if (mode == Mode::kRecord) reomp_out = team.engine().take_bundle();
+  });
+
+  if (state_out != nullptr) {
+    state_out->rempi = world.take_bundle();
+    state_out->reomp = std::move(reomp_out);
+  }
+  return per_thread;
+}
+
+TEST(ThreadMultiple, PerThreadMessageAssignmentReplays) {
+  for (int trial = 0; trial < 3; ++trial) {
+    HybridState state;
+    const auto recorded = run(Mode::kRecord, nullptr, &state);
+    const auto replayed = run(Mode::kReplay, &state, nullptr);
+    EXPECT_EQ(replayed, recorded) << "trial " << trial;
+  }
+}
+
+TEST(ThreadMultiple, AllMessagesConsumedExactlyOnce) {
+  HybridState state;
+  const auto folds = run(Mode::kRecord, nullptr, &state);
+  // Fold values are order-sensitive, but the multiset of consumed messages
+  // is total: at minimum, some thread received something from every sender
+  // (sum of folds > 0 and 18 receives happened — checked by replay not
+  // diverging).
+  double total = 0;
+  for (double f : folds) total += f;
+  EXPECT_GT(total, 0.0);
+  (void)run(Mode::kReplay, &state, nullptr);  // consumes all 18 again
+}
+
+}  // namespace
+}  // namespace reomp::mpi

@@ -1,0 +1,230 @@
+// Unit tests for the happens-before race detector and the report/plan
+// pipeline (the Tsan-substitute in the Fig. 2 toolflow).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/race/detector.hpp"
+#include "src/race/report.hpp"
+#include "src/race/vclock.hpp"
+
+namespace reomp::race {
+namespace {
+
+// ---------- vector clocks ----------
+
+TEST(VectorClock, TickAndGet) {
+  VectorClock c(3);
+  EXPECT_EQ(c.get(1), 0u);
+  c.tick(1);
+  c.tick(1);
+  EXPECT_EQ(c.get(1), 2u);
+  EXPECT_EQ(c.get(5), 0u);  // out of range reads as 0
+}
+
+TEST(VectorClock, JoinTakesPointwiseMax) {
+  VectorClock a(3), b(3);
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 7);
+  b.set(2, 2);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 7u);
+  EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClock, CoversEpoch) {
+  VectorClock c(2);
+  c.set(1, 4);
+  EXPECT_TRUE(c.covers(Epoch(1, 4)));
+  EXPECT_TRUE(c.covers(Epoch(1, 3)));
+  EXPECT_FALSE(c.covers(Epoch(1, 5)));
+  EXPECT_TRUE(c.covers(Epoch()));  // zero epoch: never accessed
+}
+
+TEST(VectorClock, CoversVectorClock) {
+  VectorClock big(2), small(2);
+  big.set(0, 3);
+  big.set(1, 3);
+  small.set(0, 2);
+  EXPECT_TRUE(big.covers(small));
+  small.set(1, 9);
+  EXPECT_FALSE(big.covers(small));
+}
+
+TEST(Epoch, PacksTidAndClock) {
+  Epoch e(200, (1ULL << 56) - 1);
+  EXPECT_EQ(e.tid(), 200u);
+  EXPECT_EQ(e.clock(), (1ULL << 56) - 1);
+  EXPECT_TRUE(Epoch().is_zero());
+}
+
+// ---------- detector ----------
+
+struct Var {
+  std::uintptr_t addr() const { return reinterpret_cast<std::uintptr_t>(this); }
+  int v = 0;
+};
+
+TEST(Detector, FlagsWriteWriteRace) {
+  SiteRegistry sites;
+  Detector d(2, sites);
+  const SiteId s1 = sites.intern("w1");
+  const SiteId s2 = sites.intern("w2");
+  Var x;
+  d.on_write(0, x.addr(), s1);
+  d.on_write(1, x.addr(), s2);  // unordered with the first
+  EXPECT_EQ(d.races_observed(), 1u);
+  const auto report = d.report();
+  ASSERT_EQ(report.pairs().size(), 1u);
+  EXPECT_EQ(report.pairs()[0].site_a, "w1");
+  EXPECT_EQ(report.pairs()[0].site_b, "w2");
+}
+
+TEST(Detector, FlagsReadWriteAndWriteReadRaces) {
+  SiteRegistry sites;
+  Detector d(2, sites);
+  const SiteId rd = sites.intern("rd");
+  const SiteId wr = sites.intern("wr");
+  Var x, y;
+  d.on_read(0, x.addr(), rd);
+  d.on_write(1, x.addr(), wr);  // read-write race
+  d.on_write(0, y.addr(), wr);
+  d.on_read(1, y.addr(), rd);  // write-read race
+  EXPECT_EQ(d.races_observed(), 2u);
+}
+
+TEST(Detector, LockProtectedAccessesDoNotRace) {
+  SiteRegistry sites;
+  Detector d(2, sites);
+  const SiteId s = sites.intern("guarded");
+  Var x;
+  d.on_acquire(0, 99);
+  d.on_write(0, x.addr(), s);
+  d.on_release(0, 99);
+  d.on_acquire(1, 99);  // acquires thread 0's release clock
+  d.on_write(1, x.addr(), s);
+  d.on_release(1, 99);
+  EXPECT_EQ(d.races_observed(), 0u);
+}
+
+TEST(Detector, DistinctLocksDoNotOrder) {
+  SiteRegistry sites;
+  Detector d(2, sites);
+  const SiteId s = sites.intern("misguarded");
+  Var x;
+  d.on_acquire(0, 1);
+  d.on_write(0, x.addr(), s);
+  d.on_release(0, 1);
+  d.on_acquire(1, 2);  // different lock: no happens-before edge
+  d.on_write(1, x.addr(), s);
+  d.on_release(1, 2);
+  EXPECT_EQ(d.races_observed(), 1u);
+}
+
+TEST(Detector, BarrierOrdersEverything) {
+  SiteRegistry sites;
+  Detector d(3, sites);
+  const SiteId s = sites.intern("phased");
+  Var x;
+  d.on_write(0, x.addr(), s);
+  d.on_barrier();
+  d.on_write(1, x.addr(), s);  // ordered after thread 0 via the barrier
+  d.on_barrier();
+  d.on_read(2, x.addr(), s);
+  EXPECT_EQ(d.races_observed(), 0u);
+}
+
+TEST(Detector, ForkJoinOrder) {
+  SiteRegistry sites;
+  Detector d(2, sites);
+  const SiteId s = sites.intern("forked");
+  Var x;
+  d.on_write(0, x.addr(), s);
+  d.on_fork(0, 1);
+  d.on_write(1, x.addr(), s);  // child sees parent's write
+  d.on_join(0, 1);
+  d.on_read(0, x.addr(), s);  // parent sees child's write
+  EXPECT_EQ(d.races_observed(), 0u);
+}
+
+TEST(Detector, ConcurrentReadersThenWriterRace) {
+  // FastTrack read-share inflation: two unordered readers, then a writer
+  // unordered with both — exactly one read-write race set per reader
+  // epoch surviving in the clock.
+  SiteRegistry sites;
+  Detector d(3, sites);
+  const SiteId r = sites.intern("reader");
+  const SiteId w = sites.intern("writer");
+  Var x;
+  d.on_read(0, x.addr(), r);
+  d.on_read(1, x.addr(), r);  // concurrent with reader 0: no race (both reads)
+  EXPECT_EQ(d.races_observed(), 0u);
+  d.on_write(2, x.addr(), w);
+  EXPECT_GE(d.races_observed(), 1u);
+  const auto report = d.report();
+  ASSERT_FALSE(report.empty());
+}
+
+TEST(Detector, SameThreadSequencesNeverRace) {
+  SiteRegistry sites;
+  Detector d(1, sites);
+  const SiteId s = sites.intern("solo");
+  Var x;
+  for (int i = 0; i < 10; ++i) {
+    d.on_write(0, x.addr(), s);
+    d.on_read(0, x.addr(), s);
+  }
+  EXPECT_EQ(d.races_observed(), 0u);
+}
+
+// ---------- report / plan ----------
+
+TEST(RaceReport, DeduplicatesAndCounts) {
+  RaceReport r;
+  r.add("a", "b");
+  r.add("b", "a");  // order-insensitive
+  r.add("a", "c");
+  ASSERT_EQ(r.pairs().size(), 2u);
+  EXPECT_EQ(r.pairs()[0].count, 2u);
+}
+
+TEST(RaceReport, TextRoundTrip) {
+  RaceReport r;
+  r.add("file.c:12", "file.c:40");
+  r.add("x", "y");
+  auto parsed = RaceReport::from_text(r.to_text());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->pairs(), r.pairs());
+}
+
+TEST(InstrumentPlan, GroupsTransitiveRacesUnderOneGate) {
+  RaceReport r;
+  r.add("a", "b");
+  r.add("b", "c");  // a-b-c form one component
+  r.add("x", "y");  // separate component
+  const auto plan = InstrumentPlan::from_report(r);
+  ASSERT_TRUE(plan.gate_for("a").has_value());
+  EXPECT_EQ(*plan.gate_for("a"), *plan.gate_for("b"));
+  EXPECT_EQ(*plan.gate_for("b"), *plan.gate_for("c"));
+  ASSERT_TRUE(plan.gate_for("x").has_value());
+  EXPECT_NE(*plan.gate_for("a"), *plan.gate_for("x"));
+  EXPECT_EQ(*plan.gate_for("x"), *plan.gate_for("y"));
+  EXPECT_FALSE(plan.gate_for("race_free_site").has_value());
+  EXPECT_EQ(plan.gated_site_count(), 5u);
+}
+
+TEST(InstrumentPlan, GateNamesAreStableHashes) {
+  RaceReport r1, r2;
+  r1.add("p", "q");
+  r2.add("q", "p");
+  const auto plan1 = InstrumentPlan::from_report(r1);
+  const auto plan2 = InstrumentPlan::from_report(r2);
+  EXPECT_EQ(*plan1.gate_for("p"), *plan2.gate_for("p"));
+  EXPECT_EQ(plan1.gate_for("p")->rfind("race:", 0), 0u);
+}
+
+}  // namespace
+}  // namespace reomp::race

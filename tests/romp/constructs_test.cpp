@@ -1,0 +1,243 @@
+// Tests for the romp runtime constructs beyond the basic round trip:
+// reductions, spin flags, dynamic scheduling, detection mode, barriers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "src/core/bundle.hpp"
+#include "src/romp/reduction.hpp"
+#include "src/romp/spinflag.hpp"
+#include "src/romp/team.hpp"
+
+namespace reomp::romp {
+namespace {
+
+using core::Mode;
+using core::RecordBundle;
+using core::Strategy;
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  Team team({.num_threads = 6});
+  std::vector<std::atomic<int>> hits(1000);
+  team.parallel_for(0, 1000, [&](WorkerCtx&, std::int64_t lo,
+                                 std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  Team team({.num_threads = 8});
+  std::atomic<int> count{0};
+  team.parallel_for(5, 5, [&](WorkerCtx&, std::int64_t, std::int64_t) {
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 0);
+  team.parallel_for(0, 3, [&](WorkerCtx&, std::int64_t lo, std::int64_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 3);  // 3 elements across 8 workers
+}
+
+TEST(ParallelForDynamic, CoversRangeAndReplaysAssignment) {
+  auto run = [](Mode mode, const RecordBundle* bundle, RecordBundle* out) {
+    TeamOptions topt;
+    topt.num_threads = 4;
+    topt.engine.mode = mode;
+    topt.engine.strategy = Strategy::kDE;
+    topt.engine.bundle = bundle;
+    Team team(topt);
+    Handle h = team.register_handle("dyn:chunks");
+    // owner[i] = tid that processed element i (assignment is the
+    // nondeterminism being recorded).
+    std::vector<std::uint32_t> owner(400, ~0u);
+    team.parallel_for_dynamic(0, 400, /*chunk=*/7, h,
+                              [&](WorkerCtx& w, std::int64_t lo,
+                                  std::int64_t hi) {
+                                for (std::int64_t i = lo; i < hi; ++i) {
+                                  owner[static_cast<std::size_t>(i)] = w.tid;
+                                }
+                              });
+    team.finalize();
+    if (out != nullptr) *out = team.engine().take_bundle();
+    return owner;
+  };
+
+  RecordBundle bundle;
+  const auto recorded = run(Mode::kRecord, nullptr, &bundle);
+  for (auto o : recorded) EXPECT_NE(o, ~0u);  // full coverage
+  const auto replayed = run(Mode::kReplay, &bundle, nullptr);
+  EXPECT_EQ(replayed, recorded);  // identical chunk-to-thread assignment
+}
+
+TEST(Reducer, SumsAcrossThreads) {
+  Team team({.num_threads = 8});
+  Handle h = team.register_handle("red:sum");
+  auto reducer = make_sum_reducer<double>(team, h);
+  team.parallel([&](WorkerCtx& w) {
+    reducer.local(w) = 1.5 * (w.tid + 1);
+    reducer.combine(w);
+  });
+  EXPECT_DOUBLE_EQ(reducer.result(), 1.5 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8));
+}
+
+TEST(Reducer, ResetAllowsReuse) {
+  Team team({.num_threads = 4});
+  Handle h = team.register_handle("red:reuse");
+  auto reducer = make_sum_reducer<double>(team, h);
+  for (int round = 1; round <= 3; ++round) {
+    reducer.reset();
+    team.parallel([&](WorkerCtx& w) {
+      reducer.local(w) = static_cast<double>(round);
+      reducer.combine(w);
+    });
+    EXPECT_DOUBLE_EQ(reducer.result(), 4.0 * round);
+  }
+}
+
+TEST(SpinFlag, PublishAndWait) {
+  Team team({.num_threads = 2});
+  Handle h = team.register_handle("flag:pc");
+  SpinFlag flag(team, h);
+  std::atomic<std::uint64_t> consumed{0};
+  team.parallel([&](WorkerCtx& w) {
+    if (w.tid == 0) {
+      flag.publish(w, 42);
+    } else {
+      consumed.store(flag.wait_at_least(w, 42, /*max_polls=*/1u << 20));
+    }
+  });
+  EXPECT_EQ(consumed.load(), 42u);
+}
+
+TEST(SpinFlag, BoundedPollsReturnLastSeen) {
+  Team team({.num_threads = 1});
+  Handle h = team.register_handle("flag:bounded");
+  SpinFlag flag(team, h);
+  team.parallel([&](WorkerCtx& w) {
+    // Never published: bounded wait returns 0 after max_polls gated loads.
+    EXPECT_EQ(flag.wait_at_least(w, 1, /*max_polls=*/10), 0u);
+  });
+}
+
+TEST(Barrier, PhasesAreTotallyOrdered) {
+  Team team({.num_threads = 8});
+  std::atomic<int> counter{0};
+  std::atomic<bool> violated{false};
+  team.parallel([&](WorkerCtx& w) {
+    for (int phase = 1; phase <= 20; ++phase) {
+      counter.fetch_add(1);
+      team.barrier(w);
+      if (counter.load() < phase * 8) violated.store(true);
+      team.barrier(w);
+    }
+  });
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(counter.load(), 160);
+}
+
+TEST(Exceptions, WorkerExceptionPropagatesToCaller) {
+  Team team({.num_threads = 4});
+  EXPECT_THROW(team.parallel([&](WorkerCtx& w) {
+    if (w.tid == 2) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+  // The team must remain usable after a failed region.
+  std::atomic<int> ok{0};
+  team.parallel([&](WorkerCtx&) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(DetectMode, FindsTheRacyHandleOnly) {
+  TeamOptions topt;
+  topt.num_threads = 4;
+  topt.detect = true;
+  Team team(topt);
+  Handle racy = team.register_handle("det:racy");
+  Handle guarded = team.register_handle("det:guarded");
+
+  std::atomic<std::uint64_t> a{0}, b{0};
+  team.parallel([&](WorkerCtx& w) {
+    for (int i = 0; i < 50; ++i) {
+      team.racy_store<std::uint64_t>(w, racy, a, w.tid);  // unsynchronized
+      team.atomic_fetch_add<std::uint64_t>(w, guarded, b, 1);  // atomic
+    }
+  });
+  ASSERT_NE(team.detector(), nullptr);
+  const auto report = team.detector()->report();
+  ASSERT_FALSE(report.empty());
+  for (const auto& p : report.pairs()) {
+    EXPECT_EQ(p.site_a, "det:racy");
+    EXPECT_EQ(p.site_b, "det:racy");
+  }
+}
+
+TEST(DetectMode, PlanDrivenInstrumentationRoundTrip) {
+  // Full Fig. 2 flow at the romp level: detect, plan, record, replay.
+  race::RaceReport report;
+  {
+    TeamOptions topt;
+    topt.num_threads = 4;
+    topt.detect = true;
+    Team team(topt);
+    Handle h = team.register_handle("wf:cell");
+    std::atomic<std::uint64_t> cell{0};
+    team.parallel([&](WorkerCtx& w) {
+      for (int i = 0; i < 20; ++i) {
+        team.racy_update(w, h, cell,
+                         [&](std::uint64_t v) { return v + w.tid + 1; });
+      }
+    });
+    report = team.detector()->report();
+  }
+  ASSERT_FALSE(report.empty());
+  const auto plan = race::InstrumentPlan::from_report(report);
+
+  auto run = [&](Mode mode, const RecordBundle* bundle, RecordBundle* out) {
+    TeamOptions topt;
+    topt.num_threads = 4;
+    topt.engine.mode = mode;
+    topt.engine.bundle = bundle;
+    Team team(topt);
+    Handle h = team.register_handle_with_plan("wf:cell", plan);
+    EXPECT_NE(h.gate, core::kInvalidGate);
+    std::atomic<std::uint64_t> cell{0};
+    team.parallel([&](WorkerCtx& w) {
+      for (int i = 0; i < 20; ++i) {
+        team.racy_update(w, h, cell,
+                         [&](std::uint64_t v) { return v + w.tid + 1; });
+      }
+    });
+    team.finalize();
+    if (out != nullptr) *out = team.engine().take_bundle();
+    return cell.load();
+  };
+
+  RecordBundle bundle;
+  const auto recorded = run(Mode::kRecord, nullptr, &bundle);
+  EXPECT_EQ(run(Mode::kReplay, &bundle, nullptr), recorded);
+}
+
+TEST(UngatedSites, PlanLeavesRaceFreeSitesAlone) {
+  race::RaceReport empty_report;
+  const auto plan = race::InstrumentPlan::from_report(empty_report);
+  TeamOptions topt;
+  topt.num_threads = 2;
+  topt.engine.mode = Mode::kRecord;
+  Team team(topt);
+  Handle h = team.register_handle_with_plan("never_raced", plan);
+  EXPECT_EQ(h.gate, core::kInvalidGate);
+  std::atomic<std::uint64_t> cell{0};
+  team.parallel([&](WorkerCtx& w) {
+    team.racy_store<std::uint64_t>(w, h, cell, w.tid);  // bypasses the engine
+    (void)team.racy_load(w, h, cell);
+  });
+  team.finalize();
+  EXPECT_EQ(team.engine().total_events(), 0u);
+}
+
+}  // namespace
+}  // namespace reomp::romp

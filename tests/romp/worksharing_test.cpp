@@ -1,0 +1,120 @@
+// single / master / sections: correctness and record-replay of the
+// nondeterministic executor choice.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/core/bundle.hpp"
+#include "src/romp/worksharing.hpp"
+
+namespace reomp::romp {
+namespace {
+
+using core::Mode;
+using core::RecordBundle;
+using core::Strategy;
+
+TEST(Single, ExactlyOneExecutorPerRound) {
+  Team team({.num_threads = 8});
+  Handle h = team.register_handle("ws:single");
+  SingleState state;
+  std::atomic<int> executions{0};
+  constexpr int kRounds = 25;
+  team.parallel([&](WorkerCtx& w) {
+    for (int r = 0; r < kRounds; ++r) {
+      single(team, w, h, state, [&] { executions.fetch_add(1); });
+      team.barrier(w);
+    }
+  });
+  EXPECT_EQ(executions.load(), kRounds);
+}
+
+TEST(Single, WinnerIdentityReplays) {
+  auto run = [](Mode mode, const RecordBundle* bundle, RecordBundle* out) {
+    TeamOptions topt;
+    topt.num_threads = 6;
+    topt.engine.mode = mode;
+    topt.engine.bundle = bundle;
+    Team team(topt);
+    Handle h = team.register_handle("ws:single_winner");
+    SingleState state;
+    std::vector<std::uint32_t> winners;
+    team.parallel([&](WorkerCtx& w) {
+      for (int r = 0; r < 40; ++r) {
+        single(team, w, h, state, [&] { winners.push_back(w.tid); });
+        team.barrier(w);
+      }
+    });
+    team.finalize();
+    if (out != nullptr) *out = team.engine().take_bundle();
+    return winners;
+  };
+  RecordBundle bundle;
+  const auto recorded = run(Mode::kRecord, nullptr, &bundle);
+  ASSERT_EQ(recorded.size(), 40u);
+  EXPECT_EQ(run(Mode::kReplay, &bundle, nullptr), recorded);
+}
+
+TEST(Master, AlwaysThreadZero) {
+  Team team({.num_threads = 4});
+  std::atomic<int> count{0};
+  std::atomic<std::uint32_t> who{99};
+  team.parallel([&](WorkerCtx& w) {
+    master(w, [&] {
+      count.fetch_add(1);
+      who.store(w.tid);
+    });
+  });
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_EQ(who.load(), 0u);
+}
+
+TEST(Sections, EachBodyRunsOnceAndAssignmentReplays) {
+  auto run = [](Mode mode, const RecordBundle* bundle, RecordBundle* out) {
+    TeamOptions topt;
+    topt.num_threads = 4;
+    topt.engine.mode = mode;
+    topt.engine.bundle = bundle;
+    Team team(topt);
+    Handle h = team.register_handle("ws:sections");
+    constexpr int kSections = 12;
+    std::vector<std::uint32_t> owner(kSections, ~0u);
+    SectionsState state;  // fresh one-shot state per run
+    team.parallel([&](WorkerCtx& w) {
+      // Bodies capture this worker's context so claimed sections record
+      // their executor.
+      std::vector<std::function<void()>> bodies;
+      bodies.reserve(kSections);
+      for (int i = 0; i < kSections; ++i) {
+        bodies.push_back([&owner, &w, i] { owner[i] = w.tid; });
+      }
+      sections(team, w, h, state, bodies);
+    });
+    team.finalize();
+    if (out != nullptr) *out = team.engine().take_bundle();
+    return owner;
+  };
+
+  RecordBundle bundle;
+  const auto recorded = run(Mode::kRecord, nullptr, &bundle);
+  for (auto o : recorded) EXPECT_NE(o, ~0u);
+  const auto replayed = run(Mode::kReplay, &bundle, nullptr);
+  EXPECT_EQ(replayed, recorded);  // identical section-to-thread assignment
+}
+
+TEST(Sections, OneShotCoverage) {
+  Team team({.num_threads = 3});
+  Handle h = team.register_handle("ws:sections_cov");
+  SectionsState state;
+  std::vector<std::atomic<int>> hits(9);
+  std::vector<std::function<void()>> bodies;
+  for (int i = 0; i < 9; ++i) {
+    bodies.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  team.parallel([&](WorkerCtx& w) { sections(team, w, h, state, bodies); });
+  for (auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+}  // namespace
+}  // namespace reomp::romp

@@ -1,0 +1,198 @@
+// Unit tests for the trace layer: byte I/O, record streams, manifests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+
+#include "src/common/prng.hpp"
+#include "src/trace/byte_io.hpp"
+#include "src/trace/manifest.hpp"
+#include "src/trace/record_stream.hpp"
+#include "src/trace/trace_dir.hpp"
+
+namespace reomp::trace {
+namespace {
+
+std::string temp_dir() {
+  static int counter = 0;
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("reomp_trace_test_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter++));
+  ensure_dir(dir);
+  return dir;
+}
+
+// ---------- byte sinks/sources ----------
+
+TEST(ByteIo, MemoryRoundTrip) {
+  MemorySink sink;
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  sink.write(data, sizeof(data));
+  MemorySource source(sink.take());
+  std::uint8_t out[8] = {};
+  EXPECT_EQ(source.read(out, 3), 3u);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_EQ(source.read(out, 8), 2u);  // only 2 left
+  EXPECT_EQ(source.read(out, 8), 0u);  // EOF
+}
+
+TEST(ByteIo, FileRoundTripAcrossBufferBoundaries) {
+  const std::string path = temp_dir() + "/blob.bin";
+  std::vector<std::uint8_t> data(200000);
+  Xoshiro256 rng(3);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  {
+    FileSink sink(path, /*buffer_bytes=*/512);  // force many flushes
+    // Mix of tiny and oversized writes.
+    sink.write(data.data(), 100);
+    sink.write(data.data() + 100, 5000);  // larger than the buffer
+    sink.write(data.data() + 5100, data.size() - 5100);
+  }
+  FileSource source(path, /*buffer_bytes=*/256);
+  std::vector<std::uint8_t> out(data.size() + 10);
+  const std::size_t n = source.read(out.data(), out.size());
+  ASSERT_EQ(n, data.size());
+  out.resize(n);
+  EXPECT_EQ(out, data);
+}
+
+TEST(ByteIo, OpenMissingFileThrows) {
+  EXPECT_THROW(FileSource src(temp_dir() + "/nope.bin"), std::runtime_error);
+}
+
+TEST(ByteIo, OpenUnwritablePathThrows) {
+  EXPECT_THROW(FileSink sink("/nonexistent_dir_xyz/file.bin"),
+               std::runtime_error);
+}
+
+// ---------- record streams ----------
+
+TEST(RecordStream, RoundTripPreservesEntries) {
+  MemorySink sink;
+  RecordWriter writer(sink);
+  std::vector<RecordEntry> entries;
+  Xoshiro256 rng(11);
+  std::uint64_t clock = 0;
+  for (int i = 0; i < 5000; ++i) {
+    // Mostly-monotonic values with occasional jumps, like real clocks with
+    // multiple gates multiplexed into one stream.
+    clock += rng.next_below(5);
+    if (i % 97 == 0) clock += rng.next_below(1 << 20);
+    entries.push_back({static_cast<std::uint32_t>(rng.next_below(8)), clock});
+  }
+  for (const auto& e : entries) writer.append(e);
+  writer.flush();
+  EXPECT_EQ(writer.count(), entries.size());
+
+  MemorySource source(sink.take());
+  RecordReader reader(source);
+  EXPECT_EQ(reader.read_all(), entries);
+}
+
+TEST(RecordStream, NonMonotonicValuesSurvive) {
+  // Deltas go negative when two gates' clock domains interleave.
+  MemorySink sink;
+  RecordWriter writer(sink);
+  const std::vector<RecordEntry> entries = {
+      {0, 1000}, {1, 3}, {0, 1001}, {1, 4}, {2, ~0ULL}, {0, 0}};
+  for (const auto& e : entries) writer.append(e);
+  writer.flush();
+  MemorySource source(sink.take());
+  RecordReader reader(source);
+  EXPECT_EQ(reader.read_all(), entries);
+}
+
+TEST(RecordStream, EmptyStreamYieldsNothing) {
+  MemorySource source({});
+  RecordReader reader(source);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(RecordStream, TornEntryThrows) {
+  MemorySink sink;
+  RecordWriter writer(sink);
+  writer.append({3, 1ULL << 40});
+  writer.flush();
+  auto bytes = sink.take();
+  bytes.pop_back();  // truncate mid-entry
+  MemorySource source(std::move(bytes));
+  RecordReader reader(source);
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST(RecordStream, DeltaEncodingIsCompact) {
+  // Monotonic per-thread clocks with small strides: ~2 bytes/entry.
+  MemorySink sink;
+  RecordWriter writer(sink);
+  for (std::uint64_t i = 0; i < 1000; ++i) writer.append({0, i * 8});
+  writer.flush();
+  EXPECT_LT(sink.bytes().size(), 2100u);
+}
+
+// ---------- manifest ----------
+
+TEST(Manifest, TextRoundTrip) {
+  Manifest m;
+  m.strategy = "de";
+  m.num_threads = 16;
+  m.extra["events"] = "12345";
+  m.extra["history_cap"] = "1024";
+  auto parsed = Manifest::from_text(m.to_text());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->strategy, "de");
+  EXPECT_EQ(parsed->num_threads, 16u);
+  EXPECT_EQ(parsed->extra.at("events"), "12345");
+  EXPECT_EQ(parsed->extra.at("history_cap"), "1024");
+}
+
+TEST(Manifest, FileRoundTrip) {
+  const std::string path = temp_dir() + "/manifest.txt";
+  Manifest m;
+  m.strategy = "st";
+  m.num_threads = 3;
+  m.save(path);
+  auto loaded = Manifest::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->strategy, "st");
+  EXPECT_EQ(loaded->num_threads, 3u);
+}
+
+TEST(Manifest, RejectsGarbageAndWrongVersion) {
+  EXPECT_FALSE(Manifest::from_text("not a manifest").has_value());
+  EXPECT_FALSE(Manifest::from_text("version=999\nstrategy=de\n").has_value());
+  EXPECT_FALSE(Manifest::from_text("strategy=de\n").has_value());  // no ver
+  EXPECT_FALSE(
+      Manifest::from_text("version=1\nunknown_key=1\n").has_value());
+}
+
+TEST(Manifest, LoadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(Manifest::load(temp_dir() + "/absent.txt").has_value());
+}
+
+// ---------- trace dir ----------
+
+TEST(TraceDir, PathHelpers) {
+  EXPECT_EQ(manifest_path("/x"), "/x/manifest.txt");
+  EXPECT_EQ(thread_file_path("/x", 7), "/x/t7.rec");
+  EXPECT_EQ(shared_file_path("/x"), "/x/shared.rec");
+}
+
+TEST(TraceDir, EnsureAndClear) {
+  const std::string dir = temp_dir() + "/sub/deeper";
+  ensure_dir(dir);
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  {
+    FileSink sink(dir + "/a.rec");
+    const std::uint8_t b = 1;
+    sink.write(&b, 1);
+  }
+  EXPECT_TRUE(file_exists(dir + "/a.rec"));
+  clear_dir(dir);
+  EXPECT_FALSE(file_exists(dir + "/a.rec"));
+  EXPECT_TRUE(std::filesystem::is_directory(dir));  // dir itself remains
+  clear_dir(dir + "/missing");                      // no-throw on absent
+}
+
+}  // namespace
+}  // namespace reomp::trace

@@ -1,0 +1,154 @@
+// reomp_records: offline inspector for ReOMP record directories.
+//
+//   reomp_records info <dir>                  manifest, files, event counts
+//   reomp_records dump <dir> [tid] [limit]    decoded entries of one stream
+//   reomp_records hist <dir>                  epoch-size histogram (stats.txt)
+//
+// Works on anything a record run produced: ST shared streams or DC/DE
+// per-thread streams.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/trace/byte_io.hpp"
+#include "src/trace/manifest.hpp"
+#include "src/trace/record_stream.hpp"
+#include "src/trace/trace_dir.hpp"
+
+using namespace reomp;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: reomp_records info <dir>\n"
+               "       reomp_records dump <dir> [tid] [limit]\n"
+               "       reomp_records hist <dir>\n");
+  return 2;
+}
+
+std::map<std::uint32_t, std::string> gate_names(const trace::Manifest& m) {
+  std::map<std::uint32_t, std::string> names;
+  for (const auto& [k, v] : m.extra) {
+    if (k.rfind("gate.", 0) == 0) {
+      names[static_cast<std::uint32_t>(std::stoul(k.substr(5)))] = v;
+    }
+  }
+  return names;
+}
+
+std::uint64_t count_entries(const std::string& path) {
+  trace::FileSource src(path);
+  trace::RecordReader reader(src);
+  std::uint64_t n = 0;
+  while (reader.next().has_value()) ++n;
+  return n;
+}
+
+int cmd_info(const std::string& dir) {
+  auto manifest = trace::Manifest::load(trace::manifest_path(dir));
+  if (!manifest) {
+    std::fprintf(stderr, "no readable manifest in '%s'\n", dir.c_str());
+    return 1;
+  }
+  std::printf("record directory: %s\n", dir.c_str());
+  std::printf("  strategy:    %s\n", manifest->strategy.c_str());
+  std::printf("  threads:     %u\n", manifest->num_threads);
+  if (auto it = manifest->extra.find("events"); it != manifest->extra.end()) {
+    std::printf("  events:      %s\n", it->second.c_str());
+  }
+  const auto names = gate_names(*manifest);
+  std::printf("  gates:       %zu\n", names.size());
+  for (const auto& [id, name] : names) {
+    std::printf("    [%u] %s\n", id, name.c_str());
+  }
+
+  std::printf("  streams:\n");
+  if (manifest->strategy == "st") {
+    const std::string path = trace::shared_file_path(dir);
+    std::printf("    shared.rec  %8ju bytes  %llu entries\n",
+                std::filesystem::file_size(path),
+                static_cast<unsigned long long>(count_entries(path)));
+  } else {
+    for (std::uint32_t t = 0; t < manifest->num_threads; ++t) {
+      const std::string path = trace::thread_file_path(dir, t);
+      if (!trace::file_exists(path)) continue;
+      std::printf("    t%-3u.rec    %8ju bytes  %llu entries\n", t,
+                  std::filesystem::file_size(path),
+                  static_cast<unsigned long long>(count_entries(path)));
+    }
+  }
+  return 0;
+}
+
+int cmd_dump(const std::string& dir, int tid, std::uint64_t limit) {
+  auto manifest = trace::Manifest::load(trace::manifest_path(dir));
+  if (!manifest) {
+    std::fprintf(stderr, "no readable manifest in '%s'\n", dir.c_str());
+    return 1;
+  }
+  const auto names = gate_names(*manifest);
+  const std::string path = manifest->strategy == "st"
+                               ? trace::shared_file_path(dir)
+                               : trace::thread_file_path(
+                                     dir, static_cast<std::uint32_t>(tid));
+  const char* value_label =
+      manifest->strategy == "st" ? "tid" : "clock/epoch";
+  std::printf("# %s (%s)\n", path.c_str(), manifest->strategy.c_str());
+  std::printf("%8s %6s %-28s %12s\n", "seq", "gate", "gate name",
+              value_label);
+  trace::FileSource src(path);
+  trace::RecordReader reader(src);
+  std::uint64_t seq = 0;
+  for (auto e = reader.next(); e && seq < limit; e = reader.next(), ++seq) {
+    auto it = names.find(e->gate);
+    std::printf("%8llu %6u %-28s %12llu\n",
+                static_cast<unsigned long long>(seq), e->gate,
+                it != names.end() ? it->second.c_str() : "?",
+                static_cast<unsigned long long>(e->value));
+  }
+  return 0;
+}
+
+int cmd_hist(const std::string& dir) {
+  std::ifstream f(dir + "/stats.txt");
+  if (!f) {
+    std::fprintf(stderr,
+                 "no stats.txt in '%s' (epoch stats are written by DE "
+                 "record runs)\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::printf("%12s %16s\n", "epoch size", "# occurrences");
+  std::uint64_t size = 0, count = 0;
+  while (f >> size >> count) {
+    std::printf("%12llu %16llu\n", static_cast<unsigned long long>(size),
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string dir = argv[2];
+  try {
+    if (cmd == "info") return cmd_info(dir);
+    if (cmd == "dump") {
+      const int tid = argc > 3 ? std::atoi(argv[3]) : 0;
+      const std::uint64_t limit =
+          argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 50;
+      return cmd_dump(dir, tid, limit);
+    }
+    if (cmd == "hist") return cmd_hist(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
