@@ -1,0 +1,229 @@
+// Shadow-memory scaling microbenchmark: detector ops/sec vs thread count,
+// new flat+fast-path implementation against the reference fully-locked one.
+//
+// Four access mixes:
+//   read-heavy  — each thread re-reads its own variable plus a handful of
+//                 shared read-mostly variables (the FastTrack common case;
+//                 nearly every access is a same-epoch fast-path hit)
+//   write-heavy — each thread re-writes its own variable
+//   mixed       — runs of reads and runs of writes over private + shared
+//                 variables, with occasional release ticks rotating epochs
+//   racy        — all threads hammer a small shared set (worst case: slow
+//                 path + race recording on every access)
+//
+// Standalone binary (no google-benchmark) so the tier-1 smoke run is fast
+// and deterministic:
+//   bench_shadow_scaling [--smoke] [--json PATH] [--iters N] [--max-threads N]
+//
+// --smoke runs tiny iteration counts and exits nonzero if the fast path
+// failed to engage or either implementation misverdicts the mixes; the
+// speedup itself is printed, not asserted (timing is host-dependent).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/race/detector.hpp"
+#include "src/race/reference_detector.hpp"
+
+namespace {
+
+using reomp::race::Detector;
+using reomp::race::ReferenceDetector;
+using reomp::race::SiteId;
+using reomp::race::SiteRegistry;
+
+enum class Mix { kReadHeavy, kWriteHeavy, kMixed, kRacy };
+
+const char* mix_name(Mix m) {
+  switch (m) {
+    case Mix::kReadHeavy: return "read-heavy";
+    case Mix::kWriteHeavy: return "write-heavy";
+    case Mix::kMixed: return "mixed";
+    case Mix::kRacy: return "racy";
+  }
+  return "?";
+}
+
+constexpr std::uintptr_t kPrivateBase = 0x100000;
+constexpr std::uintptr_t kSharedBase = 0x200000;
+constexpr int kSharedVars = 4;
+constexpr int kRacyVars = 2;
+
+/// One thread's workload; D is Detector or ReferenceDetector (same verbs).
+template <typename D>
+void run_mix(D& d, Mix mix, std::uint32_t tid, std::uint64_t iters,
+             SiteId site) {
+  const std::uintptr_t mine = kPrivateBase + 64 * tid;
+  switch (mix) {
+    case Mix::kReadHeavy:
+      d.on_write(tid, mine, site);
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        d.on_read(tid, mine, site);
+        if ((i & 15) == 0) {
+          d.on_read(tid, kSharedBase + 64 * (i % kSharedVars), site);
+        }
+      }
+      break;
+    case Mix::kWriteHeavy:
+      for (std::uint64_t i = 0; i < iters; ++i) d.on_write(tid, mine, site);
+      break;
+    case Mix::kMixed:
+      for (std::uint64_t i = 0; i < iters / 128; ++i) {
+        d.on_write(tid, mine, site);
+        for (int r = 0; r < 96; ++r) d.on_read(tid, mine, site);
+        for (int w = 0; w < 31; ++w) d.on_write(tid, mine, site);
+        // Rotate the epoch now and then, as real code does at sync points.
+        d.on_release(tid, /*lock_id=*/1000 + tid);
+      }
+      break;
+    case Mix::kRacy:
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        const std::uintptr_t addr = kSharedBase + 64 * (i % kRacyVars);
+        if ((i & 3) == 0) {
+          d.on_write(tid, addr, site);
+        } else {
+          d.on_read(tid, addr, site);
+        }
+      }
+      break;
+  }
+}
+
+struct Result {
+  Mix mix;
+  std::uint32_t threads;
+  const char* impl;
+  double ops_per_sec;
+  std::uint64_t fast_hits;
+  std::uint64_t races;
+};
+
+template <typename D>
+Result run_one(Mix mix, std::uint32_t threads, std::uint64_t iters,
+               const char* impl_name) {
+  SiteRegistry sites;
+  std::vector<SiteId> site_of(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    site_of[t] = sites.intern("bench:t" + std::to_string(t));
+  }
+  D d(threads, sites);
+
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (std::uint32_t t = 1; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {}
+      run_mix(d, mix, t, iters, site_of[t]);
+    });
+  }
+  while (ready.load() != threads - 1) {}
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  run_mix(d, mix, 0, iters, site_of[0]);
+  for (auto& th : pool) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double total_ops = static_cast<double>(iters) * threads;
+  Result r{mix, threads, impl_name, total_ops / (secs > 0 ? secs : 1e-9), 0,
+           d.races_observed()};
+  if constexpr (std::is_same_v<D, Detector>) {
+    r.fast_hits = d.fast_path_hits();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::uint64_t iters = 2'000'000;
+  std::uint32_t max_threads = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      iters = 20'000;
+      max_threads = 4;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-threads") == 0 && i + 1 < argc) {
+      max_threads = static_cast<std::uint32_t>(
+          std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json PATH] [--iters N] "
+                   "[--max-threads N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<Result> results;
+  std::printf("%-12s %8s %-10s %14s %14s %10s\n", "mix", "threads", "impl",
+              "ops/sec", "fast_hits", "races");
+  bool ok = true;
+  for (Mix mix : {Mix::kReadHeavy, Mix::kWriteHeavy, Mix::kMixed, Mix::kRacy}) {
+    // The racy mix grinds the reference's global lock; trim its iterations
+    // so full runs stay bounded.
+    const std::uint64_t n = mix == Mix::kRacy ? iters / 4 : iters;
+    for (std::uint32_t threads = 1; threads <= max_threads; threads *= 2) {
+      const Result flat = run_one<Detector>(mix, threads, n, "flat");
+      const Result ref = run_one<ReferenceDetector>(mix, threads, n, "locked");
+      for (const Result& r : {flat, ref}) {
+        std::printf("%-12s %8u %-10s %14.0f %14llu %10llu\n", mix_name(r.mix),
+                    r.threads, r.impl, r.ops_per_sec,
+                    static_cast<unsigned long long>(r.fast_hits),
+                    static_cast<unsigned long long>(r.races));
+        results.push_back(r);
+      }
+      std::printf("%-12s %8u %-10s %13.2fx\n", mix_name(mix), threads,
+                  "speedup", flat.ops_per_sec / ref.ops_per_sec);
+      // Smoke validation: fast path engaged where it must, and both
+      // implementations agree on whether the mix races at all.
+      if (mix != Mix::kRacy && flat.fast_hits == 0) {
+        std::fprintf(stderr, "FAIL: fast path never engaged (%s, %u thr)\n",
+                     mix_name(mix), threads);
+        ok = false;
+      }
+      if ((flat.races > 0) != (ref.races > 0)) {
+        std::fprintf(stderr, "FAIL: verdict mismatch (%s, %u thr)\n",
+                     mix_name(mix), threads);
+        ok = false;
+      }
+      if (mix != Mix::kRacy && threads == 1 && flat.races != 0) {
+        std::fprintf(stderr, "FAIL: false positive (%s)\n", mix_name(mix));
+        ok = false;
+      }
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path, std::ios::trunc);
+    f << "{\n  \"benchmark\": \"shadow_scaling\",\n  \"iters\": " << iters
+      << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      f << "    {\"mix\": \"" << mix_name(r.mix) << "\", \"threads\": "
+        << r.threads << ", \"impl\": \"" << r.impl << "\", \"ops_per_sec\": "
+        << static_cast<std::uint64_t>(r.ops_per_sec) << ", \"fast_hits\": "
+        << r.fast_hits << ", \"races\": " << r.races << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (smoke) std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

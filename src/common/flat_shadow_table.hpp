@@ -1,0 +1,162 @@
+// Open-addressing hash table tuned for shadow-memory shards.
+//
+// Replaces the chained std::unordered_map on the race detector's hot path:
+// every probe step there chased a heap pointer and the bucket array shared
+// cache lines between unrelated variables. Here each (key, value) pair
+// occupies exactly one cache-line-aligned slot, lookups are a multiply-mix
+// plus linear probe over contiguous memory, and — critically — `find()` is
+// lock-free so the detector's same-epoch fast path never touches the shard
+// lock.
+//
+// Concurrency contract:
+//   * find()           — lock-free, callable concurrently with everything.
+//   * get_or_insert()  — caller must hold the shard's external lock
+//                        (mutations are single-writer).
+//   * Values may contain std::atomic fields; lock-free readers may only
+//     read those fields. Non-atomic value fields are owned by the locked
+//     writer side.
+//
+// Growth: when the load factor passes ~70% the writer allocates a table of
+// twice the capacity, copies every slot (Value must be copy-assignable;
+// values with atomics implement that with relaxed loads/stores), and then
+// publishes the new table with a release store. Old tables are retired but
+// kept alive until destruction so a concurrent lock-free reader holding a
+// stale table pointer still dereferences valid memory. Stale reads are
+// benign by construction: the fast path only compares epochs for equality,
+// and a stale-but-equal epoch means the access was already processed.
+// Retired tables cost at most 1x the final table (geometric growth).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/cacheline.hpp"
+
+namespace reomp {
+
+template <typename Value>
+class FlatShadowTable {
+ public:
+  /// Keys are addresses; 0 marks an empty slot and must never be inserted.
+  static constexpr std::uintptr_t kEmptyKey = 0;
+
+  explicit FlatShadowTable(std::size_t initial_capacity = 64) {
+    tables_.push_back(std::make_unique<Table>(round_up_pow2(
+        initial_capacity < 4 ? std::size_t{4} : initial_capacity)));
+    current_.store(tables_.back().get(), std::memory_order_release);
+  }
+
+  FlatShadowTable(const FlatShadowTable&) = delete;
+  FlatShadowTable& operator=(const FlatShadowTable&) = delete;
+
+  /// Lock-free lookup. Returns nullptr when `key` has never been inserted.
+  /// The returned pointer stays valid for the table's lifetime (slots are
+  /// never deleted; growth retires but does not free old tables).
+  [[nodiscard]] Value* find(std::uintptr_t key) const {
+    const Table* t = current_.load(std::memory_order_acquire);
+    std::size_t i = mix(key) & t->mask;
+    for (std::size_t probes = 0; probes <= t->mask; ++probes) {
+      const std::uintptr_t k = t->slots[i].key.load(std::memory_order_acquire);
+      if (k == key) return &t->slots[i].value;
+      if (k == kEmptyKey) return nullptr;
+      i = (i + 1) & t->mask;
+    }
+    return nullptr;
+  }
+
+  /// Find or default-construct the value for `key`. Caller holds the shard
+  /// lock; may grow the table. The reference stays valid until the next
+  /// growth — callers must not cache it across calls.
+  Value& get_or_insert(std::uintptr_t key) {
+    assert(key != kEmptyKey);
+    Table* t = current_.load(std::memory_order_relaxed);
+    // Grow first so the insert below always finds room under 70% load.
+    if ((size_ + 1) * 10 > (t->mask + 1) * 7) t = grow();
+
+    std::size_t i = mix(key) & t->mask;
+    for (;;) {
+      const std::uintptr_t k = t->slots[i].key.load(std::memory_order_relaxed);
+      if (k == key) return t->slots[i].value;
+      if (k == kEmptyKey) {
+        // Value is already default-constructed (zero epochs); publish the
+        // key with release so a lock-free reader that finds it sees an
+        // initialized slot.
+        t->slots[i].key.store(key, std::memory_order_release);
+        ++size_;
+        return t->slots[i].value;
+      }
+      i = (i + 1) & t->mask;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const {
+    return current_.load(std::memory_order_acquire)->mask + 1;
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<std::uintptr_t> key{kEmptyKey};
+    Value value{};
+  };
+  static_assert(sizeof(Value) + sizeof(std::atomic<std::uintptr_t>) <=
+                    kCacheLineSize,
+                "shadow slot must fit one cache line; move cold state "
+                "behind an index (see ShadowMemory's read-vc pool)");
+
+  struct Table {
+    explicit Table(std::size_t capacity)
+        : slots(new Slot[capacity]), mask(capacity - 1) {}
+    std::unique_ptr<Slot[]> slots;
+    std::size_t mask;
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  static std::size_t mix(std::uintptr_t key) {
+    // Variables are word-aligned, so shift the dead low bits out first.
+    // The multiplier deliberately differs from the shard-selection hash
+    // (ShadowMemory uses the golden-ratio constant): deriving both indices
+    // from the same product would make large per-shard tables cluster onto
+    // the slots whose bits agree with the shard's.
+    const std::uint64_t h =
+        (static_cast<std::uint64_t>(key) >> 3) * 0xff51afd7ed558ccdULL;
+    return static_cast<std::size_t>(h >> 17);
+  }
+
+  Table* grow() {
+    Table* old = current_.load(std::memory_order_relaxed);
+    auto next = std::make_unique<Table>((old->mask + 1) * 2);
+    for (std::size_t i = 0; i <= old->mask; ++i) {
+      const std::uintptr_t k =
+          old->slots[i].key.load(std::memory_order_relaxed);
+      if (k == kEmptyKey) continue;
+      std::size_t j = mix(k) & next->mask;
+      while (next->slots[j].key.load(std::memory_order_relaxed) != kEmptyKey) {
+        j = (j + 1) & next->mask;
+      }
+      // Copy the value before publishing the key so a racing lock-free
+      // reader never sees a half-initialized slot.
+      next->slots[j].value = old->slots[i].value;
+      next->slots[j].key.store(k, std::memory_order_release);
+    }
+    Table* fresh = next.get();
+    tables_.push_back(std::move(next));
+    current_.store(fresh, std::memory_order_release);
+    return fresh;
+  }
+
+  // tables_.back() is live; earlier entries are retired-but-readable.
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::atomic<Table*> current_{nullptr};
+  std::size_t size_ = 0;  // writer-side only (under the shard lock)
+};
+
+}  // namespace reomp

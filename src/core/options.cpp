@@ -25,6 +25,8 @@ Options Options::from_env(std::uint32_t num_threads) {
   if (auto d = env_string("REOMP_DIR")) opt.dir = *d;
   opt.history_capacity = static_cast<std::uint32_t>(
       env_int("REOMP_HISTORY_CAP", opt.history_capacity));
+  opt.shadow_shards = static_cast<std::uint32_t>(
+      env_int("REOMP_SHADOW_SHARDS", opt.shadow_shards));
   return opt;
 }
 

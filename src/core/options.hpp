@@ -47,6 +47,12 @@ struct Options {
   /// Collect the epoch-size histogram (paper Fig. 20). Cheap; on by default.
   bool collect_epoch_stats = true;
 
+  /// Shard count for the race detector's shadow memory (detect runs only).
+  /// Rounded up to a power of two and clamped by the detector; more shards
+  /// = less slow-path lock contention, ~64B + table per shard. Env:
+  /// REOMP_SHADOW_SHARDS.
+  std::uint32_t shadow_shards = 64;
+
   /// Construct from REOMP_MODE / REOMP_STRATEGY / REOMP_DIR /
   /// REOMP_HISTORY_CAP environment variables, mirroring the real tool's
   /// env-driven mode switch (paper §V).

@@ -1,115 +1,238 @@
 #include "src/race/detector.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace reomp::race {
 
-Detector::Detector(std::uint32_t num_threads, SiteRegistry& sites)
-    : sites_(sites), threads_(num_threads) {
-  for (std::uint32_t t = 0; t < num_threads; ++t) {
-    threads_[t] = VectorClock(num_threads);
-    // Start each thread at clock 1 so the zero epoch means "never accessed".
-    threads_[t].tick(t);
+Detector::Detector(std::uint32_t num_threads, SiteRegistry& sites,
+                   std::uint32_t shadow_shards)
+    : sites_(sites),
+      num_threads_(num_threads),
+      shadow_(shadow_shards) {
+  if (num_threads == 0) {
+    throw std::invalid_argument("Detector requires num_threads >= 1");
   }
+  if (num_threads > kMaxDetectorThreads) {
+    throw std::invalid_argument(
+        "Detector supports at most 256 threads (Epoch packs the tid into "
+        "8 bits); got " +
+        std::to_string(num_threads));
+  }
+  threads_ = std::make_unique<CachePadded<ThreadClock>[]>(num_threads);
+  for (std::uint32_t t = 0; t < num_threads; ++t) {
+    ThreadClock& tc = threads_[t].value;
+    tc.tid_ = t;
+    tc.vc_ = VectorClock(num_threads);
+    // Start each thread at clock 1 so the zero epoch means "never accessed".
+    tc.vc_.tick(t);
+    tc.refresh_epoch();
+  }
+  lock_stripes_ = std::make_unique<LockStripe[]>(kLockStripes);
 }
 
 void Detector::record_race(SiteId a, SiteId b) {
+  const std::uint64_t lo = std::min(a, b);
+  const std::uint64_t hi = std::max(a, b);
+  const std::uint64_t key = (lo << 32) | hi;
   LockGuard<Spinlock> lock(report_mu_);
-  report_.add(sites_.name(a), sites_.name(b));
+  ++race_pairs_[key];
   ++race_count_;
 }
 
-Detector::LockState& Detector::lock_state(std::uint64_t lock_id) {
-  // Caller must hold locks_mu_.
-  return locks_[lock_id];
+void Detector::on_read(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
+  // Same-epoch fast path (FastTrack [read same epoch]): if this thread's
+  // previous read of `addr` happened at its current epoch from this same
+  // site, every check was already performed then and the shadow state
+  // cannot need an update. Lock-free probe + two relaxed loads. (The site
+  // compare keeps verdicts bit-identical to the reference implementation,
+  // which re-stamps read_site on same-epoch re-reads from new sites. A
+  // concurrent write tearing this window is a valid linearization: the
+  // writer re-checks our published read epoch under the shard lock, so the
+  // race is still reported.)
+  if (const VarState* v = shadow_.find_fast(addr)) {
+    if (v->read_epoch.load(std::memory_order_relaxed) == tc.epoch_bits() &&
+        v->read_site.load(std::memory_order_relaxed) == site) {
+      tc.count_fast_hit();
+      return;
+    }
+  }
+  read_slow(tc, addr, site);
 }
 
-void Detector::on_read(std::uint32_t tid, std::uintptr_t addr, SiteId site) {
-  const VectorClock& ct = threads_[tid];
-  shadow_.with(addr, [&](VarState& v) {
+void Detector::read_slow(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
+  const VectorClock& ct = tc.vc_;
+  const std::uint32_t tid = tc.tid_;
+  shadow_.with(addr, [&](ShadowMemory::VarAccess& a) {
+    VarState& v = a.state;
     // write-read race: the last write is not ordered before this read.
-    if (!ct.covers(v.write)) record_race(v.write_site, site);
+    const Epoch write = Epoch::from_bits(
+        v.write_epoch.load(std::memory_order_relaxed));
+    if (!ct.covers(write)) {
+      record_race(v.write_site.load(std::memory_order_relaxed), site);
+    }
 
-    if (v.read_shared) {
-      v.read_vc.set(tid, ct.get(tid));
-    } else if (v.read.is_zero() || v.read.tid() == tid ||
-               ct.covers(v.read)) {
-      // Reads stay totally ordered: keep the cheap scalar representation.
-      v.read = Epoch(tid, ct.get(tid));
-      v.read_site = site;
+    const std::uint64_t my_epoch = tc.epoch_bits();
+    if (v.read_shared()) {
+      a.vc(v.read_vc).set(tid, ct.get(tid));
+      v.read_epoch.store(my_epoch, std::memory_order_relaxed);
     } else {
-      // Concurrent readers: inflate to a vector clock (FastTrack's
-      // read-share transition).
-      v.read_shared = true;
-      v.read_vc = VectorClock(static_cast<std::uint32_t>(threads_.size()));
-      v.read_vc.set(v.read.tid(), v.read.clock());
-      v.read_vc.set(tid, ct.get(tid));
+      const Epoch read = Epoch::from_bits(
+          v.read_epoch.load(std::memory_order_relaxed));
+      if (read.is_zero() || read.tid() == tid || ct.covers(read)) {
+        // Reads stay totally ordered: keep the cheap scalar representation.
+        v.read_epoch.store(my_epoch, std::memory_order_relaxed);
+        v.read_site.store(site, std::memory_order_relaxed);
+      } else {
+        // Concurrent readers: inflate to a vector clock (FastTrack's
+        // read-share transition). The vc lives in the shard pool so the
+        // slot itself stays one cache line.
+        const std::uint32_t idx = a.alloc_vc();
+        VectorClock& rvc = a.vc(idx);
+        rvc.set(read.tid(), read.clock());
+        rvc.set(tid, ct.get(tid));
+        v.read_vc = idx;
+        v.read_epoch.store(my_epoch, std::memory_order_relaxed);
+        // read_site keeps the pre-inflation reader, matching the reference
+        // (shared-mode reads do not re-stamp the site).
+      }
     }
   });
 }
 
-void Detector::on_write(std::uint32_t tid, std::uintptr_t addr, SiteId site) {
-  const VectorClock& ct = threads_[tid];
-  shadow_.with(addr, [&](VarState& v) {
-    // write-write race.
-    if (!ct.covers(v.write)) record_race(v.write_site, site);
-    // read-write race.
-    if (v.read_shared) {
-      if (!ct.covers(v.read_vc)) record_race(v.read_site, site);
-    } else if (!v.read.is_zero() && !ct.covers(v.read)) {
-      record_race(v.read_site, site);
+void Detector::on_write(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
+  // Same-epoch fast path (FastTrack [write same epoch]): any happens-before
+  // edge leaving this thread ticks its clock, so while the epoch is
+  // unchanged no other thread can have newly synchronized with this write —
+  // repeat writes need no re-check. Two extra conditions keep verdicts
+  // bit-identical to the reference: the site must match (the reference
+  // re-stamps write_site), and there must be no pending read state (the
+  // reference's write rule subsumes interleaved reads; skipping that reset
+  // would leave us reporting extra pairs the reference folds into the
+  // write).
+  if (const VarState* v = shadow_.find_fast(addr)) {
+    if (v->write_epoch.load(std::memory_order_relaxed) == tc.epoch_bits() &&
+        v->write_site.load(std::memory_order_relaxed) == site &&
+        v->read_epoch.load(std::memory_order_relaxed) == 0) {
+      tc.count_fast_hit();
+      return;
     }
-    v.write = Epoch(tid, ct.get(tid));
-    v.write_site = site;
+  }
+  write_slow(tc, addr, site);
+}
+
+void Detector::write_slow(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
+  const VectorClock& ct = tc.vc_;
+  shadow_.with(addr, [&](ShadowMemory::VarAccess& a) {
+    VarState& v = a.state;
+    // write-write race.
+    const Epoch write = Epoch::from_bits(
+        v.write_epoch.load(std::memory_order_relaxed));
+    if (!ct.covers(write)) {
+      record_race(v.write_site.load(std::memory_order_relaxed), site);
+    }
+    // read-write race.
+    if (v.read_shared()) {
+      if (!ct.covers(a.vc(v.read_vc))) {
+        record_race(v.read_site.load(std::memory_order_relaxed), site);
+      }
+      a.free_vc(v.read_vc);
+      v.read_vc = kNoReadVc;
+    } else {
+      const Epoch read = Epoch::from_bits(
+          v.read_epoch.load(std::memory_order_relaxed));
+      if (!read.is_zero() && !ct.covers(read)) {
+        record_race(v.read_site.load(std::memory_order_relaxed), site);
+      }
+    }
+    v.write_epoch.store(tc.epoch_bits(), std::memory_order_relaxed);
+    v.write_site.store(site, std::memory_order_relaxed);
     // FastTrack: a write subsumes prior reads.
-    v.read = Epoch();
-    v.read_shared = false;
-    v.read_vc = VectorClock();
+    v.read_epoch.store(0, std::memory_order_relaxed);
+    v.read_site.store(kInvalidSite, std::memory_order_relaxed);
   });
 }
 
 void Detector::on_acquire(std::uint32_t tid, std::uint64_t lock_id) {
-  LockGuard<Spinlock> lock(locks_mu_);
-  threads_[tid].join(lock_state(lock_id).clock);
+  LockStripe& s = stripe(lock_id);
+  LockGuard<Spinlock> lock(s.mu);
+  // Join cannot change this thread's own component, so the cached epoch
+  // stays valid.
+  threads_[tid].value.vc_.join(s.locks[lock_id]);
 }
 
 void Detector::on_release(std::uint32_t tid, std::uint64_t lock_id) {
-  LockGuard<Spinlock> lock(locks_mu_);
-  lock_state(lock_id).clock = threads_[tid];
-  threads_[tid].tick(tid);
+  ThreadClock& tc = threads_[tid].value;
+  LockStripe& s = stripe(lock_id);
+  {
+    LockGuard<Spinlock> lock(s.mu);
+    s.locks[lock_id] = tc.vc_;
+  }
+  tc.vc_.tick(tid);
+  tc.refresh_epoch();
 }
 
 void Detector::on_barrier() {
   // Callers guarantee all other threads are parked at the barrier, but take
   // the lock anyway so the operation is safe under misuse.
   LockGuard<Spinlock> lock(threads_mu_);
-  VectorClock all(static_cast<std::uint32_t>(threads_.size()));
-  for (const auto& c : threads_) all.join(c);
-  for (std::uint32_t t = 0; t < threads_.size(); ++t) {
-    threads_[t] = all;
-    threads_[t].tick(t);
+  VectorClock all(num_threads_);
+  for (std::uint32_t t = 0; t < num_threads_; ++t) {
+    all.join(threads_[t].value.vc_);
+  }
+  for (std::uint32_t t = 0; t < num_threads_; ++t) {
+    ThreadClock& tc = threads_[t].value;
+    tc.vc_ = all;
+    tc.vc_.tick(t);
+    tc.refresh_epoch();
   }
 }
 
 void Detector::on_fork(std::uint32_t parent, std::uint32_t child) {
   LockGuard<Spinlock> lock(threads_mu_);
-  threads_[child].join(threads_[parent]);
-  threads_[child].tick(child);
-  threads_[parent].tick(parent);
+  ThreadClock& p = threads_[parent].value;
+  ThreadClock& c = threads_[child].value;
+  c.vc_.join(p.vc_);
+  c.vc_.tick(child);
+  c.refresh_epoch();
+  p.vc_.tick(parent);
+  p.refresh_epoch();
 }
 
 void Detector::on_join(std::uint32_t parent, std::uint32_t child) {
   LockGuard<Spinlock> lock(threads_mu_);
-  threads_[parent].join(threads_[child]);
-  threads_[parent].tick(parent);
+  ThreadClock& p = threads_[parent].value;
+  p.vc_.join(threads_[child].value.vc_);
+  p.vc_.tick(parent);
+  p.refresh_epoch();
 }
 
 RaceReport Detector::report() const {
-  LockGuard<Spinlock> lock(report_mu_);
-  return report_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  {
+    LockGuard<Spinlock> lock(report_mu_);
+    pairs.assign(race_pairs_.begin(), race_pairs_.end());
+  }
+  RaceReport r;
+  for (const auto& [key, count] : pairs) {
+    r.add(sites_.name(static_cast<SiteId>(key >> 32)),
+          sites_.name(static_cast<SiteId>(key & 0xffffffffu)), count);
+  }
+  r.sort_pairs();
+  return r;
 }
 
 std::uint64_t Detector::races_observed() const {
   LockGuard<Spinlock> lock(report_mu_);
   return race_count_;
+}
+
+std::uint64_t Detector::fast_path_hits() const {
+  std::uint64_t n = 0;
+  for (std::uint32_t t = 0; t < num_threads_; ++t) {
+    n += threads_[t].value.fast_hits();
+  }
+  return n;
 }
 
 }  // namespace reomp::race

@@ -5,18 +5,34 @@
 // record/replay engine uses; detected races are emitted as a RaceReport
 // whose site groups become replay gates.
 //
+// Hot-path architecture (three layers; see src/race/README.md):
+//   1. same-epoch fast path — each thread's current packed Epoch is cached
+//      in its ThreadClock; on_read/on_write compare it against the slot's
+//      atomic epoch word with one relaxed load and return lock-free when
+//      the thread already accessed the variable at this epoch (FastTrack's
+//      [read/write same epoch] rules, >90% of accesses in practice).
+//   2. flat shard — misses take one shard spinlock over an open-addressing
+//      table of cache-line slots (ShadowMemory / FlatShadowTable).
+//   3. inflated tail — concurrent-reader VectorClocks live in a per-shard
+//      pool behind an index, keeping the common slot one cache line.
+//
 // Synchronization model:
 //   * locks (critical sections / named mutexes): acquire joins the lock's
-//     clock into the thread; release publishes the thread's clock and ticks
+//     clock into the thread; release publishes the thread's clock and ticks.
+//     The lock table is striped so independent lock objects don't serialize.
 //   * atomics: modelled as a lock keyed by the atomic's site (RMW on the
 //     same counter synchronizes, so concurrent `omp atomic` updates are not
 //     reported — matching Tsan's treatment of C++ atomics)
 //   * barriers / fork / join: all-to-all or pairwise clock joins
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/cacheline.hpp"
 #include "src/common/spinlock.hpp"
 #include "src/race/report.hpp"
 #include "src/race/shadow.hpp"
@@ -25,13 +41,70 @@
 
 namespace reomp::race {
 
+/// Per-thread clock handle. Owns the thread's vector clock C_t plus a
+/// cached packed copy of its current Epoch (t, C_t[t]) so the access fast
+/// path needs neither the threads array nor a VectorClock lookup. Obtain
+/// via Detector::thread_clock(tid) and pass to on_read/on_write; one
+/// handle is only ever used by its own thread's accesses.
+class ThreadClock {
+ public:
+  [[nodiscard]] std::uint64_t epoch_bits() const {
+    return epoch_bits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t tid() const { return tid_; }
+  [[nodiscard]] const VectorClock& clock() const { return vc_; }
+
+  /// Accesses answered by the lock-free fast path (diagnostics; summed by
+  /// Detector::fast_path_hits).
+  [[nodiscard]] std::uint64_t fast_hits() const {
+    return fast_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Detector;
+
+  void refresh_epoch() {
+    epoch_bits_.store(Epoch(tid_, vc_.get(tid_)).bits(),
+                      std::memory_order_relaxed);
+  }
+  void count_fast_hit() {
+    fast_hits_.store(fast_hits_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  }
+
+  VectorClock vc_;  // C_t; mutated by own thread + barrier/fork/join
+  std::uint32_t tid_ = 0;
+  // Atomic because barrier/fork/join (run by a peer) refresh it; the owner
+  // reads it relaxed on every access.
+  std::atomic<std::uint64_t> epoch_bits_{0};
+  std::atomic<std::uint64_t> fast_hits_{0};
+};
+
 class Detector {
  public:
-  Detector(std::uint32_t num_threads, SiteRegistry& sites);
+  /// `shadow_shards` is validated via ShadowMemory::validated_shard_count
+  /// (rounded up to a power of two, clamped to [1, kMaxShards]; note 0
+  /// clamps to a single shard, not the default). Throws
+  /// std::invalid_argument when num_threads is 0 or exceeds
+  /// kMaxDetectorThreads (Epoch's 8-bit tid field).
+  Detector(std::uint32_t num_threads, SiteRegistry& sites,
+           std::uint32_t shadow_shards = ShadowMemory::kDefaultShards);
+
+  /// The per-thread handle; cache it in worker state so the access hot
+  /// path is a single call with no tid indirection.
+  [[nodiscard]] ThreadClock& thread_clock(std::uint32_t tid) {
+    return threads_[tid].value;
+  }
 
   // ---- memory accesses ----
-  void on_read(std::uint32_t tid, std::uintptr_t addr, SiteId site);
-  void on_write(std::uint32_t tid, std::uintptr_t addr, SiteId site);
+  void on_read(ThreadClock& tc, std::uintptr_t addr, SiteId site);
+  void on_write(ThreadClock& tc, std::uintptr_t addr, SiteId site);
+  void on_read(std::uint32_t tid, std::uintptr_t addr, SiteId site) {
+    on_read(thread_clock(tid), addr, site);
+  }
+  void on_write(std::uint32_t tid, std::uintptr_t addr, SiteId site) {
+    on_write(thread_clock(tid), addr, site);
+  }
 
   // ---- synchronization ----
   void on_acquire(std::uint32_t tid, std::uint64_t lock_id);
@@ -43,33 +116,47 @@ class Detector {
   void on_fork(std::uint32_t parent, std::uint32_t child);
   void on_join(std::uint32_t parent, std::uint32_t child);
 
-  /// Snapshot of everything found so far. Thread-safe.
+  /// Snapshot of everything found so far. Thread-safe. Pairs are sorted by
+  /// site names; each unordered site pair appears once with its count.
   [[nodiscard]] RaceReport report() const;
 
   [[nodiscard]] std::uint64_t races_observed() const;
-  [[nodiscard]] std::uint32_t num_threads() const {
-    return static_cast<std::uint32_t>(threads_.size());
-  }
+  [[nodiscard]] std::uint32_t num_threads() const { return num_threads_; }
+  [[nodiscard]] std::uint64_t fast_path_hits() const;
+  [[nodiscard]] const ShadowMemory& shadow() const { return shadow_; }
 
  private:
-  struct LockState {
-    VectorClock clock;
+  // Named locks are striped by lock id so independent lock objects don't
+  // serialize through one global map mutex (they did, pre-refactor).
+  static constexpr std::uint32_t kLockStripes = 64;  // power of two
+  struct alignas(kCacheLineSize) LockStripe {
+    Spinlock mu;
+    std::unordered_map<std::uint64_t, VectorClock> locks;
   };
 
   void record_race(SiteId a, SiteId b);
-  LockState& lock_state(std::uint64_t lock_id);
+  void read_slow(ThreadClock& tc, std::uintptr_t addr, SiteId site);
+  void write_slow(ThreadClock& tc, std::uintptr_t addr, SiteId site);
+
+  LockStripe& stripe(std::uint64_t lock_id) {
+    const std::uint64_t h = lock_id * 0x9e3779b97f4a7c15ULL;
+    return lock_stripes_[(h >> 32) & (kLockStripes - 1)];
+  }
 
   SiteRegistry& sites_;
-  std::vector<VectorClock> threads_;  // C_t; index = logical tid
-  mutable Spinlock threads_mu_;       // guards barrier/fork/join vs accesses
+  std::uint32_t num_threads_;
+  std::unique_ptr<CachePadded<ThreadClock>[]> threads_;
+  mutable Spinlock threads_mu_;  // guards barrier/fork/join vs each other
 
-  Spinlock locks_mu_;
-  std::unordered_map<std::uint64_t, LockState> locks_;
+  std::unique_ptr<LockStripe[]> lock_stripes_;
 
   ShadowMemory shadow_;
 
+  // Races dedup by unordered (SiteId, SiteId) pair: a hot race bumps a
+  // counter instead of growing the report (and instead of materializing
+  // site-name strings per occurrence).
   mutable Spinlock report_mu_;
-  RaceReport report_;
+  std::unordered_map<std::uint64_t, std::uint64_t> race_pairs_;  // key->count
   std::uint64_t race_count_ = 0;
 };
 

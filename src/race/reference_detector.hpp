@@ -1,0 +1,150 @@
+// Reference FastTrack detector: the pre-optimization, fully-locked design.
+//
+// One global mutex, a chained std::unordered_map shadow table, inline
+// VectorClocks — deliberately naive. It exists for two reasons:
+//   * oracle: the randomized equivalence stress test replays the same
+//     access trace through this and the production Detector and asserts
+//     identical race verdicts (tests/race/equivalence_test.cpp);
+//   * baseline: bench_shadow_scaling measures the production hot path
+//     against it, so the fast-path speedup is a printed number, not a
+//     claim.
+// Keep it boring. Do not optimize this file.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/race/report.hpp"
+#include "src/race/site.hpp"
+#include "src/race/vclock.hpp"
+
+namespace reomp::race {
+
+class ReferenceDetector {
+ public:
+  ReferenceDetector(std::uint32_t num_threads, SiteRegistry& sites)
+      : sites_(sites), threads_(num_threads) {
+    for (std::uint32_t t = 0; t < num_threads; ++t) {
+      threads_[t] = VectorClock(num_threads);
+      threads_[t].tick(t);
+    }
+  }
+
+  void on_read(std::uint32_t tid, std::uintptr_t addr, SiteId site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const VectorClock& ct = threads_[tid];
+    VarState& v = vars_[addr];
+    if (!ct.covers(v.write)) record_race(v.write_site, site);
+    if (v.read_shared) {
+      v.read_vc.set(tid, ct.get(tid));
+    } else if (v.read.is_zero() || v.read.tid() == tid || ct.covers(v.read)) {
+      v.read = Epoch(tid, ct.get(tid));
+      v.read_site = site;
+    } else {
+      v.read_shared = true;
+      v.read_vc = VectorClock(static_cast<std::uint32_t>(threads_.size()));
+      v.read_vc.set(v.read.tid(), v.read.clock());
+      v.read_vc.set(tid, ct.get(tid));
+    }
+  }
+
+  void on_write(std::uint32_t tid, std::uintptr_t addr, SiteId site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const VectorClock& ct = threads_[tid];
+    VarState& v = vars_[addr];
+    if (!ct.covers(v.write)) record_race(v.write_site, site);
+    if (v.read_shared) {
+      if (!ct.covers(v.read_vc)) record_race(v.read_site, site);
+    } else if (!v.read.is_zero() && !ct.covers(v.read)) {
+      record_race(v.read_site, site);
+    }
+    v.write = Epoch(tid, ct.get(tid));
+    v.write_site = site;
+    v.read = Epoch();
+    v.read_shared = false;
+    v.read_vc = VectorClock();
+  }
+
+  void on_acquire(std::uint32_t tid, std::uint64_t lock_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_[tid].join(locks_[lock_id]);
+  }
+
+  void on_release(std::uint32_t tid, std::uint64_t lock_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    locks_[lock_id] = threads_[tid];
+    threads_[tid].tick(tid);
+  }
+
+  void on_barrier() {
+    std::lock_guard<std::mutex> lock(mu_);
+    VectorClock all(static_cast<std::uint32_t>(threads_.size()));
+    for (const auto& c : threads_) all.join(c);
+    for (std::uint32_t t = 0; t < threads_.size(); ++t) {
+      threads_[t] = all;
+      threads_[t].tick(t);
+    }
+  }
+
+  void on_fork(std::uint32_t parent, std::uint32_t child) {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_[child].join(threads_[parent]);
+    threads_[child].tick(child);
+    threads_[parent].tick(parent);
+  }
+
+  void on_join(std::uint32_t parent, std::uint32_t child) {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_[parent].join(threads_[child]);
+    threads_[parent].tick(parent);
+  }
+
+  /// The set of unordered racing site pairs — the detector's "verdict".
+  [[nodiscard]] std::set<std::pair<SiteId, SiteId>> race_pair_ids() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pair_ids_;
+  }
+
+  [[nodiscard]] RaceReport report() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    RaceReport r;
+    for (const auto& [a, b] : pair_ids_) r.add(sites_.name(a), sites_.name(b));
+    r.sort_pairs();
+    return r;
+  }
+
+  [[nodiscard]] std::uint64_t races_observed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return race_count_;
+  }
+
+ private:
+  struct VarState {
+    Epoch write;
+    SiteId write_site = kInvalidSite;
+    Epoch read;
+    SiteId read_site = kInvalidSite;
+    bool read_shared = false;
+    VectorClock read_vc;
+  };
+
+  void record_race(SiteId a, SiteId b) {  // caller holds mu_
+    pair_ids_.insert({std::min(a, b), std::max(a, b)});
+    ++race_count_;
+  }
+
+  SiteRegistry& sites_;
+  mutable std::mutex mu_;
+  std::vector<VectorClock> threads_;
+  std::unordered_map<std::uint64_t, VectorClock> locks_;
+  std::unordered_map<std::uintptr_t, VarState> vars_;
+  std::set<std::pair<SiteId, SiteId>> pair_ids_;
+  std::uint64_t race_count_ = 0;
+};
+
+}  // namespace reomp::race

@@ -3,21 +3,34 @@
 #include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <tuple>
 
 #include "src/common/hash.hpp"
 
 namespace reomp::race {
 
 void RaceReport::add(const std::string& site_a, const std::string& site_b) {
+  add(site_a, site_b, 1);
+}
+
+void RaceReport::add(const std::string& site_a, const std::string& site_b,
+                     std::uint64_t count) {
   const std::string& lo = std::min(site_a, site_b);
   const std::string& hi = std::max(site_a, site_b);
   for (auto& p : pairs_) {
     if (p.site_a == lo && p.site_b == hi) {
-      ++p.count;
+      p.count += count;
       return;
     }
   }
-  pairs_.push_back({lo, hi, 1});
+  pairs_.push_back({lo, hi, count});
+}
+
+void RaceReport::sort_pairs() {
+  std::sort(pairs_.begin(), pairs_.end(), [](const RacePair& a,
+                                             const RacePair& b) {
+    return std::tie(a.site_a, a.site_b) < std::tie(b.site_a, b.site_b);
+  });
 }
 
 std::string RaceReport::to_text() const {

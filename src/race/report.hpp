@@ -29,6 +29,13 @@ class RaceReport {
  public:
   /// Record one race occurrence (order-insensitive: (a,b) == (b,a)).
   void add(const std::string& site_a, const std::string& site_b);
+  /// Record `count` occurrences at once (detector-side pair dedup).
+  void add(const std::string& site_a, const std::string& site_b,
+           std::uint64_t count);
+
+  /// Sort pairs by (site_a, site_b) for deterministic output regardless of
+  /// detection order.
+  void sort_pairs();
 
   [[nodiscard]] const std::vector<RacePair>& pairs() const { return pairs_; }
   [[nodiscard]] bool empty() const { return pairs_.empty(); }

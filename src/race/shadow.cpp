@@ -2,25 +2,44 @@
 
 namespace reomp::race {
 
-namespace {
-std::uint32_t round_up_pow2(std::uint32_t v) {
+std::uint32_t ShadowMemory::validated_shard_count(std::uint32_t requested) {
+  if (requested == 0) return 1;
+  if (requested > kMaxShards) return kMaxShards;
   std::uint32_t p = 1;
-  while (p < v) p <<= 1;
+  while (p < requested) p <<= 1;
   return p;
 }
-}  // namespace
 
 ShadowMemory::ShadowMemory(std::uint32_t shard_count) {
-  const std::uint32_t n = round_up_pow2(shard_count == 0 ? 1 : shard_count);
+  const std::uint32_t n = validated_shard_count(shard_count);
   shards_ = std::make_unique<Shard[]>(n);
   mask_ = n - 1;
+}
+
+std::uint32_t ShadowMemory::VarAccess::alloc_vc() {
+  if (!shard_.vc_free.empty()) {
+    const std::uint32_t idx = shard_.vc_free.back();
+    shard_.vc_free.pop_back();
+    shard_.vc_pool[idx] = VectorClock();  // cleared; set() grows on demand
+    return idx;
+  }
+  shard_.vc_pool.emplace_back();
+  return static_cast<std::uint32_t>(shard_.vc_pool.size() - 1);
+}
+
+void ShadowMemory::VarAccess::free_vc(std::uint32_t idx) {
+  shard_.vc_free.push_back(idx);
+}
+
+VectorClock& ShadowMemory::VarAccess::vc(std::uint32_t idx) {
+  return shard_.vc_pool[idx];
 }
 
 std::size_t ShadowMemory::tracked_variables() const {
   std::size_t n = 0;
   for (std::uint32_t i = 0; i <= mask_; ++i) {
     LockGuard<Spinlock> lock(shards_[i].lock);
-    n += shards_[i].vars.size();
+    n += shards_[i].table.size();
   }
   return n;
 }

@@ -1,58 +1,140 @@
 // Sharded shadow memory: address -> per-variable race-detection state.
 //
-// FastTrack's adaptive representation: a variable tracks its last write as
-// a scalar epoch and its reads either as a scalar epoch (the common,
-// totally-ordered case) or as a full vector clock once concurrent readers
-// are observed.
+// FastTrack's adaptive representation, laid out for the lock-free
+// same-epoch fast path:
+//
+//   layer 1 — fast path: the last write and last read epochs live in packed
+//     std::atomic<std::uint64_t> words inside the slot, so the detector can
+//     answer "same thread, same epoch?" with one relaxed load and no lock.
+//   layer 2 — flat shard: each shard is an open-addressing FlatShadowTable
+//     of cache-line-aligned slots (lock-free find, locked mutation).
+//   layer 3 — inflated tail: the rare read-shared VectorClock lives in a
+//     per-shard pool, referenced from the slot by index, so the common slot
+//     stays one cache line regardless of thread count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
+#include "src/common/flat_shadow_table.hpp"
 #include "src/common/spinlock.hpp"
 #include "src/race/site.hpp"
 #include "src/race/vclock.hpp"
 
 namespace reomp::race {
 
+/// Marker: no read-shared vector clock attached.
+inline constexpr std::uint32_t kNoReadVc = ~std::uint32_t{0};
+
+/// Per-variable state. Atomic fields are readable lock-free (the detector's
+/// fast path compares epoch + site); everything else is guarded by the
+/// owning shard's lock. Fits one cache line together with the table key.
 struct VarState {
-  Epoch write;              // last write
-  SiteId write_site = kInvalidSite;
-  Epoch read;               // last read (valid while !read_shared)
-  SiteId read_site = kInvalidSite;
-  bool read_shared = false;
-  VectorClock read_vc;      // valid while read_shared
+  std::atomic<std::uint64_t> write_epoch{0};  // packed Epoch bits; 0 = never
+  std::atomic<std::uint64_t> read_epoch{0};   // last read's packed epoch
+  std::atomic<SiteId> write_site{kInvalidSite};
+  std::atomic<SiteId> read_site{kInvalidSite};
+  // Index into the shard's read-vc pool while read-shared, else kNoReadVc.
+  std::uint32_t read_vc = kNoReadVc;
+
+  [[nodiscard]] bool read_shared() const { return read_vc != kNoReadVc; }
+
+  VarState() = default;
+  // Copy-assignment exists solely for FlatShadowTable growth, which runs
+  // under the shard lock; relaxed is enough there.
+  VarState& operator=(const VarState& o) {
+    write_epoch.store(o.write_epoch.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    read_epoch.store(o.read_epoch.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    write_site.store(o.write_site.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    read_site.store(o.read_site.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    read_vc = o.read_vc;
+    return *this;
+  }
 };
 
-/// Address-keyed shard table. Locking is per shard; accesses to distinct
-/// variables proceed in parallel, matching how the detector is exercised
-/// (many variables, few collisions).
+/// Address-keyed shard table. Mutation locking is per shard; lookups for
+/// the fast path are lock-free. The shard count is fixed at construction
+/// (power of two; see validated_shard_count) and tunable via
+/// Options::shadow_shards / REOMP_SHADOW_SHARDS.
 class ShadowMemory {
- public:
-  explicit ShadowMemory(std::uint32_t shard_count = 64);
+  struct Shard;
 
-  /// Run `fn(VarState&)` with the shard lock held.
+ public:
+  static constexpr std::uint32_t kDefaultShards = 64;
+  static constexpr std::uint32_t kMaxShards = 1u << 16;
+
+  /// Round `requested` up to a power of two, clamped to [1, kMaxShards].
+  /// A non-power-of-two shard count would make the shard mask drop buckets.
+  static std::uint32_t validated_shard_count(std::uint32_t requested);
+
+  explicit ShadowMemory(std::uint32_t shard_count = kDefaultShards);
+
+  /// Lock-free lookup for the same-epoch fast path. Null when the address
+  /// has never been accessed. Only the atomic fields of the result may be
+  /// read without holding the shard lock.
+  [[nodiscard]] const VarState* find_fast(std::uintptr_t addr) const {
+    return shard(addr).table.find(addr);
+  }
+
+  /// Locked view of one variable, with access to the shard's read-vc pool.
+  class VarAccess {
+   public:
+    VarState& state;
+
+    /// Allocate a cleared VectorClock from the pool; returns its index.
+    std::uint32_t alloc_vc();
+    /// Return a vc to the pool (called when a write collapses read-shared).
+    void free_vc(std::uint32_t idx);
+    [[nodiscard]] VectorClock& vc(std::uint32_t idx);
+
+   private:
+    friend class ShadowMemory;
+    VarAccess(VarState& s, Shard& sh) : state(s), shard_(sh) {}
+    Shard& shard_;
+  };
+
+  /// Run `fn(VarAccess&)` with the shard lock held (the slow path).
   template <typename Fn>
   void with(std::uintptr_t addr, Fn&& fn) {
     Shard& s = shard(addr);
     LockGuard<Spinlock> lock(s.lock);
-    fn(s.vars[addr]);
+    VarAccess access(s.table.get_or_insert(addr), s);
+    fn(access);
   }
 
   /// Number of tracked variables (diagnostics/tests).
   [[nodiscard]] std::size_t tracked_variables() const;
 
+  [[nodiscard]] std::uint32_t shard_count() const { return mask_ + 1; }
+
  private:
-  struct Shard {
+  // Aligned so adjacent shards' hot lock/table words never share a line
+  // (two threads spinning on different shard locks must not ping-pong).
+  struct alignas(kCacheLineSize) Shard {
     Spinlock lock;
-    std::unordered_map<std::uintptr_t, VarState> vars;
+    FlatShadowTable<VarState> table;
+    // Read-shared VectorClock pool: indexed by VarState::read_vc, recycled
+    // through free_list when writes collapse the shared state.
+    std::vector<VectorClock> vc_pool;
+    std::vector<std::uint32_t> vc_free;
   };
 
   Shard& shard(std::uintptr_t addr) {
+    return shards_[shard_index(addr)];
+  }
+  const Shard& shard(std::uintptr_t addr) const {
+    return shards_[shard_index(addr)];
+  }
+  std::size_t shard_index(std::uintptr_t addr) const {
     // Mix the low bits (variables are word-aligned, so >>3 first).
     const std::uint64_t h = (addr >> 3) * 0x9e3779b97f4a7c15ULL;
-    return shards_[(h >> 32) & mask_];
+    return (h >> 32) & mask_;
   }
 
   std::unique_ptr<Shard[]> shards_;

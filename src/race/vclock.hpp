@@ -6,18 +6,39 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
 namespace reomp::race {
 
+/// Hard ceiling on detector threads: Epoch packs the tid into 8 bits, so a
+/// tid >= 256 would silently alias another thread's epochs. The Detector
+/// constructor enforces this at runtime; Epoch asserts it in debug builds.
+inline constexpr std::uint32_t kMaxDetectorThreads = 256;
+
 /// Packed scalar epoch: top 8 bits tid, low 56 bits clock component.
+///
+/// The packed representation is load-bearing for the detector's lock-free
+/// fast path: a whole epoch fits in one std::atomic<std::uint64_t>, so
+/// "has this thread already accessed this variable at this epoch?" is a
+/// single relaxed load plus compare.
 class Epoch {
  public:
   Epoch() = default;
   Epoch(std::uint32_t tid, std::uint64_t clock)
       : bits_((static_cast<std::uint64_t>(tid) << 56) |
-              (clock & kClockMask)) {}
+              (clock & kClockMask)) {
+    assert(tid < kMaxDetectorThreads && "Epoch tid field is 8 bits");
+  }
+
+  /// Reconstruct from a packed word previously obtained via bits().
+  static Epoch from_bits(std::uint64_t bits) {
+    Epoch e;
+    e.bits_ = bits;
+    return e;
+  }
+  [[nodiscard]] std::uint64_t bits() const { return bits_; }
 
   [[nodiscard]] std::uint32_t tid() const {
     return static_cast<std::uint32_t>(bits_ >> 56);

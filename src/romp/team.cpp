@@ -27,7 +27,8 @@ Team::Team(TeamOptions opt) : opt_(std::move(opt)) {
 
   engine_ = std::make_unique<core::Engine>(opt_.engine);
   if (opt_.detect) {
-    detector_ = std::make_unique<race::Detector>(opt_.num_threads, sites_);
+    detector_ = std::make_unique<race::Detector>(opt_.num_threads, sites_,
+                                                 opt_.engine.shadow_shards);
   }
 
   if (opt_.pin_threads) pin_current_thread(0);
@@ -109,7 +110,8 @@ void Team::worker_loop(std::uint32_t tid) {
     seen_generation = generation_pub_->load(std::memory_order_acquire);
     const auto* task = task_pub_->load(std::memory_order_acquire);
 
-    WorkerCtx ctx{tid, this, &rctx};
+    WorkerCtx ctx{tid, this, &rctx,
+                  detector_ ? &detector_->thread_clock(tid) : nullptr};
     try {
       (*task)(ctx);
     } catch (...) {
@@ -137,7 +139,8 @@ void Team::parallel(const std::function<void(WorkerCtx&)>& fn) {
   if (wake_sleepers) pool_cv_.notify_all();
 
   // The caller participates as tid 0, like an OpenMP primary thread.
-  WorkerCtx ctx{0, this, &engine_->bind_thread(0)};
+  WorkerCtx ctx{0, this, &engine_->bind_thread(0),
+                detector_ ? &detector_->thread_clock(0) : nullptr};
   try {
     fn(ctx);
   } catch (...) {

@@ -59,6 +59,10 @@ struct WorkerCtx {
   std::uint32_t tid = 0;
   Team* team = nullptr;
   core::ThreadCtx* rctx = nullptr;  // engine thread context
+  // Detector per-thread clock handle (detect runs only): the access hot
+  // path reads its cached epoch directly instead of indexing the
+  // detector's thread array per access.
+  race::ThreadClock* dclock = nullptr;
 };
 
 struct TeamOptions {
@@ -172,7 +176,7 @@ class Team {
       case RunKind::kOff:
         return loc.load(std::memory_order_relaxed);
       case RunKind::kDetect:
-        detector_->on_read(w.tid, reinterpret_cast<std::uintptr_t>(&loc),
+        detector_->on_read(*w.dclock, reinterpret_cast<std::uintptr_t>(&loc),
                            h.site);
         return loc.load(std::memory_order_relaxed);
       case RunKind::kRecord:
@@ -193,7 +197,7 @@ class Team {
         loc.store(value, std::memory_order_relaxed);
         return;
       case RunKind::kDetect:
-        detector_->on_write(w.tid, reinterpret_cast<std::uintptr_t>(&loc),
+        detector_->on_write(*w.dclock, reinterpret_cast<std::uintptr_t>(&loc),
                             h.site);
         loc.store(value, std::memory_order_relaxed);
         return;

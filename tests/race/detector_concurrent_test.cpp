@@ -93,6 +93,62 @@ TEST(DetectorConcurrent, ManyVariablesScaleThroughShards) {
   EXPECT_EQ(team.detector()->races_observed(), 0u);
 }
 
+TEST(DetectorConcurrent, SameEpochFastPathEngagesWithoutFalsePositives) {
+  // Each thread hammers its own variable: after the first access, every
+  // iteration is a same-epoch repeat that must take the lock-free fast
+  // path, and none of it may be misreported as a race.
+  romp::Team team(detect_options(8));
+  romp::Handle site = team.register_handle("dc:fastpath");
+  std::vector<std::atomic<std::uint64_t>> slots(8);
+  constexpr int kIters = 5000;
+  team.parallel([&](romp::WorkerCtx& w) {
+    auto& mine = slots[w.tid];
+    // Read run then write run: after each run's first (slow-path) access,
+    // every repeat is a same-epoch hit. A strict write/read alternation
+    // would NOT fast-path — the write rule must re-subsume the interleaved
+    // read to keep verdicts identical to the reference (see README).
+    team.racy_store(w, site, mine, std::uint64_t{0});
+    for (int i = 0; i < kIters; ++i) (void)team.racy_load(w, site, mine);
+    for (int i = 0; i < kIters; ++i) {
+      team.racy_store(w, site, mine, static_cast<std::uint64_t>(i));
+    }
+  });
+  EXPECT_EQ(team.detector()->races_observed(), 0u);
+  // 8 threads x 2 runs x kIters, minus a handful of slow-path visits.
+  EXPECT_GT(team.detector()->fast_path_hits(),
+            static_cast<std::uint64_t>(8) * (2 * kIters - 10));
+  EXPECT_EQ(team.detector()->shadow().tracked_variables(), 8u);
+}
+
+TEST(DetectorConcurrent, HotRaceStaysDeduplicatedInReport) {
+  // Two sites race on one cell thousands of times; the report must stay a
+  // single pair with an aggregate count, not O(occurrences) entries.
+  romp::Team team(detect_options(4));
+  romp::Handle wa = team.register_handle("dc:hot_a");
+  romp::Handle wb = team.register_handle("dc:hot_b");
+  std::atomic<std::uint64_t> cell{0};
+  team.parallel([&](romp::WorkerCtx& w) {
+    for (int i = 0; i < 2000; ++i) {
+      team.racy_store(w, (w.tid & 1) ? wa : wb, cell,
+                      static_cast<std::uint64_t>(i));
+    }
+  });
+  EXPECT_GT(team.detector()->races_observed(), 0u);
+  const auto report = team.detector()->report();
+  // At most one pair per unordered site combination: {a,b}, {a,a}, {b,b}.
+  EXPECT_LE(report.pairs().size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& p : report.pairs()) total += p.count;
+  EXPECT_EQ(total, team.detector()->races_observed());
+}
+
+TEST(DetectorConcurrent, ShardCountOptionReachesDetector) {
+  romp::TeamOptions topt = detect_options(4);
+  topt.engine.shadow_shards = 5;  // rounds up to 8
+  romp::Team team(topt);
+  EXPECT_EQ(team.detector()->shadow().shard_count(), 8u);
+}
+
 TEST(DetectorConcurrent, AtomicTalliesDoNotFalsePositive) {
   romp::Team team(detect_options(8));
   romp::Handle tally = team.register_handle("dc:tally");

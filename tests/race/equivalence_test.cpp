@@ -1,0 +1,193 @@
+// Randomized equivalence stress: the optimized detector (lock-free
+// same-epoch fast path + flat sharded shadow table) must produce exactly
+// the same race verdicts as the reference fully-locked FastTrack
+// implementation on identical access traces.
+//
+// "Verdict" = the set of unordered racing site pairs. Occurrence *counts*
+// may legitimately differ: the fast path skips re-checks for same-epoch
+// repeat accesses that the reference re-processes (and re-counts), but a
+// skipped re-check can never change which pairs race.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/prng.hpp"
+#include "src/race/detector.hpp"
+#include "src/race/reference_detector.hpp"
+
+namespace reomp::race {
+namespace {
+
+enum class OpKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kAcquire,
+  kRelease,
+  kBarrier,
+  kForkJoin,  // on_fork immediately; matching on_join later via trace gen
+};
+
+struct Op {
+  OpKind kind;
+  std::uint32_t tid = 0;
+  std::uint32_t other = 0;  // child tid for fork/join
+  std::uintptr_t addr = 0;
+  std::uint64_t lock = 0;
+  SiteId site = kInvalidSite;
+  bool is_join = false;
+};
+
+/// Generate a random but well-formed trace: reads/writes dominate, locks
+/// are acquired and released by the same thread in order, barriers and
+/// fork/join edges appear occasionally.
+std::vector<Op> make_trace(std::uint64_t seed, std::uint32_t threads,
+                           std::uint32_t vars, std::uint32_t locks,
+                           std::uint32_t sites, std::size_t length) {
+  Xoshiro256 rng(seed);
+  std::vector<Op> trace;
+  trace.reserve(length + threads * locks);
+  // Track which locks each thread currently holds so releases stay sane.
+  std::vector<std::vector<std::uint64_t>> held(threads);
+
+  for (std::size_t i = 0; i < length; ++i) {
+    Op op;
+    op.tid = static_cast<std::uint32_t>(rng.next_below(threads));
+    op.site = static_cast<SiteId>(rng.next_below(sites));
+    const std::uint64_t dice = rng.next_below(100);
+    if (dice < 40) {
+      op.kind = OpKind::kRead;
+      op.addr = 8 * (1 + rng.next_below(vars));
+    } else if (dice < 72) {
+      op.kind = OpKind::kWrite;
+      op.addr = 8 * (1 + rng.next_below(vars));
+    } else if (dice < 82) {
+      op.kind = OpKind::kAcquire;
+      op.lock = 1 + rng.next_below(locks);
+      held[op.tid].push_back(op.lock);
+    } else if (dice < 92) {
+      if (held[op.tid].empty()) {
+        op.kind = OpKind::kRead;
+        op.addr = 8 * (1 + rng.next_below(vars));
+      } else {
+        op.kind = OpKind::kRelease;
+        op.lock = held[op.tid].back();
+        held[op.tid].pop_back();
+      }
+    } else if (dice < 96) {
+      op.kind = OpKind::kBarrier;
+    } else {
+      op.kind = OpKind::kForkJoin;
+      op.other = static_cast<std::uint32_t>(rng.next_below(threads));
+      if (op.other == op.tid) op.other = (op.tid + 1) % threads;
+      op.is_join = rng.next_below(2) == 0;
+    }
+    trace.push_back(op);
+  }
+  // Drain held locks so every acquire has a matching release.
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    while (!held[t].empty()) {
+      Op op;
+      op.kind = OpKind::kRelease;
+      op.tid = t;
+      op.lock = held[t].back();
+      held[t].pop_back();
+      trace.push_back(op);
+    }
+  }
+  return trace;
+}
+
+template <typename D>
+void apply(D& d, const std::vector<Op>& trace) {
+  for (const Op& op : trace) {
+    switch (op.kind) {
+      case OpKind::kRead: d.on_read(op.tid, op.addr, op.site); break;
+      case OpKind::kWrite: d.on_write(op.tid, op.addr, op.site); break;
+      case OpKind::kAcquire: d.on_acquire(op.tid, op.lock); break;
+      case OpKind::kRelease: d.on_release(op.tid, op.lock); break;
+      case OpKind::kBarrier: d.on_barrier(); break;
+      case OpKind::kForkJoin:
+        if (op.is_join) {
+          d.on_join(op.tid, op.other);
+        } else {
+          d.on_fork(op.tid, op.other);
+        }
+        break;
+    }
+  }
+}
+
+std::set<std::pair<std::string, std::string>> verdict(const RaceReport& r) {
+  std::set<std::pair<std::string, std::string>> v;
+  for (const auto& p : r.pairs()) v.insert({p.site_a, p.site_b});
+  return v;
+}
+
+TEST(Equivalence, RandomTracesMatchReferenceVerdicts) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    SiteRegistry sites;
+    const std::uint32_t nsites = 12;
+    for (std::uint32_t s = 0; s < nsites; ++s) {
+      sites.intern("site" + std::to_string(s));
+    }
+    const auto trace = make_trace(seed, /*threads=*/6, /*vars=*/10,
+                                  /*locks=*/4, nsites, /*length=*/600);
+
+    Detector fast(6, sites);
+    ReferenceDetector ref(6, sites);
+    apply(fast, trace);
+    apply(ref, trace);
+
+    EXPECT_EQ(verdict(fast.report()), verdict(ref.report()))
+        << "verdict mismatch for seed " << seed;
+    // Either both saw races or neither did.
+    EXPECT_EQ(fast.races_observed() > 0, ref.races_observed() > 0)
+        << "seed " << seed;
+  }
+}
+
+TEST(Equivalence, VerdictIndependentOfShardCount) {
+  for (std::uint64_t seed = 100; seed < 108; ++seed) {
+    SiteRegistry sites;
+    const std::uint32_t nsites = 8;
+    for (std::uint32_t s = 0; s < nsites; ++s) {
+      sites.intern("s" + std::to_string(s));
+    }
+    const auto trace = make_trace(seed, /*threads=*/4, /*vars=*/32,
+                                  /*locks=*/3, nsites, /*length=*/500);
+    Detector one_shard(4, sites, 1);
+    Detector many_shards(4, sites, 256);
+    apply(one_shard, trace);
+    apply(many_shards, trace);
+    EXPECT_EQ(verdict(one_shard.report()), verdict(many_shards.report()))
+        << "seed " << seed;
+  }
+}
+
+TEST(Equivalence, LongSingleVarTraceMatchesAndStaysDeduplicated) {
+  // A hot race: two threads hammer one variable. The report must stay one
+  // pair no matter how many occurrences, in both implementations.
+  SiteRegistry sites;
+  const SiteId s0 = sites.intern("hot:a");
+  const SiteId s1 = sites.intern("hot:b");
+  Detector fast(2, sites);
+  ReferenceDetector ref(2, sites);
+  const std::uintptr_t addr = 0x1000;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint32_t tid = i & 1;
+    const SiteId site = tid == 0 ? s0 : s1;
+    fast.on_write(tid, addr, site);
+    ref.on_write(tid, addr, site);
+  }
+  EXPECT_EQ(verdict(fast.report()), verdict(ref.report()));
+  ASSERT_EQ(fast.report().pairs().size(), 1u);
+  EXPECT_EQ(fast.report().pairs()[0].site_a, "hot:a");
+  EXPECT_EQ(fast.report().pairs()[0].site_b, "hot:b");
+  EXPECT_GT(fast.report().pairs()[0].count, 1u);
+}
+
+}  // namespace
+}  // namespace reomp::race

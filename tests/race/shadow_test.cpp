@@ -1,0 +1,122 @@
+// Unit tests for the flat sharded shadow memory and its configuration
+// surface (shard validation, table growth, the 256-thread Epoch limit).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "src/common/flat_shadow_table.hpp"
+#include "src/core/options.hpp"
+#include "src/race/detector.hpp"
+#include "src/race/shadow.hpp"
+
+namespace reomp::race {
+namespace {
+
+// ---------- shard-count validation ----------
+
+TEST(ShadowMemory, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ShadowMemory::validated_shard_count(0), 1u);
+  EXPECT_EQ(ShadowMemory::validated_shard_count(1), 1u);
+  EXPECT_EQ(ShadowMemory::validated_shard_count(2), 2u);
+  EXPECT_EQ(ShadowMemory::validated_shard_count(3), 4u);
+  EXPECT_EQ(ShadowMemory::validated_shard_count(5), 8u);
+  EXPECT_EQ(ShadowMemory::validated_shard_count(64), 64u);
+  EXPECT_EQ(ShadowMemory::validated_shard_count(65), 128u);
+  EXPECT_EQ(ShadowMemory::validated_shard_count(~0u),
+            ShadowMemory::kMaxShards);
+}
+
+TEST(ShadowMemory, NonPowerOfTwoShardRequestStillRoutesAllAddresses) {
+  // A wrong mask would drop shards and lose variables; insert across a
+  // wide address range and count them back.
+  ShadowMemory shadow(/*shard_count=*/7);  // rounds to 8
+  EXPECT_EQ(shadow.shard_count(), 8u);
+  constexpr int kVars = 4096;
+  for (int i = 0; i < kVars; ++i) {
+    shadow.with(0x10000 + 8 * static_cast<std::uintptr_t>(i),
+                [](ShadowMemory::VarAccess&) {});
+  }
+  EXPECT_EQ(shadow.tracked_variables(), static_cast<std::size_t>(kVars));
+}
+
+// ---------- flat table ----------
+
+struct TestValue {
+  std::atomic<std::uint64_t> tag{0};
+  TestValue() = default;
+  TestValue& operator=(const TestValue& o) {
+    tag.store(o.tag.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+TEST(FlatShadowTable, InsertFindRoundTripAcrossGrowth) {
+  FlatShadowTable<TestValue> table(/*initial_capacity=*/4);
+  constexpr std::uintptr_t kBase = 0x1000;
+  constexpr std::uint64_t kCount = 3000;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    table.get_or_insert(kBase + 8 * i).tag.store(i + 1,
+                                                 std::memory_order_relaxed);
+  }
+  EXPECT_EQ(table.size(), kCount);
+  EXPECT_GE(table.capacity(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    auto* v = table.find(kBase + 8 * i);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(v->tag.load(std::memory_order_relaxed), i + 1);
+  }
+  EXPECT_EQ(table.find(kBase + 8 * kCount), nullptr);
+  EXPECT_EQ(table.find(0xdeadbeef0000), nullptr);
+}
+
+TEST(FlatShadowTable, PointersFromBeforeGrowthStayDereferenceable) {
+  FlatShadowTable<TestValue> table(4);
+  TestValue* early = &table.get_or_insert(0x42424240);
+  early->tag.store(77, std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    table.get_or_insert(0x9000 + 8 * i);  // forces several growths
+  }
+  // The retired table is kept alive: the old pointer still reads the value
+  // it wrote (stale data, valid memory — exactly the fast-path contract).
+  EXPECT_EQ(early->tag.load(std::memory_order_relaxed), 77u);
+  // And the live table finds the entry at its new home.
+  auto* now = table.find(0x42424240);
+  ASSERT_NE(now, nullptr);
+  EXPECT_EQ(now->tag.load(std::memory_order_relaxed), 77u);
+}
+
+// ---------- thread-count limit ----------
+
+TEST(Detector, RejectsMoreThreadsThanEpochTidField) {
+  SiteRegistry sites;
+  EXPECT_THROW(Detector(kMaxDetectorThreads + 1, sites),
+               std::invalid_argument);
+  EXPECT_THROW(Detector(0, sites), std::invalid_argument);
+  // The boundary itself is fine.
+  Detector ok(kMaxDetectorThreads, sites);
+  EXPECT_EQ(ok.num_threads(), kMaxDetectorThreads);
+}
+
+// ---------- options plumbing ----------
+
+TEST(Options, ShadowShardsComesFromEnvironment) {
+  ::setenv("REOMP_SHADOW_SHARDS", "12", 1);
+  const auto opt = core::Options::from_env(4);
+  ::unsetenv("REOMP_SHADOW_SHARDS");
+  EXPECT_EQ(opt.shadow_shards, 12u);
+  // The detector accepts the raw request and rounds it internally.
+  SiteRegistry sites;
+  Detector d(4, sites, opt.shadow_shards);
+  EXPECT_EQ(d.shadow().shard_count(), 16u);
+}
+
+TEST(Options, ShadowShardsDefaultsWhenUnset) {
+  ::unsetenv("REOMP_SHADOW_SHARDS");
+  const auto opt = core::Options::from_env(4);
+  EXPECT_EQ(opt.shadow_shards, 64u);
+}
+
+}  // namespace
+}  // namespace reomp::race

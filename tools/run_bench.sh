@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Run the shadow-memory scaling microbenchmark and emit BENCH_shadow.json.
+#
+# Usage: tools/run_bench.sh [build-dir] [extra bench args...]
+#   BENCH_ITERS        per-thread iterations (default: bench default)
+#   BENCH_MAX_THREADS  top of the thread sweep (default: bench default)
+#
+# The JSON lands next to the current working directory as BENCH_shadow.json
+# so CI can archive it; record headline numbers in ROADMAP.md open items.
+set -eu
+
+BUILD_DIR=${1:-build}
+[ $# -gt 0 ] && shift
+
+if [ ! -x "$BUILD_DIR/bench_shadow_scaling" ]; then
+  echo "error: $BUILD_DIR/bench_shadow_scaling not built" >&2
+  echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+ARGS="--json BENCH_shadow.json"
+[ -n "${BENCH_ITERS:-}" ] && ARGS="$ARGS --iters $BENCH_ITERS"
+[ -n "${BENCH_MAX_THREADS:-}" ] && ARGS="$ARGS --max-threads $BENCH_MAX_THREADS"
+
+# shellcheck disable=SC2086
+exec "$BUILD_DIR/bench_shadow_scaling" $ARGS "$@"
