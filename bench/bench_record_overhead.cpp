@@ -1,0 +1,251 @@
+// Record-path throughput microbenchmark: gate events/sec for every
+// strategy × trace-writer data path, on the synthetic data-race mix (the
+// paper's `sum += 1` with no clause: one racy load + one racy store per
+// iteration through a single shared gate — the worst-case gate pressure).
+//
+// What it quantifies, the way bench_shadow_scaling did for the detector:
+//   off      — the synchronous write-behind baseline (per-entry appends,
+//              fully locked DC, per-entry ST channel lock)
+//   deferred — batched write-behind (ring + thresholded batch flush,
+//              lock-free DC clock claim, ST group commit)
+//   async    — the async trace-writer subsystem (background writer thread
+//              drains the rings; record threads never encode or write)
+// each in-memory (ordering cost only) and against a record directory
+// (tmpfs in the intended deployment, paper §VI).
+//
+// Standalone binary (no google-benchmark) so the tier-1 smoke run is fast
+// and deterministic:
+//   bench_record_overhead [--smoke] [--json PATH] [--iters N] [--threads N]
+//                         [--dir PATH]
+//
+// --smoke shrinks iteration counts and exits nonzero if any configuration
+// loses entries (decoded stream length != gate events) or the single-thread
+// decoded streams differ across data paths; speedups are printed, not
+// asserted (timing is host-dependent). Full runs report best-of-3.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/bundle.hpp"
+#include "src/core/engine.hpp"
+
+namespace {
+
+using namespace reomp;
+using core::AccessKind;
+using core::Engine;
+using core::GateId;
+using core::Mode;
+using core::Options;
+using core::RecordBundle;
+using core::Strategy;
+using core::ThreadCtx;
+using core::ThreadId;
+using core::TraceWriter;
+
+struct Config {
+  Strategy strategy;
+  TraceWriter writer;
+  bool to_file;
+};
+
+struct Result {
+  Config cfg;
+  std::uint32_t threads;
+  double events_per_sec;
+  std::uint64_t events;
+};
+
+constexpr Strategy kStrategies[] = {Strategy::kST, Strategy::kDC,
+                                    Strategy::kDE};
+constexpr TraceWriter kWriters[] = {TraceWriter::kOff, TraceWriter::kDeferred,
+                                    TraceWriter::kAsync};
+
+/// One record run of the data-race mix; returns events/sec and, when
+/// `bundle_out` is set, the in-memory record for validation.
+double run_once(const Config& cfg, std::uint32_t threads, std::uint64_t iters,
+                const std::string& dir, std::uint64_t* events_out,
+                RecordBundle* bundle_out) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = cfg.strategy;
+  opt.num_threads = threads;
+  opt.trace_writer = cfg.writer;
+  // The deferred/async rows measure the full new hot path, including the
+  // opt-in lock-free DC clock claim; `off` keeps every serialization of
+  // the historical baseline (dc_lockfree is ignored there anyway).
+  opt.dc_lockfree = cfg.writer != TraceWriter::kOff;
+  if (cfg.to_file) opt.dir = dir;
+  Engine eng(opt);
+  const GateId g = eng.register_gate("sum");
+  std::atomic<std::uint64_t> sum{0};
+
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  auto body = [&](ThreadId tid) {
+    ThreadCtx& ctx = eng.bind_thread(tid);
+    ready.fetch_add(1);
+    while (!go.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      // The data_race synthetic: racy load + racy store, no clause.
+      const std::uint64_t v = eng.sma_load(ctx, g, sum);
+      eng.sma_store(ctx, g, sum, v + 1);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (ThreadId tid = 1; tid < threads; ++tid) pool.emplace_back(body, tid);
+  while (ready.load() != threads - 1) std::this_thread::yield();
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  body(0);
+  for (auto& t : pool) t.join();
+  eng.finalize();  // the drain/commit tail is part of the record cost
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (events_out != nullptr) *events_out = eng.total_events();
+  if (bundle_out != nullptr && !cfg.to_file) *bundle_out = eng.take_bundle();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(eng.total_events()) / (secs > 0 ? secs : 1e-9);
+}
+
+std::uint64_t decoded_entries(const RecordBundle& b, Strategy s) {
+  std::uint64_t n = 0;
+  if (s == Strategy::kST) {
+    trace::MemorySource src(b.shared_stream);
+    trace::RecordReader reader(src);
+    n = reader.read_all().size();
+  } else {
+    for (const auto& stream : b.thread_streams) {
+      trace::MemorySource src(stream);
+      trace::RecordReader reader(src);
+      n += reader.read_all().size();
+    }
+  }
+  return n;
+}
+
+const char* sink_name(bool to_file) { return to_file ? "dir" : "memory"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::uint64_t iters = 200'000;
+  std::uint32_t threads = 8;
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "reomp_bench_record").string();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      iters = 2'000;
+      threads = 4;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json PATH] [--iters N] "
+                   "[--threads N] [--dir PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const int reps = smoke ? 1 : 3;
+  bool ok = true;
+
+  // ---- validation: no configuration may lose entries, and for a fixed
+  // single-thread schedule every data path must produce identical bytes.
+  for (const Strategy s : kStrategies) {
+    std::vector<RecordBundle> bundles;
+    for (const TraceWriter w : kWriters) {
+      const Config cfg{s, w, /*to_file=*/false};
+      std::uint64_t events = 0;
+      RecordBundle b;
+      run_once(cfg, 1, smoke ? 500 : 5'000, dir, &events, &b);
+      if (decoded_entries(b, s) != events) {
+        std::fprintf(stderr, "FAIL: %s/%s lost entries (%llu of %llu)\n",
+                     to_string(s).data(), to_string(w).data(),
+                     static_cast<unsigned long long>(decoded_entries(b, s)),
+                     static_cast<unsigned long long>(events));
+        ok = false;
+      }
+      bundles.push_back(std::move(b));
+    }
+    for (std::size_t i = 1; i < bundles.size(); ++i) {
+      if (bundles[i].shared_stream != bundles[0].shared_stream ||
+          bundles[i].thread_streams != bundles[0].thread_streams) {
+        std::fprintf(stderr,
+                     "FAIL: %s single-thread streams differ across writers\n",
+                     to_string(s).data());
+        ok = false;
+      }
+    }
+  }
+
+  // ---- throughput sweep ----
+  std::vector<Result> results;
+  std::printf("%-4s %-9s %-7s %8s %14s\n", "strat", "writer", "sink",
+              "threads", "events/sec");
+  for (const bool to_file : {false, true}) {
+    for (const Strategy s : kStrategies) {
+      double base = 0;
+      for (const TraceWriter w : kWriters) {
+        const Config cfg{s, w, to_file};
+        double best = 0;
+        std::uint64_t events = 0;
+        for (int r = 0; r < reps; ++r) {
+          const double eps = run_once(cfg, threads, iters, dir, &events,
+                                      nullptr);
+          if (eps > best) best = eps;
+        }
+        results.push_back({cfg, threads, best, events});
+        std::printf("%-4s %-9s %-7s %8u %14.0f", to_string(s).data(),
+                    to_string(w).data(), sink_name(to_file), threads, best);
+        if (w == TraceWriter::kOff) {
+          base = best;
+          std::printf("\n");
+        } else {
+          std::printf("  (%.2fx vs off)\n", best / (base > 0 ? base : 1e-9));
+        }
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path, std::ios::trunc);
+    f << "{\n  \"benchmark\": \"record_overhead\",\n  \"workload\": "
+         "\"data_race_mix\",\n  \"iters\": "
+      << iters << ",\n  \"threads\": " << threads << ",\n  \"best_of\": "
+      << reps << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      f << "    {\"strategy\": \"" << to_string(r.cfg.strategy)
+        << "\", \"writer\": \"" << to_string(r.cfg.writer)
+        << "\", \"sink\": \"" << sink_name(r.cfg.to_file)
+        << "\", \"threads\": " << r.threads << ", \"events_per_sec\": "
+        << static_cast<std::uint64_t>(r.events_per_sec) << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (smoke) std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

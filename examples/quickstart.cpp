@@ -22,8 +22,14 @@ double run(core::Mode mode, core::Strategy strategy,
            core::RecordBundle* bundle_out) {
   romp::TeamOptions opt;
   opt.num_threads = 8;
+  // Tuning knobs ride in from the environment (paper §V), so e.g.
+  //   REOMP_TRACE_WRITER=async ./example_quickstart
+  // exercises the async trace-writer subsystem; mode/strategy/bundle stay
+  // driven by the demo's own record->replay flow.
+  opt.engine = core::Options::from_env(opt.num_threads);
   opt.engine.mode = mode;
   opt.engine.strategy = strategy;
+  opt.engine.dir.clear();  // the demo stays in-memory
   opt.engine.bundle = bundle;
 
   romp::Team team(opt);

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/common/cacheline.hpp"
+#include "src/common/pow2.hpp"
 
 namespace reomp {
 
@@ -113,12 +114,6 @@ class FlatShadowTable {
     std::unique_ptr<Slot[]> slots;
     std::size_t mask;
   };
-
-  static std::size_t round_up_pow2(std::size_t v) {
-    std::size_t p = 1;
-    while (p < v) p <<= 1;
-    return p;
-  }
 
   static std::size_t mix(std::uintptr_t key) {
     // Variables are word-aligned, so shift the dead low bits out first.

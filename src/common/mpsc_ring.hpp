@@ -1,0 +1,107 @@
+// Bounded multi-producer ring of 64-bit words (Vyukov bounded-queue cells).
+//
+// The ST strategy's group-commit staging area: record threads enqueue one
+// packed (gate, tid) word each while holding their gate lock — a single
+// fetch_add claims the word's position in the shared stream — and a lone
+// committer (whichever thread wins the channel's file lock, or the async
+// writer thread) drains the ready prefix into the shared RecordWriter in
+// one batch. This replaces taking the channel spinlock once per entry: the
+// lock holder writes for its followers, so under contention the per-entry
+// cost collapses to the staging fetch_add.
+//
+// Concurrency contract: any thread may try_push; drain() is single-consumer
+// (callers serialize via the channel file lock or by being the only writer
+// thread). Each cell carries a sequence word à la Vyukov's bounded MPMC
+// queue, so producers never write a cell the consumer has not freed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/cacheline.hpp"
+#include "src/common/pow2.hpp"
+
+namespace reomp {
+
+class MpscWordRing {
+ public:
+  explicit MpscWordRing(std::size_t capacity)
+      : cap_(round_up_pow2(capacity > 0 ? capacity : 1)),
+        mask_(cap_ - 1),
+        cells_(std::make_unique<Cell[]>(cap_)) {
+    for (std::size_t i = 0; i < cap_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscWordRing(const MpscWordRing&) = delete;
+  MpscWordRing& operator=(const MpscWordRing&) = delete;
+
+  /// Claim the next stream position and publish `word` there. Returns false
+  /// when the ring is full — the caller should drain (or help the committer)
+  /// and retry; the position is NOT claimed on failure.
+  bool try_push(std::uint64_t word) {
+    std::uint64_t pos = tail_->load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[pos & mask_];
+      const std::uint64_t seq = c.seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_->compare_exchange_weak(pos, pos + 1,
+                                         std::memory_order_relaxed)) {
+          c.word = word;
+          c.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the new position.
+      } else if (dif < 0) {
+        return false;  // full: cell not yet freed by the consumer
+      } else {
+        pos = tail_->load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer: pop the ready prefix, emitting each word in stream
+  /// order. Returns the number of words emitted.
+  template <typename EmitFn>
+  std::size_t drain(EmitFn&& emit) {
+    std::size_t n = 0;
+    std::uint64_t h = head_->load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[h & mask_];
+      if (c.seq.load(std::memory_order_acquire) != h + 1) break;
+      emit(c.word);
+      c.seq.store(h + cap_, std::memory_order_release);  // free the cell
+      ++h;
+      ++n;
+    }
+    head_->store(h, std::memory_order_relaxed);
+    return n;
+  }
+
+  /// True when no published entry is waiting. Exact once producers quiesce.
+  [[nodiscard]] bool empty() const {
+    const std::uint64_t h = head_->load(std::memory_order_relaxed);
+    return cells_[h & mask_].seq.load(std::memory_order_acquire) != h + 1;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    std::uint64_t word = 0;
+  };
+
+  std::size_t cap_;
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  CachePadded<std::atomic<std::uint64_t>> tail_{};  // producers claim here
+  CachePadded<std::atomic<std::uint64_t>> head_{};  // consumer frees here
+};
+
+}  // namespace reomp

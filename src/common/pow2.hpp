@@ -1,0 +1,16 @@
+// Power-of-two helpers shared by the mask-indexed rings and tables.
+#pragma once
+
+#include <cstddef>
+
+namespace reomp {
+
+/// Smallest power of two >= v (v = 0 maps to 1). Callers size masks from
+/// this, so the result is always a valid `cap - 1` mask base.
+inline constexpr std::size_t round_up_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace reomp

@@ -1,14 +1,40 @@
-// Fixed-capacity ring buffer.
+// Fixed-capacity rings.
 //
-// DE recording keeps a bounded access history per gate to compute X_C
-// (paper §IV-D: "We use a long-enough ring buffer so that the old access can
-// automatically be discarded"). The ring is single-writer (whoever holds the
-// gate lock) so it needs no internal synchronization.
+// RingBuffer<T>: the DE access-history window (paper §IV-D: "We use a
+// long-enough ring buffer so that the old access can automatically be
+// discarded"). Single-writer (whoever holds the gate lock), no internal
+// synchronization, exact caller-chosen capacity.
+//
+// WriteBehindRing: the record-side write-behind store. One per record
+// thread, power-of-two capacity with mask indexing, single producer (the
+// owning record thread) and single consumer (the owning thread in the
+// synchronous trace-writer modes, the async writer thread otherwise).
+// Slots have stable addresses for the lifetime of an entry — a gate's
+// PendingStore keeps a raw pointer to its deferred entry until the next
+// access to that gate resolves it — and entries carry no heap allocation,
+// unlike the std::deque<BufferedEntry> this replaces.
+//
+// A bounded ring cannot block the producer when full: the front entry may
+// be an unresolved pending store whose resolution requires *another* gate
+// access, which a blocked producer (or a producer blocked behind it) might
+// be the only thread left to perform. Overflow therefore spills into an
+// unbounded deque guarded by a spinlock; once spilled, every subsequent
+// push also spills (stream order) until the consumer has emptied the
+// overflow. The spill path allocates, but it only engages when resolution
+// lags by a full ring — the common path stays allocation- and lock-free.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
 #include <vector>
+
+#include "src/common/cacheline.hpp"
+#include "src/common/pow2.hpp"
+#include "src/common/spinlock.hpp"
 
 namespace reomp {
 
@@ -47,6 +73,152 @@ class RingBuffer {
   std::vector<T> slots_;
   std::size_t head_ = 0;  // next write position
   std::size_t size_ = 0;
+};
+
+/// One record entry in a thread's write-behind ring. A load's value is
+/// known immediately; a DE store's epoch is only known once the *next*
+/// access to the gate arrives (Condition 1 (ii) requires a store after the
+/// pair being swapped), so store entries sit unresolved until then.
+/// `resolved` is the release/acquire handoff between the resolving thread
+/// (under the gate lock) and the consumer draining the ring.
+struct WriteBehindEntry {
+  std::uint32_t gate = 0;
+  std::uint64_t value = 0;  // clock, epoch, or tid depending on strategy
+  std::atomic<bool> resolved{false};
+};
+
+class WriteBehindRing {
+ public:
+  explicit WriteBehindRing(std::size_t capacity)
+      : cap_(round_up_pow2(capacity > 0 ? capacity : 1)),
+        mask_(cap_ - 1),
+        slots_(std::make_unique<WriteBehindEntry[]>(cap_)) {}
+
+  WriteBehindRing(const WriteBehindRing&) = delete;
+  WriteBehindRing& operator=(const WriteBehindRing&) = delete;
+
+  /// Producer only. Returns a stable pointer to the stored entry (valid
+  /// until the consumer pops it, which cannot happen before it resolves).
+  WriteBehindEntry* push(std::uint32_t gate, std::uint64_t value,
+                         bool resolved) {
+    for (;;) {
+      if (!overflowed_.load(std::memory_order_relaxed)) {
+        // overflowed_ is only ever set by this thread, so a relaxed read
+        // cannot miss our own spill; a stale `true` just detours through
+        // the lock below and rechecks.
+        const std::uint64_t h = head_->load(std::memory_order_relaxed);
+        if (h - tail_->load(std::memory_order_acquire) < cap_) {
+          WriteBehindEntry& e = slots_[h & mask_];
+          e.gate = gate;
+          e.value = value;
+          e.resolved.store(resolved, std::memory_order_relaxed);
+          // Publishes the slot fields to the consumer.
+          head_->store(h + 1, std::memory_order_release);
+          return &e;
+        }
+      }
+      LockGuard<Spinlock> lk(overflow_lock_);
+      if (!overflowed_.load(std::memory_order_relaxed)) {
+        const std::uint64_t h = head_->load(std::memory_order_relaxed);
+        if (h - tail_->load(std::memory_order_acquire) < cap_) {
+          continue;  // consumer freed ring space while we took the lock
+        }
+        overflowed_.store(true, std::memory_order_relaxed);
+      }
+      WriteBehindEntry& e = overflow_.emplace_back();
+      e.gate = gate;
+      e.value = value;
+      e.resolved.store(resolved, std::memory_order_relaxed);
+      return &e;
+    }
+  }
+
+  /// Consumer only. Pops the resolved prefix (ring first, then — only once
+  /// the ring is empty — the overflow spill, which is strictly younger) and
+  /// emits each entry as emit(gate, value). Returns entries emitted.
+  template <typename EmitFn>
+  std::size_t drain_resolved(EmitFn&& emit) {
+    std::size_t n = 0;
+    const std::uint64_t h = head_->load(std::memory_order_acquire);
+    std::uint64_t t = tail_->load(std::memory_order_relaxed);
+    while (t != h) {
+      WriteBehindEntry& e = slots_[t & mask_];
+      if (!e.resolved.load(std::memory_order_acquire)) break;
+      emit(e.gate, e.value);
+      ++t;
+      ++n;
+    }
+    tail_->store(t, std::memory_order_release);
+    if (t != h) return n;  // blocked on an unresolved ring entry
+    if (overflowed_.load(std::memory_order_acquire)) {
+      LockGuard<Spinlock> lk(overflow_lock_);
+      // Between the head snapshot above and seeing the flag, the producer
+      // may have filled the ring AND spilled; ring residents are always
+      // older than the overflow, so if any appeared, drain them first
+      // (next pass) before touching the spill.
+      if (head_->load(std::memory_order_acquire) != t) return n;
+      while (!overflow_.empty() &&
+             overflow_.front().resolved.load(std::memory_order_acquire)) {
+        emit(overflow_.front().gate, overflow_.front().value);
+        overflow_.pop_front();
+        ++n;
+      }
+      if (overflow_.empty()) {
+        // Producer may resume ring pushes; everything it spilled is out.
+        overflowed_.store(false, std::memory_order_relaxed);
+      }
+    }
+    return n;
+  }
+
+  /// Producer-side view: true when nothing is buffered anywhere. Exact for
+  /// the producer (tail only advances), used for the direct-append fast
+  /// path of the synchronous trace-writer mode.
+  [[nodiscard]] bool producer_empty() const {
+    return !overflowed_.load(std::memory_order_relaxed) &&
+           head_->load(std::memory_order_relaxed) ==
+               tail_->load(std::memory_order_acquire);
+  }
+
+  /// Producer-side count of ring-resident entries (excludes overflow);
+  /// drives the deferred-mode flush threshold.
+  [[nodiscard]] std::size_t producer_size() const {
+    return static_cast<std::size_t>(
+        head_->load(std::memory_order_relaxed) -
+        tail_->load(std::memory_order_acquire));
+  }
+
+  /// Producer-side view of the spill flag (exact: only the producer sets
+  /// it). While true, pushes detour through the locked overflow — callers
+  /// using a size threshold to pace drains must treat this as "drain now",
+  /// because the ring can sit empty behind an unresolved overflow front
+  /// and the size threshold alone would never fire again.
+  [[nodiscard]] bool has_overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+
+  /// Diagnostic count after all threads quiesced (finalize).
+  [[nodiscard]] std::size_t quiescent_size() {
+    LockGuard<Spinlock> lk(overflow_lock_);
+    return static_cast<std::size_t>(
+               head_->load(std::memory_order_relaxed) -
+               tail_->load(std::memory_order_relaxed)) +
+           overflow_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  std::size_t cap_;
+  std::size_t mask_;
+  std::unique_ptr<WriteBehindEntry[]> slots_;
+  // Producer and consumer indices live on separate cache lines so the
+  // consumer's tail stores do not invalidate the producer's head line.
+  CachePadded<std::atomic<std::uint64_t>> head_{};  // producer writes
+  CachePadded<std::atomic<std::uint64_t>> tail_{};  // consumer writes
+  std::atomic<bool> overflowed_{false};  // set by producer, cleared by consumer
+  Spinlock overflow_lock_;
+  std::deque<WriteBehindEntry> overflow_;  // stable addresses, like the ring
 };
 
 }  // namespace reomp

@@ -29,8 +29,15 @@ class TicketLock {
   void lock() noexcept {
     const std::uint32_t my =
         next_->fetch_add(1, std::memory_order_relaxed);
+    // Spin-then-yield, not pure spin: FIFO handoff means the *next* ticket
+    // holder must run for anyone to make progress, and on an oversubscribed
+    // host it may well be descheduled — a pure-spinning waiter would then
+    // burn its whole quantum blocking the very thread it waits for
+    // (~3 ms per handoff instead of ~100 ns). Short waits stay cheap; the
+    // FIFO order itself is unchanged.
+    Backoff backoff;
     while (serving_->load(std::memory_order_acquire) != my) {
-      cpu_relax();
+      backoff.pause();
     }
   }
 

@@ -12,16 +12,30 @@
 
 namespace reomp {
 
-/// Append `v` to `out` as unsigned LEB128. Returns bytes written (1..10).
-inline std::size_t varint_encode(std::uint64_t v, std::vector<std::uint8_t>& out) {
+/// Maximum encoded size of one varint (10 bytes for a full 64-bit value).
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Encode `v` as unsigned LEB128 into `out`, which must have room for
+/// kMaxVarintBytes. Returns bytes written (1..10). The raw form keeps the
+/// record hot path off the heap: an entry encodes into a small stack or
+/// batch buffer instead of a cleared scratch vector.
+inline std::size_t varint_encode_raw(std::uint64_t v,
+                                     std::uint8_t* out) noexcept {
   std::size_t n = 0;
   do {
     std::uint8_t byte = v & 0x7f;
     v >>= 7;
     if (v != 0) byte |= 0x80;
-    out.push_back(byte);
-    ++n;
+    out[n++] = byte;
   } while (v != 0);
+  return n;
+}
+
+/// Append `v` to `out` as unsigned LEB128. Returns bytes written (1..10).
+inline std::size_t varint_encode(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  std::uint8_t buf[kMaxVarintBytes];
+  const std::size_t n = varint_encode_raw(v, buf);
+  out.insert(out.end(), buf, buf + n);
   return n;
 }
 

@@ -10,12 +10,26 @@ namespace reomp::core {
 ClockStrategyBase::ClockStrategyBase(Engine& engine, bool use_epochs)
     : engine_(engine),
       use_epochs_(use_epochs),
+      // The lock-free DC claim is part of the new write-behind path; the
+      // trace_writer=off baseline, the write-inside-lock ablation, and
+      // dc_lockfree=false (strict record-output fidelity) all keep the
+      // historical fully-locked protocol so measurements have an unchanged
+      // anchor.
+      dc_lockfree_(!use_epochs && engine.options().dc_lockfree &&
+                   engine.options().trace_writer != TraceWriter::kOff &&
+                   !engine.options().write_inside_lock),
       write_inside_lock_(engine.options().write_inside_lock),
+      deferred_(engine.options().trace_writer == TraceWriter::kDeferred),
+      owner_flushes_(engine.options().trace_writer != TraceWriter::kAsync),
       collect_stats_(engine.options().collect_epoch_stats),
       history_cap_(engine.options().history_capacity) {}
 
-void ClockStrategyBase::record_gate_in(ThreadCtx&, GateState& g) {
-  // Fig. 5 line 20: the SMA region plus clock assignment are serialized.
+void ClockStrategyBase::record_gate_in(ThreadCtx&, GateState& g,
+                                       AccessKind kind) {
+  // Fig. 5 line 20: the SMA region plus clock assignment are serialized —
+  // except for DC loads/stores on the lock-free path, whose "region" is a
+  // single relaxed access ordered by the clock claim in gate_out.
+  if (lockfree(kind)) return;
   g.lock.lock();
 }
 
@@ -30,76 +44,87 @@ void ClockStrategyBase::resolve_pending(GateState& g,
   const std::uint64_t epoch = g.pending.clock - xc;
   g.pending.entry->value = epoch;
   if (collect_stats_) g.epoch_tracker.on_epoch(epoch);
-  // Release pairs with the owning thread's acquire in flush_resolved().
+  // Release pairs with the ring consumer's acquire in drain_resolved().
   g.pending.entry->resolved.store(true, std::memory_order_release);
   g.pending.clear();
 }
 
 void ClockStrategyBase::record_gate_out(ThreadCtx& t, GateState& g,
                                         GateId gid, AccessKind kind) {
-  // ---- under the gate lock (taken in record_gate_in) ----
-  if (use_epochs_) {
-    resolve_pending(g, kind);
-  }
+  const bool locked = !lockfree(kind);
+  // ---- under the gate lock (unless the DC lock-free claim applies) ----
+  const std::uint64_t clock =
+      g.global_clock.fetch_add(1, std::memory_order_relaxed);
 
-  const std::uint64_t clock = g.global_clock++;  // Fig. 5 line 22
-
-  // Entries whose value is known immediately bypass the write-behind
-  // buffer entirely when nothing older is still deferred: the value is
-  // carried in a local and appended after unlock. Only DE stores (epoch
-  // unknown until the next access) must go through the buffer.
+  // Entries whose value is known immediately can bypass the ring entirely
+  // on the synchronous baseline when nothing older is still deferred: the
+  // value rides in a local and is appended after unlock. Deferred/async
+  // modes always go through the ring — that is the write-behind store.
   bool direct = false;
   std::uint64_t direct_value = 0;
 
   if (use_epochs_) {
+    resolve_pending(g, kind);
     // Length of the same-kind run immediately preceding this access,
     // bounded by the history window (the paper's ring-buffer cap).
-    const std::uint32_t prev_run =
-        g.run_kind == kind ? std::min(g.run_len, history_cap_) : 0;
-    if (g.run_kind == kind) {
-      if (g.run_len < ~std::uint32_t{0}) ++g.run_len;
-    } else {
-      g.run_kind = kind;
-      g.run_len = 1;
-    }
+    const std::uint64_t run = g.run_word;
+    const bool same = run_kind_of(run) == kind;
+    const std::uint32_t len = run_len_of(run);
+    const std::uint32_t prev_run = same ? std::min(len, history_cap_) : 0;
+    g.run_word =
+        pack_run(kind, same ? (len < ~std::uint32_t{0} ? len + 1 : len) : 1);
 
     if (kind == AccessKind::kStore) {
       // Epoch unknown until the next access: defer.
-      BufferedEntry& e = t.buffer.emplace_back(gid, 0, /*done=*/false);
-      g.pending.entry = &e;
+      WriteBehindEntry* e = t.ring->push(gid, 0, /*resolved=*/false);
+      g.pending.entry = e;
       g.pending.clock = clock;
       g.pending.run_before = prev_run;
     } else {
       const std::uint64_t xc = kind == AccessKind::kLoad ? prev_run : 0;
       const std::uint64_t epoch = clock - xc;
       if (collect_stats_) g.epoch_tracker.on_epoch(epoch);
-      if (t.buffer.empty()) {
+      if (owner_flushes_ && !deferred_ && t.ring->producer_empty()) {
         direct = true;
         direct_value = epoch;
       } else {
-        t.buffer.emplace_back(gid, epoch, /*done=*/true);
+        t.ring->push(gid, epoch, /*resolved=*/true);
       }
     }
   } else {
-    // DC: record the raw clock (X = 0 in Fig. 5). No deferral ever, so the
-    // buffer is always empty; epoch stats are skipped (every DC epoch has
-    // size 1 by construction).
-    direct = true;
-    direct_value = clock;
+    // DC: record the raw clock (X = 0 in Fig. 5). No deferral ever, and
+    // epoch stats are skipped (every DC epoch has size 1 by construction).
+    if (owner_flushes_ && !deferred_ && t.ring->producer_empty()) {
+      direct = true;
+      direct_value = clock;
+    } else {
+      t.ring->push(gid, clock, /*resolved=*/true);
+    }
   }
 
-  if (write_inside_lock_) {  // ablation: forfeit the I/O overlap
+  if (write_inside_lock_ && owner_flushes_) {
+    // Ablation: forfeit the I/O overlap (implies `locked` — the lock-free
+    // claim is disabled with this switch).
     if (direct) t.writer->append({gid, direct_value});
     t.flush_resolved();
     g.lock.unlock();
     return;
   }
-  g.lock.unlock();
+  if (locked) g.lock.unlock();
   // ---- outside the lock ----
   // Fig. 5 lines 23-24: the I/O happens after unlock, overlapping with
-  // other threads' SMA regions and I/O (§IV-C3).
+  // other threads' SMA regions and I/O (§IV-C3). Under the async writer
+  // it leaves the record thread altogether.
+  if (!owner_flushes_) return;
   if (direct) t.writer->append({gid, direct_value});
-  t.flush_resolved();
+  // Deferred pacing: drain at the batch threshold — or whenever the ring
+  // has spilled, since an unresolved entry at the overflow front can hold
+  // the ring empty indefinitely and the size threshold would never fire,
+  // leaving every subsequent push on the locked allocating spill path.
+  if (!deferred_ || t.ring->producer_size() >= t.flush_batch ||
+      t.ring->has_overflowed()) {
+    t.flush_resolved();
+  }
 }
 
 void ClockStrategyBase::replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
@@ -131,7 +156,7 @@ void ClockStrategyBase::replay_gate_out(ThreadCtx&, GateState& g, GateId,
 }
 
 void ClockStrategyBase::finalize_record(ThreadCtx& t) {
-  t.flush_resolved();
+  if (owner_flushes_) t.flush_resolved();
 }
 
 }  // namespace reomp::core

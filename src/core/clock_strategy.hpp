@@ -21,6 +21,26 @@
 // Replay (Fig. 5 lines 30-34): wait until next_clock >= value, run the SMA
 // region, then next_clock++. DC values are unique so entry is exclusive;
 // DE values repeat within an epoch so commuting accesses run concurrently.
+//
+// Record hot path (this repo's extension of §IV-C3): with the opt-in
+// Options::dc_lockfree under the deferred or async trace writer, DC loads
+// and stores skip the ticket lock entirely and claim their clock with one
+// lock-free fetch_add — a pure load or store needs only a unique
+// monotonically increasing clock to replay deterministically. The trade:
+// the claim is adjacent to, not atomic with, the access, so when accesses
+// on one gate overlap in real time the claim order can invert the order
+// the memory effects actually took (a load that observed a store can
+// replay before it). Replay is then a deterministic valid linearization
+// of the gate's accesses rather than a bit-exact re-execution of the
+// record run — acceptable when any schedule pin-down will do, wrong when
+// reproducing one specific observed run; see src/trace/README.md. kOther
+// regions (critical sections, RMW) always take the lock: the gate is
+// their mutual exclusion.
+// DE keeps the lock — pending-store resolution and run bookkeeping need
+// it — but the run state is one packed word and the entry push is an
+// allocation-free ring write, so the critical section stays a handful of
+// plain stores. The trace_writer=off baseline keeps the fully locked
+// historical path for ablation.
 #pragma once
 
 #include "src/core/strategy.hpp"
@@ -31,7 +51,7 @@ class ClockStrategyBase : public IStrategy {
  public:
   ClockStrategyBase(Engine& engine, bool use_epochs);
 
-  void record_gate_in(ThreadCtx& t, GateState& g) override;
+  void record_gate_in(ThreadCtx& t, GateState& g, AccessKind kind) override;
   void record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
                        AccessKind kind) override;
   void replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
@@ -49,9 +69,19 @@ class ClockStrategyBase : public IStrategy {
   /// just arrived. Caller holds the gate lock.
   void resolve_pending(GateState& g, AccessKind current_kind);
 
+  /// Whether this access records without the gate lock (the DC lock-free
+  /// clock claim: pure loads/stores need only a unique monotonically
+  /// increasing clock, which fetch_add provides).
+  [[nodiscard]] bool lockfree(AccessKind kind) const {
+    return dc_lockfree_ && kind != AccessKind::kOther;
+  }
+
   Engine& engine_;
   const bool use_epochs_;       // false => DC, true => DE
+  const bool dc_lockfree_;      // DC load/store claims skip the ticket lock
   const bool write_inside_lock_;
+  const bool deferred_;         // thresholded owner-side batch flush
+  const bool owner_flushes_;    // false => the async writer drains the rings
   const bool collect_stats_;
   const std::uint32_t history_cap_;
 };

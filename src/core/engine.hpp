@@ -22,12 +22,14 @@
 #include <string>
 #include <vector>
 
+#include "src/common/mpsc_ring.hpp"
 #include "src/common/spinlock.hpp"
 #include "src/core/bundle.hpp"
 #include "src/core/gate_state.hpp"
 #include "src/core/options.hpp"
 #include "src/core/strategy.hpp"
 #include "src/core/types.hpp"
+#include "src/trace/async_sink.hpp"
 #include "src/trace/byte_io.hpp"
 #include "src/trace/record_stream.hpp"
 
@@ -69,7 +71,7 @@ class Engine {
     if (opt_.mode == Mode::kOff) return;
     GateState& g = gate_ref(gate);
     if (opt_.mode == Mode::kRecord) {
-      strategy_->record_gate_in(t, g);
+      strategy_->record_gate_in(t, g, kind);
     } else {
       strategy_->replay_gate_in(t, g, gate, kind);
     }
@@ -167,9 +169,29 @@ class Engine {
       return static_cast<ThreadId>(packed & 0xffffffffu);
     }
 
-    Spinlock file_lock;  // record: serializes appends to the shared stream
+    Spinlock file_lock;  // record: serializes commits to the shared stream
     std::unique_ptr<trace::ByteSink> sink;
     std::unique_ptr<trace::RecordWriter> writer;
+
+    // Group-commit staging (deferred/async trace writer; null on the off
+    // baseline, which appends per entry under file_lock). Producers claim
+    // stream positions with try_push; commit_staged() is single-consumer —
+    // callers hold file_lock, or are the lone async writer thread.
+    std::unique_ptr<MpscWordRing> staging;
+    std::vector<trace::RecordEntry> commit_batch;  // committer-only scratch
+
+    /// Drain every ready staged word into the shared writer in one batch.
+    /// Returns entries committed.
+    std::size_t commit_staged() {
+      commit_batch.clear();
+      staging->drain([this](std::uint64_t word) {
+        commit_batch.push_back({gate_of(word), tid_of(word)});
+      });
+      if (!commit_batch.empty()) {
+        writer->append_batch(commit_batch.data(), commit_batch.size());
+      }
+      return commit_batch.size();
+    }
 
     Spinlock cursor_lock;  // replay: serializes reads from the shared stream
     std::unique_ptr<trace::ByteSource> source;
@@ -188,6 +210,7 @@ class Engine {
  private:
   void open_record_streams();
   void open_replay_streams();
+  void start_async_writer();
   void finalize_record();
   void finalize_replay();
 
@@ -201,6 +224,10 @@ class Engine {
   std::vector<std::unique_ptr<ThreadCtx>> threads_;
   std::unique_ptr<IStrategy> strategy_;
   StChannel st_;
+  // Async trace-writer subsystem (record runs with trace_writer=async):
+  // drains the rings/staging above, so it must be stopped before any of
+  // them are torn down — finalize() handles the ordering.
+  std::unique_ptr<trace::AsyncTraceWriter> async_writer_;
 
   // In-memory mode plumbing.
   std::vector<trace::MemorySink*> memory_sinks_;  // borrowed from ThreadCtx

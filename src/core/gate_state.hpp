@@ -3,11 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/cacheline.hpp"
+#include "src/common/ring_buffer.hpp"
 #include "src/common/spinlock.hpp"
 #include "src/common/ticket_lock.hpp"
 #include "src/core/epoch_stats.hpp"
@@ -16,25 +17,10 @@
 
 namespace reomp::core {
 
-/// One record entry in a thread's write-behind buffer. A load's epoch is
-/// known immediately; a store's epoch is only known once the *next* access
-/// to the gate arrives (Condition 1 (ii) requires a store after the pair
-/// being swapped), so store entries sit unresolved until then. `resolved`
-/// is the release/acquire handoff between the resolving thread (under the
-/// gate lock) and the owning thread (flushing its own buffer, lock-free).
-struct BufferedEntry {
-  BufferedEntry(GateId g, std::uint64_t v, bool done)
-      : gate(g), value(v), resolved(done) {}
-
-  GateId gate;
-  std::uint64_t value;  // clock, epoch, or tid depending on strategy
-  std::atomic<bool> resolved;
-};
-
 /// Deferred-store slot (DE only). At most one per gate: a new access always
 /// resolves the previous pending store before creating its own entry.
 struct PendingStore {
-  BufferedEntry* entry = nullptr;  // lives in the owner's buffer deque
+  WriteBehindEntry* entry = nullptr;  // lives in the owner's ring (or spill)
   std::uint64_t clock = 0;
   std::uint32_t run_before = 0;  // consecutive stores immediately preceding
 
@@ -42,17 +28,33 @@ struct PendingStore {
   void clear() { entry = nullptr; }
 };
 
-/// All per-gate state. Record-run fields are guarded by `lock`; replay-run
-/// fields are the lone `next_clock` cache line.
+/// DE run bookkeeping packed into one word — [kind:8][len:32] — so the
+/// critical section updates a single slot (one load, one store) instead of
+/// two separately-written fields. Only ever touched under the gate lock.
+constexpr std::uint64_t pack_run(AccessKind kind, std::uint32_t len) {
+  return (static_cast<std::uint64_t>(kind) << 32) | len;
+}
+constexpr AccessKind run_kind_of(std::uint64_t word) {
+  return static_cast<AccessKind>(word >> 32);
+}
+constexpr std::uint32_t run_len_of(std::uint64_t word) {
+  return static_cast<std::uint32_t>(word);
+}
+
+/// All per-gate state. Record-run fields are guarded by `lock` except
+/// `global_clock`, which the DC hot path claims with a bare fetch_add;
+/// replay-run fields are the lone `next_clock` cache line.
 struct GateState {
   std::string name;
 
-  // ---- record-run state (guarded by `lock`) ----
+  // ---- record-run state ----
   // FIFO so the recorded schedule is not burst-biased (see ticket_lock.hpp).
   TicketLock lock;
-  std::uint64_t global_clock = 0;  // paper Fig. 5 line 22
-  AccessKind run_kind = AccessKind::kOther;
-  std::uint32_t run_len = 0;  // consecutive same-kind accesses incl. newest
+  // Paper Fig. 5 line 22. Atomic so DC load/store accesses can claim a
+  // unique clock lock-free; DE and kOther claims happen under `lock` and
+  // use the same counter, so the two paths can coexist on one gate.
+  std::atomic<std::uint64_t> global_clock{0};
+  std::uint64_t run_word = pack_run(AccessKind::kOther, 0);  // under `lock`
   PendingStore pending;
   EpochTracker epoch_tracker;
 
@@ -63,16 +65,26 @@ struct GateState {
 };
 
 /// Per-thread engine context. Owned by the engine, handed to the binding
-/// thread; all mutation is by the owner except BufferedEntry resolution.
+/// thread; all mutation is by the owner except WriteBehindEntry resolution
+/// (any thread, under the entry's gate lock) and ring draining (the async
+/// writer thread when Options::trace_writer == kAsync).
 struct ThreadCtx {
   ThreadId tid = 0;
 
-  // Record side: write-behind buffer + encoder over the thread's own sink.
-  // std::deque: stable element addresses across push_back, so PendingStore
-  // can hold a BufferedEntry* while the owner keeps appending.
-  std::deque<BufferedEntry> buffer;
+  // Record side: write-behind ring + encoder over the thread's own sink.
+  // Ring slots have stable addresses, so PendingStore can hold a
+  // WriteBehindEntry* while the owner keeps appending (the property the
+  // old std::deque provided, now without per-entry allocation).
+  std::unique_ptr<WriteBehindRing> ring;
   std::unique_ptr<trace::ByteSink> sink;
   std::unique_ptr<trace::RecordWriter> writer;
+  // Batch scratch for drains (owner thread or async writer — whichever is
+  // the ring's consumer, never both; the strategy's owner_flushes_ flag
+  // keeps the record thread off these when the async writer owns them).
+  std::vector<trace::RecordEntry> batch;
+  /// Deferred mode drains only once this many entries accumulate; the off
+  /// (baseline) mode sets 1 to reproduce the historical per-entry flush.
+  std::uint32_t flush_batch = 1;
 
   // Replay side: decoder over the thread's own source (DC/DE).
   std::unique_ptr<trace::ByteSource> source;
@@ -80,15 +92,17 @@ struct ThreadCtx {
 
   std::uint64_t events = 0;  // gate executions by this thread
 
-  /// Flush the resolved prefix of the write-behind buffer to the encoder.
-  /// Called by the owning thread only (outside any gate lock unless the
-  /// write_inside_lock ablation is on).
-  void flush_resolved() {
-    while (!buffer.empty() &&
-           buffer.front().resolved.load(std::memory_order_acquire)) {
-      writer->append({buffer.front().gate, buffer.front().value});
-      buffer.pop_front();
-    }
+  /// Drain the resolved prefix of the write-behind ring to the encoder in
+  /// one batch. Consumer-side only: the owning thread in the synchronous
+  /// trace-writer modes (outside any gate lock unless the write_inside_lock
+  /// ablation is on), or the async writer thread.
+  std::size_t flush_resolved() {
+    batch.clear();
+    ring->drain_resolved([this](std::uint32_t gate, std::uint64_t value) {
+      batch.push_back({gate, value});
+    });
+    if (!batch.empty()) writer->append_batch(batch.data(), batch.size());
+    return batch.size();
   }
 };
 

@@ -1,9 +1,41 @@
 #include "src/core/options.hpp"
 
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
 #include "src/common/env.hpp"
 #include "src/common/log.hpp"
 
 namespace reomp::core {
+
+namespace {
+
+std::optional<Backoff::Policy> wait_policy_from_string(std::string_view s) {
+  if (s == "spin") return Backoff::Policy::kSpin;
+  if (s == "spinyield" || s == "spin-yield") return Backoff::Policy::kSpinYield;
+  if (s == "yield") return Backoff::Policy::kYield;
+  return std::nullopt;
+}
+
+/// Strict positive-integer knob: unset keeps the default; anything that is
+/// not a positive decimal integer throws. Tuning knobs must not silently
+/// revert — a typo'd capacity would quietly re-run a whole benchmark
+/// campaign at the default.
+std::uint32_t env_capacity_strict(const char* name, std::uint32_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s->c_str(), &end, 10);
+  if (s->empty() || end == nullptr || *end != '\0' || v == 0 ||
+      v > (1ull << 30)) {
+    throw std::runtime_error(std::string(name) + "='" + *s +
+                             "' is not a positive entry count (1..2^30)");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
 
 Options Options::from_env(std::uint32_t num_threads) {
   Options opt;
@@ -23,10 +55,46 @@ Options Options::from_env(std::uint32_t num_threads) {
     }
   }
   if (auto d = env_string("REOMP_DIR")) opt.dir = *d;
-  opt.history_capacity = static_cast<std::uint32_t>(
-      env_int("REOMP_HISTORY_CAP", opt.history_capacity));
-  opt.shadow_shards = static_cast<std::uint32_t>(
-      env_int("REOMP_SHADOW_SHARDS", opt.shadow_shards));
+  // Measurement-affecting knobs reject invalid values outright instead of
+  // warning and defaulting: they select ablation configurations, and a
+  // silent default masquerading as the requested configuration poisons
+  // measurements. (Mode/strategy above keep the historical warn-and-default
+  // behaviour — they switch what runs, not what gets measured, and their
+  // fallback is pinned by tests.)
+  opt.history_capacity =
+      env_capacity_strict("REOMP_HISTORY_CAP", opt.history_capacity);
+  opt.shadow_shards =
+      env_capacity_strict("REOMP_SHADOW_SHARDS", opt.shadow_shards);
+  if (auto w = env_string("REOMP_WAIT_POLICY")) {
+    if (auto parsed = wait_policy_from_string(*w)) {
+      opt.wait_policy = *parsed;
+    } else {
+      throw std::runtime_error("REOMP_WAIT_POLICY='" + *w +
+                               "' (expected spin|spinyield|yield)");
+    }
+  }
+  if (auto w = env_string("REOMP_TRACE_WRITER")) {
+    if (auto parsed = trace_writer_from_string(*w)) {
+      opt.trace_writer = *parsed;
+    } else {
+      throw std::runtime_error("REOMP_TRACE_WRITER='" + *w +
+                               "' (expected off|deferred|async)");
+    }
+  }
+  opt.record_ring_capacity =
+      env_capacity_strict("REOMP_RING_CAPACITY", opt.record_ring_capacity);
+  opt.staging_ring_capacity =
+      env_capacity_strict("REOMP_STAGING_CAPACITY", opt.staging_ring_capacity);
+  if (auto v = env_string("REOMP_DC_LOCKFREE")) {
+    if (*v == "1" || *v == "true" || *v == "on") {
+      opt.dc_lockfree = true;
+    } else if (*v == "0" || *v == "false" || *v == "off") {
+      opt.dc_lockfree = false;
+    } else {
+      throw std::runtime_error("REOMP_DC_LOCKFREE='" + *v +
+                               "' (expected 0|1|true|false|on|off)");
+    }
+  }
   return opt;
 }
 

@@ -11,6 +11,39 @@ namespace reomp::core {
 
 struct RecordBundle;  // bundle.hpp
 
+/// How record entries travel from the gate path to the byte sinks.
+enum class TraceWriter : std::uint8_t {
+  /// Synchronous per-entry path (the pre-async baseline, kept as the
+  /// ablation anchor): each thread appends its own resolved entries one at
+  /// a time right after gate_out; ST takes the shared-channel lock once
+  /// per entry.
+  kOff = 0,
+  /// Write-behind without a helper thread: entries buffer in the owner's
+  /// ring and flush in batches once enough accumulate; ST group-commits
+  /// through the staging ring (the lock winner drains for its followers).
+  kDeferred = 1,
+  /// Full write-behind: a background writer thread per engine drains all
+  /// rings, so record threads never encode or touch a syscall.
+  kAsync = 2,
+};
+
+constexpr std::string_view to_string(TraceWriter w) {
+  switch (w) {
+    case TraceWriter::kOff: return "off";
+    case TraceWriter::kDeferred: return "deferred";
+    case TraceWriter::kAsync: return "async";
+  }
+  return "?";
+}
+
+constexpr std::optional<TraceWriter> trace_writer_from_string(
+    std::string_view s) {
+  if (s == "off") return TraceWriter::kOff;
+  if (s == "deferred") return TraceWriter::kDeferred;
+  if (s == "async") return TraceWriter::kAsync;
+  return std::nullopt;
+}
+
 struct Options {
   Mode mode = Mode::kOff;
   Strategy strategy = Strategy::kDE;
@@ -39,9 +72,44 @@ struct Options {
   /// core; switch to kSpinYield/kYield when oversubscribed.
   Backoff::Policy wait_policy = Backoff::Policy::kSpin;
 
+  /// Record-side data path (see TraceWriter). Env: REOMP_TRACE_WRITER.
+  TraceWriter trace_writer = TraceWriter::kDeferred;
+
+  /// Per-thread write-behind ring capacity in entries (DC/DE record runs),
+  /// rounded up to a power of two. Overflow past this spills to a locked
+  /// unbounded list, so it bounds the allocation-free window, not
+  /// correctness. Env: REOMP_RING_CAPACITY.
+  std::uint32_t record_ring_capacity = 1u << 12;
+
+  /// ST group-commit staging ring capacity in entries, rounded up to a
+  /// power of two. Env: REOMP_STAGING_CAPACITY.
+  std::uint32_t staging_ring_capacity = 1u << 12;
+
+  /// Deferred mode: flush the owner's ring once this many entries are
+  /// buffered (batch size of the write-behind drain).
+  std::uint32_t flush_batch = 256;
+
+  /// DC hot path (deferred/async trace writer only): pure loads/stores
+  /// claim their clock with one lock-free fetch_add instead of taking the
+  /// gate ticket lock — the big record-throughput lever under contention
+  /// (see BENCH_record.json). The trade: the claim is adjacent to, not
+  /// atomic with, the access, so overlapping accesses can replay in claim
+  /// order even when the record run's memory effects took the opposite
+  /// order (a load that observed a store may replay before it). Replay is
+  /// then a deterministic, divergence-free valid linearization rather
+  /// than a bit-exact re-execution — fine for pinning *a* schedule, wrong
+  /// for reproducing one specific observed run. Off by default to keep
+  /// the paper's serialized protocol and its bit-exact guarantee; opt in
+  /// (env REOMP_DC_LOCKFREE=1) when raw record throughput matters more.
+  /// DE and ST always serialize and are unaffected by this switch.
+  bool dc_lockfree = false;
+
   /// Ablation switch: when true, DC/DE write record entries while still
   /// holding the gate lock, forfeiting the I/O-overlap advantage of
-  /// paper §IV-C3. Default false (paper behaviour).
+  /// paper §IV-C3 (and disabling the DC lock-free clock claim, which has
+  /// no lock to write inside of). Default false (paper behaviour).
+  /// Ignored under the async trace writer, which never writes on the
+  /// record thread.
   bool write_inside_lock = false;
 
   /// Collect the epoch-size histogram (paper Fig. 20). Cheap; on by default.
@@ -54,8 +122,13 @@ struct Options {
   std::uint32_t shadow_shards = 64;
 
   /// Construct from REOMP_MODE / REOMP_STRATEGY / REOMP_DIR /
-  /// REOMP_HISTORY_CAP environment variables, mirroring the real tool's
-  /// env-driven mode switch (paper §V).
+  /// REOMP_HISTORY_CAP / REOMP_SHADOW_SHARDS / REOMP_WAIT_POLICY /
+  /// REOMP_TRACE_WRITER / REOMP_RING_CAPACITY / REOMP_STAGING_CAPACITY
+  /// environment variables, mirroring the real tool's env-driven mode
+  /// switch (paper §V). Invalid values for the wait-policy, trace-writer
+  /// and ring-capacity knobs throw std::runtime_error — a typo'd tuning
+  /// knob silently reverting to the default would invalidate a whole
+  /// measurement campaign.
   static Options from_env(std::uint32_t num_threads);
 };
 

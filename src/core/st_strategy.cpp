@@ -5,24 +5,56 @@
 
 namespace reomp::core {
 
-StStrategy::StStrategy(Engine& engine) : engine_(engine) {}
+StStrategy::StStrategy(Engine& engine)
+    : engine_(engine),
+      owner_commits_(engine.options().trace_writer != TraceWriter::kAsync) {}
 
-void StStrategy::record_gate_in(ThreadCtx&, GateState& g) {
+void StStrategy::record_gate_in(ThreadCtx&, GateState& g, AccessKind) {
   // Fig. 4 line 1: the whole record sequence is serialized per gate.
   g.lock.lock();
 }
 
 void StStrategy::record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
                                  AccessKind) {
-  // Fig. 4 lines 6-8: the thread-id append happens *inside* the gate lock,
-  // into the single shared file — both the serialized I/O (§IV-C1) and the
-  // missing I/O overlap (§IV-C3) that DC fixes.
   auto& st = engine_.st_channel();
-  {
-    LockGuard<Spinlock> file(st.file_lock);
-    st.writer->append({gid, t.tid});
+  if (st.staging == nullptr) {
+    // trace_writer=off baseline — Fig. 4 lines 6-8 verbatim: the append
+    // happens *inside* the gate lock, one channel-lock round per entry.
+    {
+      LockGuard<Spinlock> file(st.file_lock);
+      st.writer->append({gid, t.tid});
+    }
+    g.lock.unlock();
+    return;
+  }
+
+  // Group commit. The successful try_push is the serialization point: it
+  // claims this entry's position in the shared stream while the gate lock
+  // still pins the per-gate region order. When the staging ring is full,
+  // help by committing (a blocked producer may be the only thread left to
+  // drain) or, under the async writer, wait for it to catch up.
+  const std::uint64_t word = Engine::StChannel::pack(gid, t.tid);
+  // Deliberately NOT Options::wait_policy (that knob tunes replay
+  // handoffs): this wait holds the gate lock and blocks on the committer
+  // making progress, so it must escalate to yield on oversubscribed hosts.
+  Backoff backoff;
+  while (!st.staging->try_push(word)) {
+    if (owner_commits_ && st.file_lock.try_lock()) {
+      st.commit_staged();
+      st.file_lock.unlock();
+    } else {
+      backoff.pause();
+    }
   }
   g.lock.unlock();
+
+  // Opportunistic commit outside the gate lock: the winner drains every
+  // staged entry (its own and its followers'); losers skip — their entry
+  // rides in the winner's batch. The async writer owns this entirely.
+  if (owner_commits_ && st.file_lock.try_lock()) {
+    st.commit_staged();
+    st.file_lock.unlock();
+  }
 }
 
 void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
@@ -78,7 +110,7 @@ void StStrategy::replay_gate_out(ThreadCtx&, GateState&, GateId, AccessKind) {
 }
 
 void StStrategy::finalize_record(ThreadCtx&) {
-  // Per-thread state: none (everything is in the shared channel, flushed by
+  // Per-thread state: none (everything is in the shared channel, drained by
   // the engine).
 }
 

@@ -1,12 +1,21 @@
 // Serialized thread-ID recording (ST) — the traditional baseline
 // (paper §IV-A, Figs. 3-(a), 4 and 6).
 //
-// Record: the SMA region, the thread-id fetch and the append to the single
-// shared record file all execute under the gate lock, serializing both the
-// region and the I/O. Replay: a single global cursor feeds Fig. 4's
-// `next_tid` protocol — all threads poll, any thread may grab the cursor
-// lock to read the next (gate, tid) entry, and only the matching thread may
-// proceed; two inter-thread communications per replayed region (Fig. 6).
+// Record: the SMA region and the thread-id fetch execute under the gate
+// lock. On the trace_writer=off baseline the append to the single shared
+// record file also happens inside the gate lock, one channel-lock
+// acquisition per entry — both the serialized I/O (§IV-C1) and the missing
+// I/O overlap (§IV-C3) that DC fixes. The deferred/async paths replace the
+// per-entry channel lock with a group commit: the gate-lock holder claims
+// the entry's stream position with one fetch_add into a bounded MPSC
+// staging ring of packed (gate, tid) words, and a single committer — the
+// channel-lock winner, or the async writer thread — drains the ready
+// prefix for everyone in one batch.
+//
+// Replay: a single global cursor feeds Fig. 4's `next_tid` protocol — all
+// threads poll, any thread may grab the cursor lock to read the next
+// (gate, tid) entry, and only the matching thread may proceed; two
+// inter-thread communications per replayed region (Fig. 6).
 #pragma once
 
 #include "src/core/strategy.hpp"
@@ -17,7 +26,7 @@ class StStrategy final : public IStrategy {
  public:
   explicit StStrategy(Engine& engine);
 
-  void record_gate_in(ThreadCtx& t, GateState& g) override;
+  void record_gate_in(ThreadCtx& t, GateState& g, AccessKind kind) override;
   void record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
                        AccessKind kind) override;
   void replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
@@ -28,6 +37,7 @@ class StStrategy final : public IStrategy {
 
  private:
   Engine& engine_;
+  const bool owner_commits_;  // false => the async writer drains the staging
 };
 
 }  // namespace reomp::core

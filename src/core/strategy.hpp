@@ -22,8 +22,10 @@ class IStrategy {
 
   // Record run. gate_in is called before the SMA region, gate_out after
   // (paper Fig. 1). The SMA region executes between the two calls with the
-  // strategy's serialization in force.
-  virtual void record_gate_in(ThreadCtx& t, GateState& g) = 0;
+  // strategy's serialization in force. The access kind is passed on entry
+  // too: DC skips the gate lock entirely for pure loads/stores (the
+  // lock-free clock claim) but must still serialize kOther regions.
+  virtual void record_gate_in(ThreadCtx& t, GateState& g, AccessKind kind) = 0;
   virtual void record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
                                AccessKind kind) = 0;
 

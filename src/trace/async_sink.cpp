@@ -1,0 +1,64 @@
+#include "src/trace/async_sink.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace reomp::trace {
+
+namespace {
+// Idle poll interval. Write-behind tolerates latency (nothing reads a
+// record stream until the run finalizes), so when a sweep moves nothing
+// the writer parks rather than busy-spinning against the record threads —
+// on an oversubscribed host every writer spin steals a record-thread
+// timeslice.
+constexpr auto kIdleWait = std::chrono::microseconds(200);
+}  // namespace
+
+AsyncTraceWriter::AsyncTraceWriter(std::vector<DrainFn> streams)
+    : streams_(std::move(streams)) {}
+
+AsyncTraceWriter::~AsyncTraceWriter() { stop(); }
+
+void AsyncTraceWriter::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+std::size_t AsyncTraceWriter::sweep() {
+  std::size_t n = 0;
+  for (auto& drain : streams_) n += drain();
+  if (n > 0) {
+    drained_.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    idle_sweeps_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void AsyncTraceWriter::run() {
+  for (;;) {
+    const std::size_t moved = sweep();
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stop_requested_) return;
+    if (moved == 0) {
+      cv_.wait_for(lk, kIdleWait, [this] { return stop_requested_; });
+    }
+  }
+}
+
+void AsyncTraceWriter::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // The writer thread is gone; finish the job single-threaded. Producers
+  // must have quiesced by now (Engine::finalize runs after the parallel
+  // work), so draining until a clean pass empties every stream.
+  while (sweep() > 0) {
+  }
+}
+
+}  // namespace reomp::trace

@@ -1,0 +1,79 @@
+// Async trace-writer subsystem: one background thread per engine drains
+// every record thread's resolved write-behind ring (and the ST staging
+// ring) into the RecordWriters, so record threads never execute an encode
+// or a syscall on the gate path (the logical extreme of paper §IV-C3's
+// "write outside the lock": the write moves off the worker thread
+// entirely).
+//
+// The data path is double-buffered per stream: the drain callback copies
+// the resolved ring prefix into a per-stream batch vector (freeing ring
+// slots immediately, so producers keep recording while the writer works),
+// then RecordWriter::append_batch encodes the batch into its reused buffer
+// and hands the sink one bulk write. Memory stays bounded by the ring
+// capacities plus one batch per stream.
+//
+// Shutdown protocol (Engine::finalize): stop() parks the writer thread,
+// joins it, and then runs final drain passes on the *caller* thread until
+// every stream reports empty — by that point the engine has resolved all
+// dangling pending stores, so one pass normally suffices. After stop()
+// returns, all recorded entries are in the sinks and the caller may flush
+// and close them.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reomp::trace {
+
+class AsyncTraceWriter {
+ public:
+  /// One callback per stream: drain whatever is resolved into that
+  /// stream's writer and return the number of entries moved. Callbacks are
+  /// only ever invoked from one thread at a time (the writer thread while
+  /// running, the stop() caller afterwards).
+  using DrainFn = std::function<std::size_t()>;
+
+  explicit AsyncTraceWriter(std::vector<DrainFn> streams);
+  ~AsyncTraceWriter();
+
+  AsyncTraceWriter(const AsyncTraceWriter&) = delete;
+  AsyncTraceWriter& operator=(const AsyncTraceWriter&) = delete;
+
+  /// Launch the writer thread. Call once.
+  void start();
+
+  /// Stop the writer thread, join it, then drain every stream to empty on
+  /// the calling thread. Idempotent; also invoked by the destructor.
+  void stop();
+
+  /// Entries moved so far (approximate while running; exact after stop).
+  [[nodiscard]] std::uint64_t entries_drained() const {
+    return drained_.load(std::memory_order_relaxed);
+  }
+
+  /// Full sweeps that moved nothing (idle polls) — observability for the
+  /// bench and for tuning the idle wait.
+  [[nodiscard]] std::uint64_t idle_sweeps() const {
+    return idle_sweeps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  std::size_t sweep();
+
+  std::vector<DrainFn> streams_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  // under mu_
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> drained_{0};
+  std::atomic<std::uint64_t> idle_sweeps_{0};
+};
+
+}  // namespace reomp::trace

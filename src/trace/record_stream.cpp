@@ -6,8 +6,6 @@ namespace reomp::trace {
 
 namespace {
 constexpr std::size_t kChunk = 1 << 14;
-// A single entry is at most two 10-byte varints.
-constexpr std::size_t kMaxEntryBytes = 20;
 }  // namespace
 
 bool RecordReader::refill() {

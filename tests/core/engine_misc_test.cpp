@@ -44,6 +44,128 @@ TEST(OptionsFromEnv, UnknownValuesFallBack) {
   EXPECT_EQ(opt.strategy, Strategy::kDE);
 }
 
+TEST(OptionsFromEnv, ParsesTuningKnobs) {
+  EnvGuard g1("REOMP_WAIT_POLICY"), g2("REOMP_TRACE_WRITER"),
+      g3("REOMP_RING_CAPACITY"), g4("REOMP_STAGING_CAPACITY");
+  ::setenv("REOMP_WAIT_POLICY", "yield", 1);
+  ::setenv("REOMP_TRACE_WRITER", "async", 1);
+  ::setenv("REOMP_RING_CAPACITY", "512", 1);
+  ::setenv("REOMP_STAGING_CAPACITY", "1024", 1);
+  const Options opt = Options::from_env(2);
+  EXPECT_EQ(opt.wait_policy, Backoff::Policy::kYield);
+  EXPECT_EQ(opt.trace_writer, TraceWriter::kAsync);
+  EXPECT_EQ(opt.record_ring_capacity, 512u);
+  EXPECT_EQ(opt.staging_ring_capacity, 1024u);
+}
+
+TEST(OptionsFromEnv, InvalidTuningKnobsThrow) {
+  // Ablation/tuning knobs must not silently revert to defaults: a typo'd
+  // configuration would masquerade as a measurement of the requested one.
+  {
+    EnvGuard g("REOMP_WAIT_POLICY");
+    ::setenv("REOMP_WAIT_POLICY", "busyloop", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+  }
+  {
+    EnvGuard g("REOMP_TRACE_WRITER");
+    ::setenv("REOMP_TRACE_WRITER", "asink", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+  }
+  {
+    EnvGuard g("REOMP_RING_CAPACITY");
+    ::setenv("REOMP_RING_CAPACITY", "0", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+  }
+  {
+    EnvGuard g("REOMP_RING_CAPACITY");
+    ::setenv("REOMP_RING_CAPACITY", "12abc", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+  }
+  {
+    EnvGuard g("REOMP_STAGING_CAPACITY");
+    ::setenv("REOMP_STAGING_CAPACITY", "-4", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+  }
+  {
+    EnvGuard g("REOMP_SHADOW_SHARDS");
+    ::setenv("REOMP_SHADOW_SHARDS", "12B8", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+  }
+  {
+    EnvGuard g("REOMP_HISTORY_CAP");
+    ::setenv("REOMP_HISTORY_CAP", "64 ", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+  }
+  {
+    EnvGuard g("REOMP_DC_LOCKFREE");
+    ::setenv("REOMP_DC_LOCKFREE", "maybe", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+    ::setenv("REOMP_DC_LOCKFREE", "1", 1);
+    EXPECT_TRUE(Options::from_env(1).dc_lockfree);
+    ::setenv("REOMP_DC_LOCKFREE", "0", 1);
+    EXPECT_FALSE(Options::from_env(1).dc_lockfree);
+  }
+  EXPECT_NO_THROW(Options::from_env(1));  // guards unset everything
+}
+
+TEST(DeferredFlush, ThresholdClampsToRingCapacity) {
+  // flush_batch above the ring capacity could otherwise never fire and
+  // every entry past one ringful would detour through the overflow spill.
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = Strategy::kDC;
+  opt.num_threads = 1;
+  opt.record_ring_capacity = 8;
+  opt.flush_batch = 1u << 20;
+  Engine eng(opt);
+  const GateId g = eng.register_gate("X");
+  ThreadCtx& t = eng.thread_ctx(0);
+  for (int i = 0; i < 100; ++i) {
+    eng.gate_in(t, g, AccessKind::kLoad);
+    eng.gate_out(t, g, AccessKind::kLoad);
+  }
+  // With the clamp, the owner drains at ring-capacity boundaries, so the
+  // ring can never be holding more than one ringful un-flushed.
+  EXPECT_LE(t.ring->quiescent_size(), t.ring->capacity());
+  eng.finalize();
+  const RecordBundle b = eng.take_bundle();
+  trace::MemorySource src(b.thread_streams.at(0));
+  trace::RecordReader reader(src);
+  EXPECT_EQ(reader.read_all().size(), 100u);
+}
+
+TEST(DeferredFlush, OverflowDrainsOnceFrontResolves) {
+  // A pending store can pin the overflow front while the ring sits empty;
+  // the drain pacing must key off the spill flag too, or nothing would
+  // flush (and every push would spill) for the rest of the run.
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = Strategy::kDE;
+  opt.num_threads = 1;
+  opt.record_ring_capacity = 2;
+  Engine eng(opt);
+  const GateId g1 = eng.register_gate("cold");
+  const GateId g2 = eng.register_gate("hot");
+  ThreadCtx& t = eng.thread_ctx(0);
+  auto access = [&](GateId g, AccessKind k) {
+    eng.gate_in(t, g, k);
+    eng.gate_out(t, g, k);
+  };
+  access(g1, AccessKind::kStore);  // pending store pins the ring front
+  for (int i = 0; i < 6; ++i) access(g2, AccessKind::kLoad);  // forces spill
+  EXPECT_TRUE(t.ring->has_overflowed());
+  // Resolving the cold gate's store unblocks the backlog; the next flush
+  // (overflow-triggered) must empty the spill and return to the ring.
+  access(g1, AccessKind::kLoad);
+  EXPECT_FALSE(t.ring->has_overflowed());
+  EXPECT_EQ(t.ring->quiescent_size(), 0u);
+  eng.finalize();
+  const RecordBundle b = eng.take_bundle();
+  trace::MemorySource src(b.thread_streams.at(0));
+  trace::RecordReader reader(src);
+  EXPECT_EQ(reader.read_all().size(), 8u);
+}
+
 // ---------- epoch histogram ----------
 
 TEST(EpochHistogram, SinglesFastPathMergesIntoCounts) {

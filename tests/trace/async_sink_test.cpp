@@ -1,0 +1,206 @@
+// Async trace-writer subsystem: drain/shutdown protocol units, engine-level
+// round-trips, and crash-flush (finalize arriving mid-stream with entries
+// still buffered and pending stores still unresolved).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/ring_buffer.hpp"
+#include "src/core/bundle.hpp"
+#include "src/core/engine.hpp"
+#include "src/trace/async_sink.hpp"
+
+namespace reomp {
+namespace {
+
+using core::AccessKind;
+using core::Engine;
+using core::GateId;
+using core::Mode;
+using core::Options;
+using core::RecordBundle;
+using core::Strategy;
+using core::ThreadCtx;
+using core::ThreadId;
+using core::TraceWriter;
+
+// ---------- AsyncTraceWriter units ----------
+
+TEST(AsyncTraceWriter, DrainsEverythingBeforeStopReturns) {
+  WriteBehindRing ring(8);
+  std::vector<std::uint64_t> out;
+  trace::AsyncTraceWriter writer({[&] {
+    return ring.drain_resolved(
+        [&](std::uint32_t, std::uint64_t v) { out.push_back(v); });
+  }});
+  writer.start();
+  for (std::uint64_t i = 0; i < 5000; ++i) ring.push(1, i, true);
+  writer.stop();
+  ASSERT_EQ(out.size(), 5000u);
+  for (std::uint64_t i = 0; i < 5000; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(writer.entries_drained(), 5000u);
+}
+
+TEST(AsyncTraceWriter, StopIsIdempotentAndDestructorSafe) {
+  int drains = 0;
+  {
+    trace::AsyncTraceWriter writer({[&] {
+      ++drains;
+      return std::size_t{0};
+    }});
+    writer.start();
+    writer.stop();
+    writer.stop();  // no-op
+  }                 // destructor calls stop() again — also a no-op
+  EXPECT_GT(drains, 0);
+}
+
+TEST(AsyncTraceWriter, StopWithoutStartStillDrains) {
+  // finalize may run before any background work happened (e.g. an engine
+  // that recorded nothing, or a test driving streams synchronously).
+  WriteBehindRing ring(4);
+  ring.push(1, 7, true);
+  std::size_t drained = 0;
+  trace::AsyncTraceWriter writer({[&] {
+    const std::size_t n = ring.drain_resolved([](auto, auto) {});
+    drained += n;
+    return n;
+  }});
+  writer.stop();
+  EXPECT_EQ(drained, 1u);
+}
+
+// ---------- engine-level round trips ----------
+
+double checksum_run(Engine& eng, std::uint32_t threads, int rounds) {
+  const GateId ga = eng.register_gate("as:a");
+  const GateId gb = eng.register_gate("as:b");
+  std::atomic<std::uint64_t> board{0};
+  std::atomic<double> acc{0.0};
+  std::vector<std::thread> pool;
+  for (ThreadId tid = 0; tid < threads; ++tid) {
+    pool.emplace_back([&, tid] {
+      ThreadCtx& ctx = eng.bind_thread(tid);
+      for (int i = 0; i < rounds; ++i) {
+        eng.sma_store<std::uint64_t>(ctx, ga, board, tid * 1000 + i);
+        const std::uint64_t seen = eng.sma_load(ctx, ga, board);
+        eng.sma_fetch_add(ctx, gb, acc, static_cast<double>(seen % 7));
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  eng.finalize();
+  return acc.load() + static_cast<double>(board.load());
+}
+
+class AsyncRoundTrip : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(AsyncRoundTrip, RecordsThenReplaysWithoutDivergence) {
+  const Strategy strategy = GetParam();
+  constexpr std::uint32_t kThreads = 4;
+  constexpr int kRounds = 500;
+
+  Options rec;
+  rec.mode = Mode::kRecord;
+  rec.strategy = strategy;
+  rec.num_threads = kThreads;
+  rec.trace_writer = TraceWriter::kAsync;
+  rec.record_ring_capacity = 64;  // small enough to wrap many times
+  rec.staging_ring_capacity = 64;
+  Engine record_eng(rec);
+  const double recorded = checksum_run(record_eng, kThreads, kRounds);
+  RecordBundle bundle = record_eng.take_bundle();
+
+  Options rep;
+  rep.mode = Mode::kReplay;
+  rep.strategy = strategy;
+  rep.num_threads = kThreads;
+  rep.bundle = &bundle;
+  // Async records interleave more finely than the bursty schedules a
+  // time-sliced host otherwise produces; with more replay threads than
+  // cores the default pure-spin replay waiter then burns a scheduler
+  // quantum per handoff. Yield-escalating waits keep the test fast
+  // everywhere (this is exactly what the policy knob is for).
+  rep.wait_policy = Backoff::Policy::kSpinYield;
+  Engine replay_eng(rep);
+  const double replayed = checksum_run(replay_eng, kThreads, kRounds);
+  EXPECT_EQ(replayed, recorded);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, AsyncRoundTrip,
+                         ::testing::Values(Strategy::kST, Strategy::kDC,
+                                           Strategy::kDE),
+                         [](const auto& info) {
+                           return std::string(core::to_string(info.param));
+                         });
+
+// ---------- crash flush ----------
+
+TEST(AsyncCrashFlush, FinalizeMidStreamPersistsEveryEntry) {
+  // Single thread, DE, async writer: leave a pending store unresolved and
+  // a ring full of resolved entries, then finalize immediately. Everything
+  // recorded so far must land in the stream, the dangling store resolved
+  // with X_C = 0.
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = Strategy::kDE;
+  opt.num_threads = 1;
+  opt.trace_writer = TraceWriter::kAsync;
+  opt.record_ring_capacity = 8;
+  Engine eng(opt);
+  const GateId g = eng.register_gate("crash");
+  ThreadCtx& ctx = eng.thread_ctx(0);
+  constexpr int kEvents = 100;
+  for (int i = 0; i < kEvents; ++i) {
+    const AccessKind kind =
+        i % 2 == 0 ? AccessKind::kStore : AccessKind::kLoad;
+    eng.gate_in(ctx, g, kind);
+    eng.gate_out(ctx, g, kind);
+  }
+  // The final access is a store => its epoch is still pending here.
+  eng.gate_in(ctx, g, AccessKind::kStore);
+  eng.gate_out(ctx, g, AccessKind::kStore);
+  eng.finalize();
+
+  RecordBundle bundle = eng.take_bundle();
+  trace::MemorySource src(bundle.thread_streams.at(0));
+  trace::RecordReader reader(src);
+  const auto entries = reader.read_all();
+  ASSERT_EQ(entries.size(), static_cast<std::size_t>(kEvents) + 1);
+  // The dangling trailing store got its own epoch: X_C = 0 => value equals
+  // its raw clock, the last one issued.
+  EXPECT_EQ(entries.back().value, static_cast<std::uint64_t>(kEvents));
+}
+
+TEST(AsyncCrashFlush, StFinalizeDrainsStagedEntries) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = Strategy::kST;
+  opt.num_threads = 2;
+  opt.trace_writer = TraceWriter::kAsync;
+  opt.staging_ring_capacity = 16;
+  Engine eng(opt);
+  const GateId g = eng.register_gate("crash");
+  constexpr int kEvents = 64;
+  for (int i = 0; i < kEvents; ++i) {
+    ThreadCtx& ctx = eng.thread_ctx(static_cast<ThreadId>(i % 2));
+    eng.gate_in(ctx, g, AccessKind::kOther);
+    eng.gate_out(ctx, g, AccessKind::kOther);
+  }
+  eng.finalize();
+  RecordBundle bundle = eng.take_bundle();
+  trace::MemorySource src(bundle.shared_stream);
+  trace::RecordReader reader(src);
+  const auto entries = reader.read_all();
+  ASSERT_EQ(entries.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) {
+    EXPECT_EQ(entries[static_cast<std::size_t>(i)].value,
+              static_cast<std::uint64_t>(i % 2));
+  }
+}
+
+}  // namespace
+}  // namespace reomp

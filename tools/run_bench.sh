@@ -1,26 +1,56 @@
 #!/usr/bin/env sh
-# Run the shadow-memory scaling microbenchmark and emit BENCH_shadow.json.
+# Run the checked-in microbenchmarks and emit their JSON result files:
+#   bench_shadow_scaling   -> BENCH_shadow.json  (race-detector hot path)
+#   bench_record_overhead  -> BENCH_record.json  (record-side data path)
 #
-# Usage: tools/run_bench.sh [build-dir] [extra bench args...]
-#   BENCH_ITERS        per-thread iterations (default: bench default)
-#   BENCH_MAX_THREADS  top of the thread sweep (default: bench default)
+# Usage: tools/run_bench.sh [build-dir] [shadow|record|all] [extra args...]
+#   BENCH_ITERS        per-thread iterations (default: bench defaults)
+#   BENCH_MAX_THREADS  top of the shadow thread sweep / record thread count
 #
-# The JSON lands next to the current working directory as BENCH_shadow.json
-# so CI can archive it; record headline numbers in ROADMAP.md open items.
+# JSON lands in the current working directory so CI can archive it; record
+# headline numbers in ROADMAP.md open items.
 set -eu
 
 BUILD_DIR=${1:-build}
 [ $# -gt 0 ] && shift
+WHICH=${1:-all}
+[ $# -gt 0 ] && shift
 
-if [ ! -x "$BUILD_DIR/bench_shadow_scaling" ]; then
-  echo "error: $BUILD_DIR/bench_shadow_scaling not built" >&2
-  echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-  exit 1
-fi
+run_shadow() {
+  if [ ! -x "$BUILD_DIR/bench_shadow_scaling" ]; then
+    echo "error: $BUILD_DIR/bench_shadow_scaling not built" >&2
+    echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  ARGS="--json BENCH_shadow.json"
+  [ -n "${BENCH_ITERS:-}" ] && ARGS="$ARGS --iters $BENCH_ITERS"
+  [ -n "${BENCH_MAX_THREADS:-}" ] && ARGS="$ARGS --max-threads $BENCH_MAX_THREADS"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/bench_shadow_scaling" $ARGS "$@"
+}
 
-ARGS="--json BENCH_shadow.json"
-[ -n "${BENCH_ITERS:-}" ] && ARGS="$ARGS --iters $BENCH_ITERS"
-[ -n "${BENCH_MAX_THREADS:-}" ] && ARGS="$ARGS --max-threads $BENCH_MAX_THREADS"
+run_record() {
+  if [ ! -x "$BUILD_DIR/bench_record_overhead" ]; then
+    echo "error: $BUILD_DIR/bench_record_overhead not built" >&2
+    echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  ARGS="--json BENCH_record.json"
+  [ -n "${BENCH_ITERS:-}" ] && ARGS="$ARGS --iters $BENCH_ITERS"
+  [ -n "${BENCH_MAX_THREADS:-}" ] && ARGS="$ARGS --threads $BENCH_MAX_THREADS"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/bench_record_overhead" $ARGS "$@"
+}
 
-# shellcheck disable=SC2086
-exec "$BUILD_DIR/bench_shadow_scaling" $ARGS "$@"
+case "$WHICH" in
+  shadow) run_shadow "$@" ;;
+  record) run_record "$@" ;;
+  all)
+    run_shadow "$@"
+    run_record "$@"
+    ;;
+  *)
+    echo "usage: tools/run_bench.sh [build-dir] [shadow|record|all] [args...]" >&2
+    exit 2
+    ;;
+esac
