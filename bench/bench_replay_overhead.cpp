@@ -1,0 +1,336 @@
+// Replay-path throughput microbenchmark: gate events/sec for every
+// strategy × replay data path, on the synthetic data-race mix (racy load +
+// racy store per iteration through a single shared gate — the same
+// workload bench_record_overhead measures on the record side).
+//
+// What it quantifies:
+//   streaming — the seed replay design (ablation baseline / memory-cap
+//               fallback): every replay_gate_in pays a virtual ByteSource
+//               read plus two varint decodes inside the turn-wait loop;
+//               ST additionally serializes through the cursor lock and a
+//               shared RecordReader.
+//   prefetch  — the pre-decoded fast path: streams bulk-decoded at engine
+//               open into flat arrays; replay_gate_in is a bounds-checked
+//               index plus the clock wait, and ST waits on one global
+//               sequence counter (no cursor lock, no shared reader).
+// each from an in-memory bundle (ordering cost only) and from a record
+// directory, at 1 thread (pure replay-machinery cost, no cross-thread
+// handoffs) and at --threads (the contended handoff regime).
+//
+// Two timings per run: `setup` (engine construction — where the prefetch
+// path pays its one-time bulk decode) and the headline `events/sec` over
+// the drive phase through finalize — the steady-state cost imposed on the
+// replayed application, which is what "replay overhead" means for a user
+// sitting through a reproduction. JSON carries both, plus the events/sec
+// over setup+drive for end-to-end comparisons.
+//
+// Standalone binary (no google-benchmark) so the tier-1 smoke run is fast
+// and deterministic:
+//   bench_replay_overhead [--smoke] [--json PATH] [--iters N] [--threads N]
+//                         [--dir PATH] [--wait auto|spin|spinyield|yield|block]
+//
+// --smoke shrinks iteration counts and exits nonzero if any configuration
+// fails to replay to completion, reports a total_events different from the
+// record run, or lands on the wrong data path (prefetch admission);
+// speedups are printed, not asserted (timing is host-dependent).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/bundle.hpp"
+#include "src/core/engine.hpp"
+
+namespace {
+
+using namespace reomp;
+using core::AccessKind;
+using core::Engine;
+using core::GateId;
+using core::Mode;
+using core::Options;
+using core::RecordBundle;
+using core::Strategy;
+using core::ThreadCtx;
+using core::ThreadId;
+
+constexpr Strategy kStrategies[] = {Strategy::kST, Strategy::kDC,
+                                    Strategy::kDE};
+
+struct Config {
+  Strategy strategy;
+  bool prefetch;
+  bool from_file;
+  std::uint32_t threads;
+};
+
+struct Timing {
+  double drive_eps = 0;  // events/sec over drive+finalize (steady state)
+  double total_eps = 0;  // events/sec including engine construction
+  double setup_secs = 0;
+};
+
+struct Result {
+  Config cfg;
+  Timing best;  // per-field best over reps
+  std::uint64_t events;
+};
+
+/// Launch `threads` workers running `body(tid)`, releasing them together.
+template <typename Body>
+void run_pool(std::uint32_t threads, Body&& body) {
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  auto wrapped = [&](ThreadId tid) {
+    ready.fetch_add(1);
+    while (!go.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    body(tid);
+  };
+  std::vector<std::thread> pool;
+  for (ThreadId tid = 1; tid < threads; ++tid) pool.emplace_back(wrapped, tid);
+  while (ready.load() != threads - 1) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  wrapped(0);
+  for (auto& t : pool) t.join();
+}
+
+/// One record run of the data-race mix (defaults: deferred writer).
+RecordBundle record_mix(Strategy strategy, std::uint32_t threads,
+                        std::uint64_t iters, const std::string& dir,
+                        bool to_file, std::uint64_t* events_out) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = strategy;
+  opt.num_threads = threads;
+  if (to_file) opt.dir = dir;
+  Engine eng(opt);
+  const GateId g = eng.register_gate("sum");
+  std::atomic<std::uint64_t> sum{0};
+  run_pool(threads, [&](ThreadId tid) {
+    ThreadCtx& ctx = eng.bind_thread(tid);
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      const std::uint64_t v = eng.sma_load(ctx, g, sum);
+      eng.sma_store(ctx, g, sum, v + 1);
+    }
+  });
+  eng.finalize();
+  *events_out = eng.total_events();
+  return to_file ? RecordBundle{} : eng.take_bundle();
+}
+
+/// One replay run against the given record. `ok` accumulates the
+/// correctness verdict for --smoke.
+Timing replay_once(const Config& cfg, std::uint64_t iters,
+                   const std::string& dir, const RecordBundle& bundle,
+                   std::uint64_t recorded_events, Backoff::Policy wait,
+                   bool* ok) {
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = cfg.strategy;
+  opt.num_threads = cfg.threads;
+  opt.replay_prefetch = cfg.prefetch;
+  opt.wait_policy = wait;
+  if (cfg.from_file) {
+    opt.dir = dir;
+  } else {
+    opt.bundle = &bundle;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  Engine eng(opt);
+  const GateId g = eng.register_gate("sum");
+  const auto t_ready = std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> sum{0};
+  run_pool(cfg.threads, [&](ThreadId tid) {
+    ThreadCtx& ctx = eng.bind_thread(tid);
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      const std::uint64_t v = eng.sma_load(ctx, g, sum);
+      eng.sma_store(ctx, g, sum, v + 1);
+    }
+  });
+  eng.finalize();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (eng.replay_prefetched() != cfg.prefetch) {
+    std::fprintf(stderr, "FAIL: %s expected prefetch=%d, engine ran %d\n",
+                 to_string(cfg.strategy).data(), cfg.prefetch,
+                 eng.replay_prefetched());
+    *ok = false;
+  }
+  if (eng.total_events() != recorded_events) {
+    std::fprintf(stderr,
+                 "FAIL: %s replayed %llu events, record holds %llu\n",
+                 to_string(cfg.strategy).data(),
+                 static_cast<unsigned long long>(eng.total_events()),
+                 static_cast<unsigned long long>(recorded_events));
+    *ok = false;
+  }
+  const double drive = std::chrono::duration<double>(t1 - t_ready).count();
+  const double total = std::chrono::duration<double>(t1 - t0).count();
+  Timing timing;
+  timing.setup_secs = std::chrono::duration<double>(t_ready - t0).count();
+  timing.drive_eps =
+      static_cast<double>(eng.total_events()) / (drive > 0 ? drive : 1e-9);
+  timing.total_eps =
+      static_cast<double>(eng.total_events()) / (total > 0 ? total : 1e-9);
+  return timing;
+}
+
+const char* sink_name(bool from_file) { return from_file ? "dir" : "memory"; }
+const char* path_name(bool prefetch) {
+  return prefetch ? "prefetch" : "streaming";
+}
+
+std::optional<Backoff::Policy> wait_from_string(const std::string& s) {
+  if (s == "spin") return Backoff::Policy::kSpin;
+  if (s == "spinyield") return Backoff::Policy::kSpinYield;
+  if (s == "yield") return Backoff::Policy::kYield;
+  if (s == "block") return Backoff::Policy::kBlock;
+  return std::nullopt;
+}
+
+const char* wait_name(Backoff::Policy p) {
+  switch (p) {
+    case Backoff::Policy::kSpin: return "spin";
+    case Backoff::Policy::kSpinYield: return "spinyield";
+    case Backoff::Policy::kYield: return "yield";
+    case Backoff::Policy::kBlock: return "block";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::uint64_t iters = 100'000;
+  std::uint32_t max_threads = 8;
+  std::string wait_arg = "auto";
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "reomp_bench_replay").string();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      iters = 2'000;
+      max_threads = 4;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--wait") == 0 && i + 1 < argc) {
+      wait_arg = argv[++i];
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json PATH] [--iters N] "
+                   "[--threads N] [--dir PATH] "
+                   "[--wait auto|spin|spinyield|yield|block]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const int reps = smoke ? 1 : 3;
+  bool ok = true;
+  const std::uint32_t hw = std::thread::hardware_concurrency();
+
+  /// Waiter policy per thread count: an explicit --wait applies everywhere;
+  /// auto picks the paper's spin when every replay thread can own a core
+  /// and yield when oversubscribed (spin would burn a full quantum per
+  /// handoff — see ROADMAP's 1-core caveat).
+  auto wait_for = [&](std::uint32_t threads) {
+    if (wait_arg != "auto") {
+      const auto p = wait_from_string(wait_arg);
+      if (!p) {
+        std::fprintf(stderr, "unknown --wait '%s'\n", wait_arg.c_str());
+        std::exit(2);
+      }
+      return *p;
+    }
+    return threads <= (hw == 0 ? 1u : hw) ? Backoff::Policy::kSpin
+                                          : Backoff::Policy::kYield;
+  };
+
+  std::vector<Result> results;
+  std::printf("%-4s %-10s %-7s %8s %6s %14s %10s\n", "strat", "path", "sink",
+              "threads", "wait", "events/sec", "setup-ms");
+  std::vector<std::uint32_t> thread_counts{1};
+  if (max_threads > 1) thread_counts.push_back(max_threads);
+  for (const std::uint32_t threads : thread_counts) {
+    const Backoff::Policy wait = wait_for(threads);
+    for (const bool from_file : {false, true}) {
+      for (const Strategy s : kStrategies) {
+        // One record run feeds both replay paths.
+        std::uint64_t recorded_events = 0;
+        const RecordBundle bundle =
+            record_mix(s, threads, iters, dir, from_file, &recorded_events);
+        double base = 0;
+        for (const bool prefetch : {false, true}) {
+          const Config cfg{s, prefetch, from_file, threads};
+          Timing best;
+          best.setup_secs = 1e9;
+          for (int r = 0; r < reps; ++r) {
+            const Timing t = replay_once(cfg, iters, dir, bundle,
+                                         recorded_events, wait, &ok);
+            best.drive_eps = std::max(best.drive_eps, t.drive_eps);
+            best.total_eps = std::max(best.total_eps, t.total_eps);
+            best.setup_secs = std::min(best.setup_secs, t.setup_secs);
+          }
+          results.push_back({cfg, best, recorded_events});
+          std::printf("%-4s %-10s %-7s %8u %6s %14.0f %10.2f",
+                      to_string(s).data(), path_name(prefetch),
+                      sink_name(from_file), threads, wait_name(wait),
+                      best.drive_eps, best.setup_secs * 1e3);
+          if (!prefetch) {
+            base = best.drive_eps;
+            std::printf("\n");
+          } else {
+            std::printf("  (%.2fx vs streaming)\n",
+                        best.drive_eps / (base > 0 ? base : 1e-9));
+          }
+        }
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path, std::ios::trunc);
+    f << "{\n  \"benchmark\": \"replay_overhead\",\n  \"workload\": "
+         "\"data_race_mix\",\n  \"iters\": "
+      << iters << ",\n  \"max_threads\": " << max_threads
+      << ",\n  \"best_of\": " << reps << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      f << "    {\"strategy\": \"" << to_string(r.cfg.strategy)
+        << "\", \"path\": \"" << path_name(r.cfg.prefetch)
+        << "\", \"sink\": \"" << sink_name(r.cfg.from_file)
+        << "\", \"threads\": " << r.cfg.threads
+        << ", \"wait\": \"" << wait_name(wait_for(r.cfg.threads))
+        << "\", \"events_per_sec\": "
+        << static_cast<std::uint64_t>(r.best.drive_eps)
+        << ", \"events_per_sec_with_setup\": "
+        << static_cast<std::uint64_t>(r.best.total_eps)
+        << ", \"setup_ms\": " << r.best.setup_secs * 1e3 << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (smoke) std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

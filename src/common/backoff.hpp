@@ -1,6 +1,7 @@
 // Spin-wait backoff helpers shared by locks and replay waiters.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 
@@ -37,6 +38,14 @@ class Backoff {
     // (a descheduled "next" thread must get a core to make progress).
     kSpinYield,
     kYield,  // always yield; friendliest when threads >> cores
+    // Spin briefly, then park on the watched word with std::atomic::wait
+    // (futex on Linux). On oversubscribed hosts every spin+yield replay
+    // wait burns whole scheduler quanta just to discover it is still not
+    // its turn; parking hands the core to the thread that can actually
+    // advance the schedule. Wakers must notify (replay_gate_out does when
+    // this policy is selected); callers that only have pause() — no word
+    // to park on — degrade to kYield pacing.
+    kBlock,
   };
 
   explicit Backoff(Policy policy = Policy::kSpinYield) noexcept
@@ -55,10 +64,31 @@ class Backoff {
         }
         break;
       case Policy::kYield:
+      case Policy::kBlock:  // no address to park on here
         std::this_thread::yield();
         break;
     }
     if (round_ < kMaxRound) ++round_;
+  }
+
+  /// pause() variant for waits on a single atomic word: under kBlock the
+  /// caller parks until `word` changes from `observed` (after a short spin
+  /// phase that keeps back-to-back handoffs syscall-free); every other
+  /// policy ignores the word and paces exactly like pause(). The caller's
+  /// loop must re-load and re-check after every call — spurious wakeups
+  /// are allowed.
+  template <typename T>
+  void pause_wait(const std::atomic<T>& word, T observed) noexcept {
+    if (policy_ != Policy::kBlock) {
+      pause();
+      return;
+    }
+    if (round_ < kYieldThreshold) {
+      spin_round();
+      ++round_;
+    } else {
+      word.wait(observed, std::memory_order_relaxed);
+    }
   }
 
   void reset() noexcept { round_ = 0; }

@@ -22,6 +22,9 @@ ClockStrategyBase::ClockStrategyBase(Engine& engine, bool use_epochs)
       deferred_(engine.options().trace_writer == TraceWriter::kDeferred),
       owner_flushes_(engine.options().trace_writer != TraceWriter::kAsync),
       collect_stats_(engine.options().collect_epoch_stats),
+      prefetch_(engine.replay_prefetched()),
+      block_waiters_(engine.options().wait_policy == Backoff::Policy::kBlock),
+      wait_policy_(engine.options().wait_policy),
       history_cap_(engine.options().history_capacity) {}
 
 void ClockStrategyBase::record_gate_in(ThreadCtx&, GateState& g,
@@ -129,30 +132,68 @@ void ClockStrategyBase::record_gate_out(ThreadCtx& t, GateState& g,
 
 void ClockStrategyBase::replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
                                        AccessKind) {
-  // Fig. 5 line 31: each thread reads the next value from its own stream.
-  auto entry = t.reader->next();
-  if (!entry) {
-    engine_.diverged("thread " + std::to_string(t.tid) + " entered gate '" +
-                     g.name + "' beyond the end of its record stream");
-  }
-  if (entry->gate != gid) {
-    engine_.diverged("thread " + std::to_string(t.tid) + " is at gate '" +
-                     g.name + "' but its record expects gate '" +
-                     engine_.gate_ref(entry->gate).name + "'");
+  // Fig. 5 line 31: each thread reads the next value from its own stream —
+  // a bounds-checked array index on the pre-decoded fast path, a streaming
+  // decode on the ablation baseline / memory-cap fallback. Divergence
+  // messages are byte-identical across the two paths (replay_equivalence
+  // asserts this).
+  std::uint64_t value;
+  if (prefetch_) {
+    trace::DecodedSchedule& s = t.sched;
+    if (s.pos >= s.entries.size()) {
+      engine_.diverged("thread " + std::to_string(t.tid) + " entered gate '" +
+                       g.name + "' beyond the end of its record stream");
+    }
+    const trace::RecordEntry& e = s.entries[s.pos];
+    if (e.gate != gid) {
+      engine_.diverged("thread " + std::to_string(t.tid) + " is at gate '" +
+                       g.name + "' but its record expects gate '" +
+                       engine_.gate_ref(e.gate).name + "'");
+    }
+    ++s.pos;
+    value = e.value;
+    t.replay_turn = value;
+  } else {
+    auto entry = t.reader->next();
+    if (!entry) {
+      engine_.diverged("thread " + std::to_string(t.tid) + " entered gate '" +
+                       g.name + "' beyond the end of its record stream");
+    }
+    if (entry->gate != gid) {
+      engine_.diverged("thread " + std::to_string(t.tid) + " is at gate '" +
+                       g.name + "' but its record expects gate '" +
+                       engine_.gate_ref(entry->gate).name + "'");
+    }
+    value = entry->value;
   }
   // Fig. 5 line 32: wait for our turn. next_clock counts completed gate
   // executions, so `>= value` admits every member of the current epoch at
   // once (DE) and exactly one access at a time for unique values (DC).
-  Backoff backoff(engine_.options().wait_policy);
-  while (g.next_clock->load(std::memory_order_acquire) < entry->value) {
-    backoff.pause();
+  std::uint64_t seen = g.next_clock->load(std::memory_order_acquire);
+  if (seen < value) {
+    Backoff backoff(wait_policy_);
+    do {
+      backoff.pause_wait(*g.next_clock, seen);
+    } while ((seen = g.next_clock->load(std::memory_order_acquire)) < value);
   }
 }
 
-void ClockStrategyBase::replay_gate_out(ThreadCtx&, GateState& g, GateId,
+void ClockStrategyBase::replay_gate_out(ThreadCtx& t, GateState& g, GateId,
                                         AccessKind) {
   // Fig. 5 line 34: one inter-thread communication per region (Fig. 7).
-  g.next_clock->fetch_add(1, std::memory_order_acq_rel);
+  if (prefetch_ && !use_epochs_) {
+    // DC turns are exclusive (clocks are unique per gate), so at gate_out
+    // next_clock == replay_turn and no other thread is between its wait
+    // and its release: publishing turn+1 with a plain release store is
+    // equivalent to the fetch_add, minus the locked RMW.
+    g.next_clock->store(t.replay_turn + 1, std::memory_order_release);
+  } else {
+    // DE epochs admit concurrent members; completions must accumulate.
+    g.next_clock->fetch_add(1, std::memory_order_acq_rel);
+  }
+  // Parked waiters (wait_policy=block) need an explicit wake; the spin
+  // policies poll and must not pay the futex syscall.
+  if (block_waiters_) g.next_clock->notify_all();
 }
 
 void ClockStrategyBase::finalize_record(ThreadCtx& t) {

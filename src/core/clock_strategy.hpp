@@ -83,6 +83,9 @@ class ClockStrategyBase : public IStrategy {
   const bool deferred_;         // thresholded owner-side batch flush
   const bool owner_flushes_;    // false => the async writer drains the rings
   const bool collect_stats_;
+  const bool prefetch_;         // replay from the pre-decoded schedule
+  const bool block_waiters_;    // wait_policy=block: gate_out must notify
+  const Backoff::Policy wait_policy_;  // cached off Options for the hot loop
   const std::uint32_t history_cap_;
 };
 

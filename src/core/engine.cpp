@@ -1,6 +1,7 @@
 #include "src/core/engine.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <utility>
 
@@ -150,19 +151,108 @@ void Engine::open_replay_streams() {
     check_manifest(opt_.bundle->manifest, opt_);
   }
 
-  if (opt_.strategy == Strategy::kST) {
-    if (from_file) {
-      st_.source = std::make_unique<trace::FileSource>(
-          trace::shared_file_path(opt_.dir));
+  // Pre-decode admission: the fast path is on by default, but a trace
+  // whose worst-case decoded footprint exceeds the memory cap falls back
+  // to the streaming reader instead of risking an OOM (the decoded form
+  // is up to 8x the encoded bytes).
+  replay_prefetched_ = opt_.replay_prefetch;
+  std::vector<std::uint64_t> stream_bytes;  // per thread, or [0] = shared
+  if (replay_prefetched_) {
+    auto encoded_size = [&](const std::string& path,
+                            const std::vector<std::uint8_t>* mem) {
+      if (!from_file) return static_cast<std::uint64_t>(mem->size());
+      std::error_code ec;  // a missing file surfaces as FileSource's error
+      const auto sz = std::filesystem::file_size(path, ec);
+      return ec ? std::uint64_t{0} : static_cast<std::uint64_t>(sz);
+    };
+    std::uint64_t total_encoded = 0;
+    if (opt_.strategy == Strategy::kST) {
+      stream_bytes.push_back(encoded_size(
+          trace::shared_file_path(opt_.dir),
+          from_file ? nullptr : &opt_.bundle->shared_stream));
+      total_encoded = stream_bytes[0];
     } else {
-      st_.source =
-          std::make_unique<trace::MemorySource>(opt_.bundle->shared_stream);
+      for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+        stream_bytes.push_back(encoded_size(
+            trace::thread_file_path(opt_.dir, tid),
+            from_file ? nullptr : &opt_.bundle->thread_streams.at(tid)));
+        total_encoded += stream_bytes.back();
+      }
     }
-    st_.reader = std::make_unique<trace::RecordReader>(*st_.source);
+    if (trace::decoded_bytes_upper_bound(total_encoded) >
+        opt_.replay_mem_cap) {
+      REOMP_LOG_WARN << "replay prefetch disabled: decoded schedule could "
+                        "need "
+                     << trace::decoded_bytes_upper_bound(total_encoded)
+                     << " bytes > REOMP_REPLAY_MEM_CAP=" << opt_.replay_mem_cap
+                     << "; falling back to streaming replay";
+      replay_prefetched_ = false;
+    }
+  }
+
+  // Bulk decode straight from the bundle's bytes (no MemorySource copy)
+  // or through a file source.
+  auto decode_stream = [&](const std::string& path,
+                           const std::vector<std::uint8_t>* mem,
+                           std::uint64_t size_hint) {
+    if (!from_file) {
+      return trace::DecodedSchedule::decode_bytes(mem->data(), mem->size());
+    }
+    trace::FileSource src(path);
+    return trace::DecodedSchedule::decode_all(src, size_hint);
+  };
+
+  if (opt_.strategy == Strategy::kST) {
+    if (!replay_prefetched_) {
+      if (from_file) {
+        st_.source = std::make_unique<trace::FileSource>(
+            trace::shared_file_path(opt_.dir));
+      } else {
+        st_.source =
+            std::make_unique<trace::MemorySource>(opt_.bundle->shared_stream);
+      }
+      st_.reader = std::make_unique<trace::RecordReader>(*st_.source);
+      return;
+    }
+    // Bulk-decode the shared stream once, then hand every thread its own
+    // ordinal positions: thread t's k-th entry is (gate, global sequence
+    // number), so replay needs no shared cursor at all.
+    const trace::DecodedSchedule global = decode_stream(
+        trace::shared_file_path(opt_.dir),
+        from_file ? nullptr : &opt_.bundle->shared_stream, stream_bytes[0]);
+    st_.total = global.entries.size();
+    std::vector<std::size_t> counts(opt_.num_threads, 0);
+    for (std::uint64_t i = 0; i < st_.total; ++i) {
+      // Range-check the full 64-bit recorded value: casting first would
+      // let e.g. 2^32 truncate to thread 0 and dodge the validation.
+      const std::uint64_t tid = global.entries[i].value;
+      if (tid >= opt_.num_threads) {
+        throw std::runtime_error(
+            "ST record entry " + std::to_string(i) + " names thread " +
+            std::to_string(tid) + " >= num_threads " +
+            std::to_string(opt_.num_threads));
+      }
+      ++counts[static_cast<ThreadId>(tid)];
+    }
+    for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+      threads_[tid]->sched.entries.reserve(counts[tid]);
+    }
+    for (std::uint64_t i = 0; i < st_.total; ++i) {
+      const trace::RecordEntry& e = global.entries[i];
+      threads_[static_cast<ThreadId>(e.value)]->sched.entries.push_back(
+          {e.gate, i});
+    }
     return;
   }
   for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
     ThreadCtx& t = *threads_[tid];
+    if (replay_prefetched_) {
+      t.sched = decode_stream(trace::thread_file_path(opt_.dir, tid),
+                              from_file ? nullptr
+                                        : &opt_.bundle->thread_streams.at(tid),
+                              stream_bytes[tid]);
+      continue;
+    }
     if (from_file) {
       t.source = std::make_unique<trace::FileSource>(
           trace::thread_file_path(opt_.dir, tid));
@@ -176,10 +266,10 @@ void Engine::open_replay_streams() {
 
 GateId Engine::register_gate(const std::string& name) {
   std::lock_guard<std::mutex> lock(registry_mu_);
-  const std::uint32_t n = num_gates_.load(std::memory_order_relaxed);
-  for (GateId id = 0; id < n; ++id) {
-    if (gates_[id]->name == name) return id;
+  if (const auto it = gate_index_.find(name); it != gate_index_.end()) {
+    return it->second;
   }
+  const std::uint32_t n = num_gates_.load(std::memory_order_relaxed);
   if (n >= opt_.max_gates) {
     throw std::runtime_error("gate table full (max_gates=" +
                              std::to_string(opt_.max_gates) + ")");
@@ -187,6 +277,7 @@ GateId Engine::register_gate(const std::string& name) {
   auto g = std::make_unique<GateState>();
   g->name = name;
   gates_[n] = std::move(g);
+  gate_index_.emplace(name, n);
   // Release so a concurrently indexing gate_ref sees the fully built slot.
   num_gates_.store(n + 1, std::memory_order_release);
   return n;
@@ -308,6 +399,12 @@ void Engine::finalize_replay() {
   // Every recorded event must have been consumed, otherwise the replay run
   // performed fewer gated accesses than the record run.
   if (opt_.strategy == Strategy::kST) {
+    if (replay_prefetched_) {
+      if (st_.seq->load(std::memory_order_acquire) < st_.total) {
+        diverged("replay consumed fewer events than recorded (ST stream)");
+      }
+      return;
+    }
     const std::uint64_t cur = st_.current.load(std::memory_order_acquire);
     if (cur != StChannel::kNone && cur != StChannel::kExhausted) {
       diverged("replay ended with an unconsumed ST record entry");
@@ -318,7 +415,9 @@ void Engine::finalize_replay() {
     return;
   }
   for (auto& t : threads_) {
-    if (t->reader != nullptr && t->reader->next().has_value()) {
+    if (replay_prefetched_ ? !t->sched.exhausted()
+                           : t->reader != nullptr &&
+                                 t->reader->next().has_value()) {
       diverged("thread " + std::to_string(t->tid) +
                " consumed fewer events than recorded");
     }

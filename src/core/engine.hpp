@@ -20,8 +20,10 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/cacheline.hpp"
 #include "src/common/mpsc_ring.hpp"
 #include "src/common/spinlock.hpp"
 #include "src/core/bundle.hpp"
@@ -142,6 +144,12 @@ class Engine {
   }
 
   [[nodiscard]] const Options& options() const { return opt_; }
+
+  /// Whether this replay engine runs the pre-decoded fast path (requested
+  /// via Options::replay_prefetch AND admitted by the memory cap). False
+  /// in record/off modes and on the streaming ablation baseline.
+  [[nodiscard]] bool replay_prefetched() const { return replay_prefetched_; }
+
   [[nodiscard]] Mode mode() const { return opt_.mode; }
   [[nodiscard]] Strategy strategy() const { return opt_.strategy; }
   [[nodiscard]] std::uint32_t gate_count() const {
@@ -197,6 +205,15 @@ class Engine {
     std::unique_ptr<trace::ByteSource> source;
     std::unique_ptr<trace::RecordReader> reader;
     std::atomic<std::uint64_t> current{kNone};  // Fig. 4's next_tid
+
+    // Replay fast path (pre-decoded schedules): each thread knows its own
+    // ordinal positions in the global stream up front (ThreadCtx::sched),
+    // so the whole cursor protocol above collapses to this one counter of
+    // *completed* global entries. A thread whose next position is k waits
+    // until seq == k, runs, then bumps it — no cursor lock, no shared
+    // reader, no `current` CAS traffic in the steady state.
+    CachePadded<std::atomic<std::uint64_t>> seq{};
+    std::uint64_t total = 0;  // entries in the decoded shared stream
   };
 
   StChannel& st_channel() { return st_; }
@@ -220,6 +237,10 @@ class Engine {
   std::vector<std::unique_ptr<GateState>> gates_;
   std::atomic<std::uint32_t> num_gates_{0};
   std::mutex registry_mu_;
+  // Name -> id index so idempotent re-registration is O(1) instead of a
+  // linear scan of every registered gate name (under registry_mu_).
+  std::unordered_map<std::string, GateId> gate_index_;
+  bool replay_prefetched_ = false;
 
   std::vector<std::unique_ptr<ThreadCtx>> threads_;
   std::unique_ptr<IStrategy> strategy_;

@@ -13,6 +13,7 @@
 #include "src/common/ticket_lock.hpp"
 #include "src/core/epoch_stats.hpp"
 #include "src/core/types.hpp"
+#include "src/trace/decoded_schedule.hpp"
 #include "src/trace/record_stream.hpp"
 
 namespace reomp::core {
@@ -86,9 +87,24 @@ struct ThreadCtx {
   /// (baseline) mode sets 1 to reproduce the historical per-entry flush.
   std::uint32_t flush_batch = 1;
 
-  // Replay side: decoder over the thread's own source (DC/DE).
+  // Replay side, streaming baseline: decoder over the thread's own source
+  // (DC/DE). Null when the pre-decoded fast path below is active.
   std::unique_ptr<trace::ByteSource> source;
   std::unique_ptr<trace::RecordReader> reader;
+
+  // Replay side, pre-decoded fast path (Options::replay_prefetch): the
+  // whole schedule decoded up front. DC/DE: the thread's own (gate,
+  // clock/epoch) stream. ST: the thread's ordinal positions in the global
+  // stream — entry k is (gate, global sequence number) of this thread's
+  // k-th recorded access, so replay_gate_in is an array index plus one
+  // wait on the engine's global sequence counter.
+  trace::DecodedSchedule sched;
+  // The value replay_gate_in consumed, for the matching gate_out. DC and
+  // ST turns are *exclusive* (unique clocks / one global position at a
+  // time), so their prefetch gate_out can publish turn+1 with a plain
+  // release store instead of a locked RMW; DE epochs admit concurrent
+  // members and keep the fetch_add.
+  std::uint64_t replay_turn = 0;
 
   std::uint64_t events = 0;  // gate executions by this thread
 

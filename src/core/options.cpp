@@ -15,7 +15,34 @@ std::optional<Backoff::Policy> wait_policy_from_string(std::string_view s) {
   if (s == "spin") return Backoff::Policy::kSpin;
   if (s == "spinyield" || s == "spin-yield") return Backoff::Policy::kSpinYield;
   if (s == "yield") return Backoff::Policy::kYield;
+  if (s == "block") return Backoff::Policy::kBlock;
   return std::nullopt;
+}
+
+/// Strict boolean knob: unset keeps the default; anything outside the
+/// accepted spellings throws (same rationale as the capacity knobs).
+bool env_bool_strict(const char* name, bool fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  if (*s == "1" || *s == "true" || *s == "on") return true;
+  if (*s == "0" || *s == "false" || *s == "off") return false;
+  throw std::runtime_error(std::string(name) + "='" + *s +
+                           "' (expected 0|1|true|false|on|off)");
+}
+
+/// Strict byte-count knob: like env_capacity_strict but sized for memory
+/// caps rather than ring entry counts (up to 2^40 bytes).
+std::uint64_t env_bytes_strict(const char* name, std::uint64_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s->c_str(), &end, 10);
+  if (s->empty() || end == nullptr || *end != '\0' || v == 0 ||
+      v > (1ull << 40)) {
+    throw std::runtime_error(std::string(name) + "='" + *s +
+                             "' is not a positive byte count (1..2^40)");
+  }
+  return v;
 }
 
 /// Strict positive-integer knob: unset keeps the default; anything that is
@@ -85,16 +112,11 @@ Options Options::from_env(std::uint32_t num_threads) {
       env_capacity_strict("REOMP_RING_CAPACITY", opt.record_ring_capacity);
   opt.staging_ring_capacity =
       env_capacity_strict("REOMP_STAGING_CAPACITY", opt.staging_ring_capacity);
-  if (auto v = env_string("REOMP_DC_LOCKFREE")) {
-    if (*v == "1" || *v == "true" || *v == "on") {
-      opt.dc_lockfree = true;
-    } else if (*v == "0" || *v == "false" || *v == "off") {
-      opt.dc_lockfree = false;
-    } else {
-      throw std::runtime_error("REOMP_DC_LOCKFREE='" + *v +
-                               "' (expected 0|1|true|false|on|off)");
-    }
-  }
+  opt.dc_lockfree = env_bool_strict("REOMP_DC_LOCKFREE", opt.dc_lockfree);
+  opt.replay_prefetch =
+      env_bool_strict("REOMP_REPLAY_PREFETCH", opt.replay_prefetch);
+  opt.replay_mem_cap =
+      env_bytes_strict("REOMP_REPLAY_MEM_CAP", opt.replay_mem_cap);
   return opt;
 }
 

@@ -67,10 +67,27 @@ struct Options {
   /// "long-enough ring buffer", §IV-D). Ablated by bench_ablation_ring.
   std::uint32_t history_capacity = 1u << 20;
 
-  /// Replay waiter policy (ablation: spin vs yield). Pure spin is the
-  /// paper's replay loop and the right default when every thread owns a
-  /// core; switch to kSpinYield/kYield when oversubscribed.
+  /// Replay waiter policy (ablation: spin vs yield vs block). Pure spin is
+  /// the paper's replay loop and the right default when every thread owns
+  /// a core; switch to kSpinYield/kYield when oversubscribed, or kBlock
+  /// (futex parking via std::atomic::wait) when threads far outnumber
+  /// cores and even a yield round per handoff is too expensive.
   Backoff::Policy wait_policy = Backoff::Policy::kSpin;
+
+  /// Replay fast path: bulk-decode every record stream into a flat
+  /// in-memory schedule at engine construction, so replay_gate_in is an
+  /// array index plus the clock wait instead of a streaming decode (see
+  /// src/trace/decoded_schedule.hpp). On by default; turn off for the
+  /// streaming ablation baseline. Automatically falls back to streaming
+  /// when the decoded schedules could exceed replay_mem_cap.
+  /// Env: REOMP_REPLAY_PREFETCH.
+  bool replay_prefetch = true;
+
+  /// Memory cap in bytes for the pre-decoded replay schedules. When the
+  /// worst-case decoded footprint of the trace (8x its encoded size)
+  /// exceeds this, replay falls back to the streaming reader instead of
+  /// risking an OOM on huge traces. Env: REOMP_REPLAY_MEM_CAP.
+  std::uint64_t replay_mem_cap = 1ull << 30;
 
   /// Record-side data path (see TraceWriter). Env: REOMP_TRACE_WRITER.
   TraceWriter trace_writer = TraceWriter::kDeferred;
@@ -123,7 +140,8 @@ struct Options {
 
   /// Construct from REOMP_MODE / REOMP_STRATEGY / REOMP_DIR /
   /// REOMP_HISTORY_CAP / REOMP_SHADOW_SHARDS / REOMP_WAIT_POLICY /
-  /// REOMP_TRACE_WRITER / REOMP_RING_CAPACITY / REOMP_STAGING_CAPACITY
+  /// REOMP_TRACE_WRITER / REOMP_RING_CAPACITY / REOMP_STAGING_CAPACITY /
+  /// REOMP_REPLAY_PREFETCH / REOMP_REPLAY_MEM_CAP
   /// environment variables, mirroring the real tool's env-driven mode
   /// switch (paper §V). Invalid values for the wait-policy, trace-writer
   /// and ring-capacity knobs throw std::runtime_error — a typo'd tuning

@@ -7,7 +7,10 @@ namespace reomp::core {
 
 StStrategy::StStrategy(Engine& engine)
     : engine_(engine),
-      owner_commits_(engine.options().trace_writer != TraceWriter::kAsync) {}
+      owner_commits_(engine.options().trace_writer != TraceWriter::kAsync),
+      prefetch_(engine.replay_prefetched()),
+      block_waiters_(engine.options().wait_policy == Backoff::Policy::kBlock),
+      wait_policy_(engine.options().wait_policy) {}
 
 void StStrategy::record_gate_in(ThreadCtx&, GateState& g, AccessKind) {
   // Fig. 4 line 1: the whole record sequence is serialized per gate.
@@ -60,8 +63,38 @@ void StStrategy::record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
 void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
                                 AccessKind) {
   auto& st = engine_.st_channel();
+  if (prefetch_) {
+    // Ordinal fast path: this thread knows the global sequence number of
+    // its k-th access up front, so the only synchronization is waiting for
+    // the completed-entry counter to reach it. Divergence checks (and
+    // messages) mirror the streaming protocol below exactly.
+    trace::DecodedSchedule& s = t.sched;
+    if (s.pos >= s.entries.size()) {
+      engine_.diverged("thread " + std::to_string(t.tid) + " entered gate '" +
+                       engine_.gate_ref(gid).name +
+                       "' but the ST record is exhausted");
+    }
+    const trace::RecordEntry& e = s.entries[s.pos];
+    if (e.gate != gid) {
+      engine_.diverged(
+          "thread " + std::to_string(t.tid) + " is at gate '" +
+          engine_.gate_ref(gid).name + "' but the record expects gate '" +
+          engine_.gate_ref(e.gate).name + "'");
+    }
+    ++s.pos;
+    const std::uint64_t turn = e.value;
+    t.replay_turn = turn;
+    std::uint64_t seen = st.seq->load(std::memory_order_acquire);
+    if (seen < turn) {
+      Backoff backoff(wait_policy_);
+      do {
+        backoff.pause_wait(*st.seq, seen);
+      } while ((seen = st.seq->load(std::memory_order_acquire)) < turn);
+    }
+    return;
+  }
   const std::uint64_t me = Engine::StChannel::pack(gid, t.tid);
-  Backoff backoff(engine_.options().wait_policy);
+  Backoff backoff(wait_policy_);
   for (;;) {
     const std::uint64_t cur = st.current.load(std::memory_order_acquire);
     if (cur == me) return;  // my turn (Fig. 4 line 11 exit)
@@ -79,7 +112,7 @@ void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
             engine_.gate_ref(gid).name + "' but the record expects gate '" +
             engine_.gate_ref(Engine::StChannel::gate_of(cur)).name + "'");
       }
-      backoff.pause();
+      backoff.pause_wait(st.current, cur);
       continue;
     }
     // Fig. 4 lines 12-14: cursor empty — any thread may read the next
@@ -94,19 +127,31 @@ void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
                                      static_cast<ThreadId>(entry->value))
                                : Engine::StChannel::kExhausted,
                          std::memory_order_release);
+        if (block_waiters_) st.current.notify_all();
       }
       st.cursor_lock.unlock();
     } else {
-      backoff.pause();
+      backoff.pause_wait(st.current, cur);
     }
   }
 }
 
-void StStrategy::replay_gate_out(ThreadCtx&, GateState&, GateId, AccessKind) {
+void StStrategy::replay_gate_out(ThreadCtx& t, GateState&, GateId,
+                                 AccessKind) {
+  auto& st = engine_.st_channel();
+  if (prefetch_) {
+    // Completing this entry is the only inter-thread communication: the
+    // next thread in global order is waiting for exactly this count. The
+    // turn is exclusive (seq == replay_turn and every other thread is
+    // still waiting), so a plain release store replaces the locked RMW.
+    st.seq->store(t.replay_turn + 1, std::memory_order_release);
+    if (block_waiters_) st.seq->notify_all();
+    return;
+  }
   // Fig. 4 line 17 analogue: releasing the turn is the signal to the thread
   // that will read the next entry (inter-thread communication ST-4/ST-5).
-  engine_.st_channel().current.store(Engine::StChannel::kNone,
-                                     std::memory_order_release);
+  st.current.store(Engine::StChannel::kNone, std::memory_order_release);
+  if (block_waiters_) st.current.notify_all();
 }
 
 void StStrategy::finalize_record(ThreadCtx&) {

@@ -12,10 +12,20 @@
 // channel-lock winner, or the async writer thread — drains the ready
 // prefix for everyone in one batch.
 //
-// Replay: a single global cursor feeds Fig. 4's `next_tid` protocol — all
-// threads poll, any thread may grab the cursor lock to read the next
-// (gate, tid) entry, and only the matching thread may proceed; two
-// inter-thread communications per replayed region (Fig. 6).
+// Replay, streaming baseline (replay_prefetch off or over the memory cap):
+// a single global cursor feeds Fig. 4's `next_tid` protocol — all threads
+// poll, any thread may grab the cursor lock to read the next (gate, tid)
+// entry, and only the matching thread may proceed; two inter-thread
+// communications per replayed region (Fig. 6).
+//
+// Replay, pre-decoded fast path: the shared stream is bulk-decoded at
+// engine construction and each thread is handed its own *ordinal
+// positions* in the global order — thread t's k-th recorded access is
+// (gate, global sequence number s). The whole cursor protocol collapses
+// to one global counter of completed entries (StChannel::seq): a thread
+// waits until seq == s, runs, then bumps seq. No cursor lock, no shared
+// RecordReader, no kNone/kExhausted handoffs, no `current` CAS traffic —
+// one acquire load in the wait loop and one fetch_add per region.
 #pragma once
 
 #include "src/core/strategy.hpp"
@@ -38,6 +48,9 @@ class StStrategy final : public IStrategy {
  private:
   Engine& engine_;
   const bool owner_commits_;  // false => the async writer drains the staging
+  const bool prefetch_;       // replay from per-thread ordinal positions
+  const bool block_waiters_;  // wait_policy=block: turn release must notify
+  const Backoff::Policy wait_policy_;  // cached off Options for the hot loop
 };
 
 }  // namespace reomp::core

@@ -1,0 +1,56 @@
+#include "src/trace/decoded_schedule.hpp"
+
+#include <stdexcept>
+
+#include "src/common/varint.hpp"
+
+namespace reomp::trace {
+
+namespace {
+constexpr std::size_t kChunk = 1 << 16;
+}  // namespace
+
+DecodedSchedule DecodedSchedule::decode_all(ByteSource& source,
+                                            std::uint64_t size_hint) {
+  // Phase 1: slurp the whole stream into one contiguous buffer. Reserve
+  // one chunk past the hint: the EOF-probing read always overshoots the
+  // exact stream size, and an exact reservation would force a full-buffer
+  // reallocation on the last iteration.
+  std::vector<std::uint8_t> bytes;
+  if (size_hint > 0) {
+    bytes.reserve(static_cast<std::size_t>(size_hint) + kChunk);
+  }
+  for (;;) {
+    const std::size_t old = bytes.size();
+    bytes.resize(old + kChunk);
+    const std::size_t got = source.read(bytes.data() + old, kChunk);
+    bytes.resize(old + got);
+    if (got == 0) break;
+  }
+
+  return decode_bytes(bytes.data(), bytes.size());
+}
+
+DecodedSchedule DecodedSchedule::decode_bytes(const std::uint8_t* data,
+                                              std::size_t size) {
+  // One tight decode pass. Same wire format and failure modes as
+  // RecordReader::next (the equivalence suite checks the error strings).
+  DecodedSchedule sched;
+  // Typical entries are 2-3 bytes on the wire (small gate ids, small clock
+  // deltas); /2 over-reserves slightly rather than reallocating mid-decode.
+  sched.entries.reserve(size / kMinEntryBytes);
+  std::uint64_t prev_value = 0;
+  std::size_t pos = 0;
+  while (pos < size) {
+    const auto gate = varint_decode(data, size, pos);
+    if (!gate) throw std::runtime_error("record stream: torn gate id");
+    const auto zz = varint_decode(data, size, pos);
+    if (!zz) throw std::runtime_error("record stream: torn value delta");
+    prev_value = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(prev_value) + zigzag_decode(*zz));
+    sched.entries.push_back({static_cast<std::uint32_t>(*gate), prev_value});
+  }
+  return sched;
+}
+
+}  // namespace reomp::trace

@@ -1,0 +1,69 @@
+// Pre-decoded replay schedules: the bulk-decode layer of the replay fast
+// path.
+//
+// Replay is deterministic, so the whole schedule is known the moment the
+// record streams are opened. Instead of paying a virtual ByteSource read
+// plus two varint decodes inside every replay turn-wait loop (the seed
+// design), a DecodedSchedule slurps the stream once at open time into a
+// flat std::vector<RecordEntry>; replay_gate_in then degenerates to a
+// bounds-checked array index plus the clock wait. The streaming
+// RecordReader stays available as the ablation baseline and as the
+// fallback for traces whose decoded form would not fit the configured
+// memory cap (Options::replay_mem_cap).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/byte_io.hpp"
+#include "src/trace/record_stream.hpp"
+
+namespace reomp::trace {
+
+/// Smallest possible encoded entry: a 1-byte gate varint + a 1-byte delta
+/// varint. Used to bound the decoded footprint of a stream from its
+/// encoded size without decoding it.
+inline constexpr std::uint64_t kMinEntryBytes = 2;
+
+/// Worst-case decoded bytes for an encoded stream of `encoded_bytes`:
+/// every entry minimal on the wire, each inflating to sizeof(RecordEntry).
+/// Conservative (large varints shrink the true entry count), which is the
+/// right direction for a memory-cap admission check.
+constexpr std::uint64_t decoded_bytes_upper_bound(std::uint64_t encoded_bytes) {
+  return encoded_bytes / kMinEntryBytes * sizeof(RecordEntry);
+}
+
+/// A fully decoded record stream plus this replayer's cursor into it.
+///
+/// For DC/DE the entries are the thread's own (gate, clock/epoch) stream in
+/// program order. For ST each thread holds its *ordinal positions* in the
+/// global stream: entry k is (gate, global sequence number) of the thread's
+/// k-th recorded access — see st_strategy.hpp.
+struct DecodedSchedule {
+  std::vector<RecordEntry> entries;
+  std::size_t pos = 0;  // advanced by the owning replay thread only
+
+  [[nodiscard]] bool exhausted() const { return pos >= entries.size(); }
+  [[nodiscard]] std::size_t remaining() const { return entries.size() - pos; }
+
+  void clear() {
+    entries.clear();
+    pos = 0;
+  }
+
+  /// Decode an entire stream in one pass. Unlike RecordReader::next, this
+  /// reads the source into a single contiguous buffer and runs the varint
+  /// decode as a tight loop over it — no per-entry virtual call, no
+  /// buffer-compaction memmove. Byte-format and error behaviour match the
+  /// streaming reader exactly (same torn-entry exceptions).
+  /// `size_hint` (encoded bytes, 0 = unknown) pre-sizes the buffers.
+  static DecodedSchedule decode_all(ByteSource& source,
+                                    std::uint64_t size_hint = 0);
+
+  /// Same decode over bytes already in memory (an in-memory bundle's
+  /// stream): skips the source indirection and the slurp copy entirely.
+  static DecodedSchedule decode_bytes(const std::uint8_t* data,
+                                      std::size_t size);
+};
+
+}  // namespace reomp::trace

@@ -21,6 +21,59 @@
 namespace reomp {
 namespace {
 
+// ---------- Backoff ----------
+
+TEST(Backoff, BlockPolicyParksUntilNotified) {
+  // A kBlock waiter must park on the word and wake when a peer bumps it
+  // and notifies — the replay handoff pattern under wait_policy=block.
+  std::atomic<std::uint64_t> word{0};
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    Backoff backoff(Backoff::Policy::kBlock);
+    std::uint64_t seen;
+    while ((seen = word.load(std::memory_order_acquire)) < 3) {
+      backoff.pause_wait(word, seen);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    word.store(v, std::memory_order_release);
+    word.notify_all();
+    std::this_thread::yield();
+  }
+  waiter.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(Backoff, PauseWaitMatchesPauseForPollingPolicies) {
+  // For every non-block policy pause_wait must behave exactly like
+  // pause(): make progress with no notifier at all.
+  for (const auto policy :
+       {Backoff::Policy::kSpin, Backoff::Policy::kSpinYield,
+        Backoff::Policy::kYield}) {
+    std::atomic<std::uint64_t> word{0};
+    std::thread setter([&] { word.store(1, std::memory_order_release); });
+    Backoff backoff(policy);
+    std::uint64_t seen;
+    while ((seen = word.load(std::memory_order_acquire)) == 0) {
+      backoff.pause_wait(word, seen);  // must not park: nobody notifies
+    }
+    setter.join();
+    EXPECT_EQ(word.load(), 1u);
+  }
+}
+
+TEST(Backoff, BlockPolicyBarePauseDegradesToYield) {
+  // pause() without a word to park on must still make progress (used by
+  // waiters that have no single watched atomic).
+  std::atomic<bool> flag{false};
+  std::thread setter([&] { flag.store(true, std::memory_order_release); });
+  Backoff backoff(Backoff::Policy::kBlock);
+  while (!flag.load(std::memory_order_acquire)) backoff.pause();
+  setter.join();
+  SUCCEED();
+}
+
 // ---------- RingBuffer ----------
 
 TEST(RingBuffer, PushAndBackIndexing) {

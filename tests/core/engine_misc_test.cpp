@@ -58,6 +58,54 @@ TEST(OptionsFromEnv, ParsesTuningKnobs) {
   EXPECT_EQ(opt.staging_ring_capacity, 1024u);
 }
 
+TEST(OptionsFromEnv, ParsesReplayKnobs) {
+  EnvGuard g1("REOMP_REPLAY_PREFETCH"), g2("REOMP_REPLAY_MEM_CAP"),
+      g3("REOMP_WAIT_POLICY");
+  ::setenv("REOMP_REPLAY_PREFETCH", "off", 1);
+  ::setenv("REOMP_REPLAY_MEM_CAP", "4096", 1);
+  ::setenv("REOMP_WAIT_POLICY", "block", 1);
+  const Options opt = Options::from_env(2);
+  EXPECT_FALSE(opt.replay_prefetch);
+  EXPECT_EQ(opt.replay_mem_cap, 4096u);
+  EXPECT_EQ(opt.wait_policy, Backoff::Policy::kBlock);
+}
+
+TEST(OptionsFromEnv, ReplayKnobDefaults) {
+  const Options opt = Options::from_env(1);
+  EXPECT_TRUE(opt.replay_prefetch);        // fast path is the default
+  EXPECT_EQ(opt.replay_mem_cap, 1ull << 30);
+}
+
+TEST(OptionsFromEnv, InvalidReplayKnobsThrow) {
+  {
+    EnvGuard g("REOMP_REPLAY_PREFETCH");
+    ::setenv("REOMP_REPLAY_PREFETCH", "maybe", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+    ::setenv("REOMP_REPLAY_PREFETCH", "1", 1);
+    EXPECT_TRUE(Options::from_env(1).replay_prefetch);
+    ::setenv("REOMP_REPLAY_PREFETCH", "0", 1);
+    EXPECT_FALSE(Options::from_env(1).replay_prefetch);
+  }
+  {
+    EnvGuard g("REOMP_REPLAY_MEM_CAP");
+    ::setenv("REOMP_REPLAY_MEM_CAP", "0", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+    ::setenv("REOMP_REPLAY_MEM_CAP", "2zb", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+    ::setenv("REOMP_REPLAY_MEM_CAP", "-1", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+  }
+  {
+    // "block" must parse; anything else still throws.
+    EnvGuard g("REOMP_WAIT_POLICY");
+    ::setenv("REOMP_WAIT_POLICY", "park", 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error);
+    ::setenv("REOMP_WAIT_POLICY", "block", 1);
+    EXPECT_EQ(Options::from_env(1).wait_policy, Backoff::Policy::kBlock);
+  }
+  EXPECT_NO_THROW(Options::from_env(1));  // guards unset everything
+}
+
 TEST(OptionsFromEnv, InvalidTuningKnobsThrow) {
   // Ablation/tuning knobs must not silently revert to defaults: a typo'd
   // configuration would masquerade as a measurement of the requested one.

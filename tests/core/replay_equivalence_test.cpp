@@ -1,0 +1,277 @@
+// Replay-equivalence suite: the pre-decoded replay fast path must be
+// observationally identical to the streaming baseline — same completions,
+// same total_events, and byte-identical ReplayDivergence messages — for
+// every strategy, from both a record directory and an in-memory bundle.
+// This is the contract that lets the fast path be the default while the
+// streaming reader stays on as the ablation baseline and memory-cap
+// fallback.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/bundle.hpp"
+#include "src/core/engine.hpp"
+
+namespace reomp::core {
+namespace {
+
+struct Paths {
+  Strategy strategy;
+  bool prefetch;
+  bool from_file;
+};
+
+std::string path_name(const ::testing::TestParamInfo<Paths>& info) {
+  return std::string(to_string(info.param.strategy)) +
+         (info.param.prefetch ? "_prefetch" : "_streaming") +
+         (info.param.from_file ? "_file" : "_memory");
+}
+
+constexpr int kRounds = 4;
+
+std::string scratch_dir(Strategy strategy) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("reomp_replay_eq_") + to_string(strategy).data()))
+      .string();
+}
+
+/// Record the canonical two-thread workload: each round, each thread does
+/// gate A (kOther) then gate B (kLoad). Driven from one OS thread so the
+/// recorded global order is deterministic and the replays below can be
+/// driven in exactly that order. Records to `dir` when non-empty,
+/// otherwise returns the in-memory bundle. Both forms hold identical
+/// streams: the drive order is fixed.
+RecordBundle record_workload(Strategy strategy, const std::string& dir,
+                             int rounds = kRounds) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = strategy;
+  opt.num_threads = 2;
+  opt.dir = dir;
+  Engine eng(opt);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+  for (int i = 0; i < rounds; ++i) {
+    for (ThreadId t : {0u, 1u}) {
+      ThreadCtx& ctx = eng.thread_ctx(t);
+      eng.gate_in(ctx, a, AccessKind::kOther);
+      eng.gate_out(ctx, a, AccessKind::kOther);
+      eng.gate_in(ctx, b, AccessKind::kLoad);
+      eng.gate_out(ctx, b, AccessKind::kLoad);
+    }
+  }
+  eng.finalize();
+  return eng.take_bundle();
+}
+
+Engine make_replay(const Paths& p, const RecordBundle& bundle,
+                   const std::string& dir) {
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = p.strategy;
+  opt.num_threads = 2;
+  opt.replay_prefetch = p.prefetch;
+  if (p.from_file) {
+    opt.dir = dir;
+  } else {
+    opt.bundle = &bundle;
+  }
+  return Engine(opt);
+}
+
+/// Re-execute the full recorded workload in the recorded global order.
+void drive_full(Engine& eng, GateId a, GateId b, int rounds = kRounds) {
+  for (int i = 0; i < rounds; ++i) {
+    for (ThreadId t : {0u, 1u}) {
+      ThreadCtx& ctx = eng.thread_ctx(t);
+      eng.gate_in(ctx, a, AccessKind::kOther);
+      eng.gate_out(ctx, a, AccessKind::kOther);
+      eng.gate_in(ctx, b, AccessKind::kLoad);
+      eng.gate_out(ctx, b, AccessKind::kLoad);
+    }
+  }
+}
+
+class ReplayEquivalence : public ::testing::TestWithParam<Paths> {};
+
+TEST_P(ReplayEquivalence, PrefetchAdmissionMatchesRequest) {
+  const std::string dir = scratch_dir(GetParam().strategy);
+  const RecordBundle bundle = record_workload(GetParam().strategy, "");
+  record_workload(GetParam().strategy, dir);
+  Engine eng = make_replay(GetParam(), bundle, dir);
+  EXPECT_EQ(eng.replay_prefetched(), GetParam().prefetch);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_P(ReplayEquivalence, FullReplayCompletesWithIdenticalEventCount) {
+  const std::string dir = scratch_dir(GetParam().strategy);
+  const RecordBundle bundle = record_workload(GetParam().strategy, "");
+  record_workload(GetParam().strategy, dir);
+  Engine eng = make_replay(GetParam(), bundle, dir);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+  drive_full(eng, a, b);
+  EXPECT_NO_THROW(eng.finalize());
+  EXPECT_EQ(eng.total_events(), 2u * 2u * kRounds);
+  std::filesystem::remove_all(dir);
+}
+
+/// Run `drive` against a replay engine and capture the divergence message
+/// (empty optional = no divergence).
+std::optional<std::string> divergence_of(
+    const Paths& p, const RecordBundle& bundle, const std::string& dir,
+    const std::function<void(Engine&, GateId, GateId)>& drive) {
+  Engine eng = make_replay(p, bundle, dir);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+  try {
+    drive(eng, a, b);
+    eng.finalize();
+  } catch (const ReplayDivergence& e) {
+    return std::string(e.what());
+  }
+  return std::nullopt;
+}
+
+/// The heart of the suite: for one broken-replay scenario, both data paths
+/// must produce a divergence, and the messages must be byte-identical.
+void expect_identical_divergence(
+    Strategy strategy,
+    const std::function<void(Engine&, GateId, GateId)>& drive) {
+  const std::string dir = scratch_dir(strategy);
+  const RecordBundle bundle = record_workload(strategy, "");
+  record_workload(strategy, dir);
+  for (const bool from_file : {false, true}) {
+    const auto streaming =
+        divergence_of({strategy, false, from_file}, bundle, dir, drive);
+    const auto prefetched =
+        divergence_of({strategy, true, from_file}, bundle, dir, drive);
+    ASSERT_TRUE(streaming.has_value())
+        << to_string(strategy) << " streaming did not diverge";
+    ASSERT_TRUE(prefetched.has_value())
+        << to_string(strategy) << " prefetched did not diverge";
+    EXPECT_EQ(*streaming, *prefetched)
+        << to_string(strategy) << (from_file ? " (file)" : " (memory)");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+class DivergenceEquivalence : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(DivergenceEquivalence, WrongGateMessageIdentical) {
+  // The record says thread 0's first access is gate A; go to B instead.
+  expect_identical_divergence(GetParam(), [](Engine& eng, GateId, GateId b) {
+    eng.gate_in(eng.thread_ctx(0), b, AccessKind::kLoad);
+  });
+}
+
+TEST_P(DivergenceEquivalence, ExtraAccessMessageIdentical) {
+  // Consume the whole record, then perform one access too many.
+  expect_identical_divergence(GetParam(), [](Engine& eng, GateId a, GateId b) {
+    drive_full(eng, a, b);
+    eng.gate_in(eng.thread_ctx(0), a, AccessKind::kOther);
+  });
+}
+
+TEST_P(DivergenceEquivalence, TruncatedReplayMessageIdentical) {
+  // Replay only the first round, then finalize early: the unconsumed tail
+  // must be reported, with the same message on both paths.
+  expect_identical_divergence(GetParam(), [](Engine& eng, GateId a, GateId b) {
+    drive_full(eng, a, b, /*rounds=*/1);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, DivergenceEquivalence,
+                         ::testing::Values(Strategy::kST, Strategy::kDC,
+                                           Strategy::kDE),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+std::vector<Paths> all_paths() {
+  std::vector<Paths> ps;
+  for (const Strategy s : {Strategy::kST, Strategy::kDC, Strategy::kDE}) {
+    for (const bool prefetch : {false, true}) {
+      for (const bool from_file : {false, true}) {
+        ps.push_back({s, prefetch, from_file});
+      }
+    }
+  }
+  return ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaths, ReplayEquivalence,
+                         ::testing::ValuesIn(all_paths()), path_name);
+
+// ---- memory-cap fallback ----
+
+TEST(ReplayMemCap, OversizedTraceFallsBackToStreaming) {
+  const RecordBundle bundle = record_workload(Strategy::kDC, "");
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = Strategy::kDC;
+  opt.num_threads = 2;
+  opt.bundle = &bundle;
+  opt.replay_prefetch = true;
+  opt.replay_mem_cap = 1;  // nothing fits: must fall back, not OOM or throw
+  Engine eng(opt);
+  EXPECT_FALSE(eng.replay_prefetched());
+  // The fallback must still replay correctly end to end.
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+  drive_full(eng, a, b);
+  EXPECT_NO_THROW(eng.finalize());
+  EXPECT_EQ(eng.total_events(), 2u * 2u * kRounds);
+}
+
+TEST(ReplayMemCap, GenerousCapKeepsPrefetch) {
+  const RecordBundle bundle = record_workload(Strategy::kDE, "");
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = Strategy::kDE;
+  opt.num_threads = 2;
+  opt.bundle = &bundle;
+  Engine eng(opt);  // defaults: prefetch on, 1 GiB cap
+  EXPECT_TRUE(eng.replay_prefetched());
+}
+
+// ---- corrupt-stream parity ----
+
+TEST(CorruptStream, TornEntryMessageIdenticalAcrossPaths) {
+  RecordBundle bundle = record_workload(Strategy::kDC, "");
+  // Corrupt the final entry of thread 0's stream: set the continuation bit
+  // on the last varint byte so the decoder runs off the end. Both decoders
+  // must throw the same std::runtime_error — the streaming reader when the
+  // replay reaches that entry, the bulk decoder at engine construction.
+  ASSERT_GE(bundle.thread_streams.at(0).size(), 2u);
+  bundle.thread_streams[0].back() |= 0x80;
+  auto message_of = [&](bool prefetch) -> std::string {
+    Options opt;
+    opt.mode = Mode::kReplay;
+    opt.strategy = Strategy::kDC;
+    opt.num_threads = 2;
+    opt.bundle = &bundle;
+    opt.replay_prefetch = prefetch;
+    try {
+      Engine eng(opt);
+      const GateId a = eng.register_gate("A");
+      const GateId b = eng.register_gate("B");
+      drive_full(eng, a, b);
+    } catch (const ReplayDivergence&) {
+      throw;  // wrong failure mode; let gtest report it
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    ADD_FAILURE() << "torn stream did not throw (prefetch=" << prefetch
+                  << ")";
+    return "";
+  };
+  EXPECT_EQ(message_of(false), message_of(true));
+}
+
+}  // namespace
+}  // namespace reomp::core

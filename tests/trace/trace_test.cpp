@@ -7,6 +7,7 @@
 
 #include "src/common/prng.hpp"
 #include "src/trace/byte_io.hpp"
+#include "src/trace/decoded_schedule.hpp"
 #include "src/trace/manifest.hpp"
 #include "src/trace/record_stream.hpp"
 #include "src/trace/trace_dir.hpp"
@@ -131,6 +132,86 @@ TEST(RecordStream, DeltaEncodingIsCompact) {
 }
 
 // ---------- manifest ----------
+
+// ---------- DecodedSchedule ----------
+
+TEST(DecodedSchedule, BulkDecodeMatchesStreamingReader) {
+  // The bulk decoder must yield exactly the entries the streaming reader
+  // yields, for an adversarial value sequence (wild deltas stress the
+  // delta chain; many entries stress chunked slurping).
+  MemorySink sink;
+  RecordWriter writer(sink);
+  Xoshiro256 prng(41);
+  std::vector<RecordEntry> expected;
+  for (int i = 0; i < 50'000; ++i) {
+    const RecordEntry e{static_cast<std::uint32_t>(prng.next() % 4096),
+                        prng.next()};
+    writer.append(e);
+    expected.push_back(e);
+  }
+  const std::vector<std::uint8_t> bytes = sink.take();
+
+  MemorySource streaming_src(bytes);
+  RecordReader reader(streaming_src);
+  EXPECT_EQ(reader.read_all(), expected);
+
+  MemorySource bulk_src(bytes);
+  const DecodedSchedule sched =
+      DecodedSchedule::decode_all(bulk_src, bytes.size());
+  EXPECT_EQ(sched.entries, expected);
+  EXPECT_EQ(sched.pos, 0u);
+  EXPECT_FALSE(sched.exhausted());
+  EXPECT_EQ(sched.remaining(), expected.size());
+}
+
+TEST(DecodedSchedule, EmptyStreamDecodesEmpty) {
+  MemorySource src({});
+  const DecodedSchedule sched = DecodedSchedule::decode_all(src);
+  EXPECT_TRUE(sched.entries.empty());
+  EXPECT_TRUE(sched.exhausted());
+}
+
+TEST(DecodedSchedule, TornEntryThrowsSameAsStreaming) {
+  MemorySink sink;
+  RecordWriter writer(sink);
+  writer.append({7, 100});
+  std::vector<std::uint8_t> bytes = sink.take();
+  bytes.back() |= 0x80;  // dangling continuation bit
+  std::string streaming_msg, bulk_msg;
+  {
+    MemorySource src(bytes);
+    RecordReader reader(src);
+    try {
+      reader.read_all();
+      ADD_FAILURE() << "streaming reader accepted a torn entry";
+    } catch (const std::runtime_error& e) {
+      streaming_msg = e.what();
+    }
+  }
+  {
+    MemorySource src(bytes);
+    try {
+      DecodedSchedule::decode_all(src);
+      ADD_FAILURE() << "bulk decoder accepted a torn entry";
+    } catch (const std::runtime_error& e) {
+      bulk_msg = e.what();
+    }
+  }
+  EXPECT_EQ(streaming_msg, bulk_msg);
+}
+
+TEST(DecodedSchedule, DecodedBytesUpperBoundIsConservative) {
+  // The admission estimate must never under-count: a stream of minimal
+  // 2-byte entries decodes to exactly the bound; anything else to less.
+  MemorySink sink;
+  RecordWriter writer(sink);
+  for (int i = 0; i < 1'000; ++i) writer.append({1, 1});  // 2 bytes each
+  const std::vector<std::uint8_t> bytes = sink.take();
+  MemorySource src(bytes);
+  const DecodedSchedule sched = DecodedSchedule::decode_all(src);
+  EXPECT_GE(decoded_bytes_upper_bound(bytes.size()),
+            sched.entries.size() * sizeof(RecordEntry));
+}
 
 TEST(Manifest, TextRoundTrip) {
   Manifest m;

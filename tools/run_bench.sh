@@ -2,10 +2,11 @@
 # Run the checked-in microbenchmarks and emit their JSON result files:
 #   bench_shadow_scaling   -> BENCH_shadow.json  (race-detector hot path)
 #   bench_record_overhead  -> BENCH_record.json  (record-side data path)
+#   bench_replay_overhead  -> BENCH_replay.json  (replay-side data path)
 #
-# Usage: tools/run_bench.sh [build-dir] [shadow|record|all] [extra args...]
+# Usage: tools/run_bench.sh [build-dir] [shadow|record|replay|all] [extra args...]
 #   BENCH_ITERS        per-thread iterations (default: bench defaults)
-#   BENCH_MAX_THREADS  top of the shadow thread sweep / record thread count
+#   BENCH_MAX_THREADS  top of the shadow thread sweep / record+replay threads
 #
 # JSON lands in the current working directory so CI can archive it; record
 # headline numbers in ROADMAP.md open items.
@@ -42,15 +43,30 @@ run_record() {
   "$BUILD_DIR/bench_record_overhead" $ARGS "$@"
 }
 
+run_replay() {
+  if [ ! -x "$BUILD_DIR/bench_replay_overhead" ]; then
+    echo "error: $BUILD_DIR/bench_replay_overhead not built" >&2
+    echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  ARGS="--json BENCH_replay.json"
+  [ -n "${BENCH_ITERS:-}" ] && ARGS="$ARGS --iters $BENCH_ITERS"
+  [ -n "${BENCH_MAX_THREADS:-}" ] && ARGS="$ARGS --threads $BENCH_MAX_THREADS"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/bench_replay_overhead" $ARGS "$@"
+}
+
 case "$WHICH" in
   shadow) run_shadow "$@" ;;
   record) run_record "$@" ;;
+  replay) run_replay "$@" ;;
   all)
     run_shadow "$@"
     run_record "$@"
+    run_replay "$@"
     ;;
   *)
-    echo "usage: tools/run_bench.sh [build-dir] [shadow|record|all] [args...]" >&2
+    echo "usage: tools/run_bench.sh [build-dir] [shadow|record|replay|all] [args...]" >&2
     exit 2
     ;;
 esac
