@@ -1,0 +1,449 @@
+// Detector sync-path microbenchmark: the vector-clock engine under
+// lock-heavy / barrier-heavy / fork-join / racy-alternation mixes, new
+// arena implementation against the pre-PR detector (compiled in verbatim
+// from the PR 3 tree as race::prepr — see detector_prepr.hpp), plus a
+// barrier-cost scaling sweep over simulated thread counts.
+//
+// Mixes (one detector tid per OS thread; at 1 OS thread eight simulated
+// tids are driven round-robin — the single-threaded drive measures pure
+// detector cost at a realistic team size, per the other benches' 8-thread
+// focus):
+//   lock-heavy       — private-lock acquire/release cycles (the `omp
+//                      atomic` shape: both release-shortcut sides hit)
+//                      with a nested shared lock + write every 16th iter
+//   barrier-heavy    — a handful of accesses between team barriers (the
+//                      broadcast-clock steady state)
+//   fork-join        — fork/access/join trees between neighbour tids
+//   racy-alternation — the racy-app profile (quicksilver/amg shape):
+//                      atomic tallies + private progress alternation + the
+//                      racy shared peek/update pair (a race recorded per
+//                      access) + a read-mostly flag cycling read-share
+//                      promotion -> collapse -> pool recycle
+//   alternation-pure — ONLY the strict write/read alternation per private
+//                      variable (the ROADMAP-flagged miss), reported for
+//                      transparency: its exact-parity floor is one CAS per
+//                      access (see detector.cpp), so its ceiling against
+//                      an uncontended single-core baseline is modest
+//
+// Standalone binary (no google-benchmark) so the tier-1 smoke run is fast
+// and deterministic:
+//   bench_detector_sync [--smoke] [--json PATH] [--iters N] [--threads N]
+//
+// --smoke runs tiny iteration counts and exits nonzero if the sync or
+// access fast paths failed to engage or the two implementations disagree
+// on whether a mix races; speedups are printed, not asserted (timing is
+// host-dependent).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/detector_prepr.hpp"
+#include "src/race/detector.hpp"
+
+namespace {
+
+using reomp::race::SiteId;
+using reomp::race::SiteRegistry;
+using ArenaDetector = reomp::race::Detector;
+using PreprDetector = reomp::race::prepr::Detector;
+
+enum class Mix {
+  kLockHeavy,
+  kBarrierHeavy,
+  kForkJoin,
+  kRacyAlternation,
+  kAlternationPure,
+};
+
+const char* mix_name(Mix m) {
+  switch (m) {
+    case Mix::kLockHeavy: return "lock-heavy";
+    case Mix::kBarrierHeavy: return "barrier-heavy";
+    case Mix::kForkJoin: return "fork-join";
+    case Mix::kRacyAlternation: return "racy-alternation";
+    case Mix::kAlternationPure: return "alternation-pure";
+  }
+  return "?";
+}
+
+constexpr std::uintptr_t kPrivateBase = 0x100000;
+constexpr std::uintptr_t kSharedBase = 0x200000;
+
+/// Sense barrier for the multi-OS-thread barrier-heavy mix: the last
+/// arriver runs the detector's on_barrier while everyone else is parked,
+/// mirroring romp::Team::barrier.
+struct SenseBarrier {
+  std::atomic<std::uint32_t> arrived{0};
+  std::atomic<std::uint64_t> phase{0};
+  std::uint32_t parties = 1;
+
+  template <typename Fn>
+  void arrive(Fn&& last_arriver_op) {
+    const std::uint64_t p = phase.load(std::memory_order_acquire);
+    if (arrived.fetch_add(1, std::memory_order_acq_rel) == parties - 1) {
+      last_arriver_op();
+      arrived.store(0, std::memory_order_relaxed);
+      phase.store(p + 1, std::memory_order_release);
+    } else {
+      while (phase.load(std::memory_order_acquire) == p) {
+        std::this_thread::yield();
+      }
+    }
+  }
+};
+
+/// Ops issued by detector tid `tid` for one iteration of the mix; returns
+/// the number of detector events issued. `D` is ArenaDetector or
+/// PreprDetector (same verbs).
+template <typename D>
+std::uint64_t mix_iter(D& d, Mix mix, std::uint32_t tid, std::uint32_t nthreads,
+                       std::uint64_t i, SiteId site, SenseBarrier* bar) {
+  const std::uintptr_t mine = kPrivateBase + 64 * tid;
+  switch (mix) {
+    case Mix::kLockHeavy: {
+      const std::uint64_t priv = 100 + tid;
+      if ((i & 15) == 0) {  // nested shared lock + guarded write
+        // A real mutex backs the modeled lock so the release->acquire
+        // chain the detector sees is an actual serialization at >1 OS
+        // thread and the mix stays deterministically race-free.
+        static std::mutex real_mu;
+        std::lock_guard<std::mutex> real(real_mu);
+        d.on_acquire(tid, priv);
+        d.on_acquire(tid, 7);
+        d.on_write(tid, kSharedBase, site);
+        d.on_release(tid, 7);
+        d.on_release(tid, priv);
+        return 5;
+      }
+      // The dominant shape: an uncontended acquire/release pair per
+      // gated atomic, no shadow access (RMWs are modeled as sync only).
+      d.on_acquire(tid, priv);
+      d.on_release(tid, priv);
+      return 2;
+    }
+    case Mix::kBarrierHeavy: {
+      d.on_write(tid, mine, site);
+      d.on_read(tid, mine, site);
+      if (bar != nullptr) {
+        bar->arrive([&] { d.on_barrier(); });
+      } else {
+        // Single-OS-thread drive: the round-robin caller invokes the
+        // barrier once per full rotation (tid == last).
+        if (tid == nthreads - 1) d.on_barrier();
+      }
+      return 3;
+    }
+    case Mix::kForkJoin: {
+      // `tid` is the parent of a disjoint (parent, child) pair: fork/join
+      // touch both clocks, so the pair must be quiescent — each driver
+      // owns its own pair (real runtimes fork/join threads at region
+      // boundaries, not while they run).
+      const std::uint32_t child = tid + 1;
+      d.on_fork(tid, child);
+      d.on_write(tid, mine, site);
+      d.on_join(tid, child);
+      return 3;
+    }
+    case Mix::kRacyAlternation: {
+      // The two ROADMAP-flagged racy patterns together: strict same-site
+      // write/read alternation per private variable (pre-PR: a shard lock
+      // per access; post-PR: one CAS), the racy shared peek/update pair
+      // (the paper's `sum += 1` data race — a race occurrence recorded
+      // per access, hitting the hot-pair cache vs the pre-PR report
+      // lock), and a read-mostly shared flag cycling read-share
+      // promotion -> collapse -> pool recycle (a malloc/free pair per
+      // cycle in the pre-PR pool, an arena-row memset here).
+      const std::uintptr_t mine2 = mine + 8;
+      d.on_write(tid, mine, site);
+      d.on_read(tid, mine, site);
+      d.on_write(tid, mine2, site);
+      d.on_read(tid, mine2, site);
+      const std::uintptr_t balance = kSharedBase;  // racy peek/update
+      d.on_read(tid, balance, site);
+      d.on_write(tid, balance, site);
+      const std::uintptr_t flag = kSharedBase + 64 * (1 + (i & 1));
+      d.on_read(tid, flag, site);  // promotes toward read-shared
+      if (tid == nthreads - 1) {
+        d.on_write(tid, flag, site);  // publisher collapses + recycles
+        return 8;
+      }
+      return 7;
+    }
+    case Mix::kAlternationPure: {
+      // Strict same-site write/read alternation per private variable, and
+      // nothing else — the exact ROADMAP-flagged pattern. Pre-PR, every
+      // access takes the shard lock; post-PR the steady state is one CAS
+      // per access (the exact-parity floor: the reference's write rule
+      // subsumes reads, so the read state must genuinely toggle).
+      const std::uintptr_t mine2 = mine + 8;
+      d.on_write(tid, mine, site);
+      d.on_read(tid, mine, site);
+      d.on_write(tid, mine2, site);
+      d.on_read(tid, mine2, site);
+      return 4;
+    }
+  }
+  return 0;
+}
+
+struct Result {
+  Mix mix;
+  std::uint32_t os_threads;
+  std::uint32_t sim_threads;
+  const char* impl;
+  double events_per_sec;
+  std::uint64_t fast_hits;
+  std::uint64_t sync_hits;
+  std::uint64_t races;
+};
+
+template <typename D>
+Result run_mix(Mix mix, std::uint32_t os_threads, std::uint64_t iters,
+               const char* impl_name) {
+  // At 1 OS thread, drive 8 simulated tids round-robin: sync edges exist,
+  // clocks have realistic width, and the drive itself adds no contention —
+  // pure detector cost, measurable on a 1-core host. The fork-join mix
+  // assigns each driver a disjoint (parent, child) tid pair, so its
+  // detector is twice as wide as its driver count.
+  const bool fj = mix == Mix::kForkJoin;
+  const std::uint32_t drivers = os_threads == 1 ? (fj ? 4 : 8) : os_threads;
+  const std::uint32_t sim = fj ? 2 * drivers : drivers;
+  SiteRegistry sites;
+  std::vector<SiteId> site_of(sim);
+  for (std::uint32_t t = 0; t < sim; ++t) {
+    site_of[t] = sites.intern("bench:t" + std::to_string(t));
+  }
+  D d(sim, sites);
+  std::atomic<std::uint64_t> total_events{0};
+  // Driver k acts as detector tid 2k (parent of pair (2k, 2k+1)) in the
+  // fork-join mix, tid k otherwise.
+  const auto tid_of = [fj](std::uint32_t k) { return fj ? 2 * k : k; };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (os_threads == 1) {
+    std::uint64_t events = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      for (std::uint32_t k = 0; k < drivers; ++k) {
+        const std::uint32_t t = tid_of(k);
+        events += mix_iter(d, mix, t, sim, i, site_of[t], nullptr);
+      }
+    }
+    total_events.store(events);
+  } else {
+    SenseBarrier bar;
+    bar.parties = os_threads;
+    std::atomic<std::uint32_t> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> pool;
+    auto work = [&](std::uint32_t k) {
+      const std::uint32_t t = tid_of(k);
+      std::uint64_t events = 0;
+      for (std::uint64_t i = 0; i < iters; ++i) {
+        events += mix_iter(d, mix, t, sim, i, site_of[t],
+                           mix == Mix::kBarrierHeavy ? &bar : nullptr);
+      }
+      total_events.fetch_add(events);
+    };
+    for (std::uint32_t t = 1; t < os_threads; ++t) {
+      pool.emplace_back([&, t] {
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) {}
+        work(t);
+      });
+    }
+    while (ready.load() != os_threads - 1) {}
+    go.store(true, std::memory_order_release);
+    work(0);
+    for (auto& th : pool) th.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return Result{mix,
+                os_threads,
+                sim,
+                impl_name,
+                static_cast<double>(total_events.load()) /
+                    (secs > 0 ? secs : 1e-9),
+                d.fast_path_hits(),
+                d.sync_fast_hits(),
+                d.races_observed()};
+}
+
+struct BarrierPoint {
+  std::uint32_t sim_threads;
+  const char* impl;
+  double ns_per_barrier;
+};
+
+/// Barrier-cost scaling at simulated thread counts, one OS thread driving:
+/// the steady-state cost of on_barrier alone. O(T) for the arena detector
+/// (broadcast row), O(T^2) for the pre-PR all-join/all-copy loop.
+template <typename D>
+BarrierPoint run_barrier_scaling(std::uint32_t sim, std::uint64_t reps,
+                                 const char* impl_name) {
+  SiteRegistry sites;
+  sites.intern("bench:barrier");
+  D d(sim, sites);
+  d.on_barrier();  // warm: first barrier pays initialization
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < reps; ++i) d.on_barrier();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  return BarrierPoint{sim, impl_name, ns / static_cast<double>(reps)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::uint64_t iters = 400'000;
+  std::uint32_t max_threads = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      iters = 5'000;
+      max_threads = 4;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json PATH] [--iters N] "
+                   "[--threads N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  std::vector<Result> results;
+  std::printf("%-17s %4s %4s %-7s %14s %12s %12s %8s\n", "mix", "os", "sim",
+              "impl", "events/s", "fast_hits", "sync_hits", "races");
+  for (Mix mix : {Mix::kLockHeavy, Mix::kBarrierHeavy, Mix::kForkJoin,
+                  Mix::kRacyAlternation, Mix::kAlternationPure}) {
+    for (std::uint32_t os_threads : {1u, max_threads}) {
+      if (os_threads == 0) continue;
+      // Collectives per iteration dominate these mixes; trim so full runs
+      // stay bounded on 1-core hosts.
+      const std::uint64_t n =
+          (mix == Mix::kBarrierHeavy || mix == Mix::kForkJoin) ? iters / 8
+                                                               : iters;
+      const Result arena = run_mix<ArenaDetector>(mix, os_threads, n, "arena");
+      const Result prepr = run_mix<PreprDetector>(mix, os_threads, n, "prepr");
+      for (const Result& r : {arena, prepr}) {
+        std::printf("%-17s %4u %4u %-7s %14.0f %12llu %12llu %8llu\n",
+                    mix_name(r.mix), r.os_threads, r.sim_threads, r.impl,
+                    r.events_per_sec,
+                    static_cast<unsigned long long>(r.fast_hits),
+                    static_cast<unsigned long long>(r.sync_hits),
+                    static_cast<unsigned long long>(r.races));
+        results.push_back(r);
+      }
+      std::printf("%-17s %4u %4u %-7s %13.2fx\n", mix_name(mix), os_threads,
+                  arena.sim_threads, "speedup",
+                  arena.events_per_sec / prepr.events_per_sec);
+
+      // Smoke validation (functional, not timing): the new fast paths must
+      // engage and both implementations must agree on whether the mix
+      // races at all.
+      if (mix == Mix::kLockHeavy && arena.sync_hits == 0) {
+        std::fprintf(stderr,
+                     "FAIL: release-shortcut never engaged (%s, %u os thr)\n",
+                     mix_name(mix), os_threads);
+        ok = false;
+      }
+      if ((mix == Mix::kRacyAlternation || mix == Mix::kAlternationPure) &&
+          os_threads == 1 && arena.fast_hits == 0) {
+        std::fprintf(stderr, "FAIL: alternation accesses never fast-pathed\n");
+        ok = false;
+      }
+      if ((arena.races > 0) != (prepr.races > 0)) {
+        std::fprintf(stderr, "FAIL: verdict mismatch (%s, %u os thr)\n",
+                     mix_name(mix), os_threads);
+        ok = false;
+      }
+      if (mix != Mix::kRacyAlternation && os_threads == 1 &&
+          arena.races != 0) {  // alternation-pure is private => race-free
+        // The non-racy mixes are data-race-free by construction (private
+        // vars or lock/barrier/fork ordering) when driven round-robin.
+        std::fprintf(stderr, "FAIL: false positive (%s)\n", mix_name(mix));
+        ok = false;
+      }
+      if (mix == Mix::kRacyAlternation && os_threads == 1 &&
+          arena.races == 0) {
+        // The shared-variable cycle races by construction.
+        std::fprintf(stderr, "FAIL: racy mix reported no races\n");
+        ok = false;
+      }
+    }
+  }
+
+  // Barrier-cost scaling over simulated thread counts (single OS thread).
+  std::vector<BarrierPoint> barrier_points;
+  const std::uint64_t reps = smoke ? 2'000 : 200'000;
+  std::printf("%-17s %4s %-7s %14s\n", "barrier-scaling", "sim", "impl",
+              "ns/barrier");
+  for (const std::uint32_t sim : {2u, 8u, 64u}) {
+    const auto a = run_barrier_scaling<ArenaDetector>(sim, reps, "arena");
+    const auto p = run_barrier_scaling<PreprDetector>(sim, reps / 4 + 1,
+                                                      "prepr");
+    for (const BarrierPoint& b : {a, p}) {
+      std::printf("%-17s %4u %-7s %14.1f\n", "barrier", b.sim_threads, b.impl,
+                  b.ns_per_barrier);
+      barrier_points.push_back(b);
+    }
+  }
+  // Scaling ratio 64 vs 8 simulated threads: ~8 means O(T), ~64 means
+  // O(T^2). Printed (and recorded in the JSON); not asserted — timing.
+  const double arena_ratio =
+      barrier_points[4].ns_per_barrier / barrier_points[2].ns_per_barrier;
+  const double prepr_ratio =
+      barrier_points[5].ns_per_barrier / barrier_points[3].ns_per_barrier;
+  std::printf("barrier cost ratio T=64/T=8: arena %.1fx, prepr %.1fx "
+              "(O(T) ~ 8, O(T^2) ~ 64)\n",
+              arena_ratio, prepr_ratio);
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path, std::ios::trunc);
+    f << "{\n  \"benchmark\": \"detector_sync\",\n  \"iters\": " << iters
+      << ",\n  \"baseline\": \"pre-PR detector (PR3 tree) compiled in as "
+         "race::prepr (bench/detector_prepr.hpp)\",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      f << "    {\"mix\": \"" << mix_name(r.mix)
+        << "\", \"os_threads\": " << r.os_threads
+        << ", \"sim_threads\": " << r.sim_threads << ", \"impl\": \""
+        << r.impl << "\", \"events_per_sec\": "
+        << static_cast<std::uint64_t>(r.events_per_sec)
+        << ", \"fast_hits\": " << r.fast_hits
+        << ", \"sync_hits\": " << r.sync_hits << ", \"races\": " << r.races
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    f << "  ],\n  \"barrier_scaling\": [\n";
+    for (std::size_t i = 0; i < barrier_points.size(); ++i) {
+      const BarrierPoint& b = barrier_points[i];
+      f << "    {\"sim_threads\": " << b.sim_threads << ", \"impl\": \""
+        << b.impl << "\", \"ns_per_barrier\": " << b.ns_per_barrier << "}"
+        << (i + 1 < barrier_points.size() ? "," : "") << "\n";
+    }
+    f << "  ],\n  \"barrier_ratio_64_over_8\": {\"arena\": " << arena_ratio
+      << ", \"prepr\": " << prepr_ratio << "}\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (smoke) std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,352 @@
+// Pre-PR detector, compiled into bench_detector_sync as its git baseline.
+//
+// This is the production Detector exactly as it stood before the
+// vector-clock engine overhaul (arena clocks / epoch-cached sync objects /
+// O(T) barriers) — i.e. the PR 1-3 tree: lock-free same-epoch access fast
+// path + flat sharded shadow table, but heap-vector VectorClocks with a
+// grow() branch, a striped unordered_map lock table, a global threads
+// mutex, and the all-join barrier. Keeping it compiled in (rather than
+// re-measuring from a git checkout) makes the speedup in
+// BENCH_detector.json a single-binary apples-to-apples number.
+//
+// Deliberately verbatim where possible. Do not optimize this file; it is a
+// measurement anchor, like ReferenceDetector one level further down.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/cacheline.hpp"
+#include "src/common/flat_shadow_table.hpp"
+#include "src/common/spinlock.hpp"
+#include "src/race/site.hpp"
+#include "src/race/vclock.hpp"
+
+namespace reomp::race::prepr {
+
+inline constexpr std::uint32_t kNoReadVc = ~std::uint32_t{0};
+
+struct VarState {
+  std::atomic<std::uint64_t> write_epoch{0};
+  std::atomic<std::uint64_t> read_epoch{0};
+  std::atomic<SiteId> write_site{kInvalidSite};
+  std::atomic<SiteId> read_site{kInvalidSite};
+  std::uint32_t read_vc = kNoReadVc;
+
+  [[nodiscard]] bool read_shared() const { return read_vc != kNoReadVc; }
+
+  VarState() = default;
+  VarState& operator=(const VarState& o) {
+    write_epoch.store(o.write_epoch.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    read_epoch.store(o.read_epoch.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    write_site.store(o.write_site.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    read_site.store(o.read_site.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    read_vc = o.read_vc;
+    return *this;
+  }
+};
+
+class ShadowMemory {
+  struct Shard;
+
+ public:
+  static constexpr std::uint32_t kDefaultShards = 64;
+
+  explicit ShadowMemory(std::uint32_t shard_count = kDefaultShards) {
+    std::uint32_t n = 1;
+    while (n < shard_count) n <<= 1;
+    shards_ = std::make_unique<Shard[]>(n);
+    mask_ = n - 1;
+  }
+
+  [[nodiscard]] const VarState* find_fast(std::uintptr_t addr) const {
+    return shard(addr).table.find(addr);
+  }
+
+  class VarAccess {
+   public:
+    VarState& state;
+
+    std::uint32_t alloc_vc() {
+      if (!shard_.vc_free.empty()) {
+        const std::uint32_t idx = shard_.vc_free.back();
+        shard_.vc_free.pop_back();
+        shard_.vc_pool[idx] = VectorClock();
+        return idx;
+      }
+      shard_.vc_pool.emplace_back();
+      return static_cast<std::uint32_t>(shard_.vc_pool.size() - 1);
+    }
+    void free_vc(std::uint32_t idx) { shard_.vc_free.push_back(idx); }
+    [[nodiscard]] VectorClock& vc(std::uint32_t idx) {
+      return shard_.vc_pool[idx];
+    }
+
+   private:
+    friend class ShadowMemory;
+    VarAccess(VarState& s, Shard& sh) : state(s), shard_(sh) {}
+    Shard& shard_;
+  };
+
+  template <typename Fn>
+  void with(std::uintptr_t addr, Fn&& fn) {
+    Shard& s = shard(addr);
+    LockGuard<Spinlock> lock(s.lock);
+    VarAccess access(s.table.get_or_insert(addr), s);
+    fn(access);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Shard {
+    Spinlock lock;
+    FlatShadowTable<VarState> table;
+    std::vector<VectorClock> vc_pool;
+    std::vector<std::uint32_t> vc_free;
+  };
+
+  Shard& shard(std::uintptr_t addr) { return shards_[shard_index(addr)]; }
+  const Shard& shard(std::uintptr_t addr) const {
+    return shards_[shard_index(addr)];
+  }
+  std::size_t shard_index(std::uintptr_t addr) const {
+    const std::uint64_t h = (addr >> 3) * 0x9e3779b97f4a7c15ULL;
+    return (h >> 32) & mask_;
+  }
+
+  std::unique_ptr<Shard[]> shards_;
+  std::uint32_t mask_;
+};
+
+class Detector;
+
+class ThreadClock {
+ public:
+  [[nodiscard]] std::uint64_t epoch_bits() const {
+    return epoch_bits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Detector;
+
+  void refresh_epoch() {
+    epoch_bits_.store(Epoch(tid_, vc_.get(tid_)).bits(),
+                      std::memory_order_relaxed);
+  }
+  void count_fast_hit() {
+    fast_hits_.store(fast_hits_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  }
+
+  VectorClock vc_;
+  std::uint32_t tid_ = 0;
+  std::atomic<std::uint64_t> epoch_bits_{0};
+  std::atomic<std::uint64_t> fast_hits_{0};
+};
+
+/// The pre-PR Detector. API mirrors the production one closely enough for
+/// the bench templates (tid-based on_read/on_write, same sync verbs).
+class Detector {
+ public:
+  Detector(std::uint32_t num_threads, SiteRegistry& sites,
+           std::uint32_t shadow_shards = ShadowMemory::kDefaultShards)
+      : sites_(sites), num_threads_(num_threads), shadow_(shadow_shards) {
+    threads_ = std::make_unique<CachePadded<ThreadClock>[]>(num_threads);
+    for (std::uint32_t t = 0; t < num_threads; ++t) {
+      ThreadClock& tc = threads_[t].value;
+      tc.tid_ = t;
+      tc.vc_ = VectorClock(num_threads);
+      tc.vc_.tick(t);
+      tc.refresh_epoch();
+    }
+    lock_stripes_ = std::make_unique<LockStripe[]>(kLockStripes);
+  }
+
+  void on_read(std::uint32_t tid, std::uintptr_t addr, SiteId site) {
+    ThreadClock& tc = threads_[tid].value;
+    if (const VarState* v = shadow_.find_fast(addr)) {
+      if (v->read_epoch.load(std::memory_order_relaxed) == tc.epoch_bits() &&
+          v->read_site.load(std::memory_order_relaxed) == site) {
+        tc.count_fast_hit();
+        return;
+      }
+    }
+    read_slow(tc, addr, site);
+  }
+
+  void on_write(std::uint32_t tid, std::uintptr_t addr, SiteId site) {
+    ThreadClock& tc = threads_[tid].value;
+    if (const VarState* v = shadow_.find_fast(addr)) {
+      if (v->write_epoch.load(std::memory_order_relaxed) == tc.epoch_bits() &&
+          v->write_site.load(std::memory_order_relaxed) == site &&
+          v->read_epoch.load(std::memory_order_relaxed) == 0) {
+        tc.count_fast_hit();
+        return;
+      }
+    }
+    write_slow(tc, addr, site);
+  }
+
+  void on_acquire(std::uint32_t tid, std::uint64_t lock_id) {
+    LockStripe& s = stripe(lock_id);
+    LockGuard<Spinlock> lock(s.mu);
+    threads_[tid].value.vc_.join(s.locks[lock_id]);
+  }
+
+  void on_release(std::uint32_t tid, std::uint64_t lock_id) {
+    ThreadClock& tc = threads_[tid].value;
+    LockStripe& s = stripe(lock_id);
+    {
+      LockGuard<Spinlock> lock(s.mu);
+      s.locks[lock_id] = tc.vc_;
+    }
+    tc.vc_.tick(tid);
+    tc.refresh_epoch();
+  }
+
+  void on_barrier() {
+    LockGuard<Spinlock> lock(threads_mu_);
+    VectorClock all(num_threads_);
+    for (std::uint32_t t = 0; t < num_threads_; ++t) {
+      all.join(threads_[t].value.vc_);
+    }
+    for (std::uint32_t t = 0; t < num_threads_; ++t) {
+      ThreadClock& tc = threads_[t].value;
+      tc.vc_ = all;
+      tc.vc_.tick(t);
+      tc.refresh_epoch();
+    }
+  }
+
+  void on_fork(std::uint32_t parent, std::uint32_t child) {
+    LockGuard<Spinlock> lock(threads_mu_);
+    ThreadClock& p = threads_[parent].value;
+    ThreadClock& c = threads_[child].value;
+    c.vc_.join(p.vc_);
+    c.vc_.tick(child);
+    c.refresh_epoch();
+    p.vc_.tick(parent);
+    p.refresh_epoch();
+  }
+
+  void on_join(std::uint32_t parent, std::uint32_t child) {
+    LockGuard<Spinlock> lock(threads_mu_);
+    ThreadClock& p = threads_[parent].value;
+    p.vc_.join(threads_[child].value.vc_);
+    p.vc_.tick(parent);
+    p.refresh_epoch();
+  }
+
+  [[nodiscard]] std::uint64_t races_observed() const {
+    LockGuard<Spinlock> lock(report_mu_);
+    return race_count_;
+  }
+  [[nodiscard]] std::uint64_t fast_path_hits() const {
+    std::uint64_t n = 0;
+    for (std::uint32_t t = 0; t < num_threads_; ++t) {
+      n += threads_[t].value.fast_hits_.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+  [[nodiscard]] std::uint64_t sync_fast_hits() const { return 0; }
+
+ private:
+  static constexpr std::uint32_t kLockStripes = 64;
+  struct alignas(kCacheLineSize) LockStripe {
+    Spinlock mu;
+    std::unordered_map<std::uint64_t, VectorClock> locks;
+  };
+
+  void record_race(SiteId a, SiteId b) {
+    const std::uint64_t lo = a < b ? a : b;
+    const std::uint64_t hi = a < b ? b : a;
+    const std::uint64_t key = (lo << 32) | hi;
+    LockGuard<Spinlock> lock(report_mu_);
+    ++race_pairs_[key];
+    ++race_count_;
+  }
+
+  void read_slow(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
+    const VectorClock& ct = tc.vc_;
+    const std::uint32_t tid = tc.tid_;
+    shadow_.with(addr, [&](ShadowMemory::VarAccess& a) {
+      VarState& v = a.state;
+      const Epoch write =
+          Epoch::from_bits(v.write_epoch.load(std::memory_order_relaxed));
+      if (!ct.covers(write)) {
+        record_race(v.write_site.load(std::memory_order_relaxed), site);
+      }
+      const std::uint64_t my_epoch = tc.epoch_bits();
+      if (v.read_shared()) {
+        a.vc(v.read_vc).set(tid, ct.get(tid));
+        v.read_epoch.store(my_epoch, std::memory_order_relaxed);
+      } else {
+        const Epoch read =
+            Epoch::from_bits(v.read_epoch.load(std::memory_order_relaxed));
+        if (read.is_zero() || read.tid() == tid || ct.covers(read)) {
+          v.read_epoch.store(my_epoch, std::memory_order_relaxed);
+          v.read_site.store(site, std::memory_order_relaxed);
+        } else {
+          const std::uint32_t idx = a.alloc_vc();
+          VectorClock& rvc = a.vc(idx);
+          rvc.set(read.tid(), read.clock());
+          rvc.set(tid, ct.get(tid));
+          v.read_vc = idx;
+          v.read_epoch.store(my_epoch, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  void write_slow(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
+    const VectorClock& ct = tc.vc_;
+    shadow_.with(addr, [&](ShadowMemory::VarAccess& a) {
+      VarState& v = a.state;
+      const Epoch write =
+          Epoch::from_bits(v.write_epoch.load(std::memory_order_relaxed));
+      if (!ct.covers(write)) {
+        record_race(v.write_site.load(std::memory_order_relaxed), site);
+      }
+      if (v.read_shared()) {
+        if (!ct.covers(a.vc(v.read_vc))) {
+          record_race(v.read_site.load(std::memory_order_relaxed), site);
+        }
+        a.free_vc(v.read_vc);
+        v.read_vc = kNoReadVc;
+      } else {
+        const Epoch read =
+            Epoch::from_bits(v.read_epoch.load(std::memory_order_relaxed));
+        if (!read.is_zero() && !ct.covers(read)) {
+          record_race(v.read_site.load(std::memory_order_relaxed), site);
+        }
+      }
+      v.write_epoch.store(tc.epoch_bits(), std::memory_order_relaxed);
+      v.write_site.store(site, std::memory_order_relaxed);
+      v.read_epoch.store(0, std::memory_order_relaxed);
+      v.read_site.store(kInvalidSite, std::memory_order_relaxed);
+    });
+  }
+
+  LockStripe& stripe(std::uint64_t lock_id) {
+    const std::uint64_t h = lock_id * 0x9e3779b97f4a7c15ULL;
+    return lock_stripes_[(h >> 32) & (kLockStripes - 1)];
+  }
+
+  SiteRegistry& sites_;
+  std::uint32_t num_threads_;
+  std::unique_ptr<CachePadded<ThreadClock>[]> threads_;
+  mutable Spinlock threads_mu_;
+  std::unique_ptr<LockStripe[]> lock_stripes_;
+  ShadowMemory shadow_;
+  mutable Spinlock report_mu_;
+  std::unordered_map<std::uint64_t, std::uint64_t> race_pairs_;
+  std::uint64_t race_count_ = 0;
+};
+
+}  // namespace reomp::race::prepr

@@ -98,6 +98,15 @@ class FlatShadowTable {
     return current_.load(std::memory_order_acquire)->mask + 1;
   }
 
+  /// Bumped on every growth. Callers that cache a Value* can skip the
+  /// probe while the generation is unchanged: an equal generation proves
+  /// the cached pointer still addresses the *live* table (a retired
+  /// table's slot would go stale — frozen values — the moment growth
+  /// copies it).
+  [[nodiscard]] std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
  private:
   struct alignas(kCacheLineSize) Slot {
     std::atomic<std::uintptr_t> key{kEmptyKey};
@@ -145,12 +154,15 @@ class FlatShadowTable {
     Table* fresh = next.get();
     tables_.push_back(std::move(next));
     current_.store(fresh, std::memory_order_release);
+    generation_.store(generation_.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_release);
     return fresh;
   }
 
   // tables_.back() is live; earlier entries are retired-but-readable.
   std::vector<std::unique_ptr<Table>> tables_;
   std::atomic<Table*> current_{nullptr};
+  std::atomic<std::uint64_t> generation_{0};
   std::size_t size_ = 0;  // writer-side only (under the shard lock)
 };
 

@@ -150,6 +150,8 @@ void ClockStrategyBase::replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
                        g.name + "' but its record expects gate '" +
                        engine_.gate_ref(e.gate).name + "'");
     }
+    t.replay_epoch_size =
+        s.epoch_size.empty() ? 0 : s.epoch_size[s.pos];
     ++s.pos;
     value = e.value;
     t.replay_turn = value;
@@ -181,19 +183,45 @@ void ClockStrategyBase::replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
 void ClockStrategyBase::replay_gate_out(ThreadCtx& t, GateState& g, GateId,
                                         AccessKind) {
   // Fig. 5 line 34: one inter-thread communication per region (Fig. 7).
+  bool published = true;
   if (prefetch_ && !use_epochs_) {
     // DC turns are exclusive (clocks are unique per gate), so at gate_out
     // next_clock == replay_turn and no other thread is between its wait
     // and its release: publishing turn+1 with a plain release store is
     // equivalent to the fetch_add, minus the locked RMW.
     g.next_clock->store(t.replay_turn + 1, std::memory_order_release);
+  } else if (prefetch_ && t.replay_epoch_size != 0) {
+    // DE with known epoch size: members accumulate on the per-epoch
+    // counter — a different cache line from next_clock, which the next
+    // epoch's waiters are spinning on — and only the last member publishes.
+    // Epochs are contiguous clock blocks here (annotate_de_epoch_sizes
+    // verified it), so when all k members of epoch e are done the total
+    // completion count is exactly e + k. The acq_rel RMW chain on
+    // epoch_done carries every member's prior effects into the last
+    // member's release store, preserving the happens-before edge waiters
+    // got from the old fetch_add. Singleton epochs (the DC-like common
+    // case) skip the RMW entirely.
+    const std::uint32_t k = t.replay_epoch_size;
+    if (k == 1) {
+      g.next_clock->store(t.replay_turn + 1, std::memory_order_release);
+    } else if (g.epoch_done->fetch_add(1, std::memory_order_acq_rel) + 1 ==
+               k) {
+      // Reset before the publish: next-epoch members cannot reach their
+      // gate_out (and touch epoch_done) until the store below admits them.
+      g.epoch_done->store(0, std::memory_order_relaxed);
+      g.next_clock->store(t.replay_turn + k, std::memory_order_release);
+    } else {
+      published = false;  // a peer in this epoch will publish
+    }
   } else {
-    // DE epochs admit concurrent members; completions must accumulate.
+    // Streaming DE (or a history-capped gate whose admission windows
+    // overlap): completions must accumulate on the shared counter.
     g.next_clock->fetch_add(1, std::memory_order_acq_rel);
   }
   // Parked waiters (wait_policy=block) need an explicit wake; the spin
-  // policies poll and must not pay the futex syscall.
-  if (block_waiters_) g.next_clock->notify_all();
+  // policies poll and must not pay the futex syscall. Nothing to wake when
+  // next_clock did not move.
+  if (block_waiters_ && published) g.next_clock->notify_all();
 }
 
 void ClockStrategyBase::finalize_record(ThreadCtx& t) {

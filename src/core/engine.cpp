@@ -262,6 +262,60 @@ void Engine::open_replay_streams() {
     }
     t.reader = std::make_unique<trace::RecordReader>(*t.source);
   }
+  if (opt_.strategy == Strategy::kDE && replay_prefetched_) {
+    annotate_de_epoch_sizes();
+  }
+}
+
+void Engine::annotate_de_epoch_sizes() {
+  // DE prefetch replay wants, per schedule entry, the total member count of
+  // its epoch so gate_out can use a per-epoch completion counter plus one
+  // release store on next_clock instead of a contended fetch_add. The whole
+  // schedule is in memory, so compute it once here: gather every recorded
+  // epoch value per gate, sort, and run-length-count.
+  //
+  // The counter protocol additionally needs each gate's epochs to be
+  // *contiguous clock blocks*: sorted distinct values e1 < e2 (counts k1,
+  // k2) must satisfy e2 == e1 + k1, starting at 0. That holds whenever the
+  // recorded X_C was exact; a history-capped long run instead produces
+  // overlapping admission windows (value = clock - cap), where completions
+  // from different "epochs" interleave and only the shared fetch_add
+  // counts them correctly. Such gates keep epoch_size 0 -> fetch_add.
+  std::vector<std::vector<std::uint64_t>> values;  // indexed by gate id
+  for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+    for (const trace::RecordEntry& e : threads_[tid]->sched.entries) {
+      if (e.gate >= opt_.max_gates) continue;  // diverges at replay time
+      if (e.gate >= values.size()) values.resize(e.gate + 1);
+      values[e.gate].push_back(e.value);
+    }
+  }
+  std::vector<char> blocks_ok(values.size(), 1);
+  for (GateId g = 0; g < values.size(); ++g) {
+    auto& v = values[g];
+    std::sort(v.begin(), v.end());
+    std::uint64_t expect = 0;
+    for (std::size_t i = 0; i < v.size();) {
+      std::size_t j = i;
+      while (j < v.size() && v[j] == v[i]) ++j;
+      if (v[i] != expect) {
+        blocks_ok[g] = 0;
+        break;
+      }
+      expect = v[i] + (j - i);
+      i = j;
+    }
+  }
+  for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+    trace::DecodedSchedule& s = threads_[tid]->sched;
+    s.epoch_size.assign(s.entries.size(), 0);
+    for (std::size_t k = 0; k < s.entries.size(); ++k) {
+      const trace::RecordEntry& e = s.entries[k];
+      if (e.gate >= values.size() || !blocks_ok[e.gate]) continue;
+      const auto& v = values[e.gate];
+      const auto range = std::equal_range(v.begin(), v.end(), e.value);
+      s.epoch_size[k] = static_cast<std::uint32_t>(range.second - range.first);
+    }
+  }
 }
 
 GateId Engine::register_gate(const std::string& name) {

@@ -227,6 +227,9 @@ class Engine {
  private:
   void open_record_streams();
   void open_replay_streams();
+  /// DE prefetch: fill each schedule's per-entry epoch sizes (and detect
+  /// gates whose epochs are not contiguous blocks; see engine.cpp).
+  void annotate_de_epoch_sizes();
   void start_async_writer();
   void finalize_record();
   void finalize_replay();

@@ -63,6 +63,13 @@ struct GateState {
   // Counts *completed* gate executions; an access with epoch e may enter
   // once next_clock >= e (paper Fig. 5 lines 32/34).
   CachePadded<std::atomic<std::uint64_t>> next_clock{};
+  // DE prefetch replay: completions *within the current epoch* when the
+  // epoch's total size is known (DecodedSchedule::epoch_size). Members of
+  // a multi-access epoch accumulate here — a different cache line from
+  // next_clock, which waiting threads spin on — and only the last member
+  // publishes next_clock with a plain release store. Reset to 0 by that
+  // last member before the publish, so the next epoch starts clean.
+  CachePadded<std::atomic<std::uint64_t>> epoch_done{};
 };
 
 /// Per-thread engine context. Owned by the engine, handed to the binding
@@ -103,8 +110,13 @@ struct ThreadCtx {
   // ST turns are *exclusive* (unique clocks / one global position at a
   // time), so their prefetch gate_out can publish turn+1 with a plain
   // release store instead of a locked RMW; DE epochs admit concurrent
-  // members and keep the fetch_add.
+  // members and route completions through the gate's per-epoch counter
+  // (epoch_done) when the epoch size below is known, falling back to the
+  // shared fetch_add when it is not.
   std::uint64_t replay_turn = 0;
+  // Total member count of the epoch the consumed entry belongs to (DE
+  // prefetch; see DecodedSchedule::epoch_size). 0 = unknown -> fetch_add.
+  std::uint32_t replay_epoch_size = 0;
 
   std::uint64_t events = 0;  // gate executions by this thread
 

@@ -92,6 +92,8 @@ Options Options::from_env(std::uint32_t num_threads) {
       env_capacity_strict("REOMP_HISTORY_CAP", opt.history_capacity);
   opt.shadow_shards =
       env_capacity_strict("REOMP_SHADOW_SHARDS", opt.shadow_shards);
+  opt.sync_stripes =
+      env_capacity_strict("REOMP_SYNC_STRIPES", opt.sync_stripes);
   if (auto w = env_string("REOMP_WAIT_POLICY")) {
     if (auto parsed = wait_policy_from_string(*w)) {
       opt.wait_policy = *parsed;

@@ -138,8 +138,16 @@ struct Options {
   /// REOMP_SHADOW_SHARDS.
   std::uint32_t shadow_shards = 64;
 
+  /// Stripe count for the race detector's sync-object table (named locks /
+  /// atomic sites; detect runs only). Rounded up to a power of two and
+  /// clamped like shadow_shards. Stripes only matter for *slow-path* sync
+  /// contention — the acquire release-shortcut is lock-free — so the
+  /// default matches the shard default. Env: REOMP_SYNC_STRIPES.
+  std::uint32_t sync_stripes = 64;
+
   /// Construct from REOMP_MODE / REOMP_STRATEGY / REOMP_DIR /
-  /// REOMP_HISTORY_CAP / REOMP_SHADOW_SHARDS / REOMP_WAIT_POLICY /
+  /// REOMP_HISTORY_CAP / REOMP_SHADOW_SHARDS / REOMP_SYNC_STRIPES /
+  /// REOMP_WAIT_POLICY /
   /// REOMP_TRACE_WRITER / REOMP_RING_CAPACITY / REOMP_STAGING_CAPACITY /
   /// REOMP_REPLAY_PREFETCH / REOMP_REPLAY_MEM_CAP
   /// environment variables, mirroring the real tool's env-driven mode

@@ -6,38 +6,70 @@
 namespace reomp::race {
 
 Detector::Detector(std::uint32_t num_threads, SiteRegistry& sites,
-                   std::uint32_t shadow_shards)
+                   std::uint32_t shadow_shards, std::uint32_t sync_stripes)
     : sites_(sites),
-      num_threads_(num_threads),
-      shadow_(shadow_shards) {
-  if (num_threads == 0) {
-    throw std::invalid_argument("Detector requires num_threads >= 1");
-  }
-  if (num_threads > kMaxDetectorThreads) {
-    throw std::invalid_argument(
-        "Detector supports at most 256 threads (Epoch packs the tid into "
-        "8 bits); got " +
-        std::to_string(num_threads));
-  }
+      num_threads_([&] {
+        if (num_threads == 0) {
+          throw std::invalid_argument("Detector requires num_threads >= 1");
+        }
+        if (num_threads > kMaxDetectorThreads) {
+          throw std::invalid_argument(
+              "Detector supports at most 256 threads (Epoch packs the tid "
+              "into 8 bits); got " +
+              std::to_string(num_threads));
+        }
+        return num_threads;
+      }()),
+      arena_(num_threads),
+      shadow_(arena_, shadow_shards) {
+  // Thread rows first, then the broadcast row: contiguous low indices keep
+  // the barrier's aggregation pass walking forward through the arena.
   threads_ = std::make_unique<CachePadded<ThreadClock>[]>(num_threads);
+  std::vector<std::uint32_t> rows(num_threads);
+  for (std::uint32_t t = 0; t < num_threads; ++t) rows[t] = arena_.alloc();
+  barrier_clock_ = arena_.view(arena_.alloc());
   for (std::uint32_t t = 0; t < num_threads; ++t) {
     ThreadClock& tc = threads_[t].value;
     tc.tid_ = t;
-    tc.vc_ = VectorClock(num_threads);
+    tc.row_ = arena_.view(rows[t]);
+    tc.base_ = barrier_clock_;
     // Start each thread at clock 1 so the zero epoch means "never accessed".
-    tc.vc_.tick(t);
+    tc.row_.set(t, 1);
     tc.refresh_epoch();
   }
-  lock_stripes_ = std::make_unique<LockStripe[]>(kLockStripes);
+  const std::uint32_t stripes =
+      ShadowMemory::validated_shard_count(sync_stripes);
+  sync_stripes_ = std::make_unique<SyncStripe[]>(stripes);
+  stripe_mask_ = stripes - 1;
 }
 
-void Detector::record_race(SiteId a, SiteId b) {
+void Detector::record_race(ThreadClock& tc, SiteId a, SiteId b) {
+  // kInvalidSite can only reach here through a torn lock-free window on a
+  // variable that is being raced on *concurrently with the detector
+  // itself* (the read-restamp CAS below the write clears); sequential
+  // traces never produce it (the reference never reports it either).
+  // Dropping the unattributable occurrence beats reporting a garbage site.
+  if (a == kInvalidSite || b == kInvalidSite) return;
   const std::uint64_t lo = std::min(a, b);
   const std::uint64_t hi = std::max(a, b);
   const std::uint64_t key = (lo << 32) | hi;
+  // Hot-pair fast path: a racy loop records the same pair millions of
+  // times; bump the thread-local count instead of taking the report lock.
+  ThreadClock::RaceCache& rc = tc.race_slot(key);
+  if (rc.key.load(std::memory_order_relaxed) == key) {
+    rc.count.store(rc.count.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+    return;
+  }
   LockGuard<Spinlock> lock(report_mu_);
-  ++race_pairs_[key];
-  ++race_count_;
+  const std::uint64_t old_key = rc.key.load(std::memory_order_relaxed);
+  if (old_key != ThreadClock::kNoRaceKey) {
+    const std::uint64_t c = rc.count.load(std::memory_order_relaxed);
+    race_pairs_[old_key] += c;
+    race_count_ += c;
+  }
+  rc.count.store(1, std::memory_order_relaxed);
+  rc.key.store(key, std::memory_order_relaxed);
 }
 
 void Detector::on_read(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
@@ -50,48 +82,68 @@ void Detector::on_read(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
   // concurrent write tearing this window is a valid linearization: the
   // writer re-checks our published read epoch under the shard lock, so the
   // race is still reported.)
-  if (const VarState* v = shadow_.find_fast(addr)) {
+  if (VarState* v = shadow_.find_fast(addr)) {
     if (v->read_epoch.load(std::memory_order_relaxed) == tc.epoch_bits() &&
         v->read_site.load(std::memory_order_relaxed) == site) {
       tc.count_fast_hit();
       return;
+    }
+    // Alternation re-stamp: this thread wrote the variable at this epoch
+    // from this same site, the write fast path's subsume cleared the read
+    // epoch, and read_site still holds this site from the previous read —
+    // so the reference's whole read rule (own write covered, zero read,
+    // stamp (epoch, site)) collapses to republishing the epoch word. One
+    // CAS, no torn two-field stamp: the site field already has the right
+    // value. With the write-side subsume this keeps strict same-site
+    // write/read alternation fully lock-free in the steady state.
+    if (v->write_epoch.load(std::memory_order_relaxed) == tc.epoch_bits() &&
+        v->write_site.load(std::memory_order_relaxed) == site &&
+        v->read_site.load(std::memory_order_relaxed) == site &&
+        v->read_vc.load(std::memory_order_relaxed) == kNoReadVc) {
+      std::uint64_t zero = 0;
+      if (v->read_epoch.compare_exchange_strong(zero, tc.epoch_bits(),
+                                                std::memory_order_relaxed)) {
+        tc.count_fast_hit();
+        return;
+      }
     }
   }
   read_slow(tc, addr, site);
 }
 
 void Detector::read_slow(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
-  const VectorClock& ct = tc.vc_;
   const std::uint32_t tid = tc.tid_;
   shadow_.with(addr, [&](ShadowMemory::VarAccess& a) {
     VarState& v = a.state;
     // write-read race: the last write is not ordered before this read.
     const Epoch write = Epoch::from_bits(
         v.write_epoch.load(std::memory_order_relaxed));
-    if (!ct.covers(write)) {
-      record_race(v.write_site.load(std::memory_order_relaxed), site);
+    if (!tc.vc_covers(write)) {
+      record_race(tc, v.write_site.load(std::memory_order_relaxed), site);
     }
 
     const std::uint64_t my_epoch = tc.epoch_bits();
-    if (v.read_shared()) {
-      a.vc(v.read_vc).set(tid, ct.get(tid));
+    const std::uint32_t shared =
+        v.read_vc.load(std::memory_order_relaxed);
+    if (shared != kNoReadVc) {
+      a.vc(shared).set(tid, tc.vc_get(tid));
       v.read_epoch.store(my_epoch, std::memory_order_relaxed);
     } else {
       const Epoch read = Epoch::from_bits(
           v.read_epoch.load(std::memory_order_relaxed));
-      if (read.is_zero() || read.tid() == tid || ct.covers(read)) {
+      if (read.is_zero() || read.tid() == tid || tc.vc_covers(read)) {
         // Reads stay totally ordered: keep the cheap scalar representation.
         v.read_epoch.store(my_epoch, std::memory_order_relaxed);
         v.read_site.store(site, std::memory_order_relaxed);
       } else {
         // Concurrent readers: inflate to a vector clock (FastTrack's
-        // read-share transition). The vc lives in the shard pool so the
-        // slot itself stays one cache line.
+        // read-share transition). The clock is an arena row recycled per
+        // shard, so the slot itself stays one cache line.
         const std::uint32_t idx = a.alloc_vc();
-        VectorClock& rvc = a.vc(idx);
+        ClockView rvc = a.vc(idx);
         rvc.set(read.tid(), read.clock());
-        rvc.set(tid, ct.get(tid));
-        v.read_vc = idx;
+        rvc.set(tid, tc.vc_get(tid));
+        v.read_vc.store(idx, std::memory_order_relaxed);
         v.read_epoch.store(my_epoch, std::memory_order_relaxed);
         // read_site keeps the pre-inflation reader, matching the reference
         // (shared-mode reads do not re-stamp the site).
@@ -104,45 +156,63 @@ void Detector::on_write(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
   // Same-epoch fast path (FastTrack [write same epoch]): any happens-before
   // edge leaving this thread ticks its clock, so while the epoch is
   // unchanged no other thread can have newly synchronized with this write —
-  // repeat writes need no re-check. Two extra conditions keep verdicts
-  // bit-identical to the reference: the site must match (the reference
-  // re-stamps write_site), and there must be no pending read state (the
-  // reference's write rule subsumes interleaved reads; skipping that reset
-  // would leave us reporting extra pairs the reference folds into the
-  // write).
-  if (const VarState* v = shadow_.find_fast(addr)) {
+  // repeat writes need no re-check. The site must also match (the reference
+  // re-stamps write_site) to keep verdicts bit-identical.
+  //
+  // Pending read state: the reference's write rule subsumes interleaved
+  // reads, so a write may only skip the slow path when the pending read is
+  // (a) absent, or (b) this thread's own read at this same epoch and not
+  // read-shared — then the reference would record nothing (an own epoch is
+  // always covered) and merely clear the read, which the CAS below does
+  // lock-free. That keeps strict write/read alternation on the write fast
+  // path instead of paying the shard lock on every write. A failed CAS
+  // means a slow-path mutator intervened; fall through and do it all under
+  // the lock.
+  if (VarState* v = shadow_.find_fast(addr)) {
     if (v->write_epoch.load(std::memory_order_relaxed) == tc.epoch_bits() &&
-        v->write_site.load(std::memory_order_relaxed) == site &&
-        v->read_epoch.load(std::memory_order_relaxed) == 0) {
-      tc.count_fast_hit();
-      return;
+        v->write_site.load(std::memory_order_relaxed) == site) {
+      std::uint64_t read = v->read_epoch.load(std::memory_order_relaxed);
+      if (read == 0) {
+        tc.count_fast_hit();
+        return;
+      }
+      if (read == tc.epoch_bits() &&
+          v->read_vc.load(std::memory_order_relaxed) == kNoReadVc &&
+          v->read_epoch.compare_exchange_strong(read, 0,
+                                                std::memory_order_relaxed)) {
+        // read_site is left stale: it is dead state while read_epoch == 0
+        // and the next read re-stamps it (the locked slow path resets it
+        // to kInvalidSite, equally dead — neither is ever reported).
+        tc.count_fast_hit();
+        return;
+      }
     }
   }
   write_slow(tc, addr, site);
 }
 
 void Detector::write_slow(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
-  const VectorClock& ct = tc.vc_;
   shadow_.with(addr, [&](ShadowMemory::VarAccess& a) {
     VarState& v = a.state;
     // write-write race.
     const Epoch write = Epoch::from_bits(
         v.write_epoch.load(std::memory_order_relaxed));
-    if (!ct.covers(write)) {
-      record_race(v.write_site.load(std::memory_order_relaxed), site);
+    if (!tc.vc_covers(write)) {
+      record_race(tc, v.write_site.load(std::memory_order_relaxed), site);
     }
     // read-write race.
-    if (v.read_shared()) {
-      if (!ct.covers(a.vc(v.read_vc))) {
-        record_race(v.read_site.load(std::memory_order_relaxed), site);
+    const std::uint32_t shared = v.read_vc.load(std::memory_order_relaxed);
+    if (shared != kNoReadVc) {
+      if (!tc.vc_covers(a.vc(shared))) {
+        record_race(tc, v.read_site.load(std::memory_order_relaxed), site);
       }
-      a.free_vc(v.read_vc);
-      v.read_vc = kNoReadVc;
+      a.free_vc(shared);
+      v.read_vc.store(kNoReadVc, std::memory_order_relaxed);
     } else {
       const Epoch read = Epoch::from_bits(
           v.read_epoch.load(std::memory_order_relaxed));
-      if (!read.is_zero() && !ct.covers(read)) {
-        record_race(v.read_site.load(std::memory_order_relaxed), site);
+      if (!read.is_zero() && !tc.vc_covers(read)) {
+        record_race(tc, v.read_site.load(std::memory_order_relaxed), site);
       }
     }
     v.write_epoch.store(tc.epoch_bits(), std::memory_order_relaxed);
@@ -154,64 +224,183 @@ void Detector::write_slow(ThreadClock& tc, std::uintptr_t addr, SiteId site) {
 }
 
 void Detector::on_acquire(std::uint32_t tid, std::uint64_t lock_id) {
-  LockStripe& s = stripe(lock_id);
+  ThreadClock& tc = threads_[tid].value;
+  SyncStripe& s = stripe(lock_id);
+  const std::uint64_t key = sync_key(lock_id);
+  ThreadClock::SyncMemo& memo = tc.memo_slot(key);
+  SyncState* ss;
+  if (memo.key == key && memo.gen == s.table.generation()) {
+    // Steady state: the memoized slot is still in the live table (the
+    // generation check proves no growth retired it) — skip the probe.
+    ss = static_cast<SyncState*>(memo.slot);
+  } else {
+    // Read the generation before probing: if growth races in between, the
+    // memoized generation is already stale and the next acquire re-probes.
+    const std::uint64_t gen = s.table.generation();
+    ss = s.table.find(key);
+    if (ss == nullptr) return;  // never released: empty clock, join no-op
+    memo.key = key;
+    memo.slot = ss;
+    memo.gen = gen;
+    memo.rel = 0;
+  }
+  const std::uint64_t rel = ss->rel_word.load(std::memory_order_acquire);
+  if (rel == 0) return;
+  if (Epoch::from_bits(rel).tid() == tid || rel == memo.rel) {
+    // Acquire shortcut: either this thread published the lock's clock
+    // itself (own clock only grew since — join is a no-op), or it already
+    // joined exactly this release (epoch word unchanged — join
+    // idempotent). One probe-free load + compare.
+    memo.rel = rel;
+    tc.count_sync_hit();
+    return;
+  }
+  // Full join, under the stripe lock so the clock row is stable. The
+  // lock's logical clock is the row plus the release epoch component.
   LockGuard<Spinlock> lock(s.mu);
-  // Join cannot change this thread's own component, so the cached epoch
-  // stays valid.
-  threads_[tid].value.vc_.join(s.locks[lock_id]);
+  SyncState& locked = s.table.get_or_insert(key);
+  if (locked.clock != kNoReadVc) {
+    // Join cannot change this thread's own component, so the cached epoch
+    // stays valid — but non-own components may move: bump the generation
+    // so this thread's next lock publishes go back to a full copy.
+    tc.materialize();
+    tc.row_.join(arena_.view(locked.clock));
+    const Epoch e =
+        Epoch::from_bits(locked.rel_word.load(std::memory_order_relaxed));
+    if (!e.is_zero() && tc.row_.get(e.tid()) < e.clock()) {
+      tc.row_.set(e.tid(), e.clock());
+    }
+    ++tc.mut_gen_;
+  }
+  memo.key = key;
+  memo.slot = &locked;
+  memo.gen = s.table.generation();
+  memo.rel = locked.rel_word.load(std::memory_order_relaxed);
 }
 
 void Detector::on_release(std::uint32_t tid, std::uint64_t lock_id) {
   ThreadClock& tc = threads_[tid].value;
-  LockStripe& s = stripe(lock_id);
+  SyncStripe& s = stripe(lock_id);
+  const std::uint64_t key = sync_key(lock_id);
+  ThreadClock::SyncMemo& memo = tc.memo_slot(key);
+  const std::uint64_t bits = tc.epoch_bits();  // Epoch(tid, row_[tid])
+  const std::uint64_t gen = s.table.generation();
+  if (memo.key == key && memo.gen == gen) {
+    // Release shortcut, entirely lock-free: the lock still holds this
+    // thread's previous full publish (rel tid is ours) and no join or
+    // barrier has touched our non-own components since (generation
+    // match), so the only moved component is our own — which rides in the
+    // epoch word itself. One release-store re-publishes the lock's clock.
+    SyncState* ss = static_cast<SyncState*>(memo.slot);
+    const std::uint64_t prev = ss->rel_word.load(std::memory_order_relaxed);
+    if (prev != 0 && Epoch::from_bits(prev).tid() == tid &&
+        ss->owner_gen.load(std::memory_order_relaxed) == tc.mut_gen_) {
+      ss->rel_word.store(bits, std::memory_order_release);
+      memo.rel = bits;
+      tc.count_sync_hit();
+      if (s.table.generation() == gen) {
+        tc.row_.tick(tid);
+        tc.refresh_epoch();
+        return;
+      }
+      // A concurrent insert grew this stripe's table mid-publish; the
+      // store above may have landed in the retired copy. Fall through and
+      // re-publish in full on the live table. (See the README's sync-path
+      // notes for the residual visibility window this loop narrows.)
+    }
+  }
   {
     LockGuard<Spinlock> lock(s.mu);
-    s.locks[lock_id] = tc.vc_;
+    SyncState& ss = s.table.get_or_insert(key);
+    if (ss.clock == kNoReadVc) ss.clock = arena_.alloc();
+    tc.copy_logical(arena_.view(ss.clock));
+    ss.owner_gen.store(tc.mut_gen_, std::memory_order_relaxed);
+    // Release pairs with the acquire load in on_acquire's fast path: an
+    // acquirer that sees this word also sees the published row.
+    ss.rel_word.store(bits, std::memory_order_release);
+    memo.key = key;
+    memo.slot = &ss;
+    memo.gen = s.table.generation();
+    memo.rel = bits;  // this thread's next acquire memo-hits
   }
-  tc.vc_.tick(tid);
+  tc.row_.tick(tid);  // own component lives in the row even while clean
   tc.refresh_epoch();
+}
+
+void Detector::join_logical(ThreadClock& dst, const ThreadClock& src) {
+  dst.materialize();
+  if (src.dirty_) {
+    dst.row_.join(src.row_);
+  } else {
+    dst.row_.join(src.base_);
+    const std::uint64_t own = src.row_.get(src.tid_);
+    if (dst.row_.get(src.tid_) < own) dst.row_.set(src.tid_, own);
+  }
+  ++dst.mut_gen_;
 }
 
 void Detector::on_barrier() {
   // Callers guarantee all other threads are parked at the barrier, but take
   // the lock anyway so the operation is safe under misuse.
-  LockGuard<Spinlock> lock(threads_mu_);
-  VectorClock all(num_threads_);
+  LockGuard<Spinlock> lock(collective_mu_);
+  // Aggregate into the broadcast row in place. Clean threads equal the row
+  // already (modulo their own component, folded in below); only threads a
+  // join dirtied since the last barrier need a full O(T) merge — the
+  // barrier-heavy steady state does none and runs in O(T) total.
   for (std::uint32_t t = 0; t < num_threads_; ++t) {
-    all.join(threads_[t].value.vc_);
+    ThreadClock& tc = threads_[t].value;
+    if (tc.dirty_) barrier_clock_.join(tc.row_);
+  }
+  for (std::uint32_t t = 0; t < num_threads_; ++t) {
+    // A thread's own component is globally maximal (only t ticks t), so
+    // the aggregate's component t is exactly row_t[t].
+    barrier_clock_.set(t, threads_[t].value.row_.get(t));
   }
   for (std::uint32_t t = 0; t < num_threads_; ++t) {
     ThreadClock& tc = threads_[t].value;
-    tc.vc_ = all;
-    tc.vc_.tick(t);
+    tc.dirty_ = false;
+    tc.row_.set(t, barrier_clock_.get(t) + 1);  // join-all, then tick own
+    ++tc.mut_gen_;  // non-own components moved with the broadcast
     tc.refresh_epoch();
   }
 }
 
 void Detector::on_fork(std::uint32_t parent, std::uint32_t child) {
-  LockGuard<Spinlock> lock(threads_mu_);
+  LockGuard<Spinlock> lock(collective_mu_);
   ThreadClock& p = threads_[parent].value;
   ThreadClock& c = threads_[child].value;
-  c.vc_.join(p.vc_);
-  c.vc_.tick(child);
+  join_logical(c, p);
+  c.row_.tick(child);
   c.refresh_epoch();
-  p.vc_.tick(parent);
+  p.row_.tick(parent);
   p.refresh_epoch();
 }
 
 void Detector::on_join(std::uint32_t parent, std::uint32_t child) {
-  LockGuard<Spinlock> lock(threads_mu_);
+  LockGuard<Spinlock> lock(collective_mu_);
   ThreadClock& p = threads_[parent].value;
-  p.vc_.join(threads_[child].value.vc_);
-  p.vc_.tick(parent);
+  join_logical(p, threads_[child].value);
+  p.row_.tick(parent);
   p.refresh_epoch();
 }
 
 RaceReport Detector::report() const {
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  std::unordered_map<std::uint64_t, std::uint64_t> pairs;
   {
     LockGuard<Spinlock> lock(report_mu_);
-    pairs.assign(race_pairs_.begin(), race_pairs_.end());
+    pairs = race_pairs_;
+    // Merge the unflushed thread-local hot-pair counts. Owners bump them
+    // without the lock (relaxed), so a concurrent snapshot may trail by a
+    // few occurrences — same fuzziness the single counter always had;
+    // exact once the threads are quiescent.
+    for (std::uint32_t t = 0; t < num_threads_; ++t) {
+      for (const auto& rc : threads_[t].value.race_cache_) {
+        const std::uint64_t key = rc.key.load(std::memory_order_relaxed);
+        if (key != ThreadClock::kNoRaceKey) {
+          pairs[key] += rc.count.load(std::memory_order_relaxed);
+        }
+      }
+    }
   }
   RaceReport r;
   for (const auto& [key, count] : pairs) {
@@ -224,13 +413,29 @@ RaceReport Detector::report() const {
 
 std::uint64_t Detector::races_observed() const {
   LockGuard<Spinlock> lock(report_mu_);
-  return race_count_;
+  std::uint64_t n = race_count_;
+  for (std::uint32_t t = 0; t < num_threads_; ++t) {
+    for (const auto& rc : threads_[t].value.race_cache_) {
+      if (rc.key.load(std::memory_order_relaxed) != ThreadClock::kNoRaceKey) {
+        n += rc.count.load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return n;
 }
 
 std::uint64_t Detector::fast_path_hits() const {
   std::uint64_t n = 0;
   for (std::uint32_t t = 0; t < num_threads_; ++t) {
     n += threads_[t].value.fast_hits();
+  }
+  return n;
+}
+
+std::uint64_t Detector::sync_fast_hits() const {
+  std::uint64_t n = 0;
+  for (std::uint32_t t = 0; t < num_threads_; ++t) {
+    n += threads_[t].value.sync_hits();
   }
   return n;
 }

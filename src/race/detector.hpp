@@ -5,25 +5,37 @@
 // record/replay engine uses; detected races are emitted as a RaceReport
 // whose site groups become replay gates.
 //
-// Hot-path architecture (three layers; see src/race/README.md):
+// Hot-path architecture (see src/race/README.md):
+//
+// Access path (three layers):
 //   1. same-epoch fast path — each thread's current packed Epoch is cached
 //      in its ThreadClock; on_read/on_write compare it against the slot's
 //      atomic epoch word with one relaxed load and return lock-free when
 //      the thread already accessed the variable at this epoch (FastTrack's
-//      [read/write same epoch] rules, >90% of accesses in practice).
+//      [read/write same epoch] rules, >90% of accesses in practice). The
+//      write fast path also subsumes this thread's own pending same-epoch
+//      read with one CAS, so strict write/read alternation keeps the write
+//      side lock-free.
 //   2. flat shard — misses take one shard spinlock over an open-addressing
 //      table of cache-line slots (ShadowMemory / FlatShadowTable).
-//   3. inflated tail — concurrent-reader VectorClocks live in a per-shard
-//      pool behind an index, keeping the common slot one cache line.
+//   3. inflated tail — concurrent-reader clocks are fixed-stride rows in
+//      the shared VClockArena, referenced by index, recycled per shard.
 //
-// Synchronization model:
-//   * locks (critical sections / named mutexes): acquire joins the lock's
-//     clock into the thread; release publishes the thread's clock and ticks.
-//     The lock table is striped so independent lock objects don't serialize.
-//   * atomics: modelled as a lock keyed by the atomic's site (RMW on the
-//     same counter synchronizes, so concurrent `omp atomic` updates are not
-//     reported — matching Tsan's treatment of C++ atomics)
-//   * barriers / fork / join: all-to-all or pairwise clock joins
+// Sync path (this file's second engine):
+//   * all clocks are arena rows (VClockArena): fixed stride, no per-clock
+//     allocation, unrolled word-loop joins.
+//   * locks/atomics: a striped flat sync-object table (FlatShadowTable of
+//     SyncState) replaces the old unordered_map-per-stripe. Acquire has a
+//     lock-free fast path: a sync object whose packed release word is
+//     unchanged since this thread's last join of it (or whose last release
+//     was by this thread) needs no join at all — one table probe plus one
+//     word compare (the FastTrack release-shortcut applied to our sync
+//     objects).
+//   * barrier/fork/join: the team barrier computes one aggregate clock and
+//     broadcasts it by reference — each thread clock carries a clean/dirty
+//     flag against the shared broadcast row, so an all-clean barrier (the
+//     barrier-heavy steady state) is O(T) total, not O(T²). Threads go
+//     dirty only when a join mutates them between barriers.
 #pragma once
 
 #include <atomic>
@@ -33,62 +45,160 @@
 #include <vector>
 
 #include "src/common/cacheline.hpp"
+#include "src/common/flat_shadow_table.hpp"
 #include "src/common/spinlock.hpp"
 #include "src/race/report.hpp"
 #include "src/race/shadow.hpp"
 #include "src/race/site.hpp"
-#include "src/race/vclock.hpp"
+#include "src/race/vclock_arena.hpp"
 
 namespace reomp::race {
 
-/// Per-thread clock handle. Owns the thread's vector clock C_t plus a
-/// cached packed copy of its current Epoch (t, C_t[t]) so the access fast
-/// path needs neither the threads array nor a VectorClock lookup. Obtain
-/// via Detector::thread_clock(tid) and pass to on_read/on_write; one
+/// Per-thread clock handle. Owns the thread's vector clock C_t (an arena
+/// row) plus a cached packed copy of its current Epoch (t, C_t[t]) so the
+/// access fast path needs neither the threads array nor a clock lookup.
+/// Obtain via Detector::thread_clock(tid) and pass to on_read/on_write; one
 /// handle is only ever used by its own thread's accesses.
+///
+/// Representation: after a barrier every thread's clock equals the shared
+/// broadcast row `base_` except its own component, so the row is left
+/// stale and `dirty_ = false` marks "C_t = base_ ∪ {tid: row_[tid]}".
+/// A join (acquire/fork/join) materializes the row first and sets dirty.
 class ThreadClock {
  public:
   [[nodiscard]] std::uint64_t epoch_bits() const {
     return epoch_bits_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint32_t tid() const { return tid_; }
-  [[nodiscard]] const VectorClock& clock() const { return vc_; }
 
-  /// Accesses answered by the lock-free fast path (diagnostics; summed by
-  /// Detector::fast_path_hits).
+  /// Component i of the logical clock C_t.
+  [[nodiscard]] std::uint64_t vc_get(std::uint32_t i) const {
+    return (dirty_ || i == tid_) ? row_.get(i) : base_.get(i);
+  }
+  /// Epoch e ⪯ C_t.
+  [[nodiscard]] bool vc_covers(Epoch e) const {
+    return e.is_zero() || e.clock() <= vc_get(e.tid());
+  }
+  /// other ⊑ C_t (used against read-shared rows).
+  [[nodiscard]] bool vc_covers(const ClockView& other) const {
+    if (dirty_) return row_.covers(other);
+    const std::uint64_t* ow = other.words();
+    const std::uint64_t* bw = base_.words();
+    for (std::uint32_t i = 0; i < other.stride(); ++i) {
+      if (ow[i] > bw[i] && !(i == tid_ && ow[i] <= row_.get(tid_))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Accesses answered by the lock-free access fast path (diagnostics;
+  /// summed by Detector::fast_path_hits).
   [[nodiscard]] std::uint64_t fast_hits() const {
     return fast_hits_.load(std::memory_order_relaxed);
+  }
+  /// Acquires answered by the release-shortcut (no join performed).
+  [[nodiscard]] std::uint64_t sync_hits() const {
+    return sync_hits_.load(std::memory_order_relaxed);
   }
 
  private:
   friend class Detector;
 
+  // Release-shortcut memo: the last sync objects this thread touched, the
+  // packed release word it joined, and the resolved table slot (valid
+  // while the stripe table's growth generation is unchanged — skips the
+  // probe entirely on the steady state). Direct-mapped; large enough that
+  // the typical handful of locks a thread cycles through all hit.
+  static constexpr std::uint32_t kMemoSlots = 8;
+  struct SyncMemo {
+    std::uint64_t key = 0;  // sync-table key; 0 = empty
+    std::uint64_t rel = 0;  // packed release word at join time (0 = none)
+    std::uint64_t gen = 0;  // stripe table generation `slot` belongs to
+    void* slot = nullptr;   // SyncState* in the stripe's live table
+  };
+
+  // Hot-race cache: the report-side dedup map sits behind one spinlock,
+  // which a racy loop would hammer once per occurrence. Each thread
+  // counts its recent pairs locally (relaxed atomics so report() can read
+  // them live); eviction flushes into the global map under the report
+  // lock. Sequentially this is count-exact; concurrently, report
+  // snapshots are as fuzzy as the old counter already was.
+  static constexpr std::uint32_t kRaceCacheSlots = 4;
+  static constexpr std::uint64_t kNoRaceKey = ~std::uint64_t{0};
+  struct RaceCache {
+    std::atomic<std::uint64_t> key{kNoRaceKey};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  /// Direct-mapped slot for `key` in the sync memo. on_acquire and
+  /// on_release must agree on this for the release-shortcut protocol.
+  SyncMemo& memo_slot(std::uint64_t key) {
+    return memo_[(key * 0x9e3779b97f4a7c15ULL >> 32) & (kMemoSlots - 1)];
+  }
+  /// Direct-mapped slot for a packed race-pair key in the hot-pair cache.
+  RaceCache& race_slot(std::uint64_t key) {
+    return race_cache_[(key * 0x9e3779b97f4a7c15ULL >> 32) &
+                       (kRaceCacheSlots - 1)];
+  }
+
   void refresh_epoch() {
-    epoch_bits_.store(Epoch(tid_, vc_.get(tid_)).bits(),
+    epoch_bits_.store(Epoch(tid_, row_.get(tid_)).bits(),
                       std::memory_order_relaxed);
   }
   void count_fast_hit() {
     fast_hits_.store(fast_hits_.load(std::memory_order_relaxed) + 1,
                      std::memory_order_relaxed);
   }
+  void count_sync_hit() {
+    sync_hits_.store(sync_hits_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  }
 
-  VectorClock vc_;  // C_t; mutated by own thread + barrier/fork/join
+  /// Make row_ hold the full logical clock (copy the broadcast base over,
+  /// keep the authoritative own component).
+  void materialize() {
+    if (dirty_) return;
+    const std::uint64_t own = row_.get(tid_);
+    row_.copy_from(base_);
+    row_.set(tid_, own);
+    dirty_ = true;
+  }
+  /// Copy the logical clock into `dst` (release publishing a lock clock).
+  void copy_logical(ClockView dst) const {
+    dst.copy_from(dirty_ ? row_ : base_);
+    if (!dirty_) dst.set(tid_, row_.get(tid_));
+  }
+
+  ClockView row_;   // arena row; own component always authoritative
+  ClockView base_;  // the detector's shared barrier-broadcast row
   std::uint32_t tid_ = 0;
+  bool dirty_ = false;  // row_ diverged from base_ since the last barrier
+  // Bumped whenever a *non-own* component of the logical clock can have
+  // changed (joins, barriers). Own ticks are excluded: they are what the
+  // release one-word shortcut re-publishes. See Detector::on_release.
+  std::uint64_t mut_gen_ = 0;
+  SyncMemo memo_[kMemoSlots];
+  RaceCache race_cache_[kRaceCacheSlots];
   // Atomic because barrier/fork/join (run by a peer) refresh it; the owner
   // reads it relaxed on every access.
   std::atomic<std::uint64_t> epoch_bits_{0};
   std::atomic<std::uint64_t> fast_hits_{0};
+  std::atomic<std::uint64_t> sync_hits_{0};
 };
 
 class Detector {
  public:
-  /// `shadow_shards` is validated via ShadowMemory::validated_shard_count
-  /// (rounded up to a power of two, clamped to [1, kMaxShards]; note 0
-  /// clamps to a single shard, not the default). Throws
-  /// std::invalid_argument when num_threads is 0 or exceeds
+  static constexpr std::uint32_t kDefaultSyncStripes = 64;
+
+  /// `shadow_shards` and `sync_stripes` are validated via
+  /// ShadowMemory::validated_shard_count (rounded up to a power of two,
+  /// clamped to [1, kMaxShards]; note 0 clamps to 1, not the default).
+  /// Throws std::invalid_argument when num_threads is 0 or exceeds
   /// kMaxDetectorThreads (Epoch's 8-bit tid field).
   Detector(std::uint32_t num_threads, SiteRegistry& sites,
-           std::uint32_t shadow_shards = ShadowMemory::kDefaultShards);
+           std::uint32_t shadow_shards = ShadowMemory::kDefaultShards,
+           std::uint32_t sync_stripes = kDefaultSyncStripes);
 
   /// The per-thread handle; cache it in worker state so the access hot
   /// path is a single call with no tid indirection.
@@ -109,7 +219,8 @@ class Detector {
   // ---- synchronization ----
   void on_acquire(std::uint32_t tid, std::uint64_t lock_id);
   void on_release(std::uint32_t tid, std::uint64_t lock_id);
-  /// All-to-all: every thread's clock joins every other's (team barrier).
+  /// Team barrier: aggregate join + broadcast (O(T) when no thread joined
+  /// since the previous barrier; O(T) per dirty thread otherwise).
   void on_barrier();
   /// Pairwise: child starts with parent's clock (fork), parent joins the
   /// child's clock (join).
@@ -123,32 +234,75 @@ class Detector {
   [[nodiscard]] std::uint64_t races_observed() const;
   [[nodiscard]] std::uint32_t num_threads() const { return num_threads_; }
   [[nodiscard]] std::uint64_t fast_path_hits() const;
+  /// Acquires answered by the release-shortcut across all threads.
+  [[nodiscard]] std::uint64_t sync_fast_hits() const;
   [[nodiscard]] const ShadowMemory& shadow() const { return shadow_; }
+  [[nodiscard]] std::uint32_t sync_stripe_count() const {
+    return stripe_mask_ + 1;
+  }
+  [[nodiscard]] const VClockArena& arena() const { return arena_; }
 
  private:
-  // Named locks are striped by lock id so independent lock objects don't
-  // serialize through one global map mutex (they did, pre-refactor).
-  static constexpr std::uint32_t kLockStripes = 64;  // power of two
-  struct alignas(kCacheLineSize) LockStripe {
+  /// Sync object (named lock / atomic site). Its logical clock is
+  ///
+  ///     L  =  row(clock)  ⊔  { e.tid : e.clock }   where e = rel_word
+  ///
+  /// — an arena row holding the last *full* publish plus the releasing
+  /// thread's packed Epoch. The epoch word doubles as the version: every
+  /// release re-stores it, own clocks are strictly monotone, so "unchanged
+  /// word" ⇒ "unchanged lock clock", which is what the acquire shortcut
+  /// compares lock-free. A same-owner re-release whose non-own components
+  /// didn't move (owner_gen == the owner's mut_gen_) only advances the
+  /// epoch component — one lock-free release-store, no row copy, no
+  /// stripe lock. 0 = never released (empty clock; acquire is a no-op).
+  struct SyncState {
+    std::atomic<std::uint64_t> rel_word{0};  // releaser's packed Epoch bits
+    std::uint32_t clock = kNoReadVc;  // arena row; stripe-locked
+    // The releasing thread's mut_gen_ at the last full publish.
+    std::atomic<std::uint64_t> owner_gen{0};
+
+    SyncState() = default;
+    SyncState& operator=(const SyncState& o) {  // FlatShadowTable growth
+      rel_word.store(o.rel_word.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+      clock = o.clock;
+      owner_gen.store(o.owner_gen.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      return *this;
+    }
+  };
+  /// Table key for a lock id: 2*id+1 is injective and never 0 (the flat
+  /// table's empty marker), so lock id 0 — a perfectly valid site id — is
+  /// representable.
+  static constexpr std::uint64_t sync_key(std::uint64_t lock_id) {
+    return 2 * lock_id + 1;
+  }
+
+  struct alignas(kCacheLineSize) SyncStripe {
     Spinlock mu;
-    std::unordered_map<std::uint64_t, VectorClock> locks;
+    FlatShadowTable<SyncState> table{/*initial_capacity=*/8};
   };
 
-  void record_race(SiteId a, SiteId b);
+  void record_race(ThreadClock& tc, SiteId a, SiteId b);
   void read_slow(ThreadClock& tc, std::uintptr_t addr, SiteId site);
   void write_slow(ThreadClock& tc, std::uintptr_t addr, SiteId site);
+  /// dst := dst ⊔ C_src (materializes dst first). Collective-path helper.
+  void join_logical(ThreadClock& dst, const ThreadClock& src);
 
-  LockStripe& stripe(std::uint64_t lock_id) {
+  SyncStripe& stripe(std::uint64_t lock_id) {
     const std::uint64_t h = lock_id * 0x9e3779b97f4a7c15ULL;
-    return lock_stripes_[(h >> 32) & (kLockStripes - 1)];
+    return sync_stripes_[(h >> 32) & stripe_mask_];
   }
 
   SiteRegistry& sites_;
   std::uint32_t num_threads_;
+  VClockArena arena_;  // before threads_/shadow_: they hold rows in it
   std::unique_ptr<CachePadded<ThreadClock>[]> threads_;
-  mutable Spinlock threads_mu_;  // guards barrier/fork/join vs each other
+  ClockView barrier_clock_;       // the shared broadcast row ("base")
+  mutable Spinlock collective_mu_;  // barrier/fork/join vs each other
 
-  std::unique_ptr<LockStripe[]> lock_stripes_;
+  std::uint32_t stripe_mask_;
+  std::unique_ptr<SyncStripe[]> sync_stripes_;
 
   ShadowMemory shadow_;
 

@@ -10,7 +10,8 @@ std::uint32_t ShadowMemory::validated_shard_count(std::uint32_t requested) {
   return p;
 }
 
-ShadowMemory::ShadowMemory(std::uint32_t shard_count) {
+ShadowMemory::ShadowMemory(VClockArena& arena, std::uint32_t shard_count)
+    : arena_(&arena) {
   const std::uint32_t n = validated_shard_count(shard_count);
   shards_ = std::make_unique<Shard[]>(n);
   mask_ = n - 1;
@@ -20,19 +21,18 @@ std::uint32_t ShadowMemory::VarAccess::alloc_vc() {
   if (!shard_.vc_free.empty()) {
     const std::uint32_t idx = shard_.vc_free.back();
     shard_.vc_free.pop_back();
-    shard_.vc_pool[idx] = VectorClock();  // cleared; set() grows on demand
+    arena_.view(idx).clear();
     return idx;
   }
-  shard_.vc_pool.emplace_back();
-  return static_cast<std::uint32_t>(shard_.vc_pool.size() - 1);
+  return arena_.alloc();
 }
 
 void ShadowMemory::VarAccess::free_vc(std::uint32_t idx) {
   shard_.vc_free.push_back(idx);
 }
 
-VectorClock& ShadowMemory::VarAccess::vc(std::uint32_t idx) {
-  return shard_.vc_pool[idx];
+ClockView ShadowMemory::VarAccess::vc(std::uint32_t idx) const {
+  return arena_.view(idx);
 }
 
 std::size_t ShadowMemory::tracked_variables() const {

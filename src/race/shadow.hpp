@@ -8,9 +8,10 @@
 //     answer "same thread, same epoch?" with one relaxed load and no lock.
 //   layer 2 — flat shard: each shard is an open-addressing FlatShadowTable
 //     of cache-line-aligned slots (lock-free find, locked mutation).
-//   layer 3 — inflated tail: the rare read-shared VectorClock lives in a
-//     per-shard pool, referenced from the slot by index, so the common slot
-//     stays one cache line regardless of thread count.
+//   layer 3 — inflated tail: the rare read-shared clock is a fixed-stride
+//     row in the detector's shared VClockArena, referenced from the slot by
+//     row index, so the common slot stays one cache line and inflation
+//     costs no allocation once the shard's free list warms up.
 #pragma once
 
 #include <atomic>
@@ -21,7 +22,7 @@
 #include "src/common/flat_shadow_table.hpp"
 #include "src/common/spinlock.hpp"
 #include "src/race/site.hpp"
-#include "src/race/vclock.hpp"
+#include "src/race/vclock_arena.hpp"
 
 namespace reomp::race {
 
@@ -29,17 +30,22 @@ namespace reomp::race {
 inline constexpr std::uint32_t kNoReadVc = ~std::uint32_t{0};
 
 /// Per-variable state. Atomic fields are readable lock-free (the detector's
-/// fast path compares epoch + site); everything else is guarded by the
-/// owning shard's lock. Fits one cache line together with the table key.
+/// fast paths compare epochs + site, and the write fast path additionally
+/// needs to rule out a read-shared clock); everything else is guarded by
+/// the owning shard's lock. Fits one cache line together with the table key.
 struct VarState {
   std::atomic<std::uint64_t> write_epoch{0};  // packed Epoch bits; 0 = never
   std::atomic<std::uint64_t> read_epoch{0};   // last read's packed epoch
   std::atomic<SiteId> write_site{kInvalidSite};
   std::atomic<SiteId> read_site{kInvalidSite};
-  // Index into the shard's read-vc pool while read-shared, else kNoReadVc.
-  std::uint32_t read_vc = kNoReadVc;
+  // Arena row of the read-shared clock while inflated, else kNoReadVc.
+  // Atomic (relaxed) so the write fast path can rule out shared state
+  // without the shard lock; transitions still happen under the lock.
+  std::atomic<std::uint32_t> read_vc{kNoReadVc};
 
-  [[nodiscard]] bool read_shared() const { return read_vc != kNoReadVc; }
+  [[nodiscard]] bool read_shared() const {
+    return read_vc.load(std::memory_order_relaxed) != kNoReadVc;
+  }
 
   VarState() = default;
   // Copy-assignment exists solely for FlatShadowTable growth, which runs
@@ -53,7 +59,8 @@ struct VarState {
                      std::memory_order_relaxed);
     read_site.store(o.read_site.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
-    read_vc = o.read_vc;
+    read_vc.store(o.read_vc.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
     return *this;
   }
 };
@@ -61,7 +68,9 @@ struct VarState {
 /// Address-keyed shard table. Mutation locking is per shard; lookups for
 /// the fast path are lock-free. The shard count is fixed at construction
 /// (power of two; see validated_shard_count) and tunable via
-/// Options::shadow_shards / REOMP_SHADOW_SHARDS.
+/// Options::shadow_shards / REOMP_SHADOW_SHARDS. The arena (owned by the
+/// detector, shared with its thread clocks and sync objects) must outlive
+/// the shadow memory.
 class ShadowMemory {
   struct Shard;
 
@@ -73,12 +82,13 @@ class ShadowMemory {
   /// A non-power-of-two shard count would make the shard mask drop buckets.
   static std::uint32_t validated_shard_count(std::uint32_t requested);
 
-  explicit ShadowMemory(std::uint32_t shard_count = kDefaultShards);
+  explicit ShadowMemory(VClockArena& arena,
+                        std::uint32_t shard_count = kDefaultShards);
 
-  /// Lock-free lookup for the same-epoch fast path. Null when the address
+  /// Lock-free lookup for the same-epoch fast paths. Null when the address
   /// has never been accessed. Only the atomic fields of the result may be
-  /// read without holding the shard lock.
-  [[nodiscard]] const VarState* find_fast(std::uintptr_t addr) const {
+  /// touched without holding the shard lock.
+  [[nodiscard]] VarState* find_fast(std::uintptr_t addr) const {
     return shard(addr).table.find(addr);
   }
 
@@ -87,16 +97,19 @@ class ShadowMemory {
    public:
     VarState& state;
 
-    /// Allocate a cleared VectorClock from the pool; returns its index.
+    /// Allocate a cleared clock row (recycled from the shard's free list
+    /// when possible); returns its arena row index.
     std::uint32_t alloc_vc();
-    /// Return a vc to the pool (called when a write collapses read-shared).
+    /// Return a row to the pool (called when a write collapses read-shared).
     void free_vc(std::uint32_t idx);
-    [[nodiscard]] VectorClock& vc(std::uint32_t idx);
+    [[nodiscard]] ClockView vc(std::uint32_t idx) const;
 
    private:
     friend class ShadowMemory;
-    VarAccess(VarState& s, Shard& sh) : state(s), shard_(sh) {}
+    VarAccess(VarState& s, Shard& sh, VClockArena& a)
+        : state(s), shard_(sh), arena_(a) {}
     Shard& shard_;
+    VClockArena& arena_;
   };
 
   /// Run `fn(VarAccess&)` with the shard lock held (the slow path).
@@ -104,7 +117,7 @@ class ShadowMemory {
   void with(std::uintptr_t addr, Fn&& fn) {
     Shard& s = shard(addr);
     LockGuard<Spinlock> lock(s.lock);
-    VarAccess access(s.table.get_or_insert(addr), s);
+    VarAccess access(s.table.get_or_insert(addr), s, *arena_);
     fn(access);
   }
 
@@ -119,15 +132,12 @@ class ShadowMemory {
   struct alignas(kCacheLineSize) Shard {
     Spinlock lock;
     FlatShadowTable<VarState> table;
-    // Read-shared VectorClock pool: indexed by VarState::read_vc, recycled
-    // through free_list when writes collapse the shared state.
-    std::vector<VectorClock> vc_pool;
+    // Recycled read-shared rows: indexed by VarState::read_vc, returned
+    // here when writes collapse the shared state.
     std::vector<std::uint32_t> vc_free;
   };
 
-  Shard& shard(std::uintptr_t addr) {
-    return shards_[shard_index(addr)];
-  }
+  Shard& shard(std::uintptr_t addr) { return shards_[shard_index(addr)]; }
   const Shard& shard(std::uintptr_t addr) const {
     return shards_[shard_index(addr)];
   }
@@ -137,6 +147,7 @@ class ShadowMemory {
     return (h >> 32) & mask_;
   }
 
+  VClockArena* arena_;
   std::unique_ptr<Shard[]> shards_;
   std::uint32_t mask_;
 };

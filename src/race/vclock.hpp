@@ -1,8 +1,12 @@
 // Vector clocks for the happens-before race detector.
 //
-// Thread count is fixed at detector construction, so clocks are plain
-// fixed-length vectors; epochs (tid, clock) pack into one word as in
-// FastTrack (Flanagan & Freund, PLDI'09).
+// Epochs (tid, clock) pack into one word as in FastTrack (Flanagan &
+// Freund, PLDI'09). The heap-vector VectorClock below is the *reference*
+// representation: ReferenceDetector (the oracle/baseline) and the tests
+// use it. The production Detector stores every clock as a fixed-stride
+// arena row instead — see src/race/vclock_arena.hpp — so its hot ops have
+// no grow() branch and no per-clock allocation. Keep this class boring;
+// optimizations belong in the arena.
 #pragma once
 
 #include <algorithm>

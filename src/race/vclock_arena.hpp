@@ -1,0 +1,192 @@
+// Arena-backed vector clocks: the storage layer of the detector's sync path.
+//
+// The detector fixes its thread count at construction, so every clock it
+// ever needs is the same length. Instead of one heap std::vector per clock
+// (a pointer chase plus a grow() branch inside get/set/tick/join — the seed
+// VectorClock, still used by ReferenceDetector), clocks live as fixed-stride
+// rows in chunked slabs:
+//
+//   * no per-clock allocation: alloc() hands out a row index; freed rows are
+//     recycled by the caller's own free list (shadow shards, sync stripes);
+//   * no grow() branch on hot ops: the stride is fixed, get/set/tick are a
+//     bare indexed load/store;
+//   * joins are a branch-free 4-wide-unrolled max loop over contiguous
+//     words — the stride is padded to a multiple of 8 words (one cache
+//     line), and padding words are permanently zero, so the loop needs no
+//     tail handling;
+//   * rows have stable addresses: chunks are never reallocated, and the
+//     chunk pointer table is preallocated, so view() is safe concurrently
+//     with alloc() from another shard/stripe.
+//
+// The stride never grows ("growth cap"): a tid >= num_threads is a caller
+// bug, asserted in debug builds. kMaxDetectorThreads (Epoch's 8-bit tid)
+// bounds the stride at 256 words.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "src/common/spinlock.hpp"
+#include "src/race/vclock.hpp"
+
+namespace reomp::race {
+
+/// Non-owning view of one arena row. Cheap to copy (pointer + length);
+/// all operations are over the padded stride so the unrolled loops never
+/// need a tail. Ops on component indices assume tid < num_threads (the
+/// detector validates its tids once, at construction).
+class ClockView {
+ public:
+  ClockView() = default;
+  ClockView(std::uint64_t* words, std::uint32_t stride)
+      : w_(words), n_(stride) {}
+
+  [[nodiscard]] bool valid() const { return w_ != nullptr; }
+  [[nodiscard]] std::uint32_t stride() const { return n_; }
+  [[nodiscard]] const std::uint64_t* words() const { return w_; }
+
+  [[nodiscard]] std::uint64_t get(std::uint32_t tid) const {
+    assert(tid < n_);
+    return w_[tid];
+  }
+  void set(std::uint32_t tid, std::uint64_t v) {
+    assert(tid < n_);
+    w_[tid] = v;
+  }
+  void tick(std::uint32_t tid) {
+    assert(tid < n_);
+    ++w_[tid];
+  }
+
+  /// this := this ⊔ other (pointwise max). Branch-free 4-wide unroll; both
+  /// views must come from arenas of the same stride.
+  void join(const ClockView& other) {
+    assert(other.n_ == n_);
+    std::uint64_t* a = w_;
+    const std::uint64_t* b = other.w_;
+    for (std::uint32_t i = 0; i < n_; i += 4) {
+      const std::uint64_t m0 = a[i + 0] < b[i + 0] ? b[i + 0] : a[i + 0];
+      const std::uint64_t m1 = a[i + 1] < b[i + 1] ? b[i + 1] : a[i + 1];
+      const std::uint64_t m2 = a[i + 2] < b[i + 2] ? b[i + 2] : a[i + 2];
+      const std::uint64_t m3 = a[i + 3] < b[i + 3] ? b[i + 3] : a[i + 3];
+      a[i + 0] = m0;
+      a[i + 1] = m1;
+      a[i + 2] = m2;
+      a[i + 3] = m3;
+    }
+  }
+
+  /// Epoch e ⪯ this clock?
+  [[nodiscard]] bool covers(Epoch e) const {
+    return e.is_zero() || e.clock() <= get(e.tid());
+  }
+
+  /// Every component of `other` <= this (other ⊑ this).
+  [[nodiscard]] bool covers(const ClockView& other) const {
+    assert(other.n_ == n_);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (other.w_[i] > w_[i]) return false;
+    }
+    return true;
+  }
+
+  void copy_from(const ClockView& other) {
+    assert(other.n_ == n_);
+    std::memcpy(w_, other.w_, std::size_t{n_} * sizeof(std::uint64_t));
+  }
+  void clear() { std::memset(w_, 0, std::size_t{n_} * sizeof(std::uint64_t)); }
+
+ private:
+  std::uint64_t* w_ = nullptr;
+  std::uint32_t n_ = 0;
+};
+
+/// Fixed-stride clock arena. alloc() is thread-safe (callers allocate from
+/// different shards/stripes concurrently); view() is safe concurrently with
+/// alloc() because chunks are stable and the chunk-pointer table is
+/// preallocated. Freeing is the caller's job: keep the index in a free list
+/// and clear() the row on reuse — the inflate/collapse cycle of the shadow
+/// memory's read-share pool.
+class VClockArena {
+ public:
+  /// Rows per chunk; one chunk allocation covers this many clocks.
+  static constexpr std::uint32_t kRowsPerChunk = 64;
+  /// Hard cap on live rows (a leak guard, not a tuning knob: shards and
+  /// stripes recycle rows, so reaching it means a free-list bug).
+  static constexpr std::uint32_t kMaxRows = 1u << 22;
+
+  /// Words per row for `num_threads` components: padded to a whole cache
+  /// line (multiple of 8 words) so the join unroll needs no tail and rows
+  /// never straddle lines gratuitously.
+  static constexpr std::uint32_t stride_for(std::uint32_t num_threads) {
+    return (num_threads + 7u) & ~7u;
+  }
+
+  explicit VClockArena(std::uint32_t num_threads)
+      : stride_(stride_for(num_threads)),
+        chunks_(std::make_unique<std::atomic<std::uint64_t*>[]>(
+            kMaxRows / kRowsPerChunk)) {
+    if (num_threads == 0 || num_threads > kMaxDetectorThreads) {
+      throw std::invalid_argument("VClockArena supports 1..256 threads; got " +
+                                  std::to_string(num_threads));
+    }
+  }
+
+  VClockArena(const VClockArena&) = delete;
+  VClockArena& operator=(const VClockArena&) = delete;
+
+  ~VClockArena() {
+    for (std::uint32_t c = 0; c * kRowsPerChunk < next_row_; ++c) {
+      delete[] chunks_[c].load(std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t stride() const { return stride_; }
+  [[nodiscard]] std::uint32_t allocated_rows() const {
+    return next_row_.load(std::memory_order_relaxed);
+  }
+
+  /// Allocate one zeroed row and return its index. Thread-safe.
+  std::uint32_t alloc() {
+    LockGuard<Spinlock> lock(mu_);
+    const std::uint32_t row = next_row_.load(std::memory_order_relaxed);
+    if (row >= kMaxRows) {
+      throw std::runtime_error(
+          "VClockArena exhausted (free-list leak? " +
+          std::to_string(kMaxRows) + " rows live)");
+    }
+    const std::uint32_t chunk = row / kRowsPerChunk;
+    if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr) {
+      // Value-initialized => zeroed; release pairs with view()'s acquire so
+      // a concurrent reader of a just-handed-out index sees zeroed words.
+      chunks_[chunk].store(
+          new std::uint64_t[std::size_t{kRowsPerChunk} * stride_](),
+          std::memory_order_release);
+    }
+    next_row_.store(row + 1, std::memory_order_relaxed);
+    return row;
+  }
+
+  /// View of an allocated row. Safe concurrently with alloc().
+  [[nodiscard]] ClockView view(std::uint32_t row) const {
+    assert(row < next_row_.load(std::memory_order_relaxed));
+    std::uint64_t* chunk =
+        chunks_[row / kRowsPerChunk].load(std::memory_order_acquire);
+    return ClockView(chunk + std::size_t{row % kRowsPerChunk} * stride_,
+                     stride_);
+  }
+
+ private:
+  std::uint32_t stride_;
+  Spinlock mu_;  // serializes alloc (rare: pool misses only)
+  std::atomic<std::uint32_t> next_row_{0};
+  // Preallocated pointer table: view() never touches a growable container.
+  std::unique_ptr<std::atomic<std::uint64_t*>[]> chunks_;
+};
+
+}  // namespace reomp::race

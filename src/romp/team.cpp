@@ -28,7 +28,8 @@ Team::Team(TeamOptions opt) : opt_(std::move(opt)) {
   engine_ = std::make_unique<core::Engine>(opt_.engine);
   if (opt_.detect) {
     detector_ = std::make_unique<race::Detector>(opt_.num_threads, sites_,
-                                                 opt_.engine.shadow_shards);
+                                                 opt_.engine.shadow_shards,
+                                                 opt_.engine.sync_stripes);
   }
 
   if (opt_.pin_threads) pin_current_thread(0);

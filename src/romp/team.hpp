@@ -125,12 +125,16 @@ class Team {
   void critical(WorkerCtx& w, Handle h, Fn&& fn) {
     switch (kind_) {
       case RunKind::kOff: {
-        std::lock_guard<std::mutex> lock(off_mutex_);
+        std::lock_guard<std::mutex> lock(crit_mutex(h));
         fn();
         return;
       }
       case RunKind::kDetect: {
-        std::lock_guard<std::mutex> lock(off_mutex_);
+        // Per-site mutex stripe, not one global: named criticals only
+        // exclude same-named sections (OpenMP semantics), and a global
+        // lock here would serialize the whole detect run and mask the
+        // detector's striped sync table entirely.
+        std::lock_guard<std::mutex> lock(crit_mutex(h));
         detector_->on_acquire(w.tid, h.site);
         fn();
         detector_->on_release(w.tid, h.site);
@@ -242,7 +246,14 @@ class Team {
   race::SiteRegistry sites_;
   std::unique_ptr<race::Detector> detector_;
 
-  std::mutex off_mutex_;  // critical-section fallback in off/detect modes
+  // Critical-section mutexes for off/detect modes, striped by site id so
+  // independent named criticals run concurrently (same-stripe collisions
+  // only over-serialize, never under-lock).
+  static constexpr std::uint32_t kCritStripes = 16;
+  std::mutex& crit_mutex(Handle h) {
+    return crit_mu_[(h.site * 0x9e3779b9u >> 16) % kCritStripes];
+  }
+  std::mutex crit_mu_[kCritStripes];
 
   // Fork-join pool (workers are tids 1..N-1; the caller is tid 0).
   std::vector<std::thread> workers_;

@@ -41,6 +41,14 @@ constexpr std::uint64_t decoded_bytes_upper_bound(std::uint64_t encoded_bytes) {
 /// k-th recorded access — see st_strategy.hpp.
 struct DecodedSchedule {
   std::vector<RecordEntry> entries;
+  // DE prefetch only (filled by Engine::open_replay_streams, else empty):
+  // epoch_size[k] is the total member count, across all threads, of the
+  // epoch entry k belongs to — or 0 when the owning gate's epochs are not
+  // contiguous clock blocks (history-capped runs overlap their admission
+  // windows) and replay must fall back to the shared completion counter.
+  // Lets DE replay_gate_out use a per-epoch counter + one release store
+  // instead of a fetch_add on the cache line every waiter spins on.
+  std::vector<std::uint32_t> epoch_size;
   std::size_t pos = 0;  // advanced by the owning replay thread only
 
   [[nodiscard]] bool exhausted() const { return pos >= entries.size(); }
@@ -48,6 +56,7 @@ struct DecodedSchedule {
 
   void clear() {
     entries.clear();
+    epoch_size.clear();
     pos = 0;
   }
 

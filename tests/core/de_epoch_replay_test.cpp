@@ -1,0 +1,164 @@
+// DE prefetch replay: per-epoch completion counters.
+//
+// PR 3 left DE replay_gate_out on a shared fetch_add (ROADMAP open item);
+// the annotated-schedule protocol replaces it with a per-epoch counter plus
+// one release store when each gate's epochs form contiguous clock blocks.
+// These tests pin down (a) the annotation itself, (b) full replay through
+// multi-member epochs, and (c) the fallback to the shared counter when a
+// history-capped record produces overlapping admission windows.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/core/bundle.hpp"
+#include "src/core/engine.hpp"
+
+namespace reomp::core {
+namespace {
+
+/// Record a DE workload from one OS thread in a fixed global order.
+/// Each round: both threads load gate L (commuting -> shared epochs), then
+/// thread 0 does a kOther on gate C (epoch break), then both threads store
+/// gate S (pending-store resolution path).
+RecordBundle record_de(std::uint32_t rounds, std::uint32_t history_cap) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = Strategy::kDE;
+  opt.num_threads = 2;
+  opt.history_capacity = history_cap;
+  Engine eng(opt);
+  const GateId l = eng.register_gate("L");
+  const GateId c = eng.register_gate("C");
+  const GateId s = eng.register_gate("S");
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    for (ThreadId t : {0u, 1u}) {
+      ThreadCtx& ctx = eng.thread_ctx(t);
+      eng.gate_in(ctx, l, AccessKind::kLoad);
+      eng.gate_out(ctx, l, AccessKind::kLoad);
+    }
+    {
+      ThreadCtx& ctx = eng.thread_ctx(0);
+      eng.gate_in(ctx, c, AccessKind::kOther);
+      eng.gate_out(ctx, c, AccessKind::kOther);
+    }
+    for (ThreadId t : {0u, 1u}) {
+      ThreadCtx& ctx = eng.thread_ctx(t);
+      eng.gate_in(ctx, s, AccessKind::kStore);
+      eng.gate_out(ctx, s, AccessKind::kStore);
+    }
+  }
+  eng.finalize();
+  return eng.take_bundle();
+}
+
+void drive_de(Engine& eng, std::uint32_t rounds) {
+  const GateId l = eng.register_gate("L");
+  const GateId c = eng.register_gate("C");
+  const GateId s = eng.register_gate("S");
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    for (ThreadId t : {0u, 1u}) {
+      ThreadCtx& ctx = eng.thread_ctx(t);
+      eng.gate_in(ctx, l, AccessKind::kLoad);
+      eng.gate_out(ctx, l, AccessKind::kLoad);
+    }
+    {
+      ThreadCtx& ctx = eng.thread_ctx(0);
+      eng.gate_in(ctx, c, AccessKind::kOther);
+      eng.gate_out(ctx, c, AccessKind::kOther);
+    }
+    for (ThreadId t : {0u, 1u}) {
+      ThreadCtx& ctx = eng.thread_ctx(t);
+      eng.gate_in(ctx, s, AccessKind::kStore);
+      eng.gate_out(ctx, s, AccessKind::kStore);
+    }
+  }
+}
+
+Engine make_de_replay(const RecordBundle& bundle, bool prefetch) {
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = Strategy::kDE;
+  opt.num_threads = 2;
+  opt.replay_prefetch = prefetch;
+  opt.bundle = &bundle;
+  return Engine(opt);
+}
+
+TEST(DeEpochReplay, SchedulesAnnotatedWithEpochSizes) {
+  const RecordBundle bundle = record_de(/*rounds=*/3, /*history_cap=*/1u << 20);
+  Engine eng = make_de_replay(bundle, /*prefetch=*/true);
+  for (ThreadId t : {0u, 1u}) {
+    const ThreadCtx& ctx = eng.thread_ctx(t);
+    ASSERT_EQ(ctx.sched.epoch_size.size(), ctx.sched.entries.size());
+    std::uint64_t multi = 0;
+    for (std::size_t k = 0; k < ctx.sched.entries.size(); ++k) {
+      // Every gate here records exact X_C (no capping), so every entry
+      // must carry a nonzero epoch size.
+      ASSERT_GT(ctx.sched.epoch_size[k], 0u) << "thread " << t << " #" << k;
+      if (ctx.sched.epoch_size[k] > 1) ++multi;
+    }
+    // The commuting loads (and paired stores) form multi-member epochs.
+    EXPECT_GT(multi, 0u) << "thread " << t;
+  }
+}
+
+TEST(DeEpochReplay, StreamingReplayCarriesNoAnnotation) {
+  const RecordBundle bundle = record_de(3, 1u << 20);
+  Engine eng = make_de_replay(bundle, /*prefetch=*/false);
+  for (ThreadId t : {0u, 1u}) {
+    EXPECT_TRUE(eng.thread_ctx(t).sched.epoch_size.empty());
+  }
+}
+
+TEST(DeEpochReplay, MultiMemberEpochsReplayToCompletion) {
+  constexpr std::uint32_t kRounds = 5;
+  const RecordBundle bundle = record_de(kRounds, 1u << 20);
+  Engine eng = make_de_replay(bundle, true);
+  drive_de(eng, kRounds);
+  EXPECT_NO_THROW(eng.finalize());
+  EXPECT_EQ(eng.total_events(), kRounds * 5u);
+}
+
+TEST(DeEpochReplay, HistoryCappedGatesFallBackToSharedCounter) {
+  // history_cap=1 truncates X_C on long commuting runs, producing epoch
+  // values whose admission windows overlap — not contiguous blocks. The
+  // annotation must flag those gates (epoch_size 0) and replay must
+  // complete through the shared fetch_add exactly as before.
+  constexpr std::uint32_t kRounds = 6;
+  const RecordBundle bundle = record_de(kRounds, /*history_cap=*/1);
+  Engine eng = make_de_replay(bundle, true);
+  bool saw_fallback = false;
+  for (ThreadId t : {0u, 1u}) {
+    for (const std::uint32_t k : eng.thread_ctx(t).sched.epoch_size) {
+      if (k == 0) saw_fallback = true;
+    }
+  }
+  EXPECT_TRUE(saw_fallback);
+  drive_de(eng, kRounds);
+  EXPECT_NO_THROW(eng.finalize());
+  EXPECT_EQ(eng.total_events(), kRounds * 5u);
+}
+
+TEST(DeEpochReplay, TruncatedStreamStillDivergesIdentically) {
+  // The divergence surface must not change with the new gate_out protocol:
+  // replaying one round beyond a shorter record trips the same "beyond the
+  // end of its record stream" error as the streaming baseline.
+  const RecordBundle bundle = record_de(2, 1u << 20);
+  std::string prefetch_msg;
+  std::string streaming_msg;
+  for (const bool prefetch : {true, false}) {
+    Engine eng = make_de_replay(bundle, prefetch);
+    try {
+      drive_de(eng, 3);
+      FAIL() << "expected ReplayDivergence";
+    } catch (const ReplayDivergence& e) {
+      (prefetch ? prefetch_msg : streaming_msg) = e.what();
+    }
+  }
+  EXPECT_FALSE(prefetch_msg.empty());
+  EXPECT_EQ(prefetch_msg, streaming_msg);
+}
+
+}  // namespace
+}  // namespace reomp::core

@@ -40,12 +40,27 @@ struct Op {
   bool is_join = false;
 };
 
-/// Generate a random but well-formed trace: reads/writes dominate, locks
-/// are acquired and released by the same thread in order, barriers and
-/// fork/join edges appear occasionally.
+/// Cumulative op-mix thresholds out of 100 for the trace generator. The
+/// default reproduces the access-dominated mix PR 1 shipped with; the
+/// sync-heavy profile stresses the arena sync path: deep nested locks,
+/// repeated barriers, and fork/join trees outnumber plain accesses.
+struct TraceProfile {
+  std::uint64_t read = 40;      // dice < read            -> read
+  std::uint64_t write = 72;     // dice < write           -> write
+  std::uint64_t acquire = 82;   // dice < acquire         -> acquire (nested)
+  std::uint64_t release = 92;   // dice < release         -> release (LIFO)
+  std::uint64_t barrier = 96;   // dice < barrier         -> barrier
+};                              // else                   -> fork or join
+
+inline constexpr TraceProfile kSyncHeavy{20, 32, 60, 82, 92};
+
+/// Generate a random but well-formed trace: locks are acquired and
+/// released by the same thread in LIFO order (so nesting is arbitrary but
+/// sane), barriers and fork/join edges appear per the profile.
 std::vector<Op> make_trace(std::uint64_t seed, std::uint32_t threads,
                            std::uint32_t vars, std::uint32_t locks,
-                           std::uint32_t sites, std::size_t length) {
+                           std::uint32_t sites, std::size_t length,
+                           TraceProfile profile = {}) {
   Xoshiro256 rng(seed);
   std::vector<Op> trace;
   trace.reserve(length + threads * locks);
@@ -57,17 +72,17 @@ std::vector<Op> make_trace(std::uint64_t seed, std::uint32_t threads,
     op.tid = static_cast<std::uint32_t>(rng.next_below(threads));
     op.site = static_cast<SiteId>(rng.next_below(sites));
     const std::uint64_t dice = rng.next_below(100);
-    if (dice < 40) {
+    if (dice < profile.read) {
       op.kind = OpKind::kRead;
       op.addr = 8 * (1 + rng.next_below(vars));
-    } else if (dice < 72) {
+    } else if (dice < profile.write) {
       op.kind = OpKind::kWrite;
       op.addr = 8 * (1 + rng.next_below(vars));
-    } else if (dice < 82) {
+    } else if (dice < profile.acquire) {
       op.kind = OpKind::kAcquire;
-      op.lock = 1 + rng.next_below(locks);
+      op.lock = rng.next_below(locks);  // lock id 0 is legal (site ids)
       held[op.tid].push_back(op.lock);
-    } else if (dice < 92) {
+    } else if (dice < profile.release) {
       if (held[op.tid].empty()) {
         op.kind = OpKind::kRead;
         op.addr = 8 * (1 + rng.next_below(vars));
@@ -76,7 +91,7 @@ std::vector<Op> make_trace(std::uint64_t seed, std::uint32_t threads,
         op.lock = held[op.tid].back();
         held[op.tid].pop_back();
       }
-    } else if (dice < 96) {
+    } else if (dice < profile.barrier) {
       op.kind = OpKind::kBarrier;
     } else {
       op.kind = OpKind::kForkJoin;
@@ -187,6 +202,170 @@ TEST(Equivalence, LongSingleVarTraceMatchesAndStaysDeduplicated) {
   EXPECT_EQ(fast.report().pairs()[0].site_a, "hot:a");
   EXPECT_EQ(fast.report().pairs()[0].site_b, "hot:b");
   EXPECT_GT(fast.report().pairs()[0].count, 1u);
+}
+
+TEST(Equivalence, SyncHeavyTracesMatchReferenceVerdicts) {
+  // Sync-dominated schedules: nested lock stacks, repeated barriers and
+  // fork/join trees outnumber accesses, so the arena sync path (release-
+  // shortcut acquires, broadcast barriers, lock-clock publication) is the
+  // code under test rather than the access fast path.
+  for (std::uint64_t seed = 500; seed < 530; ++seed) {
+    SiteRegistry sites;
+    const std::uint32_t nsites = 10;
+    for (std::uint32_t s = 0; s < nsites; ++s) {
+      sites.intern("sync" + std::to_string(s));
+    }
+    const auto trace = make_trace(seed, /*threads=*/7, /*vars=*/8,
+                                  /*locks=*/5, nsites, /*length=*/800,
+                                  kSyncHeavy);
+    Detector fast(7, sites);
+    ReferenceDetector ref(7, sites);
+    apply(fast, trace);
+    apply(ref, trace);
+    EXPECT_EQ(verdict(fast.report()), verdict(ref.report()))
+        << "verdict mismatch for seed " << seed;
+    EXPECT_EQ(fast.races_observed() > 0, ref.races_observed() > 0)
+        << "seed " << seed;
+  }
+}
+
+TEST(Equivalence, SyncHeavyVerdictIndependentOfStripeCount) {
+  for (std::uint64_t seed = 600; seed < 608; ++seed) {
+    SiteRegistry sites;
+    const std::uint32_t nsites = 8;
+    for (std::uint32_t s = 0; s < nsites; ++s) {
+      sites.intern("st" + std::to_string(s));
+    }
+    const auto trace = make_trace(seed, /*threads=*/5, /*vars=*/12,
+                                  /*locks=*/6, nsites, /*length=*/700,
+                                  kSyncHeavy);
+    Detector one_stripe(5, sites, 64, 1);
+    Detector many_stripes(5, sites, 64, 256);
+    apply(one_stripe, trace);
+    apply(many_stripes, trace);
+    EXPECT_EQ(verdict(one_stripe.report()), verdict(many_stripes.report()))
+        << "seed " << seed;
+  }
+}
+
+TEST(Equivalence, SyncHeavyAtMaxThreadCount) {
+  // 256 simulated threads: the widest stride the arena supports, with
+  // barriers and fork/join churning every row.
+  SiteRegistry sites;
+  const std::uint32_t nsites = 6;
+  for (std::uint32_t s = 0; s < nsites; ++s) {
+    sites.intern("wide" + std::to_string(s));
+  }
+  const auto trace = make_trace(/*seed=*/777, /*threads=*/256, /*vars=*/16,
+                                /*locks=*/4, nsites, /*length=*/2000,
+                                kSyncHeavy);
+  Detector fast(256, sites);
+  ReferenceDetector ref(256, sites);
+  apply(fast, trace);
+  apply(ref, trace);
+  EXPECT_EQ(verdict(fast.report()), verdict(ref.report()));
+}
+
+TEST(Equivalence, ReadSharePromoteCollapseRecycleCycles) {
+  // Drive the inflate -> collapse -> pool-recycle cycle of the read-shared
+  // arena rows many times over a few variables, with races on and off, and
+  // demand bit-identical verdicts throughout. Also covers the write fast
+  // path's own-read subsume: the same-thread W/R/W pattern inside each
+  // cycle must not skip the shared-clock race check.
+  for (std::uint64_t seed = 900; seed < 910; ++seed) {
+    SiteRegistry sites;
+    std::vector<SiteId> site(6);
+    for (std::uint32_t s = 0; s < 6; ++s) {
+      site[s] = sites.intern("cyc" + std::to_string(s));
+    }
+    Xoshiro256 rng(seed);
+    Detector fast(4, sites);
+    ReferenceDetector ref(4, sites);
+    auto both = [&](auto fn) {
+      fn(fast);
+      fn(ref);
+    };
+    for (int cycle = 0; cycle < 50; ++cycle) {
+      const std::uintptr_t addr = 0x4000 + 8 * (cycle % 3);
+      // Concurrent readers promote to read-shared...
+      for (std::uint32_t t = 0; t < 4; ++t) {
+        both([&](auto& d) { d.on_read(t, addr, site[t]); });
+      }
+      // ... the writer's own same-epoch read rides on top ...
+      const std::uint32_t w = static_cast<std::uint32_t>(rng.next_below(4));
+      both([&](auto& d) { d.on_read(w, addr, site[4]); });
+      // ... then a write collapses the shared row back into the pool
+      // (racy against the other readers), and sometimes a second write
+      // re-checks the collapsed state.
+      both([&](auto& d) { d.on_write(w, addr, site[5]); });
+      if (rng.next_below(2) == 0) {
+        both([&](auto& d) { d.on_write(w, addr, site[5]); });
+      }
+      // Occasionally synchronize everyone so later cycles start ordered.
+      if (rng.next_below(3) == 0) {
+        both([&](auto& d) { d.on_barrier(); });
+      }
+    }
+    EXPECT_EQ(verdict(fast.report()), verdict(ref.report()))
+        << "seed " << seed;
+  }
+}
+
+TEST(Equivalence, WriteReadAlternationFastPathsAndMatchesReference) {
+  // The ROADMAP-flagged miss: strict write/read alternation per variable.
+  // The write fast path now subsumes this thread's own same-epoch read
+  // with a CAS, so the writes must stay lock-free *and* bit-identical.
+  SiteRegistry sites;
+  const SiteId sw = sites.intern("alt:w");
+  const SiteId sr = sites.intern("alt:r");
+  Detector fast(2, sites);
+  ReferenceDetector ref(2, sites);
+  const std::uintptr_t addr = 0x5000;
+  constexpr int kIters = 2000;
+  for (int i = 0; i < kIters; ++i) {
+    fast.on_write(0, addr, sw);
+    ref.on_write(0, addr, sw);
+    fast.on_read(0, addr, sr);
+    ref.on_read(0, addr, sr);
+  }
+  EXPECT_EQ(verdict(fast.report()), verdict(ref.report()));
+  EXPECT_EQ(fast.races_observed(), 0u);
+  // All but the first write (and the final state transitions) fast-path.
+  EXPECT_GT(fast.fast_path_hits(), static_cast<std::uint64_t>(kIters) - 10);
+  // The other thread's later unordered write still sees the race exactly
+  // like the reference (the subsume must not have erased evidence).
+  fast.on_write(1, addr, sw);
+  ref.on_write(1, addr, sw);
+  EXPECT_EQ(verdict(fast.report()), verdict(ref.report()));
+  EXPECT_GT(fast.races_observed(), 0u);
+}
+
+TEST(Equivalence, LockHeavySameOwnerReacquisitionMatchesReference) {
+  // The release-shortcut steady state: one thread cycles a private lock
+  // per iteration (plus a shared lock occasionally) while touching data;
+  // verdicts must match and the shortcut must actually engage.
+  SiteRegistry sites;
+  const SiteId s0 = sites.intern("lk:data");
+  Detector fast(3, sites);
+  ReferenceDetector ref(3, sites);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t t = static_cast<std::uint32_t>(i % 3);
+    const std::uint64_t priv = 100 + t;
+    auto both = [&](auto fn) {
+      fn(fast);
+      fn(ref);
+    };
+    both([&](auto& d) { d.on_acquire(t, priv); });
+    both([&](auto& d) { d.on_write(t, 0x6000 + 8 * t, s0); });
+    both([&](auto& d) { d.on_release(t, priv); });
+    if (i % 16 == 0) {
+      both([&](auto& d) { d.on_acquire(t, 7); });
+      both([&](auto& d) { d.on_write(t, 0x7000, s0); });
+      both([&](auto& d) { d.on_release(t, 7); });
+    }
+  }
+  EXPECT_EQ(verdict(fast.report()), verdict(ref.report()));
+  EXPECT_GT(fast.sync_fast_hits(), 400u);
 }
 
 }  // namespace

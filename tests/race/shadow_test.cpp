@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 #include <set>
+#include <stdexcept>
 
 #include "src/common/flat_shadow_table.hpp"
 #include "src/core/options.hpp"
@@ -30,7 +31,8 @@ TEST(ShadowMemory, ShardCountRoundsUpToPowerOfTwo) {
 TEST(ShadowMemory, NonPowerOfTwoShardRequestStillRoutesAllAddresses) {
   // A wrong mask would drop shards and lose variables; insert across a
   // wide address range and count them back.
-  ShadowMemory shadow(/*shard_count=*/7);  // rounds to 8
+  VClockArena arena(4);
+  ShadowMemory shadow(arena, /*shard_count=*/7);  // rounds to 8
   EXPECT_EQ(shadow.shard_count(), 8u);
   constexpr int kVars = 4096;
   for (int i = 0; i < kVars; ++i) {
@@ -99,7 +101,95 @@ TEST(Detector, RejectsMoreThreadsThanEpochTidField) {
   EXPECT_EQ(ok.num_threads(), kMaxDetectorThreads);
 }
 
+// ---------- sync-object table ----------
+
+TEST(Detector, SyncStripeCountRoundsUpLikeShards) {
+  SiteRegistry sites;
+  Detector d(4, sites, /*shadow_shards=*/8, /*sync_stripes=*/5);
+  EXPECT_EQ(d.sync_stripe_count(), 8u);
+  Detector one(4, sites, 8, 0);  // 0 clamps to a single stripe
+  EXPECT_EQ(one.sync_stripe_count(), 1u);
+}
+
+TEST(Detector, SingleStripeSyncTableStillSeparatesLocks) {
+  // All locks land in one stripe: the flat table must still key them
+  // apart — including lock id 0, which must not collide with the table's
+  // empty-slot marker.
+  SiteRegistry sites;
+  const SiteId sa = sites.intern("sync:a");
+  const SiteId sb = sites.intern("sync:b");
+  Detector d(2, sites, 8, 1);
+  const std::uintptr_t addr = 0x1000;
+  // Thread 0 publishes its write under lock 0; thread 1 acquires a
+  // *different* lock (1): no ordering, so the write-write race must fire.
+  d.on_acquire(0, 0);
+  d.on_write(0, addr, sa);
+  d.on_release(0, 0);
+  d.on_acquire(1, 1);
+  d.on_write(1, addr, sb);
+  d.on_release(1, 1);
+  EXPECT_GT(d.races_observed(), 0u);
+  // Same shape through the same lock id 0: ordered, no race.
+  Detector clean(2, sites, 8, 1);
+  clean.on_acquire(0, 0);
+  clean.on_write(0, addr, sa);
+  clean.on_release(0, 0);
+  clean.on_acquire(1, 0);
+  clean.on_write(1, addr, sb);
+  clean.on_release(1, 0);
+  EXPECT_EQ(clean.races_observed(), 0u);
+}
+
+TEST(Detector, AcquireReleaseShortcutEngagesAndStaysSound) {
+  SiteRegistry sites;
+  const SiteId s0 = sites.intern("sync:hot");
+  Detector d(2, sites);
+  // Thread 0 hammers one lock: after the first release, every reacquire
+  // hits the "last released by me" shortcut.
+  for (int i = 0; i < 100; ++i) {
+    d.on_acquire(0, 7);
+    d.on_release(0, 7);
+  }
+  EXPECT_GE(d.thread_clock(0).sync_hits(), 99u);
+  // Thread 1 joins through the same lock afterwards: the shortcut must not
+  // have broken the happens-before edge.
+  const std::uintptr_t addr = 0x2000;
+  d.on_acquire(0, 7);
+  d.on_write(0, addr, s0);
+  d.on_release(0, 7);
+  d.on_acquire(1, 7);
+  d.on_read(1, addr, s0);
+  // Reacquiring an unchanged lock is the memo shortcut.
+  d.on_release(1, 7);
+  d.on_acquire(1, 7);
+  EXPECT_GT(d.sync_fast_hits(), 0u);
+  EXPECT_EQ(d.races_observed(), 0u);
+}
+
 // ---------- options plumbing ----------
+
+TEST(Options, SyncStripesComesFromEnvironment) {
+  ::setenv("REOMP_SYNC_STRIPES", "3", 1);
+  const auto opt = core::Options::from_env(4);
+  ::unsetenv("REOMP_SYNC_STRIPES");
+  EXPECT_EQ(opt.sync_stripes, 3u);
+  SiteRegistry sites;
+  Detector d(4, sites, opt.shadow_shards, opt.sync_stripes);
+  EXPECT_EQ(d.sync_stripe_count(), 4u);  // rounded up internally
+}
+
+TEST(Options, SyncStripesRejectsInvalidValues) {
+  // Strict parsing, matching the other measurement-affecting knobs: a
+  // typo'd stripe count must not silently fall back to the default.
+  ::setenv("REOMP_SYNC_STRIPES", "lots", 1);
+  EXPECT_THROW(core::Options::from_env(1), std::runtime_error);
+  ::setenv("REOMP_SYNC_STRIPES", "0", 1);
+  EXPECT_THROW(core::Options::from_env(1), std::runtime_error);
+  ::setenv("REOMP_SYNC_STRIPES", "-4", 1);
+  EXPECT_THROW(core::Options::from_env(1), std::runtime_error);
+  ::unsetenv("REOMP_SYNC_STRIPES");
+  EXPECT_EQ(core::Options::from_env(1).sync_stripes, 64u);
+}
 
 TEST(Options, ShadowShardsComesFromEnvironment) {
   ::setenv("REOMP_SHADOW_SHARDS", "12", 1);

@@ -1,0 +1,126 @@
+// Unit tests for the arena-backed clock storage: fixed stride (no growth),
+// recycling through caller free lists, chunk stability, and join/covers
+// agreement with the reference VectorClock at several thread counts.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/prng.hpp"
+#include "src/race/vclock.hpp"
+#include "src/race/vclock_arena.hpp"
+
+namespace reomp::race {
+namespace {
+
+// ---------- stride: padded, capped, never grows ----------
+
+TEST(VClockArena, StrideIsCacheLinePaddedAndCapped) {
+  EXPECT_EQ(VClockArena::stride_for(1), 8u);
+  EXPECT_EQ(VClockArena::stride_for(7), 8u);
+  EXPECT_EQ(VClockArena::stride_for(8), 8u);
+  EXPECT_EQ(VClockArena::stride_for(9), 16u);
+  EXPECT_EQ(VClockArena::stride_for(64), 64u);
+  EXPECT_EQ(VClockArena::stride_for(kMaxDetectorThreads), 256u);
+  // The arena rejects thread counts its rows could not index (the same
+  // 8-bit Epoch tid cap the detector enforces) — the stride is fixed for
+  // the arena's lifetime, there is no grow() escape hatch.
+  EXPECT_THROW(VClockArena(0), std::invalid_argument);
+  EXPECT_THROW(VClockArena(kMaxDetectorThreads + 1), std::invalid_argument);
+}
+
+TEST(VClockArena, RowsComeOutZeroedAndStable) {
+  VClockArena arena(3);
+  const std::uint32_t a = arena.alloc();
+  ClockView va = arena.view(a);
+  for (std::uint32_t i = 0; i < arena.stride(); ++i) EXPECT_EQ(va.get(i), 0u);
+  va.set(2, 42);
+  // Force several chunks worth of allocation; the first row's address must
+  // not move (shards cache ClockViews only transiently, but PendingStore-
+  // style stability keeps view() safe concurrently with alloc()).
+  const std::uint64_t* before = va.words();
+  for (int i = 0; i < 5 * static_cast<int>(VClockArena::kRowsPerChunk); ++i) {
+    arena.alloc();
+  }
+  EXPECT_EQ(arena.view(a).words(), before);
+  EXPECT_EQ(arena.view(a).get(2), 42u);
+}
+
+TEST(VClockArena, RecyclingClearsRows) {
+  // Callers recycle rows through their own free lists and must get a
+  // cleared row back via clear() — simulate the shadow pool's
+  // inflate/collapse cycle.
+  VClockArena arena(5);
+  std::vector<std::uint32_t> free_list;
+  const std::uint32_t idx = arena.alloc();
+  arena.view(idx).set(4, 99);
+  free_list.push_back(idx);  // "collapse"
+  const std::uint32_t again = free_list.back();
+  free_list.pop_back();
+  arena.view(again).clear();  // "inflate" reuses + clears
+  EXPECT_EQ(again, idx);
+  for (std::uint32_t i = 0; i < arena.stride(); ++i) {
+    EXPECT_EQ(arena.view(again).get(i), 0u);
+  }
+  EXPECT_EQ(arena.allocated_rows(), 1u);  // no fresh allocation happened
+}
+
+// ---------- join / covers agree with the reference VectorClock ----------
+
+void check_join_matches_reference(std::uint32_t threads, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  VClockArena arena(threads);
+  ClockView a = arena.view(arena.alloc());
+  ClockView b = arena.view(arena.alloc());
+  VectorClock ra(threads), rb(threads);
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    const std::uint64_t va = rng.next_below(1000);
+    const std::uint64_t vb = rng.next_below(1000);
+    a.set(i, va);
+    ra.set(i, va);
+    b.set(i, vb);
+    rb.set(i, vb);
+  }
+  EXPECT_EQ(a.covers(b), ra.covers(rb)) << "threads=" << threads;
+  a.join(b);
+  ra.join(rb);
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    EXPECT_EQ(a.get(i), ra.get(i)) << "threads=" << threads << " i=" << i;
+  }
+  // Post-join, a dominates b by construction.
+  EXPECT_TRUE(a.covers(b));
+  // Epoch covers matches too.
+  const std::uint32_t t = static_cast<std::uint32_t>(
+      rng.next_below(threads));
+  const Epoch e(t, b.get(t));
+  EXPECT_EQ(a.covers(e), ra.covers(e));
+  // Padding words beyond the thread count stay zero through joins.
+  for (std::uint32_t i = threads; i < arena.stride(); ++i) {
+    EXPECT_EQ(a.get(i), 0u);
+  }
+}
+
+TEST(VClockArena, JoinMatchesReferenceAcrossThreadCounts) {
+  for (const std::uint32_t threads : {1u, 7u, 256u}) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      check_join_matches_reference(threads, seed * 7919 + threads);
+    }
+  }
+}
+
+TEST(VClockArena, CopyFromAndTick) {
+  VClockArena arena(7);
+  ClockView a = arena.view(arena.alloc());
+  ClockView b = arena.view(arena.alloc());
+  a.set(3, 5);
+  a.tick(3);
+  EXPECT_EQ(a.get(3), 6u);
+  b.copy_from(a);
+  EXPECT_EQ(b.get(3), 6u);
+  b.tick(0);
+  EXPECT_EQ(b.get(0), 1u);
+  EXPECT_EQ(a.get(0), 0u);  // copies are independent rows
+}
+
+}  // namespace
+}  // namespace reomp::race

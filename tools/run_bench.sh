@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
 # Run the checked-in microbenchmarks and emit their JSON result files:
-#   bench_shadow_scaling   -> BENCH_shadow.json  (race-detector hot path)
-#   bench_record_overhead  -> BENCH_record.json  (record-side data path)
-#   bench_replay_overhead  -> BENCH_replay.json  (replay-side data path)
+#   bench_shadow_scaling   -> BENCH_shadow.json    (race-detector access path)
+#   bench_detector_sync    -> BENCH_detector.json  (race-detector sync path)
+#   bench_record_overhead  -> BENCH_record.json    (record-side data path)
+#   bench_replay_overhead  -> BENCH_replay.json    (replay-side data path)
 #
-# Usage: tools/run_bench.sh [build-dir] [shadow|record|replay|all] [extra args...]
+# Usage: tools/run_bench.sh [build-dir] [shadow|detector|record|replay|all] [extra args...]
 #   BENCH_ITERS        per-thread iterations (default: bench defaults)
 #   BENCH_MAX_THREADS  top of the shadow thread sweep / record+replay threads
 #
@@ -28,6 +29,19 @@ run_shadow() {
   [ -n "${BENCH_MAX_THREADS:-}" ] && ARGS="$ARGS --max-threads $BENCH_MAX_THREADS"
   # shellcheck disable=SC2086
   "$BUILD_DIR/bench_shadow_scaling" $ARGS "$@"
+}
+
+run_detector() {
+  if [ ! -x "$BUILD_DIR/bench_detector_sync" ]; then
+    echo "error: $BUILD_DIR/bench_detector_sync not built" >&2
+    echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  ARGS="--json BENCH_detector.json"
+  [ -n "${BENCH_ITERS:-}" ] && ARGS="$ARGS --iters $BENCH_ITERS"
+  [ -n "${BENCH_MAX_THREADS:-}" ] && ARGS="$ARGS --threads $BENCH_MAX_THREADS"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/bench_detector_sync" $ARGS "$@"
 }
 
 run_record() {
@@ -58,15 +72,17 @@ run_replay() {
 
 case "$WHICH" in
   shadow) run_shadow "$@" ;;
+  detector) run_detector "$@" ;;
   record) run_record "$@" ;;
   replay) run_replay "$@" ;;
   all)
     run_shadow "$@"
+    run_detector "$@"
     run_record "$@"
     run_replay "$@"
     ;;
   *)
-    echo "usage: tools/run_bench.sh [build-dir] [shadow|record|replay|all] [args...]" >&2
+    echo "usage: tools/run_bench.sh [build-dir] [shadow|detector|record|replay|all] [args...]" >&2
     exit 2
     ;;
 esac
