@@ -14,8 +14,8 @@ int main() {
   const std::uint32_t cores = logical_cpus();
 
   std::printf("=== Ablation: replay wait policy (data_race, DE) ===\n");
-  std::printf("%10s %10s %12s %12s %12s\n", "threads", "events", "spin_s",
-              "spinyield_s", "yield_s");
+  std::printf("%10s %10s %12s %12s %12s %12s %12s\n", "threads", "events",
+              "spin_s", "spinyield_s", "yield_s", "block_s", "auto_s");
 
   // Dedicated-core row at full size; oversubscribed row much smaller —
   // with threads > cores, a pure-spin replay pays up to a scheduler
@@ -27,12 +27,12 @@ int main() {
   };
 
   for (const auto& [threads, scale] : rows) {
-    double secs[3] = {0, 0, 0};
+    double secs[5] = {0, 0, 0, 0, 0};
     std::uint64_t events = 0;
-    const Backoff::Policy policies[3] = {Backoff::Policy::kSpin,
-                                         Backoff::Policy::kSpinYield,
-                                         Backoff::Policy::kYield};
-    for (int i = 0; i < 3; ++i) {
+    const WaitPolicy policies[5] = {WaitPolicy::kSpin, WaitPolicy::kSpinYield,
+                                    WaitPolicy::kYield, WaitPolicy::kBlock,
+                                    WaitPolicy::kAuto};
+    for (int i = 0; i < 5; ++i) {
       apps::RunConfig cfg;
       cfg.threads = threads;
       cfg.scale = scale;
@@ -50,9 +50,9 @@ int main() {
       (void)apps::run_synthetic_datarace(rcfg);
       secs[i] = t.seconds();
     }
-    std::printf("%10u %10llu %12.4f %12.4f %12.4f\n", threads,
+    std::printf("%10u %10llu %12.4f %12.4f %12.4f %12.4f %12.4f\n", threads,
                 static_cast<unsigned long long>(events), secs[0], secs[1],
-                secs[2]);
+                secs[2], secs[3], secs[4]);
     std::fflush(stdout);
   }
   return 0;

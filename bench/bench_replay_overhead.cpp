@@ -27,7 +27,14 @@
 // Standalone binary (no google-benchmark) so the tier-1 smoke run is fast
 // and deterministic:
 //   bench_replay_overhead [--smoke] [--json PATH] [--iters N] [--threads N]
-//                         [--dir PATH] [--wait auto|spin|spinyield|yield|block]
+//                         [--dir PATH] [--wait POLICY[,POLICY...]|all]
+//
+// The wait-policy dimension (default "spin,auto") replays every
+// configuration under each listed policy, so the JSON shows the adaptive
+// default's cost against the paper's bare spin — the acceptance gate is
+// auto within 5% of spin on the uncontended @1thr drive rate, while on an
+// oversubscribed host auto's parking is the difference between finishing
+// and livelocking (ROADMAP's 1-core TSAN hang).
 //
 // --smoke shrinks iteration counts and exits nonzero if any configuration
 // fails to replay to completion, reports a total_events different from the
@@ -70,6 +77,7 @@ struct Config {
   bool prefetch;
   bool from_file;
   std::uint32_t threads;
+  WaitPolicy wait;
 };
 
 struct Timing {
@@ -97,7 +105,14 @@ void run_pool(std::uint32_t threads, Body&& body) {
     body(tid);
   };
   std::vector<std::thread> pool;
-  for (ThreadId tid = 1; tid < threads; ++tid) pool.emplace_back(wrapped, tid);
+  for (ThreadId tid = 1; tid < threads; ++tid) {
+    // Census registration lets the kAuto wait policy see the bench's own
+    // oversubscription, exactly like the romp worker pool does.
+    pool.emplace_back([&wrapped, tid] {
+      ThreadCensus::Scope census;
+      wrapped(tid);
+    });
+  }
   while (ready.load() != threads - 1) std::this_thread::yield();
   go.store(true, std::memory_order_release);
   wrapped(0);
@@ -132,14 +147,13 @@ RecordBundle record_mix(Strategy strategy, std::uint32_t threads,
 /// correctness verdict for --smoke.
 Timing replay_once(const Config& cfg, std::uint64_t iters,
                    const std::string& dir, const RecordBundle& bundle,
-                   std::uint64_t recorded_events, Backoff::Policy wait,
-                   bool* ok) {
+                   std::uint64_t recorded_events, bool* ok) {
   Options opt;
   opt.mode = Mode::kReplay;
   opt.strategy = cfg.strategy;
   opt.num_threads = cfg.threads;
   opt.replay_prefetch = cfg.prefetch;
-  opt.wait_policy = wait;
+  opt.wait_policy = cfg.wait;
   if (cfg.from_file) {
     opt.dir = dir;
   } else {
@@ -190,22 +204,27 @@ const char* path_name(bool prefetch) {
   return prefetch ? "prefetch" : "streaming";
 }
 
-std::optional<Backoff::Policy> wait_from_string(const std::string& s) {
-  if (s == "spin") return Backoff::Policy::kSpin;
-  if (s == "spinyield") return Backoff::Policy::kSpinYield;
-  if (s == "yield") return Backoff::Policy::kYield;
-  if (s == "block") return Backoff::Policy::kBlock;
-  return std::nullopt;
-}
-
-const char* wait_name(Backoff::Policy p) {
-  switch (p) {
-    case Backoff::Policy::kSpin: return "spin";
-    case Backoff::Policy::kSpinYield: return "spinyield";
-    case Backoff::Policy::kYield: return "yield";
-    case Backoff::Policy::kBlock: return "block";
+/// Parse the --wait argument: a comma-separated policy list, or "all".
+std::vector<WaitPolicy> wait_list_from_arg(const std::string& arg) {
+  if (arg == "all") {
+    return {WaitPolicy::kSpin, WaitPolicy::kSpinYield, WaitPolicy::kYield,
+            WaitPolicy::kBlock, WaitPolicy::kAuto};
   }
-  return "?";
+  std::vector<WaitPolicy> out;
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string tok = arg.substr(pos, comma - pos);  // npos clamps
+    const auto p = wait_policy_from_string(tok);
+    if (!p) {
+      std::fprintf(stderr, "unknown --wait policy '%s'\n", tok.c_str());
+      std::exit(2);
+    }
+    out.push_back(*p);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -215,7 +234,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::uint64_t iters = 100'000;
   std::uint32_t max_threads = 8;
-  std::string wait_arg = "auto";
+  std::string wait_arg = "spin,auto";
   std::string dir =
       (std::filesystem::temp_directory_path() / "reomp_bench_replay").string();
   for (int i = 1; i < argc; ++i) {
@@ -238,31 +257,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--json PATH] [--iters N] "
                    "[--threads N] [--dir PATH] "
-                   "[--wait auto|spin|spinyield|yield|block]\n",
+                   "[--wait POLICY[,POLICY...]|all]\n",
                    argv[0]);
       return 2;
     }
   }
   const int reps = smoke ? 1 : 3;
   bool ok = true;
-  const std::uint32_t hw = std::thread::hardware_concurrency();
-
-  /// Waiter policy per thread count: an explicit --wait applies everywhere;
-  /// auto picks the paper's spin when every replay thread can own a core
-  /// and yield when oversubscribed (spin would burn a full quantum per
-  /// handoff — see ROADMAP's 1-core caveat).
-  auto wait_for = [&](std::uint32_t threads) {
-    if (wait_arg != "auto") {
-      const auto p = wait_from_string(wait_arg);
-      if (!p) {
-        std::fprintf(stderr, "unknown --wait '%s'\n", wait_arg.c_str());
-        std::exit(2);
-      }
-      return *p;
-    }
-    return threads <= (hw == 0 ? 1u : hw) ? Backoff::Policy::kSpin
-                                          : Backoff::Policy::kYield;
-  };
+  const std::vector<WaitPolicy> waits = wait_list_from_arg(wait_arg);
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
 
   std::vector<Result> results;
   std::printf("%-4s %-10s %-7s %8s %6s %14s %10s\n", "strat", "path", "sink",
@@ -270,36 +273,49 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> thread_counts{1};
   if (max_threads > 1) thread_counts.push_back(max_threads);
   for (const std::uint32_t threads : thread_counts) {
-    const Backoff::Policy wait = wait_for(threads);
     for (const bool from_file : {false, true}) {
       for (const Strategy s : kStrategies) {
-        // One record run feeds both replay paths.
+        // One record run feeds every wait policy and both replay paths.
         std::uint64_t recorded_events = 0;
         const RecordBundle bundle =
             record_mix(s, threads, iters, dir, from_file, &recorded_events);
-        double base = 0;
-        for (const bool prefetch : {false, true}) {
-          const Config cfg{s, prefetch, from_file, threads};
-          Timing best;
-          best.setup_secs = 1e9;
-          for (int r = 0; r < reps; ++r) {
-            const Timing t = replay_once(cfg, iters, dir, bundle,
-                                         recorded_events, wait, &ok);
-            best.drive_eps = std::max(best.drive_eps, t.drive_eps);
-            best.total_eps = std::max(best.total_eps, t.total_eps);
-            best.setup_secs = std::min(best.setup_secs, t.setup_secs);
+        for (const WaitPolicy wait : waits) {
+          if (wait == WaitPolicy::kSpin && threads > hw) {
+            // A pure-spin replay with more threads than cores is the
+            // documented livelock regime (each handoff burns scheduler
+            // quanta); running it would stall the bench for hours, so the
+            // row is skipped — loudly, never silently.
+            std::printf("%-4s %-10s %-7s %8u %6s  skipped: oversubscribed "
+                        "pure spin would livelock\n",
+                        to_string(s).data(), "-", sink_name(from_file),
+                        threads, to_string(wait).data());
+            continue;
           }
-          results.push_back({cfg, best, recorded_events});
-          std::printf("%-4s %-10s %-7s %8u %6s %14.0f %10.2f",
-                      to_string(s).data(), path_name(prefetch),
-                      sink_name(from_file), threads, wait_name(wait),
-                      best.drive_eps, best.setup_secs * 1e3);
-          if (!prefetch) {
-            base = best.drive_eps;
-            std::printf("\n");
-          } else {
-            std::printf("  (%.2fx vs streaming)\n",
-                        best.drive_eps / (base > 0 ? base : 1e-9));
+          double base = 0;
+          for (const bool prefetch : {false, true}) {
+            const Config cfg{s, prefetch, from_file, threads, wait};
+            Timing best;
+            best.setup_secs = 1e9;
+            for (int r = 0; r < reps; ++r) {
+              const Timing t =
+                  replay_once(cfg, iters, dir, bundle, recorded_events, &ok);
+              best.drive_eps = std::max(best.drive_eps, t.drive_eps);
+              best.total_eps = std::max(best.total_eps, t.total_eps);
+              best.setup_secs = std::min(best.setup_secs, t.setup_secs);
+            }
+            results.push_back({cfg, best, recorded_events});
+            std::printf("%-4s %-10s %-7s %8u %6s %14.0f %10.2f",
+                        to_string(s).data(), path_name(prefetch),
+                        sink_name(from_file), threads,
+                        to_string(wait).data(), best.drive_eps,
+                        best.setup_secs * 1e3);
+            if (!prefetch) {
+              base = best.drive_eps;
+              std::printf("\n");
+            } else {
+              std::printf("  (%.2fx vs streaming)\n",
+                          best.drive_eps / (base > 0 ? base : 1e-9));
+            }
           }
         }
       }
@@ -319,7 +335,7 @@ int main(int argc, char** argv) {
         << "\", \"path\": \"" << path_name(r.cfg.prefetch)
         << "\", \"sink\": \"" << sink_name(r.cfg.from_file)
         << "\", \"threads\": " << r.cfg.threads
-        << ", \"wait\": \"" << wait_name(wait_for(r.cfg.threads))
+        << ", \"wait\": \"" << to_string(r.cfg.wait)
         << "\", \"events_per_sec\": "
         << static_cast<std::uint64_t>(r.best.drive_eps)
         << ", \"events_per_sec_with_setup\": "

@@ -38,7 +38,6 @@ double run(core::Mode mode, const apps::HybridBundle* bundle,
     topt.num_threads = kThreads;
     topt.engine.mode = mode;
     topt.engine.strategy = core::Strategy::kDE;
-    topt.engine.wait_policy = Backoff::Policy::kSpinYield;  // 12 threads
     topt.pin_threads = false;
     if (mode == core::Mode::kReplay) {
       topt.engine.bundle = &bundle->rank_bundles[rank];

@@ -22,9 +22,10 @@ core::Options rank_engine_options(const HybridConfig& cfg, int r) {
   opt.mode = cfg.mode;
   opt.strategy = cfg.strategy;
   opt.num_threads = cfg.threads_per_rank;
-  // ranks x threads routinely exceeds the core count: replay waiters must
-  // yield, or a descheduled next-in-line thread stalls every spinner.
-  opt.wait_policy = Backoff::Policy::kSpinYield;
+  // ranks x threads routinely exceeds the core count; the default auto
+  // wait policy detects that through the thread census and parks starved
+  // replay waiters instead of letting spinners stall the next-in-line
+  // thread — no override needed.
   if (!cfg.dir.empty()) {
     opt.dir = cfg.dir + "/rank" + std::to_string(r);
   } else if (cfg.mode == core::Mode::kReplay) {

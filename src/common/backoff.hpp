@@ -1,115 +1,14 @@
-// Spin-wait backoff helpers shared by locks and replay waiters.
+// Compatibility shim: the Backoff helper grew into the unified wait
+// subsystem (src/common/waiter.hpp) when the runtime's seven independent
+// busy-wait implementations were consolidated. `Backoff` is the same type
+// as `Waiter`, and `Backoff::Policy` is `WaitPolicy` — existing call sites
+// and tests keep compiling; new code should include waiter.hpp directly.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <thread>
-
-#if defined(__x86_64__) || defined(__i386__)
-#include <immintrin.h>
-#endif
+#include "src/common/waiter.hpp"
 
 namespace reomp {
 
-/// Issue a CPU pause/yield hint appropriate for a busy-wait loop.
-inline void cpu_relax() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-  _mm_pause();
-#elif defined(__aarch64__)
-  asm volatile("yield" ::: "memory");
-#else
-  std::this_thread::yield();
-#endif
-}
-
-/// Exponential backoff: spin with `cpu_relax` for short waits, escalate to
-/// `std::this_thread::yield` once the wait is long enough that we are likely
-/// oversubscribed. Replay waiters (paper Fig. 4 line 11, Fig. 5 line 32)
-/// use this to keep short waits cheap without starving descheduled peers.
-class Backoff {
- public:
-  enum class Policy : std::uint8_t {
-    // One cpu_relax per check — the paper's bare `while (...)` spin
-    // (Fig. 5 line 32). Lowest handoff latency; replay waiters default to
-    // this. Replay turns arrive every few hundred nanoseconds, so any
-    // escalating pause directly inflates every handoff.
-    kSpin,
-    // Short bounded pause growth, then yield. Safe under oversubscription
-    // (a descheduled "next" thread must get a core to make progress).
-    kSpinYield,
-    kYield,  // always yield; friendliest when threads >> cores
-    // Spin briefly, then park on the watched word with std::atomic::wait
-    // (futex on Linux). On oversubscribed hosts every spin+yield replay
-    // wait burns whole scheduler quanta just to discover it is still not
-    // its turn; parking hands the core to the thread that can actually
-    // advance the schedule. Wakers must notify (replay_gate_out does when
-    // this policy is selected); callers that only have pause() — no word
-    // to park on — degrade to kYield pacing.
-    kBlock,
-  };
-
-  explicit Backoff(Policy policy = Policy::kSpinYield) noexcept
-      : policy_(policy) {}
-
-  void pause() noexcept {
-    switch (policy_) {
-      case Policy::kSpin:
-        cpu_relax();
-        return;
-      case Policy::kSpinYield:
-        if (round_ < kYieldThreshold) {
-          spin_round();
-        } else {
-          std::this_thread::yield();
-        }
-        break;
-      case Policy::kYield:
-      case Policy::kBlock:  // no address to park on here
-        std::this_thread::yield();
-        break;
-    }
-    if (round_ < kMaxRound) ++round_;
-  }
-
-  /// pause() variant for waits on a single atomic word: under kBlock the
-  /// caller parks until `word` changes from `observed` (after a short spin
-  /// phase that keeps back-to-back handoffs syscall-free); every other
-  /// policy ignores the word and paces exactly like pause(). The caller's
-  /// loop must re-load and re-check after every call — spurious wakeups
-  /// are allowed.
-  template <typename T>
-  void pause_wait(const std::atomic<T>& word, T observed) noexcept {
-    if (policy_ != Policy::kBlock) {
-      pause();
-      return;
-    }
-    if (round_ < kYieldThreshold) {
-      spin_round();
-      ++round_;
-    } else {
-      word.wait(observed, std::memory_order_relaxed);
-    }
-  }
-
-  void reset() noexcept { round_ = 0; }
-
-  [[nodiscard]] std::uint32_t rounds() const noexcept { return round_; }
-
- private:
-  // 2^4 = 16 pauses (~0.5 us) before the first yield: long enough to catch
-  // back-to-back handoffs, short enough not to serialize replay.
-  static constexpr std::uint32_t kYieldThreshold = 4;
-  static constexpr std::uint32_t kMaxRound = 16;
-
-  void spin_round() noexcept {
-    const std::uint32_t spins = 1u << (round_ < kYieldThreshold
-                                           ? round_
-                                           : kYieldThreshold);
-    for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
-  }
-
-  Policy policy_;
-  std::uint32_t round_ = 0;
-};
+using Backoff = Waiter;
 
 }  // namespace reomp

@@ -3,12 +3,14 @@
 // The romp runtime needs a reusable barrier with deterministic semantics
 // and no dependence on std::barrier's completion-function ordering; the
 // classic sense-reversing design is the standard HPC choice for small teams.
+// Waiters pace through the unified Waiter subsystem: they park on the sense
+// word once starved, and the releasing arrival notifies.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
-#include "src/common/backoff.hpp"
+#include "src/common/waiter.hpp"
 
 namespace reomp {
 
@@ -28,10 +30,12 @@ class SenseBarrier {
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       remaining_.store(participants_, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);
+      Waiter::notify(sense_);
     } else {
-      Backoff backoff;
-      while (sense_.load(std::memory_order_acquire) != my_sense) {
-        backoff.pause();
+      Waiter waiter;
+      bool cur;
+      while ((cur = sense_.load(std::memory_order_acquire)) != my_sense) {
+        waiter.pause_wait(sense_, cur);
       }
     }
   }

@@ -1,14 +1,18 @@
-// Test-and-test-and-set spinlock with exponential backoff.
+// Test-and-test-and-set spinlock with adaptive waiting.
 //
 // The record path of every strategy (paper Fig. 4 line 1, Fig. 5 line 20)
 // serializes the SMA region plus clock assignment under a lock; a TTAS
 // spinlock is the appropriate primitive because the critical section is a
-// handful of instructions and contention is the common case.
+// handful of instructions and contention is the common case. Waiters pace
+// through the unified Waiter subsystem (spin -> yield -> park under the
+// kAuto escalation), so a holder that lost its timeslice on an
+// oversubscribed host is waited out with a futex park instead of a yield
+// storm; unlock notifies, which is one shared load when nobody is parked.
 #pragma once
 
 #include <atomic>
 
-#include "src/common/backoff.hpp"
+#include "src/common/waiter.hpp"
 
 namespace reomp {
 
@@ -19,10 +23,13 @@ class Spinlock {
   Spinlock& operator=(const Spinlock&) = delete;
 
   void lock() noexcept {
-    Backoff backoff;
+    Waiter waiter;
     for (;;) {
-      // Spin on a plain load first so waiters do not generate bus traffic.
-      while (locked_.load(std::memory_order_relaxed)) backoff.pause();
+      // Wait on a plain load first so waiters do not generate bus traffic;
+      // a parked waiter is woken by unlock's notify.
+      while (locked_.load(std::memory_order_relaxed)) {
+        waiter.pause_wait(locked_, true);
+      }
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
     }
   }
@@ -32,7 +39,10 @@ class Spinlock {
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  void unlock() noexcept {
+    locked_.store(false, std::memory_order_release);
+    Waiter::notify(locked_);
+  }
 
  private:
   std::atomic<bool> locked_{false};

@@ -15,8 +15,8 @@
 #include <atomic>
 #include <cstdint>
 
-#include "src/common/backoff.hpp"
 #include "src/common/cacheline.hpp"
+#include "src/common/waiter.hpp"
 
 namespace reomp {
 
@@ -29,21 +29,27 @@ class TicketLock {
   void lock() noexcept {
     const std::uint32_t my =
         next_->fetch_add(1, std::memory_order_relaxed);
-    // Spin-then-yield, not pure spin: FIFO handoff means the *next* ticket
+    // Adaptive wait, not pure spin: FIFO handoff means the *next* ticket
     // holder must run for anyone to make progress, and on an oversubscribed
     // host it may well be descheduled — a pure-spinning waiter would then
     // burn its whole quantum blocking the very thread it waits for
-    // (~3 ms per handoff instead of ~100 ns). Short waits stay cheap; the
-    // FIFO order itself is unchanged.
-    Backoff backoff;
-    while (serving_->load(std::memory_order_acquire) != my) {
-      backoff.pause();
+    // (~3 ms per handoff instead of ~100 ns). The kAuto escalation keeps
+    // short waits spin-cheap and parks starved waiters on `serving_`
+    // (unlock notifies); the FIFO order itself is unchanged. The Waiter is
+    // per-acquisition, so one long wait never poisons the next episode.
+    Waiter waiter;
+    std::uint32_t cur;
+    while ((cur = serving_->load(std::memory_order_acquire)) != my) {
+      waiter.pause_wait(*serving_, cur);
     }
   }
 
   void unlock() noexcept {
     serving_->store(serving_->load(std::memory_order_relaxed) + 1,
                     std::memory_order_release);
+    // Wake parked waiters; the one holding the next ticket proceeds, any
+    // others re-check and re-park. One shared load when nobody is parked.
+    Waiter::notify(*serving_);
   }
 
  private:

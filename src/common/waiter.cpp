@@ -1,0 +1,101 @@
+#include "src/common/waiter.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <ctime>
+#endif
+
+namespace reomp {
+
+namespace {
+
+// Live runtime threads. Starts at 1: the main thread exists before any
+// Scope does. Relaxed everywhere — the census is advisory (it only picks
+// the escalation schedule), never a synchronization edge.
+std::atomic<std::uint32_t> g_live_threads{1};
+
+std::uint32_t hardware_cpus() noexcept {
+  // hardware_concurrency() is not required to be cheap; cache it. 0 means
+  // "unknown" — treat as 1 so kAuto stays conservative (parks readily)
+  // rather than spinning on a host it knows nothing about.
+  static const std::uint32_t n = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : static_cast<std::uint32_t>(hw);
+  }();
+  return n;
+}
+
+}  // namespace
+
+void ThreadCensus::add() noexcept {
+  g_live_threads.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadCensus::remove() noexcept {
+  g_live_threads.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::uint32_t ThreadCensus::live() noexcept {
+  return g_live_threads.load(std::memory_order_relaxed);
+}
+
+bool ThreadCensus::oversubscribed() noexcept {
+  return live() > hardware_cpus();
+}
+
+#if defined(__linux__)
+
+namespace {
+long futex(const std::atomic<std::uint32_t>& word, int op, std::uint32_t val,
+           const struct timespec* timeout) noexcept {
+  // The atomic's storage is the futex word (guaranteed lock-free 32-bit).
+  return syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(&word), op,
+                 val, timeout, nullptr, 0);
+}
+}  // namespace
+
+void TimedWaitWord::store_and_wake(std::uint32_t value) noexcept {
+  word_.store(value, std::memory_order_release);
+  // INT_MAX = wake every parked waiter. (The count is an int in the
+  // kernel: an all-ones word would arrive as -1 and wake only one.)
+  futex(word_, FUTEX_WAKE_PRIVATE, INT_MAX, nullptr);
+}
+
+void TimedWaitWord::wait_for(std::uint32_t observed,
+                             std::chrono::nanoseconds timeout) {
+  if (timeout.count() <= 0) return;
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout.count() / 1'000'000'000);
+  ts.tv_nsec = static_cast<long>(timeout.count() % 1'000'000'000);
+  // The kernel re-checks word == observed under its own lock, so a wake
+  // racing this call is never lost; EAGAIN / EINTR / ETIMEDOUT all just
+  // return to the caller's re-check loop.
+  futex(word_, FUTEX_WAIT_PRIVATE, observed, &ts);
+}
+
+#else  // !__linux__
+
+void TimedWaitWord::store_and_wake(std::uint32_t value) noexcept {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    word_.store(value, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void TimedWaitWord::wait_for(std::uint32_t observed,
+                             std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait_for(lk, timeout, [&] {
+    return word_.load(std::memory_order_relaxed) != observed;
+  });
+}
+
+#endif
+
+}  // namespace reomp

@@ -1,0 +1,345 @@
+// The unified wait subsystem: every busy-wait in the runtime paces itself
+// through a Waiter, and every word a Waiter can park on is woken through
+// Waiter::notify.
+//
+// Grown out of the old Backoff helper after the 1-core replay livelock
+// (ROADMAP): the runtime had accumulated seven independent busy-wait
+// implementations (spinlock, ticket lock, sense barrier, the ST/DC/DE
+// replay gate waits, the ST group-commit wait, the romp fork-join/barrier
+// spins) with inconsistent escalation, and the paper's bare replay spin
+// (Fig. 4 line 11, Fig. 5 line 32) degrades to livelock whenever threads
+// outnumber cores — a waiter can burn its entire scheduler quantum polling
+// for a store that only the descheduled peer can publish. Under TSAN's
+// slowdown on a single core that starvation exceeded ctest's 900 s budget.
+//
+// Design:
+//
+//  * One policy enum (`WaitPolicy`) shared by the engine's replay knob,
+//    the romp sync knob, and the locks. `kAuto` is the default: no waiter
+//    may spin unboundedly — it escalates spin -> yield -> futex-park based
+//    on observed starvation (rounds without progress) and on whether live
+//    runtime threads exceed the hardware's concurrency (ThreadCensus).
+//  * A waitable-word abstraction: `pause_wait(word, observed)` inside the
+//    caller's re-checking loop, or `wait_until_changed(word, observed)`
+//    for the whole episode. Parking uses std::atomic::wait (futex on
+//    Linux).
+//  * A notify contract: every store that a parked waiter may be watching
+//    calls `Waiter::notify(word)`. Both libstdc++ and libc++ keep a
+//    per-address waiter count, so notifying with no one parked costs one
+//    shared load — publish sites notify unconditionally instead of
+//    guessing the waiter's policy. (Sites that provably never have a
+//    parkable waiter — e.g. a single-threaded replay — may still skip it.)
+//  * Episodes: escalation state belongs to one wait. A Waiter reused
+//    across acquisitions must `reset()` after success, otherwise a long
+//    first wait poisons later short waits with immediate yields/parks;
+//    `wait_until_changed` episodes are self-contained.
+//  * `TimedWaitWord` for waits that also need a deadline (the async trace
+//    writer's idle poll): timed futex on Linux, mutex+cv elsewhere.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+#if !defined(__linux__)
+#include <condition_variable>
+#include <mutex>
+#endif
+
+namespace reomp {
+
+/// Issue a CPU pause/yield hint appropriate for a busy-wait loop.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// How a waiter paces its polls. kAuto is the runtime-wide default; the
+/// fixed policies remain as ablation anchors and for waits with special
+/// requirements (see src/common/README.md for the per-site table).
+enum class WaitPolicy : std::uint8_t {
+  // One cpu_relax per check — the paper's bare `while (...)` spin
+  // (Fig. 5 line 32). Lowest handoff latency; correct only when every
+  // waiting thread owns a core.
+  kSpin,
+  // Short bounded pause growth, then yield. Safe under oversubscription
+  // (a descheduled peer must get a core to make progress) but every
+  // handoff still costs at least a reschedule round when it matters.
+  kSpinYield,
+  kYield,  // always yield; friendliest when threads >> cores
+  // Spin briefly, then park on the watched word with std::atomic::wait
+  // (futex on Linux). Wakers must notify; callers that only have pause()
+  // — no word to park on — degrade to yield pacing.
+  kBlock,
+  // The default: escalate spin -> yield -> park based on observed
+  // starvation, skipping the spin phase entirely when the thread census
+  // says the process is oversubscribed. Short waits stay syscall-free,
+  // and no waiter can spin (or yield-storm) unboundedly — the escape
+  // hatch that fixes the 1-core replay livelock without a tuning knob.
+  kAuto,
+};
+
+constexpr std::string_view to_string(WaitPolicy p) {
+  switch (p) {
+    case WaitPolicy::kSpin: return "spin";
+    case WaitPolicy::kSpinYield: return "spinyield";
+    case WaitPolicy::kYield: return "yield";
+    case WaitPolicy::kBlock: return "block";
+    case WaitPolicy::kAuto: return "auto";
+  }
+  return "?";
+}
+
+constexpr std::optional<WaitPolicy> wait_policy_from_string(
+    std::string_view s) {
+  if (s == "spin") return WaitPolicy::kSpin;
+  if (s == "spinyield" || s == "spin-yield") return WaitPolicy::kSpinYield;
+  if (s == "yield") return WaitPolicy::kYield;
+  if (s == "block") return WaitPolicy::kBlock;
+  if (s == "auto") return WaitPolicy::kAuto;
+  return std::nullopt;
+}
+
+/// Census of *runnable* runtime threads, feeding kAuto's oversubscription
+/// check. Long-lived runtime threads (romp workers, the async trace
+/// writer, bench pools) register through a Scope; the main thread is
+/// counted from process start. Threads that park for long stretches
+/// (the async writer's idle wait, a cv-parked idle team worker) step out
+/// with an Unpark... inverse scope while asleep, so an exactly-subscribed
+/// run — N compute threads on N cores plus a parked writer — is not
+/// misclassified as oversubscribed (which would skip the spin phase and
+/// futex-churn the hottest record-path locks). The census is advisory —
+/// an unregistered thread only delays parking until the starvation
+/// escalation kicks in, it never breaks correctness.
+class ThreadCensus {
+ public:
+  static void add() noexcept;
+  static void remove() noexcept;
+  [[nodiscard]] static std::uint32_t live() noexcept;
+  /// Runnable threads exceed the hardware's logical CPUs: at least one
+  /// runnable thread is not running, so unbounded polling can starve the
+  /// one thread that could make progress.
+  [[nodiscard]] static bool oversubscribed() noexcept;
+
+  class Scope {
+   public:
+    Scope() noexcept { add(); }
+    ~Scope() { remove(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+
+  /// Inverse scope for a registered thread about to block for a long,
+  /// CPU-free stretch (cv park, timed futex nap): it leaves the census
+  /// for the duration so runnable-thread arithmetic stays honest.
+  class ParkedScope {
+   public:
+    ParkedScope() noexcept { remove(); }
+    ~ParkedScope() { add(); }
+    ParkedScope(const ParkedScope&) = delete;
+    ParkedScope& operator=(const ParkedScope&) = delete;
+  };
+};
+
+/// One wait episode's pacing state. Construct (or reset()) per episode.
+class Waiter {
+ public:
+  using Policy = WaitPolicy;  // compatibility: Backoff::Policy call sites
+
+  explicit Waiter(WaitPolicy policy = WaitPolicy::kAuto) noexcept
+      : policy_(policy) {}
+
+  /// Pacing for waits with no single watched word (e.g. a ring-full retry
+  /// loop). Never parks — there is nothing to be notified on — so kBlock
+  /// and kAuto degrade to bounded-spin-then-yield here.
+  void pause() noexcept {
+    switch (policy_) {
+      case WaitPolicy::kSpin:
+        cpu_relax();
+        return;
+      case WaitPolicy::kSpinYield:
+        if (round_ < kSpinRounds) {
+          spin_round();
+        } else {
+          std::this_thread::yield();
+        }
+        break;
+      case WaitPolicy::kYield:
+      case WaitPolicy::kBlock:  // no address to park on: yield, as Backoff did
+        std::this_thread::yield();
+        break;
+      case WaitPolicy::kAuto:
+        if (round_ < spin_limit()) {
+          spin_round();
+        } else {
+          std::this_thread::yield();
+        }
+        break;
+    }
+    bump();
+  }
+
+  /// pause() variant for waits on a single atomic word: under the parking
+  /// policies (kBlock, kAuto) the caller eventually parks until `word`
+  /// changes from `observed`. The caller's loop must re-load and re-check
+  /// after every call — spurious wakeups are allowed. The matching
+  /// publish-side store must call notify(word).
+  template <typename T>
+  void pause_wait(const std::atomic<T>& word, T observed) noexcept {
+    switch (policy_) {
+      case WaitPolicy::kBlock:
+        // Short fixed spin keeps back-to-back handoffs syscall-free.
+        if (round_ < kSpinRounds) {
+          spin_round();
+          bump();
+        } else {
+          word.wait(observed, std::memory_order_relaxed);
+        }
+        return;
+      case WaitPolicy::kAuto: {
+        // Starvation escalation: spin (skipped when oversubscribed) ->
+        // a bounded run of yields -> park. Each call is one round without
+        // progress, so the pre-park phase is strictly bounded.
+        const std::uint32_t spin = spin_limit();
+        const std::uint32_t park_at =
+            spin + (spin != 0 ? kYieldRounds : kYieldRoundsOversub);
+        if (round_ < spin) {
+          spin_round();
+          bump();
+        } else if (round_ < park_at) {
+          std::this_thread::yield();
+          bump();
+        } else {
+          word.wait(observed, std::memory_order_relaxed);
+        }
+        return;
+      }
+      default:
+        pause();
+        return;
+    }
+  }
+
+  /// Block until `word` differs from `observed`; returns the new value.
+  /// A self-contained wait episode (fresh escalation state).
+  template <typename T>
+  [[nodiscard]] static T wait_until_changed(
+      const std::atomic<T>& word, T observed,
+      WaitPolicy policy = WaitPolicy::kAuto) noexcept {
+    Waiter w(policy);
+    T cur = word.load(std::memory_order_acquire);
+    while (cur == observed) {
+      w.pause_wait(word, observed);
+      cur = word.load(std::memory_order_acquire);
+    }
+    return cur;
+  }
+
+  /// Wake every waiter parked on `word`. Publish sites call this after the
+  /// store a waiter may be parked on. Cheap when nobody is parked: the
+  /// standard library keeps a per-address waiter count and skips the futex
+  /// syscall (one shared load), so this needs no policy plumbing on the
+  /// publish side.
+  template <typename T>
+  static void notify(std::atomic<T>& word) noexcept {
+    word.notify_all();
+  }
+
+  /// Whether a waiter under `policy` may park — i.e. whether the matching
+  /// publish sites are obligated to notify.
+  [[nodiscard]] static constexpr bool can_park(WaitPolicy policy) noexcept {
+    return policy == WaitPolicy::kBlock || policy == WaitPolicy::kAuto;
+  }
+
+  /// Start a new wait episode. Callers that reuse one Waiter across
+  /// acquisitions (e.g. a retry loop around a lock) must call this after
+  /// each success, or a long first wait poisons later short waits with
+  /// immediate yields/parks.
+  void reset() noexcept {
+    round_ = 0;
+    census_checked_ = false;
+  }
+
+  [[nodiscard]] std::uint32_t rounds() const noexcept { return round_; }
+
+ private:
+  // 2^4 = 16 pauses (~0.5 us) in the last pre-yield round: long enough to
+  // catch back-to-back handoffs, short enough not to serialize replay.
+  static constexpr std::uint32_t kSpinRounds = 4;
+  // kAuto: yields tolerated before parking. Uncontended-host handoffs
+  // rarely need even one; an oversubscribed host parks almost immediately
+  // (the yield storm is the failure mode being escaped).
+  static constexpr std::uint32_t kYieldRounds = 16;
+  static constexpr std::uint32_t kYieldRoundsOversub = 2;
+  static constexpr std::uint32_t kMaxRound = 64;
+
+  void spin_round() noexcept {
+    const std::uint32_t spins =
+        1u << (round_ < kSpinRounds ? round_ : kSpinRounds);
+    for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+  }
+
+  void bump() noexcept {
+    if (round_ < kMaxRound) ++round_;
+  }
+
+  /// kAuto/kBlock spin budget, decided once per episode: oversubscribed
+  /// processes skip the spin phase (the cycles only starve the publisher).
+  std::uint32_t spin_limit() noexcept {
+    if (!census_checked_) {
+      spin_limit_ = ThreadCensus::oversubscribed() ? 0 : kSpinRounds;
+      census_checked_ = true;
+    }
+    return spin_limit_;
+  }
+
+  WaitPolicy policy_;
+  std::uint32_t round_ = 0;
+  std::uint32_t spin_limit_ = kSpinRounds;
+  bool census_checked_ = false;
+};
+
+/// A 32-bit waitable word with a *timed* park: wait_for returns when the
+/// word changes, a wake arrives, the timeout elapses, or spuriously.
+/// Linux parks on a raw futex (std::atomic::wait has no deadline);
+/// elsewhere a mutex+cv pair backs the same contract. Used by waits that
+/// must wake on their own schedule even if nobody notifies — e.g. the
+/// async trace writer's idle poll, whose producers are lock-free record
+/// paths that never notify.
+class TimedWaitWord {
+ public:
+  TimedWaitWord() = default;
+  TimedWaitWord(const TimedWaitWord&) = delete;
+  TimedWaitWord& operator=(const TimedWaitWord&) = delete;
+
+  [[nodiscard]] std::uint32_t load(
+      std::memory_order order = std::memory_order_acquire) const noexcept {
+    return word_.load(order);
+  }
+
+  /// Publish `value` and wake every parked waiter.
+  void store_and_wake(std::uint32_t value) noexcept;
+
+  /// Park while `word == observed`, for at most `timeout`.
+  void wait_for(std::uint32_t observed, std::chrono::nanoseconds timeout);
+
+ private:
+  std::atomic<std::uint32_t> word_{0};
+#if !defined(__linux__)
+  std::mutex mu_;
+  std::condition_variable cv_;
+#endif
+};
+
+}  // namespace reomp

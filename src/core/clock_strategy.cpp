@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/common/backoff.hpp"
+#include "src/common/waiter.hpp"
 #include "src/core/engine.hpp"
 
 namespace reomp::core {
@@ -23,7 +23,8 @@ ClockStrategyBase::ClockStrategyBase(Engine& engine, bool use_epochs)
       owner_flushes_(engine.options().trace_writer != TraceWriter::kAsync),
       collect_stats_(engine.options().collect_epoch_stats),
       prefetch_(engine.replay_prefetched()),
-      block_waiters_(engine.options().wait_policy == Backoff::Policy::kBlock),
+      notify_waiters_(Waiter::can_park(engine.options().wait_policy) &&
+                      engine.options().num_threads > 1),
       wait_policy_(engine.options().wait_policy),
       history_cap_(engine.options().history_capacity) {}
 
@@ -173,9 +174,9 @@ void ClockStrategyBase::replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
   // once (DE) and exactly one access at a time for unique values (DC).
   std::uint64_t seen = g.next_clock->load(std::memory_order_acquire);
   if (seen < value) {
-    Backoff backoff(wait_policy_);
+    Waiter waiter(wait_policy_);
     do {
-      backoff.pause_wait(*g.next_clock, seen);
+      waiter.pause_wait(*g.next_clock, seen);
     } while ((seen = g.next_clock->load(std::memory_order_acquire)) < value);
   }
 }
@@ -218,10 +219,10 @@ void ClockStrategyBase::replay_gate_out(ThreadCtx& t, GateState& g, GateId,
     // overlap): completions must accumulate on the shared counter.
     g.next_clock->fetch_add(1, std::memory_order_acq_rel);
   }
-  // Parked waiters (wait_policy=block) need an explicit wake; the spin
-  // policies poll and must not pay the futex syscall. Nothing to wake when
-  // next_clock did not move.
-  if (block_waiters_ && published) g.next_clock->notify_all();
+  // Parked waiters (wait_policy=block/auto) need an explicit wake; the
+  // polling policies must not pay even the notify's shared load. Nothing
+  // to wake when next_clock did not move.
+  if (notify_waiters_ && published) Waiter::notify(*g.next_clock);
 }
 
 void ClockStrategyBase::finalize_record(ThreadCtx& t) {

@@ -84,8 +84,11 @@ class ClockStrategyBase : public IStrategy {
   const bool owner_flushes_;    // false => the async writer drains the rings
   const bool collect_stats_;
   const bool prefetch_;         // replay from the pre-decoded schedule
-  const bool block_waiters_;    // wait_policy=block: gate_out must notify
-  const Backoff::Policy wait_policy_;  // cached off Options for the hot loop
+  // A waiter under this run's policy may park on next_clock, so every
+  // publish must notify (false for the polling policies, and for
+  // single-threaded replays where no peer can ever be waiting).
+  const bool notify_waiters_;
+  const WaitPolicy wait_policy_;  // cached off Options for the hot loop
   const std::uint32_t history_cap_;
 };
 

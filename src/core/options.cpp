@@ -11,14 +11,6 @@ namespace reomp::core {
 
 namespace {
 
-std::optional<Backoff::Policy> wait_policy_from_string(std::string_view s) {
-  if (s == "spin") return Backoff::Policy::kSpin;
-  if (s == "spinyield" || s == "spin-yield") return Backoff::Policy::kSpinYield;
-  if (s == "yield") return Backoff::Policy::kYield;
-  if (s == "block") return Backoff::Policy::kBlock;
-  return std::nullopt;
-}
-
 /// Strict boolean knob: unset keeps the default; anything outside the
 /// accepted spellings throws (same rationale as the capacity knobs).
 bool env_bool_strict(const char* name, bool fallback) {
@@ -95,11 +87,13 @@ Options Options::from_env(std::uint32_t num_threads) {
   opt.sync_stripes =
       env_capacity_strict("REOMP_SYNC_STRIPES", opt.sync_stripes);
   if (auto w = env_string("REOMP_WAIT_POLICY")) {
+    // Parser shared with the wait subsystem (src/common/waiter.hpp) so the
+    // knob, the bench --wait flag, and the policy enum can never drift.
     if (auto parsed = wait_policy_from_string(*w)) {
       opt.wait_policy = *parsed;
     } else {
       throw std::runtime_error("REOMP_WAIT_POLICY='" + *w +
-                               "' (expected spin|spinyield|yield)");
+                               "' (expected spin|spinyield|yield|block|auto)");
     }
   }
   if (auto w = env_string("REOMP_TRACE_WRITER")) {

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <string>
 
-#include "src/common/backoff.hpp"
+#include "src/common/waiter.hpp"
 #include "src/core/types.hpp"
 
 namespace reomp::core {
@@ -67,12 +67,14 @@ struct Options {
   /// "long-enough ring buffer", §IV-D). Ablated by bench_ablation_ring.
   std::uint32_t history_capacity = 1u << 20;
 
-  /// Replay waiter policy (ablation: spin vs yield vs block). Pure spin is
-  /// the paper's replay loop and the right default when every thread owns
-  /// a core; switch to kSpinYield/kYield when oversubscribed, or kBlock
-  /// (futex parking via std::atomic::wait) when threads far outnumber
-  /// cores and even a yield round per handoff is too expensive.
-  Backoff::Policy wait_policy = Backoff::Policy::kSpin;
+  /// Replay waiter policy. kAuto (the default) escalates spin -> yield ->
+  /// futex-park based on observed starvation and the live-thread census,
+  /// so a replay handoff stays spin-cheap when every thread owns a core
+  /// and parks instead of livelocking when oversubscribed (the 1-core
+  /// TSAN roundtrip hang; see src/common/README.md). The fixed policies
+  /// remain as ablation anchors: kSpin is the paper's bare replay loop,
+  /// kBlock parks after a short fixed spin.
+  WaitPolicy wait_policy = WaitPolicy::kAuto;
 
   /// Replay fast path: bulk-decode every record stream into a flat
   /// in-memory schedule at engine construction, so replay_gate_in is an

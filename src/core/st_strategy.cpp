@@ -1,6 +1,6 @@
 #include "src/core/st_strategy.hpp"
 
-#include "src/common/backoff.hpp"
+#include "src/common/waiter.hpp"
 #include "src/core/engine.hpp"
 
 namespace reomp::core {
@@ -9,7 +9,8 @@ StStrategy::StStrategy(Engine& engine)
     : engine_(engine),
       owner_commits_(engine.options().trace_writer != TraceWriter::kAsync),
       prefetch_(engine.replay_prefetched()),
-      block_waiters_(engine.options().wait_policy == Backoff::Policy::kBlock),
+      notify_waiters_(Waiter::can_park(engine.options().wait_policy) &&
+                      engine.options().num_threads > 1),
       wait_policy_(engine.options().wait_policy) {}
 
 void StStrategy::record_gate_in(ThreadCtx&, GateState& g, AccessKind) {
@@ -39,14 +40,16 @@ void StStrategy::record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
   const std::uint64_t word = Engine::StChannel::pack(gid, t.tid);
   // Deliberately NOT Options::wait_policy (that knob tunes replay
   // handoffs): this wait holds the gate lock and blocks on the committer
-  // making progress, so it must escalate to yield on oversubscribed hosts.
-  Backoff backoff;
+  // making progress. There is no single word to park on (progress is "a
+  // staging slot freed"), so the kAuto pacing here is pause()-only: it
+  // escalates to yield on oversubscribed hosts but never parks.
+  Waiter waiter;
   while (!st.staging->try_push(word)) {
     if (owner_commits_ && st.file_lock.try_lock()) {
       st.commit_staged();
       st.file_lock.unlock();
     } else {
-      backoff.pause();
+      waiter.pause();
     }
   }
   g.lock.unlock();
@@ -86,15 +89,15 @@ void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
     t.replay_turn = turn;
     std::uint64_t seen = st.seq->load(std::memory_order_acquire);
     if (seen < turn) {
-      Backoff backoff(wait_policy_);
+      Waiter waiter(wait_policy_);
       do {
-        backoff.pause_wait(*st.seq, seen);
+        waiter.pause_wait(*st.seq, seen);
       } while ((seen = st.seq->load(std::memory_order_acquire)) < turn);
     }
     return;
   }
   const std::uint64_t me = Engine::StChannel::pack(gid, t.tid);
-  Backoff backoff(wait_policy_);
+  Waiter waiter(wait_policy_);
   for (;;) {
     const std::uint64_t cur = st.current.load(std::memory_order_acquire);
     if (cur == me) return;  // my turn (Fig. 4 line 11 exit)
@@ -112,7 +115,7 @@ void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
             engine_.gate_ref(gid).name + "' but the record expects gate '" +
             engine_.gate_ref(Engine::StChannel::gate_of(cur)).name + "'");
       }
-      backoff.pause_wait(st.current, cur);
+      waiter.pause_wait(st.current, cur);
       continue;
     }
     // Fig. 4 lines 12-14: cursor empty — any thread may read the next
@@ -127,11 +130,11 @@ void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
                                      static_cast<ThreadId>(entry->value))
                                : Engine::StChannel::kExhausted,
                          std::memory_order_release);
-        if (block_waiters_) st.current.notify_all();
+        if (notify_waiters_) Waiter::notify(st.current);
       }
       st.cursor_lock.unlock();
     } else {
-      backoff.pause_wait(st.current, cur);
+      waiter.pause_wait(st.current, cur);
     }
   }
 }
@@ -145,13 +148,13 @@ void StStrategy::replay_gate_out(ThreadCtx& t, GateState&, GateId,
     // turn is exclusive (seq == replay_turn and every other thread is
     // still waiting), so a plain release store replaces the locked RMW.
     st.seq->store(t.replay_turn + 1, std::memory_order_release);
-    if (block_waiters_) st.seq->notify_all();
+    if (notify_waiters_) Waiter::notify(*st.seq);
     return;
   }
   // Fig. 4 line 17 analogue: releasing the turn is the signal to the thread
   // that will read the next entry (inter-thread communication ST-4/ST-5).
   st.current.store(Engine::StChannel::kNone, std::memory_order_release);
-  if (block_waiters_) st.current.notify_all();
+  if (notify_waiters_) Waiter::notify(st.current);
 }
 
 void StStrategy::finalize_record(ThreadCtx&) {

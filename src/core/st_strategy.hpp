@@ -49,8 +49,11 @@ class StStrategy final : public IStrategy {
   Engine& engine_;
   const bool owner_commits_;  // false => the async writer drains the staging
   const bool prefetch_;       // replay from per-thread ordinal positions
-  const bool block_waiters_;  // wait_policy=block: turn release must notify
-  const Backoff::Policy wait_policy_;  // cached off Options for the hot loop
+  // A waiter under this run's policy may park on seq/current, so every
+  // turn publish must notify (false for polling policies and 1-thread
+  // replays, where no peer can be waiting).
+  const bool notify_waiters_;
+  const WaitPolicy wait_policy_;  // cached off Options for the hot loop
 };
 
 }  // namespace reomp::core

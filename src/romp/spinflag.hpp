@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/common/waiter.hpp"
 #include "src/romp/team.hpp"
 
 namespace reomp::romp {
@@ -31,14 +32,26 @@ class SpinFlag {
 
   /// Consumer side: poll until the value reaches at least `target`.
   /// `max_polls` bounds the number of *gated* polls so record and replay
-  /// perform identical access counts; between gated polls the caller's
-  /// thread yields. Returns the observed value.
+  /// perform identical access counts; between gated polls the caller
+  /// paces with the adaptive waiter. pause()-only, never a park on
+  /// `flag_`: during replay the producer's publishing store is itself
+  /// schedule-gated and may be ordered *after* this consumer's next poll,
+  /// so a consumer parked on the flag until the producer stores would
+  /// deadlock the very schedule it is replaying. Observing a new (still
+  /// too small) value is progress and resets the escalation.
   std::uint64_t wait_at_least(WorkerCtx& w, std::uint64_t target,
                               std::uint64_t max_polls = ~std::uint64_t{0}) {
     std::uint64_t v = 0;
+    Waiter waiter;
+    std::uint64_t last = ~std::uint64_t{0};
     for (std::uint64_t i = 0; i < max_polls; ++i) {
       v = poll(w);
       if (v >= target) break;
+      if (v != last) {
+        last = v;
+        waiter.reset();
+      }
+      waiter.pause();
     }
     return v;
   }

@@ -3,8 +3,8 @@
 #include <algorithm>
 
 #include "src/common/affinity.hpp"
-#include "src/common/backoff.hpp"
 #include "src/common/log.hpp"
+#include "src/common/waiter.hpp"
 
 namespace reomp::romp {
 
@@ -74,6 +74,10 @@ Handle Team::register_handle_with_plan(const std::string& name,
 }
 
 void Team::worker_loop(std::uint32_t tid) {
+  // Census registration feeds the kAuto escalation: once a team's workers
+  // outnumber the cores, every adaptive wait in the process knows to park
+  // early instead of burning quanta.
+  ThreadCensus::Scope census;
   if (opt_.pin_threads) pin_current_thread(tid);
   core::ThreadCtx& rctx = engine_->bind_thread(tid);
   std::uint64_t seen_generation = 0;
@@ -85,20 +89,29 @@ void Team::worker_loop(std::uint32_t tid) {
     // through an atomic before the generation bump, so acquiring the
     // generation also acquires the task (23 workers serially taking a
     // futex mutex per region would dominate the launch).
+    // Oversubscribed teams skip the spin phase: on a time-sliced core the
+    // whole budget elapses inside one quantum without the launcher ever
+    // running, so it only delays the cv park that lets the launcher run.
     bool ready = false;
     {
-      Backoff backoff(Backoff::Policy::kSpin);
-      for (int spin = 0; spin < 20000; ++spin) {
+      const int spin_budget = ThreadCensus::oversubscribed() ? 0 : 20000;
+      Waiter waiter(WaitPolicy::kSpin);
+      for (int spin = 0; spin < spin_budget; ++spin) {
         if (generation_pub_->load(std::memory_order_acquire) !=
                 seen_generation ||
             shutdown_->load(std::memory_order_acquire)) {
           ready = true;
           break;
         }
-        backoff.pause();
+        waiter.pause();
       }
     }
     if (!ready) {
+      // A cv-parked idle worker burns no CPU: step out of the runnable
+      // census for the nap so concurrently-running teams (or the record
+      // path after this team goes idle) are not misclassified as
+      // oversubscribed.
+      ThreadCensus::ParkedScope parked;
       std::unique_lock<std::mutex> lock(pool_mu_);
       ++sleepers_;
       pool_cv_.wait(lock, [&] {
@@ -119,7 +132,12 @@ void Team::worker_loop(std::uint32_t tid) {
       std::lock_guard<std::mutex> lock(error_mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
-    outstanding_->fetch_sub(1, std::memory_order_acq_rel);
+    // The joiner only resumes at zero, so only the last worker must wake
+    // it; intermediate decrements change the word, which is enough to
+    // bounce a concurrently-parking joiner off its futex re-check.
+    if (outstanding_->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      Waiter::notify(*outstanding_);
+    }
   }
 }
 
@@ -149,10 +167,13 @@ void Team::parallel(const std::function<void(WorkerCtx&)>& fn) {
     if (!first_error_) first_error_ = std::current_exception();
   }
 
-  // Spin-join: workers decrement `outstanding_` as they finish.
-  Backoff backoff(opt_.sync_policy);
-  while (outstanding_->load(std::memory_order_acquire) != 0) {
-    backoff.pause();
+  // Adaptive join: workers decrement `outstanding_` as they finish; the
+  // last one notifies, so a starved joiner parks on the count instead of
+  // spinning against the very workers it waits for.
+  Waiter waiter(opt_.sync_policy);
+  std::uint32_t left;
+  while ((left = outstanding_->load(std::memory_order_acquire)) != 0) {
+    waiter.pause_wait(*outstanding_, left);
   }
 
   std::exception_ptr err;
@@ -204,10 +225,11 @@ void Team::barrier(WorkerCtx&) {
     if (detector_) detector_->on_barrier();
     barrier_arrived_->store(0, std::memory_order_relaxed);
     barrier_phase_->store(phase + 1, std::memory_order_release);
+    Waiter::notify(*barrier_phase_);
   } else {
-    Backoff backoff(opt_.sync_policy);
+    Waiter waiter(opt_.sync_policy);
     while (barrier_phase_->load(std::memory_order_acquire) == phase) {
-      backoff.pause();
+      waiter.pause_wait(*barrier_phase_, phase);
     }
   }
 }

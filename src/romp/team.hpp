@@ -71,11 +71,12 @@ struct TeamOptions {
   bool detect = false;       // attach the race detector (forces engine off)
   bool pin_threads = true;   // worker k -> cpu k (paper's affinity policy)
   /// Wait policy for team barriers and the fork-join. Distinct from the
-  /// engine's replay-gate policy: replay handoffs arrive every few hundred
-  /// ns and must pure-spin, while barrier/join waits bracket milliseconds
-  /// of compute where briefly yielding costs nothing and coexists with
-  /// shared/virtualized cores.
-  Backoff::Policy sync_policy = Backoff::Policy::kSpinYield;
+  /// engine's replay-gate policy knob, but both default to the unified
+  /// kAuto escalation: barrier/join waits bracket milliseconds of compute,
+  /// so they spin briefly when cores are free and park (join on
+  /// `outstanding_`, barrier on `barrier_phase_`) once starved or
+  /// oversubscribed.
+  WaitPolicy sync_policy = WaitPolicy::kAuto;
 };
 
 class Team {

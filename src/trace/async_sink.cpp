@@ -35,24 +35,28 @@ std::size_t AsyncTraceWriter::sweep() {
 }
 
 void AsyncTraceWriter::run() {
+  // The writer competes with the record threads for cores, so it counts
+  // toward the census that steers every adaptive wait in the process.
+  ThreadCensus::Scope census;
   for (;;) {
     const std::size_t moved = sweep();
-    std::unique_lock<std::mutex> lk(mu_);
-    if (stop_requested_) return;
+    if (stop_word_.load() != 0) return;
     if (moved == 0) {
-      cv_.wait_for(lk, kIdleWait, [this] { return stop_requested_; });
+      // Timed park: the ring producers are lock-free and never notify, so
+      // the idle writer must wake on its own schedule to keep the rings
+      // bounded; stop()'s publish cuts the nap short. While napping the
+      // writer burns no CPU, so it steps out of the runnable census —
+      // otherwise an exactly-subscribed record run would be misclassified
+      // as oversubscribed for the whole run.
+      ThreadCensus::ParkedScope parked;
+      stop_word_.wait_for(0, kIdleWait);
     }
   }
 }
 
 void AsyncTraceWriter::stop() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (stopped_) return;
-    stopped_ = true;
-    stop_requested_ = true;
-  }
-  cv_.notify_all();
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_word_.store_and_wake(1);
   if (thread_.joinable()) thread_.join();
   // The writer thread is gone; finish the job single-threaded. Producers
   // must have quiesced by now (Engine::finalize runs after the parallel

@@ -12,21 +12,24 @@
 // and hands the sink one bulk write. Memory stays bounded by the ring
 // capacities plus one batch per stream.
 //
-// Shutdown protocol (Engine::finalize): stop() parks the writer thread,
-// joins it, and then runs final drain passes on the *caller* thread until
-// every stream reports empty — by that point the engine has resolved all
-// dangling pending stores, so one pass normally suffices. After stop()
-// returns, all recorded entries are in the sinks and the caller may flush
-// and close them.
+// Shutdown protocol (Engine::finalize): stop() publishes the shutdown
+// flag — a waitable word the idle writer parks on, with a timed futex so
+// it still self-wakes to sweep rings whose lock-free producers never
+// notify — wakes and joins the writer thread, and then runs final drain
+// passes on the *caller* thread until every stream reports empty — by
+// that point the engine has resolved all dangling pending stores, so one
+// pass normally suffices. After stop() returns, all recorded entries are
+// in the sinks and the caller may flush and close them.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/waiter.hpp"
 
 namespace reomp::trace {
 
@@ -68,10 +71,12 @@ class AsyncTraceWriter {
 
   std::vector<DrainFn> streams_;
   std::thread thread_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;  // under mu_
-  bool stopped_ = false;
+  // Shutdown flag (0 = running, 1 = stop requested): the writer's idle
+  // wait parks on it with a deadline, and stop()'s publish wakes any
+  // parked writer immediately — the notify half of the wait-subsystem
+  // contract for this word.
+  TimedWaitWord stop_word_;
+  std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> drained_{0};
   std::atomic<std::uint64_t> idle_sweeps_{0};
 };

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -17,6 +18,7 @@
 #include "src/common/spinlock.hpp"
 #include "src/common/ticket_lock.hpp"
 #include "src/common/varint.hpp"
+#include "src/common/waiter.hpp"
 
 namespace reomp {
 namespace {
@@ -72,6 +74,160 @@ TEST(Backoff, BlockPolicyBarePauseDegradesToYield) {
   while (!flag.load(std::memory_order_acquire)) backoff.pause();
   setter.join();
   SUCCEED();
+}
+
+// ---------- Waiter (the unified subsystem grown out of Backoff) ----------
+
+TEST(Waiter, AutoPolicyParkedWaiterWakesOnNotify) {
+  // The directed wake test for the notify contract: drive an auto-policy
+  // waiter well past its escalation budget so it is parked on the word,
+  // then perform exactly one publish (store + notify). The waiter's
+  // predicate is satisfied only by that store, so joining proves the
+  // notify reached a parked waiter — no spurious wake can finish the
+  // loop, and no second publish ever happens.
+  std::atomic<std::uint64_t> word{0};
+  std::atomic<std::uint32_t> polls{0};
+  std::thread waiter_thread([&] {
+    Waiter waiter(WaitPolicy::kAuto);
+    std::uint64_t seen;
+    while ((seen = word.load(std::memory_order_acquire)) != 1) {
+      polls.fetch_add(1, std::memory_order_relaxed);
+      waiter.pause_wait(word, seen);
+    }
+  });
+  // Wait until the waiter has stopped polling: kAuto's pre-park phase is
+  // strictly bounded, so a stalled poll counter means it is parked (or
+  // mid-park — the store-then-notify publish below covers that window via
+  // the futex's value re-check).
+  std::uint32_t last = polls.load(std::memory_order_relaxed);
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const std::uint32_t cur = polls.load(std::memory_order_relaxed);
+    if (cur != 0 && cur == last) break;
+    last = cur;
+  }
+  word.store(1, std::memory_order_release);
+  Waiter::notify(word);
+  waiter_thread.join();
+  EXPECT_EQ(word.load(), 1u);
+}
+
+TEST(Waiter, AutoPolicyBarePauseNeverParks) {
+  // With no word to park on, kAuto must keep polling (spin then yield):
+  // progress with no notifier at all.
+  std::atomic<bool> flag{false};
+  std::thread setter([&] { flag.store(true, std::memory_order_release); });
+  Waiter waiter;  // kAuto is the default
+  while (!flag.load(std::memory_order_acquire)) waiter.pause();
+  setter.join();
+  SUCCEED();
+}
+
+TEST(Waiter, ResetStartsAFreshEpisode) {
+  // A Waiter reused across wait episodes must not carry escalation state
+  // over: a long first wait would otherwise poison later short waits with
+  // immediate yields/parks (the TicketLock-style reuse bug). reset()
+  // returns the waiter to the spin phase.
+  Waiter waiter(WaitPolicy::kSpinYield);
+  for (int i = 0; i < 40; ++i) waiter.pause();
+  EXPECT_GT(waiter.rounds(), 4u);  // escalated past the spin phase
+  waiter.reset();
+  EXPECT_EQ(waiter.rounds(), 0u);  // next episode spins from scratch
+}
+
+TEST(Waiter, CanParkMatchesPolicyTable) {
+  // The publish sites key their notify obligation off this predicate.
+  EXPECT_TRUE(Waiter::can_park(WaitPolicy::kBlock));
+  EXPECT_TRUE(Waiter::can_park(WaitPolicy::kAuto));
+  EXPECT_FALSE(Waiter::can_park(WaitPolicy::kSpin));
+  EXPECT_FALSE(Waiter::can_park(WaitPolicy::kSpinYield));
+  EXPECT_FALSE(Waiter::can_park(WaitPolicy::kYield));
+}
+
+TEST(Waiter, WaitUntilChangedReturnsNewValue) {
+  std::atomic<std::uint32_t> word{7};
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    word.store(9, std::memory_order_release);
+    Waiter::notify(word);
+  });
+  EXPECT_EQ(Waiter::wait_until_changed(word, 7u), 9u);
+  setter.join();
+}
+
+TEST(Waiter, PolicyNamesRoundTrip) {
+  for (const auto p : {WaitPolicy::kSpin, WaitPolicy::kSpinYield,
+                       WaitPolicy::kYield, WaitPolicy::kBlock,
+                       WaitPolicy::kAuto}) {
+    const auto parsed = wait_policy_from_string(to_string(p));
+    ASSERT_TRUE(parsed.has_value()) << to_string(p);
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(wait_policy_from_string("adaptive").has_value());
+  EXPECT_FALSE(wait_policy_from_string("").has_value());
+}
+
+TEST(ThreadCensus, ScopesNest) {
+  const std::uint32_t base = ThreadCensus::live();
+  {
+    ThreadCensus::Scope a;
+    ThreadCensus::Scope b;
+    EXPECT_EQ(ThreadCensus::live(), base + 2);
+  }
+  EXPECT_EQ(ThreadCensus::live(), base);
+}
+
+TEST(TimedWaitWord, WakesEveryParkedWaiter) {
+  // store_and_wake is a broadcast: with several threads parked on the
+  // same word under generous deadlines, one publish must release them
+  // all promptly. (Regression: the futex wake count is an int in the
+  // kernel — an all-ones count arrives as -1 and wakes only one waiter,
+  // leaving the rest to sleep out their full timeouts.)
+  TimedWaitWord w;
+  constexpr int kWaiters = 3;
+  std::atomic<int> awake{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      while (w.load() == 0) w.wait_for(0, std::chrono::seconds(30));
+      awake.fetch_add(1, std::memory_order_acq_rel);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto t0 = std::chrono::steady_clock::now();
+  w.store_and_wake(1);
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(awake.load(), kWaiters);
+  // All of them woke on the publish, not on their 30 s deadlines.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(10));
+}
+
+TEST(ThreadCensus, ParkedScopeStepsOut) {
+  ThreadCensus::Scope in;
+  const std::uint32_t base = ThreadCensus::live();
+  {
+    ThreadCensus::ParkedScope parked;
+    EXPECT_EQ(ThreadCensus::live(), base - 1);
+  }
+  EXPECT_EQ(ThreadCensus::live(), base);
+}
+
+TEST(TimedWaitWord, TimesOutWithoutAWakeAndWakesOnPublish) {
+  TimedWaitWord w;
+  // No publisher: the timed park must return on its own.
+  w.wait_for(0, std::chrono::milliseconds(1));
+  EXPECT_EQ(w.load(), 0u);
+  // Publisher: the park must end promptly even with a generous deadline.
+  std::thread publisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    w.store_and_wake(3);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  while (w.load() == 0) w.wait_for(0, std::chrono::seconds(30));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  publisher.join();
+  EXPECT_EQ(w.load(), 3u);
+  EXPECT_LT(waited, std::chrono::seconds(10));
 }
 
 // ---------- RingBuffer ----------

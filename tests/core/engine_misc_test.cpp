@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <utility>
 
 #include "src/core/bundle.hpp"
 #include "src/core/engine.hpp"
@@ -52,7 +53,7 @@ TEST(OptionsFromEnv, ParsesTuningKnobs) {
   ::setenv("REOMP_RING_CAPACITY", "512", 1);
   ::setenv("REOMP_STAGING_CAPACITY", "1024", 1);
   const Options opt = Options::from_env(2);
-  EXPECT_EQ(opt.wait_policy, Backoff::Policy::kYield);
+  EXPECT_EQ(opt.wait_policy, WaitPolicy::kYield);
   EXPECT_EQ(opt.trace_writer, TraceWriter::kAsync);
   EXPECT_EQ(opt.record_ring_capacity, 512u);
   EXPECT_EQ(opt.staging_ring_capacity, 1024u);
@@ -67,13 +68,39 @@ TEST(OptionsFromEnv, ParsesReplayKnobs) {
   const Options opt = Options::from_env(2);
   EXPECT_FALSE(opt.replay_prefetch);
   EXPECT_EQ(opt.replay_mem_cap, 4096u);
-  EXPECT_EQ(opt.wait_policy, Backoff::Policy::kBlock);
+  EXPECT_EQ(opt.wait_policy, WaitPolicy::kBlock);
 }
 
 TEST(OptionsFromEnv, ReplayKnobDefaults) {
   const Options opt = Options::from_env(1);
   EXPECT_TRUE(opt.replay_prefetch);        // fast path is the default
   EXPECT_EQ(opt.replay_mem_cap, 1ull << 30);
+  // The adaptive escalation is the default waiter: no knob needed for the
+  // oversubscribed case (the 1-core livelock fix must not be opt-in).
+  EXPECT_EQ(opt.wait_policy, WaitPolicy::kAuto);
+}
+
+TEST(OptionsFromEnv, WaitPolicyParsesStrictly) {
+  // Accepts exactly spin|spinyield|yield|block|auto; junk throws rather
+  // than silently reverting (a typo'd policy would masquerade as a
+  // measurement of the requested configuration — or re-introduce the
+  // livelocking spin on an oversubscribed host).
+  EnvGuard g("REOMP_WAIT_POLICY");
+  const std::pair<const char*, WaitPolicy> accepted[] = {
+      {"spin", WaitPolicy::kSpin},   {"spinyield", WaitPolicy::kSpinYield},
+      {"yield", WaitPolicy::kYield}, {"block", WaitPolicy::kBlock},
+      {"auto", WaitPolicy::kAuto},
+  };
+  for (const auto& [name, policy] : accepted) {
+    ::setenv("REOMP_WAIT_POLICY", name, 1);
+    EXPECT_EQ(Options::from_env(1).wait_policy, policy) << name;
+  }
+  for (const char* junk : {"", "Auto", "AUTO", "auto ", "spin,auto", "futex",
+                           "adaptive", "0", "1"}) {
+    ::setenv("REOMP_WAIT_POLICY", junk, 1);
+    EXPECT_THROW(Options::from_env(1), std::runtime_error) << '\'' << junk
+                                                           << '\'';
+  }
 }
 
 TEST(OptionsFromEnv, InvalidReplayKnobsThrow) {
@@ -101,7 +128,7 @@ TEST(OptionsFromEnv, InvalidReplayKnobsThrow) {
     ::setenv("REOMP_WAIT_POLICY", "park", 1);
     EXPECT_THROW(Options::from_env(1), std::runtime_error);
     ::setenv("REOMP_WAIT_POLICY", "block", 1);
-    EXPECT_EQ(Options::from_env(1).wait_policy, Backoff::Policy::kBlock);
+    EXPECT_EQ(Options::from_env(1).wait_policy, WaitPolicy::kBlock);
   }
   EXPECT_NO_THROW(Options::from_env(1));  // guards unset everything
 }

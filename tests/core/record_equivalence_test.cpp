@@ -146,10 +146,9 @@ TEST(AsyncAppReplay, EveryAppReplaysItsAsyncRecord) {
       apps::RunConfig rep = rec;
       rep.engine.mode = Mode::kReplay;
       rep.engine.bundle = &recorded.bundle;
-      // Oversubscribed test hosts replay fragmented async schedules slowly
-      // under the default pure-spin waiter; yield-escalation is the
-      // documented remedy and keeps this sweep bounded.
-      rep.engine.wait_policy = Backoff::Policy::kSpinYield;
+      // The default auto waiter keeps this sweep bounded on
+      // oversubscribed hosts (the old pure-spin default needed a manual
+      // yield override here).
       const apps::RunResult replayed = app.run(rep);  // throws on divergence
       EXPECT_EQ(replayed.gated_events, recorded.gated_events)
           << app.name << " " << to_string(strategy);

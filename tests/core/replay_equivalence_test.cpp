@@ -69,12 +69,14 @@ RecordBundle record_workload(Strategy strategy, const std::string& dir,
 }
 
 Engine make_replay(const Paths& p, const RecordBundle& bundle,
-                   const std::string& dir) {
+                   const std::string& dir,
+                   WaitPolicy policy = WaitPolicy::kAuto) {
   Options opt;
   opt.mode = Mode::kReplay;
   opt.strategy = p.strategy;
   opt.num_threads = 2;
   opt.replay_prefetch = p.prefetch;
+  opt.wait_policy = policy;
   if (p.from_file) {
     opt.dir = dir;
   } else {
@@ -124,8 +126,9 @@ TEST_P(ReplayEquivalence, FullReplayCompletesWithIdenticalEventCount) {
 /// (empty optional = no divergence).
 std::optional<std::string> divergence_of(
     const Paths& p, const RecordBundle& bundle, const std::string& dir,
-    const std::function<void(Engine&, GateId, GateId)>& drive) {
-  Engine eng = make_replay(p, bundle, dir);
+    const std::function<void(Engine&, GateId, GateId)>& drive,
+    WaitPolicy policy = WaitPolicy::kAuto) {
+  Engine eng = make_replay(p, bundle, dir, policy);
   const GateId a = eng.register_gate("A");
   const GateId b = eng.register_gate("B");
   try {
@@ -137,25 +140,40 @@ std::optional<std::string> divergence_of(
   return std::nullopt;
 }
 
-/// The heart of the suite: for one broken-replay scenario, both data paths
-/// must produce a divergence, and the messages must be byte-identical.
+// The wait policy paces the turn wait; it must never leak into the
+// verdict. Spin (the paper's loop), the adaptive default, and strict
+// parking cover the three distinct wait implementations.
+constexpr WaitPolicy kVerdictPolicies[] = {
+    WaitPolicy::kSpin, WaitPolicy::kAuto, WaitPolicy::kBlock};
+
+/// The heart of the suite: for one broken-replay scenario, every data
+/// path x wait policy must produce a divergence, and the messages must be
+/// byte-identical across all of them.
 void expect_identical_divergence(
     Strategy strategy,
     const std::function<void(Engine&, GateId, GateId)>& drive) {
   const std::string dir = scratch_dir(strategy);
   const RecordBundle bundle = record_workload(strategy, "");
   record_workload(strategy, dir);
+  std::optional<std::string> expected;
   for (const bool from_file : {false, true}) {
-    const auto streaming =
-        divergence_of({strategy, false, from_file}, bundle, dir, drive);
-    const auto prefetched =
-        divergence_of({strategy, true, from_file}, bundle, dir, drive);
-    ASSERT_TRUE(streaming.has_value())
-        << to_string(strategy) << " streaming did not diverge";
-    ASSERT_TRUE(prefetched.has_value())
-        << to_string(strategy) << " prefetched did not diverge";
-    EXPECT_EQ(*streaming, *prefetched)
-        << to_string(strategy) << (from_file ? " (file)" : " (memory)");
+    for (const bool prefetch : {false, true}) {
+      for (const WaitPolicy policy : kVerdictPolicies) {
+        const auto msg = divergence_of({strategy, prefetch, from_file},
+                                       bundle, dir, drive, policy);
+        const std::string where =
+            std::string(to_string(strategy)) +
+            (prefetch ? " prefetch" : " streaming") +
+            (from_file ? " (file)" : " (memory)") + " wait=" +
+            std::string(to_string(policy));
+        ASSERT_TRUE(msg.has_value()) << where << " did not diverge";
+        if (!expected.has_value()) {
+          expected = msg;
+        } else {
+          EXPECT_EQ(*msg, *expected) << where;
+        }
+      }
+    }
   }
   std::filesystem::remove_all(dir);
 }

@@ -1,0 +1,135 @@
+// Wake-side audit for the replay turn words (ISSUE 5): under the parking
+// wait policies (block, auto) every store a waiter can park on must be
+// followed by a notify — ST's global sequence counter (prefetch), ST's
+// shared cursor word (streaming), and the DC/DE per-gate next_clock
+// (prefetch publishes with a plain release store, streaming/DE with a
+// fetch_add). A missing notify does not corrupt anything; it leaves a
+// parked thread asleep forever, so the regression signature is a hang.
+// This suite drives a strictly alternating two-thread replay — every turn
+// is a cross-thread handoff, so a waiter parks on every single publish
+// word — under a watchdog that aborts loudly instead of eating the whole
+// ctest timeout.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/bundle.hpp"
+#include "src/core/engine.hpp"
+
+namespace reomp::core {
+namespace {
+
+struct WakeCase {
+  Strategy strategy;
+  bool prefetch;
+  WaitPolicy policy;
+};
+
+std::string case_name(const ::testing::TestParamInfo<WakeCase>& info) {
+  return std::string(to_string(info.param.strategy)) +
+         (info.param.prefetch ? "_prefetch_" : "_streaming_") +
+         std::string(to_string(info.param.policy));
+}
+
+constexpr int kRounds = 300;
+
+/// Record kRounds strictly alternating accesses (t0, t1, t0, t1, ...) on
+/// one gate, driven from this thread so the recorded order is exact.
+RecordBundle record_alternating(Strategy strategy) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = strategy;
+  opt.num_threads = 2;
+  Engine eng(opt);
+  const GateId g = eng.register_gate("turn");
+  for (int i = 0; i < kRounds; ++i) {
+    for (ThreadId t : {0u, 1u}) {
+      ThreadCtx& ctx = eng.thread_ctx(t);
+      // kOther turns are exclusive in every strategy, so the replay below
+      // must reproduce the exact alternation — each access waits for the
+      // other thread's previous publish.
+      eng.gate_in(ctx, g, AccessKind::kOther);
+      eng.gate_out(ctx, g, AccessKind::kOther);
+    }
+  }
+  eng.finalize();
+  return eng.take_bundle();
+}
+
+class WaitNotify : public ::testing::TestWithParam<WakeCase> {};
+
+TEST_P(WaitNotify, ParkedReplayWaitersAreWokenAtEveryHandoff) {
+  const WakeCase& c = GetParam();
+  const RecordBundle bundle = record_alternating(c.strategy);
+
+  std::atomic<bool> done{false};
+  std::thread watchdog([&] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    while (!done.load(std::memory_order_acquire)) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::fprintf(stderr,
+                     "watchdog: %s replay stalled — a parked waiter was "
+                     "never notified\n",
+                     case_name({GetParam(), 0}).c_str());
+        std::fflush(stderr);
+        std::abort();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = c.strategy;
+  opt.num_threads = 2;
+  opt.bundle = &bundle;
+  opt.replay_prefetch = c.prefetch;
+  opt.wait_policy = c.policy;
+  Engine eng(opt);
+  ASSERT_EQ(eng.replay_prefetched(), c.prefetch);
+  const GateId g = eng.register_gate("turn");
+
+  auto drive = [&](ThreadId tid) {
+    ThreadCtx& ctx = eng.bind_thread(tid);
+    for (int i = 0; i < kRounds; ++i) {
+      eng.gate_in(ctx, g, AccessKind::kOther);
+      eng.gate_out(ctx, g, AccessKind::kOther);
+    }
+  };
+  std::thread peer(drive, 1);
+  drive(0);
+  peer.join();
+  EXPECT_NO_THROW(eng.finalize());
+  EXPECT_EQ(eng.total_events(), 2u * kRounds);
+
+  done.store(true, std::memory_order_release);
+  watchdog.join();
+}
+
+std::vector<WakeCase> all_cases() {
+  std::vector<WakeCase> cs;
+  for (const Strategy s : {Strategy::kST, Strategy::kDC, Strategy::kDE}) {
+    for (const bool prefetch : {false, true}) {
+      // kBlock parks after a short fixed spin — the strictest audit of the
+      // notify contract (a missed wake cannot be papered over by a poll);
+      // kAuto is the shipped default and must behave identically here.
+      for (const WaitPolicy p : {WaitPolicy::kBlock, WaitPolicy::kAuto}) {
+        cs.push_back({s, prefetch, p});
+      }
+    }
+  }
+  return cs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTurnWords, WaitNotify,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace reomp::core

@@ -35,9 +35,8 @@ double run(Strategy strategy, TraceWriter writer, Mode mode,
   opt.record_ring_capacity = 16;  // ring wraps ~hundreds of times per thread
   opt.staging_ring_capacity = 16;
   opt.flush_batch = 8;
-  // 8 replay threads on however many cores the host has: yield-escalating
-  // waits keep fragmented async schedules replaying at full speed.
-  opt.wait_policy = Backoff::Policy::kSpinYield;
+  // 8 replay threads on however many cores the host has: the default
+  // auto waiter escalates to parking, so no policy override is needed.
   opt.bundle = bundle;
   Engine eng(opt);
   std::vector<GateId> gates;

@@ -48,7 +48,6 @@ std::vector<double> run(Mode mode, const HybridState* state,
     romp::TeamOptions topt;
     topt.num_threads = kThreads;
     topt.engine.mode = mode;
-    topt.engine.wait_policy = Backoff::Policy::kSpinYield;
     topt.pin_threads = false;
     if (mode == Mode::kReplay) topt.engine.bundle = &state->reomp;
     romp::Team team(topt);

@@ -1,0 +1,143 @@
+// Regression test for the 1-core replay spin-livelock (ROADMAP, observed
+// under PR 4): on a single-core host — the worst case being TSAN's
+// slowdown stacked on scheduler time-slicing — the DC replay spin handoff
+// with the old pure-spin default could burn whole quanta per turn and
+// intermittently blow the 900 s ctest budget. The kAuto wait policy parks
+// starved waiters instead, so the roundtrip must now complete promptly no
+// matter how the one core is sliced.
+//
+// The test recreates the pathology deterministically: it pins the whole
+// process to a single CPU (every thread created afterwards inherits the
+// mask), runs 20 consecutive 8-thread DC record->replay roundtrips, and
+// holds each run to a 120-second watchdog that aborts with a loud message
+// — a fast, attributable failure instead of a silent ctest timeout.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include "src/core/bundle.hpp"
+#include "src/romp/team.hpp"
+
+namespace reomp::romp {
+namespace {
+
+using core::Mode;
+using core::RecordBundle;
+using core::Strategy;
+
+#if defined(__linux__)
+/// Pin the calling process (and thus all future threads) to one CPU;
+/// restore the original mask on destruction. `ok()` is false when the
+/// host does not support affinity (the test skips).
+class SingleCpuScope {
+ public:
+  SingleCpuScope() {
+    if (sched_getaffinity(0, sizeof(old_mask_), &old_mask_) != 0) return;
+    int cpu = -1;
+    for (int i = 0; i < CPU_SETSIZE; ++i) {
+      if (CPU_ISSET(i, &old_mask_)) {
+        cpu = i;
+        break;
+      }
+    }
+    if (cpu < 0) return;
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(cpu, &one);
+    ok_ = sched_setaffinity(0, sizeof(one), &one) == 0;
+  }
+  ~SingleCpuScope() {
+    if (ok_) sched_setaffinity(0, sizeof(old_mask_), &old_mask_);
+  }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  cpu_set_t old_mask_{};
+  bool ok_ = false;
+};
+#endif
+
+constexpr std::uint32_t kThreads = 8;
+constexpr int kIters = 150;
+
+/// One 8-thread data-race run (the roundtrip_test workload) on the pinned
+/// CPU. No per-worker pinning: everyone stays on the single CPU the
+/// process is pinned to, which is the schedule that used to livelock.
+double run_data_race_sum(Mode mode, const RecordBundle* bundle,
+                         RecordBundle* bundle_out) {
+  TeamOptions topt;
+  topt.num_threads = kThreads;
+  topt.pin_threads = false;
+  topt.engine.mode = mode;
+  topt.engine.strategy = Strategy::kDC;
+  topt.engine.bundle = bundle;
+  Team team(topt);
+  Handle h = team.register_handle("sum");
+  std::atomic<double> sum{0.0};
+  team.parallel([&](WorkerCtx& w) {
+    for (int i = 0; i < kIters; ++i) {
+      team.racy_update(w, h, sum, [](double v) { return v + 1.0; });
+    }
+  });
+  team.finalize();
+  if (bundle_out != nullptr) *bundle_out = team.engine().take_bundle();
+  return sum.load();
+}
+
+TEST(PinnedOneCore, DcRoundtripNeverLivelocks) {
+#if !defined(__linux__)
+  GTEST_SKIP() << "sched_setaffinity unavailable on this platform";
+#else
+  SingleCpuScope pin;
+  if (!pin.ok()) {
+    GTEST_SKIP() << "cannot restrict the process to one CPU";
+  }
+
+  constexpr int kRuns = 20;
+  std::atomic<std::uint64_t> progress{0};
+  std::atomic<bool> done{false};
+  std::thread watchdog([&] {
+    std::uint64_t last = progress.load(std::memory_order_acquire);
+    auto last_change = std::chrono::steady_clock::now();
+    while (!done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const std::uint64_t cur = progress.load(std::memory_order_acquire);
+      if (cur != last) {
+        last = cur;
+        last_change = std::chrono::steady_clock::now();
+      } else if (std::chrono::steady_clock::now() - last_change >
+                 std::chrono::seconds(120)) {
+        std::fprintf(stderr,
+                     "watchdog: pinned 1-core roundtrip stalled in run %llu "
+                     "— replay handoff livelock is back\n",
+                     static_cast<unsigned long long>(cur));
+        std::fflush(stderr);
+        std::abort();
+      }
+    }
+  });
+
+  for (int run = 0; run < kRuns; ++run) {
+    progress.fetch_add(1, std::memory_order_acq_rel);
+    RecordBundle bundle;
+    const double recorded = run_data_race_sum(Mode::kRecord, nullptr, &bundle);
+    const double replayed = run_data_race_sum(Mode::kReplay, &bundle, nullptr);
+    EXPECT_EQ(replayed, recorded) << "run " << run;
+  }
+
+  done.store(true, std::memory_order_release);
+  watchdog.join();
+#endif
+}
+
+}  // namespace
+}  // namespace reomp::romp

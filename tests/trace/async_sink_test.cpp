@@ -119,12 +119,10 @@ TEST_P(AsyncRoundTrip, RecordsThenReplaysWithoutDivergence) {
   rep.strategy = strategy;
   rep.num_threads = kThreads;
   rep.bundle = &bundle;
-  // Async records interleave more finely than the bursty schedules a
-  // time-sliced host otherwise produces; with more replay threads than
-  // cores the default pure-spin replay waiter then burns a scheduler
-  // quantum per handoff. Yield-escalating waits keep the test fast
-  // everywhere (this is exactly what the policy knob is for).
-  rep.wait_policy = Backoff::Policy::kSpinYield;
+  // The default auto waiter parks starved replay waiters, so the finely
+  // interleaved async schedule stays fast even with more replay threads
+  // than cores — no policy override needed (the old pure-spin default
+  // required one here).
   Engine replay_eng(rep);
   const double replayed = checksum_run(replay_eng, kThreads, kRounds);
   EXPECT_EQ(replayed, recorded);
