@@ -53,6 +53,7 @@ using core::TraceWriter;
 struct Config {
   Strategy strategy;
   TraceWriter writer;
+  trace::ContainerFormat format;
   bool to_file;
 };
 
@@ -67,6 +68,8 @@ constexpr Strategy kStrategies[] = {Strategy::kST, Strategy::kDC,
                                     Strategy::kDE};
 constexpr TraceWriter kWriters[] = {TraceWriter::kOff, TraceWriter::kDeferred,
                                     TraceWriter::kAsync};
+constexpr trace::ContainerFormat kFormats[] = {trace::ContainerFormat::kV1,
+                                               trace::ContainerFormat::kV2};
 
 /// One record run of the data-race mix; returns events/sec and, when
 /// `bundle_out` is set, the in-memory record for validation.
@@ -82,6 +85,7 @@ double run_once(const Config& cfg, std::uint32_t threads, std::uint64_t iters,
   // opt-in lock-free DC clock claim; `off` keeps every serialization of
   // the historical baseline (dc_lockfree is ignored there anyway).
   opt.dc_lockfree = cfg.writer != TraceWriter::kOff;
+  opt.trace_format = cfg.format;
   if (cfg.to_file) opt.dir = dir;
   Engine eng(opt);
   const GateId g = eng.register_gate("sum");
@@ -117,20 +121,22 @@ double run_once(const Config& cfg, std::uint32_t threads, std::uint64_t iters,
   return static_cast<double>(eng.total_events()) / (secs > 0 ? secs : 1e-9);
 }
 
-std::uint64_t decoded_entries(const RecordBundle& b, Strategy s) {
-  std::uint64_t n = 0;
-  if (s == Strategy::kST) {
-    trace::MemorySource src(b.shared_stream);
+std::vector<trace::RecordEntry> decoded_entries(const RecordBundle& b,
+                                                Strategy s) {
+  std::vector<trace::RecordEntry> all;
+  auto drain = [&all](const std::vector<std::uint8_t>& stream) {
+    trace::MemorySource src(stream);
     trace::RecordReader reader(src);
-    n = reader.read_all().size();
-  } else {
-    for (const auto& stream : b.thread_streams) {
-      trace::MemorySource src(stream);
-      trace::RecordReader reader(src);
-      n += reader.read_all().size();
+    for (auto e = reader.next(); e.has_value(); e = reader.next()) {
+      all.push_back(*e);
     }
+  };
+  if (s == Strategy::kST) {
+    drain(b.shared_stream);
+  } else {
+    for (const auto& stream : b.thread_streams) drain(stream);
   }
-  return n;
+  return all;
 }
 
 const char* sink_name(bool to_file) { return to_file ? "dir" : "memory"; }
@@ -168,64 +174,105 @@ int main(int argc, char** argv) {
   const int reps = smoke ? 1 : 3;
   bool ok = true;
 
-  // ---- validation: no configuration may lose entries, and for a fixed
-  // single-thread schedule every data path must produce identical bytes.
+  // ---- validation: no configuration may lose entries; for a fixed
+  // single-thread schedule every data path must produce identical bytes
+  // within a container format, and both formats must decode to the same
+  // entry sequence.
   for (const Strategy s : kStrategies) {
-    std::vector<RecordBundle> bundles;
-    for (const TraceWriter w : kWriters) {
-      const Config cfg{s, w, /*to_file=*/false};
-      std::uint64_t events = 0;
-      RecordBundle b;
-      run_once(cfg, 1, smoke ? 500 : 5'000, dir, &events, &b);
-      if (decoded_entries(b, s) != events) {
-        std::fprintf(stderr, "FAIL: %s/%s lost entries (%llu of %llu)\n",
-                     to_string(s).data(), to_string(w).data(),
-                     static_cast<unsigned long long>(decoded_entries(b, s)),
-                     static_cast<unsigned long long>(events));
-        ok = false;
+    std::vector<std::vector<trace::RecordEntry>> per_format;
+    for (const trace::ContainerFormat fmt : kFormats) {
+      std::vector<RecordBundle> bundles;
+      for (const TraceWriter w : kWriters) {
+        const Config cfg{s, w, fmt, /*to_file=*/false};
+        std::uint64_t events = 0;
+        RecordBundle b;
+        run_once(cfg, 1, smoke ? 500 : 5'000, dir, &events, &b);
+        const auto decoded = decoded_entries(b, s);
+        if (decoded.size() != events) {
+          std::fprintf(stderr,
+                       "FAIL: %s/%s/%s lost entries (%llu of %llu)\n",
+                       to_string(s).data(), to_string(w).data(),
+                       to_string(fmt).data(),
+                       static_cast<unsigned long long>(decoded.size()),
+                       static_cast<unsigned long long>(events));
+          ok = false;
+        }
+        bundles.push_back(std::move(b));
       }
-      bundles.push_back(std::move(b));
+      for (std::size_t i = 1; i < bundles.size(); ++i) {
+        if (bundles[i].shared_stream != bundles[0].shared_stream ||
+            bundles[i].thread_streams != bundles[0].thread_streams) {
+          std::fprintf(
+              stderr,
+              "FAIL: %s/%s single-thread streams differ across writers\n",
+              to_string(s).data(), to_string(fmt).data());
+          ok = false;
+        }
+      }
+      per_format.push_back(decoded_entries(bundles[0], s));
     }
-    for (std::size_t i = 1; i < bundles.size(); ++i) {
-      if (bundles[i].shared_stream != bundles[0].shared_stream ||
-          bundles[i].thread_streams != bundles[0].thread_streams) {
-        std::fprintf(stderr,
-                     "FAIL: %s single-thread streams differ across writers\n",
-                     to_string(s).data());
-        ok = false;
-      }
+    if (per_format[0] != per_format[1]) {
+      std::fprintf(stderr, "FAIL: %s v1/v2 decoded entries differ\n",
+                   to_string(s).data());
+      ok = false;
     }
   }
 
   // ---- throughput sweep ----
   std::vector<Result> results;
-  std::printf("%-4s %-9s %-7s %8s %14s\n", "strat", "writer", "sink",
-              "threads", "events/sec");
+  std::printf("%-4s %-9s %-4s %-7s %8s %14s\n", "strat", "writer", "fmt",
+              "sink", "threads", "events/sec");
   for (const bool to_file : {false, true}) {
     for (const Strategy s : kStrategies) {
-      double base = 0;
-      for (const TraceWriter w : kWriters) {
-        const Config cfg{s, w, to_file};
-        double best = 0;
-        std::uint64_t events = 0;
-        for (int r = 0; r < reps; ++r) {
-          const double eps = run_once(cfg, threads, iters, dir, &events,
-                                      nullptr);
-          if (eps > best) best = eps;
-        }
-        results.push_back({cfg, threads, best, events});
-        std::printf("%-4s %-9s %-7s %8u %14.0f", to_string(s).data(),
-                    to_string(w).data(), sink_name(to_file), threads, best);
-        if (w == TraceWriter::kOff) {
-          base = best;
-          std::printf("\n");
-        } else {
-          std::printf("  (%.2fx vs off)\n", best / (base > 0 ? base : 1e-9));
+      for (const trace::ContainerFormat fmt : kFormats) {
+        double base = 0;
+        for (const TraceWriter w : kWriters) {
+          const Config cfg{s, w, fmt, to_file};
+          double best = 0;
+          std::uint64_t events = 0;
+          for (int r = 0; r < reps; ++r) {
+            const double eps = run_once(cfg, threads, iters, dir, &events,
+                                        nullptr);
+            if (eps > best) best = eps;
+          }
+          results.push_back({cfg, threads, best, events});
+          std::printf("%-4s %-9s %-4s %-7s %8u %14.0f", to_string(s).data(),
+                      to_string(w).data(), to_string(fmt).data(),
+                      sink_name(to_file), threads, best);
+          if (w == TraceWriter::kOff) {
+            base = best;
+            std::printf("\n");
+          } else {
+            std::printf("  (%.2fx vs off)\n",
+                        best / (base > 0 ? base : 1e-9));
+          }
         }
       }
     }
   }
   std::filesystem::remove_all(dir);
+
+  // ---- v2 framing cost vs the raw v1 container (target: <= 5% on the
+  // deferred/async data paths; printed, not asserted — timing is
+  // host-dependent).
+  std::printf("\nchunked (v2) overhead vs raw (v1):\n");
+  for (const Result& r : results) {
+    if (r.cfg.format != trace::ContainerFormat::kV2) continue;
+    for (const Result& v1 : results) {
+      if (v1.cfg.format == trace::ContainerFormat::kV1 &&
+          v1.cfg.strategy == r.cfg.strategy &&
+          v1.cfg.writer == r.cfg.writer && v1.cfg.to_file == r.cfg.to_file) {
+        const double overhead =
+            v1.events_per_sec > 0
+                ? (v1.events_per_sec - r.events_per_sec) / v1.events_per_sec
+                : 0.0;
+        std::printf("  %-4s %-9s %-7s %+6.1f%%\n",
+                    to_string(r.cfg.strategy).data(),
+                    to_string(r.cfg.writer).data(),
+                    sink_name(r.cfg.to_file), overhead * 100.0);
+      }
+    }
+  }
 
   if (!json_path.empty()) {
     std::ofstream f(json_path, std::ios::trunc);
@@ -237,6 +284,7 @@ int main(int argc, char** argv) {
       const Result& r = results[i];
       f << "    {\"strategy\": \"" << to_string(r.cfg.strategy)
         << "\", \"writer\": \"" << to_string(r.cfg.writer)
+        << "\", \"format\": \"" << to_string(r.cfg.format)
         << "\", \"sink\": \"" << sink_name(r.cfg.to_file)
         << "\", \"threads\": " << r.threads << ", \"events_per_sec\": "
         << static_cast<std::uint64_t>(r.events_per_sec) << "}"

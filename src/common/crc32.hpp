@@ -1,0 +1,69 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte ranges.
+//
+// Used by the v2 chunked record container (src/trace/chunk_format.hpp) to
+// detect torn or bit-flipped chunk payloads. Slicing-by-8: the tables are
+// built at compile time and the hot loop consumes 8 bytes per iteration,
+// so checksumming a 64 KiB chunk costs well under the encode cost of the
+// entries inside it (the ≤5% framing-overhead budget in BENCH_record.json).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace reomp {
+
+namespace detail {
+
+constexpr std::uint32_t kCrc32Poly = 0xEDB88320u;
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc32_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c >> 1) ^ ((c & 1u) != 0 ? kCrc32Poly : 0u);
+    }
+    t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    for (std::size_t s = 1; s < 8; ++s) {
+      t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xffu];
+    }
+  }
+  return t;
+}
+
+inline constexpr auto kCrc32Tables = make_crc32_tables();
+
+}  // namespace detail
+
+/// CRC-32 of `data[0..size)`. `seed` chains multi-buffer checksums
+/// (crc32(b, nb, crc32(a, na)) == crc32(a+b)); the default 0 matches the
+/// conventional standalone CRC.
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                           std::uint32_t seed = 0) {
+  const auto& t = detail::kCrc32Tables;
+  std::uint32_t crc = ~seed;
+  while (size >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, data, 4);
+    std::memcpy(&hi, data + 4, 4);
+    crc ^= lo;  // little-endian hosts only (the wire format is LE anyway)
+    crc = t[7][crc & 0xffu] ^ t[6][(crc >> 8) & 0xffu] ^
+          t[5][(crc >> 16) & 0xffu] ^ t[4][crc >> 24] ^ t[3][hi & 0xffu] ^
+          t[2][(hi >> 8) & 0xffu] ^ t[1][(hi >> 16) & 0xffu] ^ t[0][hi >> 24];
+    data += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *data) & 0xffu];
+    ++data;
+    --size;
+  }
+  return ~crc;
+}
+
+}  // namespace reomp

@@ -7,6 +7,7 @@
 
 #include "src/common/log.hpp"
 #include "src/trace/trace_dir.hpp"
+#include "src/trace/trace_error.hpp"
 
 namespace reomp::core {
 
@@ -17,6 +18,7 @@ trace::Manifest make_manifest(const Options& opt) {
   m.strategy = std::string(to_string(opt.strategy));
   m.num_threads = opt.num_threads;
   m.extra["history_cap"] = std::to_string(opt.history_capacity);
+  m.extra["trace_format"] = std::string(to_string(opt.trace_format));
   return m;
 }
 
@@ -32,6 +34,18 @@ void check_manifest(const trace::Manifest& m, const Options& opt) {
         "replay thread count " + std::to_string(opt.num_threads) +
         " does not match recorded " + std::to_string(m.num_threads));
   }
+}
+
+/// Refuse to replay an unsealed recording unless salvage is on: an
+/// incomplete manifest means the recorder crashed or hit I/O errors, and
+/// every stream may be silently short.
+void check_manifest_complete(const trace::Manifest& m, const Options& opt) {
+  if (m.complete || opt.replay_salvage) return;
+  throw trace::TraceError(
+      trace::TraceErrorKind::kIncomplete,
+      "record manifest is not marked complete (recorder crashed or failed "
+      "before finalize?); set REOMP_REPLAY_SALVAGE=1 to replay the longest "
+      "valid prefix");
 }
 
 }  // namespace
@@ -85,11 +99,13 @@ void Engine::open_record_streams() {
       st_memory_sink_ = sink.get();
       st_.sink = std::move(sink);
     }
-    st_.writer = std::make_unique<trace::RecordWriter>(*st_.sink);
+    st_.writer = std::make_unique<trace::RecordWriter>(
+        *st_.sink, opt_.trace_format, opt_.trace_chunk_bytes);
     if (opt_.trace_writer != TraceWriter::kOff) {
       // Group-commit staging; the off baseline keeps per-entry appends.
       st_.staging = std::make_unique<MpscWordRing>(opt_.staging_ring_capacity);
     }
+    if (to_file) write_initial_manifest();
     return;
   }
   // DC/DE: one stream per thread (paper Fig. 3-(b)), fed through the
@@ -105,7 +121,8 @@ void Engine::open_record_streams() {
       memory_sinks_[tid] = sink.get();
       t.sink = std::move(sink);
     }
-    t.writer = std::make_unique<trace::RecordWriter>(*t.sink);
+    t.writer = std::make_unique<trace::RecordWriter>(
+        *t.sink, opt_.trace_format, opt_.trace_chunk_bytes);
     t.ring = std::make_unique<WriteBehindRing>(opt_.record_ring_capacity);
     // The threshold must be reachable inside the ring: a threshold above
     // the capacity would never fire, and every entry past the first ringful
@@ -116,6 +133,17 @@ void Engine::open_record_streams() {
                        static_cast<std::uint32_t>(t.ring->capacity()))
             : 1;
   }
+  write_initial_manifest();
+}
+
+void Engine::write_initial_manifest() {
+  if (opt_.dir.empty()) return;
+  // Written (atomically) the moment the record streams exist, with
+  // complete=0: a recorder killed at ANY later point leaves a manifest
+  // that says "not sealed", and only a clean finalize flips it to 1. This
+  // is the crash-consistency commit protocol — the manifest is the commit
+  // record, the rename is the commit point.
+  make_manifest(opt_).save(trace::manifest_path(opt_.dir));
 }
 
 void Engine::start_async_writer() {
@@ -139,16 +167,19 @@ void Engine::open_replay_streams() {
   if (from_file) {
     auto m = trace::Manifest::load(trace::manifest_path(opt_.dir));
     if (!m) {
-      throw std::runtime_error("cannot load record manifest from '" +
-                               opt_.dir + "'");
+      throw trace::TraceError(
+          trace::TraceErrorKind::kIo,
+          "cannot load record manifest from '" + opt_.dir + "'");
     }
     check_manifest(*m, opt_);
+    check_manifest_complete(*m, opt_);
   } else {
     if (opt_.bundle == nullptr) {
       throw std::invalid_argument(
           "replay mode needs either a record dir or an in-memory bundle");
     }
     check_manifest(opt_.bundle->manifest, opt_);
+    check_manifest_complete(opt_.bundle->manifest, opt_);
   }
 
   // Pre-decode admission: the fast path is on by default, but a trace
@@ -196,14 +227,58 @@ void Engine::open_replay_streams() {
                            const std::vector<std::uint8_t>* mem,
                            std::uint64_t size_hint) {
     if (!from_file) {
-      return trace::DecodedSchedule::decode_bytes(mem->data(), mem->size());
+      return trace::DecodedSchedule::decode_bytes(mem->data(), mem->size(),
+                                                  opt_.replay_salvage);
     }
     trace::FileSource src(path);
-    return trace::DecodedSchedule::decode_all(src, size_hint);
+    return trace::DecodedSchedule::decode_all(src, size_hint,
+                                              opt_.replay_salvage);
+  };
+  auto note_salvage = [&](const std::string& name,
+                          const trace::DecodedSchedule& s) {
+    if (!opt_.replay_salvage) return;
+    salvage_report_.push_back(
+        {name, s.entries.size(), s.dropped_bytes, s.salvaged});
+    if (s.salvaged) {
+      REOMP_LOG_WARN << "salvaged record stream '" << name << "': replaying "
+                     << s.entries.size() << " entries, dropped "
+                     << s.dropped_bytes << " torn tail bytes";
+    }
+  };
+  // Streaming (non-prefetch) replay decodes lazily inside gate waits; a
+  // damaged v2 stream would then throw at the start of a later chunk while
+  // the OTHER threads wait forever on the dead thread's clocks. Pre-scan
+  // v2 streams here so damage surfaces at construction, matching the
+  // prefetch path's timing (and giving salvage its per-stream counts).
+  // v1 streams keep the legacy lazy behaviour: their failures are
+  // per-entry, so the historical mid-replay throw stays reproducible.
+  auto prescan_stream = [&](const std::string& name, const std::string& path,
+                            const std::vector<std::uint8_t>* mem) {
+    std::unique_ptr<trace::ByteSource> scratch;
+    if (from_file) {
+      scratch = std::make_unique<trace::FileSource>(path);
+    } else {
+      scratch = std::make_unique<trace::MemorySource>(*mem);
+    }
+    trace::RecordReader probe(*scratch, opt_.replay_salvage);
+    if (probe.probe_format() != trace::ContainerFormat::kV2) return;
+    std::uint64_t entries = 0;
+    while (probe.next().has_value()) ++entries;
+    if (opt_.replay_salvage) {
+      salvage_report_.push_back(
+          {name, entries, probe.dropped_bytes(), probe.salvaged()});
+      if (probe.salvaged()) {
+        REOMP_LOG_WARN << "salvaged record stream '" << name
+                       << "': replaying " << entries << " entries, dropped "
+                       << probe.dropped_bytes() << " torn tail bytes";
+      }
+    }
   };
 
   if (opt_.strategy == Strategy::kST) {
     if (!replay_prefetched_) {
+      prescan_stream("shared", trace::shared_file_path(opt_.dir),
+                     from_file ? nullptr : &opt_.bundle->shared_stream);
       if (from_file) {
         st_.source = std::make_unique<trace::FileSource>(
             trace::shared_file_path(opt_.dir));
@@ -211,7 +286,8 @@ void Engine::open_replay_streams() {
         st_.source =
             std::make_unique<trace::MemorySource>(opt_.bundle->shared_stream);
       }
-      st_.reader = std::make_unique<trace::RecordReader>(*st_.source);
+      st_.reader = std::make_unique<trace::RecordReader>(*st_.source,
+                                                         opt_.replay_salvage);
       return;
     }
     // Bulk-decode the shared stream once, then hand every thread its own
@@ -220,6 +296,7 @@ void Engine::open_replay_streams() {
     const trace::DecodedSchedule global = decode_stream(
         trace::shared_file_path(opt_.dir),
         from_file ? nullptr : &opt_.bundle->shared_stream, stream_bytes[0]);
+    note_salvage("shared", global);
     st_.total = global.entries.size();
     std::vector<std::size_t> counts(opt_.num_threads, 0);
     for (std::uint64_t i = 0; i < st_.total; ++i) {
@@ -251,8 +328,12 @@ void Engine::open_replay_streams() {
                               from_file ? nullptr
                                         : &opt_.bundle->thread_streams.at(tid),
                               stream_bytes[tid]);
+      note_salvage("t" + std::to_string(tid), t.sched);
       continue;
     }
+    prescan_stream("t" + std::to_string(tid),
+                   trace::thread_file_path(opt_.dir, tid),
+                   from_file ? nullptr : &opt_.bundle->thread_streams.at(tid));
     if (from_file) {
       t.source = std::make_unique<trace::FileSource>(
           trace::thread_file_path(opt_.dir, tid));
@@ -260,7 +341,8 @@ void Engine::open_replay_streams() {
       t.source = std::make_unique<trace::MemorySource>(
           opt_.bundle->thread_streams.at(tid));
     }
-    t.reader = std::make_unique<trace::RecordReader>(*t.source);
+    t.reader =
+        std::make_unique<trace::RecordReader>(*t.source, opt_.replay_salvage);
   }
   if (opt_.strategy == Strategy::kDE && replay_prefetched_) {
     annotate_de_epoch_sizes();
@@ -362,12 +444,15 @@ void Engine::finalize() {
     finalized_ = true;
     return;
   }
+  // Latch BEFORE dispatching: a throwing finalize (aggregated I/O failure,
+  // replay divergence) must not run again from the destructor — the first
+  // pass already tore down writers and reported the outcome.
+  finalized_ = true;
   if (opt_.mode == Mode::kRecord) {
     finalize_record();
   } else {
     finalize_replay();
   }
-  finalized_ = true;
 }
 
 void Engine::finalize_record() {
@@ -392,31 +477,67 @@ void Engine::finalize_record() {
   // the writer thread and finishes any remainder on this thread, so after
   // this block all entries are in the sinks regardless of mode — including
   // a finalize arriving mid-stream (crash flush).
+  //
+  // Graceful degradation: every per-stream failure is collected rather
+  // than thrown on first sight, so the remaining healthy streams still
+  // seal, the manifest records the (in)completeness truthfully, and the
+  // caller gets ONE aggregated diagnostic at the end.
+  std::vector<std::string> io_errors;
+  const auto report = [&io_errors](const std::string& stream,
+                                   const std::string& what) {
+    io_errors.push_back(stream + ": " + what);
+  };
+
   if (async_writer_ != nullptr) {
     async_writer_->stop();
+    for (const std::string& e : async_writer_->io_errors()) {
+      report("async-writer", e);
+    }
     async_writer_.reset();
   }
   for (auto& t : threads_) {
     if (t->writer != nullptr) {
-      t->flush_resolved();
-      if (const std::size_t left = t->ring->quiescent_size(); left != 0) {
-        // Cannot happen: every pending store was resolved above.
-        REOMP_LOG_ERROR << "thread " << t->tid << " retains " << left
-                        << " unresolved record entries";
+      try {
+        t->flush_resolved();  // latches internally, never throws
+        if (const std::size_t left = t->ring->quiescent_size(); left != 0) {
+          // Cannot happen: every pending store was resolved above.
+          REOMP_LOG_ERROR << "thread " << t->tid << " retains " << left
+                          << " unresolved record entries";
+        }
+        // Seal the stream: frame the v2 tail chunk, then flush + fsync +
+        // close — the explicit throwing path the destructor cannot offer.
+        if (t->io_error.empty()) {
+          t->writer->finish();
+          t->sink->close();
+        }
+      } catch (const std::exception& e) {
+        if (t->io_error.empty()) t->io_error = e.what();
       }
-      t->writer->flush();
+      if (!t->io_error.empty()) {
+        report("t" + std::to_string(t->tid), t->io_error);
+      }
     }
   }
   if (st_.writer != nullptr) {
-    if (st_.staging != nullptr) {
-      LockGuard<Spinlock> file(st_.file_lock);
-      while (st_.commit_staged() > 0) {
+    try {
+      if (st_.staging != nullptr) {
+        LockGuard<Spinlock> file(st_.file_lock);
+        while (st_.commit_staged() > 0) {
+        }
       }
+      if (st_.io_error.empty()) {
+        st_.writer->finish();
+        st_.sink->close();
+      }
+    } catch (const std::exception& e) {
+      if (st_.io_error.empty()) st_.io_error = e.what();
     }
-    st_.writer->flush();
+    if (!st_.io_error.empty()) report("shared", st_.io_error);
   }
 
   trace::Manifest manifest = make_manifest(opt_);
+  // The durability commit: complete=1 only when every stream sealed clean.
+  manifest.complete = io_errors.empty();
   manifest.extra["events"] = std::to_string(total_events());
   // Persist the gate table so offline tools (tools/reomp_records) can
   // resolve gate ids in the streams back to names.
@@ -424,9 +545,31 @@ void Engine::finalize_record() {
   for (GateId id = 0; id < n; ++id) {
     manifest.extra["gate." + std::to_string(id)] = gates_[id]->name;
   }
+  // Per-stream accounting so the verify tool can cross-check the files.
+  if (opt_.strategy == Strategy::kST) {
+    if (st_.writer != nullptr) {
+      manifest.streams["shared"] = {st_.writer->chunks(),
+                                    st_.writer->wire_bytes(),
+                                    st_.writer->count()};
+    }
+  } else {
+    for (const auto& t : threads_) {
+      if (t->writer != nullptr) {
+        manifest.streams["t" + std::to_string(t->tid)] = {
+            t->writer->chunks(), t->writer->wire_bytes(), t->writer->count()};
+      }
+    }
+  }
+  if (!io_errors.empty()) {
+    manifest.extra["io_error"] = io_errors.front();
+  }
 
   if (!opt_.dir.empty()) {
-    manifest.save(trace::manifest_path(opt_.dir));
+    try {
+      manifest.save(trace::manifest_path(opt_.dir));
+    } catch (const std::exception& e) {
+      report("manifest", e.what());
+    }
     if (opt_.collect_epoch_stats) {
       std::ofstream stats(opt_.dir + "/stats.txt", std::ios::trunc);
       stats << epoch_histogram_.to_text();
@@ -446,6 +589,19 @@ void Engine::finalize_record() {
         }
       }
     }
+  }
+
+  if (!io_errors.empty()) {
+    std::string msg = "record finalize: " + std::to_string(io_errors.size()) +
+                      " stream(s) hit I/O errors; first: " + io_errors.front();
+    if (io_errors.size() > 1) {
+      msg += " (+" + std::to_string(io_errors.size() - 1) + " more)";
+    }
+    REOMP_LOG_ERROR << msg;
+    // The manifest already says complete=0 — the trace is honest about its
+    // damage and remains salvageable — but the caller must still learn the
+    // recording is not trustworthy.
+    throw trace::TraceError(trace::TraceErrorKind::kIo, msg);
   }
 }
 

@@ -150,6 +150,21 @@ class Engine {
   /// in record/off modes and on the streaming ablation baseline.
   [[nodiscard]] bool replay_prefetched() const { return replay_prefetched_; }
 
+  /// Per-stream recovery outcome of a salvage replay. `torn` streams lost
+  /// `dropped_bytes` of encoded tail; intact streams report torn=false.
+  struct StreamSalvage {
+    std::string stream;  // "shared" (ST) or "t<k>" (DC/DE)
+    std::uint64_t recovered_entries = 0;
+    std::uint64_t dropped_bytes = 0;
+    bool torn = false;
+  };
+
+  /// One entry per record stream when this replay engine was opened with
+  /// Options::replay_salvage; empty otherwise (a damaged stream throws).
+  [[nodiscard]] const std::vector<StreamSalvage>& salvage_report() const {
+    return salvage_report_;
+  }
+
   [[nodiscard]] Mode mode() const { return opt_.mode; }
   [[nodiscard]] Strategy strategy() const { return opt_.strategy; }
   [[nodiscard]] std::uint32_t gate_count() const {
@@ -188,15 +203,25 @@ class Engine {
     std::unique_ptr<MpscWordRing> staging;
     std::vector<trace::RecordEntry> commit_batch;  // committer-only scratch
 
+    /// First hard I/O error latched by commit_staged (empty = healthy);
+    /// same consumer-only discipline as ThreadCtx::io_error.
+    std::string io_error;
+
     /// Drain every ready staged word into the shared writer in one batch.
-    /// Returns entries committed.
+    /// Returns entries committed. Hard sink failures latch into io_error
+    /// (entries dropped, staging ring freed, traced app unharmed) exactly
+    /// like ThreadCtx::flush_resolved.
     std::size_t commit_staged() {
       commit_batch.clear();
       staging->drain([this](std::uint64_t word) {
         commit_batch.push_back({gate_of(word), tid_of(word)});
       });
       if (!commit_batch.empty()) {
-        writer->append_batch(commit_batch.data(), commit_batch.size());
+        try {
+          writer->append_batch(commit_batch.data(), commit_batch.size());
+        } catch (const std::exception& e) {
+          if (io_error.empty()) io_error = e.what();
+        }
       }
       return commit_batch.size();
     }
@@ -226,6 +251,9 @@ class Engine {
 
  private:
   void open_record_streams();
+  /// Atomic write of the manifest with complete=0 the moment the record
+  /// streams exist (file mode only): any later crash is detectable.
+  void write_initial_manifest();
   void open_replay_streams();
   /// DE prefetch: fill each schedule's per-entry epoch sizes (and detect
   /// gates whose epochs are not contiguous blocks; see engine.cpp).
@@ -244,6 +272,7 @@ class Engine {
   // linear scan of every registered gate name (under registry_mu_).
   std::unordered_map<std::string, GateId> gate_index_;
   bool replay_prefetched_ = false;
+  std::vector<StreamSalvage> salvage_report_;
 
   std::vector<std::unique_ptr<ThreadCtx>> threads_;
   std::unique_ptr<IStrategy> strategy_;

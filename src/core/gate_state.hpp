@@ -120,16 +120,34 @@ struct ThreadCtx {
 
   std::uint64_t events = 0;  // gate executions by this thread
 
+  /// First hard I/O error latched by flush_resolved (empty = healthy).
+  /// Only the ring's consumer writes it; Engine::finalize reads it after
+  /// all consumers have quiesced.
+  std::string io_error;
+
   /// Drain the resolved prefix of the write-behind ring to the encoder in
   /// one batch. Consumer-side only: the owning thread in the synchronous
   /// trace-writer modes (outside any gate lock unless the write_inside_lock
   /// ablation is on), or the async writer thread.
+  ///
+  /// A hard sink failure (ENOSPC, dead disk) latches into io_error instead
+  /// of propagating: the ring is already drained when the writer throws,
+  /// so memory stays bounded, the affected entries are dropped, and the
+  /// traced application keeps running — finalize reports the error and
+  /// leaves the manifest incomplete. (The kOff baseline appends directly,
+  /// outside this path, and keeps its historical throwing behaviour.)
   std::size_t flush_resolved() {
     batch.clear();
     ring->drain_resolved([this](std::uint32_t gate, std::uint64_t value) {
       batch.push_back({gate, value});
     });
-    if (!batch.empty()) writer->append_batch(batch.data(), batch.size());
+    if (!batch.empty()) {
+      try {
+        writer->append_batch(batch.data(), batch.size());
+      } catch (const std::exception& e) {
+        if (io_error.empty()) io_error = e.what();
+      }
+    }
     return batch.size();
   }
 };

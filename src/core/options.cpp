@@ -104,6 +104,18 @@ Options Options::from_env(std::uint32_t num_threads) {
                                "' (expected off|deferred|async)");
     }
   }
+  if (auto f = env_string("REOMP_TRACE_FORMAT")) {
+    if (auto parsed = trace::container_format_from_string(*f)) {
+      opt.trace_format = *parsed;
+    } else {
+      throw std::runtime_error("REOMP_TRACE_FORMAT='" + *f +
+                               "' (expected v1|v2)");
+    }
+  }
+  opt.trace_chunk_bytes =
+      env_capacity_strict("REOMP_TRACE_CHUNK_BYTES", opt.trace_chunk_bytes);
+  opt.replay_salvage =
+      env_bool_strict("REOMP_REPLAY_SALVAGE", opt.replay_salvage);
   opt.record_ring_capacity =
       env_capacity_strict("REOMP_RING_CAPACITY", opt.record_ring_capacity);
   opt.staging_ring_capacity =

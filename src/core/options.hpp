@@ -6,6 +6,7 @@
 
 #include "src/common/waiter.hpp"
 #include "src/core/types.hpp"
+#include "src/trace/chunk_format.hpp"
 
 namespace reomp::core {
 
@@ -94,6 +95,28 @@ struct Options {
   /// Record-side data path (see TraceWriter). Env: REOMP_TRACE_WRITER.
   TraceWriter trace_writer = TraceWriter::kDeferred;
 
+  /// On-disk container for record streams (src/trace/chunk_format.hpp):
+  /// v2 (default) frames entries into CRC32-checked chunks so torn or
+  /// bit-flipped traces are detected — and torn ones salvageable — at
+  /// replay; v1 is the legacy raw varint stream, kept as the zero-framing
+  /// ablation anchor. Readers auto-detect either. Env: REOMP_TRACE_FORMAT.
+  trace::ContainerFormat trace_format = trace::ContainerFormat::kV2;
+
+  /// v2 chunk payload target in bytes: a chunk is cut once its payload
+  /// reaches this. Smaller chunks lose less data to a torn tail but pay
+  /// more framing (36 bytes per chunk); the default loses at most 64 KiB
+  /// of encoded entries to a crash. Env: REOMP_TRACE_CHUNK_BYTES.
+  std::uint32_t trace_chunk_bytes = 1u << 16;
+
+  /// Replay of damaged traces: when true, a TRUNCATED stream (crashed
+  /// recorder, incomplete manifest) replays its longest valid prefix
+  /// instead of being refused, and Engine::salvage_report() says how many
+  /// events each stream recovered. Corrupt (CRC-mismatch) traces are
+  /// still refused — salvage never trusts damaged bytes. Off by default:
+  /// a partial replay presented as a full one would be a silent lie.
+  /// Env: REOMP_REPLAY_SALVAGE.
+  bool replay_salvage = false;
+
   /// Per-thread write-behind ring capacity in entries (DC/DE record runs),
   /// rounded up to a power of two. Overflow past this spills to a locked
   /// unbounded list, so it bounds the allocation-free window, not
@@ -150,8 +173,9 @@ struct Options {
   /// Construct from REOMP_MODE / REOMP_STRATEGY / REOMP_DIR /
   /// REOMP_HISTORY_CAP / REOMP_SHADOW_SHARDS / REOMP_SYNC_STRIPES /
   /// REOMP_WAIT_POLICY /
-  /// REOMP_TRACE_WRITER / REOMP_RING_CAPACITY / REOMP_STAGING_CAPACITY /
-  /// REOMP_REPLAY_PREFETCH / REOMP_REPLAY_MEM_CAP
+  /// REOMP_TRACE_WRITER / REOMP_TRACE_FORMAT / REOMP_TRACE_CHUNK_BYTES /
+  /// REOMP_RING_CAPACITY / REOMP_STAGING_CAPACITY /
+  /// REOMP_REPLAY_PREFETCH / REOMP_REPLAY_MEM_CAP / REOMP_REPLAY_SALVAGE
   /// environment variables, mirroring the real tool's env-driven mode
   /// switch (paper §V). Invalid values for the wait-policy, trace-writer
   /// and ring-capacity knobs throw std::runtime_error — a typo'd tuning

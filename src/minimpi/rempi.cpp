@@ -85,7 +85,13 @@ void RempiRecorder::finalize() {
   for (std::size_t r = 0; r < ranks_.size(); ++r) {
     RankChannel& ch = *ranks_[r];
     std::lock_guard<std::mutex> lock(ch.mu);
-    if (ch.writer != nullptr) ch.writer->flush();
+    if (ch.writer != nullptr) {
+      // finish() frames the v2 tail chunk; close() makes file streams
+      // durable and reports write-back failures instead of swallowing
+      // them in the sink destructor.
+      ch.writer->finish();
+      ch.sink->close();
+    }
     if (ch.memory_sink != nullptr) {
       bundle_out_.rank_streams[r] = ch.memory_sink->take();
     }

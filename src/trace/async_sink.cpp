@@ -25,7 +25,18 @@ void AsyncTraceWriter::start() {
 
 std::size_t AsyncTraceWriter::sweep() {
   std::size_t n = 0;
-  for (auto& drain : streams_) n += drain();
+  for (auto& drain : streams_) {
+    // A throwing drain must not kill the writer thread (std::terminate)
+    // or wedge stop()'s final drain loop — record what happened and keep
+    // sweeping the other streams. The throwing stream's ring stops being
+    // drained only for this pass; a latched sink keeps draining normally.
+    try {
+      n += drain();
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(errors_mu_);
+      stream_errors_.emplace_back(e.what());
+    }
+  }
   if (n > 0) {
     drained_.fetch_add(n, std::memory_order_relaxed);
   } else {

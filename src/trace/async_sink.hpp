@@ -26,6 +26,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -65,11 +67,22 @@ class AsyncTraceWriter {
     return idle_sweeps_.load(std::memory_order_relaxed);
   }
 
+  /// First error thrown by each failing drain callback, in stream order.
+  /// Backstop only: the per-thread/ST drains latch I/O errors internally
+  /// and keep returning normally, so this catches everything else (e.g.
+  /// allocation failure in a batch copy). Call after stop().
+  [[nodiscard]] std::vector<std::string> io_errors() const {
+    std::lock_guard<std::mutex> lock(errors_mu_);
+    return stream_errors_;
+  }
+
  private:
   void run();
   std::size_t sweep();
 
   std::vector<DrainFn> streams_;
+  mutable std::mutex errors_mu_;
+  std::vector<std::string> stream_errors_;  // guarded by errors_mu_
   std::thread thread_;
   // Shutdown flag (0 = running, 1 = stop requested): the writer's idle
   // wait parks on it with a deadline, and stop()'s publish wakes any

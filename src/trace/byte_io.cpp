@@ -4,62 +4,144 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <stdexcept>
+#include <thread>
+
+#include "src/common/log.hpp"
+#include "src/trace/fault_injection.hpp"
+#include "src/trace/trace_error.hpp"
 
 namespace reomp::trace {
 
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+  throw TraceError(TraceErrorKind::kIo,
+                   what + " '" + path + "': " + std::strerror(errno), errno);
 }
 
-void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+// Transient-pushback retry budget: 8 attempts with doubling backoff from
+// 100 µs (~25 ms total). Regular files rarely return EAGAIN, but record
+// dirs may sit on unusual filesystems and the fault injector exercises
+// the path deliberately.
+constexpr int kMaxTransientRetries = 8;
+constexpr auto kTransientBackoffBase = std::chrono::microseconds(100);
+
+bool transient_errno(int e) {
+  return e == EAGAIN || e == EWOULDBLOCK || e == ENOBUFS;
+}
+
+}  // namespace
+
+void write_all_fd(int fd, const std::uint8_t* data, std::size_t size,
+                  const std::string& path) {
+  int transient = 0;
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
+    const ssize_t n = fi::inject_write(fd, data, size);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("write failed: ") +
-                               std::strerror(errno));
+      if (transient_errno(errno)) {
+        if (transient >= kMaxTransientRetries) {
+          throw TraceError(TraceErrorKind::kIo,
+                           "write to record file '" + path +
+                               "' still failing after " +
+                               std::to_string(kMaxTransientRetries) +
+                               " retries: " + std::strerror(errno),
+                           errno);
+        }
+        std::this_thread::sleep_for(kTransientBackoffBase * (1 << transient));
+        ++transient;
+        continue;
+      }
+      throw_errno("write to record file failed", path);
     }
+    transient = 0;  // progress resets the transient budget
     data += n;
     size -= static_cast<std::size_t>(n);
   }
 }
 
-}  // namespace
-
-FileSink::FileSink(const std::string& path, std::size_t buffer_bytes) {
+FileSink::FileSink(const std::string& path, std::size_t buffer_bytes)
+    : path_(path) {
+  fi::arm_from_env();
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) throw_errno("cannot open record file for writing", path);
   buffer_.reserve(buffer_bytes);
 }
 
 FileSink::~FileSink() {
+  if (fd_ < 0) return;
   try {
     flush();
-  } catch (...) {
-    // Destructor must not throw; a failed final flush loses trailing
-    // records, which the reader detects as a truncated stream.
+  } catch (const std::exception& e) {
+    // Destructor must not throw. Reaching this path means nobody called
+    // close(): the trailing records are lost and the reader will see a
+    // truncated stream, so at least say so.
+    REOMP_LOG_ERROR << "record file '" << path_
+                    << "': final flush failed in destructor (use close()): "
+                    << e.what();
   }
-  if (fd_ >= 0) ::close(fd_);
+  ::close(fd_);
+}
+
+void FileSink::latch_and_throw(const std::string& what) {
+  if (!failed_) {
+    failed_ = true;
+    error_ = what;
+    // A failed buffer cannot be retried (the file offset is ambiguous
+    // after a partial flush); drop it so the latched sink stays bounded.
+    buffer_.clear();
+  }
+  throw TraceError(TraceErrorKind::kIo, error_, 0);
 }
 
 void FileSink::write(const std::uint8_t* data, std::size_t size) {
+  if (failed_) latch_and_throw(error_);
   if (buffer_.size() + size > buffer_.capacity()) flush();
   if (size >= buffer_.capacity()) {
-    write_all(fd_, data, size);  // oversized: bypass the buffer
+    try {
+      write_all_fd(fd_, data, size, path_);  // oversized: bypass the buffer
+    } catch (const TraceError& e) {
+      latch_and_throw(e.what());
+    }
     return;
   }
   buffer_.insert(buffer_.end(), data, data + size);
 }
 
 void FileSink::flush() {
+  if (failed_) latch_and_throw(error_);
   if (!buffer_.empty()) {
-    write_all(fd_, buffer_.data(), buffer_.size());
+    try {
+      write_all_fd(fd_, buffer_.data(), buffer_.size(), path_);
+    } catch (const TraceError& e) {
+      latch_and_throw(e.what());
+    }
     buffer_.clear();
   }
+}
+
+void FileSink::close() {
+  if (fd_ < 0) {
+    if (failed_) latch_and_throw(error_);
+    return;
+  }
+  std::string err;
+  try {
+    flush();
+  } catch (const std::exception& e) {
+    err = e.what();
+  }
+  if (err.empty() && ::fsync(fd_) != 0) {
+    err = "fsync of record file '" + path_ + "' failed: " +
+          std::strerror(errno);
+  }
+  // Close unconditionally: a leaked descriptor helps nobody, and the
+  // caller is about to learn the data may not be durable anyway.
+  ::close(fd_);
+  fd_ = -1;
+  if (!err.empty()) latch_and_throw(err);
 }
 
 FileSource::FileSource(const std::string& path, std::size_t buffer_bytes)
@@ -81,8 +163,10 @@ std::size_t FileSource::read(std::uint8_t* data, std::size_t size) {
         n = ::read(fd_, buffer_.data(), buffer_.size());
       } while (n < 0 && errno == EINTR);
       if (n < 0) {
-        throw std::runtime_error(std::string("read failed: ") +
-                                 std::strerror(errno));
+        throw TraceError(TraceErrorKind::kIo,
+                         std::string("read from record file failed: ") +
+                             std::strerror(errno),
+                         errno);
       }
       if (n == 0) break;  // EOF
       buf_pos_ = 0;

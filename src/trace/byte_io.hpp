@@ -4,6 +4,15 @@
 // directories normally live on tmpfs, paper §VI) and memory-backed (unit
 // tests and the in-memory record mode used by benchmarks to separate
 // ordering overhead from filesystem overhead).
+//
+// Durability contract (PR 6): file writes go through write_all_fd(), which
+// retries EINTR forever, retries transient kernel pushback (EAGAIN/
+// ENOBUFS) with bounded exponential backoff, and throws TraceError(kIo)
+// on hard errors. FileSink LATCHES after a hard error — every later write
+// rethrows the original failure immediately instead of hammering a dead
+// file descriptor — and gains an explicit throwing close() (flush + fsync
+// + close) so Engine::finalize reports write-back failures instead of the
+// destructor swallowing them.
 #pragma once
 
 #include <cstddef>
@@ -14,12 +23,25 @@
 
 namespace reomp::trace {
 
+/// Write all of `data[0..size)` to `fd`. EINTR is retried indefinitely;
+/// EAGAIN/EWOULDBLOCK/ENOBUFS are retried a bounded number of times with
+/// exponential backoff (sleeping, so only safe off the gate hot path —
+/// callers are buffered-sink flushes); short writes continue the loop.
+/// Throws TraceError(kIo) on hard failure. `path` labels diagnostics.
+/// Goes through the fault-injection hook (REOMP_FI_WRITE).
+void write_all_fd(int fd, const std::uint8_t* data, std::size_t size,
+                  const std::string& path);
+
 /// Append-only byte sink.
 class ByteSink {
  public:
   virtual ~ByteSink() = default;
   virtual void write(const std::uint8_t* data, std::size_t size) = 0;
   virtual void flush() = 0;
+  /// Flush and durably finish the sink, throwing on failure (unlike the
+  /// destructor, which must swallow). Default: flush only — memory sinks
+  /// have nothing to sync.
+  virtual void close() { flush(); }
 };
 
 /// Sequential byte source.
@@ -35,7 +57,7 @@ class ByteSource {
 /// lost if every append goes straight to a syscall.
 class FileSink final : public ByteSink {
  public:
-  /// Throws std::runtime_error when the file cannot be opened for writing.
+  /// Throws TraceError(kIo) when the file cannot be opened for writing.
   explicit FileSink(const std::string& path,
                     std::size_t buffer_bytes = kDefaultBuffer);
   ~FileSink() override;
@@ -43,19 +65,32 @@ class FileSink final : public ByteSink {
   FileSink(const FileSink&) = delete;
   FileSink& operator=(const FileSink&) = delete;
 
+  /// Throws TraceError(kIo) on hard write failure; after the first such
+  /// failure the sink is latched and every call rethrows immediately.
   void write(const std::uint8_t* data, std::size_t size) override;
   void flush() override;
+  /// Flush + fsync + close(2), throwing TraceError(kIo) on any failure.
+  /// The descriptor is closed even when flush/fsync fail. Idempotent.
+  void close() override;
+
+  /// True once a hard write error has latched this sink.
+  [[nodiscard]] bool failed() const { return failed_; }
 
   static constexpr std::size_t kDefaultBuffer = 1 << 16;
 
  private:
+  void latch_and_throw(const std::string& what);
+
   int fd_ = -1;
+  std::string path_;
   std::vector<std::uint8_t> buffer_;
+  bool failed_ = false;
+  std::string error_;
 };
 
 class FileSource final : public ByteSource {
  public:
-  /// Throws std::runtime_error when the file cannot be opened for reading.
+  /// Throws TraceError(kIo) when the file cannot be opened for reading.
   explicit FileSource(const std::string& path,
                       std::size_t buffer_bytes = FileSink::kDefaultBuffer);
   ~FileSource() override;

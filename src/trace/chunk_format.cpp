@@ -1,0 +1,97 @@
+#include "src/trace/chunk_format.hpp"
+
+#include <cstring>
+
+#include "src/trace/trace_error.hpp"
+
+namespace reomp::trace {
+
+std::optional<ContainerFormat> container_format_from_string(
+    std::string_view s) {
+  if (s == "v1" || s == "1") return ContainerFormat::kV1;
+  if (s == "v2" || s == "2") return ContainerFormat::kV2;
+  return std::nullopt;
+}
+
+namespace v2 {
+
+namespace {
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  return static_cast<std::uint64_t>(get_u32(in)) |
+         (static_cast<std::uint64_t>(get_u32(in + 4)) << 32);
+}
+
+}  // namespace
+
+void pack_header(const ChunkHeader& h, std::uint8_t* out) {
+  put_u32(out, kChunkMarker);
+  put_u32(out + 4, h.payload_len);
+  put_u32(out + 8, h.entry_count);
+  put_u64(out + 12, h.first_seq);
+  put_u64(out + 20, h.last_seq);
+  put_u32(out + 28, h.crc);
+}
+
+bool unpack_header(const std::uint8_t* in, ChunkHeader& h) {
+  if (get_u32(in) != kChunkMarker) return false;
+  h.payload_len = get_u32(in + 4);
+  h.entry_count = get_u32(in + 8);
+  h.first_seq = get_u64(in + 12);
+  h.last_seq = get_u64(in + 20);
+  h.crc = get_u32(in + 28);
+  return true;
+}
+
+void validate_header(const ChunkHeader& h, std::uint64_t expect_first_seq) {
+  // Every entry encodes to at least 2 bytes (gate varint + delta varint),
+  // so entry_count > payload_len / 2 is impossible for honest data.
+  const bool ok = h.payload_len <= kMaxChunkPayload && h.entry_count >= 1 &&
+                  h.payload_len >= 2 * static_cast<std::uint64_t>(
+                                           h.entry_count) &&
+                  h.last_seq == h.first_seq + h.entry_count - 1 &&
+                  h.first_seq == expect_first_seq;
+  if (!ok) {
+    throw TraceError(TraceErrorKind::kCorrupt,
+                     bad_fields_message(h, expect_first_seq));
+  }
+}
+
+std::string crc_mismatch_message(const ChunkHeader& h) {
+  return "record chunk: CRC mismatch (entries " +
+         std::to_string(h.first_seq) + ".." + std::to_string(h.last_seq) +
+         ")";
+}
+
+std::string bad_fields_message(const ChunkHeader& h,
+                               std::uint64_t expect_first_seq) {
+  return "record chunk: inconsistent header (payload_len=" +
+         std::to_string(h.payload_len) +
+         " entry_count=" + std::to_string(h.entry_count) +
+         " seq=" + std::to_string(h.first_seq) + ".." +
+         std::to_string(h.last_seq) +
+         " expected first_seq=" + std::to_string(expect_first_seq) + ")";
+}
+
+}  // namespace v2
+
+}  // namespace reomp::trace

@@ -1,0 +1,105 @@
+// v2 chunked record container: framing constants, header codec, validation.
+//
+// A v2 stream is a 4-byte stream magic followed by zero or more chunks:
+//
+//   stream  := magic chunk*
+//   magic   := F7 'R' 'C' '2'
+//   chunk   := header payload
+//   header  := marker:u32 payload_len:u32 entry_count:u32
+//              first_seq:u64 last_seq:u64 crc32:u32          (32 bytes, LE)
+//   payload := entry_count varint-delta entries (same per-entry encoding as
+//              v1, but the delta chain RESETS to 0 at each chunk start so
+//              every chunk decodes on its own)
+//
+// The magic is written eagerly at writer construction, so even a recorder
+// killed before its first chunk leaves a self-identifying (empty but valid)
+// v2 stream. first_seq/last_seq are stream-wide entry ordinals; a reader
+// can therefore detect dropped/duplicated chunks without decoding payloads,
+// and a salvage pass can report exactly how many events a torn tail cost.
+//
+// This header carries no entry-level code — the per-entry codec lives in
+// record_stream.{hpp,cpp}; bulk (DecodedSchedule) and streaming
+// (RecordReader) paths share validate_header() and the message builders
+// below so both throw byte-identical diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace reomp::trace {
+
+/// On-disk container format for record streams.
+enum class ContainerFormat : std::uint8_t {
+  kV1 = 1,  // raw varint stream, no framing (legacy; read-only by default)
+  kV2 = 2,  // CRC-chunked container (default)
+};
+
+constexpr std::string_view to_string(ContainerFormat f) {
+  return f == ContainerFormat::kV1 ? "v1" : "v2";
+}
+
+std::optional<ContainerFormat> container_format_from_string(
+    std::string_view s);
+
+namespace v2 {
+
+/// Stream magic. 0xF7 is a varint continuation byte implying a gate id
+/// ≥ 15351, which no real v1 stream in this codebase starts with — so
+/// probing 4 bytes cannot misclassify legacy traces in practice.
+inline constexpr std::uint8_t kStreamMagic[4] = {0xF7, 'R', 'C', '2'};
+inline constexpr std::size_t kMagicBytes = 4;
+
+/// Per-chunk marker ("RCHK" LE) — catches writes landing at a wrong offset.
+inline constexpr std::uint32_t kChunkMarker = 0x4b484352u;
+
+inline constexpr std::size_t kHeaderBytes = 32;
+
+/// Upper bound on a chunk payload a reader will accept (64 MiB). Writers
+/// emit far smaller chunks (REOMP_TRACE_CHUNK_BYTES, default 64 KiB); the
+/// cap stops a corrupt length field from driving a giant allocation.
+inline constexpr std::uint32_t kMaxChunkPayload = 1u << 26;
+
+struct ChunkHeader {
+  std::uint32_t payload_len = 0;
+  std::uint32_t entry_count = 0;
+  std::uint64_t first_seq = 0;
+  std::uint64_t last_seq = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Serialize `h` into `out[0..kHeaderBytes)` (marker included).
+void pack_header(const ChunkHeader& h, std::uint8_t* out);
+
+/// Parse `in[0..kHeaderBytes)`. Returns false when the marker is wrong
+/// (the caller decides whether that is corruption or a misprobed stream).
+[[nodiscard]] bool unpack_header(const std::uint8_t* in, ChunkHeader& h);
+
+/// Consistency checks on a parsed header: payload cap, non-empty chunk,
+/// payload large enough for entry_count 2-byte-minimum entries, seq range
+/// arithmetic, and continuity with `expect_first_seq` (stream-wide ordinal
+/// of the next expected entry). Throws TraceError(kCorrupt) on violation.
+void validate_header(const ChunkHeader& h, std::uint64_t expect_first_seq);
+
+// Shared diagnostic messages. Streaming and bulk decoders must throw
+// byte-identical strings (replay_equivalence_test compares them across
+// paths), so every v2 error message is built here and nowhere else.
+inline constexpr const char* kErrTornHeader =
+    "record chunk: stream truncated mid-header";
+inline constexpr const char* kErrTornPayload =
+    "record chunk: stream truncated mid-payload";
+inline constexpr const char* kErrBadMarker = "record chunk: bad chunk marker";
+inline constexpr const char* kErrPayloadOverrun =
+    "record chunk: entry decode overran chunk payload";
+inline constexpr const char* kErrPayloadTrailing =
+    "record chunk: trailing bytes after final entry in chunk";
+
+std::string crc_mismatch_message(const ChunkHeader& h);
+std::string bad_fields_message(const ChunkHeader& h,
+                               std::uint64_t expect_first_seq);
+
+}  // namespace v2
+
+}  // namespace reomp::trace

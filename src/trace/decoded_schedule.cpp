@@ -1,17 +1,107 @@
 #include "src/trace/decoded_schedule.hpp"
 
-#include <stdexcept>
+#include <cstring>
 
+#include "src/common/crc32.hpp"
 #include "src/common/varint.hpp"
+#include "src/trace/chunk_format.hpp"
+#include "src/trace/trace_error.hpp"
 
 namespace reomp::trace {
 
 namespace {
+
 constexpr std::size_t kChunk = 1 << 16;
+
+// Classification shared with RecordReader::next_v1: a decode failure with
+// fewer than kMaxEntryBytes left is a torn tail (the only way an honest
+// writer's stream can end mid-entry); with a full window it is an
+// overlong varint, i.e. corruption.
+DecodedSchedule decode_v1(const std::uint8_t* data, std::size_t size,
+                          bool salvage) {
+  DecodedSchedule sched;
+  // Typical entries are 2-3 bytes on the wire (small gate ids, small clock
+  // deltas); /2 over-reserves slightly rather than reallocating mid-decode.
+  sched.entries.reserve(size / kMinEntryBytes);
+  std::uint64_t prev_value = 0;
+  std::size_t pos = 0;
+  while (pos < size) {
+    const std::size_t entry_start = pos;
+    const char* torn_msg = nullptr;
+    const auto gate = varint_decode(data, size, pos);
+    if (!gate) {
+      torn_msg = "record stream: torn gate id";
+    } else {
+      const auto zz = varint_decode(data, size, pos);
+      if (!zz) {
+        torn_msg = "record stream: torn value delta";
+      } else {
+        prev_value = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(prev_value) + zigzag_decode(*zz));
+        sched.entries.push_back(
+            {static_cast<std::uint32_t>(*gate), prev_value});
+        continue;
+      }
+    }
+    const std::uint64_t remaining = size - entry_start;
+    if (remaining >= kMaxEntryBytes) {
+      throw TraceError(TraceErrorKind::kCorrupt, torn_msg);
+    }
+    if (!salvage) throw TraceError(TraceErrorKind::kTruncated, torn_msg);
+    sched.salvaged = true;
+    sched.dropped_bytes = remaining;
+    break;
+  }
+  return sched;
+}
+
+DecodedSchedule decode_v2(const std::uint8_t* data, std::size_t size,
+                          bool salvage) {
+  DecodedSchedule sched;
+  sched.entries.reserve(size / kMinEntryBytes);
+  std::uint64_t expect = 0;
+  std::size_t pos = v2::kMagicBytes;
+  while (pos < size) {
+    const std::size_t chunk_start = pos;
+    const char* torn_msg = nullptr;
+    if (size - pos < v2::kHeaderBytes) {
+      torn_msg = v2::kErrTornHeader;
+    } else {
+      v2::ChunkHeader h;
+      if (!v2::unpack_header(data + pos, h)) {
+        throw TraceError(TraceErrorKind::kCorrupt, v2::kErrBadMarker);
+      }
+      v2::validate_header(h, expect);
+      if (size - pos - v2::kHeaderBytes < h.payload_len) {
+        torn_msg = v2::kErrTornPayload;
+      } else {
+        const std::uint8_t* payload = data + pos + v2::kHeaderBytes;
+        if (crc32(payload, h.payload_len) != h.crc) {
+          throw TraceError(TraceErrorKind::kCorrupt,
+                           v2::crc_mismatch_message(h));
+        }
+        decode_chunk_entries(h, payload, sched.entries);
+        pos += v2::kHeaderBytes + h.payload_len;
+        expect = h.last_seq + 1;
+        ++sched.chunks;
+        continue;
+      }
+    }
+    // Torn tail: the same dropped-byte accounting as the streaming reader
+    // (partial header bytes, or full header + partial payload).
+    if (!salvage) throw TraceError(TraceErrorKind::kTruncated, torn_msg);
+    sched.salvaged = true;
+    sched.dropped_bytes = size - chunk_start;
+    break;
+  }
+  return sched;
+}
+
 }  // namespace
 
 DecodedSchedule DecodedSchedule::decode_all(ByteSource& source,
-                                            std::uint64_t size_hint) {
+                                            std::uint64_t size_hint,
+                                            bool salvage) {
   // Phase 1: slurp the whole stream into one contiguous buffer. Reserve
   // one chunk past the hint: the EOF-probing read always overshoots the
   // exact stream size, and an exact reservation would force a full-buffer
@@ -28,29 +118,19 @@ DecodedSchedule DecodedSchedule::decode_all(ByteSource& source,
     if (got == 0) break;
   }
 
-  return decode_bytes(bytes.data(), bytes.size());
+  return decode_bytes(bytes.data(), bytes.size(), salvage);
 }
 
 DecodedSchedule DecodedSchedule::decode_bytes(const std::uint8_t* data,
-                                              std::size_t size) {
-  // One tight decode pass. Same wire format and failure modes as
+                                              std::size_t size,
+                                              bool salvage) {
+  // One tight decode pass. Same wire formats and failure modes as
   // RecordReader::next (the equivalence suite checks the error strings).
-  DecodedSchedule sched;
-  // Typical entries are 2-3 bytes on the wire (small gate ids, small clock
-  // deltas); /2 over-reserves slightly rather than reallocating mid-decode.
-  sched.entries.reserve(size / kMinEntryBytes);
-  std::uint64_t prev_value = 0;
-  std::size_t pos = 0;
-  while (pos < size) {
-    const auto gate = varint_decode(data, size, pos);
-    if (!gate) throw std::runtime_error("record stream: torn gate id");
-    const auto zz = varint_decode(data, size, pos);
-    if (!zz) throw std::runtime_error("record stream: torn value delta");
-    prev_value = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(prev_value) + zigzag_decode(*zz));
-    sched.entries.push_back({static_cast<std::uint32_t>(*gate), prev_value});
+  if (size >= v2::kMagicBytes &&
+      std::memcmp(data, v2::kStreamMagic, v2::kMagicBytes) == 0) {
+    return decode_v2(data, size, salvage);
   }
-  return sched;
+  return decode_v1(data, size, salvage);
 }
 
 }  // namespace reomp::trace

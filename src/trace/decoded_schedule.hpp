@@ -10,6 +10,12 @@
 // RecordReader stays available as the ablation baseline and as the
 // fallback for traces whose decoded form would not fit the configured
 // memory cap (Options::replay_mem_cap).
+//
+// Both container formats decode here (v2 chunked is detected by the stream
+// magic). Failure classification and messages are byte-identical to the
+// streaming RecordReader — the replay equivalence suite compares them —
+// and `salvage` recovers the longest valid prefix of a TRUNCATED stream
+// (never of a corrupt one).
 #pragma once
 
 #include <cstdint>
@@ -51,6 +57,11 @@ struct DecodedSchedule {
   std::vector<std::uint32_t> epoch_size;
   std::size_t pos = 0;  // advanced by the owning replay thread only
 
+  // Recovery metadata (decode time, not advanced during replay):
+  std::uint64_t chunks = 0;         // complete v2 chunks decoded (0 for v1)
+  bool salvaged = false;            // a torn tail was dropped under salvage
+  std::uint64_t dropped_bytes = 0;  // encoded bytes the torn tail cost
+
   [[nodiscard]] bool exhausted() const { return pos >= entries.size(); }
   [[nodiscard]] std::size_t remaining() const { return entries.size() - pos; }
 
@@ -58,6 +69,9 @@ struct DecodedSchedule {
     entries.clear();
     epoch_size.clear();
     pos = 0;
+    chunks = 0;
+    salvaged = false;
+    dropped_bytes = 0;
   }
 
   /// Decode an entire stream in one pass. Unlike RecordReader::next, this
@@ -66,13 +80,15 @@ struct DecodedSchedule {
   /// buffer-compaction memmove. Byte-format and error behaviour match the
   /// streaming reader exactly (same torn-entry exceptions).
   /// `size_hint` (encoded bytes, 0 = unknown) pre-sizes the buffers.
+  /// `salvage` keeps the longest valid prefix of a truncated stream.
   static DecodedSchedule decode_all(ByteSource& source,
-                                    std::uint64_t size_hint = 0);
+                                    std::uint64_t size_hint = 0,
+                                    bool salvage = false);
 
   /// Same decode over bytes already in memory (an in-memory bundle's
   /// stream): skips the source indirection and the slurp copy entirely.
   static DecodedSchedule decode_bytes(const std::uint8_t* data,
-                                      std::size_t size);
+                                      std::size_t size, bool salvage = false);
 };
 
 }  // namespace reomp::trace

@@ -1,0 +1,167 @@
+#include "src/trace/fault_injection.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <mutex>
+#include <stdexcept>
+
+#include "src/common/env.hpp"
+
+namespace reomp::trace::fi {
+
+namespace {
+
+enum class Mode : std::uint8_t { kOff, kKill, kEnospc, kShort, kEintr };
+
+// Armed-state fast gate: checked with a relaxed load before taking the
+// mutex, so the disarmed production path costs one atomic load.
+std::atomic<bool> g_armed{false};
+
+std::mutex g_mu;
+Mode g_mode = Mode::kOff;            // guarded by g_mu
+std::uint64_t g_threshold = 0;       // byte at which the fault fires
+std::uint64_t g_offered = 0;         // cumulative bytes seen
+int g_eintr_left = 0;                // remaining EINTR returns
+bool g_short_done = false;           // short@N fires once
+std::string g_last_env_spec;         // last $REOMP_FI_WRITE value seen
+bool g_env_seen = false;
+
+void arm_locked(const std::string& spec) {
+  g_mode = Mode::kOff;
+  g_threshold = 0;
+  g_offered = 0;
+  g_eintr_left = 0;
+  g_short_done = false;
+  if (spec.empty()) {
+    g_armed.store(false, std::memory_order_relaxed);
+    return;
+  }
+  const auto at = spec.find('@');
+  const std::string kind = spec.substr(0, at == std::string::npos
+                                              ? spec.size()
+                                              : at);
+  Mode mode = Mode::kOff;
+  if (kind == "kill") mode = Mode::kKill;
+  else if (kind == "enospc") mode = Mode::kEnospc;
+  else if (kind == "short") mode = Mode::kShort;
+  else if (kind == "eintr") mode = Mode::kEintr;
+  std::uint64_t n = 0;
+  bool n_ok = false;
+  if (at != std::string::npos && at + 1 < spec.size()) {
+    n_ok = true;
+    for (std::size_t i = at + 1; i < spec.size(); ++i) {
+      const char c = spec[i];
+      if (c < '0' || c > '9') {
+        n_ok = false;
+        break;
+      }
+      n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+  }
+  if (mode == Mode::kOff || !n_ok) {
+    throw std::runtime_error(
+        "REOMP_FI_WRITE='" + spec +
+        "' is not a valid fault spec (expected kill@N|enospc@N|short@N|"
+        "eintr@N)");
+  }
+  g_mode = mode;
+  g_threshold = n;
+  g_eintr_left = mode == Mode::kEintr ? 16 : 0;
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void arm(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  arm_locked(spec);
+}
+
+void disarm() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  arm_locked("");
+}
+
+void arm_from_env() {
+  const std::string spec = env_string("REOMP_FI_WRITE").value_or("");
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_env_seen && spec == g_last_env_spec) return;
+  g_env_seen = true;
+  g_last_env_spec = spec;
+  arm_locked(spec);
+}
+
+ssize_t inject_write(int fd, const std::uint8_t* data, std::size_t size) {
+  if (!g_armed.load(std::memory_order_relaxed)) {
+    return ::write(fd, data, size);
+  }
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_mode == Mode::kOff) return ::write(fd, data, size);
+
+  const std::uint64_t before = g_offered;
+  const bool crossing = before + size > g_threshold;
+  switch (g_mode) {
+    case Mode::kKill: {
+      if (!crossing) break;
+      // Write the exact byte prefix up to the threshold, then die the way
+      // a SIGKILLed process would: no flush, no atexit, no unwinding.
+      const std::size_t keep =
+          static_cast<std::size_t>(g_threshold - before);
+      std::size_t done = 0;
+      while (done < keep) {
+        const ssize_t n = ::write(fd, data + done, keep - done);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        done += static_cast<std::size_t>(n);
+      }
+      ::_exit(kKillExitCode);
+    }
+    case Mode::kEnospc: {
+      if (before >= g_threshold) {
+        errno = ENOSPC;
+        return -1;
+      }
+      if (crossing) {
+        const std::size_t keep =
+            static_cast<std::size_t>(g_threshold - before);
+        const ssize_t n = ::write(fd, data, keep);
+        if (n > 0) g_offered += static_cast<std::uint64_t>(n);
+        return n;  // short write; the caller's loop re-enters and latches
+      }
+      break;
+    }
+    case Mode::kShort: {
+      if (crossing && !g_short_done && size > 1) {
+        g_short_done = true;
+        const ssize_t n = ::write(fd, data, size / 2);
+        if (n > 0) g_offered += static_cast<std::uint64_t>(n);
+        return n;
+      }
+      break;
+    }
+    case Mode::kEintr: {
+      if (crossing && g_eintr_left > 0) {
+        --g_eintr_left;
+        errno = EINTR;
+        return -1;
+      }
+      break;
+    }
+    case Mode::kOff:
+      break;
+  }
+  const ssize_t n = ::write(fd, data, size);
+  if (n > 0) g_offered += static_cast<std::uint64_t>(n);
+  return n;
+}
+
+std::uint64_t bytes_offered() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_offered;
+}
+
+}  // namespace reomp::trace::fi

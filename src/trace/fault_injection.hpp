@@ -1,0 +1,58 @@
+// Write-path fault injection for durability tests.
+//
+// A process-global injector sits between the trace layer's buffered sinks
+// and the write(2) syscall (FileSink flushes, atomic manifest commits).
+// Disarmed — the default — it is a relaxed atomic load and a tail call to
+// ::write. Armed, it counts cumulative bytes offered for writing and fires
+// one failure mode when the count crosses a threshold:
+//
+//   REOMP_FI_WRITE=kill@N     write the prefix up to cumulative byte N,
+//                             then _exit(kKillExitCode) — a byte-precise
+//                             torn-file crash (no flush, no atexit)
+//   REOMP_FI_WRITE=enospc@N   write up to byte N, then fail every further
+//                             write with ENOSPC (disk-full latch)
+//   REOMP_FI_WRITE=short@N    one short write at the crossing, then behave
+//                             normally (retry-loop coverage)
+//   REOMP_FI_WRITE=eintr@N    16 consecutive EINTR failures at the
+//                             crossing, then disarm (signal-storm coverage)
+//
+// arm_from_env() re-arms only when the env string CHANGES from what it last
+// saw, so a fork child armed programmatically via arm() keeps its spec even
+// though every FileSink constructor calls arm_from_env(). Test-only code:
+// armed-path cost is irrelevant, disarmed-path cost is one atomic load.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace reomp::trace::fi {
+
+/// Exit code used by kill@N so a parent can tell an injected crash from a
+/// real one.
+inline constexpr int kKillExitCode = 42;
+
+/// Arm from a spec string ("kill@1024", ...). Resets the cumulative byte
+/// counter. Empty spec disarms. Throws std::runtime_error on a malformed
+/// spec (strict, like the REOMP_* measurement knobs).
+void arm(const std::string& spec);
+
+/// Disarm and reset counters.
+void disarm();
+
+/// Arm from $REOMP_FI_WRITE if the variable's value differs from the last
+/// one this function saw (including unset -> set transitions). Called by
+/// FileSink construction and atomic_write_file so env-driven injection
+/// needs no code changes at call sites.
+void arm_from_env();
+
+/// write(2) wrapper with the injector in the path. Returns the syscall
+/// result (bytes written, or -1 with errno set).
+ssize_t inject_write(int fd, const std::uint8_t* data, std::size_t size);
+
+/// Cumulative bytes offered to inject_write since the last arm/disarm.
+std::uint64_t bytes_offered();
+
+}  // namespace reomp::trace::fi

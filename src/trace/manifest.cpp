@@ -3,13 +3,47 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/trace/trace_dir.hpp"
+
 namespace reomp::trace {
+
+namespace {
+
+// Parse "<chunks>:<bytes>:<entries>"; false on any syntax violation.
+bool parse_stream_stat(const std::string& value, Manifest::StreamStat& out) {
+  std::uint64_t fields[3] = {0, 0, 0};
+  std::size_t field = 0;
+  bool any_digit = false;
+  for (const char c : value) {
+    if (c == ':') {
+      if (!any_digit || field >= 2) return false;
+      ++field;
+      any_digit = false;
+      continue;
+    }
+    if (c < '0' || c > '9') return false;
+    fields[field] = fields[field] * 10 + static_cast<std::uint64_t>(c - '0');
+    any_digit = true;
+  }
+  if (field != 2 || !any_digit) return false;
+  out.chunks = fields[0];
+  out.bytes = fields[1];
+  out.entries = fields[2];
+  return true;
+}
+
+}  // namespace
 
 std::string Manifest::to_text() const {
   std::ostringstream os;
   os << "version=" << version << "\n";
   os << "strategy=" << strategy << "\n";
   os << "num_threads=" << num_threads << "\n";
+  os << "complete=" << (complete ? 1 : 0) << "\n";
+  for (const auto& [name, s] : streams) {
+    os << "stream." << name << "=" << s.chunks << ":" << s.bytes << ":"
+       << s.entries << "\n";
+  }
   for (const auto& [k, v] : extra) os << "x." << k << "=" << v << "\n";
   return os.str();
 }
@@ -17,6 +51,7 @@ std::string Manifest::to_text() const {
 std::optional<Manifest> Manifest::from_text(const std::string& text) {
   Manifest m;
   bool saw_version = false;
+  bool saw_complete = false;
   std::istringstream is(text);
   std::string line;
   while (std::getline(is, line)) {
@@ -32,20 +67,36 @@ std::optional<Manifest> Manifest::from_text(const std::string& text) {
       m.strategy = value;
     } else if (key == "num_threads") {
       m.num_threads = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (key == "complete") {
+      if (value != "0" && value != "1") return std::nullopt;
+      m.complete = value == "1";
+      saw_complete = true;
+    } else if (key.rfind("stream.", 0) == 0) {
+      StreamStat s;
+      if (!parse_stream_stat(value, s)) return std::nullopt;
+      m.streams[key.substr(7)] = s;
     } else if (key.rfind("x.", 0) == 0) {
       m.extra[key.substr(2)] = value;
     } else {
       return std::nullopt;  // unknown top-level key: likely wrong file
     }
   }
-  if (!saw_version || m.version != kFormatVersion) return std::nullopt;
+  if (!saw_version || (m.version != 1 && m.version != 2)) {
+    return std::nullopt;
+  }
+  if (m.version == 1) {
+    // v1 manifests were written once, after a successful finalize — the
+    // completeness marker did not exist because incompleteness could not
+    // be represented. Treat them as complete.
+    m.complete = true;
+  } else if (!saw_complete) {
+    m.complete = false;  // conservative: no marker means not sealed
+  }
   return m;
 }
 
 void Manifest::save(const std::string& path) const {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) throw std::runtime_error("cannot write manifest: " + path);
-  f << to_text();
+  atomic_write_file(path, to_text());
 }
 
 std::optional<Manifest> Manifest::load(const std::string& path) {

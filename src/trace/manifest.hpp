@@ -4,6 +4,14 @@
 // run: the recording strategy, the thread count, and arbitrary tool
 // metadata. A replay against a manifest recorded with a different strategy
 // or thread count is rejected up front rather than deadlocking mid-run.
+//
+// Since format version 2 the manifest is also the durability commit
+// record: Engine::finalize is the ONLY writer of `complete=1`, and every
+// manifest write is atomic (temp + fsync + rename, trace_dir.hpp), so a
+// crashed or I/O-degraded recorder is detectable (`complete=0`, or a
+// missing manifest) rather than silently half-readable. Per-stream
+// chunk/byte/entry accounting lets the verify tool cross-check stream
+// files against what the recorder believed it wrote.
 #pragma once
 
 #include <cstdint>
@@ -14,20 +22,38 @@
 namespace reomp::trace {
 
 struct Manifest {
-  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr std::uint32_t kFormatVersion = 2;
+
+  /// Recorder-side accounting for one stream file, written at finalize.
+  struct StreamStat {
+    std::uint64_t chunks = 0;   // v2 chunks (0 for a v1 stream)
+    std::uint64_t bytes = 0;    // final wire size of the stream file
+    std::uint64_t entries = 0;  // logical record entries
+
+    friend bool operator==(const StreamStat&, const StreamStat&) = default;
+  };
 
   std::uint32_t version = kFormatVersion;
   std::string strategy;        // "st" | "dc" | "de"
   std::uint32_t num_threads = 0;
+  /// True only when finalize ran to completion with no I/O errors.
+  /// Version-1 manifests predate the marker and load as complete (they
+  /// could only ever be observed after a successful finalize).
+  bool complete = false;
+  /// Keyed "shared" (ST) or "t<k>" (DC/DE). Empty until finalize.
+  std::map<std::string, StreamStat> streams;
   std::map<std::string, std::string> extra;  // tool metadata (free-form)
 
   /// Serialize to the `key=value` text format.
   [[nodiscard]] std::string to_text() const;
 
-  /// Parse; returns nullopt on syntax errors or unsupported version.
+  /// Parse; returns nullopt on syntax errors or unsupported version
+  /// (versions 1 and 2 are accepted).
   static std::optional<Manifest> from_text(const std::string& text);
 
-  void save(const std::string& path) const;   // throws on I/O failure
+  /// Atomic durable write (temp + fsync + rename + dir fsync).
+  /// Throws TraceError(kIo) on failure.
+  void save(const std::string& path) const;
   static std::optional<Manifest> load(const std::string& path);
 };
 

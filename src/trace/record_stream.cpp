@@ -1,12 +1,104 @@
 #include "src/trace/record_stream.hpp"
 
-#include <stdexcept>
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/crc32.hpp"
+#include "src/trace/trace_error.hpp"
 
 namespace reomp::trace {
 
 namespace {
-constexpr std::size_t kChunk = 1 << 14;
+constexpr std::size_t kChunk = 1 << 14;  // v1 read-buffer refill granule
 }  // namespace
+
+void decode_chunk_entries(const v2::ChunkHeader& h,
+                          const std::uint8_t* payload,
+                          std::vector<RecordEntry>& out) {
+  std::size_t p = 0;
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 0; i < h.entry_count; ++i) {
+    const auto gate = varint_decode(payload, h.payload_len, p);
+    if (!gate) {
+      throw TraceError(TraceErrorKind::kCorrupt, v2::kErrPayloadOverrun);
+    }
+    const auto zz = varint_decode(payload, h.payload_len, p);
+    if (!zz) {
+      throw TraceError(TraceErrorKind::kCorrupt, v2::kErrPayloadOverrun);
+    }
+    RecordEntry e;
+    e.gate = static_cast<std::uint32_t>(*gate);
+    prev = static_cast<std::uint64_t>(static_cast<std::int64_t>(prev) +
+                                      zigzag_decode(*zz));
+    e.value = prev;
+    out.push_back(e);
+  }
+  if (p != h.payload_len) {
+    throw TraceError(TraceErrorKind::kCorrupt, v2::kErrPayloadTrailing);
+  }
+}
+
+RecordWriter::RecordWriter(ByteSink& sink, ContainerFormat format,
+                           std::size_t chunk_payload_bytes)
+    : sink_(&sink),
+      format_(format),
+      chunk_target_(std::clamp<std::size_t>(
+          chunk_payload_bytes, 1,
+          v2::kMaxChunkPayload - kMaxEntryBytes)) {
+  if (format_ == ContainerFormat::kV2) {
+    // Headroom: the pending payload is at most chunk_target_ - 1 bytes
+    // before an append, and one entry adds at most kMaxEntryBytes.
+    pending_.resize(chunk_target_ + kMaxEntryBytes);
+    sink_->write(v2::kStreamMagic, v2::kMagicBytes);
+    wire_bytes_ = v2::kMagicBytes;
+  }
+}
+
+void RecordWriter::emit_chunk() {
+  v2::ChunkHeader h;
+  h.payload_len = static_cast<std::uint32_t>(pending_len_);
+  h.entry_count = static_cast<std::uint32_t>(chunk_entries_);
+  h.first_seq = count_ - chunk_entries_;
+  h.last_seq = count_ - 1;
+  h.crc = crc32(pending_.data(), pending_len_);
+  std::uint8_t hdr[v2::kHeaderBytes];
+  v2::pack_header(h, hdr);
+  sink_->write(hdr, v2::kHeaderBytes);
+  sink_->write(pending_.data(), pending_len_);
+  wire_bytes_ += v2::kHeaderBytes + pending_len_;
+  ++chunks_;
+  pending_len_ = 0;
+  chunk_entries_ = 0;
+}
+
+ContainerFormat RecordReader::probe_format() {
+  if (probed_) return format_;
+  probed_ = true;
+  std::uint8_t magic[v2::kMagicBytes];
+  const std::size_t got = source_->read(magic, v2::kMagicBytes);
+  if (got == v2::kMagicBytes &&
+      std::memcmp(magic, v2::kStreamMagic, v2::kMagicBytes) == 0) {
+    format_ = ContainerFormat::kV2;
+  } else {
+    // Legacy raw stream (or an empty/tiny file): the probed bytes are
+    // entry bytes — seed the v1 buffer with them.
+    format_ = ContainerFormat::kV1;
+    buf_.assign(magic, magic + got);
+  }
+  return format_;
+}
+
+std::optional<RecordEntry> RecordReader::torn(std::uint64_t dropped,
+                                              const char* msg) {
+  if (salvage_) {
+    salvaged_ = true;
+    dropped_bytes_ = dropped;
+    eof_ = true;
+    pos_ = buf_.size();
+    return std::nullopt;
+  }
+  throw TraceError(TraceErrorKind::kTruncated, msg);
+}
 
 bool RecordReader::refill() {
   if (eof_) return false;
@@ -21,18 +113,32 @@ bool RecordReader::refill() {
   return got > 0;
 }
 
-std::optional<RecordEntry> RecordReader::next() {
+std::optional<RecordEntry> RecordReader::next_v1() {
   // Ensure enough buffered bytes that a complete entry cannot straddle the
   // end unless the stream is truly exhausted.
   while (buf_.size() - pos_ < kMaxEntryBytes && refill()) {
   }
   if (pos_ == buf_.size()) return std::nullopt;
 
+  // Fewer than kMaxEntryBytes remain only at stream end, so a decode
+  // failure there is a torn (truncated) tail; with a full window it is an
+  // overlong varint, i.e. corruption.
+  const bool at_tail = buf_.size() - pos_ < kMaxEntryBytes;
+  const std::uint64_t remaining = buf_.size() - pos_;
+
   std::size_t p = pos_;
   const auto gate = varint_decode(buf_.data(), buf_.size(), p);
-  if (!gate) throw std::runtime_error("record stream: torn gate id");
+  if (!gate) {
+    if (at_tail) return torn(remaining, "record stream: torn gate id");
+    throw TraceError(TraceErrorKind::kCorrupt,
+                     "record stream: torn gate id");
+  }
   const auto zz = varint_decode(buf_.data(), buf_.size(), p);
-  if (!zz) throw std::runtime_error("record stream: torn value delta");
+  if (!zz) {
+    if (at_tail) return torn(remaining, "record stream: torn value delta");
+    throw TraceError(TraceErrorKind::kCorrupt,
+                     "record stream: torn value delta");
+  }
   pos_ = p;
 
   RecordEntry e;
@@ -41,6 +147,48 @@ std::optional<RecordEntry> RecordReader::next() {
       static_cast<std::int64_t>(prev_value_) + zigzag_decode(*zz));
   e.value = prev_value_;
   return e;
+}
+
+std::optional<RecordEntry> RecordReader::next_v2() {
+  if (chunk_pos_ < chunk_entries_.size()) {
+    return chunk_entries_[chunk_pos_++];
+  }
+  if (eof_) return std::nullopt;
+
+  std::uint8_t hdr[v2::kHeaderBytes];
+  const std::size_t got = source_->read(hdr, v2::kHeaderBytes);
+  if (got == 0) {
+    eof_ = true;  // clean end exactly at a chunk boundary
+    return std::nullopt;
+  }
+  if (got < v2::kHeaderBytes) return torn(got, v2::kErrTornHeader);
+
+  v2::ChunkHeader h;
+  if (!v2::unpack_header(hdr, h)) {
+    throw TraceError(TraceErrorKind::kCorrupt, v2::kErrBadMarker);
+  }
+  v2::validate_header(h, seq_expect_);
+
+  payload_.resize(h.payload_len);
+  const std::size_t pgot = source_->read(payload_.data(), h.payload_len);
+  if (pgot < h.payload_len) {
+    return torn(v2::kHeaderBytes + pgot, v2::kErrTornPayload);
+  }
+  if (crc32(payload_.data(), h.payload_len) != h.crc) {
+    throw TraceError(TraceErrorKind::kCorrupt, v2::crc_mismatch_message(h));
+  }
+
+  chunk_entries_.clear();
+  chunk_pos_ = 0;
+  decode_chunk_entries(h, payload_.data(), chunk_entries_);
+  seq_expect_ = h.last_seq + 1;
+  ++chunks_;
+  return chunk_entries_[chunk_pos_++];
+}
+
+std::optional<RecordEntry> RecordReader::next() {
+  if (!probed_) probe_format();
+  return format_ == ContainerFormat::kV2 ? next_v2() : next_v1();
 }
 
 std::vector<RecordEntry> RecordReader::read_all() {

@@ -2,13 +2,31 @@
 //
 // DC/DE per-thread files hold (gate, clock/epoch) pairs in the thread's
 // program order (paper Fig. 3-(b)); the ST shared file holds (gate, tid)
-// pairs in global order (Fig. 3-(a)). Both use the same wire format:
+// pairs in global order (Fig. 3-(a)). Both use the same per-entry wire
+// format:
 //
 //   entry := varint(gate_id) varint(zigzag(value - prev_value[stream]))
 //
 // Values delta-encode against the previous value in the *stream* (not per
 // gate): per-thread clock sequences are near-monotonic, so deltas are small
 // — the clock-delta-compression observation from ReMPI (SC'15).
+//
+// Two container formats wrap the entries (chunk_format.hpp):
+//   v1  raw concatenated entries, stream-wide delta chain. No framing: a
+//       torn tail is detectable only as a trailing short varint, and a bit
+//       flip silently rewrites history. Read-compatible forever.
+//   v2  (default) CRC-chunked: entries accumulate into a pending chunk and
+//       are framed with length/count/seq-range/CRC32 when the payload
+//       reaches REOMP_TRACE_CHUNK_BYTES. The delta chain resets per chunk,
+//       so any chunk prefix of a torn stream decodes independently —
+//       that is what salvage recovers.
+//
+// Chunk cut points are a pure function of the appended entry sequence
+// (never of flush timing), so deferred/async/direct writer modes still
+// produce byte-identical streams (record_equivalence_test relies on it).
+// flush() only pushes completed chunks to the sink; finish() seals the
+// stream by framing the pending tail chunk — callers must finish() before
+// the stream is complete.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +35,7 @@
 
 #include "src/common/varint.hpp"
 #include "src/trace/byte_io.hpp"
+#include "src/trace/chunk_format.hpp"
 
 namespace reomp::trace {
 
@@ -30,15 +49,36 @@ struct RecordEntry {
 /// A single entry is at most two 10-byte varints.
 inline constexpr std::size_t kMaxEntryBytes = 2 * kMaxVarintBytes;
 
+/// Decode exactly `h.entry_count` entries from a CRC-verified v2 chunk
+/// payload, appending to `out`. The chunk-local delta chain starts at 0.
+/// Throws TraceError(kCorrupt) when decoding overruns the payload or
+/// leaves trailing bytes. Shared by RecordReader and DecodedSchedule so
+/// both paths produce identical entries and identical diagnostics.
+void decode_chunk_entries(const v2::ChunkHeader& h,
+                          const std::uint8_t* payload,
+                          std::vector<RecordEntry>& out);
+
 class RecordWriter {
  public:
-  /// Does not own the sink; the sink must outlive the writer.
-  explicit RecordWriter(ByteSink& sink) : sink_(&sink) {}
+  static constexpr std::size_t kDefaultChunkPayload = std::size_t{1} << 16;
+
+  /// Does not own the sink; the sink must outlive the writer. A v2 writer
+  /// emits the 4-byte stream magic immediately, so even a recorder killed
+  /// before its first chunk leaves a self-identifying stream.
+  explicit RecordWriter(ByteSink& sink,
+                        ContainerFormat format = ContainerFormat::kV2,
+                        std::size_t chunk_payload_bytes = kDefaultChunkPayload);
 
   void append(const RecordEntry& entry) {
-    std::uint8_t buf[kMaxEntryBytes];  // stack, never the heap
-    sink_->write(buf, encode(entry, buf));
-    ++count_;
+    if (format_ == ContainerFormat::kV1) {
+      std::uint8_t buf[kMaxEntryBytes];  // stack, never the heap
+      const std::size_t len = encode(entry, buf);
+      sink_->write(buf, len);
+      wire_bytes_ += len;
+      ++count_;
+      return;
+    }
+    append_chunked(entry);
   }
 
   /// Batched encoding: encode `n` entries into one reused buffer and issue
@@ -48,18 +88,43 @@ class RecordWriter {
   /// writer's double buffer (ring slots -> encode buffer -> sink).
   void append_batch(const RecordEntry* entries, std::size_t n) {
     if (n == 0) return;
+    if (format_ == ContainerFormat::kV2) {
+      // v2 already accumulates into the pending chunk buffer; sink writes
+      // only happen at chunk boundaries, so per-entry appends are cheap.
+      for (std::size_t i = 0; i < n; ++i) append_chunked(entries[i]);
+      return;
+    }
     batch_.resize(n * kMaxEntryBytes);
     std::size_t len = 0;
     for (std::size_t i = 0; i < n; ++i) {
       len += encode(entries[i], batch_.data() + len);
     }
     sink_->write(batch_.data(), len);
+    wire_bytes_ += len;
     count_ += n;
   }
 
+  /// Push completed chunks/bytes down to the sink. NEVER cuts the pending
+  /// chunk: cut points must depend only on the entry sequence so that all
+  /// writer modes produce byte-identical streams.
   void flush() { sink_->flush(); }
 
+  /// Seal the stream: frame the pending tail chunk (v2), then flush the
+  /// sink. Without finish() the tail entries are not on the wire.
+  /// Idempotent; append() may be called again afterwards (a new chunk
+  /// starts), though the engine never does.
+  void finish() {
+    if (format_ == ContainerFormat::kV2 && chunk_entries_ > 0) emit_chunk();
+    sink_->flush();
+  }
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Chunks emitted so far (0 for v1).
+  [[nodiscard]] std::uint64_t chunks() const { return chunks_; }
+  /// Bytes handed to the sink so far, including v2 magic/headers. After
+  /// finish() this equals the final file size.
+  [[nodiscard]] std::uint64_t wire_bytes() const { return wire_bytes_; }
+  [[nodiscard]] ContainerFormat format() const { return format_; }
 
  private:
   std::size_t encode(const RecordEntry& entry, std::uint8_t* out) {
@@ -71,31 +136,84 @@ class RecordWriter {
     return len;
   }
 
+  void append_chunked(const RecordEntry& entry) {
+    if (chunk_entries_ == 0) prev_value_ = 0;  // chunks are self-contained
+    pending_len_ += encode(entry, pending_.data() + pending_len_);
+    ++chunk_entries_;
+    ++count_;
+    if (pending_len_ >= chunk_target_) emit_chunk();
+  }
+
+  void emit_chunk();
+
   ByteSink* sink_;
-  std::vector<std::uint8_t> batch_;  // append_batch encode buffer, reused
+  ContainerFormat format_;
+  std::size_t chunk_target_;
+  std::vector<std::uint8_t> batch_;    // v1 append_batch encode buffer
+  std::vector<std::uint8_t> pending_;  // v2 pending chunk payload
+  std::size_t pending_len_ = 0;
+  std::uint64_t chunk_entries_ = 0;    // entries in the pending chunk
   std::uint64_t prev_value_ = 0;
   std::uint64_t count_ = 0;
+  std::uint64_t chunks_ = 0;
+  std::uint64_t wire_bytes_ = 0;
 };
 
 class RecordReader {
  public:
-  explicit RecordReader(ByteSource& source) : source_(&source) {}
+  /// With `salvage` set, a TRUNCATED tail (torn chunk header/payload, torn
+  /// trailing v1 entry) ends the stream cleanly instead of throwing;
+  /// salvaged()/dropped_bytes() report what was lost. Corruption (CRC
+  /// mismatch, bad marker, seq discontinuity) still throws — a corrupt
+  /// chunk cannot be trusted, a torn tail can.
+  explicit RecordReader(ByteSource& source, bool salvage = false)
+      : source_(&source), salvage_(salvage) {}
 
   /// Next entry, or nullopt at end of stream.
-  /// Throws std::runtime_error on a torn/corrupt entry.
+  /// Throws TraceError (kCorrupt/kTruncated/kIo) on a damaged stream.
   std::optional<RecordEntry> next();
 
   /// Drain the remainder of the stream (convenience for tests/tools).
   std::vector<RecordEntry> read_all();
 
+  /// Detect the container format from the stream's first bytes (consumed
+  /// either way; v1 streams keep them buffered). Called implicitly by the
+  /// first next().
+  ContainerFormat probe_format();
+
+  /// Complete chunks consumed so far (0 for v1 streams).
+  [[nodiscard]] std::uint64_t chunks() const { return chunks_; }
+  /// True when a torn tail was dropped under salvage.
+  [[nodiscard]] bool salvaged() const { return salvaged_; }
+  /// Bytes of torn tail dropped under salvage (partial header/payload for
+  /// v2, trailing short entry for v1).
+  [[nodiscard]] std::uint64_t dropped_bytes() const { return dropped_bytes_; }
+
  private:
   bool refill();
+  std::optional<RecordEntry> next_v1();
+  std::optional<RecordEntry> next_v2();
+  std::optional<RecordEntry> torn(std::uint64_t dropped, const char* msg);
 
   ByteSource* source_;
+  bool salvage_;
+  bool probed_ = false;
+  ContainerFormat format_ = ContainerFormat::kV1;
+
+  // v1 state: rolling buffer over the raw entry stream.
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;
   std::uint64_t prev_value_ = 0;
   bool eof_ = false;
+
+  // v2 state: one decoded chunk at a time.
+  std::vector<std::uint8_t> payload_;
+  std::vector<RecordEntry> chunk_entries_;
+  std::size_t chunk_pos_ = 0;
+  std::uint64_t seq_expect_ = 0;
+  std::uint64_t chunks_ = 0;
+  bool salvaged_ = false;
+  std::uint64_t dropped_bytes_ = 0;
 };
 
 }  // namespace reomp::trace

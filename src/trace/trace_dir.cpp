@@ -1,6 +1,16 @@
 #include "src/trace/trace_dir.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
+
+#include "src/trace/byte_io.hpp"
+#include "src/trace/fault_injection.hpp"
+#include "src/trace/trace_error.hpp"
 
 namespace reomp::trace {
 
@@ -38,6 +48,54 @@ std::string shared_file_path(const std::string& dir) {
 bool file_exists(const std::string& path) {
   std::error_code ec;
   return fs::exists(path, ec);
+}
+
+void atomic_write_file(const std::string& path, const std::string& contents) {
+  fi::arm_from_env();
+  const std::string tmp = path + ".tmp";
+  const auto fail = [&](const std::string& what) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    throw TraceError(TraceErrorKind::kIo,
+                     what + " '" + path + "': " + std::strerror(saved),
+                     saved);
+  };
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open temp file for");
+  try {
+    write_all_fd(fd, reinterpret_cast<const std::uint8_t*>(contents.data()),
+                 contents.size(), tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("cannot fsync temp file for");
+  }
+  if (::close(fd) != 0) fail("cannot close temp file for");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) fail("cannot commit");
+
+  // fsync the directory so the rename itself is durable. Failure here is
+  // still reported: without it a power loss can undo the commit.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) fail("cannot open directory of");
+  const bool synced = ::fsync(dfd) == 0;
+  ::close(dfd);
+  if (!synced) {
+    throw TraceError(TraceErrorKind::kIo,
+                     "cannot fsync directory of '" + path +
+                         "': " + std::strerror(errno),
+                     errno);
+  }
 }
 
 }  // namespace reomp::trace

@@ -23,4 +23,11 @@ std::string shared_file_path(const std::string& dir);
 
 bool file_exists(const std::string& path);
 
+/// Durably replace `path` with `contents`: write + fsync a temp file in
+/// the same directory, rename(2) it over `path`, then fsync the directory.
+/// A crash at any point leaves either the old complete file or the new
+/// complete file — never a torn one. Throws TraceError(kIo) on failure
+/// (best-effort temp cleanup). Goes through the write fault injector.
+void atomic_write_file(const std::string& path, const std::string& contents);
+
 }  // namespace reomp::trace

@@ -1,0 +1,66 @@
+// Structured failure taxonomy for the trace layer.
+//
+// Every trace-layer failure carries a kind so recovery logic (salvage, the
+// verify tool, crash-matrix tests) can branch on *what went wrong* instead
+// of parsing message strings:
+//
+//   kIo         the operating system failed us: open/write/fsync/rename
+//               errors, missing files. errno preserved when known.
+//   kCorrupt    the bytes are there but wrong: CRC mismatch, bad chunk
+//               marker, sequence discontinuity, overlong varint. Never
+//               salvageable — a corrupt chunk means the data cannot be
+//               trusted, unlike a cleanly torn tail.
+//   kTruncated  the stream ends mid-structure (torn chunk header/payload,
+//               torn trailing entry). The classic crashed-recorder shape:
+//               record files are written strictly sequentially, so a torn
+//               tail still has a valid prefix — the salvageable case
+//               (REOMP_REPLAY_SALVAGE=1).
+//   kIncomplete the manifest lacks the `complete` marker Engine::finalize
+//               writes: the recorder died (or failed) before sealing the
+//               directory. Streams may individually look healthy and still
+//               be short.
+//
+// TraceError::what() is the bare message with no kind prefix: the replay
+// equivalence suite requires streaming and bulk decoders to throw
+// byte-identical messages, and the kind travels out of band.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace reomp::trace {
+
+enum class TraceErrorKind : std::uint8_t {
+  kIo = 0,
+  kCorrupt = 1,
+  kTruncated = 2,
+  kIncomplete = 3,
+};
+
+constexpr std::string_view to_string(TraceErrorKind k) {
+  switch (k) {
+    case TraceErrorKind::kIo: return "io";
+    case TraceErrorKind::kCorrupt: return "corrupt";
+    case TraceErrorKind::kTruncated: return "truncated";
+    case TraceErrorKind::kIncomplete: return "incomplete";
+  }
+  return "?";
+}
+
+class TraceError : public std::runtime_error {
+ public:
+  TraceError(TraceErrorKind kind, const std::string& msg, int sys_errno = 0)
+      : std::runtime_error(msg), kind_(kind), errno_(sys_errno) {}
+
+  [[nodiscard]] TraceErrorKind kind() const { return kind_; }
+  /// The errno at failure time for kIo errors; 0 when not applicable.
+  [[nodiscard]] int sys_errno() const { return errno_; }
+
+ private:
+  TraceErrorKind kind_;
+  int errno_;
+};
+
+}  // namespace reomp::trace

@@ -1,0 +1,251 @@
+// Crash-recovery matrix: fork a recorder, kill it at a randomized byte
+// offset via the write-path fault injector, then prove the survivors'
+// contract on what is left on disk:
+//
+//   - a strict replay open REFUSES the crashed recording with a structured
+//     TraceError (never a hang, never a silent partial replay);
+//   - a salvage open either replays the recovered prefix to completion or
+//     fails with a structured TraceError (e.g. the kill landed inside the
+//     very first manifest write) — nothing else.
+//
+// Children are single-threaded by construction (direct Engine, deferred
+// trace writer, no helper threads) and die via _exit inside the injected
+// write — the closest userspace approximation of SIGKILL mid-write — so
+// the matrix is fork-safe under TSAN.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "src/common/prng.hpp"
+#include "src/core/engine.hpp"
+#include "src/trace/byte_io.hpp"
+#include "src/trace/fault_injection.hpp"
+#include "src/trace/manifest.hpp"
+#include "src/trace/record_stream.hpp"
+#include "src/trace/trace_dir.hpp"
+#include "src/trace/trace_error.hpp"
+
+namespace reomp::core {
+namespace {
+
+constexpr int kEvents = 2500;
+constexpr int kKillPointsPerStrategy = 20;
+
+std::string temp_dir(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("reomp_crash_" + std::to_string(::getpid()) + "_" + tag))
+      .string();
+}
+
+Options base_opts(Strategy s, const std::string& dir, Mode mode) {
+  Options opt;
+  opt.mode = mode;
+  opt.strategy = s;
+  opt.num_threads = 1;
+  opt.dir = dir;
+  opt.trace_writer = TraceWriter::kDeferred;  // no helper threads
+  opt.trace_chunk_bytes = 128;  // many small chunks -> fine-grained salvage
+  return opt;
+}
+
+/// The recorded program: a deterministic, prefix-closed access sequence
+/// (replaying the first R accesses consumes exactly the first R recorded
+/// entries, for every strategy).
+void workload(Engine& eng, int events) {
+  const GateId g0 = eng.register_gate("crash:a");
+  const GateId g1 = eng.register_gate("crash:b");
+  ThreadCtx& ctx = eng.bind_thread(0);
+  std::atomic<int> la{0}, lb{0};
+  for (int i = 0; i < events; ++i) {
+    std::atomic<int>& loc = (i & 1) != 0 ? lb : la;
+    const GateId g = (i & 1) != 0 ? g1 : g0;
+    if (i % 3 == 0) {
+      (void)eng.sma_load(ctx, g, loc);
+    } else {
+      eng.sma_store(ctx, g, loc, i);
+    }
+  }
+}
+
+/// Child side: arm the injector, record, die wherever the kill point lands.
+/// Exits 0 when the kill point was past the recording's total write volume.
+[[noreturn]] void child_record(Strategy s, const std::string& dir,
+                               std::uint64_t kill_at) {
+  try {
+    trace::fi::arm("kill@" + std::to_string(kill_at));
+    Engine eng(base_opts(s, dir, Mode::kRecord));
+    workload(eng, kEvents);
+    eng.finalize();
+    trace::fi::disarm();
+    ::_exit(0);
+  } catch (...) {
+    ::_exit(3);  // a recorder must never *throw* from an injected kill
+  }
+}
+
+int fork_record(Strategy s, const std::string& dir, std::uint64_t kill_at) {
+  const pid_t pid = ::fork();
+  if (pid == 0) child_record(s, dir, kill_at);  // never returns
+  EXPECT_GT(pid, 0) << "fork failed";
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status))
+      << "child killed by signal " << WTERMSIG(status);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Strict open of a crashed recording must throw a structured TraceError.
+void expect_strict_open_refuses(Strategy s, const std::string& dir,
+                                std::uint64_t kill_at) {
+  try {
+    Engine eng(base_opts(s, dir, Mode::kReplay));
+    ADD_FAILURE() << "strict replay accepted a crashed recording (kill_at="
+                  << kill_at << ")";
+  } catch (const trace::TraceError& e) {
+    EXPECT_TRUE(e.kind() == trace::TraceErrorKind::kIncomplete ||
+                e.kind() == trace::TraceErrorKind::kIo)
+        << "unexpected kind '" << to_string(e.kind()) << "': " << e.what();
+  }
+}
+
+/// Salvage open: either replays the recovered prefix to completion, or
+/// fails with a structured TraceError. Returns recovered entries (or
+/// nullopt on a structured failure).
+std::optional<std::uint64_t> salvage_replay(Strategy s,
+                                            const std::string& dir) {
+  Options opt = base_opts(s, dir, Mode::kReplay);
+  opt.replay_salvage = true;
+  try {
+    Engine eng(opt);
+    const auto& report = eng.salvage_report();
+    EXPECT_EQ(report.size(), 1u);  // single-threaded run: one stream
+    if (report.size() != 1) return std::nullopt;
+    workload(eng, static_cast<int>(report[0].recovered_entries));
+    eng.finalize();
+    return report[0].recovered_entries;
+  } catch (const trace::TraceError&) {
+    return std::nullopt;
+  }
+}
+
+class CrashMatrix : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(CrashMatrix, RandomKillPointsAlwaysRecoverOrFailFast) {
+  const Strategy s = GetParam();
+  const std::string tag(to_string(s));
+
+  // Calibrate the kill-point range with one undisturbed child.
+  const std::string clean_dir = temp_dir(tag + "_clean");
+  ASSERT_EQ(fork_record(s, clean_dir, std::uint64_t{1} << 40), 0);
+  const std::string stream_path = s == Strategy::kST
+                                      ? trace::shared_file_path(clean_dir)
+                                      : trace::thread_file_path(clean_dir, 0);
+  ASSERT_TRUE(trace::file_exists(stream_path));
+  const auto stream_bytes = std::filesystem::file_size(stream_path);
+  const auto manifest_bytes =
+      std::filesystem::file_size(trace::manifest_path(clean_dir));
+  // Total injected-write volume: initial manifest + stream + final
+  // manifest (plus slack so some points land past everything).
+  const std::uint64_t upper = stream_bytes + 2 * manifest_bytes + 200;
+  std::filesystem::remove_all(clean_dir);
+
+  Xoshiro256 rng(0xC0FFEE + static_cast<std::uint64_t>(s));
+  int killed = 0, survived = 0, salvaged_ok = 0, structured = 0;
+  for (int i = 0; i < kKillPointsPerStrategy; ++i) {
+    const std::uint64_t kill_at = 1 + rng.next_below(upper);
+    const std::string dir = temp_dir(tag + "_" + std::to_string(i));
+    const int code = fork_record(s, dir, kill_at);
+    ASSERT_TRUE(code == 0 || code == trace::fi::kKillExitCode)
+        << "child exit " << code << " at kill_at=" << kill_at;
+
+    if (code == 0) {
+      // Kill point past the recording: it must be sealed and replayable.
+      ++survived;
+      auto m = trace::Manifest::load(trace::manifest_path(dir));
+      ASSERT_TRUE(m.has_value());
+      EXPECT_TRUE(m->complete);
+      Engine eng(base_opts(s, dir, Mode::kReplay));
+      workload(eng, kEvents);
+      eng.finalize();
+    } else {
+      ++killed;
+      expect_strict_open_refuses(s, dir, kill_at);
+      const auto recovered = salvage_replay(s, dir);
+      if (recovered.has_value()) {
+        ++salvaged_ok;
+        EXPECT_LE(*recovered, static_cast<std::uint64_t>(kEvents));
+      } else {
+        ++structured;
+      }
+    }
+    std::filesystem::remove_all(dir);
+  }
+  // The matrix must actually exercise the crash path, and most crashes
+  // land past the initial manifest, where salvage succeeds.
+  EXPECT_GT(killed, 0) << "no kill point fired; range calibration is off";
+  if (killed > 2) {
+    EXPECT_GT(salvaged_ok, 0);
+  }
+  std::printf("[%s] killed=%d survived=%d salvaged=%d structured_fail=%d\n",
+              tag.c_str(), killed, survived, salvaged_ok, structured);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, CrashMatrix,
+                         ::testing::Values(Strategy::kST, Strategy::kDC,
+                                           Strategy::kDE),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// A salvaged prefix is not merely "some valid entries": it is byte-for-byte
+// the recording a crash-free run of exactly the recovered events would have
+// produced (chunk cuts are a pure function of the entry sequence, and the
+// per-chunk delta chain makes every chunk self-contained). DC keeps one
+// entry per access with deterministic clocks, so the equivalence is exact.
+TEST(SalvageEquivalence, TornPrefixMatchesShortCleanRecordingBytes) {
+  const std::string full_dir = temp_dir("equiv_full");
+  {
+    Engine eng(base_opts(Strategy::kDC, full_dir, Mode::kRecord));
+    workload(eng, 3000);
+    eng.finalize();
+  }
+  const std::string path = trace::thread_file_path(full_dir, 0);
+  trace::FileSource src(path);
+  std::vector<std::uint8_t> full(1 << 20);
+  full.resize(src.read(full.data(), full.size()));
+
+  for (const std::size_t cut : {full.size() / 2, full.size() - 5}) {
+    std::vector<std::uint8_t> torn(full.begin(),
+                                   full.begin() + static_cast<long>(cut));
+    trace::MemorySource torn_src(torn);
+    trace::RecordReader reader(torn_src, /*salvage=*/true);
+    const auto recovered = reader.read_all();
+    ASSERT_TRUE(reader.salvaged());
+    ASSERT_GT(recovered.size(), 0u);
+    ASSERT_LE(reader.dropped_bytes(), torn.size());
+
+    const std::string short_dir =
+        temp_dir("equiv_short_" + std::to_string(cut));
+    {
+      Engine eng(base_opts(Strategy::kDC, short_dir, Mode::kRecord));
+      workload(eng, static_cast<int>(recovered.size()));
+      eng.finalize();
+    }
+    trace::FileSource short_src(trace::thread_file_path(short_dir, 0));
+    std::vector<std::uint8_t> clean(1 << 20);
+    clean.resize(short_src.read(clean.data(), clean.size()));
+
+    // Everything before the torn tail is exactly the short clean run.
+    torn.resize(torn.size() -
+                static_cast<std::size_t>(reader.dropped_bytes()));
+    EXPECT_EQ(torn, clean) << "cut=" << cut;
+    std::filesystem::remove_all(short_dir);
+  }
+  std::filesystem::remove_all(full_dir);
+}
+
+}  // namespace
+}  // namespace reomp::core

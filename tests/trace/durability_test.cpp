@@ -1,0 +1,516 @@
+// Durability tests for the v2 chunked container, the crash-consistent
+// manifest, torn-tail salvage, and the write-path fault injector.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/common/prng.hpp"
+#include "src/core/engine.hpp"
+#include "src/trace/byte_io.hpp"
+#include "src/trace/chunk_format.hpp"
+#include "src/trace/decoded_schedule.hpp"
+#include "src/trace/fault_injection.hpp"
+#include "src/trace/manifest.hpp"
+#include "src/trace/record_stream.hpp"
+#include "src/trace/trace_dir.hpp"
+#include "src/trace/trace_error.hpp"
+
+namespace reomp::trace {
+namespace {
+
+std::string temp_dir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("reomp_durability_" + std::to_string(::getpid()) + "_" + tag))
+          .string();
+  ensure_dir(dir);
+  return dir;
+}
+
+/// The fault injector is process-global; every armed test scopes it.
+struct FiGuard {
+  ~FiGuard() { fi::disarm(); }
+};
+
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_(name) {}
+  ~EnvGuard() { ::unsetenv(name_); }
+  const char* name_;
+};
+
+std::vector<RecordEntry> make_entries(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<RecordEntry> entries;
+  std::uint64_t clock = 0;
+  for (int i = 0; i < n; ++i) {
+    clock += rng.next_below(5);
+    entries.push_back({static_cast<std::uint32_t>(rng.next_below(8)), clock});
+  }
+  return entries;
+}
+
+std::vector<std::uint8_t> encode_v2(const std::vector<RecordEntry>& entries,
+                                    std::size_t chunk_payload) {
+  MemorySink sink;
+  RecordWriter writer(sink, ContainerFormat::kV2, chunk_payload);
+  for (const auto& e : entries) writer.append(e);
+  writer.finish();
+  return sink.take();
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  FileSource src(path);
+  std::vector<std::uint8_t> out(1 << 20);
+  out.resize(src.read(out.data(), out.size()));
+  return out;
+}
+
+// ---------- chunked container ----------
+
+TEST(ChunkedStream, MultiChunkRoundTrip) {
+  const auto entries = make_entries(5000, 7);
+  MemorySink sink;
+  RecordWriter writer(sink, ContainerFormat::kV2, /*chunk_payload_bytes=*/64);
+  for (const auto& e : entries) writer.append(e);
+  writer.finish();
+  EXPECT_GT(writer.chunks(), 1u);
+  const auto bytes = sink.take();
+  EXPECT_EQ(writer.wire_bytes(), bytes.size());
+
+  MemorySource src(bytes);
+  RecordReader reader(src);
+  EXPECT_EQ(reader.read_all(), entries);
+  EXPECT_EQ(reader.chunks(), writer.chunks());
+  EXPECT_FALSE(reader.salvaged());
+}
+
+TEST(ChunkedStream, V1WriterStillReadsBack) {
+  const auto entries = make_entries(2000, 9);
+  MemorySink sink;
+  RecordWriter writer(sink, ContainerFormat::kV1);
+  for (const auto& e : entries) writer.append(e);
+  writer.finish();  // no-op framing for v1, still flushes
+  MemorySource src(sink.take());
+  RecordReader reader(src);  // auto-probes the format
+  EXPECT_EQ(reader.read_all(), entries);
+  EXPECT_EQ(reader.chunks(), 0u);
+}
+
+TEST(ChunkedStream, EmptyFinishedStreamIsMagicOnly) {
+  MemorySink sink;
+  RecordWriter writer(sink, ContainerFormat::kV2);
+  writer.finish();
+  const auto bytes = sink.take();
+  EXPECT_EQ(bytes.size(), v2::kMagicBytes);
+  MemorySource src(bytes);
+  RecordReader reader(src);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(ChunkedStream, FlushNeverCutsChunks) {
+  // Chunk cut points must be a pure function of the entry sequence, not of
+  // flush timing, or the writer modes would stop being byte-identical.
+  const auto entries = make_entries(300, 3);
+  MemorySink a_sink, b_sink;
+  RecordWriter a(a_sink, ContainerFormat::kV2, 64);
+  RecordWriter b(b_sink, ContainerFormat::kV2, 64);
+  for (const auto& e : entries) {
+    a.append(e);
+    a.flush();  // adversarial per-entry flushing
+    b.append(e);
+  }
+  a.finish();
+  b.finish();
+  EXPECT_EQ(a_sink.take(), b_sink.take());
+}
+
+TEST(ChunkedStream, BitFlipIsCorruptEvenUnderSalvage) {
+  const auto entries = make_entries(1000, 21);
+  auto bytes = encode_v2(entries, 64);
+  // Flip one payload bit of the first chunk (past magic + header).
+  bytes[v2::kMagicBytes + v2::kHeaderBytes + 3] ^= 0x04;
+
+  std::string streaming_msg;
+  for (const bool salvage : {false, true}) {
+    MemorySource src(bytes);
+    RecordReader reader(src, salvage);
+    try {
+      reader.read_all();
+      ADD_FAILURE() << "CRC mismatch not detected (salvage=" << salvage
+                    << ")";
+    } catch (const TraceError& e) {
+      EXPECT_EQ(e.kind(), TraceErrorKind::kCorrupt);
+      streaming_msg = e.what();
+    }
+    EXPECT_FALSE(reader.salvaged());  // corruption is never salvaged
+  }
+  try {
+    DecodedSchedule::decode_bytes(bytes.data(), bytes.size(),
+                                  /*salvage=*/true);
+    ADD_FAILURE() << "bulk decoder accepted a flipped bit";
+  } catch (const TraceError& e) {
+    EXPECT_EQ(e.kind(), TraceErrorKind::kCorrupt);
+    EXPECT_EQ(streaming_msg, e.what());  // identical diagnostics
+  }
+}
+
+TEST(ChunkedStream, TornTailSalvagesLongestChunkPrefix) {
+  const auto entries = make_entries(2000, 5);
+  const auto full = encode_v2(entries, 64);
+  // Cut at several arbitrary points: mid-payload, mid-header, just past
+  // the magic. Every cut must salvage a prefix of the original entries,
+  // identically in the streaming and bulk decoders.
+  for (const std::size_t cut :
+       {full.size() - 1, full.size() - 17, full.size() - 40, full.size() / 2,
+        full.size() / 3, static_cast<std::size_t>(v2::kMagicBytes + 1)}) {
+    std::vector<std::uint8_t> torn(full.begin(),
+                                   full.begin() + static_cast<long>(cut));
+    {
+      MemorySource src(torn);
+      RecordReader strict(src);
+      EXPECT_THROW(
+          {
+            try {
+              strict.read_all();
+            } catch (const TraceError& e) {
+              EXPECT_EQ(e.kind(), TraceErrorKind::kTruncated);
+              throw;
+            }
+          },
+          TraceError)
+          << "cut=" << cut;
+    }
+    MemorySource src(torn);
+    RecordReader reader(src, /*salvage=*/true);
+    const auto recovered = reader.read_all();
+    ASSERT_LT(recovered.size(), entries.size()) << "cut=" << cut;
+    EXPECT_TRUE(std::equal(recovered.begin(), recovered.end(),
+                           entries.begin()))
+        << "cut=" << cut;
+    EXPECT_TRUE(reader.salvaged());
+    EXPECT_GT(reader.dropped_bytes(), 0u);
+
+    const DecodedSchedule bulk =
+        DecodedSchedule::decode_bytes(torn.data(), torn.size(),
+                                      /*salvage=*/true);
+    EXPECT_EQ(bulk.entries, recovered) << "cut=" << cut;
+    EXPECT_TRUE(bulk.salvaged);
+    EXPECT_EQ(bulk.dropped_bytes, reader.dropped_bytes()) << "cut=" << cut;
+  }
+}
+
+TEST(ChunkedStream, SequenceGapIsCorrupt) {
+  // Splice the first chunk out of a two-chunk stream: the surviving
+  // chunk's first_seq no longer matches the reader's expectation, which
+  // must read as corruption (history is missing), not as a clean stream.
+  const auto entries = make_entries(200, 13);
+  const auto full = encode_v2(entries, 64);
+  v2::ChunkHeader h{};
+  ASSERT_TRUE(v2::unpack_header(full.data() + v2::kMagicBytes, h));
+  const std::size_t first_chunk = v2::kHeaderBytes + h.payload_len;
+  std::vector<std::uint8_t> spliced(full.begin() + v2::kMagicBytes +
+                                        static_cast<long>(first_chunk),
+                                    full.end());
+  spliced.insert(spliced.begin(), v2::kStreamMagic,
+                 v2::kStreamMagic + v2::kMagicBytes);
+  MemorySource src(spliced);
+  RecordReader reader(src, /*salvage=*/true);
+  try {
+    reader.read_all();
+    ADD_FAILURE() << "sequence gap not detected";
+  } catch (const TraceError& e) {
+    EXPECT_EQ(e.kind(), TraceErrorKind::kCorrupt);
+  }
+}
+
+// ---------- manifest v2 ----------
+
+TEST(ManifestV2, RoundTripWithStreamsAndCompleteness) {
+  Manifest m;
+  m.strategy = "dc";
+  m.num_threads = 2;
+  m.complete = true;
+  m.streams["t0"] = {3, 123, 456};
+  m.streams["t1"] = {1, 40, 7};
+  m.extra["trace_format"] = "v2";
+  auto parsed = Manifest::from_text(m.to_text());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->complete);
+  EXPECT_EQ(parsed->streams, m.streams);
+  EXPECT_EQ(parsed->extra.at("trace_format"), "v2");
+
+  m.complete = false;
+  auto reparsed = Manifest::from_text(m.to_text());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_FALSE(reparsed->complete);
+}
+
+TEST(ManifestV2, VersionOneLoadsAsComplete) {
+  // v1 manifests predate the marker and were only ever written by a
+  // successful finalize.
+  auto m = Manifest::from_text("version=1\nstrategy=de\nnum_threads=2\n");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->complete);
+}
+
+TEST(ManifestV2, RejectsMalformedDurabilityFields) {
+  const std::string head = "version=2\nstrategy=dc\nnum_threads=1\n";
+  EXPECT_FALSE(Manifest::from_text(head + "complete=2\n").has_value());
+  EXPECT_FALSE(Manifest::from_text(head + "complete=yes\n").has_value());
+  EXPECT_FALSE(Manifest::from_text(head + "stream.t0=1:2\n").has_value());
+  EXPECT_FALSE(Manifest::from_text(head + "stream.t0=a:b:c\n").has_value());
+}
+
+TEST(ManifestV2, AtomicSaveLeavesNoTempFile) {
+  const std::string dir = temp_dir("atomic_save");
+  const std::string path = dir + "/manifest.txt";
+  Manifest m;
+  m.strategy = "st";
+  m.num_threads = 1;
+  m.save(path);
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ManifestV2, FailedSaveLeavesNoDebris) {
+  FiGuard guard;
+  const std::string dir = temp_dir("failed_save");
+  const std::string path = dir + "/manifest.txt";
+  Manifest m;
+  m.strategy = "st";
+  m.num_threads = 1;
+  fi::arm("enospc@0");
+  try {
+    m.save(path);
+    ADD_FAILURE() << "save on a full disk did not throw";
+  } catch (const TraceError& e) {
+    EXPECT_EQ(e.kind(), TraceErrorKind::kIo);
+    EXPECT_EQ(e.sys_errno(), ENOSPC);
+  }
+  fi::disarm();
+  EXPECT_FALSE(file_exists(path));          // target never appeared
+  EXPECT_FALSE(file_exists(path + ".tmp"));  // temp unlinked on failure
+  std::filesystem::remove_all(dir);
+}
+
+// ---------- FileSink durability ----------
+
+TEST(FileSinkDurability, CloseReportsDeferredWriteFailure) {
+  FiGuard guard;
+  const std::string dir = temp_dir("sink_close");
+  const std::string path = dir + "/s.rec";
+  FileSink sink(path);
+  const std::uint8_t b[16] = {1};
+  sink.write(b, sizeof(b));  // buffered; no syscall yet
+  fi::arm("enospc@0");
+  try {
+    sink.close();
+    ADD_FAILURE() << "close swallowed the flush failure";
+  } catch (const TraceError& e) {
+    EXPECT_EQ(e.kind(), TraceErrorKind::kIo);
+  }
+  EXPECT_TRUE(sink.failed());
+  // The error is latched: a second close re-reports instead of lying.
+  EXPECT_THROW(sink.close(), TraceError);
+  fi::disarm();
+  std::filesystem::remove_all(dir);
+}
+
+// ---------- engine-level crash consistency ----------
+
+core::Options record_opts(const std::string& dir) {
+  core::Options opt;
+  opt.mode = core::Mode::kRecord;
+  opt.strategy = core::Strategy::kDC;
+  opt.num_threads = 1;
+  opt.dir = dir;
+  opt.trace_chunk_bytes = 256;  // many chunks even for small runs
+  return opt;
+}
+
+/// Single-threaded DC record run: `events` stores through one gate.
+void record_run(const std::string& dir, int events) {
+  core::Engine eng(record_opts(dir));
+  const core::GateId g = eng.register_gate("durability:g");
+  core::ThreadCtx& ctx = eng.bind_thread(0);
+  std::atomic<int> loc{0};
+  for (int i = 0; i < events; ++i) eng.sma_store(ctx, g, loc, i);
+  eng.finalize();
+}
+
+/// Replay `events` accesses of the same program against `dir`.
+void replay_run(const std::string& dir, int events, bool salvage,
+                std::vector<core::Engine::StreamSalvage>* report = nullptr) {
+  core::Options opt = record_opts(dir);
+  opt.mode = core::Mode::kReplay;
+  opt.replay_salvage = salvage;
+  core::Engine eng(opt);
+  if (report != nullptr) *report = eng.salvage_report();
+  const core::GateId g = eng.register_gate("durability:g");
+  core::ThreadCtx& ctx = eng.bind_thread(0);
+  std::atomic<int> loc{0};
+  for (int i = 0; i < events; ++i) eng.sma_store(ctx, g, loc, i);
+  eng.finalize();
+}
+
+TEST(CrashConsistency, CleanFinalizeSealsManifestWithAccounting) {
+  const std::string dir = temp_dir("seal");
+  record_run(dir, 500);
+  auto m = Manifest::load(manifest_path(dir));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->complete);
+  ASSERT_TRUE(m->streams.count("t0"));
+  EXPECT_EQ(m->streams.at("t0").entries, 500u);
+  EXPECT_GT(m->streams.at("t0").chunks, 1u);
+  EXPECT_EQ(m->streams.at("t0").bytes,
+            std::filesystem::file_size(thread_file_path(dir, 0)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CrashConsistency, IncompleteManifestRefusedUnlessSalvage) {
+  const std::string dir = temp_dir("incomplete");
+  record_run(dir, 500);
+  auto m = Manifest::load(manifest_path(dir));
+  ASSERT_TRUE(m.has_value());
+  m->complete = false;  // simulate a recorder that died before finalize
+  m->save(manifest_path(dir));
+
+  try {
+    replay_run(dir, 500, /*salvage=*/false);
+    ADD_FAILURE() << "replay accepted an unsealed recording";
+  } catch (const TraceError& e) {
+    EXPECT_EQ(e.kind(), TraceErrorKind::kIncomplete);
+  }
+
+  // The streams themselves are intact, so salvage replays everything.
+  std::vector<core::Engine::StreamSalvage> report;
+  replay_run(dir, 500, /*salvage=*/true, &report);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].stream, "t0");
+  EXPECT_EQ(report[0].recovered_entries, 500u);
+  EXPECT_FALSE(report[0].torn);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CrashConsistency, EnospcLatchesAndFinalizeAggregates) {
+  FiGuard guard;
+  const std::string dir = temp_dir("enospc");
+  // Fail the disk partway into the stream flush: past the initial
+  // manifest (~100 bytes), well inside the record data.
+  fi::arm("enospc@2000");
+  bool threw = false;
+  {
+    core::Engine eng(record_opts(dir));
+    const core::GateId g = eng.register_gate("durability:g");
+    core::ThreadCtx& ctx = eng.bind_thread(0);
+    std::atomic<int> loc{0};
+    // The traced program itself must never see the error mid-run.
+    for (int i = 0; i < 5000; ++i) eng.sma_store(ctx, g, loc, i);
+    try {
+      eng.finalize();
+    } catch (const TraceError& e) {
+      threw = true;
+      EXPECT_EQ(e.kind(), TraceErrorKind::kIo);
+      EXPECT_NE(std::string(e.what()).find("record finalize"),
+                std::string::npos);
+    }
+  }  // destructor must not re-finalize or terminate
+  EXPECT_TRUE(threw);
+  fi::disarm();
+
+  // The on-disk manifest was never sealed.
+  auto m = Manifest::load(manifest_path(dir));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_FALSE(m->complete);
+
+  // Whatever prefix reached the disk salvages and replays to completion.
+  std::vector<core::Engine::StreamSalvage> report;
+  {
+    core::Options opt = record_opts(dir);
+    opt.mode = core::Mode::kReplay;
+    opt.replay_salvage = true;
+    core::Engine eng(opt);
+    report = eng.salvage_report();
+    ASSERT_EQ(report.size(), 1u);
+    const core::GateId g = eng.register_gate("durability:g");
+    core::ThreadCtx& ctx = eng.bind_thread(0);
+    std::atomic<int> loc{0};
+    for (std::uint64_t i = 0; i < report[0].recovered_entries; ++i) {
+      eng.sma_store(ctx, g, loc, static_cast<int>(i));
+    }
+    eng.finalize();
+  }
+  EXPECT_LT(report[0].recovered_entries, 5000u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CrashConsistency, TransientWriteFaultsAreInvisible) {
+  // short writes and EINTR storms must be absorbed by the retry loop:
+  // the recording comes out byte-identical to an undisturbed run.
+  const std::string clean_dir = temp_dir("clean");
+  record_run(clean_dir, 3000);
+  const auto clean = read_file_bytes(thread_file_path(clean_dir, 0));
+
+  for (const char* spec : {"short@500", "eintr@500"}) {
+    FiGuard guard;
+    const std::string dir = temp_dir(std::string("fault_") + spec[0]);
+    fi::arm(spec);
+    record_run(dir, 3000);
+    fi::disarm();
+    EXPECT_EQ(read_file_bytes(thread_file_path(dir, 0)), clean)
+        << "spec=" << spec;
+    auto m = Manifest::load(manifest_path(dir));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(m->complete) << "spec=" << spec;
+    std::filesystem::remove_all(dir);
+  }
+  std::filesystem::remove_all(clean_dir);
+}
+
+// ---------- env knobs ----------
+
+TEST(DurabilityEnv, TraceFormatIsStrict) {
+  EnvGuard guard("REOMP_TRACE_FORMAT");
+  ::setenv("REOMP_TRACE_FORMAT", "v1", 1);
+  EXPECT_EQ(core::Options::from_env(1).trace_format, ContainerFormat::kV1);
+  ::setenv("REOMP_TRACE_FORMAT", "v2", 1);
+  EXPECT_EQ(core::Options::from_env(1).trace_format, ContainerFormat::kV2);
+  ::setenv("REOMP_TRACE_FORMAT", "v3", 1);
+  EXPECT_THROW(core::Options::from_env(1), std::runtime_error);
+}
+
+TEST(DurabilityEnv, ChunkBytesIsStrict) {
+  EnvGuard guard("REOMP_TRACE_CHUNK_BYTES");
+  ::setenv("REOMP_TRACE_CHUNK_BYTES", "4096", 1);
+  EXPECT_EQ(core::Options::from_env(1).trace_chunk_bytes, 4096u);
+  ::setenv("REOMP_TRACE_CHUNK_BYTES", "0", 1);
+  EXPECT_THROW(core::Options::from_env(1), std::runtime_error);
+  ::setenv("REOMP_TRACE_CHUNK_BYTES", "lots", 1);
+  EXPECT_THROW(core::Options::from_env(1), std::runtime_error);
+}
+
+TEST(DurabilityEnv, ReplaySalvageIsStrict) {
+  EnvGuard guard("REOMP_REPLAY_SALVAGE");
+  ::setenv("REOMP_REPLAY_SALVAGE", "1", 1);
+  EXPECT_TRUE(core::Options::from_env(1).replay_salvage);
+  ::setenv("REOMP_REPLAY_SALVAGE", "0", 1);
+  EXPECT_FALSE(core::Options::from_env(1).replay_salvage);
+  ::setenv("REOMP_REPLAY_SALVAGE", "maybe", 1);
+  EXPECT_THROW(core::Options::from_env(1), std::runtime_error);
+}
+
+TEST(DurabilityEnv, FaultSpecIsStrict) {
+  FiGuard guard;
+  EXPECT_THROW(fi::arm("junk"), std::runtime_error);
+  EXPECT_THROW(fi::arm("kill@"), std::runtime_error);
+  EXPECT_THROW(fi::arm("kill@12x"), std::runtime_error);
+  EXPECT_THROW(fi::arm("flood@3"), std::runtime_error);
+  EXPECT_NO_THROW(fi::arm("short@10"));
+  fi::disarm();
+}
+
+}  // namespace
+}  // namespace reomp::trace

@@ -83,7 +83,7 @@ TEST(RecordStream, RoundTripPreservesEntries) {
     entries.push_back({static_cast<std::uint32_t>(rng.next_below(8)), clock});
   }
   for (const auto& e : entries) writer.append(e);
-  writer.flush();
+  writer.finish();
   EXPECT_EQ(writer.count(), entries.size());
 
   MemorySource source(sink.take());
@@ -98,7 +98,7 @@ TEST(RecordStream, NonMonotonicValuesSurvive) {
   const std::vector<RecordEntry> entries = {
       {0, 1000}, {1, 3}, {0, 1001}, {1, 4}, {2, ~0ULL}, {0, 0}};
   for (const auto& e : entries) writer.append(e);
-  writer.flush();
+  writer.finish();
   MemorySource source(sink.take());
   RecordReader reader(source);
   EXPECT_EQ(reader.read_all(), entries);
@@ -114,9 +114,9 @@ TEST(RecordStream, TornEntryThrows) {
   MemorySink sink;
   RecordWriter writer(sink);
   writer.append({3, 1ULL << 40});
-  writer.flush();
+  writer.finish();
   auto bytes = sink.take();
-  bytes.pop_back();  // truncate mid-entry
+  bytes.pop_back();  // truncate mid-chunk
   MemorySource source(std::move(bytes));
   RecordReader reader(source);
   EXPECT_THROW((void)reader.next(), std::runtime_error);
@@ -127,7 +127,7 @@ TEST(RecordStream, DeltaEncodingIsCompact) {
   MemorySink sink;
   RecordWriter writer(sink);
   for (std::uint64_t i = 0; i < 1000; ++i) writer.append({0, i * 8});
-  writer.flush();
+  writer.finish();
   EXPECT_LT(sink.bytes().size(), 2100u);
 }
 
@@ -149,6 +149,7 @@ TEST(DecodedSchedule, BulkDecodeMatchesStreamingReader) {
     writer.append(e);
     expected.push_back(e);
   }
+  writer.finish();
   const std::vector<std::uint8_t> bytes = sink.take();
 
   MemorySource streaming_src(bytes);
@@ -175,8 +176,9 @@ TEST(DecodedSchedule, TornEntryThrowsSameAsStreaming) {
   MemorySink sink;
   RecordWriter writer(sink);
   writer.append({7, 100});
+  writer.finish();
   std::vector<std::uint8_t> bytes = sink.take();
-  bytes.back() |= 0x80;  // dangling continuation bit
+  bytes.back() |= 0x80;  // flip a payload bit: CRC must catch it
   std::string streaming_msg, bulk_msg;
   {
     MemorySource src(bytes);
@@ -206,6 +208,7 @@ TEST(DecodedSchedule, DecodedBytesUpperBoundIsConservative) {
   MemorySink sink;
   RecordWriter writer(sink);
   for (int i = 0; i < 1'000; ++i) writer.append({1, 1});  // 2 bytes each
+  writer.finish();
   const std::vector<std::uint8_t> bytes = sink.take();
   MemorySource src(bytes);
   const DecodedSchedule sched = DecodedSchedule::decode_all(src);

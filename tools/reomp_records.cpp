@@ -3,6 +3,10 @@
 //   reomp_records info <dir>                  manifest, files, event counts
 //   reomp_records dump <dir> [tid] [limit]    decoded entries of one stream
 //   reomp_records hist <dir>                  epoch-size histogram (stats.txt)
+//   reomp_records verify <dir>                integrity check: manifest
+//                                             completeness, every chunk CRC,
+//                                             stream-vs-manifest accounting;
+//                                             exit nonzero on any damage
 //
 // Works on anything a record run produced: ST shared streams or DC/DE
 // per-thread streams.
@@ -17,6 +21,7 @@
 #include "src/trace/manifest.hpp"
 #include "src/trace/record_stream.hpp"
 #include "src/trace/trace_dir.hpp"
+#include "src/trace/trace_error.hpp"
 
 using namespace reomp;
 
@@ -26,7 +31,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: reomp_records info <dir>\n"
                "       reomp_records dump <dir> [tid] [limit]\n"
-               "       reomp_records hist <dir>\n");
+               "       reomp_records hist <dir>\n"
+               "       reomp_records verify <dir>\n");
   return 2;
 }
 
@@ -113,6 +119,78 @@ int cmd_dump(const std::string& dir, int tid, std::uint64_t limit) {
   return 0;
 }
 
+// Walk one stream file with the CRC-checking reader (no salvage: verify
+// reports damage, it does not paper over it) and cross-check against the
+// manifest's recorder-side accounting. Returns true when the stream is
+// intact AND matches the manifest.
+bool verify_stream(const trace::Manifest& m, const std::string& name,
+                   const std::string& path) {
+  if (!trace::file_exists(path)) {
+    std::printf("  %-10s MISSING%s\n", name.c_str(),
+                m.streams.count(name) != 0 ? " (listed in manifest)" : "");
+    return false;
+  }
+  const auto file_bytes =
+      static_cast<std::uint64_t>(std::filesystem::file_size(path));
+  std::uint64_t entries = 0;
+  std::uint64_t chunks = 0;
+  try {
+    trace::FileSource src(path);
+    trace::RecordReader reader(src);
+    while (reader.next().has_value()) ++entries;
+    chunks = reader.chunks();
+  } catch (const trace::TraceError& e) {
+    std::printf("  %-10s %8llu bytes  DAMAGED (%s): %s\n", name.c_str(),
+                static_cast<unsigned long long>(file_bytes),
+                std::string(to_string(e.kind())).c_str(), e.what());
+    return false;
+  }
+  std::string note = "OK";
+  bool ok = true;
+  if (const auto it = m.streams.find(name); it != m.streams.end()) {
+    const trace::Manifest::StreamStat& s = it->second;
+    if (s.entries != entries || s.chunks != chunks || s.bytes != file_bytes) {
+      note = "MANIFEST MISMATCH (recorded " + std::to_string(s.chunks) +
+             " chunks, " + std::to_string(s.bytes) + " bytes, " +
+             std::to_string(s.entries) + " entries)";
+      ok = false;
+    }
+  } else if (!m.streams.empty()) {
+    note = "not listed in manifest";
+    ok = false;
+  }
+  std::printf("  %-10s %8llu bytes  %6llu chunks  %10llu entries  %s\n",
+              name.c_str(), static_cast<unsigned long long>(file_bytes),
+              static_cast<unsigned long long>(chunks),
+              static_cast<unsigned long long>(entries), note.c_str());
+  return ok;
+}
+
+int cmd_verify(const std::string& dir) {
+  auto manifest = trace::Manifest::load(trace::manifest_path(dir));
+  if (!manifest) {
+    std::fprintf(stderr, "no readable manifest in '%s'\n", dir.c_str());
+    return 1;
+  }
+  bool ok = true;
+  std::printf("record directory: %s\n", dir.c_str());
+  std::printf("  manifest:  version %u, strategy %s, %u threads, %s\n",
+              manifest->version, manifest->strategy.c_str(),
+              manifest->num_threads,
+              manifest->complete ? "complete" : "INCOMPLETE");
+  if (!manifest->complete) ok = false;
+  if (manifest->strategy == "st") {
+    ok &= verify_stream(*manifest, "shared", trace::shared_file_path(dir));
+  } else {
+    for (std::uint32_t t = 0; t < manifest->num_threads; ++t) {
+      ok &= verify_stream(*manifest, "t" + std::to_string(t),
+                          trace::thread_file_path(dir, t));
+    }
+  }
+  std::printf("  verdict:   %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 int cmd_hist(const std::string& dir) {
   std::ifstream f(dir + "/stats.txt");
   if (!f) {
@@ -146,6 +224,7 @@ int main(int argc, char** argv) {
       return cmd_dump(dir, tid, limit);
     }
     if (cmd == "hist") return cmd_hist(dir);
+    if (cmd == "verify") return cmd_verify(dir);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
