@@ -22,6 +22,7 @@
 // loses entries (decoded stream length != gate events) or the single-thread
 // decoded streams differ across data paths; speedups are printed, not
 // asserted (timing is host-dependent). Full runs report best-of-3.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -35,6 +36,8 @@
 
 #include "src/core/bundle.hpp"
 #include "src/core/engine.hpp"
+#include "src/trace/manifest.hpp"
+#include "src/trace/trace_dir.hpp"
 
 namespace {
 
@@ -55,6 +58,8 @@ struct Config {
   TraceWriter writer;
   trace::ContainerFormat format;
   bool to_file;
+  std::uint32_t window_events = 0;  // flight recorder: cut every N events
+  std::uint32_t retain = 0;         // flight recorder: keep N sealed windows
 };
 
 struct Result {
@@ -62,6 +67,8 @@ struct Result {
   std::uint32_t threads;
   double events_per_sec;
   std::uint64_t events;
+  double bytes_per_event = 0;        // retained trace bytes / event
+  std::uint64_t windows_retained = 0;  // windowed rows only
 };
 
 constexpr Strategy kStrategies[] = {Strategy::kST, Strategy::kDC,
@@ -75,7 +82,7 @@ constexpr trace::ContainerFormat kFormats[] = {trace::ContainerFormat::kV1,
 /// `bundle_out` is set, the in-memory record for validation.
 double run_once(const Config& cfg, std::uint32_t threads, std::uint64_t iters,
                 const std::string& dir, std::uint64_t* events_out,
-                RecordBundle* bundle_out) {
+                RecordBundle* bundle_out, std::uint64_t* bytes_out = nullptr) {
   Options opt;
   opt.mode = Mode::kRecord;
   opt.strategy = cfg.strategy;
@@ -86,6 +93,8 @@ double run_once(const Config& cfg, std::uint32_t threads, std::uint64_t iters,
   // the historical baseline (dc_lockfree is ignored there anyway).
   opt.dc_lockfree = cfg.writer != TraceWriter::kOff;
   opt.trace_format = cfg.format;
+  opt.trace_window_events = cfg.window_events;
+  opt.trace_retain_windows = cfg.retain;
   if (cfg.to_file) opt.dir = dir;
   Engine eng(opt);
   const GateId g = eng.register_gate("sum");
@@ -116,7 +125,28 @@ double run_once(const Config& cfg, std::uint32_t threads, std::uint64_t iters,
   const auto t1 = std::chrono::steady_clock::now();
 
   if (events_out != nullptr) *events_out = eng.total_events();
-  if (bundle_out != nullptr && !cfg.to_file) *bundle_out = eng.take_bundle();
+  if (bytes_out != nullptr) {
+    // Retained trace footprint: the stream bytes a replay would read. For
+    // the bounded flight recorder this is the ring (what survives on disk
+    // after reaping), not the cumulative write volume.
+    std::uint64_t total = 0;
+    if (cfg.to_file) {
+      for (const auto& e : std::filesystem::directory_iterator(dir)) {
+        if (e.is_regular_file() &&
+            e.path().filename().string().find(".rec") != std::string::npos) {
+          total += e.file_size();
+        }
+      }
+    } else {
+      RecordBundle b = eng.take_bundle();
+      total += b.shared_stream.size();
+      for (const auto& s : b.thread_streams) total += s.size();
+      if (bundle_out != nullptr) *bundle_out = std::move(b);
+    }
+    *bytes_out = total;
+  } else if (bundle_out != nullptr && !cfg.to_file) {
+    *bundle_out = eng.take_bundle();
+  }
   const double secs = std::chrono::duration<double>(t1 - t0).count();
   return static_cast<double>(eng.total_events()) / (secs > 0 ? secs : 1e-9);
 }
@@ -220,8 +250,8 @@ int main(int argc, char** argv) {
 
   // ---- throughput sweep ----
   std::vector<Result> results;
-  std::printf("%-4s %-9s %-4s %-7s %8s %14s\n", "strat", "writer", "fmt",
-              "sink", "threads", "events/sec");
+  std::printf("%-4s %-9s %-4s %-7s %8s %14s %9s\n", "strat", "writer", "fmt",
+              "sink", "threads", "events/sec", "bytes/ev");
   for (const bool to_file : {false, true}) {
     for (const Strategy s : kStrategies) {
       for (const trace::ContainerFormat fmt : kFormats) {
@@ -230,15 +260,19 @@ int main(int argc, char** argv) {
           const Config cfg{s, w, fmt, to_file};
           double best = 0;
           std::uint64_t events = 0;
+          std::uint64_t bytes = 0;
           for (int r = 0; r < reps; ++r) {
             const double eps = run_once(cfg, threads, iters, dir, &events,
-                                        nullptr);
+                                        nullptr, &bytes);
             if (eps > best) best = eps;
           }
-          results.push_back({cfg, threads, best, events});
-          std::printf("%-4s %-9s %-4s %-7s %8u %14.0f", to_string(s).data(),
-                      to_string(w).data(), to_string(fmt).data(),
-                      sink_name(to_file), threads, best);
+          const double bpe =
+              events > 0 ? static_cast<double>(bytes) / events : 0.0;
+          results.push_back({cfg, threads, best, events, bpe});
+          std::printf("%-4s %-9s %-4s %-7s %8u %14.0f %9.2f",
+                      to_string(s).data(), to_string(w).data(),
+                      to_string(fmt).data(), sink_name(to_file), threads,
+                      best, bpe);
           if (w == TraceWriter::kOff) {
             base = best;
             std::printf("\n");
@@ -250,6 +284,43 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  // ---- flight recorder: bounded-ring recording (v2 + deferred writer,
+  // dir sink). events/sec includes every window cut (quiesce, drain, seal,
+  // snapshot, manifest commit, reap); bytes/ev is the RETAINED ring
+  // footprint — the whole point of the mode is that it stays bounded no
+  // matter how long the run.
+  const auto window_events = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(4096, iters * threads * 2 / 16));
+  constexpr std::uint32_t kRetainWindows = 4;
+  std::printf("\nwindowed flight recorder (window=%u events, retain=%u):\n",
+              window_events, kRetainWindows);
+  for (const Strategy s : kStrategies) {
+    const Config cfg{s,
+                     TraceWriter::kDeferred,
+                     trace::ContainerFormat::kV2,
+                     /*to_file=*/true,
+                     window_events,
+                     kRetainWindows};
+    double best = 0;
+    std::uint64_t events = 0;
+    std::uint64_t bytes = 0;
+    for (int r = 0; r < reps; ++r) {
+      const double eps =
+          run_once(cfg, threads, iters, dir, &events, nullptr, &bytes);
+      if (eps > best) best = eps;
+    }
+    std::uint64_t retained = 0;
+    if (const auto m = trace::Manifest::load(trace::manifest_path(dir))) {
+      retained = m->window_open - m->window_first + 1;
+    }
+    const double bpe = events > 0 ? static_cast<double>(bytes) / events : 0.0;
+    results.push_back({cfg, threads, best, events, bpe, retained});
+    std::printf("%-4s %-9s %-4s %-7s %8u %14.0f %9.2f  (%llu windows on "
+                "disk)\n",
+                to_string(s).data(), "deferred", "v2", "dir", threads, best,
+                bpe, static_cast<unsigned long long>(retained));
+  }
   std::filesystem::remove_all(dir);
 
   // ---- v2 framing cost vs the raw v1 container (target: <= 5% on the
@@ -258,6 +329,9 @@ int main(int argc, char** argv) {
   std::printf("\nchunked (v2) overhead vs raw (v1):\n");
   for (const Result& r : results) {
     if (r.cfg.format != trace::ContainerFormat::kV2) continue;
+    // Windowed rows pay cut/retention machinery, not framing — comparing
+    // them against a plain v1 row would misattribute that cost.
+    if (r.cfg.window_events != 0) continue;
     for (const Result& v1 : results) {
       if (v1.cfg.format == trace::ContainerFormat::kV1 &&
           v1.cfg.strategy == r.cfg.strategy &&
@@ -287,8 +361,15 @@ int main(int argc, char** argv) {
         << "\", \"format\": \"" << to_string(r.cfg.format)
         << "\", \"sink\": \"" << sink_name(r.cfg.to_file)
         << "\", \"threads\": " << r.threads << ", \"events_per_sec\": "
-        << static_cast<std::uint64_t>(r.events_per_sec) << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+        << static_cast<std::uint64_t>(r.events_per_sec)
+        << ", \"bytes_per_event\": "
+        << static_cast<std::uint64_t>(r.bytes_per_event * 100) / 100.0;
+      if (r.cfg.window_events != 0) {
+        f << ", \"window_events\": " << r.cfg.window_events
+          << ", \"retain_windows\": " << r.cfg.retain
+          << ", \"windows_retained\": " << r.windows_retained;
+      }
+      f << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     f << "  ]\n}\n";
     std::printf("wrote %s\n", json_path.c_str());

@@ -54,6 +54,27 @@ Engine::Engine(Options opt) : opt_(std::move(opt)) {
   if (opt_.num_threads == 0) {
     throw std::invalid_argument("Engine requires num_threads >= 1");
   }
+  // Windowing preconditions, validated up front so a misconfigured flight
+  // recorder fails loudly instead of silently recording a single-segment
+  // layout the operator believed was bounded.
+  if (opt_.trace_retain_windows > 0 && opt_.trace_window_events == 0) {
+    throw std::invalid_argument(
+        "REOMP_TRACE_RETAIN_WINDOWS requires REOMP_TRACE_WINDOW_EVENTS "
+        "(retention bounds a windowed recording)");
+  }
+  if (opt_.mode == Mode::kRecord && opt_.trace_window_events > 0) {
+    if (opt_.dir.empty()) {
+      throw std::invalid_argument(
+          "windowed recording (REOMP_TRACE_WINDOW_EVENTS) requires a trace "
+          "dir; in-memory bundles are single-segment");
+    }
+    if (opt_.trace_format != trace::ContainerFormat::kV2) {
+      throw std::invalid_argument(
+          "windowed recording requires the v2 chunked container "
+          "(REOMP_TRACE_FORMAT=v2); v1 has no chunk ordinals to seek by");
+    }
+    windowing_ = true;
+  }
   gates_.resize(opt_.max_gates);
   threads_.reserve(opt_.num_threads);
   for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
@@ -87,13 +108,18 @@ void Engine::open_record_streams() {
   const bool to_file = !opt_.dir.empty();
   if (to_file) {
     trace::ensure_dir(opt_.dir);
+    // A fresh recording owns the directory: drop any previous run's files
+    // AND any atomic-write temp debris a crashed writer left behind.
+    trace::remove_stale_tmp(opt_.dir);
     trace::clear_dir(opt_.dir);
   }
   if (opt_.strategy == Strategy::kST) {
-    // Single shared file: the ST bottleneck (paper §IV-C1).
+    // Single shared file: the ST bottleneck (paper §IV-C1). Windowed
+    // layouts open segment 0 of the shared stream instead.
     if (to_file) {
-      st_.sink =
-          std::make_unique<trace::FileSink>(trace::shared_file_path(opt_.dir));
+      st_.sink = std::make_unique<trace::FileSink>(
+          windowing_ ? trace::shared_window_file_path(opt_.dir, 0)
+                     : trace::shared_file_path(opt_.dir));
     } else {
       auto sink = std::make_unique<trace::MemorySink>();
       st_memory_sink_ = sink.get();
@@ -111,11 +137,13 @@ void Engine::open_record_streams() {
   // DC/DE: one stream per thread (paper Fig. 3-(b)), fed through the
   // thread's write-behind ring.
   memory_sinks_.assign(opt_.num_threads, nullptr);
+  thread_segment_bases_.assign(opt_.num_threads, 0);
   for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
     ThreadCtx& t = *threads_[tid];
     if (to_file) {
       t.sink = std::make_unique<trace::FileSink>(
-          trace::thread_file_path(opt_.dir, tid));
+          windowing_ ? trace::thread_window_file_path(opt_.dir, tid, 0)
+                     : trace::thread_file_path(opt_.dir, tid));
     } else {
       auto sink = std::make_unique<trace::MemorySink>();
       memory_sinks_[tid] = sink.get();
@@ -143,7 +171,16 @@ void Engine::write_initial_manifest() {
   // that says "not sealed", and only a clean finalize flips it to 1. This
   // is the crash-consistency commit protocol — the manifest is the commit
   // record, the rename is the commit point.
-  make_manifest(opt_).save(trace::manifest_path(opt_.dir));
+  trace::Manifest m = make_manifest(opt_);
+  if (windowing_) fill_windowed_manifest(m);
+  m.save(trace::manifest_path(opt_.dir));
+}
+
+void Engine::fill_windowed_manifest(trace::Manifest& m) const {
+  m.windowed = true;
+  m.window_first = window_first_idx_;
+  m.window_open = window_open_idx_;
+  m.windows = window_stats_;
 }
 
 void Engine::start_async_writer() {
@@ -162,6 +199,272 @@ void Engine::start_async_writer() {
   async_writer_->start();
 }
 
+// ==== flight-recorder windowing =========================================
+//
+// Cut protocol (the cutter holds cut_mu_ throughout):
+//  1. Quiesce: raise kCutPending on window_word_ and wait for the active
+//     gate-region count to drain to zero. In-flight regions finish
+//     normally (they hold gate locks; the cutter holds none), new entries
+//     park in window_enter_slow.
+//  2. Pause the async writer (if any). After this the cutter is the sole
+//     consumer of every write-behind ring and the ST staging channel.
+//  3. Epoch fence (DE): resolve any pending store with X_C = 0 and reset
+//     each gate's run bookkeeping, so every epoch recorded in the next
+//     window is >= that gate's snapshot base clock — the property that
+//     keeps per-window epoch blocks contiguous for the prefetch replay
+//     counter (annotate_de_epoch_sizes starts each gate at its base).
+//  4. Drain every ring / the staging channel into the segment writers.
+//  5. Seal each segment (finish + close) and record its per-window stats.
+//  6. Write the next window's checkpoint snapshot, atomically.
+//  7. Commit the manifest: advance window_open, and window_first when the
+//     retention ring overflows. The rename is the commit point for the
+//     cut AND for any retention drop riding along.
+//  8. Reap segments/snapshots below window_first — only now, after the
+//     manifest that stopped listing them is durable.
+//  9. Reopen fresh segment files, writers seeded with the cumulative entry
+//     ordinal so chunk seq continuity runs straight across segments.
+//
+// A crash at any byte leaves either the old manifest (the cut never
+// happened; next-window files are unreferenced debris) or the new one (the
+// cut is fully described; at worst the new open-window segments are
+// missing, which salvage reads as zero entries). Cut failures latch into
+// window_errors_ and recording continues best-effort; finalize reports
+// them and leaves the manifest incomplete.
+
+void Engine::window_enter_slow() {
+  // Back out of the fetch_add that observed the pending bit, wait out the
+  // cut, retry. The cutter never holds a gate region itself (cuts trigger
+  // after window_exit), so the wait terminates.
+  Waiter w;
+  for (;;) {
+    window_word_.fetch_sub(1, std::memory_order_release);
+    while ((window_word_.load(std::memory_order_acquire) & kCutPending) != 0) {
+      w.pause();
+    }
+    if ((window_word_.fetch_add(1, std::memory_order_acquire) & kCutPending) ==
+        0) {
+      return;
+    }
+  }
+}
+
+void Engine::maybe_cut_window() {
+  // try_lock: when a cut is already running this thread's events simply
+  // ride into the next window — the threshold is a target, not an exact
+  // count. Re-check under the lock: the finishing cut reset the counter.
+  if (!cut_mu_.try_lock()) return;
+  if (window_events_.load(std::memory_order_relaxed) >=
+      opt_.trace_window_events) {
+    cut_window_locked();
+  }
+  cut_mu_.unlock();
+}
+
+void Engine::cut_window() {
+  if (!windowing_ || finalized_) return;
+  std::lock_guard<std::mutex> lock(cut_mu_);
+  cut_window_locked();
+}
+
+void Engine::add_snapshot_provider(SnapshotProvider fn) {
+  std::lock_guard<std::mutex> lock(cut_mu_);
+  snapshot_providers_.push_back(std::move(fn));
+}
+
+void Engine::cut_window_locked() {
+  const auto latch = [this](const std::string& where, const std::string& what) {
+    window_errors_.push_back(where + ": " + what);
+    REOMP_LOG_ERROR << "window cut: " << where << ": " << what;
+  };
+
+  // 1. Quiesce the gate paths.
+  window_word_.fetch_or(kCutPending, std::memory_order_acq_rel);
+  {
+    Waiter w;
+    while ((window_word_.load(std::memory_order_acquire) & ~kCutPending) !=
+           0) {
+      w.pause();
+    }
+  }
+  struct PendingClear {
+    std::atomic<std::uint64_t>& word;
+    ~PendingClear() { word.fetch_and(~kCutPending, std::memory_order_release); }
+  } pending_clear{window_word_};
+
+  // 2. Exclusive consumer role.
+  std::unique_lock<std::mutex> async_pause;
+  if (async_writer_ != nullptr) async_pause = async_writer_->pause();
+
+  // 3. Epoch fence: same resolution finalize_record applies, because a cut
+  // IS a finalize of this window's stream prefix.
+  const std::uint32_t n = gate_count();
+  for (GateId id = 0; id < n; ++id) {
+    GateState& g = *gates_[id];
+    if (g.pending.active()) {
+      g.pending.entry->value = g.pending.clock;  // X_C = 0
+      if (opt_.collect_epoch_stats) g.epoch_tracker.on_epoch(g.pending.clock);
+      g.pending.entry->resolved.store(true, std::memory_order_release);
+      g.pending.clear();
+    }
+    g.run_word = pack_run(AccessKind::kOther, 0);
+  }
+
+  // 4+5. Drain and seal each stream's segment; account its window stats.
+  const std::uint64_t w = window_open_idx_;
+  if (opt_.strategy == Strategy::kST) {
+    LockGuard<Spinlock> file(st_.file_lock);
+    try {
+      if (st_.staging != nullptr) {
+        while (st_.commit_staged() > 0) {
+        }
+      }
+      if (st_.io_error.empty()) {
+        st_.writer->finish();
+        st_.sink->close();
+      }
+    } catch (const std::exception& e) {
+      if (st_.io_error.empty()) st_.io_error = e.what();
+    }
+    window_stats_[w]["shared"] = {st_.writer->chunks(),
+                                  st_.writer->wire_bytes(),
+                                  st_.writer->count() - st_segment_base_};
+  } else {
+    for (auto& t : threads_) {
+      try {
+        t->flush_resolved();
+        if (t->io_error.empty()) {
+          t->writer->finish();
+          t->sink->close();
+        }
+      } catch (const std::exception& e) {
+        if (t->io_error.empty()) t->io_error = e.what();
+      }
+      window_stats_[w]["t" + std::to_string(t->tid)] = {
+          t->writer->chunks(), t->writer->wire_bytes(),
+          t->writer->count() - thread_segment_bases_[t->tid]};
+    }
+  }
+
+  // 6. Checkpoint snapshot for the next window, committed before the
+  // manifest that references it. A failed write leaves the previous
+  // snapshot authoritative (atomic_write_file never tears the target).
+  const std::uint64_t next = w + 1;
+  try {
+    build_window_snapshot(next).save(trace::snapshot_path(opt_.dir, next));
+  } catch (const std::exception& e) {
+    latch("snapshot w" + std::to_string(next), e.what());
+  }
+
+  // 7. Manifest commit: the cut (and any retention drop) becomes real.
+  window_open_idx_ = next;
+  if (opt_.trace_retain_windows > 0 &&
+      window_open_idx_ - window_first_idx_ > opt_.trace_retain_windows) {
+    window_first_idx_ = window_open_idx_ - opt_.trace_retain_windows;
+    window_stats_.erase(window_stats_.begin(),
+                        window_stats_.lower_bound(window_first_idx_));
+  }
+  try {
+    trace::Manifest m = make_manifest(opt_);
+    fill_windowed_manifest(m);
+    m.save(trace::manifest_path(opt_.dir));
+  } catch (const std::exception& e) {
+    latch("manifest", e.what());
+  }
+
+  // 8. Reap: strictly after the commit that dropped these windows.
+  reap_expired_windows();
+
+  // 9. Fresh segments for the new open window.
+  open_window_segments();
+  window_events_.store(0, std::memory_order_relaxed);
+}
+
+trace::Snapshot Engine::build_window_snapshot(std::uint64_t next_window) {
+  trace::Snapshot s;
+  s.window = next_window;
+  s.events = total_events();
+  if (opt_.strategy == Strategy::kST) {
+    s.stream_entries["shared"] = st_.writer->count();
+  } else {
+    for (const auto& t : threads_) {
+      s.stream_entries["t" + std::to_string(t->tid)] = t->writer->count();
+    }
+  }
+  const std::uint32_t n = gate_count();
+  for (GateId id = 0; id < n; ++id) {
+    s.gate_clocks[id] =
+        gates_[id]->global_clock.load(std::memory_order_relaxed);
+  }
+  if (opt_.collect_epoch_stats && opt_.strategy == Strategy::kDE) {
+    // Copy-and-flush each live tracker: the cut needs the cumulative
+    // frontier without disturbing the trackers finalize will flush.
+    EpochHistogram h;
+    for (GateId id = 0; id < n; ++id) {
+      EpochTracker copy = gates_[id]->epoch_tracker;
+      copy.flush();
+      h.merge(copy.histogram());
+    }
+    s.epochs = h.counts();
+  }
+  for (const auto& provider : snapshot_providers_) provider(s.ext);
+  return s;
+}
+
+void Engine::open_window_segments() {
+  const std::uint64_t w = window_open_idx_;
+  if (opt_.strategy == Strategy::kST) {
+    st_segment_base_ = st_.writer->count();
+    try {
+      // Build both before installing either: the writer ctor writes the
+      // stream magic and can throw, and a half-swapped pair would leave
+      // the old writer pointing at a destroyed sink.
+      auto sink = std::make_unique<trace::FileSink>(
+          trace::shared_window_file_path(opt_.dir, w));
+      auto writer = std::make_unique<trace::RecordWriter>(
+          *sink, opt_.trace_format, opt_.trace_chunk_bytes, st_segment_base_);
+      st_.writer = std::move(writer);
+      st_.sink = std::move(sink);
+    } catch (const std::exception& e) {
+      // Keep the sealed writer in place: subsequent appends latch into
+      // io_error and finalize reports the damage honestly.
+      if (st_.io_error.empty()) st_.io_error = e.what();
+      window_errors_.push_back("open shared.w" + std::to_string(w) + ": " +
+                               e.what());
+    }
+    return;
+  }
+  for (auto& t : threads_) {
+    thread_segment_bases_[t->tid] = t->writer->count();
+    try {
+      auto sink = std::make_unique<trace::FileSink>(
+          trace::thread_window_file_path(opt_.dir, t->tid, w));
+      auto writer = std::make_unique<trace::RecordWriter>(
+          *sink, opt_.trace_format, opt_.trace_chunk_bytes,
+          thread_segment_bases_[t->tid]);
+      t->writer = std::move(writer);
+      t->sink = std::move(sink);
+    } catch (const std::exception& e) {
+      if (t->io_error.empty()) t->io_error = e.what();
+      window_errors_.push_back("open t" + std::to_string(t->tid) + ".w" +
+                               std::to_string(w) + ": " + e.what());
+    }
+  }
+}
+
+void Engine::reap_expired_windows() {
+  if (opt_.trace_retain_windows == 0) return;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(opt_.dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const auto idx =
+        trace::parse_window_index(entry.path().filename().string());
+    std::error_code rec;
+    if (idx && *idx < window_first_idx_) {
+      std::filesystem::remove(entry.path(), rec);
+    }
+  }
+}
+
 void Engine::open_replay_streams() {
   const bool from_file = !opt_.dir.empty();
   if (from_file) {
@@ -173,6 +476,10 @@ void Engine::open_replay_streams() {
     }
     check_manifest(*m, opt_);
     check_manifest_complete(*m, opt_);
+    if (m->windowed) {
+      open_windowed_replay_streams(*m);
+      return;
+    }
   } else {
     if (opt_.bundle == nullptr) {
       throw std::invalid_argument(
@@ -180,6 +487,11 @@ void Engine::open_replay_streams() {
     }
     check_manifest(opt_.bundle->manifest, opt_);
     check_manifest_complete(opt_.bundle->manifest, opt_);
+  }
+  if (opt_.replay_from_window > 0) {
+    throw std::invalid_argument(
+        "REOMP_REPLAY_FROM_WINDOW=" + std::to_string(opt_.replay_from_window) +
+        " but the recording is not windowed");
   }
 
   // Pre-decode admission: the fast path is on by default, but a trace
@@ -349,6 +661,205 @@ void Engine::open_replay_streams() {
   }
 }
 
+void Engine::open_windowed_replay_streams(const trace::Manifest& m) {
+  const std::uint64_t first = m.window_first;
+  const std::uint64_t open = m.window_open;
+  std::uint64_t start = first;
+  if (opt_.replay_from_window > 0) {
+    start = opt_.replay_from_window;
+    if (start > open) {
+      throw std::invalid_argument(
+          "REOMP_REPLAY_FROM_WINDOW=" + std::to_string(start) +
+          " is beyond the newest window " + std::to_string(open));
+    }
+    if (start < first) {
+      throw trace::TraceError(
+          trace::TraceErrorKind::kIncomplete,
+          "cannot replay from window " + std::to_string(start) +
+              ": retention reaped it (oldest retained window is " +
+              std::to_string(first) + ")");
+    }
+  }
+
+  // Restore the start checkpoint. Window 0 is the implicit zero state; any
+  // later window's snapshot was committed before the window opened, so a
+  // live window always has one. Snapshot::load CRC-verifies — a torn or
+  // bit-flipped checkpoint is refused, never trusted.
+  trace::Snapshot snap;
+  if (start > 0) {
+    snap = trace::Snapshot::load(trace::snapshot_path(opt_.dir, start));
+    if (snap.window != start) {
+      throw trace::TraceError(trace::TraceErrorKind::kCorrupt,
+                              "snapshot '" +
+                                  trace::snapshot_path(opt_.dir, start) +
+                                  "' is for window " +
+                                  std::to_string(snap.window) + ", expected " +
+                                  std::to_string(start));
+    }
+  }
+  restored_snapshot_ = snap;
+
+  // Per-stream segment walk over the live range [start, open]. Sealed
+  // segments must exist; only the open window's segment may legally be
+  // torn — or missing entirely (recorder killed between a cut's manifest
+  // commit and the segment reopen), which salvage reads as zero entries.
+  struct Segment {
+    std::string path;
+    std::uint64_t bytes = 0;
+    bool final_seg = false;
+  };
+  auto collect = [&](auto path_of) {
+    std::vector<Segment> segs;
+    for (std::uint64_t w = start; w <= open; ++w) {
+      const std::string path = path_of(w);
+      if (!trace::file_exists(path)) {
+        if (w == open && opt_.replay_salvage) continue;
+        throw trace::TraceError(trace::TraceErrorKind::kIo,
+                                "missing record segment '" + path + "'");
+      }
+      std::error_code ec;
+      const auto sz = std::filesystem::file_size(path, ec);
+      segs.push_back(
+          {path, ec ? 0 : static_cast<std::uint64_t>(sz), w == open});
+    }
+    return segs;
+  };
+  std::vector<std::vector<Segment>> streams;  // per thread, or [0] = shared
+  if (opt_.strategy == Strategy::kST) {
+    streams.push_back(collect([&](std::uint64_t w) {
+      return trace::shared_window_file_path(opt_.dir, w);
+    }));
+  } else {
+    for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+      streams.push_back(collect([&, tid](std::uint64_t w) {
+        return trace::thread_window_file_path(opt_.dir, tid, w);
+      }));
+    }
+  }
+
+  // Memory-cap admission, same policy as the single-segment path but over
+  // the whole retained range.
+  replay_prefetched_ = opt_.replay_prefetch;
+  if (replay_prefetched_) {
+    std::uint64_t total_encoded = 0;
+    for (const auto& segs : streams) {
+      for (const Segment& seg : segs) total_encoded += seg.bytes;
+    }
+    if (trace::decoded_bytes_upper_bound(total_encoded) >
+        opt_.replay_mem_cap) {
+      REOMP_LOG_WARN << "replay prefetch disabled: decoded schedule could "
+                        "need "
+                     << trace::decoded_bytes_upper_bound(total_encoded)
+                     << " bytes > REOMP_REPLAY_MEM_CAP=" << opt_.replay_mem_cap
+                     << "; falling back to streaming replay";
+      replay_prefetched_ = false;
+    }
+  }
+
+  auto decode_segments = [&](const std::vector<Segment>& segs,
+                             std::uint64_t base) {
+    trace::DecodedSchedule s;
+    for (const Segment& seg : segs) {
+      trace::FileSource src(seg.path);
+      trace::DecodedSchedule::append_segment_source(
+          s, src, seg.bytes, base + s.entries.size(), opt_.replay_salvage,
+          seg.final_seg);
+    }
+    return s;
+  };
+  auto note_salvage = [&](const std::string& name,
+                          const trace::DecodedSchedule& s) {
+    if (!opt_.replay_salvage) return;
+    salvage_report_.push_back(
+        {name, s.entries.size(), s.dropped_bytes, s.salvaged});
+    if (s.salvaged) {
+      REOMP_LOG_WARN << "salvaged record stream '" << name << "': replaying "
+                     << s.entries.size() << " entries, dropped "
+                     << s.dropped_bytes << " torn tail bytes";
+    }
+  };
+  auto make_reader = [&](const std::vector<Segment>& segs,
+                         std::uint64_t base) {
+    std::vector<std::unique_ptr<trace::ByteSource>> sources;
+    sources.reserve(segs.size());
+    for (const Segment& seg : segs) {
+      sources.push_back(std::make_unique<trace::FileSource>(seg.path));
+    }
+    return std::make_unique<trace::RecordReader>(std::move(sources),
+                                                 opt_.replay_salvage, base);
+  };
+  // Streaming pre-scan: surface damage at construction (matching the
+  // prefetch path's timing) instead of mid-replay while the other threads
+  // wait on a dead thread's clocks. Windowed streams are always v2.
+  auto prescan = [&](const std::string& name, const std::vector<Segment>& segs,
+                     std::uint64_t base) {
+    auto probe = make_reader(segs, base);
+    std::uint64_t entries = 0;
+    while (probe->next().has_value()) ++entries;
+    if (opt_.replay_salvage) {
+      salvage_report_.push_back(
+          {name, entries, probe->dropped_bytes(), probe->salvaged()});
+      if (probe->salvaged()) {
+        REOMP_LOG_WARN << "salvaged record stream '" << name
+                       << "': replaying " << entries << " entries, dropped "
+                       << probe->dropped_bytes() << " torn tail bytes";
+      }
+    }
+  };
+
+  if (opt_.strategy == Strategy::kST) {
+    const std::uint64_t base = snap.stream_base("shared");
+    if (!replay_prefetched_) {
+      prescan("shared", streams[0], base);
+      st_.reader = make_reader(streams[0], base);
+      return;
+    }
+    const trace::DecodedSchedule global = decode_segments(streams[0], base);
+    note_salvage("shared", global);
+    // Ordinal positions continue the global sequence: the decoded range
+    // starts at entry `base`, and the completion counter starts there too,
+    // so from-window replay admits threads at exactly the same counts a
+    // from-zero replay of the full stream would.
+    st_.total = base + global.entries.size();
+    st_.seq->store(base, std::memory_order_relaxed);
+    std::vector<std::size_t> counts(opt_.num_threads, 0);
+    for (std::uint64_t i = 0; i < global.entries.size(); ++i) {
+      const std::uint64_t tid = global.entries[i].value;
+      if (tid >= opt_.num_threads) {
+        throw std::runtime_error(
+            "ST record entry " + std::to_string(base + i) + " names thread " +
+            std::to_string(tid) + " >= num_threads " +
+            std::to_string(opt_.num_threads));
+      }
+      ++counts[static_cast<ThreadId>(tid)];
+    }
+    for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+      threads_[tid]->sched.entries.reserve(counts[tid]);
+    }
+    for (std::uint64_t i = 0; i < global.entries.size(); ++i) {
+      const trace::RecordEntry& e = global.entries[i];
+      threads_[static_cast<ThreadId>(e.value)]->sched.entries.push_back(
+          {e.gate, base + i});
+    }
+    return;
+  }
+  for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+    ThreadCtx& t = *threads_[tid];
+    const std::string name = "t" + std::to_string(tid);
+    const std::uint64_t base = snap.stream_base(name);
+    if (replay_prefetched_) {
+      t.sched = decode_segments(streams[tid], base);
+      note_salvage(name, t.sched);
+      continue;
+    }
+    prescan(name, streams[tid], base);
+    t.reader = make_reader(streams[tid], base);
+  }
+  if (opt_.strategy == Strategy::kDE && replay_prefetched_) {
+    annotate_de_epoch_sizes();
+  }
+}
+
 void Engine::annotate_de_epoch_sizes() {
   // DE prefetch replay wants, per schedule entry, the total member count of
   // its epoch so gate_out can use a per-epoch completion counter plus one
@@ -375,7 +886,15 @@ void Engine::annotate_de_epoch_sizes() {
   for (GateId g = 0; g < values.size(); ++g) {
     auto& v = values[g];
     std::sort(v.begin(), v.end());
+    // Windowed replay sees only the suffix of each gate's epoch history:
+    // the cut's epoch fence guarantees the first epoch recorded after the
+    // start window opened is exactly the gate's checkpointed clock, so the
+    // contiguity check starts at the snapshot base instead of 0.
     std::uint64_t expect = 0;
+    if (restored_snapshot_.has_value()) {
+      const auto it = restored_snapshot_->gate_clocks.find(g);
+      if (it != restored_snapshot_->gate_clocks.end()) expect = it->second;
+    }
     for (std::size_t i = 0; i < v.size();) {
       std::size_t j = i;
       while (j < v.size() && v[j] == v[i]) ++j;
@@ -412,6 +931,18 @@ GateId Engine::register_gate(const std::string& name) {
   }
   auto g = std::make_unique<GateState>();
   g->name = name;
+  if (restored_snapshot_.has_value()) {
+    // From-window replay: clocks in the recorded suffix are cumulative
+    // from the start of the run, so the gate's completion counter must
+    // resume at its checkpointed value or every waiter would spin forever
+    // on turns that completed in reaped windows. Gate registration order
+    // is deterministic (same program prefix), so ids line up with the
+    // record run's.
+    const auto it = restored_snapshot_->gate_clocks.find(n);
+    if (it != restored_snapshot_->gate_clocks.end()) {
+      g->next_clock->store(it->second, std::memory_order_relaxed);
+    }
+  }
   gates_[n] = std::move(g);
   gate_index_.emplace(name, n);
   // Release so a concurrently indexing gate_ref sees the fully built slot.
@@ -534,6 +1065,10 @@ void Engine::finalize_record() {
     }
     if (!st_.io_error.empty()) report("shared", st_.io_error);
   }
+  // Failed window cuts (snapshot, manifest, segment reopen) latched during
+  // recording surface here: the manifest must not claim completeness when
+  // any cut left the ring damaged.
+  for (const std::string& e : window_errors_) report("window-cut", e);
 
   trace::Manifest manifest = make_manifest(opt_);
   // The durability commit: complete=1 only when every stream sealed clean.
@@ -546,7 +1081,27 @@ void Engine::finalize_record() {
     manifest.extra["gate." + std::to_string(id)] = gates_[id]->name;
   }
   // Per-stream accounting so the verify tool can cross-check the files.
-  if (opt_.strategy == Strategy::kST) {
+  // Windowed recordings account per window (the open window's final stats
+  // land here; sealed windows were accounted at their cuts) and the flat
+  // stream table stays empty — the window table is the authority.
+  if (windowing_) {
+    if (opt_.strategy == Strategy::kST) {
+      if (st_.writer != nullptr) {
+        window_stats_[window_open_idx_]["shared"] = {
+            st_.writer->chunks(), st_.writer->wire_bytes(),
+            st_.writer->count() - st_segment_base_};
+      }
+    } else {
+      for (const auto& t : threads_) {
+        if (t->writer != nullptr) {
+          window_stats_[window_open_idx_]["t" + std::to_string(t->tid)] = {
+              t->writer->chunks(), t->writer->wire_bytes(),
+              t->writer->count() - thread_segment_bases_[t->tid]};
+        }
+      }
+    }
+    fill_windowed_manifest(manifest);
+  } else if (opt_.strategy == Strategy::kST) {
     if (st_.writer != nullptr) {
       manifest.streams["shared"] = {st_.writer->chunks(),
                                     st_.writer->wire_bytes(),

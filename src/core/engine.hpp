@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -33,7 +34,9 @@
 #include "src/core/types.hpp"
 #include "src/trace/async_sink.hpp"
 #include "src/trace/byte_io.hpp"
+#include "src/trace/manifest.hpp"
 #include "src/trace/record_stream.hpp"
+#include "src/trace/snapshot.hpp"
 
 namespace reomp::core {
 
@@ -73,6 +76,7 @@ class Engine {
     if (opt_.mode == Mode::kOff) return;
     GateState& g = gate_ref(gate);
     if (opt_.mode == Mode::kRecord) {
+      if (windowing_) window_enter();
       strategy_->record_gate_in(t, g, kind);
     } else {
       strategy_->replay_gate_in(t, g, gate, kind);
@@ -84,10 +88,17 @@ class Engine {
     GateState& g = gate_ref(gate);
     if (opt_.mode == Mode::kRecord) {
       strategy_->record_gate_out(t, g, gate, kind);
+      // Count the event BEFORE leaving the window region: a cut quiesces
+      // on the region count, so every entry sealed into a window is also
+      // reflected in the snapshot's cumulative event count — the invariant
+      // that lets an app resume a windowed replay at exactly
+      // restored_snapshot()->events.
+      ++t.events;
+      if (windowing_) window_exit();
     } else {
       strategy_->replay_gate_out(t, g, gate, kind);
+      ++t.events;
     }
-    ++t.events;
   }
 
   // ---- convenience wrappers for single racy accesses ----
@@ -163,6 +174,38 @@ class Engine {
   /// Options::replay_salvage; empty otherwise (a damaged stream throws).
   [[nodiscard]] const std::vector<StreamSalvage>& salvage_report() const {
     return salvage_report_;
+  }
+
+  // ---- flight-recorder windowing (Options::trace_window_events) ----
+
+  /// Whether this record engine segments its streams into windows.
+  [[nodiscard]] bool windowing() const { return windowing_; }
+
+  /// Cut a window boundary NOW: quiesce the gate paths, seal every
+  /// stream's current segment, write the next window's checkpoint
+  /// snapshot, commit the manifest (dropping reaped windows first), delete
+  /// expired segments, and open fresh ones. Blocks until done. No-op when
+  /// windowing is off. Must NOT be called from between gate_in and
+  /// gate_out — the quiesce waits for all active regions to drain and
+  /// would deadlock on the caller's own region.
+  void cut_window();
+
+  /// Contributes extension key/values to every window snapshot (e.g. the
+  /// race detector's epoch frontier, app-visible RNG seeds). Called at the
+  /// quiesced cut point. Register before the first cut; keys are
+  /// namespaced by the caller.
+  using SnapshotProvider =
+      std::function<void(std::map<std::string, std::string>&)>;
+  void add_snapshot_provider(SnapshotProvider fn);
+
+  /// Windowed replay: the checkpoint restored at construction (engaged for
+  /// every windowed replay — the zero-state Snapshot when starting from
+  /// window 0). Apps re-wire their own state from ext (detector frontier,
+  /// RNG seeds) and skip the first `events` workload events. nullopt for
+  /// non-windowed replays and record/off modes.
+  [[nodiscard]] const std::optional<trace::Snapshot>& restored_snapshot()
+      const {
+    return restored_snapshot_;
   }
 
   [[nodiscard]] Mode mode() const { return opt_.mode; }
@@ -255,12 +298,40 @@ class Engine {
   /// streams exist (file mode only): any later crash is detectable.
   void write_initial_manifest();
   void open_replay_streams();
+  void open_windowed_replay_streams(const trace::Manifest& m);
   /// DE prefetch: fill each schedule's per-entry epoch sizes (and detect
   /// gates whose epochs are not contiguous blocks; see engine.cpp).
   void annotate_de_epoch_sizes();
   void start_async_writer();
   void finalize_record();
   void finalize_replay();
+
+  // ---- windowing internals (engine.cpp has the cut protocol walkthrough).
+  // window_word_ packs [cut-pending:1][active gate regions:63]; entry to a
+  // region is a fetch_add that backs out and parks when the pending bit is
+  // up, so a cutter that raises the bit and waits for the count to reach
+  // zero owns every record-side structure exclusively.
+  static constexpr std::uint64_t kCutPending = 1ull << 63;
+  void window_enter() {
+    if ((window_word_.fetch_add(1, std::memory_order_acquire) & kCutPending) !=
+        0) {
+      window_enter_slow();
+    }
+  }
+  void window_exit() {
+    window_word_.fetch_sub(1, std::memory_order_release);
+    if (window_events_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+        opt_.trace_window_events) {
+      maybe_cut_window();
+    }
+  }
+  void window_enter_slow();
+  void maybe_cut_window();
+  void cut_window_locked();
+  trace::Snapshot build_window_snapshot(std::uint64_t next_window);
+  void open_window_segments();
+  void reap_expired_windows();
+  void fill_windowed_manifest(trace::Manifest& m) const;
 
   Options opt_;
   // Fixed-capacity gate table: slots preallocated so gate_ref is a plain
@@ -273,6 +344,28 @@ class Engine {
   std::unordered_map<std::string, GateId> gate_index_;
   bool replay_prefetched_ = false;
   std::vector<StreamSalvage> salvage_report_;
+
+  // ---- windowing state (record mode; cut-time fields under cut_mu_) ----
+  bool windowing_ = false;
+  std::atomic<std::uint64_t> window_word_{0};
+  std::atomic<std::uint64_t> window_events_{0};  // events since last cut
+  std::mutex cut_mu_;
+  std::uint64_t window_open_idx_ = 0;   // the in-flight window
+  std::uint64_t window_first_idx_ = 0;  // oldest retained window
+  // Stream-wide entry ordinal each open segment started at (= the
+  // RecordWriter first_seq seed); per-window entries = count() - base.
+  std::uint64_t st_segment_base_ = 0;
+  std::vector<std::uint64_t> thread_segment_bases_;
+  // Accounting for every sealed live window, merged into the manifest on
+  // each commit (and trimmed when retention drops a window).
+  std::map<std::uint64_t, std::map<std::string, trace::Manifest::StreamStat>>
+      window_stats_;
+  // Failures latched during cuts (snapshot/manifest/segment-open errors):
+  // recording continues best-effort, finalize reports them and leaves the
+  // manifest incomplete.
+  std::vector<std::string> window_errors_;
+  std::vector<SnapshotProvider> snapshot_providers_;
+  std::optional<trace::Snapshot> restored_snapshot_;
 
   std::vector<std::unique_ptr<ThreadCtx>> threads_;
   std::unique_ptr<IStrategy> strategy_;

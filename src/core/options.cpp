@@ -116,6 +116,16 @@ Options Options::from_env(std::uint32_t num_threads) {
       env_capacity_strict("REOMP_TRACE_CHUNK_BYTES", opt.trace_chunk_bytes);
   opt.replay_salvage =
       env_bool_strict("REOMP_REPLAY_SALVAGE", opt.replay_salvage);
+  // Windowing knobs share the strict-capacity parser: an explicit 0 throws
+  // rather than meaning "off" — off is spelled by leaving the variable
+  // unset, so "REOMP_TRACE_WINDOW_EVENTS=0" (a likely typo for a real
+  // window size) cannot silently disable the flight recorder.
+  opt.trace_window_events =
+      env_capacity_strict("REOMP_TRACE_WINDOW_EVENTS", opt.trace_window_events);
+  opt.trace_retain_windows = env_capacity_strict("REOMP_TRACE_RETAIN_WINDOWS",
+                                                 opt.trace_retain_windows);
+  opt.replay_from_window =
+      env_capacity_strict("REOMP_REPLAY_FROM_WINDOW", opt.replay_from_window);
   opt.record_ring_capacity =
       env_capacity_strict("REOMP_RING_CAPACITY", opt.record_ring_capacity);
   opt.staging_ring_capacity =

@@ -154,6 +154,32 @@ struct Options {
   /// record thread.
   bool write_inside_lock = false;
 
+  /// Flight-recorder windowing (record runs with a trace dir + v2 format
+  /// only): cut a window boundary — seal every stream's current segment,
+  /// write a checkpoint snapshot, commit the manifest — once this many
+  /// gate events have accumulated since the last cut. 0 (default) disables
+  /// windowing entirely: single-segment layout, bit-identical to prior
+  /// releases. Explicit 0 or garbage in the env throws; windows are a
+  /// measurement-affecting configuration. Env: REOMP_TRACE_WINDOW_EVENTS.
+  std::uint32_t trace_window_events = 0;
+
+  /// Bounded retention ring: keep at most this many CLOSED windows on disk
+  /// (plus the in-flight one, so the ring never exceeds N+1 windows). The
+  /// reaper deletes a dropped window's segments only after the manifest
+  /// commit that removed it from the live set. 0 (default) keeps every
+  /// window — unbounded history, full from-zero replay always possible.
+  /// Meaningless without trace_window_events. Env:
+  /// REOMP_TRACE_RETAIN_WINDOWS.
+  std::uint32_t trace_retain_windows = 0;
+
+  /// Windowed replay start: begin at this window, restoring its snapshot,
+  /// instead of window 0. 0 (default) = automatic: start from the oldest
+  /// retained window (window_first), which for an unreaped recording IS
+  /// from-zero replay. Starting before window_first is refused
+  /// (kIncomplete: those segments were reaped); starting after window_open
+  /// is refused (std::invalid_argument). Env: REOMP_REPLAY_FROM_WINDOW.
+  std::uint32_t replay_from_window = 0;
+
   /// Collect the epoch-size histogram (paper Fig. 20). Cheap; on by default.
   bool collect_epoch_stats = true;
 
@@ -175,6 +201,8 @@ struct Options {
   /// REOMP_WAIT_POLICY /
   /// REOMP_TRACE_WRITER / REOMP_TRACE_FORMAT / REOMP_TRACE_CHUNK_BYTES /
   /// REOMP_RING_CAPACITY / REOMP_STAGING_CAPACITY /
+  /// REOMP_TRACE_WINDOW_EVENTS / REOMP_TRACE_RETAIN_WINDOWS /
+  /// REOMP_REPLAY_FROM_WINDOW /
   /// REOMP_REPLAY_PREFETCH / REOMP_REPLAY_MEM_CAP / REOMP_REPLAY_SALVAGE
   /// environment variables, mirroring the real tool's env-driven mode
   /// switch (paper §V). Invalid values for the wait-policy, trace-writer

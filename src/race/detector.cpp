@@ -440,4 +440,63 @@ std::uint64_t Detector::sync_fast_hits() const {
   return n;
 }
 
+std::string Detector::epoch_frontier() const {
+  std::string out;
+  for (std::uint32_t t = 0; t < num_threads_; ++t) {
+    const Epoch e = Epoch::from_bits(threads_[t].value.epoch_bits());
+    if (t != 0) out += ',';
+    out += std::to_string(t);
+    out += ':';
+    out += std::to_string(e.clock());
+  }
+  return out;
+}
+
+void Detector::restore_epoch_frontier(const std::string& text) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto colon = text.find(':', pos);
+    auto comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    if (colon == std::string::npos || colon >= comma || colon == pos ||
+        colon + 1 == comma) {
+      throw std::invalid_argument("epoch frontier: malformed entry in '" +
+                                  text + "'");
+    }
+    std::uint64_t tid = 0;
+    std::uint64_t clock = 0;
+    for (std::size_t i = pos; i < colon; ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("epoch frontier: bad tid in '" + text +
+                                    "'");
+      }
+      tid = tid * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    for (std::size_t i = colon + 1; i < comma; ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("epoch frontier: bad clock in '" + text +
+                                    "'");
+      }
+      clock = clock * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (tid >= num_threads_) {
+      throw std::invalid_argument(
+          "epoch frontier: tid " + std::to_string(tid) + " out of range (" +
+          std::to_string(num_threads_) + " threads)");
+    }
+    ThreadClock& tc = threads_[tid].value;
+    // Monotone raise of the thread's own component: replaying a prefix of
+    // the restored window before this call only ticks the clock forward,
+    // so max() keeps whichever frontier is further along.
+    const std::uint64_t cur = tc.row_.get(tc.tid_);
+    if (clock > cur) {
+      tc.row_.set(tc.tid_, clock);
+      tc.refresh_epoch();
+    }
+    pos = comma + 1;
+  }
+}
+
 }  // namespace reomp::race

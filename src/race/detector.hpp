@@ -242,6 +242,18 @@ class Detector {
   }
   [[nodiscard]] const VClockArena& arena() const { return arena_; }
 
+  // ---- window-snapshot integration (flight recorder) ----
+  /// Serialize every thread's current epoch (tid:clock, comma-separated)
+  /// for a window checkpoint. Call at a quiesced cut point (no concurrent
+  /// accesses) — it reads each thread's packed epoch word.
+  [[nodiscard]] std::string epoch_frontier() const;
+  /// Restore a frontier captured by epoch_frontier(): each listed thread's
+  /// own clock component is raised to max(current, saved) and its packed
+  /// epoch refreshed. Monotone, so replaying a window prefix before the
+  /// restore is harmless. Throws std::invalid_argument on malformed input
+  /// or a tid outside this detector's thread range.
+  void restore_epoch_frontier(const std::string& text);
+
  private:
   /// Sync object (named lock / atomic site). Its logical clock is
   ///

@@ -24,6 +24,9 @@ void AsyncTraceWriter::start() {
 }
 
 std::size_t AsyncTraceWriter::sweep() {
+  // Excluded by pause() holders: a window cutter owns the streams' writers
+  // exclusively while it seals and swaps segments.
+  std::lock_guard<std::mutex> lock(sweep_mu_);
   std::size_t n = 0;
   for (auto& drain : streams_) {
     // A throwing drain must not kill the writer thread (std::terminate)

@@ -67,6 +67,15 @@ class AsyncTraceWriter {
     return idle_sweeps_.load(std::memory_order_relaxed);
   }
 
+  /// Exclusive pause for a window cut: the returned lock holds the writer
+  /// out of its drain callbacks (a sweep in flight finishes first) until
+  /// released, so the cutter can drain, seal, and swap the underlying
+  /// writers itself without racing the background thread. Safe to take
+  /// whether or not the writer thread is running.
+  [[nodiscard]] std::unique_lock<std::mutex> pause() {
+    return std::unique_lock<std::mutex>(sweep_mu_);
+  }
+
   /// First error thrown by each failing drain callback, in stream order.
   /// Backstop only: the per-thread/ST drains latch I/O errors internally
   /// and keep returning normally, so this catches everything else (e.g.
@@ -81,6 +90,9 @@ class AsyncTraceWriter {
   std::size_t sweep();
 
   std::vector<DrainFn> streams_;
+  // Serializes sweeps against pause() holders (the window cutter). Never
+  // contended outside a cut.
+  std::mutex sweep_mu_;
   mutable std::mutex errors_mu_;
   std::vector<std::string> stream_errors_;  // guarded by errors_mu_
   std::thread thread_;

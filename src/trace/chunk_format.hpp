@@ -95,6 +95,13 @@ inline constexpr const char* kErrPayloadOverrun =
     "record chunk: entry decode overran chunk payload";
 inline constexpr const char* kErrPayloadTrailing =
     "record chunk: trailing bytes after final entry in chunk";
+// Window-segment boundaries (windowed flight-recorder layout): a sealed
+// segment always starts with the stream magic, so a short or wrong magic
+// in a FOLLOW-ON segment is classified like a chunk-level failure.
+inline constexpr const char* kErrTornSegmentMagic =
+    "record segment: truncated mid-magic";
+inline constexpr const char* kErrBadSegmentMagic =
+    "record segment: bad stream magic";
 
 std::string crc_mismatch_message(const ChunkHeader& h);
 std::string bad_fields_message(const ChunkHeader& h,

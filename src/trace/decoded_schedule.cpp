@@ -55,11 +55,13 @@ DecodedSchedule decode_v1(const std::uint8_t* data, std::size_t size,
   return sched;
 }
 
-DecodedSchedule decode_v2(const std::uint8_t* data, std::size_t size,
-                          bool salvage) {
-  DecodedSchedule sched;
-  sched.entries.reserve(size / kMinEntryBytes);
-  std::uint64_t expect = 0;
+// Append every chunk after the (already-verified) stream magic onto
+// `sched`, validating ordinal continuity from `expect` on. Shared by the
+// whole-stream decode (expect = 0) and the windowed per-segment appends
+// (expect = snapshot base + entries appended so far).
+void decode_v2_into(DecodedSchedule& sched, const std::uint8_t* data,
+                    std::size_t size, std::uint64_t expect, bool salvage) {
+  sched.entries.reserve(sched.entries.size() + size / kMinEntryBytes);
   std::size_t pos = v2::kMagicBytes;
   while (pos < size) {
     const std::size_t chunk_start = pos;
@@ -94,6 +96,12 @@ DecodedSchedule decode_v2(const std::uint8_t* data, std::size_t size,
     sched.dropped_bytes = size - chunk_start;
     break;
   }
+}
+
+DecodedSchedule decode_v2(const std::uint8_t* data, std::size_t size,
+                          bool salvage) {
+  DecodedSchedule sched;
+  decode_v2_into(sched, data, size, /*expect=*/0, salvage);
   return sched;
 }
 
@@ -131,6 +139,46 @@ DecodedSchedule DecodedSchedule::decode_bytes(const std::uint8_t* data,
     return decode_v2(data, size, salvage);
   }
   return decode_v1(data, size, salvage);
+}
+
+void DecodedSchedule::append_segment(DecodedSchedule& sched,
+                                     const std::uint8_t* data,
+                                     std::size_t size, std::uint64_t first_seq,
+                                     bool salvage, bool final_segment) {
+  const bool may_salvage = salvage && final_segment;
+  if (size == 0) return;  // open-window sink created but never flushed
+  if (size < v2::kMagicBytes) {
+    if (may_salvage) {
+      sched.salvaged = true;
+      sched.dropped_bytes = size;
+      return;
+    }
+    throw TraceError(TraceErrorKind::kTruncated, v2::kErrTornSegmentMagic);
+  }
+  if (std::memcmp(data, v2::kStreamMagic, v2::kMagicBytes) != 0) {
+    throw TraceError(TraceErrorKind::kCorrupt, v2::kErrBadSegmentMagic);
+  }
+  decode_v2_into(sched, data, size, first_seq, may_salvage);
+}
+
+void DecodedSchedule::append_segment_source(DecodedSchedule& sched,
+                                            ByteSource& source,
+                                            std::uint64_t size_hint,
+                                            std::uint64_t first_seq,
+                                            bool salvage, bool final_segment) {
+  std::vector<std::uint8_t> bytes;
+  if (size_hint > 0) {
+    bytes.reserve(static_cast<std::size_t>(size_hint) + kChunk);
+  }
+  for (;;) {
+    const std::size_t old = bytes.size();
+    bytes.resize(old + kChunk);
+    const std::size_t got = source.read(bytes.data() + old, kChunk);
+    bytes.resize(old + got);
+    if (got == 0) break;
+  }
+  append_segment(sched, bytes.data(), bytes.size(), first_seq, salvage,
+                 final_segment);
 }
 
 }  // namespace reomp::trace

@@ -89,6 +89,27 @@ struct DecodedSchedule {
   /// stream): skips the source indirection and the slurp copy entirely.
   static DecodedSchedule decode_bytes(const std::uint8_t* data,
                                       std::size_t size, bool salvage = false);
+
+  /// Windowed replay: append-decode one v2 window segment (its own stream
+  /// magic and chunks) onto `sched`. `first_seq` is the stream-wide
+  /// ordinal of the segment's first entry — the start window's snapshot
+  /// base plus the entries already appended — so chunk-ordinal continuity
+  /// is validated straight across segment boundaries, exactly like the
+  /// chained streaming reader. `final_segment` gates salvage: only the
+  /// newest segment may legally carry a torn tail, and `sched.salvaged`
+  /// (with `salvage` set) records a swallowed one. An empty byte range is
+  /// a zero-entry segment (the open window's sink never flushed). Failure
+  /// classification and messages are byte-identical to the streaming
+  /// chained RecordReader.
+  static void append_segment(DecodedSchedule& sched, const std::uint8_t* data,
+                             std::size_t size, std::uint64_t first_seq,
+                             bool salvage, bool final_segment);
+
+  /// append_segment over a ByteSource (slurps like decode_all).
+  static void append_segment_source(DecodedSchedule& sched, ByteSource& source,
+                                    std::uint64_t size_hint,
+                                    std::uint64_t first_seq, bool salvage,
+                                    bool final_segment);
 };
 
 }  // namespace reomp::trace

@@ -44,9 +44,36 @@ std::string Manifest::to_text() const {
     os << "stream." << name << "=" << s.chunks << ":" << s.bytes << ":"
        << s.entries << "\n";
   }
+  if (windowed) {
+    os << "windowed=1\n";
+    os << "window_first=" << window_first << "\n";
+    os << "window_open=" << window_open << "\n";
+    for (const auto& [w, streams_of_w] : windows) {
+      for (const auto& [name, s] : streams_of_w) {
+        os << "window." << w << "." << name << "=" << s.chunks << ":"
+           << s.bytes << ":" << s.entries << "\n";
+      }
+    }
+  }
   for (const auto& [k, v] : extra) os << "x." << k << "=" << v << "\n";
   return os.str();
 }
+
+namespace {
+
+// Parse a decimal uint64 with no sign/whitespace/trailing junk.
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
 
 std::optional<Manifest> Manifest::from_text(const std::string& text) {
   Manifest m;
@@ -75,6 +102,25 @@ std::optional<Manifest> Manifest::from_text(const std::string& text) {
       StreamStat s;
       if (!parse_stream_stat(value, s)) return std::nullopt;
       m.streams[key.substr(7)] = s;
+    } else if (key == "windowed") {
+      if (value != "0" && value != "1") return std::nullopt;
+      m.windowed = value == "1";
+    } else if (key == "window_first") {
+      if (!parse_u64(value, m.window_first)) return std::nullopt;
+    } else if (key == "window_open") {
+      if (!parse_u64(value, m.window_open)) return std::nullopt;
+    } else if (key.rfind("window.", 0) == 0) {
+      // window.<w>.<stream>=chunks:bytes:entries
+      const std::string rest = key.substr(7);
+      const auto dot = rest.find('.');
+      if (dot == std::string::npos || dot == 0 || dot + 1 >= rest.size()) {
+        return std::nullopt;
+      }
+      std::uint64_t w = 0;
+      if (!parse_u64(rest.substr(0, dot), w)) return std::nullopt;
+      StreamStat s;
+      if (!parse_stream_stat(value, s)) return std::nullopt;
+      m.windows[w][rest.substr(dot + 1)] = s;
     } else if (key.rfind("x.", 0) == 0) {
       m.extra[key.substr(2)] = value;
     } else {
@@ -91,6 +137,11 @@ std::optional<Manifest> Manifest::from_text(const std::string& text) {
     m.complete = true;
   } else if (!saw_complete) {
     m.complete = false;  // conservative: no marker means not sealed
+  }
+  if (m.windowed && m.window_first > m.window_open) return std::nullopt;
+  if (!m.windowed &&
+      (m.window_first != 0 || m.window_open != 0 || !m.windows.empty())) {
+    return std::nullopt;  // window keys without the windowed marker
   }
   return m;
 }

@@ -41,8 +41,27 @@ struct Manifest {
   /// could only ever be observed after a successful finalize).
   bool complete = false;
   /// Keyed "shared" (ST) or "t<k>" (DC/DE). Empty until finalize.
+  /// Windowed recordings account per window instead (below) and leave
+  /// this empty.
   std::map<std::string, StreamStat> streams;
   std::map<std::string, std::string> extra;  // tool metadata (free-form)
+
+  // ---- windowed (flight-recorder) layout ----
+  // A windowed recording segments every stream per window
+  // (t<k>.w<w>.rec / shared.w<w>.rec) and keeps a bounded ring of
+  // windows on disk. The manifest commit is what makes a cut (and the
+  // retention drop that rides along) authoritative: the reaper deletes a
+  // window's segments only AFTER the manifest that no longer lists it has
+  // been atomically committed, so a crash at any byte leaves a manifest
+  // whose live set [window_first, window_open] is fully decodable.
+  bool windowed = false;
+  std::uint64_t window_first = 0;  // oldest retained window
+  std::uint64_t window_open = 0;   // the in-flight window (sealed only at
+                                   // finalize, when `complete` flips)
+  /// Per-window per-stream accounting for every SEALED live window
+  /// (window_open included once finalize seals it). StreamStat::entries
+  /// counts the segment's own entries; chunk seq ordinals are cumulative.
+  std::map<std::uint64_t, std::map<std::string, StreamStat>> windows;
 
   /// Serialize to the `key=value` text format.
   [[nodiscard]] std::string to_text() const;

@@ -39,12 +39,14 @@ void decode_chunk_entries(const v2::ChunkHeader& h,
 }
 
 RecordWriter::RecordWriter(ByteSink& sink, ContainerFormat format,
-                           std::size_t chunk_payload_bytes)
+                           std::size_t chunk_payload_bytes,
+                           std::uint64_t first_seq)
     : sink_(&sink),
       format_(format),
       chunk_target_(std::clamp<std::size_t>(
           chunk_payload_bytes, 1,
-          v2::kMaxChunkPayload - kMaxEntryBytes)) {
+          v2::kMaxChunkPayload - kMaxEntryBytes)),
+      count_(first_seq) {
   if (format_ == ContainerFormat::kV2) {
     // Headroom: the pending payload is at most chunk_target_ - 1 bytes
     // before an append, and one entry adds at most kMaxEntryBytes.
@@ -71,6 +73,44 @@ void RecordWriter::emit_chunk() {
   chunk_entries_ = 0;
 }
 
+RecordReader::RecordReader(std::vector<std::unique_ptr<ByteSource>> segments,
+                           bool salvage, std::uint64_t first_seq)
+    : source_(nullptr),
+      salvage_(salvage),
+      segments_(std::move(segments)),
+      seq_expect_(first_seq) {
+  if (segments_.empty()) {
+    // Nothing recovered for this stream: behave as an empty sealed stream.
+    probed_ = true;
+    format_ = ContainerFormat::kV2;
+    eof_ = true;
+    return;
+  }
+  source_ = segments_[0].get();
+  next_segment_ = 1;
+}
+
+bool RecordReader::advance_segment() {
+  while (next_segment_ < segments_.size()) {
+    source_ = segments_[next_segment_++].get();
+    std::uint8_t magic[v2::kMagicBytes];
+    const std::size_t got = source_->read(magic, v2::kMagicBytes);
+    // A zero-byte segment is the open window's sink created but never
+    // flushed (crash before the first buffered write reached the disk):
+    // zero entries, keep looking at any later segment.
+    if (got == 0) continue;
+    if (got < v2::kMagicBytes) {
+      torn(got, v2::kErrTornSegmentMagic);
+      return false;
+    }
+    if (std::memcmp(magic, v2::kStreamMagic, v2::kMagicBytes) != 0) {
+      throw TraceError(TraceErrorKind::kCorrupt, v2::kErrBadSegmentMagic);
+    }
+    return true;
+  }
+  return false;
+}
+
 ContainerFormat RecordReader::probe_format() {
   if (probed_) return format_;
   probed_ = true;
@@ -90,7 +130,10 @@ ContainerFormat RecordReader::probe_format() {
 
 std::optional<RecordEntry> RecordReader::torn(std::uint64_t dropped,
                                               const char* msg) {
-  if (salvage_) {
+  // Salvage trusts a torn tail only where a crash can legally leave one:
+  // the last segment of the chain. A tear in an earlier, sealed segment
+  // means the sealed bytes were damaged after the fact — refuse it.
+  if (salvage_ && in_final_segment()) {
     salvaged_ = true;
     dropped_bytes_ = dropped;
     eof_ = true;
@@ -156,10 +199,15 @@ std::optional<RecordEntry> RecordReader::next_v2() {
   if (eof_) return std::nullopt;
 
   std::uint8_t hdr[v2::kHeaderBytes];
-  const std::size_t got = source_->read(hdr, v2::kHeaderBytes);
-  if (got == 0) {
-    eof_ = true;  // clean end exactly at a chunk boundary
-    return std::nullopt;
+  std::size_t got = source_->read(hdr, v2::kHeaderBytes);
+  while (got == 0) {
+    // Clean end exactly at a chunk boundary: either the next window
+    // segment continues the stream, or this is the end of the recording.
+    if (!advance_segment()) {
+      eof_ = true;
+      return std::nullopt;
+    }
+    got = source_->read(hdr, v2::kHeaderBytes);
   }
   if (got < v2::kHeaderBytes) return torn(got, v2::kErrTornHeader);
 

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -65,9 +66,16 @@ class RecordWriter {
   /// Does not own the sink; the sink must outlive the writer. A v2 writer
   /// emits the 4-byte stream magic immediately, so even a recorder killed
   /// before its first chunk leaves a self-identifying stream.
+  ///
+  /// `first_seq` seeds the stream-wide entry ordinal: a windowed recording
+  /// opens each window segment with the cumulative entry count of the
+  /// preceding segments, so chunk first_seq/last_seq keep counting the
+  /// whole logical stream and a reader can validate ordinal continuity
+  /// straight across a segment boundary. count() stays cumulative too.
   explicit RecordWriter(ByteSink& sink,
                         ContainerFormat format = ContainerFormat::kV2,
-                        std::size_t chunk_payload_bytes = kDefaultChunkPayload);
+                        std::size_t chunk_payload_bytes = kDefaultChunkPayload,
+                        std::uint64_t first_seq = 0);
 
   void append(const RecordEntry& entry) {
     if (format_ == ContainerFormat::kV1) {
@@ -169,6 +177,19 @@ class RecordReader {
   explicit RecordReader(ByteSource& source, bool salvage = false)
       : source_(&source), salvage_(salvage) {}
 
+  /// Windowed replay: read one logical stream stored as consecutive v2
+  /// window segments. Each segment is a self-contained v2 stream (its own
+  /// magic, per-chunk delta reset) whose chunk ordinals continue the
+  /// global entry sequence; the reader advances to the next segment at a
+  /// clean segment end, re-checks the magic, and keeps validating ordinal
+  /// continuity across the boundary. `first_seq` is the global ordinal of
+  /// the first entry (the start window's snapshot base). Salvage applies
+  /// only to the FINAL segment — earlier segments were sealed by a window
+  /// cut, so damage there is refused, torn tail or not. An empty segment
+  /// list (nothing recovered) yields an immediately-exhausted reader.
+  RecordReader(std::vector<std::unique_ptr<ByteSource>> segments, bool salvage,
+               std::uint64_t first_seq);
+
   /// Next entry, or nullopt at end of stream.
   /// Throws TraceError (kCorrupt/kTruncated/kIo) on a damaged stream.
   std::optional<RecordEntry> next();
@@ -194,11 +215,23 @@ class RecordReader {
   std::optional<RecordEntry> next_v1();
   std::optional<RecordEntry> next_v2();
   std::optional<RecordEntry> torn(std::uint64_t dropped, const char* msg);
+  /// Move source_ to the next chained segment, consuming its magic.
+  /// False when no segment with content remains (clean end of stream).
+  bool advance_segment();
+  /// Salvage may only swallow a tear in the last segment of the chain.
+  [[nodiscard]] bool in_final_segment() const {
+    return next_segment_ >= segments_.size();
+  }
 
   ByteSource* source_;
   bool salvage_;
   bool probed_ = false;
   ContainerFormat format_ = ContainerFormat::kV1;
+
+  // Windowed multi-segment mode: owned follow-on sources; source_ points
+  // at segments_[next_segment_ - 1] once chained reading begins.
+  std::vector<std::unique_ptr<ByteSource>> segments_;
+  std::size_t next_segment_ = 0;
 
   // v1 state: rolling buffer over the raw entry stream.
   std::vector<std::uint8_t> buf_;

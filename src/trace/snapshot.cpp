@@ -1,0 +1,163 @@
+#include "src/trace/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/crc32.hpp"
+#include "src/trace/trace_dir.hpp"
+#include "src/trace/trace_error.hpp"
+
+namespace reomp::trace {
+
+namespace {
+
+// Strict decimal uint64: digits only, no sign/whitespace/empty.
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+bool parse_hex32(const std::string& s, std::uint32_t& out) {
+  if (s.empty() || s.size() > 8) return false;
+  std::uint32_t v = 0;
+  for (const char c : s) {
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | digit;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string Snapshot::to_text() const {
+  std::ostringstream os;
+  os << "version=" << version << "\n";
+  os << "window=" << window << "\n";
+  os << "events=" << events << "\n";
+  for (const auto& [name, n] : stream_entries) {
+    os << "stream." << name << "=" << n << "\n";
+  }
+  for (const auto& [id, clock] : gate_clocks) {
+    os << "gate." << id << "=" << clock << "\n";
+  }
+  for (const auto& [size, count] : epochs) {
+    os << "epoch." << size << "=" << count << "\n";
+  }
+  // Provider values may contain '=' (split happens at the first one on
+  // read-back) but must be newline-free; a newline would desynchronize the
+  // line parser and fail the CRC anyway.
+  for (const auto& [k, v] : ext) os << "x." << k << "=" << v << "\n";
+  std::string body = os.str();
+  std::ostringstream crc_line;
+  crc_line << "crc=" << std::hex
+           << crc32(reinterpret_cast<const std::uint8_t*>(body.data()),
+                    body.size())
+           << "\n";
+  body += crc_line.str();
+  return body;
+}
+
+std::optional<Snapshot> Snapshot::from_text(const std::string& text) {
+  // The crc= line must be the last line and its checksum must cover every
+  // byte before it. Find it first so a torn write (missing or partial
+  // trailer) is rejected before any field parsing.
+  const auto crc_pos = text.rfind("crc=");
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    return std::nullopt;
+  }
+  const auto crc_end = text.find('\n', crc_pos);
+  if (crc_end == std::string::npos || crc_end + 1 != text.size()) {
+    return std::nullopt;
+  }
+  std::uint32_t want = 0;
+  if (!parse_hex32(text.substr(crc_pos + 4, crc_end - crc_pos - 4), want)) {
+    return std::nullopt;
+  }
+  if (crc32(reinterpret_cast<const std::uint8_t*>(text.data()), crc_pos) !=
+      want) {
+    return std::nullopt;
+  }
+
+  Snapshot s;
+  bool saw_version = false;
+  std::istringstream is(text.substr(0, crc_pos));
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "version") {
+      std::uint64_t v = 0;
+      if (!parse_u64(value, v)) return std::nullopt;
+      s.version = static_cast<std::uint32_t>(v);
+      saw_version = true;
+    } else if (key == "window") {
+      if (!parse_u64(value, s.window)) return std::nullopt;
+    } else if (key == "events") {
+      if (!parse_u64(value, s.events)) return std::nullopt;
+    } else if (key.rfind("stream.", 0) == 0) {
+      std::uint64_t n = 0;
+      if (!parse_u64(value, n)) return std::nullopt;
+      s.stream_entries[key.substr(7)] = n;
+    } else if (key.rfind("gate.", 0) == 0) {
+      std::uint64_t id = 0;
+      std::uint64_t clock = 0;
+      if (!parse_u64(key.substr(5), id) || !parse_u64(value, clock)) {
+        return std::nullopt;
+      }
+      s.gate_clocks[static_cast<std::uint32_t>(id)] = clock;
+    } else if (key.rfind("epoch.", 0) == 0) {
+      std::uint64_t size = 0;
+      std::uint64_t count = 0;
+      if (!parse_u64(key.substr(6), size) || !parse_u64(value, count)) {
+        return std::nullopt;
+      }
+      s.epochs[size] = count;
+    } else if (key.rfind("x.", 0) == 0) {
+      s.ext[key.substr(2)] = value;
+    } else {
+      return std::nullopt;  // unknown key: likely not a snapshot file
+    }
+  }
+  if (!saw_version || s.version != kFormatVersion) return std::nullopt;
+  return s;
+}
+
+void Snapshot::save(const std::string& path) const {
+  atomic_write_file(path, to_text());
+}
+
+Snapshot Snapshot::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    throw TraceError(TraceErrorKind::kIo,
+                     "snapshot: cannot open " + path);
+  }
+  std::ostringstream os;
+  os << f.rdbuf();
+  auto s = from_text(os.str());
+  if (!s) {
+    throw TraceError(TraceErrorKind::kCorrupt,
+                     "snapshot: parse or CRC check failed: " + path);
+  }
+  return *s;
+}
+
+}  // namespace reomp::trace

@@ -1,0 +1,74 @@
+// Window-boundary checkpoint snapshots (the "flight recorder" restore
+// points).
+//
+// At each window cut the engine serializes the small replayable state —
+// cumulative event/entry ordinals, per-gate global clocks, the DE
+// epoch-size frontier, plus free-form extension values supplied by
+// registered providers (detector epoch frontier, app RNG seeds) — into
+// `snap.w<k>.txt`: the state at the START of window k. Replay from window
+// k restores it and then drives the retained segments exactly as a
+// from-zero replay would have from that point, so divergence verdicts are
+// byte-identical (replay_equivalence_test proves it).
+//
+// Durability contract: the snapshot is written via atomic_write_file
+// BEFORE the manifest commit that opens window k, and the file carries a
+// trailing CRC32 line over everything above it. A crash mid-snapshot
+// leaves only temp debris plus the previous manifest — the previous
+// window's snapshot stays authoritative — and a torn or bit-flipped
+// snapshot read back later fails its CRC and is refused as kCorrupt, never
+// trusted. Window 0 needs no file: its snapshot is the zero state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace reomp::trace {
+
+struct Snapshot {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  std::uint32_t version = kFormatVersion;
+  /// The window this snapshot starts (state BEFORE its first event).
+  std::uint64_t window = 0;
+  /// Cumulative gate events across all threads at the cut.
+  std::uint64_t events = 0;
+  /// Cumulative entries per stream ("shared" or "t<k>"): the stream-wide
+  /// ordinal of the window's first entry — the segment decode base.
+  std::map<std::string, std::uint64_t> stream_entries;
+  /// Per-gate global_clock at the cut, keyed by dense gate id. Replay
+  /// from this window seeds each gate's next_clock with it.
+  std::map<std::uint32_t, std::uint64_t> gate_clocks;
+  /// DE epoch-size histogram frontier (size -> count), cumulative over
+  /// windows [0, window). Diagnostic/accounting state, not replay order.
+  std::map<std::uint64_t, std::uint64_t> epochs;
+  /// Free-form extension values from Engine snapshot providers (detector
+  /// epoch frontier, app-visible RNG seeds, ...). Restored verbatim for
+  /// the application via Engine::restored_snapshot().
+  std::map<std::string, std::string> ext;
+
+  /// Decode base for `name` (0 when the stream has no recorded entries
+  /// yet — e.g. every stream in the implicit window-0 snapshot).
+  [[nodiscard]] std::uint64_t stream_base(const std::string& name) const {
+    const auto it = stream_entries.find(name);
+    return it == stream_entries.end() ? 0 : it->second;
+  }
+
+  /// Serialize to `key=value` text with a trailing `crc=<hex>` line
+  /// covering every preceding byte.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Parse + CRC-check; nullopt on any syntax or checksum violation.
+  static std::optional<Snapshot> from_text(const std::string& text);
+
+  /// Atomic durable write (temp + fsync + rename + dir fsync, through the
+  /// write fault injector). Throws TraceError(kIo) on failure.
+  void save(const std::string& path) const;
+
+  /// Load + verify. Throws TraceError(kIo) when the file is unreadable,
+  /// TraceError(kCorrupt) when parsing or the CRC check fails.
+  static Snapshot load(const std::string& path);
+};
+
+}  // namespace reomp::trace

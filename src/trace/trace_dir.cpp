@@ -45,6 +45,56 @@ std::string shared_file_path(const std::string& dir) {
   return dir + "/shared.rec";
 }
 
+std::string thread_window_file_path(const std::string& dir, std::uint32_t tid,
+                                    std::uint64_t window) {
+  return dir + "/t" + std::to_string(tid) + ".w" + std::to_string(window) +
+         ".rec";
+}
+
+std::string shared_window_file_path(const std::string& dir,
+                                    std::uint64_t window) {
+  return dir + "/shared.w" + std::to_string(window) + ".rec";
+}
+
+std::string snapshot_path(const std::string& dir, std::uint64_t window) {
+  return dir + "/snap.w" + std::to_string(window) + ".txt";
+}
+
+std::optional<std::uint64_t> parse_window_index(const std::string& filename) {
+  // Shape: <stem>.w<digits>.<ext> where stem/ext are non-empty and the
+  // digits carry no sign or leading junk. Parsed from the extension
+  // backwards so a stem containing ".w" cannot confuse it.
+  const auto ext_dot = filename.find_last_of('.');
+  if (ext_dot == std::string::npos || ext_dot == 0) return std::nullopt;
+  const std::string ext = filename.substr(ext_dot);
+  if (ext != ".rec" && ext != ".txt") return std::nullopt;
+  const auto w_dot = filename.find_last_of('.', ext_dot - 1);
+  if (w_dot == std::string::npos || w_dot == 0) return std::nullopt;
+  if (filename[w_dot + 1] != 'w') return std::nullopt;
+  std::uint64_t value = 0;
+  bool any_digit = false;
+  for (std::size_t i = w_dot + 2; i < ext_dot; ++i) {
+    const char c = filename[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    any_digit = true;
+  }
+  if (!any_digit) return std::nullopt;
+  return value;
+}
+
+void remove_stale_tmp(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
 bool file_exists(const std::string& path) {
   std::error_code ec;
   return fs::exists(path, ec);

@@ -3,9 +3,19 @@
 //   <dir>/manifest.txt   manifest (strategy, thread count, metadata)
 //   <dir>/t<k>.rec       per-thread stream, DC/DE (paper Fig. 3-(b))
 //   <dir>/shared.rec     single shared stream, ST (paper Fig. 3-(a))
+//
+// Windowed (flight-recorder) recordings segment every stream per window
+// and snapshot the replayable engine state at each window boundary:
+//
+//   <dir>/t<k>.w<w>.rec      per-thread segment of window w (DC/DE)
+//   <dir>/shared.w<w>.rec    shared segment of window w (ST)
+//   <dir>/snap.w<w>.txt      CRC-checked snapshot of the state at the
+//                            START of window w (w >= 1; window 0 starts
+//                            from the zero state and has no file)
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace reomp::trace {
@@ -20,6 +30,25 @@ void clear_dir(const std::string& dir);
 std::string manifest_path(const std::string& dir);
 std::string thread_file_path(const std::string& dir, std::uint32_t tid);
 std::string shared_file_path(const std::string& dir);
+
+// Windowed layout (bounded-retention flight recorder).
+std::string thread_window_file_path(const std::string& dir, std::uint32_t tid,
+                                    std::uint64_t window);
+std::string shared_window_file_path(const std::string& dir,
+                                    std::uint64_t window);
+std::string snapshot_path(const std::string& dir, std::uint64_t window);
+
+/// Window index of a windowed-layout file name ("t3.w7.rec",
+/// "shared.w12.rec", "snap.w4.txt"); nullopt for every other name
+/// (manifest, flat streams, foreign files). Accepts a bare file name, not
+/// a path.
+std::optional<std::uint64_t> parse_window_index(const std::string& filename);
+
+/// Remove leftover "*.tmp" debris directly inside `dir` — the residue of a
+/// crash between atomic_write_file's temp write and its rename. Run when a
+/// new recording opens the dir, so stale temps cannot shadow live files or
+/// confuse `reomp_records verify`. Missing dir is not an error.
+void remove_stale_tmp(const std::string& dir);
 
 bool file_exists(const std::string& path);
 

@@ -257,6 +257,170 @@ TEST(ReplayMemCap, GenerousCapKeepsPrefetch) {
   EXPECT_TRUE(eng.replay_prefetched());
 }
 
+// ---- windowed replay equivalence ----
+//
+// Flight-recorder contract: replaying from a later window (checkpoint
+// restore + suffix replay) must be observationally identical to a
+// from-zero replay over the same tail — same completions, same divergence
+// verdicts, byte-identical messages — for every strategy and both data
+// paths. Window boundaries are cut at round boundaries so "from window k"
+// means "drive rounds k..N".
+
+std::string windowed_dir(Strategy strategy) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("reomp_replay_eq_win_") + to_string(strategy).data()))
+      .string();
+}
+
+/// Record the canonical workload with an explicit window cut after every
+/// round except the last: window w holds exactly round w's events, and the
+/// final round stays in the open window.
+void record_windowed_workload(Strategy strategy, const std::string& dir) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = strategy;
+  opt.num_threads = 2;
+  opt.dir = dir;
+  opt.trace_window_events = 1u << 20;  // cuts are explicit, never automatic
+  Engine eng(opt);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+  for (int i = 0; i < kRounds; ++i) {
+    for (ThreadId t : {0u, 1u}) {
+      ThreadCtx& ctx = eng.thread_ctx(t);
+      eng.gate_in(ctx, a, AccessKind::kOther);
+      eng.gate_out(ctx, a, AccessKind::kOther);
+      eng.gate_in(ctx, b, AccessKind::kLoad);
+      eng.gate_out(ctx, b, AccessKind::kLoad);
+    }
+    if (i != kRounds - 1) eng.cut_window();
+  }
+  eng.finalize();
+}
+
+/// Drive rounds [from, to) in the recorded global order.
+void drive_rounds(Engine& eng, GateId a, GateId b, int from, int to) {
+  for (int i = from; i < to; ++i) {
+    for (ThreadId t : {0u, 1u}) {
+      ThreadCtx& ctx = eng.thread_ctx(t);
+      eng.gate_in(ctx, a, AccessKind::kOther);
+      eng.gate_out(ctx, a, AccessKind::kOther);
+      eng.gate_in(ctx, b, AccessKind::kLoad);
+      eng.gate_out(ctx, b, AccessKind::kLoad);
+    }
+  }
+}
+
+Engine make_windowed_replay(Strategy strategy, const std::string& dir,
+                            std::uint32_t from_window, bool prefetch) {
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = strategy;
+  opt.num_threads = 2;
+  opt.dir = dir;
+  opt.replay_prefetch = prefetch;
+  opt.replay_from_window = from_window;  // 0 = auto (oldest retained)
+  return Engine(opt);
+}
+
+constexpr std::uint64_t kEventsPerRound = 4;  // 2 threads x 2 gates
+
+class WindowedReplayEquivalence : public ::testing::TestWithParam<Strategy> {
+};
+
+TEST_P(WindowedReplayEquivalence, FromEveryWindowCompletesIdentically) {
+  const std::string dir = windowed_dir(GetParam());
+  record_windowed_workload(GetParam(), dir);
+  for (int start = 0; start < kRounds; ++start) {
+    for (const bool prefetch : {false, true}) {
+      Engine eng = make_windowed_replay(
+          GetParam(), dir, static_cast<std::uint32_t>(start), prefetch);
+      ASSERT_TRUE(eng.restored_snapshot().has_value());
+      // The checkpoint tells the app how much work the suffix replay skips.
+      EXPECT_EQ(eng.restored_snapshot()->events,
+                kEventsPerRound * static_cast<std::uint64_t>(start));
+      const GateId a = eng.register_gate("A");
+      const GateId b = eng.register_gate("B");
+      drive_rounds(eng, a, b, start, kRounds);
+      EXPECT_NO_THROW(eng.finalize())
+          << to_string(GetParam()) << " start=" << start
+          << (prefetch ? " prefetch" : " streaming");
+      EXPECT_EQ(eng.total_events(),
+                kEventsPerRound * static_cast<std::uint64_t>(kRounds - start));
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+/// For one broken-tail scenario (the damage lives in the final round, which
+/// every start window replays), each {start window} x {data path} run must
+/// diverge with one byte-identical message.
+void expect_identical_windowed_divergence(
+    Strategy strategy,
+    const std::function<void(Engine&, GateId, GateId, int)>& drive) {
+  const std::string dir = windowed_dir(strategy);
+  record_windowed_workload(strategy, dir);
+  std::optional<std::string> expected;
+  for (const int start : {0, 1, kRounds - 1}) {
+    for (const bool prefetch : {false, true}) {
+      Engine eng = make_windowed_replay(
+          strategy, dir, static_cast<std::uint32_t>(start), prefetch);
+      const GateId a = eng.register_gate("A");
+      const GateId b = eng.register_gate("B");
+      std::optional<std::string> msg;
+      try {
+        drive(eng, a, b, start);
+        eng.finalize();
+      } catch (const ReplayDivergence& e) {
+        msg = e.what();
+      }
+      const std::string where = std::string(to_string(strategy)) + " start=" +
+                                std::to_string(start) +
+                                (prefetch ? " prefetch" : " streaming");
+      ASSERT_TRUE(msg.has_value()) << where << " did not diverge";
+      if (!expected.has_value()) {
+        expected = msg;
+      } else {
+        EXPECT_EQ(*msg, *expected) << where;
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_P(WindowedReplayEquivalence, WrongGateVerdictIdenticalFromEveryWindow) {
+  // The final round's first access should be gate A; go to B instead.
+  expect_identical_windowed_divergence(
+      GetParam(), [](Engine& eng, GateId a, GateId b, int start) {
+        drive_rounds(eng, a, b, start, kRounds - 1);
+        eng.gate_in(eng.thread_ctx(0), b, AccessKind::kLoad);
+      });
+}
+
+TEST_P(WindowedReplayEquivalence, ExtraAccessVerdictIdenticalFromEveryWindow) {
+  expect_identical_windowed_divergence(
+      GetParam(), [](Engine& eng, GateId a, GateId b, int start) {
+        drive_rounds(eng, a, b, start, kRounds);
+        eng.gate_in(eng.thread_ctx(0), a, AccessKind::kOther);
+      });
+}
+
+TEST_P(WindowedReplayEquivalence, TruncationVerdictIdenticalFromEveryWindow) {
+  // Stop one round short: the unconsumed tail must be reported the same
+  // way no matter where the replay started.
+  expect_identical_windowed_divergence(
+      GetParam(), [](Engine& eng, GateId a, GateId b, int start) {
+        drive_rounds(eng, a, b, start, kRounds - 1);
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, WindowedReplayEquivalence,
+                         ::testing::Values(Strategy::kST, Strategy::kDC,
+                                           Strategy::kDE),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
 // ---- corrupt-stream parity ----
 
 TEST(CorruptStream, TornEntryMessageIdenticalAcrossPaths) {

@@ -1,0 +1,387 @@
+// Flight-recorder windowing: bounded retention, checkpoint snapshots, and
+// the strict knob surface.
+//
+//   - explicit + event-triggered window cuts produce the windowed layout
+//     (per-window segments, snapshots, manifest window table);
+//   - retention keeps at most N sealed windows + 1 open on disk and in the
+//     manifest, and reaps exactly the dropped ones;
+//   - checkpoint snapshots are CRC-clean, claim their window, and carry
+//     the stream bases the sealed prefix actually reached;
+//   - stale atomic-write temps are removed when a new recording opens;
+//   - every new knob parses strictly (explicit 0 / garbage throw).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "src/core/engine.hpp"
+#include "src/trace/manifest.hpp"
+#include "src/trace/snapshot.hpp"
+#include "src/trace/trace_dir.hpp"
+#include "src/trace/trace_error.hpp"
+
+namespace reomp::core {
+namespace {
+
+std::string temp_dir(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("reomp_window_" + std::to_string(::getpid()) + "_" + tag))
+      .string();
+}
+
+Options base_opts(Strategy s, const std::string& dir, Mode mode) {
+  Options opt;
+  opt.mode = mode;
+  opt.strategy = s;
+  opt.num_threads = 1;
+  opt.dir = dir;
+  opt.trace_writer = TraceWriter::kDeferred;
+  opt.trace_chunk_bytes = 128;
+  return opt;
+}
+
+/// Deterministic prefix-closed single-thread workload (same shape as the
+/// crash matrix): replaying accesses [lo, hi) consumes exactly the
+/// recorded entries lo..hi.
+void workload(Engine& eng, int lo, int hi) {
+  const GateId g0 = eng.register_gate("win:a");
+  const GateId g1 = eng.register_gate("win:b");
+  ThreadCtx& ctx = eng.bind_thread(0);
+  std::atomic<int> la{0}, lb{0};
+  for (int i = lo; i < hi; ++i) {
+    std::atomic<int>& loc = (i & 1) != 0 ? lb : la;
+    const GateId g = (i & 1) != 0 ? g1 : g0;
+    if (i % 3 == 0) {
+      (void)eng.sma_load(ctx, g, loc);
+    } else {
+      eng.sma_store(ctx, g, loc, i);
+    }
+  }
+}
+
+/// Live window indices present on disk (any stream segment or snapshot).
+std::set<std::uint64_t> windows_on_disk(const std::string& dir) {
+  std::set<std::uint64_t> idx;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    if (const auto w = trace::parse_window_index(e.path().filename().string());
+        w.has_value()) {
+      idx.insert(*w);
+    }
+  }
+  return idx;
+}
+
+class WindowedRecord : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(WindowedRecord, ExplicitCutsProduceWindowedLayout) {
+  const Strategy s = GetParam();
+  const std::string dir = temp_dir(std::string("explicit_") + to_string(s).data());
+  constexpr int kPerWindow = 50;
+  constexpr int kWindows = 3;  // two cuts -> windows 0,1 sealed + 2 open
+  {
+    Options opt = base_opts(s, dir, Mode::kRecord);
+    opt.trace_window_events = 1u << 20;  // explicit cuts only
+    Engine eng(opt);
+    ASSERT_TRUE(eng.windowing());
+    const GateId g0 = eng.register_gate("win:a");
+    const GateId g1 = eng.register_gate("win:b");
+    ThreadCtx& ctx = eng.bind_thread(0);
+    std::atomic<int> la{0}, lb{0};
+    for (int i = 0; i < kPerWindow * kWindows; ++i) {
+      std::atomic<int>& loc = (i & 1) != 0 ? lb : la;
+      const GateId g = (i & 1) != 0 ? g1 : g0;
+      if (i % 3 == 0) {
+        (void)eng.sma_load(ctx, g, loc);
+      } else {
+        eng.sma_store(ctx, g, loc, i);
+      }
+      if ((i + 1) % kPerWindow == 0 && i + 1 < kPerWindow * kWindows) {
+        eng.cut_window();
+      }
+    }
+    eng.finalize();
+  }
+
+  const auto m = trace::Manifest::load(trace::manifest_path(dir));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->complete);
+  EXPECT_TRUE(m->windowed);
+  EXPECT_EQ(m->window_first, 0u);
+  EXPECT_EQ(m->window_open, 2u);
+  ASSERT_EQ(m->windows.size(), 3u);
+  const std::string stream = s == Strategy::kST ? "shared" : "t0";
+  for (std::uint64_t w = 0; w <= 2; ++w) {
+    const auto wit = m->windows.find(w);
+    ASSERT_NE(wit, m->windows.end());
+    const auto sit = wit->second.find(stream);
+    ASSERT_NE(sit, wit->second.end());
+    EXPECT_EQ(sit->second.entries, static_cast<std::uint64_t>(kPerWindow));
+    const std::string seg =
+        s == Strategy::kST ? trace::shared_window_file_path(dir, w)
+                           : trace::thread_window_file_path(dir, 0, w);
+    EXPECT_TRUE(trace::file_exists(seg)) << seg;
+  }
+
+  // Snapshots: none for window 0; w1/w2 CRC-clean, claim their index, and
+  // carry the cumulative state at their window's start.
+  EXPECT_FALSE(trace::file_exists(trace::snapshot_path(dir, 0)));
+  for (std::uint64_t w = 1; w <= 2; ++w) {
+    const trace::Snapshot snap =
+        trace::Snapshot::load(trace::snapshot_path(dir, w));
+    EXPECT_EQ(snap.window, w);
+    EXPECT_EQ(snap.events, w * kPerWindow);
+    EXPECT_EQ(snap.stream_base(stream), w * kPerWindow);
+  }
+
+  // Replay from every window: checkpoint restore + suffix drive completes.
+  for (std::uint32_t start = 0; start < kWindows; ++start) {
+    for (const bool prefetch : {false, true}) {
+      Options opt = base_opts(s, dir, Mode::kReplay);
+      opt.replay_from_window = start;
+      opt.replay_prefetch = prefetch;
+      Engine eng(opt);
+      ASSERT_TRUE(eng.restored_snapshot().has_value());
+      EXPECT_EQ(eng.restored_snapshot()->events,
+                static_cast<std::uint64_t>(start) * kPerWindow);
+      workload(eng, static_cast<int>(start) * kPerWindow,
+               kPerWindow * kWindows);
+      EXPECT_NO_THROW(eng.finalize())
+          << to_string(s) << " start=" << start << " prefetch=" << prefetch;
+    }
+  }
+
+  // Out-of-range starts fail structurally.
+  {
+    Options opt = base_opts(s, dir, Mode::kReplay);
+    opt.replay_from_window = 9;
+    EXPECT_THROW(Engine eng(opt), std::invalid_argument);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_P(WindowedRecord, EventTriggeredCutsHonorRetentionBound) {
+  const Strategy s = GetParam();
+  const std::string dir = temp_dir(std::string("retain_") + to_string(s).data());
+  constexpr int kEvents = 1000;
+  constexpr std::uint32_t kWindowEvents = 64;
+  constexpr std::uint32_t kRetain = 2;
+  {
+    Options opt = base_opts(s, dir, Mode::kRecord);
+    opt.trace_window_events = kWindowEvents;
+    opt.trace_retain_windows = kRetain;
+    Engine eng(opt);
+    workload(eng, 0, kEvents);
+    eng.finalize();
+  }
+  const auto m = trace::Manifest::load(trace::manifest_path(dir));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->complete);
+  ASSERT_TRUE(m->windowed);
+  // Enough events to roll the ring several times over.
+  EXPECT_GT(m->window_first, 0u);
+  // Ring bound: at most kRetain sealed + the open window, on disk and in
+  // the manifest.
+  EXPECT_LE(m->window_open - m->window_first, kRetain);
+  EXPECT_EQ(m->windows.size(), m->window_open - m->window_first + 1);
+  const auto on_disk = windows_on_disk(dir);
+  ASSERT_FALSE(on_disk.empty());
+  EXPECT_GE(*on_disk.begin(), m->window_first);
+  EXPECT_LE(*on_disk.rbegin(), m->window_open);
+
+  // Auto-start replay resumes from the oldest retained checkpoint.
+  for (const bool prefetch : {false, true}) {
+    Options opt = base_opts(s, dir, Mode::kReplay);
+    opt.replay_prefetch = prefetch;
+    Engine eng(opt);
+    ASSERT_TRUE(eng.restored_snapshot().has_value());
+    const std::uint64_t skipped = eng.restored_snapshot()->events;
+    EXPECT_GT(skipped, 0u);
+    workload(eng, static_cast<int>(skipped), kEvents);
+    EXPECT_NO_THROW(eng.finalize()) << "prefetch=" << prefetch;
+  }
+
+  // A reaped window is refused with a structured error, not garbage reads.
+  {
+    Options opt = base_opts(s, dir, Mode::kReplay);
+    opt.replay_from_window = 1;
+    ASSERT_LT(1u, m->window_first);
+    try {
+      Engine eng(opt);
+      FAIL() << "replay accepted a reaped window";
+    } catch (const trace::TraceError& e) {
+      EXPECT_EQ(e.kind(), trace::TraceErrorKind::kIncomplete) << e.what();
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, WindowedRecord,
+                         ::testing::Values(Strategy::kST, Strategy::kDC,
+                                           Strategy::kDE),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(WindowedRecordMisc, StaleTempFilesRemovedByNewRecording) {
+  const std::string dir = temp_dir("tmpclean");
+  trace::ensure_dir(dir);
+  {
+    std::ofstream(dir + "/manifest.txt.tmp") << "debris";
+    std::ofstream(dir + "/snap.w3.txt.tmp") << "debris";
+  }
+  {
+    Engine eng(base_opts(Strategy::kDC, dir, Mode::kRecord));
+    workload(eng, 0, 10);
+    eng.finalize();
+  }
+  EXPECT_FALSE(trace::file_exists(dir + "/manifest.txt.tmp"));
+  EXPECT_FALSE(trace::file_exists(dir + "/snap.w3.txt.tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WindowedRecordMisc, ConstructorValidatesWindowingPreconditions) {
+  // Retention without a window size is a bounded-recording lie.
+  {
+    Options opt = base_opts(Strategy::kDC, temp_dir("cfg"), Mode::kRecord);
+    opt.trace_retain_windows = 4;
+    EXPECT_THROW(Engine eng(opt), std::invalid_argument);
+  }
+  // Windowing needs a trace dir (in-memory bundles are single-segment).
+  {
+    Options opt = base_opts(Strategy::kDC, "", Mode::kRecord);
+    opt.trace_window_events = 16;
+    EXPECT_THROW(Engine eng(opt), std::invalid_argument);
+  }
+  // Windowing needs the v2 chunked container.
+  {
+    Options opt = base_opts(Strategy::kDC, temp_dir("cfg"), Mode::kRecord);
+    opt.trace_window_events = 16;
+    opt.trace_format = trace::ContainerFormat::kV1;
+    EXPECT_THROW(Engine eng(opt), std::invalid_argument);
+  }
+}
+
+TEST(WindowedRecordMisc, FromWindowOnUnwindowedRecordingIsRefused) {
+  const std::string dir = temp_dir("unwindowed");
+  {
+    Engine eng(base_opts(Strategy::kDC, dir, Mode::kRecord));
+    workload(eng, 0, 20);
+    eng.finalize();
+  }
+  Options opt = base_opts(Strategy::kDC, dir, Mode::kReplay);
+  opt.replay_from_window = 1;
+  EXPECT_THROW(Engine eng(opt), std::invalid_argument);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------- snapshot container ----------
+
+TEST(SnapshotFormat, RoundTripsAllFields) {
+  trace::Snapshot s;
+  s.window = 7;
+  s.events = 1234;
+  s.stream_entries["shared"] = 900;
+  s.stream_entries["t0"] = 11;
+  s.gate_clocks[0] = 42;
+  s.gate_clocks[3] = 17;
+  s.epochs[1] = 100;
+  s.epochs[8] = 3;
+  s.ext["rng.seed"] = "0xdeadbeef";
+  const std::string text = s.to_text();
+  const auto back = trace::Snapshot::from_text(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->window, 7u);
+  EXPECT_EQ(back->events, 1234u);
+  EXPECT_EQ(back->stream_base("shared"), 900u);
+  EXPECT_EQ(back->stream_base("t0"), 11u);
+  EXPECT_EQ(back->stream_base("t9"), 0u);  // absent stream -> zero base
+  EXPECT_EQ(back->gate_clocks.at(3), 17u);
+  EXPECT_EQ(back->epochs.at(8), 3u);
+  EXPECT_EQ(back->ext.at("rng.seed"), "0xdeadbeef");
+}
+
+TEST(SnapshotFormat, AnySingleByteFlipIsRejected) {
+  trace::Snapshot s;
+  s.window = 2;
+  s.events = 64;
+  s.stream_entries["t0"] = 64;
+  s.gate_clocks[1] = 33;
+  const std::string text = s.to_text();
+  ASSERT_TRUE(trace::Snapshot::from_text(text).has_value());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    std::string bad = text;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    EXPECT_FALSE(trace::Snapshot::from_text(bad).has_value())
+        << "flip at byte " << i << " accepted";
+  }
+  // Truncation (torn write without the atomic rename) is also rejected.
+  for (const std::size_t keep : {text.size() - 1, text.size() / 2}) {
+    EXPECT_FALSE(trace::Snapshot::from_text(text.substr(0, keep)).has_value());
+  }
+}
+
+TEST(SnapshotFormat, LoadClassifiesIoVersusCorrupt) {
+  const std::string dir = temp_dir("snapio");
+  trace::ensure_dir(dir);
+  try {
+    (void)trace::Snapshot::load(dir + "/absent.txt");
+    FAIL() << "load of a missing snapshot did not throw";
+  } catch (const trace::TraceError& e) {
+    EXPECT_EQ(e.kind(), trace::TraceErrorKind::kIo);
+  }
+  std::ofstream(dir + "/bad.txt") << "not a snapshot";
+  try {
+    (void)trace::Snapshot::load(dir + "/bad.txt");
+    FAIL() << "load of a corrupt snapshot did not throw";
+  } catch (const trace::TraceError& e) {
+    EXPECT_EQ(e.kind(), trace::TraceErrorKind::kCorrupt);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------- strict knob parsing ----------
+
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_(name) {}
+  ~EnvGuard() { ::unsetenv(name_); }
+  const char* name_;
+};
+
+TEST(WindowKnobs, ParseStrictly) {
+  EnvGuard g1("REOMP_TRACE_WINDOW_EVENTS"), g2("REOMP_TRACE_RETAIN_WINDOWS"),
+      g3("REOMP_REPLAY_FROM_WINDOW");
+  ::setenv("REOMP_TRACE_WINDOW_EVENTS", "4096", 1);
+  ::setenv("REOMP_TRACE_RETAIN_WINDOWS", "8", 1);
+  ::setenv("REOMP_REPLAY_FROM_WINDOW", "3", 1);
+  const Options opt = Options::from_env(2);
+  EXPECT_EQ(opt.trace_window_events, 4096u);
+  EXPECT_EQ(opt.trace_retain_windows, 8u);
+  EXPECT_EQ(opt.replay_from_window, 3u);
+}
+
+TEST(WindowKnobs, DefaultsAreOff) {
+  const Options opt = Options::from_env(1);
+  EXPECT_EQ(opt.trace_window_events, 0u);
+  EXPECT_EQ(opt.trace_retain_windows, 0u);
+  EXPECT_EQ(opt.replay_from_window, 0u);
+}
+
+TEST(WindowKnobs, RejectZeroAndGarbage) {
+  for (const char* name : {"REOMP_TRACE_WINDOW_EVENTS",
+                           "REOMP_TRACE_RETAIN_WINDOWS",
+                           "REOMP_REPLAY_FROM_WINDOW"}) {
+    for (const char* bad : {"0", "-3", "abc", "12x", ""}) {
+      EnvGuard g(name);
+      ::setenv(name, bad, 1);
+      EXPECT_THROW((void)Options::from_env(1), std::runtime_error)
+          << name << "='" << bad << "' was accepted";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reomp::core

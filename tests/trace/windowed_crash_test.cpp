@@ -1,0 +1,288 @@
+// Windowed crash matrix: fork a flight-recorder (small windows, bounded
+// retention), kill it at a randomized byte offset — the points land inside
+// stream chunks, window cuts, checkpoint snapshot writes, and manifest
+// commits alike — then prove the crash contract on what is left:
+//
+//   - a strict replay open REFUSES the crashed recording with a structured
+//     TraceError;
+//   - a salvage open restores the last committed checkpoint and replays
+//     the recovered suffix to completion (prefetch and streaming agreeing
+//     on exactly what was recovered), or fails with a structured
+//     TraceError — never a hang, never an undecodable directory;
+//   - the on-disk ring never exceeds the retention bound plus the one
+//     in-flight window a cut may have been preparing.
+//
+// Children are single-threaded by construction and die via _exit inside
+// the injected write, so the matrix is fork-safe under TSAN.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "src/common/prng.hpp"
+#include "src/core/engine.hpp"
+#include "src/trace/fault_injection.hpp"
+#include "src/trace/manifest.hpp"
+#include "src/trace/trace_dir.hpp"
+#include "src/trace/trace_error.hpp"
+
+namespace reomp::core {
+namespace {
+
+constexpr int kEvents = 2500;
+constexpr std::uint32_t kWindowEvents = 64;
+constexpr std::uint32_t kRetain = 2;
+constexpr int kKillPointsPerStrategy = 18;
+
+std::string temp_dir(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("reomp_wcrash_" + std::to_string(::getpid()) + "_" + tag))
+      .string();
+}
+
+Options base_opts(Strategy s, const std::string& dir, Mode mode) {
+  Options opt;
+  opt.mode = mode;
+  opt.strategy = s;
+  opt.num_threads = 1;
+  opt.dir = dir;
+  opt.trace_writer = TraceWriter::kDeferred;  // no helper threads
+  opt.trace_chunk_bytes = 128;
+  if (mode == Mode::kRecord) {
+    opt.trace_window_events = kWindowEvents;
+    opt.trace_retain_windows = kRetain;
+  }
+  return opt;
+}
+
+/// Deterministic prefix-closed workload; replaying accesses [lo, hi)
+/// consumes exactly the recorded entries lo..hi.
+void workload(Engine& eng, int lo, int hi) {
+  const GateId g0 = eng.register_gate("wcrash:a");
+  const GateId g1 = eng.register_gate("wcrash:b");
+  ThreadCtx& ctx = eng.bind_thread(0);
+  std::atomic<int> la{0}, lb{0};
+  for (int i = lo; i < hi; ++i) {
+    std::atomic<int>& loc = (i & 1) != 0 ? lb : la;
+    const GateId g = (i & 1) != 0 ? g1 : g0;
+    if (i % 3 == 0) {
+      (void)eng.sma_load(ctx, g, loc);
+    } else {
+      eng.sma_store(ctx, g, loc, i);
+    }
+  }
+}
+
+[[noreturn]] void child_record(Strategy s, const std::string& dir,
+                               std::uint64_t kill_at) {
+  try {
+    trace::fi::arm("kill@" + std::to_string(kill_at));
+    Engine eng(base_opts(s, dir, Mode::kRecord));
+    workload(eng, 0, kEvents);
+    eng.finalize();
+    trace::fi::disarm();
+    ::_exit(0);
+  } catch (...) {
+    ::_exit(3);  // a recorder must never *throw* from an injected kill
+  }
+}
+
+int fork_record(Strategy s, const std::string& dir, std::uint64_t kill_at) {
+  const pid_t pid = ::fork();
+  if (pid == 0) child_record(s, dir, kill_at);  // never returns
+  EXPECT_GT(pid, 0) << "fork failed";
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status))
+      << "child killed by signal " << WTERMSIG(status);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Distinct window indices present on disk.
+std::set<std::uint64_t> windows_on_disk(const std::string& dir) {
+  std::set<std::uint64_t> idx;
+  std::error_code ec;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    if (!e.is_regular_file()) continue;
+    if (const auto w = trace::parse_window_index(e.path().filename().string());
+        w.has_value()) {
+      idx.insert(*w);
+    }
+  }
+  return idx;
+}
+
+/// The crash-state ring invariant: whatever byte the recorder died at, the
+/// directory holds at most the retained sealed windows, the open window,
+/// and one in-flight window a cut may have been preparing (its snapshot or
+/// fresh segments written before the kill landed).
+void expect_ring_bounded(const std::string& dir) {
+  const auto m = trace::Manifest::load(trace::manifest_path(dir));
+  if (!m || !m->windowed) return;  // killed before the first manifest commit
+  const auto on_disk = windows_on_disk(dir);
+  if (on_disk.empty()) return;
+  EXPECT_GE(*on_disk.begin(), m->window_first);
+  EXPECT_LE(*on_disk.rbegin(), m->window_open + 1);
+  EXPECT_LE(on_disk.size(), static_cast<std::size_t>(kRetain) + 2);
+}
+
+/// Salvage open + full suffix replay. Returns {skipped, recovered} on
+/// success, nullopt on a structured TraceError failure.
+struct SalvageOutcome {
+  std::uint64_t skipped;
+  std::uint64_t recovered;
+};
+std::optional<SalvageOutcome> salvage_replay(Strategy s,
+                                             const std::string& dir,
+                                             bool prefetch) {
+  Options opt = base_opts(s, dir, Mode::kReplay);
+  opt.replay_salvage = true;
+  opt.replay_prefetch = prefetch;
+  try {
+    Engine eng(opt);
+    EXPECT_TRUE(eng.restored_snapshot().has_value());
+    const std::uint64_t skipped =
+        eng.restored_snapshot() ? eng.restored_snapshot()->events : 0;
+    const auto& report = eng.salvage_report();
+    EXPECT_EQ(report.size(), 1u);  // single-threaded run: one stream
+    if (report.size() != 1) return std::nullopt;
+    const std::uint64_t recovered = report[0].recovered_entries;
+    workload(eng, static_cast<int>(skipped),
+             static_cast<int>(skipped + recovered));
+    eng.finalize();
+    return SalvageOutcome{skipped, recovered};
+  } catch (const trace::TraceError&) {
+    return std::nullopt;
+  }
+}
+
+class WindowedCrashMatrix : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(WindowedCrashMatrix, RandomKillPointsRecoverFromLastWindowOrFailFast) {
+  const Strategy s = GetParam();
+  const std::string tag(to_string(s));
+
+  // Calibrate the kill range in-process: run one clean windowed recording
+  // with an unreachable kill point and read the injector's byte counter —
+  // that is the exact write volume (streams + snapshots + every per-cut
+  // manifest commit) a full run offers.
+  const std::string clean_dir = temp_dir(tag + "_clean");
+  trace::fi::arm("kill@" + std::to_string(std::uint64_t{1} << 40));
+  {
+    Engine eng(base_opts(s, clean_dir, Mode::kRecord));
+    workload(eng, 0, kEvents);
+    eng.finalize();
+  }
+  const std::uint64_t upper = trace::fi::bytes_offered() + 200;
+  trace::fi::disarm();
+  expect_ring_bounded(clean_dir);
+  std::filesystem::remove_all(clean_dir);
+
+  Xoshiro256 rng(0xF11BEE + static_cast<std::uint64_t>(s));
+  int killed = 0, survived = 0, salvaged_ok = 0, structured = 0;
+  for (int i = 0; i < kKillPointsPerStrategy; ++i) {
+    const std::uint64_t kill_at = 1 + rng.next_below(upper);
+    const std::string dir = temp_dir(tag + "_" + std::to_string(i));
+    const int code = fork_record(s, dir, kill_at);
+    ASSERT_TRUE(code == 0 || code == trace::fi::kKillExitCode)
+        << "child exit " << code << " at kill_at=" << kill_at;
+    expect_ring_bounded(dir);
+
+    if (code == 0) {
+      ++survived;
+      auto m = trace::Manifest::load(trace::manifest_path(dir));
+      ASSERT_TRUE(m.has_value());
+      EXPECT_TRUE(m->complete);
+      // Sealed recording: strict replay from the oldest retained window.
+      Engine eng(base_opts(s, dir, Mode::kReplay));
+      ASSERT_TRUE(eng.restored_snapshot().has_value());
+      workload(eng, static_cast<int>(eng.restored_snapshot()->events),
+               kEvents);
+      eng.finalize();
+    } else {
+      ++killed;
+      // Strict open must refuse the crashed recording, structurally.
+      try {
+        Engine eng(base_opts(s, dir, Mode::kReplay));
+        ADD_FAILURE() << "strict replay accepted a crashed recording "
+                         "(kill_at=" << kill_at << ")";
+      } catch (const trace::TraceError& e) {
+        EXPECT_TRUE(e.kind() == trace::TraceErrorKind::kIncomplete ||
+                    e.kind() == trace::TraceErrorKind::kIo)
+            << "unexpected kind '" << to_string(e.kind()) << "': " << e.what();
+      }
+      // Salvage: both data paths must recover the same checkpoint + suffix.
+      const auto pre = salvage_replay(s, dir, /*prefetch=*/true);
+      const auto str = salvage_replay(s, dir, /*prefetch=*/false);
+      EXPECT_EQ(pre.has_value(), str.has_value()) << "kill_at=" << kill_at;
+      if (pre.has_value() && str.has_value()) {
+        ++salvaged_ok;
+        EXPECT_EQ(pre->skipped, str->skipped) << "kill_at=" << kill_at;
+        EXPECT_EQ(pre->recovered, str->recovered) << "kill_at=" << kill_at;
+        EXPECT_LE(pre->skipped + pre->recovered,
+                  static_cast<std::uint64_t>(kEvents));
+      } else {
+        ++structured;
+      }
+    }
+    std::filesystem::remove_all(dir);
+  }
+  EXPECT_GT(killed, 0) << "no kill point fired; range calibration is off";
+  if (killed > 2) {
+    EXPECT_GT(salvaged_ok, 0);
+  }
+  std::printf("[%s] killed=%d survived=%d salvaged=%d structured_fail=%d\n",
+              tag.c_str(), killed, survived, salvaged_ok, structured);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, WindowedCrashMatrix,
+                         ::testing::Values(Strategy::kST, Strategy::kDC,
+                                           Strategy::kDE),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// Interrupted retention reap: the manifest committed the drop but the
+// recorder died before (or while) deleting the expired files. The
+// leftovers are unreferenced — replay must ignore them entirely and
+// produce the same result as a debris-free directory.
+TEST(WindowedCrash, InterruptedReapLeftoversAreIgnored) {
+  const std::string dir = temp_dir("reapdebris");
+  {
+    Options opt = base_opts(Strategy::kDC, dir, Mode::kRecord);
+    Engine eng(opt);
+    workload(eng, 0, kEvents);
+    eng.finalize();
+  }
+  const auto m = trace::Manifest::load(trace::manifest_path(dir));
+  ASSERT_TRUE(m.has_value());
+  ASSERT_TRUE(m->windowed);
+  ASSERT_GT(m->window_first, 1u);
+
+  // Simulate the interrupted reap: resurrect plausible expired-window
+  // files (stale bytes, even garbage) below window_first, plus an
+  // atomic-write temp a dying writer would leave.
+  std::filesystem::copy_file(
+      trace::thread_window_file_path(dir, 0, m->window_first),
+      trace::thread_window_file_path(dir, 0, 0));
+  std::ofstream(trace::thread_window_file_path(dir, 0, 1)) << "garbage";
+  std::ofstream(trace::snapshot_path(dir, 1)) << "garbage";
+  std::ofstream(dir + "/manifest.txt.tmp") << "garbage";
+
+  for (const bool prefetch : {false, true}) {
+    Options opt = base_opts(Strategy::kDC, dir, Mode::kReplay);
+    opt.replay_prefetch = prefetch;
+    Engine eng(opt);
+    ASSERT_TRUE(eng.restored_snapshot().has_value());
+    workload(eng, static_cast<int>(eng.restored_snapshot()->events), kEvents);
+    EXPECT_NO_THROW(eng.finalize()) << "prefetch=" << prefetch;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace reomp::core

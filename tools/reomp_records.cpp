@@ -6,20 +6,30 @@
 //   reomp_records verify <dir>                integrity check: manifest
 //                                             completeness, every chunk CRC,
 //                                             stream-vs-manifest accounting;
+//                                             for windowed recordings also
+//                                             snapshot CRCs, ring contiguity,
+//                                             and cross-segment seq ordinals;
 //                                             exit nonzero on any damage
+//   reomp_records windows <dir>               flight-recorder window listing:
+//                                             per-window snapshot status and
+//                                             chunk/byte/entry accounting
 //
 // Works on anything a record run produced: ST shared streams or DC/DE
-// per-thread streams.
+// per-thread streams, single-segment or windowed layouts.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/trace/byte_io.hpp"
 #include "src/trace/manifest.hpp"
 #include "src/trace/record_stream.hpp"
+#include "src/trace/snapshot.hpp"
 #include "src/trace/trace_dir.hpp"
 #include "src/trace/trace_error.hpp"
 
@@ -32,8 +42,27 @@ int usage() {
                "usage: reomp_records info <dir>\n"
                "       reomp_records dump <dir> [tid] [limit]\n"
                "       reomp_records hist <dir>\n"
-               "       reomp_records verify <dir>\n");
+               "       reomp_records verify <dir>\n"
+               "       reomp_records windows <dir>\n");
   return 2;
+}
+
+/// Stream-name -> window segment path ("shared" or "t<k>").
+std::string window_stream_path(const std::string& dir, const std::string& name,
+                               std::uint64_t w) {
+  if (name == "shared") return trace::shared_window_file_path(dir, w);
+  return trace::thread_window_file_path(
+      dir, static_cast<std::uint32_t>(std::stoul(name.substr(1))), w);
+}
+
+/// Names of the streams a recording carries, in display order.
+std::vector<std::string> stream_names(const trace::Manifest& m) {
+  if (m.strategy == "st") return {"shared"};
+  std::vector<std::string> names;
+  for (std::uint32_t t = 0; t < m.num_threads; ++t) {
+    names.push_back("t" + std::to_string(t));
+  }
+  return names;
 }
 
 std::map<std::uint32_t, std::string> gate_names(const trace::Manifest& m) {
@@ -72,6 +101,13 @@ int cmd_info(const std::string& dir) {
     std::printf("    [%u] %s\n", id, name.c_str());
   }
 
+  if (manifest->windowed) {
+    std::printf("  windows:     [%llu, %llu] live (see 'windows' for the "
+                "per-window breakdown)\n",
+                static_cast<unsigned long long>(manifest->window_first),
+                static_cast<unsigned long long>(manifest->window_open));
+    return 0;
+  }
   std::printf("  streams:\n");
   if (manifest->strategy == "st") {
     const std::string path = trace::shared_file_path(dir);
@@ -166,6 +202,172 @@ bool verify_stream(const trace::Manifest& m, const std::string& name,
   return ok;
 }
 
+/// Windowed verify: walk every live window of every stream with the
+/// CRC-checking reader, carrying the global entry ordinal across segment
+/// boundaries so a dropped/reordered/truncated segment surfaces as a seq
+/// discontinuity; CRC-check every snapshot and cross-check its per-stream
+/// bases against the carried ordinals; check the manifest's window table
+/// covers exactly the live ring. Debris (atomic-write temps, reaped-window
+/// leftovers from an interrupted reap) is reported but is not damage —
+/// replay never reads unreferenced files.
+bool verify_windowed(const trace::Manifest& m, const std::string& dir) {
+  bool ok = true;
+  const std::uint64_t first = m.window_first;
+  const std::uint64_t open = m.window_open;
+  std::printf("  windows:   [%llu, %llu] live\n",
+              static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(open));
+  if (first > open) {
+    std::printf("  ring:      BROKEN (window_first > window_open)\n");
+    return false;
+  }
+  // Manifest window-table contiguity: stats for exactly [first, open].
+  for (std::uint64_t w = first; w <= open; ++w) {
+    if (m.windows.find(w) == m.windows.end()) {
+      std::printf("  ring:      window %llu has no stats in the manifest\n",
+                  static_cast<unsigned long long>(w));
+      ok = false;
+    }
+  }
+  for (const auto& [w, stats] : m.windows) {
+    if (w < first || w > open) {
+      std::printf("  ring:      manifest lists reaped/unknown window %llu\n",
+                  static_cast<unsigned long long>(w));
+      ok = false;
+    }
+  }
+
+  // Snapshots: window 0 is the implicit zero state; every other live
+  // window must have a CRC-clean checkpoint claiming its index.
+  std::map<std::uint64_t, trace::Snapshot> snaps;
+  for (std::uint64_t w = (first > 0 ? first : 1); w <= open; ++w) {
+    const std::string path = trace::snapshot_path(dir, w);
+    try {
+      trace::Snapshot s = trace::Snapshot::load(path);
+      if (s.window != w) {
+        std::printf("  snap.w%-4llu BAD: claims window %llu\n",
+                    static_cast<unsigned long long>(w),
+                    static_cast<unsigned long long>(s.window));
+        ok = false;
+        continue;
+      }
+      std::printf("  snap.w%-4llu OK  events=%llu\n",
+                  static_cast<unsigned long long>(w),
+                  static_cast<unsigned long long>(s.events));
+      snaps.emplace(w, std::move(s));
+    } catch (const trace::TraceError& e) {
+      std::printf("  snap.w%-4llu %s: %s\n",
+                  static_cast<unsigned long long>(w),
+                  std::string(to_string(e.kind())).c_str(), e.what());
+      ok = false;
+    }
+  }
+
+  for (const std::string& name : stream_names(m)) {
+    std::uint64_t expect = 0;  // global entry ordinal carried across windows
+    if (first > 0) {
+      const auto it = snaps.find(first);
+      if (it == snaps.end()) {
+        std::printf("  %-10s UNCHECKABLE: start snapshot unreadable\n",
+                    name.c_str());
+        ok = false;
+        continue;
+      }
+      expect = it->second.stream_base(name);
+    }
+    for (std::uint64_t w = first; w <= open; ++w) {
+      const std::string label = name + ".w" + std::to_string(w);
+      if (w > first) {
+        // Each later snapshot's recorded base must equal the ordinal the
+        // sealed prefix actually reached.
+        if (const auto it = snaps.find(w);
+            it != snaps.end() && it->second.stream_base(name) != expect) {
+          std::printf("  %-10s snapshot base %llu != stream ordinal %llu\n",
+                      label.c_str(),
+                      static_cast<unsigned long long>(
+                          it->second.stream_base(name)),
+                      static_cast<unsigned long long>(expect));
+          ok = false;
+        }
+      }
+      const std::string path = window_stream_path(dir, name, w);
+      if (!trace::file_exists(path)) {
+        std::printf("  %-10s MISSING%s\n", label.c_str(),
+                    w == open ? " (open window; recorder died before the "
+                                "segment reopened)"
+                              : "");
+        ok = false;
+        continue;
+      }
+      const auto file_bytes =
+          static_cast<std::uint64_t>(std::filesystem::file_size(path));
+      std::uint64_t entries = 0;
+      std::uint64_t chunks = 0;
+      try {
+        std::vector<std::unique_ptr<trace::ByteSource>> segs;
+        segs.push_back(std::make_unique<trace::FileSource>(path));
+        trace::RecordReader reader(std::move(segs), false, expect);
+        while (reader.next().has_value()) ++entries;
+        chunks = reader.chunks();
+      } catch (const trace::TraceError& e) {
+        std::printf("  %-10s %8llu bytes  DAMAGED (%s): %s\n", label.c_str(),
+                    static_cast<unsigned long long>(file_bytes),
+                    std::string(to_string(e.kind())).c_str(), e.what());
+        ok = false;
+        continue;
+      }
+      std::string note = "OK";
+      const auto wit = m.windows.find(w);
+      if (wit != m.windows.end()) {
+        if (const auto sit = wit->second.find(name);
+            sit != wit->second.end()) {
+          const trace::Manifest::StreamStat& s = sit->second;
+          if (s.entries != entries || s.chunks != chunks ||
+              s.bytes != file_bytes) {
+            note = "MANIFEST MISMATCH (recorded " + std::to_string(s.chunks) +
+                   " chunks, " + std::to_string(s.bytes) + " bytes, " +
+                   std::to_string(s.entries) + " entries)";
+            ok = false;
+          }
+        } else {
+          note = "not listed in manifest window table";
+          ok = false;
+        }
+      }
+      std::printf("  %-10s %8llu bytes  %6llu chunks  %10llu entries  %s\n",
+                  label.c_str(), static_cast<unsigned long long>(file_bytes),
+                  static_cast<unsigned long long>(chunks),
+                  static_cast<unsigned long long>(entries), note.c_str());
+      expect += entries;
+    }
+  }
+
+  // Debris scan: harmless, but worth surfacing — temps mean a writer died
+  // mid-atomic-write; expired files mean a reap was interrupted.
+  std::uint64_t tmps = 0;
+  std::uint64_t expired = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string fname = entry.path().filename().string();
+    if (fname.size() > 4 && fname.rfind(".tmp") == fname.size() - 4) {
+      ++tmps;
+      continue;
+    }
+    if (const auto idx = trace::parse_window_index(fname);
+        idx && *idx < first) {
+      ++expired;
+    }
+  }
+  if (tmps != 0 || expired != 0) {
+    std::printf("  debris:    %llu .tmp file(s), %llu reaped-window "
+                "leftover(s) (unreferenced; a new recording removes them)\n",
+                static_cast<unsigned long long>(tmps),
+                static_cast<unsigned long long>(expired));
+  }
+  return ok;
+}
+
 int cmd_verify(const std::string& dir) {
   auto manifest = trace::Manifest::load(trace::manifest_path(dir));
   if (!manifest) {
@@ -179,7 +381,9 @@ int cmd_verify(const std::string& dir) {
               manifest->num_threads,
               manifest->complete ? "complete" : "INCOMPLETE");
   if (!manifest->complete) ok = false;
-  if (manifest->strategy == "st") {
+  if (manifest->windowed) {
+    ok &= verify_windowed(*manifest, dir);
+  } else if (manifest->strategy == "st") {
     ok &= verify_stream(*manifest, "shared", trace::shared_file_path(dir));
   } else {
     for (std::uint32_t t = 0; t < manifest->num_threads; ++t) {
@@ -189,6 +393,69 @@ int cmd_verify(const std::string& dir) {
   }
   std::printf("  verdict:   %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
+}
+
+int cmd_windows(const std::string& dir) {
+  auto manifest = trace::Manifest::load(trace::manifest_path(dir));
+  if (!manifest) {
+    std::fprintf(stderr, "no readable manifest in '%s'\n", dir.c_str());
+    return 1;
+  }
+  if (!manifest->windowed) {
+    std::fprintf(stderr,
+                 "'%s' is not a windowed recording (record with "
+                 "REOMP_TRACE_WINDOW_EVENTS to enable the flight recorder)\n",
+                 dir.c_str());
+    return 1;
+  }
+  const std::uint64_t first = manifest->window_first;
+  const std::uint64_t open = manifest->window_open;
+  std::printf("record directory: %s\n", dir.c_str());
+  std::printf("  strategy:  %s, %u threads, %s\n", manifest->strategy.c_str(),
+              manifest->num_threads,
+              manifest->complete ? "complete" : "INCOMPLETE");
+  std::printf("  windows:   [%llu, %llu] live (%llu sealed + 1 open)\n",
+              static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(open),
+              static_cast<unsigned long long>(open - first));
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_entries = 0;
+  for (std::uint64_t w = first; w <= open; ++w) {
+    std::printf("  window %llu%s:\n", static_cast<unsigned long long>(w),
+                w == open ? " (open)" : "");
+    if (w == 0) {
+      std::printf("    snapshot  (implicit zero state)\n");
+    } else {
+      try {
+        const trace::Snapshot s =
+            trace::Snapshot::load(trace::snapshot_path(dir, w));
+        std::printf("    snapshot  OK  events=%llu\n",
+                    static_cast<unsigned long long>(s.events));
+      } catch (const trace::TraceError& e) {
+        std::printf("    snapshot  %s: %s\n",
+                    std::string(to_string(e.kind())).c_str(), e.what());
+      }
+    }
+    const auto wit = manifest->windows.find(w);
+    if (wit == manifest->windows.end()) {
+      std::printf("    (no stats in manifest)\n");
+      continue;
+    }
+    for (const auto& [name, s] : wit->second) {
+      const std::string path = window_stream_path(dir, name, w);
+      std::printf("    %-8s %8llu bytes  %4llu chunks  %8llu entries%s\n",
+                  name.c_str(), static_cast<unsigned long long>(s.bytes),
+                  static_cast<unsigned long long>(s.chunks),
+                  static_cast<unsigned long long>(s.entries),
+                  trace::file_exists(path) ? "" : "  [file missing]");
+      total_bytes += s.bytes;
+      total_entries += s.entries;
+    }
+  }
+  std::printf("  total:     %llu bytes, %llu entries retained\n",
+              static_cast<unsigned long long>(total_bytes),
+              static_cast<unsigned long long>(total_entries));
+  return 0;
 }
 
 int cmd_hist(const std::string& dir) {
@@ -225,6 +492,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "hist") return cmd_hist(dir);
     if (cmd == "verify") return cmd_verify(dir);
+    if (cmd == "windows") return cmd_windows(dir);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
