@@ -36,6 +36,11 @@
 // oversubscribed host auto's parking is the difference between finishing
 // and livelocking (ROADMAP's 1-core TSAN hang).
 //
+// Every cell also runs with the replay stall supervisor on (the default
+// 30 s deadline) and off (timeout 0), quantifying the monitor thread +
+// wait-site telemetry tax — the acceptance gate is supervisor-on within
+// 2% of supervisor-off on the contended drive rate.
+//
 // --smoke shrinks iteration counts and exits nonzero if any configuration
 // fails to replay to completion, reports a total_events different from the
 // record run, or lands on the wrong data path (prefetch admission);
@@ -78,6 +83,10 @@ struct Config {
   bool from_file;
   std::uint32_t threads;
   WaitPolicy wait;
+  // Replay stall supervisor on (default timeout) vs off: quantifies the
+  // monitor thread's tax on the replay hot path — the wait-site telemetry
+  // the supervised run samples is published by the waiters either way.
+  bool supervise = true;
 };
 
 struct Timing {
@@ -154,6 +163,7 @@ Timing replay_once(const Config& cfg, std::uint64_t iters,
   opt.num_threads = cfg.threads;
   opt.replay_prefetch = cfg.prefetch;
   opt.wait_policy = cfg.wait;
+  opt.replay_stall_timeout_ms = cfg.supervise ? 30'000 : 0;
   if (cfg.from_file) {
     opt.dir = dir;
   } else {
@@ -268,8 +278,8 @@ int main(int argc, char** argv) {
   const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
 
   std::vector<Result> results;
-  std::printf("%-4s %-10s %-7s %8s %6s %14s %10s\n", "strat", "path", "sink",
-              "threads", "wait", "events/sec", "setup-ms");
+  std::printf("%-4s %-10s %-7s %8s %6s %4s %14s %10s\n", "strat", "path",
+              "sink", "threads", "wait", "sup", "events/sec", "setup-ms");
   std::vector<std::uint32_t> thread_counts{1};
   if (max_threads > 1) thread_counts.push_back(max_threads);
   for (const std::uint32_t threads : thread_counts) {
@@ -291,30 +301,33 @@ int main(int argc, char** argv) {
                         threads, to_string(wait).data());
             continue;
           }
-          double base = 0;
-          for (const bool prefetch : {false, true}) {
-            const Config cfg{s, prefetch, from_file, threads, wait};
-            Timing best;
-            best.setup_secs = 1e9;
-            for (int r = 0; r < reps; ++r) {
-              const Timing t =
-                  replay_once(cfg, iters, dir, bundle, recorded_events, &ok);
-              best.drive_eps = std::max(best.drive_eps, t.drive_eps);
-              best.total_eps = std::max(best.total_eps, t.total_eps);
-              best.setup_secs = std::min(best.setup_secs, t.setup_secs);
-            }
-            results.push_back({cfg, best, recorded_events});
-            std::printf("%-4s %-10s %-7s %8u %6s %14.0f %10.2f",
-                        to_string(s).data(), path_name(prefetch),
-                        sink_name(from_file), threads,
-                        to_string(wait).data(), best.drive_eps,
-                        best.setup_secs * 1e3);
-            if (!prefetch) {
-              base = best.drive_eps;
-              std::printf("\n");
-            } else {
-              std::printf("  (%.2fx vs streaming)\n",
-                          best.drive_eps / (base > 0 ? base : 1e-9));
+          for (const bool supervise : {true, false}) {
+            double base = 0;
+            for (const bool prefetch : {false, true}) {
+              const Config cfg{s, prefetch, from_file, threads, wait,
+                               supervise};
+              Timing best;
+              best.setup_secs = 1e9;
+              for (int r = 0; r < reps; ++r) {
+                const Timing t =
+                    replay_once(cfg, iters, dir, bundle, recorded_events, &ok);
+                best.drive_eps = std::max(best.drive_eps, t.drive_eps);
+                best.total_eps = std::max(best.total_eps, t.total_eps);
+                best.setup_secs = std::min(best.setup_secs, t.setup_secs);
+              }
+              results.push_back({cfg, best, recorded_events});
+              std::printf("%-4s %-10s %-7s %8u %6s %4s %14.0f %10.2f",
+                          to_string(s).data(), path_name(prefetch),
+                          sink_name(from_file), threads,
+                          to_string(wait).data(), supervise ? "on" : "off",
+                          best.drive_eps, best.setup_secs * 1e3);
+              if (!prefetch) {
+                base = best.drive_eps;
+                std::printf("\n");
+              } else {
+                std::printf("  (%.2fx vs streaming)\n",
+                            best.drive_eps / (base > 0 ? base : 1e-9));
+              }
             }
           }
         }
@@ -336,7 +349,8 @@ int main(int argc, char** argv) {
         << "\", \"sink\": \"" << sink_name(r.cfg.from_file)
         << "\", \"threads\": " << r.cfg.threads
         << ", \"wait\": \"" << to_string(r.cfg.wait)
-        << "\", \"events_per_sec\": "
+        << "\", \"supervisor\": " << (r.cfg.supervise ? "true" : "false")
+        << ", \"events_per_sec\": "
         << static_cast<std::uint64_t>(r.best.drive_eps)
         << ", \"events_per_sec_with_setup\": "
         << static_cast<std::uint64_t>(r.best.total_eps)

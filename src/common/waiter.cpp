@@ -48,6 +48,60 @@ bool ThreadCensus::oversubscribed() noexcept {
   return live() > hardware_cpus();
 }
 
+namespace wait_detail {
+
+namespace {
+// Threads inside a timed abortable park. Relaxed on both sides: a wake
+// lost to the resulting races only costs the parker its timeout slice.
+std::atomic<std::uint32_t> g_timed_parked{0};
+}  // namespace
+
+bool any_timed_parked() noexcept {
+  return g_timed_parked.load(std::memory_order_relaxed) != 0;
+}
+
+void timed_parked_enter() noexcept {
+  g_timed_parked.fetch_add(1, std::memory_order_relaxed);
+}
+
+void timed_parked_exit() noexcept {
+  g_timed_parked.fetch_sub(1, std::memory_order_relaxed);
+}
+
+#if defined(__linux__)
+
+void timed_park_u32(const void* addr, std::uint32_t observed,
+                    std::chrono::nanoseconds timeout) noexcept {
+  if (timeout.count() <= 0) return;
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout.count() / 1'000'000'000);
+  ts.tv_nsec = static_cast<long>(timeout.count() % 1'000'000'000);
+  // The kernel re-checks *addr == observed under its own lock, so a wake
+  // racing this call is never lost; EAGAIN / EINTR / ETIMEDOUT all just
+  // return to the caller's re-check loop.
+  syscall(SYS_futex, addr, FUTEX_WAIT_PRIVATE, observed, &ts, nullptr, 0);
+}
+
+void wake_u32(const void* addr) noexcept {
+  syscall(SYS_futex, addr, FUTEX_WAKE_PRIVATE, INT_MAX, nullptr, nullptr, 0);
+}
+
+#else  // !__linux__
+
+void timed_park_u32(const void* /*addr*/, std::uint32_t /*observed*/,
+                    std::chrono::nanoseconds timeout) noexcept {
+  // No portable timed wait on a foreign atomic: a bounded sleep preserves
+  // the contract (the caller re-checks word and abort every slice), at the
+  // cost of slice-granular wake latency while parked.
+  std::this_thread::sleep_for(timeout);
+}
+
+void wake_u32(const void* /*addr*/) noexcept {}
+
+#endif
+
+}  // namespace wait_detail
+
 #if defined(__linux__)
 
 namespace {

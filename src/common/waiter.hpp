@@ -37,6 +37,7 @@
 //    writer's idle poll): timed futex on Linux, mutex+cv elsewhere.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -152,6 +153,53 @@ class ThreadCensus {
   };
 };
 
+/// Internals of the *timed* abortable park (see pause_wait_or_abort).
+/// std::atomic::wait is a predicate wait — notified waiters re-check the
+/// word inside the library and RE-PARK while it is unchanged, so an
+/// untimed park can never be interrupted by a side-channel abort word, no
+/// matter how often the publisher re-notifies. Abortable parks therefore
+/// use a raw timed futex (Linux; bounded sleep elsewhere) on a 32-bit
+/// slice of the watched word, re-polling the abort word each slice.
+namespace wait_detail {
+
+/// Park while the 32-bit word at `addr` equals `observed`, for at most
+/// `timeout`. Spurious returns allowed; the caller re-checks everything.
+void timed_park_u32(const void* addr, std::uint32_t observed,
+                    std::chrono::nanoseconds timeout) noexcept;
+
+/// FUTEX_WAKE every timed parker on `addr` (no-op off Linux: the fallback
+/// park is a plain bounded sleep that needs no wake).
+void wake_u32(const void* addr) noexcept;
+
+/// Global count of threads currently inside a timed abortable park. Gates
+/// the publish-side wake_u32 syscall: publishers skip it (one relaxed
+/// load) unless somebody might actually be parked this way.
+[[nodiscard]] bool any_timed_parked() noexcept;
+void timed_parked_enter() noexcept;
+void timed_parked_exit() noexcept;
+
+/// The futex'able 32-bit slice of a watched word: the word itself for
+/// 4-byte atomics, the low half for 8-byte ones (offset 4 on big-endian).
+/// Slice aliasing — a word change the slice doesn't see — only costs the
+/// parker its timeout slice, never correctness.
+template <typename T>
+inline const void* futex_slice(const std::atomic<T>& word) noexcept {
+  static_assert(sizeof(T) == 4 || sizeof(T) == 8,
+                "abortable waits park on 32- or 64-bit words");
+  const auto* p = reinterpret_cast<const unsigned char*>(&word);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  if constexpr (sizeof(T) == 8) p += 4;
+#endif
+  return p;
+}
+
+template <typename T>
+inline std::uint32_t value_slice(T v) noexcept {
+  return static_cast<std::uint32_t>(v);  // low 32 bits
+}
+
+}  // namespace wait_detail
+
 /// One wait episode's pacing state. Construct (or reset()) per episode.
 class Waiter {
  public:
@@ -246,6 +294,78 @@ class Waiter {
     return cur;
   }
 
+  /// pause_wait with a cooperative-abort word: polls `abort` around the
+  /// pause so a poisoned wait unwinds instead of parking forever. Returns
+  /// true the moment `abort` reads nonzero (checked before the first pause
+  /// too, so a pre-poisoned wait never parks at all).
+  ///
+  /// Abort contract: the pre-park phases re-poll `abort` every call, and
+  /// the park phase is TIMED (escalating slice, capped at kParkSliceMaxUs)
+  /// — std::atomic::wait would re-park internally while `word` is
+  /// unchanged and never resurface for the abort check, so abortable
+  /// waiters must not use it. The timeout alone bounds abort latency;
+  /// publishers still notify(word) after abort-relevant stores
+  /// (Engine::poison_replay's wake storm, the stall supervisor's
+  /// poisoned-tick broadcast) purely to cut that latency from a slice to
+  /// a syscall (see src/common/README.md, "Cooperative abort").
+  template <typename T>
+  [[nodiscard]] bool pause_wait_or_abort(
+      const std::atomic<T>& word, T observed,
+      const std::atomic<std::uint32_t>& abort) noexcept {
+    if (abort.load(std::memory_order_acquire) != 0) return true;
+    if (would_park()) {
+      wait_detail::timed_parked_enter();
+      // Re-validate under the parked count so a concurrent publisher either
+      // sees the count and wakes us, or published before this check. A wake
+      // lost to reordering (publishers are not fenced) only costs the
+      // remaining slice.
+      if (word.load(std::memory_order_acquire) == observed &&
+          abort.load(std::memory_order_acquire) == 0) {
+        wait_detail::timed_park_u32(wait_detail::futex_slice(word),
+                                    wait_detail::value_slice(observed),
+                                    std::chrono::microseconds(park_slice_us_));
+      }
+      wait_detail::timed_parked_exit();
+      park_slice_us_ = std::min(park_slice_us_ * 2, kParkSliceMaxUs);
+    } else {
+      pause_wait(word, observed);  // pre-park phase: spin/yield, never parks
+    }
+    return abort.load(std::memory_order_acquire) != 0;
+  }
+
+  /// wait_until_changed under the same abort contract: returns the changed
+  /// value, or nullopt when the abort word fired first.
+  template <typename T>
+  [[nodiscard]] static std::optional<T> wait_until_changed_or_abort(
+      const std::atomic<T>& word, T observed,
+      const std::atomic<std::uint32_t>& abort,
+      WaitPolicy policy = WaitPolicy::kAuto) noexcept {
+    Waiter w(policy);
+    T cur = word.load(std::memory_order_acquire);
+    while (cur == observed) {
+      if (w.pause_wait_or_abort(word, observed, abort)) return std::nullopt;
+      cur = word.load(std::memory_order_acquire);
+    }
+    return cur;
+  }
+
+  /// Whether the NEXT pause_wait on this episode would futex-park (a
+  /// parking policy whose pre-park phase is exhausted). A telemetry hint
+  /// for the replay stall supervisor's wait-site records — advisory, never
+  /// a correctness input.
+  [[nodiscard]] bool would_park() noexcept {
+    switch (policy_) {
+      case WaitPolicy::kBlock:
+        return round_ >= kSpinRounds;
+      case WaitPolicy::kAuto: {
+        const std::uint32_t spin = spin_limit();
+        return round_ >= spin + (spin != 0 ? kYieldRounds : kYieldRoundsOversub);
+      }
+      default:
+        return false;
+    }
+  }
+
   /// Wake every waiter parked on `word`. Publish sites call this after the
   /// store a waiter may be parked on. Cheap when nobody is parked: the
   /// standard library keeps a per-address waiter count and skips the futex
@@ -254,6 +374,16 @@ class Waiter {
   template <typename T>
   static void notify(std::atomic<T>& word) noexcept {
     word.notify_all();
+    // Timed abortable parkers wait on a raw futex slice that notify_all
+    // does not reach for 8-byte words (libstdc++ proxies those). Gated on
+    // the global parked count so the common publish pays one relaxed load.
+    // Other widths (the spinlock's bool) can never have a timed parker —
+    // pause_wait_or_abort only accepts 32/64-bit words.
+    if constexpr (sizeof(T) == 4 || sizeof(T) == 8) {
+      if (wait_detail::any_timed_parked()) {
+        wait_detail::wake_u32(wait_detail::futex_slice(word));
+      }
+    }
   }
 
   /// Whether a waiter under `policy` may park — i.e. whether the matching
@@ -269,6 +399,7 @@ class Waiter {
   void reset() noexcept {
     round_ = 0;
     census_checked_ = false;
+    park_slice_us_ = kParkSliceMinUs;
   }
 
   [[nodiscard]] std::uint32_t rounds() const noexcept { return round_; }
@@ -283,6 +414,11 @@ class Waiter {
   static constexpr std::uint32_t kYieldRounds = 16;
   static constexpr std::uint32_t kYieldRoundsOversub = 2;
   static constexpr std::uint32_t kMaxRound = 64;
+  // Abortable-park slice escalation: the first parks stay short so a
+  // normal handoff that raced the park resumes quickly; the cap bounds
+  // both abort-detection latency and the slice lost to a missed wake.
+  static constexpr std::uint32_t kParkSliceMinUs = 100;
+  static constexpr std::uint32_t kParkSliceMaxUs = 2000;
 
   void spin_round() noexcept {
     const std::uint32_t spins =
@@ -307,6 +443,7 @@ class Waiter {
   WaitPolicy policy_;
   std::uint32_t round_ = 0;
   std::uint32_t spin_limit_ = kSpinRounds;
+  std::uint32_t park_slice_us_ = kParkSliceMinUs;
   bool census_checked_ = false;
 };
 

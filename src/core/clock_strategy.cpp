@@ -149,7 +149,7 @@ void ClockStrategyBase::replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
     if (e.gate != gid) {
       engine_.diverged("thread " + std::to_string(t.tid) + " is at gate '" +
                        g.name + "' but its record expects gate '" +
-                       engine_.gate_ref(e.gate).name + "'");
+                       engine_.gate_name_or(e.gate) + "'");
     }
     t.replay_epoch_size =
         s.epoch_size.empty() ? 0 : s.epoch_size[s.pos];
@@ -165,18 +165,27 @@ void ClockStrategyBase::replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
     if (entry->gate != gid) {
       engine_.diverged("thread " + std::to_string(t.tid) + " is at gate '" +
                        g.name + "' but its record expects gate '" +
-                       engine_.gate_ref(entry->gate).name + "'");
+                       engine_.gate_name_or(entry->gate) + "'");
     }
     value = entry->value;
   }
   // Fig. 5 line 32: wait for our turn. next_clock counts completed gate
   // executions, so `>= value` admits every member of the current epoch at
   // once (DE) and exactly one access at a time for unique values (DC).
+  // The wait slow path publishes a wait-site record for the stall
+  // supervisor and polls the engine poison word so a poisoned replay
+  // unwinds instead of waiting for a clock nobody will publish.
   std::uint64_t seen = g.next_clock->load(std::memory_order_acquire);
   if (seen < value) {
+    WaitScope site(t.telemetry);
+    site.arm(WaitKind::kClockGate, gid, value, wait_policy_, seen);
     Waiter waiter(wait_policy_);
     do {
-      waiter.pause_wait(*g.next_clock, seen);
+      site.poll(seen, waiter.would_park());
+      if (waiter.pause_wait_or_abort(*g.next_clock, seen,
+                                     engine_.poison_word())) {
+        engine_.throw_poisoned(t.tid);
+      }
     } while ((seen = g.next_clock->load(std::memory_order_acquire)) < value);
   }
 }

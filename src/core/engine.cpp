@@ -1,11 +1,16 @@
 #include "src/core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <utility>
 
 #include "src/common/log.hpp"
+#include "src/common/waiter.hpp"
+#include "src/core/stall_supervisor.hpp"
+#include "src/trace/fault_injection.hpp"
 #include "src/trace/trace_dir.hpp"
 #include "src/trace/trace_error.hpp"
 
@@ -91,6 +96,13 @@ Engine::Engine(Options opt) : opt_(std::move(opt)) {
   }
   if (opt_.mode != Mode::kOff) {
     strategy_ = make_strategy(opt_.strategy, *this);
+  }
+  if (opt_.mode == Mode::kReplay && opt_.replay_stall_timeout_ms > 0) {
+    // Started last: everything the monitor samples (thread telemetry and
+    // decoded totals, the gate table, the ST channel) is in place, and a
+    // throwing constructor can never leave a live monitor behind.
+    supervisor_ = std::make_unique<StallSupervisor>(
+        *this, opt_.replay_stall_timeout_ms, opt_.replay_stall_grace_ms);
   }
 }
 
@@ -466,6 +478,13 @@ void Engine::reap_expired_windows() {
 }
 
 void Engine::open_replay_streams() {
+  // Schedule-mutation fault injection (REOMP_FI_SCHEDULE): armed from the
+  // environment here so the fuzz matrix needs no code hooks. Prefetch
+  // paths mutate the decoded entry vectors below; streaming RecordReaders
+  // (including the pre-scan probes, so counts stay consistent) apply the
+  // same mutation internally at the same stream-wide ordinal.
+  trace::fi::schedule_arm_from_env();
+  const trace::fi::ScheduleFault sched_fault = trace::fi::schedule_fault();
   const bool from_file = !opt_.dir.empty();
   if (from_file) {
     auto m = trace::Manifest::load(trace::manifest_path(opt_.dir));
@@ -573,7 +592,9 @@ void Engine::open_replay_streams() {
       scratch = std::make_unique<trace::MemorySource>(*mem);
     }
     trace::RecordReader probe(*scratch, opt_.replay_salvage);
-    if (probe.probe_format() != trace::ContainerFormat::kV2) return;
+    if (probe.probe_format() != trace::ContainerFormat::kV2) {
+      return WaitTelemetry::kUnknownTotal;  // v1: stays lazily decoded
+    }
     std::uint64_t entries = 0;
     while (probe.next().has_value()) ++entries;
     if (opt_.replay_salvage) {
@@ -585,6 +606,7 @@ void Engine::open_replay_streams() {
                        << probe.dropped_bytes() << " torn tail bytes";
       }
     }
+    return entries;
   };
 
   if (opt_.strategy == Strategy::kST) {
@@ -605,9 +627,10 @@ void Engine::open_replay_streams() {
     // Bulk-decode the shared stream once, then hand every thread its own
     // ordinal positions: thread t's k-th entry is (gate, global sequence
     // number), so replay needs no shared cursor at all.
-    const trace::DecodedSchedule global = decode_stream(
+    trace::DecodedSchedule global = decode_stream(
         trace::shared_file_path(opt_.dir),
         from_file ? nullptr : &opt_.bundle->shared_stream, stream_bytes[0]);
+    trace::fi::mutate_entries(global.entries, 0, sched_fault);
     note_salvage("shared", global);
     st_.total = global.entries.size();
     std::vector<std::size_t> counts(opt_.num_threads, 0);
@@ -631,6 +654,9 @@ void Engine::open_replay_streams() {
       threads_[static_cast<ThreadId>(e.value)]->sched.entries.push_back(
           {e.gate, i});
     }
+    for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+      threads_[tid]->telemetry.total = threads_[tid]->sched.entries.size();
+    }
     return;
   }
   for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
@@ -640,12 +666,14 @@ void Engine::open_replay_streams() {
                               from_file ? nullptr
                                         : &opt_.bundle->thread_streams.at(tid),
                               stream_bytes[tid]);
+      trace::fi::mutate_entries(t.sched.entries, 0, sched_fault);
       note_salvage("t" + std::to_string(tid), t.sched);
+      t.telemetry.total = t.sched.entries.size();
       continue;
     }
-    prescan_stream("t" + std::to_string(tid),
-                   trace::thread_file_path(opt_.dir, tid),
-                   from_file ? nullptr : &opt_.bundle->thread_streams.at(tid));
+    t.telemetry.total = prescan_stream(
+        "t" + std::to_string(tid), trace::thread_file_path(opt_.dir, tid),
+        from_file ? nullptr : &opt_.bundle->thread_streams.at(tid));
     if (from_file) {
       t.source = std::make_unique<trace::FileSource>(
           trace::thread_file_path(opt_.dir, tid));
@@ -805,7 +833,9 @@ void Engine::open_windowed_replay_streams(const trace::Manifest& m) {
                        << probe->dropped_bytes() << " torn tail bytes";
       }
     }
+    return entries;
   };
+  const trace::fi::ScheduleFault sched_fault = trace::fi::schedule_fault();
 
   if (opt_.strategy == Strategy::kST) {
     const std::uint64_t base = snap.stream_base("shared");
@@ -814,7 +844,8 @@ void Engine::open_windowed_replay_streams(const trace::Manifest& m) {
       st_.reader = make_reader(streams[0], base);
       return;
     }
-    const trace::DecodedSchedule global = decode_segments(streams[0], base);
+    trace::DecodedSchedule global = decode_segments(streams[0], base);
+    trace::fi::mutate_entries(global.entries, base, sched_fault);
     note_salvage("shared", global);
     // Ordinal positions continue the global sequence: the decoded range
     // starts at entry `base`, and the completion counter starts there too,
@@ -841,6 +872,9 @@ void Engine::open_windowed_replay_streams(const trace::Manifest& m) {
       threads_[static_cast<ThreadId>(e.value)]->sched.entries.push_back(
           {e.gate, base + i});
     }
+    for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
+      threads_[tid]->telemetry.total = threads_[tid]->sched.entries.size();
+    }
     return;
   }
   for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
@@ -849,10 +883,12 @@ void Engine::open_windowed_replay_streams(const trace::Manifest& m) {
     const std::uint64_t base = snap.stream_base(name);
     if (replay_prefetched_) {
       t.sched = decode_segments(streams[tid], base);
+      trace::fi::mutate_entries(t.sched.entries, base, sched_fault);
       note_salvage(name, t.sched);
+      t.telemetry.total = t.sched.entries.size();
       continue;
     }
-    prescan(name, streams[tid], base);
+    t.telemetry.total = prescan(name, streams[tid], base);
     t.reader = make_reader(streams[tid], base);
   }
   if (opt_.strategy == Strategy::kDE && replay_prefetched_) {
@@ -970,6 +1006,82 @@ void Engine::diverged(const std::string& msg) const {
   throw ReplayDivergence(msg);
 }
 
+std::string Engine::gate_name_or(GateId gate) {
+  if (gate < gate_count()) return gates_[gate]->name;
+  return "<unregistered gate " + std::to_string(gate) + ">";
+}
+
+bool Engine::any_abortable_wait() const {
+  for (const auto& t : threads_) {
+    const auto k = static_cast<WaitKind>(
+        t->telemetry.kind.load(std::memory_order_acquire));
+    if (is_abortable(k)) return true;
+  }
+  return false;
+}
+
+void Engine::broadcast_replay_wakeups() {
+  const std::uint32_t n = gate_count();
+  for (GateId id = 0; id < n; ++id) {
+    Waiter::notify(*gates_[id]->next_clock);
+  }
+  Waiter::notify(*st_.seq);
+  Waiter::notify(st_.current);
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    hooks = wake_hooks_;  // run outside the lock: hooks may notify freely
+  }
+  for (const auto& hook : hooks) hook();
+}
+
+void Engine::add_replay_wake_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  wake_hooks_.push_back(std::move(hook));
+}
+
+void Engine::poison_replay(const std::string& reason) {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    if (poison_->load(std::memory_order_relaxed) == 0) {
+      poison_reason_ = reason;
+      poison_->store(1, std::memory_order_release);
+      first = true;
+    }
+  }
+  if (!first) {
+    // Already poisoned (the first reason wins); help wake stragglers.
+    broadcast_replay_wakeups();
+    return;
+  }
+  REOMP_LOG_ERROR << "replay poisoned: " << reason;
+  // The wake storm (publisher half of the Waiter abort contract): a waiter
+  // that passed its abort check just before the store above can park right
+  // through a single notify — the futex re-validates only the watched
+  // word. Re-notify until no abortable wait site remains armed, bounded by
+  // kStormRounds; the stall supervisor (when running) keeps broadcasting
+  // every tick after this returns for as long as the engine lives, so the
+  // bound only matters for supervisor-less poisoners (a dying romp worker
+  // under REOMP_REPLAY_STALL_TIMEOUT_MS=0).
+  constexpr int kStormRounds = 256;
+  for (int round = 0; round < kStormRounds; ++round) {
+    broadcast_replay_wakeups();
+    if (!any_abortable_wait()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void Engine::throw_poisoned(ThreadId tid) const {
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    reason = poison_reason_;
+  }
+  throw ReplayDivergence("thread " + std::to_string(tid) +
+                         " unwound from a poisoned replay: " + reason);
+}
+
 void Engine::finalize() {
   if (finalized_ || opt_.mode == Mode::kOff) {
     finalized_ = true;
@@ -979,6 +1091,10 @@ void Engine::finalize() {
   // replay divergence) must not run again from the destructor — the first
   // pass already tore down writers and reported the outcome.
   finalized_ = true;
+  // Stop the stall monitor before the replay-consumption checks below can
+  // throw: the latch keeps finalize from re-running, so this is the last
+  // chance to join a thread that samples engine state.
+  supervisor_.reset();
   if (opt_.mode == Mode::kRecord) {
     finalize_record();
   } else {

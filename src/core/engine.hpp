@@ -49,6 +49,8 @@ class ReplayDivergence : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+class StallSupervisor;
+
 class Engine {
  public:
   explicit Engine(Options opt);
@@ -80,6 +82,10 @@ class Engine {
       strategy_->record_gate_in(t, g, kind);
     } else {
       strategy_->replay_gate_in(t, g, gate, kind);
+      // Progress heartbeat for the stall supervisor: bumped the moment the
+      // wait (if any) is over, so a frozen sum means "no thread has cleared
+      // a gate since the last sample".
+      t.telemetry.beat_in();
     }
   }
 
@@ -98,6 +104,7 @@ class Engine {
     } else {
       strategy_->replay_gate_out(t, g, gate, kind);
       ++t.events;
+      t.telemetry.beat_out();
     }
   }
 
@@ -216,6 +223,52 @@ class Engine {
   [[nodiscard]] std::uint64_t total_events() const;
 
   [[noreturn]] void diverged(const std::string& msg) const;
+
+  // ---- replay stall supervision (see stall_supervisor.hpp) ----
+
+  /// True once this replay has been poisoned — by the stall supervisor
+  /// escalating a no-progress verdict, or by a peer thread dying
+  /// mid-region (romp::Team routes escaped exceptions here). Every
+  /// abortable replay wait polls this between pauses and unwinds via
+  /// throw_poisoned().
+  [[nodiscard]] bool replay_poisoned() const {
+    return poison_->load(std::memory_order_acquire) != 0;
+  }
+
+  /// The word abortable waits poll (Waiter::pause_wait_or_abort).
+  [[nodiscard]] const std::atomic<std::uint32_t>& poison_word() const {
+    return *poison_;
+  }
+
+  /// Latch `reason` (the first poison wins) and run a bounded wake storm
+  /// over every replay-visible waitable word, re-notifying until no
+  /// abortable wait site remains armed — the publisher half of the Waiter
+  /// abort contract. The stall supervisor (when running) keeps
+  /// broadcasting every tick after this returns, for stragglers that race
+  /// the storm's last round.
+  void poison_replay(const std::string& reason);
+
+  /// Unwind the calling replay thread with the structured verdict carrying
+  /// the latched poison reason.
+  [[noreturn]] void throw_poisoned(ThreadId tid) const;
+
+  /// One round of wakeups on every word a replay waiter can park on: all
+  /// gate clocks, the ST channel words, and every registered wake hook.
+  void broadcast_replay_wakeups();
+
+  /// Register an extra wake target for the poison storm (romp::Team's
+  /// join/barrier words live outside the engine). Register before threads
+  /// can park on the hooked words; hooks must stay valid until finalize.
+  void add_replay_wake_hook(std::function<void()> hook);
+
+  /// Whether any thread currently has an abortable wait site armed
+  /// (wait_telemetry.hpp). The storm/supervisor termination check.
+  [[nodiscard]] bool any_abortable_wait() const;
+
+  /// Gate name for diagnostics, tolerant of unregistered ids — a mutated
+  /// or corrupt schedule (REOMP_FI_SCHEDULE=gate@N) may name a gate that
+  /// was never registered, and a divergence message must not itself throw.
+  [[nodiscard]] std::string gate_name_or(GateId gate);
 
   // ---- internals shared with strategies ----
 
@@ -382,6 +435,18 @@ class Engine {
 
   EpochHistogram epoch_histogram_;
   bool finalized_ = false;
+
+  // ---- replay stall supervision state ----
+  // The poison word lives on its own cache line: every abortable wait
+  // polls it each pause round.
+  CachePadded<std::atomic<std::uint32_t>> poison_{};
+  mutable std::mutex poison_mu_;
+  std::string poison_reason_;  // under poison_mu_; set once, first wins
+  std::mutex wake_mu_;
+  std::vector<std::function<void()>> wake_hooks_;  // under wake_mu_
+  // Monitor thread (replay runs with replay_stall_timeout_ms > 0).
+  // Started last in the ctor, stopped first in finalize().
+  std::unique_ptr<StallSupervisor> supervisor_;
 };
 
 }  // namespace reomp::core

@@ -13,6 +13,7 @@
 #include "src/common/ticket_lock.hpp"
 #include "src/core/epoch_stats.hpp"
 #include "src/core/types.hpp"
+#include "src/core/wait_telemetry.hpp"
 #include "src/trace/decoded_schedule.hpp"
 #include "src/trace/record_stream.hpp"
 
@@ -119,6 +120,10 @@ struct ThreadCtx {
   std::uint32_t replay_epoch_size = 0;
 
   std::uint64_t events = 0;  // gate executions by this thread
+
+  /// Replay stall supervision: progress heartbeats plus the currently
+  /// armed wait site, sampled lock-free by the StallSupervisor.
+  WaitTelemetry telemetry;
 
   /// First hard I/O error latched by flush_resolved (empty = healthy).
   /// Only the ring's consumer writes it; Engine::finalize reads it after

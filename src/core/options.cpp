@@ -54,6 +54,21 @@ std::uint32_t env_capacity_strict(const char* name, std::uint32_t fallback) {
   return static_cast<std::uint32_t>(v);
 }
 
+/// Strict millisecond knob: like env_capacity_strict but an explicit 0 is
+/// ACCEPTED — it is the documented spelling for "supervision off", not a
+/// typo'd duration.
+std::uint32_t env_millis_strict(const char* name, std::uint32_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s->c_str(), &end, 10);
+  if (s->empty() || end == nullptr || *end != '\0' || v > (1ull << 30)) {
+    throw std::runtime_error(std::string(name) + "='" + *s +
+                             "' is not a millisecond count (0..2^30)");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
 }  // namespace
 
 Options Options::from_env(std::uint32_t num_threads) {
@@ -135,6 +150,10 @@ Options Options::from_env(std::uint32_t num_threads) {
       env_bool_strict("REOMP_REPLAY_PREFETCH", opt.replay_prefetch);
   opt.replay_mem_cap =
       env_bytes_strict("REOMP_REPLAY_MEM_CAP", opt.replay_mem_cap);
+  opt.replay_stall_timeout_ms = env_millis_strict(
+      "REOMP_REPLAY_STALL_TIMEOUT_MS", opt.replay_stall_timeout_ms);
+  opt.replay_stall_grace_ms = env_millis_strict("REOMP_REPLAY_STALL_GRACE_MS",
+                                                opt.replay_stall_grace_ms);
   return opt;
 }
 

@@ -180,6 +180,20 @@ struct Options {
   /// is refused (std::invalid_argument). Env: REOMP_REPLAY_FROM_WINDOW.
   std::uint32_t replay_from_window = 0;
 
+  /// Replay stall supervision (src/core/stall_supervisor.hpp): a replay
+  /// whose per-thread heartbeats freeze for this long while at least one
+  /// thread sits at an abortable wait is reported, and `grace` later
+  /// poisoned so every waiter unwinds with a structured ReplayDivergence
+  /// instead of hanging forever. 0 disables the supervisor entirely (no
+  /// monitor thread). Replay runs only; record/detect never supervise.
+  /// Env: REOMP_REPLAY_STALL_TIMEOUT_MS (explicit 0 = off).
+  std::uint32_t replay_stall_timeout_ms = 30000;
+
+  /// Grace period between the stall report and the poison: progress in
+  /// this window rescinds the report and nothing is aborted. 0 = poison
+  /// immediately at the deadline. Env: REOMP_REPLAY_STALL_GRACE_MS.
+  std::uint32_t replay_stall_grace_ms = 1000;
+
   /// Collect the epoch-size histogram (paper Fig. 20). Cheap; on by default.
   bool collect_epoch_stats = true;
 
@@ -203,6 +217,7 @@ struct Options {
   /// REOMP_RING_CAPACITY / REOMP_STAGING_CAPACITY /
   /// REOMP_TRACE_WINDOW_EVENTS / REOMP_TRACE_RETAIN_WINDOWS /
   /// REOMP_REPLAY_FROM_WINDOW /
+  /// REOMP_REPLAY_STALL_TIMEOUT_MS / REOMP_REPLAY_STALL_GRACE_MS /
   /// REOMP_REPLAY_PREFETCH / REOMP_REPLAY_MEM_CAP / REOMP_REPLAY_SALVAGE
   /// environment variables, mirroring the real tool's env-driven mode
   /// switch (paper §V). Invalid values for the wait-policy, trace-writer

@@ -82,21 +82,29 @@ void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
       engine_.diverged(
           "thread " + std::to_string(t.tid) + " is at gate '" +
           engine_.gate_ref(gid).name + "' but the record expects gate '" +
-          engine_.gate_ref(e.gate).name + "'");
+          engine_.gate_name_or(e.gate) + "'");
     }
     ++s.pos;
     const std::uint64_t turn = e.value;
     t.replay_turn = turn;
     std::uint64_t seen = st.seq->load(std::memory_order_acquire);
     if (seen < turn) {
+      WaitScope site(t.telemetry);
+      site.arm(WaitKind::kStSeq, gid, turn, wait_policy_, seen);
       Waiter waiter(wait_policy_);
       do {
-        waiter.pause_wait(*st.seq, seen);
+        site.poll(seen, waiter.would_park());
+        if (waiter.pause_wait_or_abort(*st.seq, seen, engine_.poison_word())) {
+          engine_.throw_poisoned(t.tid);
+        }
       } while ((seen = st.seq->load(std::memory_order_acquire)) < turn);
     }
     return;
   }
   const std::uint64_t me = Engine::StChannel::pack(gid, t.tid);
+  // Lazy wait-site publication: arm on the first pause only, so the
+  // my-turn fast path (cur == me on entry) pays nothing.
+  WaitScope site(t.telemetry);
   Waiter waiter(wait_policy_);
   for (;;) {
     const std::uint64_t cur = st.current.load(std::memory_order_acquire);
@@ -113,9 +121,13 @@ void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
         engine_.diverged(
             "thread " + std::to_string(t.tid) + " is at gate '" +
             engine_.gate_ref(gid).name + "' but the record expects gate '" +
-            engine_.gate_ref(Engine::StChannel::gate_of(cur)).name + "'");
+            engine_.gate_name_or(Engine::StChannel::gate_of(cur)) + "'");
       }
-      waiter.pause_wait(st.current, cur);
+      site.arm(WaitKind::kStCursor, gid, me, wait_policy_, cur);
+      site.poll(cur, waiter.would_park());
+      if (waiter.pause_wait_or_abort(st.current, cur, engine_.poison_word())) {
+        engine_.throw_poisoned(t.tid);
+      }
       continue;
     }
     // Fig. 4 lines 12-14: cursor empty — any thread may read the next
@@ -134,7 +146,11 @@ void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
       }
       st.cursor_lock.unlock();
     } else {
-      waiter.pause_wait(st.current, cur);
+      site.arm(WaitKind::kStCursor, gid, me, wait_policy_, cur);
+      site.poll(cur, waiter.would_park());
+      if (waiter.pause_wait_or_abort(st.current, cur, engine_.poison_word())) {
+        engine_.throw_poisoned(t.tid);
+      }
     }
   }
 }

@@ -1,0 +1,303 @@
+#include "src/core/stall_supervisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/log.hpp"
+#include "src/core/engine.hpp"
+#include "src/trace/trace_dir.hpp"
+
+namespace reomp::core {
+
+namespace {
+
+/// Sampling cadence: a quarter of the timeout so a stall is seen within
+/// one extra interval of deadline, clamped so tiny test timeouts don't
+/// busy-poll and huge production ones still notice a finalize promptly.
+std::chrono::milliseconds interval_for(std::uint32_t timeout_ms) {
+  return std::chrono::milliseconds(
+      std::clamp<std::uint32_t>(timeout_ms / 4, 10, 1000));
+}
+
+/// One seqlock-retried read of a thread's published wait site. The
+/// observed/parked fields are racy by design; everything else is retried
+/// to a consistent snapshot (bounded — after the retries, the last read
+/// stands: this is diagnostic-grade data).
+void read_site(const WaitTelemetry& w, StallSupervisor* /*tag*/,
+               std::uint8_t& kind, std::uint32_t& gate, std::uint64_t& expected,
+               std::uint8_t& policy, std::uint64_t& observed,
+               std::uint8_t& parked) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint32_t v1 = w.version.load(std::memory_order_acquire);
+    if ((v1 & 1u) != 0) continue;  // owner mid-publish; retry
+    kind = w.kind.load(std::memory_order_relaxed);
+    gate = w.gate.load(std::memory_order_relaxed);
+    expected = w.expected.load(std::memory_order_relaxed);
+    policy = w.policy.load(std::memory_order_relaxed);
+    observed = w.observed.load(std::memory_order_relaxed);
+    parked = w.parked.load(std::memory_order_relaxed);
+    const std::uint32_t v2 = w.version.load(std::memory_order_acquire);
+    if (v1 == v2) return;
+  }
+}
+
+}  // namespace
+
+StallSupervisor::StallSupervisor(Engine& engine, std::uint32_t timeout_ms,
+                                 std::uint32_t grace_ms)
+    : engine_(engine),
+      timeout_(timeout_ms),
+      grace_(grace_ms),
+      interval_(interval_for(timeout_ms)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+StallSupervisor::~StallSupervisor() { stop(); }
+
+void StallSupervisor::stop() {
+  stop_word_.store_and_wake(1);
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<StallSupervisor::Sample> StallSupervisor::sample_threads() {
+  const std::uint32_t n = engine_.options().num_threads;
+  std::vector<Sample> out(n);
+  for (std::uint32_t tid = 0; tid < n; ++tid) {
+    const WaitTelemetry& w = engine_.thread_ctx(tid).telemetry;
+    Sample& s = out[tid];
+    s.heartbeat = w.heartbeat.load(std::memory_order_relaxed);
+    s.consumed = w.consumed.load(std::memory_order_relaxed);
+    s.total = w.total;
+    std::uint8_t kind = 0;
+    std::uint32_t gate = kInvalidGate;
+    std::uint8_t policy = 0;
+    std::uint8_t parked = 0;
+    read_site(w, this, kind, gate, s.expected, policy, s.observed, parked);
+    s.kind = static_cast<WaitKind>(kind);
+    s.gate = gate;
+    s.policy = static_cast<WaitPolicy>(policy);
+    s.parked = parked != 0;
+    // Resolve the live value of the waited-on word, for the lost-wakeup
+    // check and the report. The gate table only appends (fixed-capacity
+    // slots, release-published count), so this racing registration is
+    // safe.
+    switch (s.kind) {
+      case WaitKind::kClockGate:
+        if (s.gate < engine_.gate_count()) {
+          s.live = engine_.gate_ref(s.gate).next_clock->load(
+              std::memory_order_acquire);
+          s.live_known = true;
+        }
+        break;
+      case WaitKind::kStSeq:
+        s.live = engine_.st_channel().seq->load(std::memory_order_acquire);
+        s.live_known = true;
+        break;
+      case WaitKind::kStCursor:
+        s.live = engine_.st_channel().current.load(std::memory_order_acquire);
+        s.live_known = true;
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+StallClass StallSupervisor::classify(const std::vector<Sample>& ss) {
+  bool all_waiting = true;
+  bool lost_wakeup = false;
+  bool any_idle = false;
+  bool idlers_exhausted = true;
+  for (const Sample& s : ss) {
+    if (s.waiting()) {
+      // A parked waiter whose live word already satisfies its admission
+      // condition missed the publisher's notify: a runtime bug, not
+      // schedule damage.
+      const bool satisfied =
+          s.live_known &&
+          (((s.kind == WaitKind::kClockGate || s.kind == WaitKind::kStSeq) &&
+            s.live >= s.expected) ||
+           (s.kind == WaitKind::kStCursor && s.live == s.expected));
+      if (satisfied && s.parked) lost_wakeup = true;
+    } else {
+      all_waiting = false;
+      any_idle = true;
+      if (s.total == WaitTelemetry::kUnknownTotal || s.consumed < s.total) {
+        idlers_exhausted = false;
+      }
+    }
+  }
+  if (lost_wakeup) return StallClass::kLostWakeup;
+  if (all_waiting) return StallClass::kFullDeadlock;
+  if (any_idle && idlers_exhausted) return StallClass::kPartialStall;
+  return StallClass::kNoProgress;
+}
+
+std::string StallSupervisor::render_human(const std::vector<Sample>& ss,
+                                          StallClass cls,
+                                          std::uint64_t stalled_ms) {
+  std::size_t waiting = 0;
+  for (const Sample& s : ss) waiting += s.waiting() ? 1 : 0;
+  std::ostringstream os;
+  os << "replay stalled (" << to_string(cls) << "): no gate progress for "
+     << stalled_ms << " ms; " << waiting << "/" << ss.size()
+     << " threads waiting";
+  for (std::size_t tid = 0; tid < ss.size(); ++tid) {
+    const Sample& s = ss[tid];
+    os << "\n  thread " << tid << ": ";
+    if (s.waiting()) {
+      os << "waiting (" << to_string(s.kind) << ")";
+      if (s.gate != kInvalidGate) {
+        os << " at gate '" << engine_.gate_name_or(s.gate) << "'";
+      }
+      os << ": expected " << s.expected << ", observed " << s.observed;
+      if (s.live_known) os << ", live " << s.live;
+      os << ", policy " << to_string(s.policy)
+         << (s.parked ? ", parked" : ", spinning");
+    } else {
+      os << "not waiting";
+    }
+    os << "; consumed " << s.consumed;
+    if (s.total != WaitTelemetry::kUnknownTotal) os << "/" << s.total;
+    os << " events";
+  }
+  return os.str();
+}
+
+std::string StallSupervisor::render_machine(const std::vector<Sample>& ss,
+                                            StallClass cls,
+                                            std::uint64_t stalled_ms) {
+  std::ostringstream os;
+  os << "stall=1\n";
+  os << "classification=" << to_string(cls) << "\n";
+  os << "strategy=" << to_string(engine_.options().strategy) << "\n";
+  os << "threads=" << ss.size() << "\n";
+  os << "stalled_ms=" << stalled_ms << "\n";
+  os << "timeout_ms=" << timeout_.count() << "\n";
+  os << "grace_ms=" << grace_.count() << "\n";
+  for (std::size_t tid = 0; tid < ss.size(); ++tid) {
+    const Sample& s = ss[tid];
+    const std::string p = "thread." + std::to_string(tid) + ".";
+    os << p << "waiting=" << (s.waiting() ? 1 : 0) << "\n";
+    if (s.waiting()) {
+      os << p << "kind=" << to_string(s.kind) << "\n";
+      if (s.gate != kInvalidGate) {
+        os << p << "gate=" << s.gate << "\n";
+        os << p << "gate_name=" << engine_.gate_name_or(s.gate) << "\n";
+      }
+      os << p << "expected=" << s.expected << "\n";
+      os << p << "observed=" << s.observed << "\n";
+      if (s.live_known) os << p << "live=" << s.live << "\n";
+      os << p << "policy=" << to_string(s.policy) << "\n";
+      os << p << "parked=" << (s.parked ? 1 : 0) << "\n";
+    }
+    os << p << "heartbeat=" << s.heartbeat << "\n";
+    os << p << "consumed=" << s.consumed << "\n";
+    if (s.total != WaitTelemetry::kUnknownTotal) {
+      os << p << "total=" << s.total << "\n";
+    }
+  }
+  return os.str();
+}
+
+void StallSupervisor::write_stall_file(const std::string& machine_report) {
+  const std::string& dir = engine_.options().dir;
+  if (dir.empty()) return;  // in-memory replay: the log carries the report
+  try {
+    trace::atomic_write_file(trace::stall_path(dir), machine_report);
+  } catch (const std::exception& e) {
+    REOMP_LOG_ERROR << "stall report write failed: " << e.what();
+  }
+}
+
+void StallSupervisor::run() {
+  // The monitor is a real runtime thread but spends its life parked on a
+  // deadline; step out of the census while asleep so kAuto waiters on the
+  // replay paths don't misclassify the host as oversubscribed.
+  ThreadCensus::Scope census;
+  using clock = std::chrono::steady_clock;
+
+  auto sum_heartbeats = [this] {
+    std::uint64_t sum = 0;
+    const std::uint32_t n = engine_.options().num_threads;
+    for (std::uint32_t tid = 0; tid < n; ++tid) {
+      sum += engine_.thread_ctx(tid).telemetry.heartbeat.load(
+          std::memory_order_relaxed);
+    }
+    return sum;
+  };
+
+  std::uint64_t last_sum = sum_heartbeats();
+  auto last_change = clock::now();
+  bool reported = false;
+  clock::time_point poison_at{};
+
+  for (;;) {
+    std::chrono::nanoseconds nap = interval_;
+    if (reported && grace_.count() > 0) {
+      nap = std::min<std::chrono::nanoseconds>(nap, grace_);
+    }
+    {
+      ThreadCensus::ParkedScope parked;
+      stop_word_.wait_for(0, nap);
+    }
+    if (stop_word_.load() != 0) return;
+
+    if (engine_.replay_poisoned()) {
+      // Step 4: keep re-notifying while poisoned — the backstop against a
+      // waiter that passed its abort check and parked right as the storm's
+      // last notify went by.
+      engine_.broadcast_replay_wakeups();
+      continue;
+    }
+
+    const std::uint64_t sum = sum_heartbeats();
+    const auto now = clock::now();
+    if (sum != last_sum) {
+      if (reported) {
+        REOMP_LOG_WARN << "replay stall rescinded: gate progress resumed";
+      }
+      last_sum = sum;
+      last_change = now;
+      reported = false;
+      continue;
+    }
+    if (now - last_change < timeout_) continue;
+
+    // Frozen past the deadline. Only escalate when somebody is actually
+    // stuck at an abortable replay wait — all-idle threads (e.g. a long
+    // serial section between parallel regions) are not a stall.
+    if (!engine_.any_abortable_wait()) {
+      last_change = now;
+      continue;
+    }
+
+    const std::uint64_t stalled_ms =
+        static_cast<std::uint64_t>(std::chrono::duration_cast<
+                                       std::chrono::milliseconds>(
+                                       now - last_change)
+                                       .count());
+    if (!reported) {
+      // Step 2: report, arm the grace deadline.
+      reported = true;
+      poison_at = now + grace_;
+      const std::vector<Sample> ss = sample_threads();
+      REOMP_LOG_ERROR << render_human(ss, classify(ss), stalled_ms);
+    }
+    if (now >= poison_at) {
+      // Step 3: still frozen after grace — render the final report and
+      // poison. The run loop keeps broadcasting (step 4) until stopped.
+      const std::vector<Sample> ss = sample_threads();
+      const StallClass cls = classify(ss);
+      write_stall_file(render_machine(ss, cls, stalled_ms));
+      engine_.poison_replay("replay stalled (" + std::string(to_string(cls)) +
+                            "): no gate progress for " +
+                            std::to_string(stalled_ms) +
+                            " ms (REOMP_REPLAY_STALL_TIMEOUT_MS=" +
+                            std::to_string(timeout_.count()) + ")");
+    }
+  }
+}
+
+}  // namespace reomp::core

@@ -1,0 +1,127 @@
+// Replay stall supervision: the monitor thread that turns a hung replay
+// into a bounded-time structured verdict.
+//
+// PR 6 gave every bad trace *byte* a structured TraceError; this gives
+// every bad replay *schedule* the same treatment. Without it, any
+// mismatch that leaves a thread parked on a clock nobody will publish —
+// an ungated race, a subtly wrong schedule, a peer dying mid-region —
+// hangs the process forever, and only external watchdogs notice.
+//
+// Escalation ladder (wall clock, steady_clock):
+//   1. Sample every `interval` (timeout/4, clamped to [10 ms, 1 s]): sum
+//      the per-thread heartbeats (wait_telemetry.hpp).
+//   2. Heartbeats frozen for >= `timeout` while at least one thread sits
+//      at an abortable wait site -> classify the stall and render a
+//      StallReport: human-readable to the log, machine-readable
+//      `stall.txt` into the trace dir (atomic_write_file; dir-backed
+//      replays only).
+//   3. `grace` later, still frozen -> poison the engine
+//      (Engine::poison_replay): every abortable wait unwinds with the
+//      same structured ReplayDivergence, and Engine::finalize's latching
+//      keeps teardown safe.
+//   4. While poisoned, re-broadcast wakeups every tick — the backstop
+//      half of the Waiter abort contract against check-then-park races.
+//
+// Progress between steps 2 and 3 RESCINDS the report: a slow-but-alive
+// replay (descheduled peer, long gate-free compute) resumes monitoring
+// with a clean slate and is never poisoned.
+//
+// Stall taxonomy (StallClass):
+//   full-deadlock          every bound thread is waiting; no publisher
+//   partial-stall          waiters remain but every non-waiting thread has
+//                          consumed its entire schedule (drop-style
+//                          schedule damage)
+//   lost-wakeup-suspicion  a PARKED waiter's live word already satisfies
+//                          its admission condition — a missed notify, i.e.
+//                          a runtime bug, not schedule damage
+//   no-progress            anything else (e.g. a peer computing outside
+//                          gates for longer than the timeout)
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/waiter.hpp"
+#include "src/core/types.hpp"
+#include "src/core/wait_telemetry.hpp"
+
+namespace reomp::core {
+
+class Engine;
+
+enum class StallClass : std::uint8_t {
+  kFullDeadlock,
+  kPartialStall,
+  kLostWakeup,
+  kNoProgress,
+};
+
+constexpr std::string_view to_string(StallClass c) {
+  switch (c) {
+    case StallClass::kFullDeadlock: return "full-deadlock";
+    case StallClass::kPartialStall: return "partial-stall";
+    case StallClass::kLostWakeup: return "lost-wakeup-suspicion";
+    case StallClass::kNoProgress: return "no-progress";
+  }
+  return "?";
+}
+
+class StallSupervisor {
+ public:
+  /// Starts the monitor thread. `timeout_ms` must be > 0 (the engine
+  /// simply never constructs a supervisor when the knob is 0 = off).
+  StallSupervisor(Engine& engine, std::uint32_t timeout_ms,
+                  std::uint32_t grace_ms);
+  ~StallSupervisor();  // stop()
+
+  StallSupervisor(const StallSupervisor&) = delete;
+  StallSupervisor& operator=(const StallSupervisor&) = delete;
+
+  /// Stop and join the monitor thread. Idempotent; Engine::finalize calls
+  /// it (via supervisor_.reset()) before the replay-consumption checks so
+  /// a throwing finalize never leaves a live monitor sampling freed state.
+  void stop();
+
+ private:
+  /// One thread's telemetry, read consistently (seqlock retry) plus the
+  /// live value of the word it waits on.
+  struct Sample {
+    WaitKind kind = WaitKind::kNone;
+    GateId gate = kInvalidGate;
+    std::uint64_t expected = 0;
+    std::uint64_t observed = 0;
+    std::uint64_t live = 0;  // current value of the waited-on word
+    bool live_known = false;
+    WaitPolicy policy = WaitPolicy::kAuto;
+    bool parked = false;
+    std::uint64_t heartbeat = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t total = WaitTelemetry::kUnknownTotal;
+
+    [[nodiscard]] bool waiting() const { return kind != WaitKind::kNone; }
+  };
+
+  void run();
+  [[nodiscard]] std::vector<Sample> sample_threads();
+  [[nodiscard]] static StallClass classify(const std::vector<Sample>& ss);
+  [[nodiscard]] std::string render_human(const std::vector<Sample>& ss,
+                                         StallClass cls,
+                                         std::uint64_t stalled_ms);
+  [[nodiscard]] std::string render_machine(const std::vector<Sample>& ss,
+                                           StallClass cls,
+                                           std::uint64_t stalled_ms);
+  void write_stall_file(const std::string& machine_report);
+
+  Engine& engine_;
+  const std::chrono::milliseconds timeout_;
+  const std::chrono::milliseconds grace_;
+  const std::chrono::milliseconds interval_;
+  TimedWaitWord stop_word_;
+  std::thread thread_;
+};
+
+}  // namespace reomp::core

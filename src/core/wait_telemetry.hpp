@@ -1,0 +1,152 @@
+// Lock-free per-thread wait-site telemetry for replay stall supervision.
+//
+// Every replay wait loop publishes WHAT it is waiting for (gate, expected
+// clock/turn, wait policy) through a WaitScope and keeps the last observed
+// word value fresh each poll round; the engine's gate protocol bumps a
+// heartbeat at every replay gate_in/gate_out. The stall supervisor
+// (src/core/stall_supervisor.hpp) samples all of it from its own thread:
+// the heartbeats answer "is the replay making progress at all", the wait
+// sites answer "who is stuck where, and why" — enough to classify a stall
+// without stopping or interrupting any replay thread.
+//
+// Publication discipline: every field is a relaxed atomic (a torn
+// multi-field combination is diagnostic-grade data, never a correctness
+// input), and the owner brackets arm/disarm with a seqlock-style version
+// counter (odd = mid-write) so the supervisor can detect and retry a
+// half-published site. The per-poll observed/parked refresh deliberately
+// rides OUTSIDE the seqlock: one relaxed store per poll round keeps the
+// wait loop's cost unmeasurable, and those two fields are racy by design.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/waiter.hpp"
+#include "src/core/types.hpp"
+
+namespace reomp::core {
+
+/// What flavour of replay wait a thread is in. kNone = not waiting. The
+/// engine-gate kinds plus kTeamBarrier are ABORTABLE: their loops poll the
+/// engine poison word and unwind with a ReplayDivergence when it fires
+/// (the poison wake storm targets exactly this set). kTeamJoin is
+/// diagnostic-only — a join is bounded by its workers unwinding (every
+/// worker decrements the outstanding count on its way out, normal, thrown,
+/// or poisoned), so aborting the join would only let a re-launched region
+/// race the stragglers of this one.
+enum class WaitKind : std::uint8_t {
+  kNone = 0,
+  kClockGate,    // DC/DE replay_gate_in on GateState::next_clock
+  kStSeq,        // ST prefetch replay_gate_in on StChannel::seq
+  kStCursor,     // ST streaming replay_gate_in on StChannel::current
+  kTeamJoin,     // romp::Team::parallel join on outstanding_
+  kTeamBarrier,  // romp::Team::barrier on barrier_phase_
+};
+
+constexpr std::string_view to_string(WaitKind k) {
+  switch (k) {
+    case WaitKind::kNone: return "none";
+    case WaitKind::kClockGate: return "clock-gate";
+    case WaitKind::kStSeq: return "st-seq";
+    case WaitKind::kStCursor: return "st-cursor";
+    case WaitKind::kTeamJoin: return "team-join";
+    case WaitKind::kTeamBarrier: return "team-barrier";
+  }
+  return "?";
+}
+
+/// Whether sites of this kind check the poison word — and therefore which
+/// sites the poison wake storm must keep notifying until they unwind.
+constexpr bool is_abortable(WaitKind k) {
+  return k == WaitKind::kClockGate || k == WaitKind::kStSeq ||
+         k == WaitKind::kStCursor || k == WaitKind::kTeamBarrier;
+}
+
+/// One thread's supervision-visible state: progress counters plus the
+/// currently-armed wait site (if any). Lives in ThreadCtx; written by the
+/// owning thread, sampled by the supervisor.
+struct WaitTelemetry {
+  static constexpr std::uint64_t kUnknownTotal = ~std::uint64_t{0};
+
+  // ---- progress counters (owner-written, relaxed) ----
+  std::atomic<std::uint64_t> heartbeat{0};  // bumps at replay gate_in AND out
+  std::atomic<std::uint64_t> consumed{0};   // completed gate events
+  /// Entries decoded for this thread's schedule. Set once at engine open —
+  /// before the supervisor starts and before any replay thread runs —
+  /// kUnknownTotal when not knowable (ST streaming has no per-thread
+  /// split; v1-container streams have no cheap prescan).
+  std::uint64_t total = kUnknownTotal;
+
+  // ---- the wait site (seqlock: version odd while the owner writes) ----
+  std::atomic<std::uint32_t> version{0};
+  std::atomic<std::uint8_t> kind{0};              // WaitKind
+  std::atomic<std::uint32_t> gate{kInvalidGate};  // kInvalidGate: team waits
+  std::atomic<std::uint64_t> expected{0};         // clock / turn / cursor word
+  std::atomic<std::uint8_t> policy{0};            // WaitPolicy
+  // Refreshed every poll round, outside the seqlock (racy by design).
+  std::atomic<std::uint64_t> observed{0};
+  std::atomic<std::uint8_t> parked{0};  // next pause would futex-park
+
+  void beat_in() noexcept { bump(heartbeat); }
+  void beat_out() noexcept {
+    bump(heartbeat);
+    bump(consumed);
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& w) noexcept {
+    // Owner-exclusive counter: load+store beats a locked RMW on a path
+    // that runs at every replay gate event.
+    w.store(w.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+};
+
+/// RAII publisher for one wait episode. Free to construct (a reference and
+/// a bool — the non-waiting fast path pays nothing); arm() publishes the
+/// site on the wait slow path only, poll() refreshes the live fields each
+/// loop round, and the destructor unpublishes iff armed.
+class WaitScope {
+ public:
+  explicit WaitScope(WaitTelemetry& w) noexcept : w_(w) {}
+  WaitScope(const WaitScope&) = delete;
+  WaitScope& operator=(const WaitScope&) = delete;
+  ~WaitScope() {
+    if (!armed_) return;
+    w_.version.fetch_add(1, std::memory_order_relaxed);  // -> odd
+    w_.kind.store(static_cast<std::uint8_t>(WaitKind::kNone),
+                  std::memory_order_relaxed);
+    w_.version.fetch_add(1, std::memory_order_release);  // -> even
+  }
+
+  /// Publish the wait site. Idempotent per scope: only the first call
+  /// writes, so loops with several pause points can arm at each of them.
+  void arm(WaitKind kind, GateId gate, std::uint64_t expected,
+           WaitPolicy policy, std::uint64_t observed) noexcept {
+    if (armed_) return;
+    armed_ = true;
+    w_.version.fetch_add(1, std::memory_order_relaxed);  // -> odd
+    w_.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+    w_.gate.store(gate, std::memory_order_relaxed);
+    w_.expected.store(expected, std::memory_order_relaxed);
+    w_.policy.store(static_cast<std::uint8_t>(policy),
+                    std::memory_order_relaxed);
+    w_.observed.store(observed, std::memory_order_relaxed);
+    w_.parked.store(0, std::memory_order_relaxed);
+    w_.version.fetch_add(1, std::memory_order_release);  // -> even
+  }
+
+  /// Per-poll refresh; no-op until armed, so wait loops may call it
+  /// unconditionally.
+  void poll(std::uint64_t observed, bool will_park) noexcept {
+    if (!armed_) return;
+    w_.observed.store(observed, std::memory_order_relaxed);
+    w_.parked.store(will_park ? 1 : 0, std::memory_order_relaxed);
+  }
+
+ private:
+  WaitTelemetry& w_;
+  bool armed_ = false;
+};
+
+}  // namespace reomp::core

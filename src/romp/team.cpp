@@ -34,6 +34,16 @@ Team::Team(TeamOptions opt) : opt_(std::move(opt)) {
 
   if (opt_.pin_threads) pin_current_thread(0);
 
+  if (kind_ == RunKind::kReplay) {
+    // The poison wake storm must reach the team's own wait words too: a
+    // replay thread can be parked at the join or a barrier when a peer is
+    // poisoned at a gate. Registered before any worker can park.
+    engine_->add_replay_wake_hook([this] {
+      Waiter::notify(*outstanding_);
+      Waiter::notify(*barrier_phase_);
+    });
+  }
+
   workers_.reserve(opt_.num_threads - 1);
   for (std::uint32_t tid = 1; tid < opt_.num_threads; ++tid) {
     workers_.emplace_back([this, tid] { worker_loop(tid); });
@@ -129,8 +139,7 @@ void Team::worker_loop(std::uint32_t tid) {
     try {
       (*task)(ctx);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      note_task_error(tid);
     }
     // The joiner only resumes at zero, so only the last worker must wake
     // it; intermediate decrements change the word, which is enough to
@@ -163,16 +172,25 @@ void Team::parallel(const std::function<void(WorkerCtx&)>& fn) {
   try {
     fn(ctx);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(error_mu_);
-    if (!first_error_) first_error_ = std::current_exception();
+    note_task_error(0);
   }
 
   // Adaptive join: workers decrement `outstanding_` as they finish; the
   // last one notifies, so a starved joiner parks on the count instead of
   // spinning against the very workers it waits for.
+  //
+  // The join NEVER aborts on poison — it is bounded by the workers
+  // unwinding (every worker decrements on its way out, normal, thrown, or
+  // poisoned), and abandoning it would let a re-launched region race this
+  // one's stragglers. The wait site is published as diagnostic-only
+  // kTeamJoin so a stall report still shows where tid 0 sits.
+  core::WaitScope site(ctx.rctx->telemetry);
   Waiter waiter(opt_.sync_policy);
   std::uint32_t left;
   while ((left = outstanding_->load(std::memory_order_acquire)) != 0) {
+    site.arm(core::WaitKind::kTeamJoin, core::kInvalidGate, 0,
+             opt_.sync_policy, left);
+    site.poll(left, waiter.would_park());
     waiter.pause_wait(*outstanding_, left);
   }
 
@@ -216,7 +234,7 @@ void Team::parallel_for_dynamic(
   });
 }
 
-void Team::barrier(WorkerCtx&) {
+void Team::barrier(WorkerCtx& w) {
   const std::uint64_t phase = barrier_phase_->load(std::memory_order_acquire);
   if (barrier_arrived_->fetch_add(1, std::memory_order_acq_rel) ==
       opt_.num_threads - 1) {
@@ -227,11 +245,45 @@ void Team::barrier(WorkerCtx&) {
     barrier_phase_->store(phase + 1, std::memory_order_release);
     Waiter::notify(*barrier_phase_);
   } else {
+    // Unlike the join, a barrier CAN wait forever on a poisoned replay —
+    // the missing arrivers may all be stuck at gates — so replay runs
+    // make it an abortable wait site.
+    core::WaitScope site(w.rctx->telemetry);
     Waiter waiter(opt_.sync_policy);
     while (barrier_phase_->load(std::memory_order_acquire) == phase) {
-      waiter.pause_wait(*barrier_phase_, phase);
+      site.arm(core::WaitKind::kTeamBarrier, core::kInvalidGate, phase + 1,
+               opt_.sync_policy, phase);
+      site.poll(phase, waiter.would_park());
+      if (kind_ == RunKind::kReplay) {
+        if (waiter.pause_wait_or_abort(*barrier_phase_, phase,
+                                       engine_->poison_word())) {
+          engine_->throw_poisoned(w.tid);
+        }
+      } else {
+        waiter.pause_wait(*barrier_phase_, phase);
+      }
     }
   }
+}
+
+void Team::note_task_error(std::uint32_t tid) {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    // Latch BEFORE poisoning: the escaping exception must win the rethrow
+    // over the ReplayDivergence cascade the poison is about to cause in
+    // every other thread.
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  if (kind_ != RunKind::kReplay) return;
+  std::string what = "unknown exception";
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+  }
+  engine_->poison_replay("thread " + std::to_string(tid) +
+                         " exited its parallel region early: " + what);
 }
 
 void Team::finalize() { engine_->finalize(); }

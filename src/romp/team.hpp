@@ -239,6 +239,10 @@ class Team {
  private:
   void worker_loop(std::uint32_t tid);
   void run_workers(const std::function<void(WorkerCtx&)>& fn);
+  /// Called from a catch block: latch the exception as first_error_, then
+  /// (replay runs) poison the engine so the surviving threads unwind
+  /// instead of waiting forever for the dead thread's gates.
+  void note_task_error(std::uint32_t tid);
 
   TeamOptions opt_;
   RunKind kind_ = RunKind::kOff;

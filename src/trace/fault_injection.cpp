@@ -6,8 +6,10 @@
 #include <cerrno>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "src/common/env.hpp"
+#include "src/trace/record_stream.hpp"
 
 namespace reomp::trace::fi {
 
@@ -162,6 +164,110 @@ ssize_t inject_write(int fd, const std::uint8_t* data, std::size_t size) {
 std::uint64_t bytes_offered() {
   std::lock_guard<std::mutex> lock(g_mu);
   return g_offered;
+}
+
+// ---- schedule-mutation injection ----
+
+namespace {
+
+// Same fast-gate + mutex discipline as the write injector, with its own
+// state so the two can be armed independently.
+std::atomic<bool> g_sched_armed{false};
+
+std::mutex g_sched_mu;
+ScheduleFault g_sched_fault;          // guarded by g_sched_mu
+std::string g_sched_last_env_spec;    // last $REOMP_FI_SCHEDULE value seen
+bool g_sched_env_seen = false;
+
+void schedule_arm_locked(const std::string& spec) {
+  g_sched_fault = {};
+  if (spec.empty()) {
+    g_sched_armed.store(false, std::memory_order_relaxed);
+    return;
+  }
+  const auto at = spec.find('@');
+  const std::string kind =
+      spec.substr(0, at == std::string::npos ? spec.size() : at);
+  ScheduleMutation mut = ScheduleMutation::kNone;
+  if (kind == "drop") mut = ScheduleMutation::kDrop;
+  else if (kind == "dup") mut = ScheduleMutation::kDup;
+  else if (kind == "swap") mut = ScheduleMutation::kSwap;
+  else if (kind == "gate") mut = ScheduleMutation::kGate;
+  std::uint64_t n = 0;
+  bool n_ok = false;
+  if (at != std::string::npos && at + 1 < spec.size()) {
+    n_ok = true;
+    for (std::size_t i = at + 1; i < spec.size(); ++i) {
+      const char c = spec[i];
+      if (c < '0' || c > '9') {
+        n_ok = false;
+        break;
+      }
+      n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+  }
+  if (mut == ScheduleMutation::kNone || !n_ok) {
+    throw std::runtime_error(
+        "REOMP_FI_SCHEDULE='" + spec +
+        "' is not a valid fault spec (expected drop@N|dup@N|swap@N|gate@N)");
+  }
+  g_sched_fault = {mut, n};
+  g_sched_armed.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void schedule_arm(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(g_sched_mu);
+  schedule_arm_locked(spec);
+}
+
+void schedule_disarm() {
+  std::lock_guard<std::mutex> lock(g_sched_mu);
+  schedule_arm_locked("");
+}
+
+void schedule_arm_from_env() {
+  const std::string spec = env_string("REOMP_FI_SCHEDULE").value_or("");
+  std::lock_guard<std::mutex> lock(g_sched_mu);
+  if (g_sched_env_seen && spec == g_sched_last_env_spec) return;
+  g_sched_env_seen = true;
+  g_sched_last_env_spec = spec;
+  schedule_arm_locked(spec);
+}
+
+ScheduleFault schedule_fault() {
+  if (!g_sched_armed.load(std::memory_order_relaxed)) return {};
+  std::lock_guard<std::mutex> lock(g_sched_mu);
+  return g_sched_fault;
+}
+
+void mutate_entries(std::vector<RecordEntry>& entries, std::uint64_t base,
+                    const ScheduleFault& fault) {
+  if (!fault.armed() || fault.index < base) return;
+  const std::uint64_t rel = fault.index - base;
+  if (rel >= entries.size()) return;
+  const auto it = entries.begin() + static_cast<std::ptrdiff_t>(rel);
+  switch (fault.kind) {
+    case ScheduleMutation::kDrop:
+      entries.erase(it);
+      break;
+    case ScheduleMutation::kDup:
+      entries.insert(it, *it);
+      break;
+    case ScheduleMutation::kSwap:
+      // A final-entry swap has no successor: the entry stands, exactly as
+      // the streaming reader behaves at end of stream.
+      if (rel + 1 < entries.size()) {
+        std::swap(entries[rel], entries[rel + 1]);
+      }
+      break;
+    case ScheduleMutation::kGate:
+      it->gate += 1;
+      break;
+    case ScheduleMutation::kNone:
+      break;
+  }
 }
 
 }  // namespace reomp::trace::fi

@@ -20,6 +20,19 @@
 // saw, so a fork child armed programmatically via arm() keeps its spec even
 // though every FileSink constructor calls arm_from_env(). Test-only code:
 // armed-path cost is irrelevant, disarmed-path cost is one atomic load.
+// A second, replay-side injector mutates decoded SCHEDULES instead of
+// written bytes (REOMP_FI_SCHEDULE): applied at decode time, post-CRC, it
+// models corrupt-but-CRC-valid schedules and genuine nondeterminism — the
+// inputs the replay stall supervisor must convert into bounded verdicts:
+//
+//   REOMP_FI_SCHEDULE=drop@N   remove the entry at stream-wide ordinal N
+//   REOMP_FI_SCHEDULE=dup@N    duplicate the entry at ordinal N
+//   REOMP_FI_SCHEDULE=swap@N   swap the entries at ordinals N and N+1
+//   REOMP_FI_SCHEDULE=gate@N   perturb entry N's gate id by +1
+//
+// Both replay data paths apply the same mutation at the same ordinal: the
+// prefetch decoder through mutate_entries(), the streaming RecordReader
+// internally (it captures schedule_fault() at construction).
 #pragma once
 
 #include <sys/types.h>
@@ -27,6 +40,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
+
+namespace reomp::trace {
+struct RecordEntry;
+}  // namespace reomp::trace
 
 namespace reomp::trace::fi {
 
@@ -54,5 +72,43 @@ ssize_t inject_write(int fd, const std::uint8_t* data, std::size_t size);
 
 /// Cumulative bytes offered to inject_write since the last arm/disarm.
 std::uint64_t bytes_offered();
+
+// ---- schedule-mutation injection (REOMP_FI_SCHEDULE) ----
+
+enum class ScheduleMutation : std::uint8_t { kNone = 0, kDrop, kDup, kSwap,
+                                             kGate };
+
+/// The armed schedule mutation, captured by value at decode/reader-open
+/// time so one replay applies one consistent mutation even if the injector
+/// is re-armed mid-run.
+struct ScheduleFault {
+  ScheduleMutation kind = ScheduleMutation::kNone;
+  std::uint64_t index = 0;  // stream-wide entry ordinal the mutation targets
+
+  [[nodiscard]] bool armed() const { return kind != ScheduleMutation::kNone; }
+};
+
+/// Arm from a spec string ("drop@3", ...). Empty spec disarms. Throws
+/// std::runtime_error on a malformed spec (strict, like REOMP_FI_WRITE).
+void schedule_arm(const std::string& spec);
+
+/// Disarm the schedule injector.
+void schedule_disarm();
+
+/// Arm from $REOMP_FI_SCHEDULE when its value differs from the last one
+/// seen (same change-detection contract as arm_from_env). Called by
+/// Engine::open_replay_streams so env-driven fuzzing needs no code hooks.
+void schedule_arm_from_env();
+
+/// The currently armed schedule mutation ({} when disarmed).
+[[nodiscard]] ScheduleFault schedule_fault();
+
+/// Apply `fault` to a decoded entry vector whose first element has
+/// stream-wide ordinal `base` (0 for whole streams, the snapshot base for
+/// windowed segments). Out-of-range ordinals are a no-op — the mutation
+/// may target a window that was reaped, exactly like real damage would.
+/// Streaming readers reproduce these exact semantics entry-by-entry.
+void mutate_entries(std::vector<RecordEntry>& entries, std::uint64_t base,
+                    const ScheduleFault& fault);
 
 }  // namespace reomp::trace::fi

@@ -78,7 +78,9 @@ RecordReader::RecordReader(std::vector<std::unique_ptr<ByteSource>> segments,
     : source_(nullptr),
       salvage_(salvage),
       segments_(std::move(segments)),
-      seq_expect_(first_seq) {
+      seq_expect_(first_seq),
+      fault_(fi::schedule_fault()),
+      fault_ordinal_(first_seq) {
   if (segments_.empty()) {
     // Nothing recovered for this stream: behave as an empty sealed stream.
     probed_ = true;
@@ -234,9 +236,52 @@ std::optional<RecordEntry> RecordReader::next_v2() {
   return chunk_entries_[chunk_pos_++];
 }
 
-std::optional<RecordEntry> RecordReader::next() {
+std::optional<RecordEntry> RecordReader::next_raw() {
   if (!probed_) probe_format();
   return format_ == ContainerFormat::kV2 ? next_v2() : next_v1();
+}
+
+std::optional<RecordEntry> RecordReader::next_mutated() {
+  // Reproduce fi::mutate_entries' vector semantics entry-by-entry so the
+  // streaming and prefetch replay paths see identical mutated schedules.
+  if (fault_queued_) {
+    const RecordEntry e = *fault_queued_;
+    fault_queued_.reset();
+    return e;
+  }
+  std::optional<RecordEntry> e = next_raw();
+  if (!e || fault_ordinal_ > fault_.index) {
+    if (e) ++fault_ordinal_;
+    return e;
+  }
+  const bool at_target = fault_ordinal_ == fault_.index;
+  ++fault_ordinal_;
+  if (!at_target) return e;
+  switch (fault_.kind) {
+    case fi::ScheduleMutation::kDrop: {
+      std::optional<RecordEntry> f = next_raw();
+      if (f) ++fault_ordinal_;
+      return f;
+    }
+    case fi::ScheduleMutation::kDup:
+      fault_queued_ = e;
+      return e;
+    case fi::ScheduleMutation::kSwap: {
+      std::optional<RecordEntry> f = next_raw();
+      if (!f) return e;  // no successor: the entry stands
+      ++fault_ordinal_;
+      fault_queued_ = e;
+      return f;
+    }
+    case fi::ScheduleMutation::kGate: {
+      RecordEntry g = *e;
+      g.gate += 1;
+      return g;
+    }
+    case fi::ScheduleMutation::kNone:
+      break;
+  }
+  return e;
 }
 
 std::vector<RecordEntry> RecordReader::read_all() {

@@ -37,6 +37,7 @@
 #include "src/common/varint.hpp"
 #include "src/trace/byte_io.hpp"
 #include "src/trace/chunk_format.hpp"
+#include "src/trace/fault_injection.hpp"
 
 namespace reomp::trace {
 
@@ -175,7 +176,7 @@ class RecordReader {
   /// mismatch, bad marker, seq discontinuity) still throws — a corrupt
   /// chunk cannot be trusted, a torn tail can.
   explicit RecordReader(ByteSource& source, bool salvage = false)
-      : source_(&source), salvage_(salvage) {}
+      : source_(&source), salvage_(salvage), fault_(fi::schedule_fault()) {}
 
   /// Windowed replay: read one logical stream stored as consecutive v2
   /// window segments. Each segment is a self-contained v2 stream (its own
@@ -192,7 +193,13 @@ class RecordReader {
 
   /// Next entry, or nullopt at end of stream.
   /// Throws TraceError (kCorrupt/kTruncated/kIo) on a damaged stream.
-  std::optional<RecordEntry> next();
+  /// When REOMP_FI_SCHEDULE is armed (captured at construction), the
+  /// armed mutation is applied in-flight at its stream-wide ordinal with
+  /// the same semantics as fi::mutate_entries on the decoded vector.
+  std::optional<RecordEntry> next() {
+    if (!fault_.armed()) return next_raw();
+    return next_mutated();
+  }
 
   /// Drain the remainder of the stream (convenience for tests/tools).
   std::vector<RecordEntry> read_all();
@@ -212,6 +219,8 @@ class RecordReader {
 
  private:
   bool refill();
+  std::optional<RecordEntry> next_raw();
+  std::optional<RecordEntry> next_mutated();
   std::optional<RecordEntry> next_v1();
   std::optional<RecordEntry> next_v2();
   std::optional<RecordEntry> torn(std::uint64_t dropped, const char* msg);
@@ -247,6 +256,13 @@ class RecordReader {
   std::uint64_t chunks_ = 0;
   bool salvaged_ = false;
   std::uint64_t dropped_bytes_ = 0;
+
+  // Schedule-mutation injection (REOMP_FI_SCHEDULE), captured by value at
+  // construction. fault_ordinal_ counts raw entries consumed, seeded with
+  // first_seq in windowed mode so ordinals stay stream-wide.
+  fi::ScheduleFault fault_;
+  std::uint64_t fault_ordinal_ = 0;
+  std::optional<RecordEntry> fault_queued_;  // dup/swap carry-over
 };
 
 }  // namespace reomp::trace

@@ -45,6 +45,8 @@ std::string shared_file_path(const std::string& dir) {
   return dir + "/shared.rec";
 }
 
+std::string stall_path(const std::string& dir) { return dir + "/stall.txt"; }
+
 std::string thread_window_file_path(const std::string& dir, std::uint32_t tid,
                                     std::uint64_t window) {
   return dir + "/t" + std::to_string(tid) + ".w" + std::to_string(window) +

@@ -31,6 +31,11 @@ std::string manifest_path(const std::string& dir);
 std::string thread_file_path(const std::string& dir, std::uint32_t tid);
 std::string shared_file_path(const std::string& dir);
 
+/// Machine-readable stall report written by the replay stall supervisor
+/// when a replay against this directory was poisoned (stall_supervisor.hpp).
+/// `reomp_records verify`/`windows` surface it with a distinct exit code.
+std::string stall_path(const std::string& dir);
+
 // Windowed layout (bounded-retention flight recorder).
 std::string thread_window_file_path(const std::string& dir, std::uint32_t tid,
                                     std::uint64_t window);

@@ -69,6 +69,20 @@ TEST_P(Divergence, ExtraEventsAreDetected) {
   EXPECT_THROW(eng.gate_in(t0, a, AccessKind::kOther), ReplayDivergence);
 }
 
+TEST_P(Divergence, FinalizeAfterDivergenceIsIdempotent) {
+  const RecordBundle bundle = record_simple(GetParam());
+  Engine eng = make_replay(GetParam(), bundle);
+  eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+  ThreadCtx& t0 = eng.thread_ctx(0);
+  EXPECT_THROW(eng.gate_in(t0, b, AccessKind::kLoad), ReplayDivergence);
+  // The first finalize still reports the unconsumed schedule...
+  EXPECT_THROW(eng.finalize(), ReplayDivergence);
+  // ...and every later one — including the destructor's — is a no-op, so
+  // a caught divergence can never cascade into a second throw at teardown.
+  EXPECT_NO_THROW(eng.finalize());
+}
+
 TEST_P(Divergence, MissingEventsAreDetectedAtFinalize) {
   const RecordBundle bundle = record_simple(GetParam(), /*events=*/2);
   Engine eng = make_replay(GetParam(), bundle);

@@ -133,6 +133,41 @@ TEST(OptionsFromEnv, InvalidReplayKnobsThrow) {
   EXPECT_NO_THROW(Options::from_env(1));  // guards unset everything
 }
 
+TEST(OptionsFromEnv, StallKnobsParseStrictly) {
+  {
+    const Options opt = Options::from_env(1);
+    EXPECT_EQ(opt.replay_stall_timeout_ms, 30000u);  // supervision on
+    EXPECT_EQ(opt.replay_stall_grace_ms, 1000u);
+  }
+  {
+    EnvGuard g("REOMP_REPLAY_STALL_TIMEOUT_MS");
+    // Unlike the capacity knobs, an explicit 0 is VALID here: it is the
+    // documented spelling for "supervisor off", not a typo'd duration.
+    ::setenv("REOMP_REPLAY_STALL_TIMEOUT_MS", "0", 1);
+    EXPECT_EQ(Options::from_env(1).replay_stall_timeout_ms, 0u);
+    ::setenv("REOMP_REPLAY_STALL_TIMEOUT_MS", "250", 1);
+    EXPECT_EQ(Options::from_env(1).replay_stall_timeout_ms, 250u);
+    for (const char* junk : {"", "abc", "-1", "250ms", "1e3", "30 "}) {
+      ::setenv("REOMP_REPLAY_STALL_TIMEOUT_MS", junk, 1);
+      EXPECT_THROW(Options::from_env(1), std::runtime_error)
+          << '\'' << junk << '\'';
+    }
+  }
+  {
+    EnvGuard g("REOMP_REPLAY_STALL_GRACE_MS");
+    ::setenv("REOMP_REPLAY_STALL_GRACE_MS", "0", 1);  // poison at deadline
+    EXPECT_EQ(Options::from_env(1).replay_stall_grace_ms, 0u);
+    ::setenv("REOMP_REPLAY_STALL_GRACE_MS", "50", 1);
+    EXPECT_EQ(Options::from_env(1).replay_stall_grace_ms, 50u);
+    for (const char* junk : {"", "fast", "-5", "5s"}) {
+      ::setenv("REOMP_REPLAY_STALL_GRACE_MS", junk, 1);
+      EXPECT_THROW(Options::from_env(1), std::runtime_error)
+          << '\'' << junk << '\'';
+    }
+  }
+  EXPECT_NO_THROW(Options::from_env(1));  // guards unset everything
+}
+
 TEST(OptionsFromEnv, InvalidTuningKnobsThrow) {
   // Ablation/tuning knobs must not silently revert to defaults: a typo'd
   // configuration would masquerade as a measurement of the requested one.

@@ -1,0 +1,164 @@
+// Schedule-mutation fuzz matrix: every REOMP_FI_SCHEDULE mutation, against
+// every strategy and both replay data paths, must terminate within the
+// supervision deadline — in clean completion or a structured verdict
+// (ReplayDivergence / TraceError), never a hang. This is the adversarial
+// proof for the stall supervisor: mutations like swap@N produce schedules
+// that are locally plausible but globally unsatisfiable, the class of
+// damage only a stall deadline can convert into a verdict.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/bundle.hpp"
+#include "src/romp/team.hpp"
+#include "src/trace/fault_injection.hpp"
+#include "src/trace/trace_error.hpp"
+
+namespace reomp::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace fi = trace::fi;
+
+// ---------- spec parsing ----------
+
+TEST(ScheduleFaultSpec, ParsesStrictly) {
+  fi::schedule_arm("drop@3");
+  EXPECT_EQ(fi::schedule_fault().kind, fi::ScheduleMutation::kDrop);
+  EXPECT_EQ(fi::schedule_fault().index, 3u);
+  fi::schedule_arm("dup@0");
+  EXPECT_EQ(fi::schedule_fault().kind, fi::ScheduleMutation::kDup);
+  fi::schedule_arm("swap@12");
+  EXPECT_EQ(fi::schedule_fault().kind, fi::ScheduleMutation::kSwap);
+  EXPECT_EQ(fi::schedule_fault().index, 12u);
+  fi::schedule_arm("gate@7");
+  EXPECT_EQ(fi::schedule_fault().kind, fi::ScheduleMutation::kGate);
+  fi::schedule_disarm();
+  EXPECT_FALSE(fi::schedule_fault().armed());
+
+  for (const char* junk : {"chop@3", "drop", "drop@", "drop@x", "drop@3 ",
+                           "@3", "dup3", "swap@-1"}) {
+    EXPECT_THROW(fi::schedule_arm(junk), std::runtime_error)
+        << '\'' << junk << '\'';
+    EXPECT_FALSE(fi::schedule_fault().armed());  // failed arm disarms
+  }
+}
+
+TEST(ScheduleFaultSpec, ArmsFromEnvOnChange) {
+  ::setenv("REOMP_FI_SCHEDULE", "drop@5", 1);
+  fi::schedule_arm_from_env();
+  EXPECT_EQ(fi::schedule_fault().kind, fi::ScheduleMutation::kDrop);
+  EXPECT_EQ(fi::schedule_fault().index, 5u);
+  // A programmatic re-arm survives repeated env polls of the SAME value
+  // (change detection, like the write injector's arm_from_env).
+  fi::schedule_arm("gate@2");
+  fi::schedule_arm_from_env();
+  EXPECT_EQ(fi::schedule_fault().kind, fi::ScheduleMutation::kGate);
+  ::unsetenv("REOMP_FI_SCHEDULE");
+  fi::schedule_arm_from_env();  // unset -> "" is a change: disarms
+  EXPECT_FALSE(fi::schedule_fault().armed());
+}
+
+// ---------- the matrix ----------
+
+/// Two-thread romp workload, 8 iterations of a critical section plus a
+/// gated atomic per thread: enough cross-thread ordering that every
+/// mutation lands on an entry some other thread's progress depends on.
+RecordBundle record_workload(Strategy strategy) {
+  romp::TeamOptions topt;
+  topt.num_threads = 2;
+  topt.engine.mode = Mode::kRecord;
+  topt.engine.strategy = strategy;
+  romp::Team team(topt);
+  romp::Handle hc = team.register_handle("fuzz:crit");
+  romp::Handle ha = team.register_handle("fuzz:acc");
+  std::atomic<std::int64_t> sum{0};
+  team.parallel([&](romp::WorkerCtx& w) {
+    for (int i = 0; i < 8; ++i) {
+      team.critical(w, hc, [&] { sum.fetch_add(1, std::memory_order_relaxed); });
+      team.atomic_fetch_add<std::int64_t>(w, ha, sum, 1);
+    }
+  });
+  team.finalize();
+  return team.engine().take_bundle();
+}
+
+/// One fuzz cell: replay the workload against a mutated schedule under a
+/// short supervision deadline. Returns a verdict string for diagnostics;
+/// fails the test on an unstructured outcome.
+std::string replay_mutated(Strategy strategy, const RecordBundle& bundle,
+                           bool prefetch, const std::string& spec) {
+  fi::schedule_arm(spec);
+  std::string verdict;
+  {
+    romp::TeamOptions topt;
+    topt.num_threads = 2;
+    topt.engine.mode = Mode::kReplay;
+    topt.engine.strategy = strategy;
+    topt.engine.bundle = &bundle;
+    topt.engine.replay_prefetch = prefetch;
+    topt.engine.replay_stall_timeout_ms = 300;
+    topt.engine.replay_stall_grace_ms = 50;
+    romp::Team team(topt);
+    romp::Handle hc = team.register_handle("fuzz:crit");
+    romp::Handle ha = team.register_handle("fuzz:acc");
+    std::atomic<std::int64_t> sum{0};
+    try {
+      team.parallel([&](romp::WorkerCtx& w) {
+        for (int i = 0; i < 8; ++i) {
+          team.critical(w, hc,
+                        [&] { sum.fetch_add(1, std::memory_order_relaxed); });
+          team.atomic_fetch_add<std::int64_t>(w, ha, sum, 1);
+        }
+      });
+      team.finalize();
+      verdict = "completed";
+    } catch (const ReplayDivergence& e) {
+      verdict = std::string("divergence: ") + e.what();
+    } catch (const trace::TraceError& e) {
+      verdict = std::string("trace-error: ") + e.what();
+    }
+    // Team's destructor finalizes again behind a catch; a poisoned or
+    // diverged replay must tear down without a second escape.
+  }
+  fi::schedule_disarm();
+  return verdict;
+}
+
+TEST(ScheduleFuzzMatrix, EveryMutationTerminatesStructurally) {
+  const char* specs[] = {"drop@0", "drop@3", "dup@3", "swap@3", "gate@3",
+                         "swap@15"};
+  for (Strategy strategy : {Strategy::kST, Strategy::kDC, Strategy::kDE}) {
+    const RecordBundle bundle = record_workload(strategy);
+    for (bool prefetch : {true, false}) {
+      for (const char* spec : specs) {
+        SCOPED_TRACE(std::string(to_string(strategy)) +
+                     (prefetch ? "/prefetch/" : "/streaming/") + spec);
+        const auto start = Clock::now();
+        const std::string verdict =
+            replay_mutated(strategy, bundle, prefetch, spec);
+        // The acceptance bar is BOUNDED STRUCTURED termination: some
+        // mutations happen to replay cleanly (a swap inside one thread's
+        // independent run), the rest must end in a typed verdict well
+        // inside the deadline-plus-grace envelope.
+        EXPECT_LT(Clock::now() - start, std::chrono::seconds(60)) << verdict;
+        EXPECT_FALSE(verdict.empty());
+        // A dropped entry is always detectable — at best the replay runs
+        // out of schedule before finalize's consumption check — so drop
+        // cells double as proof the injector actually fired.
+        if (std::string(spec).rfind("drop", 0) == 0) {
+          EXPECT_NE(verdict, "completed");
+        }
+      }
+    }
+    // Control cell: with the injector disarmed the same replay completes.
+    SCOPED_TRACE(std::string(to_string(strategy)) + "/control");
+    EXPECT_EQ(replay_mutated(strategy, bundle, true, ""), "completed");
+  }
+}
+
+}  // namespace
+}  // namespace reomp::core

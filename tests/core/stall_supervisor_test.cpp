@@ -1,0 +1,203 @@
+// Replay stall supervision: a replay whose peer never shows up must end
+// in a bounded-time structured ReplayDivergence (never a hang), write a
+// machine-readable stall report for dir-backed replays, and do neither
+// when the supervisor is disabled or the replay makes (slow) progress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/core/bundle.hpp"
+#include "src/core/engine.hpp"
+#include "src/trace/trace_dir.hpp"
+
+namespace reomp::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string temp_dir(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("reomp_stall_" + std::to_string(::getpid()) + "_" + tag))
+      .string();
+}
+
+/// Two threads, two gates, `events` interleaved rounds — the divergence
+/// test's workload shape. Replaying only thread 0 against this record
+/// wedges it at its second round (its turn needs thread 1's first round).
+void drive_thread(Engine& eng, ThreadId tid, GateId a, GateId b, int events) {
+  ThreadCtx& ctx = eng.thread_ctx(tid);
+  for (int i = 0; i < events; ++i) {
+    eng.gate_in(ctx, a, AccessKind::kOther);
+    eng.gate_out(ctx, a, AccessKind::kOther);
+    eng.gate_in(ctx, b, AccessKind::kLoad);
+    eng.gate_out(ctx, b, AccessKind::kLoad);
+  }
+}
+
+RecordBundle record_pair(Strategy strategy, const std::string& dir = "",
+                         int events = 3) {
+  Options opt;
+  opt.mode = Mode::kRecord;
+  opt.strategy = strategy;
+  opt.num_threads = 2;
+  opt.dir = dir;
+  Engine eng(opt);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+  for (int i = 0; i < events; ++i) {
+    for (ThreadId t : {0u, 1u}) drive_thread(eng, t, a, b, 1);
+  }
+  eng.finalize();
+  return eng.take_bundle();
+}
+
+struct StallParam {
+  Strategy strategy;
+  bool prefetch;
+};
+
+class StallSupervision : public ::testing::TestWithParam<StallParam> {};
+
+TEST_P(StallSupervision, AbsentPeerYieldsBoundedDivergence) {
+  const StallParam p = GetParam();
+  const RecordBundle bundle = record_pair(p.strategy);
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = p.strategy;
+  opt.num_threads = 2;
+  opt.bundle = &bundle;
+  opt.replay_prefetch = p.prefetch;
+  opt.replay_stall_timeout_ms = 200;
+  opt.replay_stall_grace_ms = 50;
+  Engine eng(opt);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+
+  // Thread 1 never runs: thread 0 wedges inside its second round, and only
+  // the supervisor's poison can bring it back.
+  const auto start = Clock::now();
+  try {
+    drive_thread(eng, 0, a, b, 3);
+    FAIL() << "replay with an absent peer completed";
+  } catch (const ReplayDivergence& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("poisoned"), std::string::npos) << what;
+    EXPECT_NE(what.find("replay stalled"), std::string::npos) << what;
+  }
+  const auto elapsed = Clock::now() - start;
+  // 250 ms of deadline plus supervision slack; the point is "bounded",
+  // not "tight" — a hang here would previously have run forever.
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+
+  // Teardown stays structured: finalize reports, then goes quiet.
+  EXPECT_THROW(eng.finalize(), ReplayDivergence);
+  EXPECT_NO_THROW(eng.finalize());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StallSupervision,
+    ::testing::Values(StallParam{Strategy::kST, true},
+                      StallParam{Strategy::kST, false},
+                      StallParam{Strategy::kDC, true},
+                      StallParam{Strategy::kDC, false},
+                      StallParam{Strategy::kDE, true},
+                      StallParam{Strategy::kDE, false}),
+    [](const auto& info) {
+      return std::string(to_string(info.param.strategy)) +
+             (info.param.prefetch ? "_prefetch" : "_streaming");
+    });
+
+TEST(StallSupervision, DirBackedStallWritesMachineReport) {
+  const std::string dir = temp_dir("report");
+  std::filesystem::remove_all(dir);
+  record_pair(Strategy::kDC, dir);
+
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = Strategy::kDC;
+  opt.num_threads = 2;
+  opt.dir = dir;
+  opt.replay_stall_timeout_ms = 200;
+  opt.replay_stall_grace_ms = 50;
+  {
+    Engine eng(opt);
+    const GateId a = eng.register_gate("A");
+    const GateId b = eng.register_gate("B");
+    EXPECT_THROW(drive_thread(eng, 0, a, b, 3), ReplayDivergence);
+    try {
+      eng.finalize();
+    } catch (const ReplayDivergence&) {
+    }
+  }
+
+  // stall.txt was committed (atomically) before the poison unwound us.
+  const std::string path = trace::stall_path(dir);
+  ASSERT_TRUE(trace::file_exists(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string report = ss.str();
+  EXPECT_NE(report.find("stall=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("classification="), std::string::npos) << report;
+  EXPECT_NE(report.find("strategy=dc"), std::string::npos) << report;
+  EXPECT_NE(report.find("thread.0.waiting=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("thread.0.gate_name=A"), std::string::npos) << report;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StallSupervision, TimeoutZeroDisablesSupervision) {
+  const RecordBundle bundle = record_pair(Strategy::kDC);
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = Strategy::kDC;
+  opt.num_threads = 2;
+  opt.bundle = &bundle;
+  opt.replay_stall_timeout_ms = 0;  // off: no monitor thread at all
+  Engine eng(opt);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+
+  // Thread 0 wedges for well past what a 200 ms supervisor would tolerate;
+  // with supervision off it must simply wait until thread 1 shows up.
+  std::thread t0([&] { drive_thread(eng, 0, a, b, 3); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_FALSE(eng.replay_poisoned());
+  drive_thread(eng, 1, a, b, 3);
+  t0.join();
+  EXPECT_FALSE(eng.replay_poisoned());
+  EXPECT_NO_THROW(eng.finalize());
+}
+
+TEST(StallSupervision, ProgressDuringGraceRescindsTheReport) {
+  const RecordBundle bundle = record_pair(Strategy::kDC);
+  Options opt;
+  opt.mode = Mode::kReplay;
+  opt.strategy = Strategy::kDC;
+  opt.num_threads = 2;
+  opt.bundle = &bundle;
+  // Tight deadline, huge grace: the supervisor reports quickly, but late
+  // progress must rescind the report instead of the run being poisoned.
+  opt.replay_stall_timeout_ms = 100;
+  opt.replay_stall_grace_ms = 1u << 20;
+  Engine eng(opt);
+  const GateId a = eng.register_gate("A");
+  const GateId b = eng.register_gate("B");
+
+  std::thread t0([&] { drive_thread(eng, 0, a, b, 3); });
+  // Long enough that the report fires (timeout 100 ms, sampled every
+  // ~25 ms) before thread 1 finally makes progress.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  drive_thread(eng, 1, a, b, 3);
+  t0.join();
+  EXPECT_FALSE(eng.replay_poisoned());
+  EXPECT_NO_THROW(eng.finalize());
+}
+
+}  // namespace
+}  // namespace reomp::core

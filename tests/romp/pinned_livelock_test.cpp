@@ -8,17 +8,17 @@
 //
 // The test recreates the pathology deterministically: it pins the whole
 // process to a single CPU (every thread created afterwards inherits the
-// mask), runs 20 consecutive 8-thread DC record->replay roundtrips, and
-// holds each run to a 120-second watchdog that aborts with a loud message
-// — a fast, attributable failure instead of a silent ctest timeout.
+// mask) and runs 20 consecutive 8-thread DC record->replay roundtrips.
+// Bounded-time failure comes from the runtime itself: each replay runs
+// under the default stall supervisor (REOMP_REPLAY_STALL_TIMEOUT_MS,
+// 30 s), which converts a full no-progress stall into an attributable
+// ReplayDivergence with a per-thread wait-site report — the external
+// watchdog thread this test used to carry. A slow-but-progressing
+// livelock is still backstopped by ctest's 900 s budget.
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
-#include <thread>
 
 #if defined(__linux__)
 #include <sched.h>
@@ -103,39 +103,12 @@ TEST(PinnedOneCore, DcRoundtripNeverLivelocks) {
   }
 
   constexpr int kRuns = 20;
-  std::atomic<std::uint64_t> progress{0};
-  std::atomic<bool> done{false};
-  std::thread watchdog([&] {
-    std::uint64_t last = progress.load(std::memory_order_acquire);
-    auto last_change = std::chrono::steady_clock::now();
-    while (!done.load(std::memory_order_acquire)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-      const std::uint64_t cur = progress.load(std::memory_order_acquire);
-      if (cur != last) {
-        last = cur;
-        last_change = std::chrono::steady_clock::now();
-      } else if (std::chrono::steady_clock::now() - last_change >
-                 std::chrono::seconds(120)) {
-        std::fprintf(stderr,
-                     "watchdog: pinned 1-core roundtrip stalled in run %llu "
-                     "— replay handoff livelock is back\n",
-                     static_cast<unsigned long long>(cur));
-        std::fflush(stderr);
-        std::abort();
-      }
-    }
-  });
-
   for (int run = 0; run < kRuns; ++run) {
-    progress.fetch_add(1, std::memory_order_acq_rel);
     RecordBundle bundle;
     const double recorded = run_data_race_sum(Mode::kRecord, nullptr, &bundle);
     const double replayed = run_data_race_sum(Mode::kReplay, &bundle, nullptr);
     EXPECT_EQ(replayed, recorded) << "run " << run;
   }
-
-  done.store(true, std::memory_order_release);
-  watchdog.join();
 #endif
 }
 

@@ -1,0 +1,97 @@
+// Thread-death robustness: an exception escaping ONE replay thread's body
+// must poison the engine so every other thread unwinds promptly (instead
+// of waiting forever for the dead thread's gate turns), the user's
+// original exception must win the rethrow, and teardown must stay
+// structured.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "src/core/bundle.hpp"
+#include "src/romp/team.hpp"
+
+namespace reomp::romp {
+namespace {
+
+using core::Mode;
+using core::RecordBundle;
+using core::Strategy;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kIters = 6;
+
+/// Six critical-section rounds with a team barrier after round 3: the
+/// survivor is guaranteed to be blocked — at a gate or at the barrier —
+/// when its peer dies at round 2, whatever order the record run took.
+template <typename Body>
+void workload(Team& team, Handle h, std::atomic<int>& sum, Body&& per_iter) {
+  team.parallel([&](WorkerCtx& w) {
+    for (int i = 0; i < kIters; ++i) {
+      per_iter(w, i);
+      team.critical(w, h, [&] { sum.fetch_add(1, std::memory_order_relaxed); });
+      if (i == 3) team.barrier(w);
+    }
+  });
+}
+
+class ThreadDeath : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(ThreadDeath, DyingReplayThreadUnwindsTheWholeTeam) {
+  const Strategy strategy = GetParam();
+
+  RecordBundle bundle;
+  {
+    TeamOptions topt;
+    topt.num_threads = 2;
+    topt.engine.mode = Mode::kRecord;
+    topt.engine.strategy = strategy;
+    Team team(topt);
+    Handle h = team.register_handle("death:crit");
+    std::atomic<int> sum{0};
+    workload(team, h, sum, [](WorkerCtx&, int) {});
+    team.finalize();
+    bundle = team.engine().take_bundle();
+  }
+
+  TeamOptions topt;
+  topt.num_threads = 2;
+  topt.engine.mode = Mode::kReplay;
+  topt.engine.strategy = strategy;
+  topt.engine.bundle = &bundle;
+  Team team(topt);
+  Handle h = team.register_handle("death:crit");
+  std::atomic<int> sum{0};
+
+  const auto start = Clock::now();
+  try {
+    workload(team, h, sum, [](WorkerCtx& w, int i) {
+      if (w.tid == 1 && i == 2) throw std::runtime_error("boom");
+    });
+    FAIL() << "replay with a dead thread completed";
+  } catch (const std::runtime_error& e) {
+    // The user's exception wins the rethrow — not the ReplayDivergence
+    // cascade the poison caused in the surviving thread.
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Death-poisoning is immediate (no stall deadline involved): the team
+  // must come back fast even though thread 0 was parked mid-schedule.
+  EXPECT_LT(Clock::now() - start, std::chrono::seconds(60));
+
+  // The dead thread's schedule tail was never consumed; finalize says so
+  // once, then goes quiet (the destructor's finalize must not throw).
+  EXPECT_THROW(team.finalize(), core::ReplayDivergence);
+  EXPECT_NO_THROW(team.finalize());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, ThreadDeath,
+                         ::testing::Values(Strategy::kST, Strategy::kDC,
+                                           Strategy::kDE),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace reomp::romp

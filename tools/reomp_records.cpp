@@ -10,6 +10,11 @@
 //                                             snapshot CRCs, ring contiguity,
 //                                             and cross-segment seq ordinals;
 //                                             exit nonzero on any damage
+//
+// verify and windows also surface a replay-side stall report (stall.txt,
+// written when the replay stall supervisor poisoned a replay against this
+// directory) with exit code 3 — distinct from damage (1), because the
+// recording itself may be pristine.
 //   reomp_records windows <dir>               flight-recorder window listing:
 //                                             per-window snapshot status and
 //                                             chunk/byte/entry accounting
@@ -368,6 +373,27 @@ bool verify_windowed(const trace::Manifest& m, const std::string& dir) {
   return ok;
 }
 
+/// Surface a replay-side stall report if one exists: the recording may be
+/// pristine while the last replay against it was poisoned, and a tool that
+/// says only "PASS" would hide that verdict. Prints the report's summary
+/// lines; the caller maps it to exit code 3.
+bool report_stall(const std::string& dir) {
+  const std::string path = trace::stall_path(dir);
+  if (!trace::file_exists(path)) return false;
+  std::printf("  stall:     a replay against this directory was poisoned by "
+              "the stall supervisor (%s)\n",
+              path.c_str());
+  std::ifstream f(path);
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("classification=", 0) == 0 ||
+        line.rfind("threads=", 0) == 0 || line.rfind("stalled_ms=", 0) == 0) {
+      std::printf("    %s\n", line.c_str());
+    }
+  }
+  return true;
+}
+
 int cmd_verify(const std::string& dir) {
   auto manifest = trace::Manifest::load(trace::manifest_path(dir));
   if (!manifest) {
@@ -391,8 +417,12 @@ int cmd_verify(const std::string& dir) {
                           trace::thread_file_path(dir, t));
     }
   }
-  std::printf("  verdict:   %s\n", ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  const bool stalled = report_stall(dir);
+  std::printf("  verdict:   %s\n",
+              !ok ? "FAIL" : stalled ? "PASS (stalled replay reported)"
+                                     : "PASS");
+  if (!ok) return 1;  // damage outranks the stall report
+  return stalled ? 3 : 0;
 }
 
 int cmd_windows(const std::string& dir) {
@@ -455,7 +485,7 @@ int cmd_windows(const std::string& dir) {
   std::printf("  total:     %llu bytes, %llu entries retained\n",
               static_cast<unsigned long long>(total_bytes),
               static_cast<unsigned long long>(total_entries));
-  return 0;
+  return report_stall(dir) ? 3 : 0;
 }
 
 int cmd_hist(const std::string& dir) {
