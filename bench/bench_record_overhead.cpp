@@ -60,6 +60,7 @@ struct Config {
   bool to_file;
   std::uint32_t window_events = 0;  // flight recorder: cut every N events
   std::uint32_t retain = 0;         // flight recorder: keep N sealed windows
+  trace::TraceCompress compress = trace::TraceCompress::kOff;
 };
 
 struct Result {
@@ -67,27 +68,48 @@ struct Result {
   std::uint32_t threads;
   double events_per_sec;
   std::uint64_t events;
-  double bytes_per_event = 0;        // retained trace bytes / event
+  double bytes_per_event = 0;      // retained ON-DISK (wire) bytes / event
+  double raw_bytes_per_event = 0;  // v2-anchor (uncompressed) bytes / event
   std::uint64_t windows_retained = 0;  // windowed rows only
 };
+
+/// raw/wire; 1.0 for uncompressed rows by construction.
+double ratio_of(const Result& r) {
+  return r.bytes_per_event > 0 ? r.raw_bytes_per_event / r.bytes_per_event
+                               : 0.0;
+}
 
 constexpr Strategy kStrategies[] = {Strategy::kST, Strategy::kDC,
                                     Strategy::kDE};
 constexpr TraceWriter kWriters[] = {TraceWriter::kOff, TraceWriter::kDeferred,
                                     TraceWriter::kAsync};
-constexpr trace::ContainerFormat kFormats[] = {trace::ContainerFormat::kV1,
-                                               trace::ContainerFormat::kV2};
+
+/// The container dimension of the sweep: the raw v1 stream, the chunked
+/// v2 baseline, and the v2 chunks under each codec (internally the v3
+/// container revision; off stays the bit-exact v2 ablation anchor).
+struct FormatCodec {
+  trace::ContainerFormat format;
+  trace::TraceCompress compress;
+};
+constexpr FormatCodec kFormatCodecs[] = {
+    {trace::ContainerFormat::kV1, trace::TraceCompress::kOff},
+    {trace::ContainerFormat::kV2, trace::TraceCompress::kOff},
+    {trace::ContainerFormat::kV2, trace::TraceCompress::kLz},
+    {trace::ContainerFormat::kV2, trace::TraceCompress::kDeltaLz},
+};
 
 /// One record run of the data-race mix; returns events/sec and, when
 /// `bundle_out` is set, the in-memory record for validation.
 double run_once(const Config& cfg, std::uint32_t threads, std::uint64_t iters,
                 const std::string& dir, std::uint64_t* events_out,
-                RecordBundle* bundle_out, std::uint64_t* bytes_out = nullptr) {
+                RecordBundle* bundle_out, std::uint64_t* bytes_out = nullptr,
+                std::uint64_t* raw_bytes_out = nullptr) {
   Options opt;
   opt.mode = Mode::kRecord;
   opt.strategy = cfg.strategy;
   opt.num_threads = threads;
   opt.trace_writer = cfg.writer;
+  opt.trace_compress = cfg.compress;
   // The deferred/async rows measure the full new hot path, including the
   // opt-in lock-free DC clock claim; `off` keeps every serialization of
   // the historical baseline (dc_lockfree is ignored there anyway).
@@ -125,6 +147,27 @@ double run_once(const Config& cfg, std::uint32_t threads, std::uint64_t iters,
   const auto t1 = std::chrono::steady_clock::now();
 
   if (events_out != nullptr) *events_out = eng.total_events();
+  // Raw (v2-anchor) accounting rides in the manifest: the sum of
+  // StreamStat::raw_bytes over the retained stream set is what the
+  // uncompressed v2 encoding of the same entries would occupy.
+  const auto manifest_raw = [](const trace::Manifest& m) {
+    std::uint64_t raw = 0;
+    if (m.windowed) {
+      for (const auto& [w, streams] : m.windows) {
+        (void)w;
+        for (const auto& [name, s] : streams) {
+          (void)name;
+          raw += s.raw_bytes;
+        }
+      }
+    } else {
+      for (const auto& [name, s] : m.streams) {
+        (void)name;
+        raw += s.raw_bytes;
+      }
+    }
+    return raw;
+  };
   if (bytes_out != nullptr) {
     // Retained trace footprint: the stream bytes a replay would read. For
     // the bounded flight recorder this is the ring (what survives on disk
@@ -137,10 +180,15 @@ double run_once(const Config& cfg, std::uint32_t threads, std::uint64_t iters,
           total += e.file_size();
         }
       }
+      if (raw_bytes_out != nullptr) {
+        const auto m = trace::Manifest::load(trace::manifest_path(dir));
+        *raw_bytes_out = m.has_value() ? manifest_raw(*m) : 0;
+      }
     } else {
       RecordBundle b = eng.take_bundle();
       total += b.shared_stream.size();
       for (const auto& s : b.thread_streams) total += s.size();
+      if (raw_bytes_out != nullptr) *raw_bytes_out = manifest_raw(b.manifest);
       if (bundle_out != nullptr) *bundle_out = std::move(b);
     }
     *bytes_out = total;
@@ -206,23 +254,27 @@ int main(int argc, char** argv) {
 
   // ---- validation: no configuration may lose entries; for a fixed
   // single-thread schedule every data path must produce identical bytes
-  // within a container format, and both formats must decode to the same
-  // entry sequence.
+  // within a (format, codec), and every container variant must decode to
+  // the same entry sequence. The delta+lz ratio is also asserted here:
+  // compression is a pure function of the trace bytes, so the >= 3x
+  // target on the DC/DE traces is deterministic, not timing-dependent.
   for (const Strategy s : kStrategies) {
-    std::vector<std::vector<trace::RecordEntry>> per_format;
-    for (const trace::ContainerFormat fmt : kFormats) {
+    std::vector<std::vector<trace::RecordEntry>> per_variant;
+    for (const FormatCodec fc : kFormatCodecs) {
       std::vector<RecordBundle> bundles;
       for (const TraceWriter w : kWriters) {
-        const Config cfg{s, w, fmt, /*to_file=*/false};
+        Config cfg{s, w, fc.format, /*to_file=*/false};
+        cfg.compress = fc.compress;
         std::uint64_t events = 0;
         RecordBundle b;
         run_once(cfg, 1, smoke ? 500 : 5'000, dir, &events, &b);
         const auto decoded = decoded_entries(b, s);
         if (decoded.size() != events) {
           std::fprintf(stderr,
-                       "FAIL: %s/%s/%s lost entries (%llu of %llu)\n",
+                       "FAIL: %s/%s/%s/%s lost entries (%llu of %llu)\n",
                        to_string(s).data(), to_string(w).data(),
-                       to_string(fmt).data(),
+                       to_string(fc.format).data(),
+                       to_string(fc.compress).data(),
                        static_cast<unsigned long long>(decoded.size()),
                        static_cast<unsigned long long>(events));
           ok = false;
@@ -234,45 +286,84 @@ int main(int argc, char** argv) {
             bundles[i].thread_streams != bundles[0].thread_streams) {
           std::fprintf(
               stderr,
-              "FAIL: %s/%s single-thread streams differ across writers\n",
-              to_string(s).data(), to_string(fmt).data());
+              "FAIL: %s/%s/%s single-thread streams differ across writers\n",
+              to_string(s).data(), to_string(fc.format).data(),
+              to_string(fc.compress).data());
           ok = false;
         }
       }
-      per_format.push_back(decoded_entries(bundles[0], s));
+      if (fc.compress == trace::TraceCompress::kDeltaLz &&
+          (s == Strategy::kDC || s == Strategy::kDE)) {
+        std::uint64_t wire = 0, raw = 0;
+        for (const auto& [name, st] : bundles[0].manifest.streams) {
+          (void)name;
+          wire += st.bytes;
+          raw += st.raw_bytes;
+        }
+        const double ratio =
+            wire > 0 ? static_cast<double>(raw) / static_cast<double>(wire)
+                     : 0.0;
+        if (ratio < 3.0) {
+          std::fprintf(stderr,
+                       "FAIL: %s delta+lz compresses only %.2fx (>= 3x "
+                       "required)\n",
+                       to_string(s).data(), ratio);
+          ok = false;
+        }
+      }
+      per_variant.push_back(decoded_entries(bundles[0], s));
     }
-    if (per_format[0] != per_format[1]) {
-      std::fprintf(stderr, "FAIL: %s v1/v2 decoded entries differ\n",
-                   to_string(s).data());
-      ok = false;
+    for (std::size_t i = 1; i < per_variant.size(); ++i) {
+      if (per_variant[i] != per_variant[0]) {
+        std::fprintf(stderr,
+                     "FAIL: %s decoded entries differ between %s/%s and "
+                     "%s/%s\n",
+                     to_string(s).data(),
+                     to_string(kFormatCodecs[0].format).data(),
+                     to_string(kFormatCodecs[0].compress).data(),
+                     to_string(kFormatCodecs[i].format).data(),
+                     to_string(kFormatCodecs[i].compress).data());
+        ok = false;
+      }
     }
   }
 
   // ---- throughput sweep ----
   std::vector<Result> results;
-  std::printf("%-4s %-9s %-4s %-7s %8s %14s %9s\n", "strat", "writer", "fmt",
-              "sink", "threads", "events/sec", "bytes/ev");
+  std::printf("%-4s %-9s %-4s %-8s %-7s %8s %14s %9s %9s %6s\n", "strat",
+              "writer", "fmt", "codec", "sink", "threads", "events/sec",
+              "disk B/ev", "raw B/ev", "ratio");
   for (const bool to_file : {false, true}) {
     for (const Strategy s : kStrategies) {
-      for (const trace::ContainerFormat fmt : kFormats) {
+      for (const FormatCodec fc : kFormatCodecs) {
         double base = 0;
         for (const TraceWriter w : kWriters) {
-          const Config cfg{s, w, fmt, to_file};
+          Config cfg{s, w, fc.format, to_file};
+          cfg.compress = fc.compress;
           double best = 0;
           std::uint64_t events = 0;
           std::uint64_t bytes = 0;
+          std::uint64_t raw = 0;
           for (int r = 0; r < reps; ++r) {
             const double eps = run_once(cfg, threads, iters, dir, &events,
-                                        nullptr, &bytes);
+                                        nullptr, &bytes, &raw);
             if (eps > best) best = eps;
           }
           const double bpe =
               events > 0 ? static_cast<double>(bytes) / events : 0.0;
-          results.push_back({cfg, threads, best, events, bpe});
-          std::printf("%-4s %-9s %-4s %-7s %8u %14.0f %9.2f",
+          // The v1 container predates chunk accounting: its manifest
+          // carries no raw_bytes, and the stream IS the raw encoding.
+          const double rbpe =
+              fc.format == trace::ContainerFormat::kV1
+                  ? bpe
+                  : (events > 0 ? static_cast<double>(raw) / events : 0.0);
+          Result res{cfg, threads, best, events, bpe, rbpe};
+          std::printf("%-4s %-9s %-4s %-8s %-7s %8u %14.0f %9.2f %9.2f %5.2fx",
                       to_string(s).data(), to_string(w).data(),
-                      to_string(fmt).data(), sink_name(to_file), threads,
-                      best, bpe);
+                      to_string(fc.format).data(),
+                      to_string(fc.compress).data(), sink_name(to_file),
+                      threads, best, bpe, rbpe, ratio_of(res));
+          results.push_back(res);
           if (w == TraceWriter::kOff) {
             base = best;
             std::printf("\n");
@@ -296,37 +387,49 @@ int main(int argc, char** argv) {
   std::printf("\nwindowed flight recorder (window=%u events, retain=%u):\n",
               window_events, kRetainWindows);
   for (const Strategy s : kStrategies) {
-    const Config cfg{s,
-                     TraceWriter::kDeferred,
-                     trace::ContainerFormat::kV2,
-                     /*to_file=*/true,
-                     window_events,
-                     kRetainWindows};
-    double best = 0;
-    std::uint64_t events = 0;
-    std::uint64_t bytes = 0;
-    for (int r = 0; r < reps; ++r) {
-      const double eps =
-          run_once(cfg, threads, iters, dir, &events, nullptr, &bytes);
-      if (eps > best) best = eps;
+    // The ring bound composes with the codec: a compressed ring retains
+    // the same windows in fewer disk bytes, so both rows ride along.
+    for (const trace::TraceCompress c :
+         {trace::TraceCompress::kOff, trace::TraceCompress::kDeltaLz}) {
+      Config cfg{s,
+                 TraceWriter::kDeferred,
+                 trace::ContainerFormat::kV2,
+                 /*to_file=*/true,
+                 window_events,
+                 kRetainWindows};
+      cfg.compress = c;
+      double best = 0;
+      std::uint64_t events = 0;
+      std::uint64_t bytes = 0;
+      std::uint64_t raw = 0;
+      for (int r = 0; r < reps; ++r) {
+        const double eps =
+            run_once(cfg, threads, iters, dir, &events, nullptr, &bytes, &raw);
+        if (eps > best) best = eps;
+      }
+      std::uint64_t retained = 0;
+      if (const auto m = trace::Manifest::load(trace::manifest_path(dir))) {
+        retained = m->window_open - m->window_first + 1;
+      }
+      const double bpe =
+          events > 0 ? static_cast<double>(bytes) / events : 0.0;
+      const double rbpe =
+          events > 0 ? static_cast<double>(raw) / events : 0.0;
+      Result res{cfg, threads, best, events, bpe, rbpe, retained};
+      results.push_back(res);
+      std::printf("%-4s %-9s %-4s %-8s %-7s %8u %14.0f %9.2f %9.2f %5.2fx  "
+                  "(%llu windows on disk)\n",
+                  to_string(s).data(), "deferred", "v2", to_string(c).data(),
+                  "dir", threads, best, bpe, rbpe, ratio_of(res),
+                  static_cast<unsigned long long>(retained));
     }
-    std::uint64_t retained = 0;
-    if (const auto m = trace::Manifest::load(trace::manifest_path(dir))) {
-      retained = m->window_open - m->window_first + 1;
-    }
-    const double bpe = events > 0 ? static_cast<double>(bytes) / events : 0.0;
-    results.push_back({cfg, threads, best, events, bpe, retained});
-    std::printf("%-4s %-9s %-4s %-7s %8u %14.0f %9.2f  (%llu windows on "
-                "disk)\n",
-                to_string(s).data(), "deferred", "v2", "dir", threads, best,
-                bpe, static_cast<unsigned long long>(retained));
   }
   std::filesystem::remove_all(dir);
 
   // ---- v2 framing cost vs the raw v1 container (target: <= 5% on the
   // deferred/async data paths; printed, not asserted — timing is
   // host-dependent).
-  std::printf("\nchunked (v2) overhead vs raw (v1):\n");
+  std::printf("\nchunked (v2) overhead vs raw (v1), per codec:\n");
   for (const Result& r : results) {
     if (r.cfg.format != trace::ContainerFormat::kV2) continue;
     // Windowed rows pay cut/retention machinery, not framing — comparing
@@ -340,9 +443,10 @@ int main(int argc, char** argv) {
             v1.events_per_sec > 0
                 ? (v1.events_per_sec - r.events_per_sec) / v1.events_per_sec
                 : 0.0;
-        std::printf("  %-4s %-9s %-7s %+6.1f%%\n",
+        std::printf("  %-4s %-9s %-8s %-7s %+6.1f%%\n",
                     to_string(r.cfg.strategy).data(),
                     to_string(r.cfg.writer).data(),
+                    to_string(r.cfg.compress).data(),
                     sink_name(r.cfg.to_file), overhead * 100.0);
       }
     }
@@ -359,11 +463,16 @@ int main(int argc, char** argv) {
       f << "    {\"strategy\": \"" << to_string(r.cfg.strategy)
         << "\", \"writer\": \"" << to_string(r.cfg.writer)
         << "\", \"format\": \"" << to_string(r.cfg.format)
+        << "\", \"compress\": \"" << to_string(r.cfg.compress)
         << "\", \"sink\": \"" << sink_name(r.cfg.to_file)
         << "\", \"threads\": " << r.threads << ", \"events_per_sec\": "
         << static_cast<std::uint64_t>(r.events_per_sec)
         << ", \"bytes_per_event\": "
-        << static_cast<std::uint64_t>(r.bytes_per_event * 100) / 100.0;
+        << static_cast<std::uint64_t>(r.bytes_per_event * 100) / 100.0
+        << ", \"raw_bytes_per_event\": "
+        << static_cast<std::uint64_t>(r.raw_bytes_per_event * 100) / 100.0
+        << ", \"ratio\": "
+        << static_cast<std::uint64_t>(ratio_of(r) * 100) / 100.0;
       if (r.cfg.window_events != 0) {
         f << ", \"window_events\": " << r.cfg.window_events
           << ", \"retain_windows\": " << r.cfg.retain

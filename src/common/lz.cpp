@@ -1,0 +1,164 @@
+#include "src/common/lz.hpp"
+
+#include <cstring>
+
+namespace reomp {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;  // 16-bit offsets = 64 KiB window
+constexpr int kHashBits = 15;
+constexpr int kMaxChainDepth = 32;
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  // Fibonacci hashing of the 4-byte window; top kHashBits bits.
+  return (load32(p) * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Emit a length that exceeded its 4-bit nibble: 255-continuation bytes.
+inline std::size_t put_ext(std::uint8_t* out, std::size_t rem) {
+  std::size_t op = 0;
+  while (rem >= 255) {
+    out[op++] = 255;
+    rem -= 255;
+  }
+  out[op++] = static_cast<std::uint8_t>(rem);
+  return op;
+}
+
+/// Emit one sequence: `lit` literals from `lits`, then (unless mlen == 0,
+/// the final literal-only sequence) a match of `mlen` bytes at `off` back.
+std::size_t put_sequence(std::uint8_t* out, const std::uint8_t* lits,
+                         std::size_t lit, std::size_t off, std::size_t mlen) {
+  std::size_t op = 0;
+  const std::size_t ml_code = mlen == 0 ? 0 : mlen - kMinMatch;
+  out[op++] = static_cast<std::uint8_t>(
+      ((lit < 15 ? lit : 15) << 4) | (ml_code < 15 ? ml_code : 15));
+  if (lit >= 15) op += put_ext(out + op, lit - 15);
+  std::memcpy(out + op, lits, lit);
+  op += lit;
+  if (mlen == 0) return op;  // final sequence: no offset, input ends here
+  out[op++] = static_cast<std::uint8_t>(off);
+  out[op++] = static_cast<std::uint8_t>(off >> 8);
+  if (ml_code >= 15) op += put_ext(out + op, ml_code - 15);
+  return op;
+}
+
+inline std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                                std::size_t limit) {
+  std::size_t len = 0;
+  while (len + 4 <= limit && load32(a + len) == load32(b + len)) len += 4;
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
+}  // namespace
+
+std::size_t LzEncoder::compress(const std::uint8_t* src, std::size_t n,
+                                std::uint8_t* out) {
+  if (n == 0) return 0;
+  head_.assign(std::size_t{1} << kHashBits, -1);
+  if (chain_.size() < n) chain_.resize(n);
+
+  std::size_t op = 0;
+  std::size_t anchor = 0;
+  std::size_t ip = 0;
+  while (ip + kMinMatch <= n) {
+    const std::uint32_t h = hash4(src + ip);
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    int depth = kMaxChainDepth;
+    for (std::int32_t cand = head_[h];
+         cand >= 0 && depth-- > 0 &&
+         ip - static_cast<std::size_t>(cand) <= kMaxOffset;
+         cand = chain_[static_cast<std::size_t>(cand)]) {
+      const std::size_t cpos = static_cast<std::size_t>(cand);
+      const std::size_t len = match_length(src + cpos, src + ip, n - ip);
+      if (len > best_len) {
+        best_len = len;
+        best_off = ip - cpos;
+        if (ip + len == n) break;  // cannot beat a match to end-of-input
+      }
+    }
+    chain_[ip] = head_[h];
+    head_[h] = static_cast<std::int32_t>(ip);
+    if (best_len < kMinMatch) {
+      ++ip;
+      continue;
+    }
+    op += put_sequence(out + op, src + anchor, ip - anchor, best_off,
+                       best_len);
+    // Index the interior of the match so later data can still reference
+    // it (near-periodic trace columns match far better this way than with
+    // LZ4's skip-ahead).
+    const std::size_t match_end = ip + best_len;
+    for (std::size_t p = ip + 1; p + kMinMatch <= n && p < match_end; ++p) {
+      const std::uint32_t hp = hash4(src + p);
+      chain_[p] = head_[hp];
+      head_[hp] = static_cast<std::int32_t>(p);
+    }
+    ip = match_end;
+    anchor = ip;
+  }
+  op += put_sequence(out + op, src + anchor, n - anchor, 0, 0);
+  return op;
+}
+
+std::size_t lz_compress(const std::uint8_t* src, std::size_t n,
+                        std::uint8_t* out) {
+  thread_local LzEncoder encoder;
+  return encoder.compress(src, n, out);
+}
+
+bool lz_decompress(const std::uint8_t* src, std::size_t n, std::uint8_t* dst,
+                   std::size_t raw_len) {
+  std::size_t ip = 0;
+  std::size_t op = 0;
+  while (ip < n) {
+    const std::uint8_t token = src[ip++];
+    std::size_t lit = token >> 4;
+    if (lit == 15) {
+      std::uint8_t b;
+      do {
+        if (ip >= n) return false;
+        b = src[ip++];
+        lit += b;
+      } while (b == 255);
+    }
+    if (lit > n - ip || lit > raw_len - op) return false;
+    std::memcpy(dst + op, src + ip, lit);
+    ip += lit;
+    op += lit;
+    if (ip == n) break;  // final literal-only sequence
+    if (n - ip < 2) return false;
+    const std::size_t off = static_cast<std::size_t>(src[ip]) |
+                            (static_cast<std::size_t>(src[ip + 1]) << 8);
+    ip += 2;
+    if (off == 0 || off > op) return false;
+    std::size_t mlen = (token & 0xfu) + kMinMatch;
+    if ((token & 0xfu) == 15) {
+      std::uint8_t b;
+      do {
+        if (ip >= n) return false;
+        b = src[ip++];
+        mlen += b;
+      } while (b == 255);
+    }
+    if (mlen > raw_len - op) return false;
+    const std::uint8_t* m = dst + op - off;
+    // Byte-forward copy: an overlapping match (offset < length) replays
+    // its own freshly written output — run-length encoding.
+    for (std::size_t i = 0; i < mlen; ++i) dst[op + i] = m[i];
+    op += mlen;
+  }
+  return op == raw_len;
+}
+
+}  // namespace reomp

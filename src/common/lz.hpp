@@ -1,0 +1,69 @@
+// Dependency-free byte-oriented LZ77 block codec for record-trace chunks.
+//
+// Token stream in the LZ4 family, tuned for the v3 chunked record
+// container (src/trace/chunk_format.hpp) whose payloads top out at the
+// 64 KiB default chunk — well inside the 16-bit match-offset window:
+//
+//   block    := sequence* final
+//   sequence := token lit_ext* literal* offset:u16 match_ext*
+//   final    := token lit_ext* literal*            (no match: input ends)
+//   token    := lit_len:4 | match_len:4            (high nibble literals)
+//
+// Both 4-bit lengths saturate at 15 and extend with 255-continuation
+// bytes (a 255 adds 255 and continues; any smaller byte terminates).
+// match_len stores length-4 (kMinMatch = 4: shorter matches cost as much
+// as their literals). offset is little-endian, 1..65535, counted back
+// from the current output position; matches may overlap their own output
+// (offset < length ⇒ byte-forward copy = run-length encoding).
+//
+// The compressor is a greedy hash-chain matcher: a 4-byte rolling hash
+// heads a per-position chain, walked to a bounded depth, window bounded
+// by the 16-bit offset. Compression is a pure function of the input
+// bytes — no timestamps, no randomness — which the record container
+// relies on for byte-identical streams across writer modes.
+//
+// The decompressor is safe on adversarial input: every offset is checked
+// against the bytes actually produced, every length against both buffer
+// ends, and the exact output size must match `raw_len`. It never reads
+// or writes out of bounds and returns false instead of throwing so
+// callers can attach their own (container-level) diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reomp {
+
+/// Worst-case compressed size for `n` input bytes (all-literal block:
+/// one token, length extensions, the literals themselves).
+constexpr std::size_t lz_max_compressed_size(std::size_t n) {
+  return n + n / 255 + 16;
+}
+
+/// Reusable compressor: the hash head/chain tables persist across calls,
+/// so a per-chunk writer pays one allocation, not one per chunk.
+class LzEncoder {
+ public:
+  /// Compress `src[0..n)` into `out` (capacity ≥ lz_max_compressed_size(n)).
+  /// Returns the compressed size. Deterministic in `src` alone.
+  std::size_t compress(const std::uint8_t* src, std::size_t n,
+                       std::uint8_t* out);
+
+ private:
+  std::vector<std::int32_t> head_;
+  std::vector<std::int32_t> chain_;
+};
+
+/// One-shot convenience over a thread-local LzEncoder.
+std::size_t lz_compress(const std::uint8_t* src, std::size_t n,
+                        std::uint8_t* out);
+
+/// Decompress `src[0..n)` into `dst[0..raw_len)`. Returns false on any
+/// malformed input: truncated token/extension/offset, zero offset, offset
+/// past the produced prefix, or an output size other than exactly
+/// `raw_len`. Never touches memory outside the two spans.
+[[nodiscard]] bool lz_decompress(const std::uint8_t* src, std::size_t n,
+                                 std::uint8_t* dst, std::size_t raw_len);
+
+}  // namespace reomp

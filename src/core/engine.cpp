@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -24,6 +25,7 @@ trace::Manifest make_manifest(const Options& opt) {
   m.num_threads = opt.num_threads;
   m.extra["history_cap"] = std::to_string(opt.history_capacity);
   m.extra["trace_format"] = std::string(to_string(opt.trace_format));
+  m.extra["trace_compress"] = std::string(to_string(opt.trace_compress));
   return m;
 }
 
@@ -62,6 +64,13 @@ Engine::Engine(Options opt) : opt_(std::move(opt)) {
   // Windowing preconditions, validated up front so a misconfigured flight
   // recorder fails loudly instead of silently recording a single-segment
   // layout the operator believed was bounded.
+  if (opt_.trace_compress != trace::TraceCompress::kOff &&
+      opt_.trace_format == trace::ContainerFormat::kV1) {
+    throw std::invalid_argument(
+        "REOMP_TRACE_COMPRESS requires the v2 chunked container "
+        "(REOMP_TRACE_FORMAT=v2); the raw v1 stream has no chunks to "
+        "compress");
+  }
   if (opt_.trace_retain_windows > 0 && opt_.trace_window_events == 0) {
     throw std::invalid_argument(
         "REOMP_TRACE_RETAIN_WINDOWS requires REOMP_TRACE_WINDOW_EVENTS "
@@ -138,7 +147,8 @@ void Engine::open_record_streams() {
       st_.sink = std::move(sink);
     }
     st_.writer = std::make_unique<trace::RecordWriter>(
-        *st_.sink, opt_.trace_format, opt_.trace_chunk_bytes);
+        *st_.sink, opt_.trace_format, opt_.trace_chunk_bytes,
+        /*first_seq=*/0, opt_.trace_compress);
     if (opt_.trace_writer != TraceWriter::kOff) {
       // Group-commit staging; the off baseline keeps per-entry appends.
       st_.staging = std::make_unique<MpscWordRing>(opt_.staging_ring_capacity);
@@ -162,7 +172,8 @@ void Engine::open_record_streams() {
       t.sink = std::move(sink);
     }
     t.writer = std::make_unique<trace::RecordWriter>(
-        *t.sink, opt_.trace_format, opt_.trace_chunk_bytes);
+        *t.sink, opt_.trace_format, opt_.trace_chunk_bytes,
+        /*first_seq=*/0, opt_.trace_compress);
     t.ring = std::make_unique<WriteBehindRing>(opt_.record_ring_capacity);
     // The threshold must be reachable inside the ring: a threshold above
     // the capacity would never fire, and every entry past the first ringful
@@ -337,9 +348,9 @@ void Engine::cut_window_locked() {
     } catch (const std::exception& e) {
       if (st_.io_error.empty()) st_.io_error = e.what();
     }
-    window_stats_[w]["shared"] = {st_.writer->chunks(),
-                                  st_.writer->wire_bytes(),
-                                  st_.writer->count() - st_segment_base_};
+    window_stats_[w]["shared"] = {
+        st_.writer->chunks(), st_.writer->wire_bytes(),
+        st_.writer->count() - st_segment_base_, st_.writer->raw_bytes()};
   } else {
     for (auto& t : threads_) {
       try {
@@ -353,7 +364,8 @@ void Engine::cut_window_locked() {
       }
       window_stats_[w]["t" + std::to_string(t->tid)] = {
           t->writer->chunks(), t->writer->wire_bytes(),
-          t->writer->count() - thread_segment_bases_[t->tid]};
+          t->writer->count() - thread_segment_bases_[t->tid],
+          t->writer->raw_bytes()};
     }
   }
 
@@ -433,7 +445,8 @@ void Engine::open_window_segments() {
       auto sink = std::make_unique<trace::FileSink>(
           trace::shared_window_file_path(opt_.dir, w));
       auto writer = std::make_unique<trace::RecordWriter>(
-          *sink, opt_.trace_format, opt_.trace_chunk_bytes, st_segment_base_);
+          *sink, opt_.trace_format, opt_.trace_chunk_bytes, st_segment_base_,
+          opt_.trace_compress);
       st_.writer = std::move(writer);
       st_.sink = std::move(sink);
     } catch (const std::exception& e) {
@@ -452,7 +465,7 @@ void Engine::open_window_segments() {
           trace::thread_window_file_path(opt_.dir, t->tid, w));
       auto writer = std::make_unique<trace::RecordWriter>(
           *sink, opt_.trace_format, opt_.trace_chunk_bytes,
-          thread_segment_bases_[t->tid]);
+          thread_segment_bases_[t->tid], opt_.trace_compress);
       t->writer = std::move(writer);
       t->sink = std::move(sink);
     } catch (const std::exception& e) {
@@ -514,9 +527,12 @@ void Engine::open_replay_streams() {
   }
 
   // Pre-decode admission: the fast path is on by default, but a trace
-  // whose worst-case decoded footprint exceeds the memory cap falls back
-  // to the streaming reader instead of risking an OOM (the decoded form
-  // is up to 8x the encoded bytes).
+  // whose decoded footprint could exceed the memory cap falls back to the
+  // streaming reader instead of risking an OOM. v1/v2 streams use the
+  // worst-case 8x-of-encoded bound; v3 (compressed) streams are admitted
+  // on their exact decoded size via a chunk-granular header scan — the
+  // worst-case bound applied to compressed bytes would shrink the
+  // admissible trace just because the file shrank.
   replay_prefetched_ = opt_.replay_prefetch;
   std::vector<std::uint64_t> stream_bytes;  // per thread, or [0] = shared
   if (replay_prefetched_) {
@@ -527,25 +543,45 @@ void Engine::open_replay_streams() {
       const auto sz = std::filesystem::file_size(path, ec);
       return ec ? std::uint64_t{0} : static_cast<std::uint64_t>(sz);
     };
-    std::uint64_t total_encoded = 0;
+    auto decoded_bound = [&](const std::string& path,
+                             const std::vector<std::uint8_t>* mem,
+                             std::uint64_t encoded) -> std::uint64_t {
+      if (!from_file) {
+        if (mem->size() < trace::v2::kMagicBytes ||
+            std::memcmp(mem->data(), trace::v2::kStreamMagicV3,
+                        trace::v2::kMagicBytes) != 0) {
+          return trace::decoded_bytes_upper_bound(encoded);
+        }
+        trace::MemorySource src(*mem);
+        return trace::DecodedSchedule::scan_decoded_bound(src, encoded);
+      }
+      if (encoded == 0) return 0;  // missing file: decode reports it
+      trace::FileSource src(path);
+      return trace::DecodedSchedule::scan_decoded_bound(src, encoded);
+    };
+    std::uint64_t total_bound = 0;
     if (opt_.strategy == Strategy::kST) {
       stream_bytes.push_back(encoded_size(
           trace::shared_file_path(opt_.dir),
           from_file ? nullptr : &opt_.bundle->shared_stream));
-      total_encoded = stream_bytes[0];
+      total_bound = decoded_bound(
+          trace::shared_file_path(opt_.dir),
+          from_file ? nullptr : &opt_.bundle->shared_stream, stream_bytes[0]);
     } else {
       for (ThreadId tid = 0; tid < opt_.num_threads; ++tid) {
         stream_bytes.push_back(encoded_size(
             trace::thread_file_path(opt_.dir, tid),
             from_file ? nullptr : &opt_.bundle->thread_streams.at(tid)));
-        total_encoded += stream_bytes.back();
+        total_bound += decoded_bound(
+            trace::thread_file_path(opt_.dir, tid),
+            from_file ? nullptr : &opt_.bundle->thread_streams.at(tid),
+            stream_bytes.back());
       }
     }
-    if (trace::decoded_bytes_upper_bound(total_encoded) >
-        opt_.replay_mem_cap) {
+    if (total_bound > opt_.replay_mem_cap) {
       REOMP_LOG_WARN << "replay prefetch disabled: decoded schedule could "
                         "need "
-                     << trace::decoded_bytes_upper_bound(total_encoded)
+                     << total_bound
                      << " bytes > REOMP_REPLAY_MEM_CAP=" << opt_.replay_mem_cap
                      << "; falling back to streaming replay";
       replay_prefetched_ = false;
@@ -592,7 +628,7 @@ void Engine::open_replay_streams() {
       scratch = std::make_unique<trace::MemorySource>(*mem);
     }
     trace::RecordReader probe(*scratch, opt_.replay_salvage);
-    if (probe.probe_format() != trace::ContainerFormat::kV2) {
+    if (probe.probe_format() == trace::ContainerFormat::kV1) {
       return WaitTelemetry::kUnknownTotal;  // v1: stays lazily decoded
     }
     std::uint64_t entries = 0;
@@ -766,18 +802,24 @@ void Engine::open_windowed_replay_streams(const trace::Manifest& m) {
   }
 
   // Memory-cap admission, same policy as the single-segment path but over
-  // the whole retained range.
+  // the whole retained range: worst-case bound for v2 segments, the exact
+  // chunk-granular scan for compressed (v3) ones — so segment seek and
+  // admission work on compressed bounds, not 8x the compressed bytes.
   replay_prefetched_ = opt_.replay_prefetch;
   if (replay_prefetched_) {
-    std::uint64_t total_encoded = 0;
+    std::uint64_t total_bound = 0;
     for (const auto& segs : streams) {
-      for (const Segment& seg : segs) total_encoded += seg.bytes;
+      for (const Segment& seg : segs) {
+        if (seg.bytes == 0) continue;
+        trace::FileSource src(seg.path);
+        total_bound +=
+            trace::DecodedSchedule::scan_decoded_bound(src, seg.bytes);
+      }
     }
-    if (trace::decoded_bytes_upper_bound(total_encoded) >
-        opt_.replay_mem_cap) {
+    if (total_bound > opt_.replay_mem_cap) {
       REOMP_LOG_WARN << "replay prefetch disabled: decoded schedule could "
                         "need "
-                     << trace::decoded_bytes_upper_bound(total_encoded)
+                     << total_bound
                      << " bytes > REOMP_REPLAY_MEM_CAP=" << opt_.replay_mem_cap
                      << "; falling back to streaming replay";
       replay_prefetched_ = false;
@@ -1205,29 +1247,31 @@ void Engine::finalize_record() {
       if (st_.writer != nullptr) {
         window_stats_[window_open_idx_]["shared"] = {
             st_.writer->chunks(), st_.writer->wire_bytes(),
-            st_.writer->count() - st_segment_base_};
+            st_.writer->count() - st_segment_base_, st_.writer->raw_bytes()};
       }
     } else {
       for (const auto& t : threads_) {
         if (t->writer != nullptr) {
           window_stats_[window_open_idx_]["t" + std::to_string(t->tid)] = {
               t->writer->chunks(), t->writer->wire_bytes(),
-              t->writer->count() - thread_segment_bases_[t->tid]};
+              t->writer->count() - thread_segment_bases_[t->tid],
+              t->writer->raw_bytes()};
         }
       }
     }
     fill_windowed_manifest(manifest);
   } else if (opt_.strategy == Strategy::kST) {
     if (st_.writer != nullptr) {
-      manifest.streams["shared"] = {st_.writer->chunks(),
-                                    st_.writer->wire_bytes(),
-                                    st_.writer->count()};
+      manifest.streams["shared"] = {
+          st_.writer->chunks(), st_.writer->wire_bytes(), st_.writer->count(),
+          st_.writer->raw_bytes()};
     }
   } else {
     for (const auto& t : threads_) {
       if (t->writer != nullptr) {
         manifest.streams["t" + std::to_string(t->tid)] = {
-            t->writer->chunks(), t->writer->wire_bytes(), t->writer->count()};
+            t->writer->chunks(), t->writer->wire_bytes(), t->writer->count(),
+            t->writer->raw_bytes()};
       }
     }
   }

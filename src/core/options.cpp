@@ -127,6 +127,14 @@ Options Options::from_env(std::uint32_t num_threads) {
                                "' (expected v1|v2)");
     }
   }
+  if (auto c = env_string("REOMP_TRACE_COMPRESS")) {
+    if (auto parsed = trace::trace_compress_from_string(*c)) {
+      opt.trace_compress = *parsed;
+    } else {
+      throw std::runtime_error("REOMP_TRACE_COMPRESS='" + *c +
+                               "' (expected off|lz|delta+lz)");
+    }
+  }
   opt.trace_chunk_bytes =
       env_capacity_strict("REOMP_TRACE_CHUNK_BYTES", opt.trace_chunk_bytes);
   opt.replay_salvage =

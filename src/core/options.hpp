@@ -102,10 +102,25 @@ struct Options {
   /// ablation anchor. Readers auto-detect either. Env: REOMP_TRACE_FORMAT.
   trace::ContainerFormat trace_format = trace::ContainerFormat::kV2;
 
+  /// Per-chunk block codec for record streams (v2 container only — the
+  /// upgrade to the v3 framing happens inside the writer, never via
+  /// REOMP_TRACE_FORMAT): `lz` runs the in-tree LZ codec over each chunk
+  /// payload; `delta+lz` column-splits the payload (gate varints, then
+  /// delta varints) first, which is what actually exposes the
+  /// near-monotone clock structure to the matcher. `off` (default) keeps
+  /// the bit-exact v2 anchor for ablation. Incompressible chunks always
+  /// fall back to stored, so a compressed stream never exceeds its v2
+  /// twin by more than 1 byte per chunk. Env: REOMP_TRACE_COMPRESS
+  /// (strict: anything but off|lz|delta+lz throws).
+  trace::TraceCompress trace_compress = trace::TraceCompress::kOff;
+
   /// v2 chunk payload target in bytes: a chunk is cut once its payload
   /// reaches this. Smaller chunks lose less data to a torn tail but pay
   /// more framing (36 bytes per chunk); the default loses at most 64 KiB
-  /// of encoded entries to a crash. Env: REOMP_TRACE_CHUNK_BYTES.
+  /// of encoded entries to a crash. It is also the codec's effective
+  /// window (the LZ matcher sees one chunk at a time, and its 64 KiB
+  /// offset range covers the default chunk exactly).
+  /// Env: REOMP_TRACE_CHUNK_BYTES.
   std::uint32_t trace_chunk_bytes = 1u << 16;
 
   /// Replay of damaged traces: when true, a TRUNCATED stream (crashed
@@ -213,7 +228,8 @@ struct Options {
   /// Construct from REOMP_MODE / REOMP_STRATEGY / REOMP_DIR /
   /// REOMP_HISTORY_CAP / REOMP_SHADOW_SHARDS / REOMP_SYNC_STRIPES /
   /// REOMP_WAIT_POLICY /
-  /// REOMP_TRACE_WRITER / REOMP_TRACE_FORMAT / REOMP_TRACE_CHUNK_BYTES /
+  /// REOMP_TRACE_WRITER / REOMP_TRACE_FORMAT / REOMP_TRACE_COMPRESS /
+  /// REOMP_TRACE_CHUNK_BYTES /
   /// REOMP_RING_CAPACITY / REOMP_STAGING_CAPACITY /
   /// REOMP_TRACE_WINDOW_EVENTS / REOMP_TRACE_RETAIN_WINDOWS /
   /// REOMP_REPLAY_FROM_WINDOW /

@@ -34,6 +34,19 @@ bool transient_errno(int e) {
 
 }  // namespace
 
+std::size_t ByteSource::skip(std::size_t size) {
+  // Generic fallback: read into a scratch buffer and drop the bytes.
+  std::uint8_t scratch[1024];
+  std::size_t total = 0;
+  while (total < size) {
+    const std::size_t want = std::min(size - total, sizeof scratch);
+    const std::size_t got = read(scratch, want);
+    if (got == 0) break;
+    total += got;
+  }
+  return total;
+}
+
 void write_all_fd(int fd, const std::uint8_t* data, std::size_t size,
                   const std::string& path) {
   int transient = 0;
@@ -180,9 +193,38 @@ std::size_t FileSource::read(std::uint8_t* data, std::size_t size) {
   return total;
 }
 
+std::size_t FileSource::skip(std::size_t size) {
+  // Consume the buffered window first — its bytes are already past the
+  // file offset — then hop the descriptor over the rest, clamped to the
+  // file end so the return value still reports a short skip at EOF.
+  const std::size_t buffered = std::min(size, buf_len_ - buf_pos_);
+  buf_pos_ += buffered;
+  std::size_t remaining = size - buffered;
+  if (remaining == 0) return buffered;
+  const off_t cur = ::lseek(fd_, 0, SEEK_CUR);
+  if (cur >= 0) {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end >= 0) {
+      const off_t target =
+          std::min(end, cur + static_cast<off_t>(remaining));
+      if (::lseek(fd_, target, SEEK_SET) >= 0) {
+        return buffered + static_cast<std::size_t>(target - cur);
+      }
+    }
+  }
+  // Unseekable (pipe-backed) descriptor: fall back to read-and-discard.
+  return buffered + ByteSource::skip(remaining);
+}
+
 std::size_t MemorySource::read(std::uint8_t* data, std::size_t size) {
   const std::size_t take = std::min(size, bytes_.size() - pos_);
   std::memcpy(data, bytes_.data() + pos_, take);
+  pos_ += take;
+  return take;
+}
+
+std::size_t MemorySource::skip(std::size_t size) {
+  const std::size_t take = std::min(size, bytes_.size() - pos_);
   pos_ += take;
   return take;
 }

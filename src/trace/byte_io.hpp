@@ -50,6 +50,12 @@ class ByteSource {
   virtual ~ByteSource() = default;
   /// Read up to `size` bytes; returns bytes read (0 at EOF).
   virtual std::size_t read(std::uint8_t* data, std::size_t size) = 0;
+  /// Skip forward up to `size` bytes without delivering them; returns the
+  /// bytes actually skipped (< size only at EOF). The chunk-granular scan
+  /// over a v3 stream (DecodedSchedule::scan_decoded_bound) hops from
+  /// header to header with this, so admission never touches payload
+  /// bytes. Default: read-and-discard; FileSource seeks instead.
+  virtual std::size_t skip(std::size_t size);
 };
 
 /// Buffered file sink. Buffering matters: DC/DE issue one small append per
@@ -99,6 +105,9 @@ class FileSource final : public ByteSource {
   FileSource& operator=(const FileSource&) = delete;
 
   std::size_t read(std::uint8_t* data, std::size_t size) override;
+  /// Consumes buffered bytes, then lseek(2)s past the rest (falling back
+  /// to read-and-discard on unseekable descriptors).
+  std::size_t skip(std::size_t size) override;
 
  private:
   int fd_ = -1;
@@ -131,6 +140,7 @@ class MemorySource final : public ByteSource {
       : bytes_(std::move(bytes)) {}
 
   std::size_t read(std::uint8_t* data, std::size_t size) override;
+  std::size_t skip(std::size_t size) override;
 
  private:
   std::vector<std::uint8_t> bytes_;

@@ -8,8 +8,19 @@ namespace reomp::trace {
 
 std::optional<ContainerFormat> container_format_from_string(
     std::string_view s) {
+  // Deliberately no "v3": the codec revision is not a format you ask for,
+  // it is what REOMP_TRACE_COMPRESS ≠ off makes of a v2 stream. Keeping it
+  // out of the knob grammar means "v2 + off" stays the unique bit-exact
+  // ablation anchor.
   if (s == "v1" || s == "1") return ContainerFormat::kV1;
   if (s == "v2" || s == "2") return ContainerFormat::kV2;
+  return std::nullopt;
+}
+
+std::optional<TraceCompress> trace_compress_from_string(std::string_view s) {
+  if (s == "off") return TraceCompress::kOff;
+  if (s == "lz") return TraceCompress::kLz;
+  if (s == "delta+lz") return TraceCompress::kDeltaLz;
   return std::nullopt;
 }
 
@@ -52,6 +63,14 @@ void pack_header(const ChunkHeader& h, std::uint8_t* out) {
   put_u32(out + 28, h.crc);
 }
 
+std::size_t pack_header_v3(const ChunkHeader& h, std::uint8_t* out) {
+  pack_header(h, out);
+  out[kHeaderBytes] = h.codec;
+  if (h.codec == kCodecStored) return kHeaderBytesV3;
+  put_u32(out + kHeaderBytesV3, h.raw_len);
+  return kHeaderBytesV3 + kRawLenBytes;
+}
+
 bool unpack_header(const std::uint8_t* in, ChunkHeader& h) {
   if (get_u32(in) != kChunkMarker) return false;
   h.payload_len = get_u32(in + 4);
@@ -59,15 +78,26 @@ bool unpack_header(const std::uint8_t* in, ChunkHeader& h) {
   h.first_seq = get_u64(in + 12);
   h.last_seq = get_u64(in + 20);
   h.crc = get_u32(in + 28);
+  h.codec = kCodecStored;
+  h.raw_len = h.payload_len;
   return true;
 }
 
+std::uint32_t unpack_u32(const std::uint8_t* in) { return get_u32(in); }
+
 void validate_header(const ChunkHeader& h, std::uint64_t expect_first_seq) {
   // Every entry encodes to at least 2 bytes (gate varint + delta varint),
-  // so entry_count > payload_len / 2 is impossible for honest data.
-  const bool ok = h.payload_len <= kMaxChunkPayload && h.entry_count >= 1 &&
-                  h.payload_len >= 2 * static_cast<std::uint64_t>(
-                                           h.entry_count) &&
+  // so entry_count > raw_len / 2 is impossible for honest data. The bound
+  // applies to the RAW (inflated) payload: a compressed wire payload may
+  // legitimately be smaller than 2 * entry_count. For v2 (and stored v3)
+  // chunks raw_len == payload_len, so this is the historical check.
+  const bool ok = h.payload_len <= kMaxChunkPayload &&
+                  h.raw_len <= kMaxChunkPayload && h.codec <= kCodecMax &&
+                  (h.codec == kCodecStored ? h.raw_len == h.payload_len
+                                           : h.payload_len < h.raw_len) &&
+                  h.entry_count >= 1 &&
+                  h.raw_len >=
+                      2 * static_cast<std::uint64_t>(h.entry_count) &&
                   h.last_seq == h.first_seq + h.entry_count - 1 &&
                   h.first_seq == expect_first_seq;
   if (!ok) {
@@ -84,12 +114,25 @@ std::string crc_mismatch_message(const ChunkHeader& h) {
 
 std::string bad_fields_message(const ChunkHeader& h,
                                std::uint64_t expect_first_seq) {
+  // codec/raw_len appear only for non-stored chunks, keeping the v2
+  // message byte-stable (both decode paths build it here either way).
+  std::string codec_part;
+  if (h.codec != kCodecStored) {
+    codec_part = " codec=" + std::to_string(h.codec) +
+                 " raw_len=" + std::to_string(h.raw_len);
+  }
   return "record chunk: inconsistent header (payload_len=" +
          std::to_string(h.payload_len) +
-         " entry_count=" + std::to_string(h.entry_count) +
+         " entry_count=" + std::to_string(h.entry_count) + codec_part +
          " seq=" + std::to_string(h.first_seq) + ".." +
          std::to_string(h.last_seq) +
          " expected first_seq=" + std::to_string(expect_first_seq) + ")";
+}
+
+std::string inflate_mismatch_message(const ChunkHeader& h) {
+  return "record chunk: payload inflate failed (codec=" +
+         std::to_string(h.codec) + " entries " + std::to_string(h.first_seq) +
+         ".." + std::to_string(h.last_seq) + ")";
 }
 
 }  // namespace v2

@@ -1,4 +1,5 @@
-// v2 chunked record container: framing constants, header codec, validation.
+// v2/v3 chunked record container: framing constants, header codec,
+// validation.
 //
 // A v2 stream is a 4-byte stream magic followed by zero or more chunks:
 //
@@ -11,9 +12,23 @@
 //              v1, but the delta chain RESETS to 0 at each chunk start so
 //              every chunk decodes on its own)
 //
+// v3 keeps the v2 framing byte-for-byte and appends a per-chunk block
+// codec (magic F7 'R' 'C' '3'; selected by REOMP_TRACE_COMPRESS):
+//
+//   chunk   := header codec:u8 [raw_len:u32] payload
+//   codec   := 0 stored | 1 lz | 2 delta+lz      (raw_len present iff ≠ 0)
+//   payload := codec-encoded chunk body; payload_len and crc32 describe
+//              the bytes ON THE WIRE, raw_len the inflated body
+//
+// CRC over the *compressed* payload means verify and salvage never
+// inflate: integrity and tear classification stay codec-blind. A stored
+// v3 chunk costs exactly one byte over its v2 twin, which is the
+// incompressible-data ceiling (the writer falls back to stored whenever
+// the codec fails to strictly shrink a payload).
+//
 // The magic is written eagerly at writer construction, so even a recorder
 // killed before its first chunk leaves a self-identifying (empty but valid)
-// v2 stream. first_seq/last_seq are stream-wide entry ordinals; a reader
+// stream. first_seq/last_seq are stream-wide entry ordinals; a reader
 // can therefore detect dropped/duplicated chunks without decoding payloads,
 // and a salvage pass can report exactly how many events a torn tail cost.
 //
@@ -35,14 +50,44 @@ namespace reomp::trace {
 enum class ContainerFormat : std::uint8_t {
   kV1 = 1,  // raw varint stream, no framing (legacy; read-only by default)
   kV2 = 2,  // CRC-chunked container (default)
+  kV3 = 3,  // v2 framing + per-chunk block codec. NOT selectable via
+            // REOMP_TRACE_FORMAT: the writer upgrades a v2 stream to v3
+            // exactly when REOMP_TRACE_COMPRESS ≠ off, and readers
+            // auto-probe it like v1/v2.
 };
 
 constexpr std::string_view to_string(ContainerFormat f) {
-  return f == ContainerFormat::kV1 ? "v1" : "v2";
+  switch (f) {
+    case ContainerFormat::kV1: return "v1";
+    case ContainerFormat::kV2: return "v2";
+    case ContainerFormat::kV3: return "v3";
+  }
+  return "?";
 }
 
 std::optional<ContainerFormat> container_format_from_string(
     std::string_view s);
+
+/// Per-chunk block codec selection (Options::trace_compress, env
+/// REOMP_TRACE_COMPRESS). `off` keeps the bit-exact v2 container — the
+/// ablation baseline; either compressed mode writes v3 and picks, per
+/// chunk, the smaller of the requested codec and stored.
+enum class TraceCompress : std::uint8_t {
+  kOff = 0,      // plain v2 container, no codec layer
+  kLz = 1,       // generic LZ stage only (src/common/lz.hpp)
+  kDeltaLz = 2,  // epoch-delta column pre-transform, then LZ
+};
+
+constexpr std::string_view to_string(TraceCompress c) {
+  switch (c) {
+    case TraceCompress::kOff: return "off";
+    case TraceCompress::kLz: return "lz";
+    case TraceCompress::kDeltaLz: return "delta+lz";
+  }
+  return "?";
+}
+
+std::optional<TraceCompress> trace_compress_from_string(std::string_view s);
 
 namespace v2 {
 
@@ -52,35 +97,73 @@ namespace v2 {
 inline constexpr std::uint8_t kStreamMagic[4] = {0xF7, 'R', 'C', '2'};
 inline constexpr std::size_t kMagicBytes = 4;
 
+/// v3 stream magic: same family as v2, last byte bumps the revision.
+inline constexpr std::uint8_t kStreamMagicV3[4] = {0xF7, 'R', 'C', '3'};
+
 /// Per-chunk marker ("RCHK" LE) — catches writes landing at a wrong offset.
 inline constexpr std::uint32_t kChunkMarker = 0x4b484352u;
 
 inline constexpr std::size_t kHeaderBytes = 32;
 
+// v3 grows the header by a codec id byte, plus a 4-byte uncompressed
+// length for non-stored chunks only (a stored chunk's raw_len IS its
+// payload_len, so incompressible data costs exactly +1 byte over v2).
+inline constexpr std::size_t kHeaderBytesV3 = kHeaderBytes + 1;
+inline constexpr std::size_t kRawLenBytes = 4;
+inline constexpr std::size_t kMaxHeaderBytesV3 = kHeaderBytesV3 + kRawLenBytes;
+
+/// v3 per-chunk codec ids (ChunkHeader::codec). Distinct from
+/// TraceCompress: that is the *request*, this is what a chunk actually
+/// used — a writer asked for lz/delta+lz still emits kCodecStored for any
+/// chunk the codec fails to strictly shrink.
+inline constexpr std::uint8_t kCodecStored = 0;
+inline constexpr std::uint8_t kCodecLz = 1;
+inline constexpr std::uint8_t kCodecDeltaLz = 2;
+inline constexpr std::uint8_t kCodecMax = kCodecDeltaLz;
+
 /// Upper bound on a chunk payload a reader will accept (64 MiB). Writers
 /// emit far smaller chunks (REOMP_TRACE_CHUNK_BYTES, default 64 KiB); the
-/// cap stops a corrupt length field from driving a giant allocation.
+/// cap stops a corrupt length field from driving a giant allocation. v3
+/// applies it to raw_len too, bounding the inflate scratch identically.
 inline constexpr std::uint32_t kMaxChunkPayload = 1u << 26;
 
 struct ChunkHeader {
-  std::uint32_t payload_len = 0;
+  std::uint32_t payload_len = 0;  // bytes on the wire (post-codec)
   std::uint32_t entry_count = 0;
   std::uint64_t first_seq = 0;
   std::uint64_t last_seq = 0;
-  std::uint32_t crc = 0;
+  std::uint32_t crc = 0;  // CRC32 of the ON-WIRE payload (post-codec)
+  // v3 only; a v2 unpack yields the stored-codec identity (raw_len =
+  // payload_len) so validation and entry decode stay format-blind.
+  std::uint8_t codec = kCodecStored;
+  std::uint32_t raw_len = 0;  // inflated payload bytes (pre-codec)
 };
 
-/// Serialize `h` into `out[0..kHeaderBytes)` (marker included).
+/// Serialize the v2 prefix of `h` into `out[0..kHeaderBytes)` (marker
+/// included; codec/raw_len are not written — v2 chunks have neither).
 void pack_header(const ChunkHeader& h, std::uint8_t* out);
+
+/// Serialize a v3 header (v2 prefix + codec byte + raw_len when
+/// compressed) into `out[0..kMaxHeaderBytesV3)`. Returns the bytes used.
+std::size_t pack_header_v3(const ChunkHeader& h, std::uint8_t* out);
 
 /// Parse `in[0..kHeaderBytes)`. Returns false when the marker is wrong
 /// (the caller decides whether that is corruption or a misprobed stream).
+/// Sets codec = kCodecStored and raw_len = payload_len; a v3 reader
+/// overwrites both from the trailing header bytes.
 [[nodiscard]] bool unpack_header(const std::uint8_t* in, ChunkHeader& h);
 
-/// Consistency checks on a parsed header: payload cap, non-empty chunk,
-/// payload large enough for entry_count 2-byte-minimum entries, seq range
-/// arithmetic, and continuity with `expect_first_seq` (stream-wide ordinal
-/// of the next expected entry). Throws TraceError(kCorrupt) on violation.
+/// Little-endian u32 at `in` — the v3 raw_len field, read separately
+/// because its presence depends on the codec byte before it.
+std::uint32_t unpack_u32(const std::uint8_t* in);
+
+/// Consistency checks on a parsed header: payload caps, a known codec id,
+/// non-empty chunk, RAW payload large enough for entry_count
+/// 2-byte-minimum entries, stored ⇔ raw_len == payload_len (a compressed
+/// chunk must be strictly smaller — the writer's stored fallback
+/// guarantees it), seq range arithmetic, and continuity with
+/// `expect_first_seq` (stream-wide ordinal of the next expected entry).
+/// Throws TraceError(kCorrupt) on violation.
 void validate_header(const ChunkHeader& h, std::uint64_t expect_first_seq);
 
 // Shared diagnostic messages. Streaming and bulk decoders must throw
@@ -106,6 +189,9 @@ inline constexpr const char* kErrBadSegmentMagic =
 std::string crc_mismatch_message(const ChunkHeader& h);
 std::string bad_fields_message(const ChunkHeader& h,
                                std::uint64_t expect_first_seq);
+/// A CRC-valid compressed payload that fails to inflate back to exactly
+/// raw_len bytes (kCorrupt — the chunk is intact but untrustworthy).
+std::string inflate_mismatch_message(const ChunkHeader& h);
 
 }  // namespace v2
 

@@ -58,35 +58,67 @@ DecodedSchedule decode_v1(const std::uint8_t* data, std::size_t size,
 // Append every chunk after the (already-verified) stream magic onto
 // `sched`, validating ordinal continuity from `expect` on. Shared by the
 // whole-stream decode (expect = 0) and the windowed per-segment appends
-// (expect = snapshot base + entries appended so far).
+// (expect = snapshot base + entries appended so far). `v3` selects the
+// extended header (codec byte, raw length for compressed chunks) and the
+// chunk-at-a-time inflate; failure classification stays byte-identical to
+// the streaming RecordReader.
 void decode_v2_into(DecodedSchedule& sched, const std::uint8_t* data,
-                    std::size_t size, std::uint64_t expect, bool salvage) {
+                    std::size_t size, std::uint64_t expect, bool salvage,
+                    bool v3) {
   sched.entries.reserve(sched.entries.size() + size / kMinEntryBytes);
+  const std::size_t base = v3 ? v2::kHeaderBytesV3 : v2::kHeaderBytes;
+  // Reused across chunks: the single scratch pair for v3 inflation.
+  std::vector<std::uint8_t> inflate;
+  std::vector<std::uint8_t> columns;
   std::size_t pos = v2::kMagicBytes;
   while (pos < size) {
     const std::size_t chunk_start = pos;
     const char* torn_msg = nullptr;
-    if (size - pos < v2::kHeaderBytes) {
+    if (size - pos < base) {
       torn_msg = v2::kErrTornHeader;
     } else {
       v2::ChunkHeader h;
       if (!v2::unpack_header(data + pos, h)) {
         throw TraceError(TraceErrorKind::kCorrupt, v2::kErrBadMarker);
       }
-      v2::validate_header(h, expect);
-      if (size - pos - v2::kHeaderBytes < h.payload_len) {
-        torn_msg = v2::kErrTornPayload;
-      } else {
-        const std::uint8_t* payload = data + pos + v2::kHeaderBytes;
-        if (crc32(payload, h.payload_len) != h.crc) {
-          throw TraceError(TraceErrorKind::kCorrupt,
-                           v2::crc_mismatch_message(h));
+      std::size_t hdr_len = base;
+      bool torn_raw_len = false;
+      if (v3) {
+        h.codec = data[pos + v2::kHeaderBytes];
+        if (h.codec > v2::kCodecMax) {
+          // Unknown codec: do not trust the header shape enough to read a
+          // raw length; leave raw_len inconsistent so validate_header
+          // throws the same diagnostic as the streaming path.
+          h.raw_len = 0;
+        } else if (h.codec != v2::kCodecStored) {
+          if (size - pos - v2::kHeaderBytesV3 < v2::kRawLenBytes) {
+            torn_raw_len = true;
+          } else {
+            h.raw_len = v2::unpack_u32(data + pos + v2::kHeaderBytesV3);
+            hdr_len += v2::kRawLenBytes;
+          }
         }
-        decode_chunk_entries(h, payload, sched.entries);
-        pos += v2::kHeaderBytes + h.payload_len;
-        expect = h.last_seq + 1;
-        ++sched.chunks;
-        continue;
+      }
+      if (torn_raw_len) {
+        torn_msg = v2::kErrTornHeader;
+      } else {
+        v2::validate_header(h, expect);
+        if (size - pos - hdr_len < h.payload_len) {
+          torn_msg = v2::kErrTornPayload;
+        } else {
+          const std::uint8_t* payload = data + pos + hdr_len;
+          if (crc32(payload, h.payload_len) != h.crc) {
+            throw TraceError(TraceErrorKind::kCorrupt,
+                             v2::crc_mismatch_message(h));
+          }
+          const std::uint8_t* raw =
+              inflate_chunk_payload(h, payload, inflate, columns);
+          decode_chunk_entries(h, raw, sched.entries);
+          pos += hdr_len + h.payload_len;
+          expect = h.last_seq + 1;
+          ++sched.chunks;
+          continue;
+        }
       }
     }
     // Torn tail: the same dropped-byte accounting as the streaming reader
@@ -99,9 +131,9 @@ void decode_v2_into(DecodedSchedule& sched, const std::uint8_t* data,
 }
 
 DecodedSchedule decode_v2(const std::uint8_t* data, std::size_t size,
-                          bool salvage) {
+                          bool salvage, bool v3) {
   DecodedSchedule sched;
-  decode_v2_into(sched, data, size, /*expect=*/0, salvage);
+  decode_v2_into(sched, data, size, /*expect=*/0, salvage, v3);
   return sched;
 }
 
@@ -136,7 +168,11 @@ DecodedSchedule DecodedSchedule::decode_bytes(const std::uint8_t* data,
   // RecordReader::next (the equivalence suite checks the error strings).
   if (size >= v2::kMagicBytes &&
       std::memcmp(data, v2::kStreamMagic, v2::kMagicBytes) == 0) {
-    return decode_v2(data, size, salvage);
+    return decode_v2(data, size, salvage, /*v3=*/false);
+  }
+  if (size >= v2::kMagicBytes &&
+      std::memcmp(data, v2::kStreamMagicV3, v2::kMagicBytes) == 0) {
+    return decode_v2(data, size, salvage, /*v3=*/true);
   }
   return decode_v1(data, size, salvage);
 }
@@ -155,10 +191,13 @@ void DecodedSchedule::append_segment(DecodedSchedule& sched,
     }
     throw TraceError(TraceErrorKind::kTruncated, v2::kErrTornSegmentMagic);
   }
-  if (std::memcmp(data, v2::kStreamMagic, v2::kMagicBytes) != 0) {
+  bool v3 = false;
+  if (std::memcmp(data, v2::kStreamMagicV3, v2::kMagicBytes) == 0) {
+    v3 = true;
+  } else if (std::memcmp(data, v2::kStreamMagic, v2::kMagicBytes) != 0) {
     throw TraceError(TraceErrorKind::kCorrupt, v2::kErrBadSegmentMagic);
   }
-  decode_v2_into(sched, data, size, first_seq, may_salvage);
+  decode_v2_into(sched, data, size, first_seq, may_salvage, v3);
 }
 
 void DecodedSchedule::append_segment_source(DecodedSchedule& sched,
@@ -179,6 +218,45 @@ void DecodedSchedule::append_segment_source(DecodedSchedule& sched,
   }
   append_segment(sched, bytes.data(), bytes.size(), first_seq, salvage,
                  final_segment);
+}
+
+std::uint64_t DecodedSchedule::scan_decoded_bound(
+    ByteSource& source, std::uint64_t fallback_encoded_bytes) {
+  const std::uint64_t fallback =
+      decoded_bytes_upper_bound(fallback_encoded_bytes);
+  std::uint8_t hdr[v2::kMaxHeaderBytesV3];
+  const std::size_t got = source.read(hdr, v2::kMagicBytes);
+  if (got != v2::kMagicBytes ||
+      std::memcmp(hdr, v2::kStreamMagicV3, v2::kMagicBytes) != 0) {
+    // v1/v2 (or tiny/empty file): keep the historical worst-case bound so
+    // existing admission behaviour is untouched.
+    return fallback;
+  }
+  std::uint64_t total = 0;
+  for (;;) {
+    const std::size_t hgot = source.read(hdr, v2::kHeaderBytesV3);
+    if (hgot == 0) return total;  // clean end at a chunk boundary: exact
+    if (hgot < v2::kHeaderBytesV3) return fallback;
+    v2::ChunkHeader h;
+    if (!v2::unpack_header(hdr, h)) return fallback;
+    h.codec = hdr[v2::kHeaderBytes];
+    if (h.codec > v2::kCodecMax) return fallback;
+    if (h.codec != v2::kCodecStored) {
+      if (source.read(hdr + v2::kHeaderBytesV3, v2::kRawLenBytes) <
+          v2::kRawLenBytes) {
+        return fallback;
+      }
+      h.raw_len = v2::unpack_u32(hdr + v2::kHeaderBytesV3);
+    }
+    // Light sanity only (the decode proper classifies damage): enough to
+    // keep a garbled count from poisoning the sum.
+    if (h.entry_count < 1 || h.payload_len > v2::kMaxChunkPayload ||
+        h.raw_len > v2::kMaxChunkPayload) {
+      return fallback;
+    }
+    total += static_cast<std::uint64_t>(h.entry_count) * sizeof(RecordEntry);
+    if (source.skip(h.payload_len) < h.payload_len) return fallback;
+  }
 }
 
 }  // namespace reomp::trace

@@ -110,6 +110,21 @@ struct DecodedSchedule {
                                     std::uint64_t size_hint,
                                     std::uint64_t first_seq, bool salvage,
                                     bool final_segment);
+
+  /// Chunk-granular decoded-size bound for the replay_mem_cap admission
+  /// check. For a v3 stream, walks header to header (ByteSource::skip hops
+  /// the payloads — no inflation, no payload reads) and sums
+  /// entry_count * sizeof(RecordEntry) exactly; a compressed stream is
+  /// thus admitted on its true decoded footprint instead of the
+  /// worst-case 8x-of-wire bound, which would otherwise *shrink* the
+  /// admissible trace as compression shrinks the file. v1/v2 streams —
+  /// and any v3 walk anomaly (torn/garbled headers; the real decode will
+  /// classify them) — fall back to
+  /// decoded_bytes_upper_bound(fallback_encoded_bytes), the historical
+  /// behaviour. The source is left mid-stream: scan with a throwaway
+  /// source, then reopen to decode.
+  static std::uint64_t scan_decoded_bound(ByteSource& source,
+                                          std::uint64_t fallback_encoded_bytes);
 };
 
 }  // namespace reomp::trace

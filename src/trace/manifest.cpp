@@ -9,14 +9,16 @@ namespace reomp::trace {
 
 namespace {
 
-// Parse "<chunks>:<bytes>:<entries>"; false on any syntax violation.
+// Parse "<chunks>:<bytes>:<entries>[:<raw_bytes>]"; false on any syntax
+// violation. The 3-field form predates the v3 compressed container, where
+// raw == wire — load it as raw_bytes = bytes.
 bool parse_stream_stat(const std::string& value, Manifest::StreamStat& out) {
-  std::uint64_t fields[3] = {0, 0, 0};
+  std::uint64_t fields[4] = {0, 0, 0, 0};
   std::size_t field = 0;
   bool any_digit = false;
   for (const char c : value) {
     if (c == ':') {
-      if (!any_digit || field >= 2) return false;
+      if (!any_digit || field >= 3) return false;
       ++field;
       any_digit = false;
       continue;
@@ -25,10 +27,11 @@ bool parse_stream_stat(const std::string& value, Manifest::StreamStat& out) {
     fields[field] = fields[field] * 10 + static_cast<std::uint64_t>(c - '0');
     any_digit = true;
   }
-  if (field != 2 || !any_digit) return false;
+  if (field < 2 || !any_digit) return false;
   out.chunks = fields[0];
   out.bytes = fields[1];
   out.entries = fields[2];
+  out.raw_bytes = field == 3 ? fields[3] : fields[1];
   return true;
 }
 
@@ -42,7 +45,7 @@ std::string Manifest::to_text() const {
   os << "complete=" << (complete ? 1 : 0) << "\n";
   for (const auto& [name, s] : streams) {
     os << "stream." << name << "=" << s.chunks << ":" << s.bytes << ":"
-       << s.entries << "\n";
+       << s.entries << ":" << s.raw_bytes << "\n";
   }
   if (windowed) {
     os << "windowed=1\n";
@@ -51,7 +54,7 @@ std::string Manifest::to_text() const {
     for (const auto& [w, streams_of_w] : windows) {
       for (const auto& [name, s] : streams_of_w) {
         os << "window." << w << "." << name << "=" << s.chunks << ":"
-           << s.bytes << ":" << s.entries << "\n";
+           << s.bytes << ":" << s.entries << ":" << s.raw_bytes << "\n";
       }
     }
   }

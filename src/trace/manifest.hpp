@@ -25,10 +25,19 @@ struct Manifest {
   static constexpr std::uint32_t kFormatVersion = 2;
 
   /// Recorder-side accounting for one stream file, written at finalize.
+  /// Serialized "chunks:bytes:entries[:raw_bytes]" — the 4th field arrived
+  /// with the v3 compressed container (same manifest format version; a
+  /// 3-field stat from an older manifest loads with raw_bytes = bytes,
+  /// i.e. ratio 1, which is exact for the uncompressed containers).
   struct StreamStat {
-    std::uint64_t chunks = 0;   // v2 chunks (0 for a v1 stream)
+    std::uint64_t chunks = 0;   // v2/v3 chunks (0 for a v1 stream)
     std::uint64_t bytes = 0;    // final wire size of the stream file
     std::uint64_t entries = 0;  // logical record entries
+    /// Bytes the bit-exact v2 anchor encoding would occupy; equals `bytes`
+    /// for v1/v2 streams, and raw_bytes / bytes is the stream's
+    /// compression ratio for v3. 0 only in hand-built aggregate-init test
+    /// fixtures (treated as "unknown" by the verify tool).
+    std::uint64_t raw_bytes = 0;
 
     friend bool operator==(const StreamStat&, const StreamStat&) = default;
   };

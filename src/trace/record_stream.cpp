@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 #include "src/common/crc32.hpp"
 #include "src/trace/trace_error.hpp"
@@ -10,6 +11,16 @@ namespace reomp::trace {
 
 namespace {
 constexpr std::size_t kChunk = 1 << 14;  // v1 read-buffer refill granule
+
+/// Length of the varint at `p` (continuation-bit scan), bounded by
+/// `avail` and the 10-byte maximum. 0 = torn or overlong.
+std::size_t varint_span(const std::uint8_t* p, std::size_t avail) {
+  const std::size_t limit = std::min(avail, kMaxVarintBytes);
+  for (std::size_t i = 0; i < limit; ++i) {
+    if ((p[i] & 0x80u) == 0) return i + 1;
+  }
+  return 0;
+}
 }  // namespace
 
 void decode_chunk_entries(const v2::ChunkHeader& h,
@@ -18,11 +29,11 @@ void decode_chunk_entries(const v2::ChunkHeader& h,
   std::size_t p = 0;
   std::uint64_t prev = 0;
   for (std::uint32_t i = 0; i < h.entry_count; ++i) {
-    const auto gate = varint_decode(payload, h.payload_len, p);
+    const auto gate = varint_decode(payload, h.raw_len, p);
     if (!gate) {
       throw TraceError(TraceErrorKind::kCorrupt, v2::kErrPayloadOverrun);
     }
-    const auto zz = varint_decode(payload, h.payload_len, p);
+    const auto zz = varint_decode(payload, h.raw_len, p);
     if (!zz) {
       throw TraceError(TraceErrorKind::kCorrupt, v2::kErrPayloadOverrun);
     }
@@ -33,41 +44,224 @@ void decode_chunk_entries(const v2::ChunkHeader& h,
     e.value = prev;
     out.push_back(e);
   }
-  if (p != h.payload_len) {
+  if (p != h.raw_len) {
     throw TraceError(TraceErrorKind::kCorrupt, v2::kErrPayloadTrailing);
   }
 }
 
+void decode_chunk_entries_columns(const v2::ChunkHeader& h,
+                                  const std::uint8_t* split,
+                                  std::vector<RecordEntry>& out) {
+  // Decode straight from the column planes without materializing the
+  // interleaved payload — this is the prefetch-replay setup hot path, and
+  // the column_join pass it skips costs as much as the decode itself.
+  const std::size_t n = h.raw_len;
+  const std::size_t first = out.size();
+  out.resize(first + h.entry_count);
+  // Cold path: classify a varint failure exactly as the streaming reader
+  // would. Structural damage (torn/overlong varint) fails column_join
+  // there — inflate mismatch; a span-valid varint whose value overflows
+  // 64 bits survives the join and dies in decode_chunk_entries — payload
+  // overrun. Every message is position-independent, so decoding the
+  // planes out of interleaved order cannot change the diagnostic.
+  const auto fail = [&](std::size_t at) {
+    if (varint_span(split + at, n - at) == 0) {
+      return TraceError(TraceErrorKind::kCorrupt,
+                        v2::inflate_mismatch_message(h));
+    }
+    return TraceError(TraceErrorKind::kCorrupt, v2::kErrPayloadOverrun);
+  };
+  std::size_t g = 0;
+  for (std::uint32_t i = 0; i < h.entry_count; ++i) {
+    const std::size_t at = g;
+    const auto gate = varint_decode(split, n, g);
+    if (!gate) throw fail(at);
+    out[first + i].gate = static_cast<std::uint32_t>(*gate);
+  }
+  std::size_t d = g;
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 0; i < h.entry_count; ++i) {
+    const std::size_t at = d;
+    const auto zz = varint_decode(split, n, d);
+    if (!zz) throw fail(at);
+    prev = static_cast<std::uint64_t>(static_cast<std::int64_t>(prev) +
+                                      zigzag_decode(*zz));
+    out[first + i].value = prev;
+  }
+  if (d != n) {
+    // The planes do not tile the payload exactly: column_join refuses
+    // this chunk on the streaming path.
+    throw TraceError(TraceErrorKind::kCorrupt,
+                     v2::inflate_mismatch_message(h));
+  }
+}
+
+bool column_split(const std::uint8_t* in, std::size_t n,
+                  std::uint32_t entry_count, std::vector<std::uint8_t>& out) {
+  // Pass 1: validate the whole interleaved payload and size the gate
+  // plane, so pass 2 can be a branch-light unchecked copy.
+  std::size_t gate_bytes = 0;
+  std::size_t p = 0;
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    const std::size_t glen = varint_span(in + p, n - p);
+    if (glen == 0) return false;
+    p += glen;
+    gate_bytes += glen;
+    const std::size_t dlen = varint_span(in + p, n - p);
+    if (dlen == 0) return false;
+    p += dlen;
+  }
+  if (p != n) return false;
+  // Pass 2: one sweep fills both planes through raw cursors (the
+  // per-varint vector::insert this replaced dominated encode cost).
+  out.resize(n);
+  std::uint8_t* gp = out.data();
+  std::uint8_t* dp = out.data() + gate_bytes;
+  p = 0;
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    do {
+      *gp++ = in[p];
+    } while ((in[p++] & 0x80u) != 0);
+    do {
+      *dp++ = in[p];
+    } while ((in[p++] & 0x80u) != 0);
+  }
+  return true;
+}
+
+bool column_join(const std::uint8_t* in, std::size_t n,
+                 std::uint32_t entry_count, std::vector<std::uint8_t>& out) {
+  // Pass 1: validate both planes end to end — the gate plane must hold
+  // exactly entry_count varints, the delta plane the rest — so pass 2
+  // can interleave through raw cursors with no bounds checks (this is
+  // the prefetch-replay setup hot path; the per-varint vector::insert
+  // it replaced roughly doubled bulk-decode time).
+  std::size_t gate_end = 0;
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    const std::size_t glen = varint_span(in + gate_end, n - gate_end);
+    if (glen == 0) return false;
+    gate_end += glen;
+  }
+  std::size_t d = gate_end;
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    const std::size_t dlen = varint_span(in + d, n - d);
+    if (dlen == 0) return false;
+    d += dlen;
+  }
+  if (d != n) return false;
+  // Pass 2: interleave gate i with delta i.
+  out.resize(n);
+  std::uint8_t* op = out.data();
+  std::size_t g = 0;
+  d = gate_end;
+  for (std::uint32_t i = 0; i < entry_count; ++i) {
+    do {
+      *op++ = in[g];
+    } while ((in[g++] & 0x80u) != 0);
+    do {
+      *op++ = in[d];
+    } while ((in[d++] & 0x80u) != 0);
+  }
+  return true;
+}
+
+const std::uint8_t* inflate_chunk_payload(const v2::ChunkHeader& h,
+                                          const std::uint8_t* wire,
+                                          std::vector<std::uint8_t>& scratch,
+                                          std::vector<std::uint8_t>& out) {
+  if (h.codec == v2::kCodecStored) return wire;
+  scratch.resize(h.raw_len);
+  bool ok = lz_decompress(wire, h.payload_len, scratch.data(), h.raw_len);
+  const std::uint8_t* raw = scratch.data();
+  if (ok && h.codec == v2::kCodecDeltaLz) {
+    ok = column_join(scratch.data(), h.raw_len, h.entry_count, out);
+    raw = out.data();
+  }
+  if (!ok) {
+    throw TraceError(TraceErrorKind::kCorrupt,
+                     v2::inflate_mismatch_message(h));
+  }
+  return raw;
+}
+
 RecordWriter::RecordWriter(ByteSink& sink, ContainerFormat format,
                            std::size_t chunk_payload_bytes,
-                           std::uint64_t first_seq)
+                           std::uint64_t first_seq, TraceCompress compress)
     : sink_(&sink),
-      format_(format),
+      format_(compress != TraceCompress::kOff &&
+                      format == ContainerFormat::kV2
+                  ? ContainerFormat::kV3
+                  : format),
+      compress_(compress),
       chunk_target_(std::clamp<std::size_t>(
           chunk_payload_bytes, 1,
           v2::kMaxChunkPayload - kMaxEntryBytes)),
       count_(first_seq) {
-  if (format_ == ContainerFormat::kV2) {
+  if (compress_ != TraceCompress::kOff && format == ContainerFormat::kV1) {
+    throw std::invalid_argument(
+        "RecordWriter: the v1 container has no chunks to compress "
+        "(REOMP_TRACE_COMPRESS requires the v2 trace format)");
+  }
+  if (format_ != ContainerFormat::kV1) {
     // Headroom: the pending payload is at most chunk_target_ - 1 bytes
     // before an append, and one entry adds at most kMaxEntryBytes.
     pending_.resize(chunk_target_ + kMaxEntryBytes);
-    sink_->write(v2::kStreamMagic, v2::kMagicBytes);
+    const std::uint8_t* magic = format_ == ContainerFormat::kV3
+                                    ? v2::kStreamMagicV3
+                                    : v2::kStreamMagic;
+    sink_->write(magic, v2::kMagicBytes);
     wire_bytes_ = v2::kMagicBytes;
+    raw_bytes_ = v2::kMagicBytes;
   }
 }
 
 void RecordWriter::emit_chunk() {
   v2::ChunkHeader h;
-  h.payload_len = static_cast<std::uint32_t>(pending_len_);
   h.entry_count = static_cast<std::uint32_t>(chunk_entries_);
   h.first_seq = count_ - chunk_entries_;
   h.last_seq = count_ - 1;
-  h.crc = crc32(pending_.data(), pending_len_);
-  std::uint8_t hdr[v2::kHeaderBytes];
-  v2::pack_header(h, hdr);
-  sink_->write(hdr, v2::kHeaderBytes);
-  sink_->write(pending_.data(), pending_len_);
-  wire_bytes_ += v2::kHeaderBytes + pending_len_;
+  h.raw_len = static_cast<std::uint32_t>(pending_len_);
+  // Codec choice is a pure function of the pending payload bytes (which
+  // are themselves a pure function of the entry sequence), so all writer
+  // modes keep emitting byte-identical streams.
+  const std::uint8_t* payload = pending_.data();
+  std::size_t payload_len = pending_len_;
+  h.codec = v2::kCodecStored;
+  if (compress_ != TraceCompress::kOff) {
+    const std::uint8_t* raw = pending_.data();
+    if (compress_ == TraceCompress::kDeltaLz &&
+        column_split(pending_.data(), pending_len_,
+                     static_cast<std::uint32_t>(chunk_entries_), columns_)) {
+      raw = columns_.data();
+    }
+    packed_.resize(lz_max_compressed_size(pending_len_));
+    const std::size_t packed_len =
+        encoder_.compress(raw, pending_len_, packed_.data());
+    if (packed_len + v2::kRawLenBytes < pending_len_) {
+      // The compressed form must beat the stored form ON THE WIRE, where
+      // it also carries the raw_len field (37- vs 33-byte header) — a
+      // payload that shrinks by 1..4 bytes would otherwise grow the
+      // stream. Incompressible data stays stored, so a v3 chunk never
+      // exceeds its v2 twin by more than the codec byte.
+      h.codec = compress_ == TraceCompress::kDeltaLz ? v2::kCodecDeltaLz
+                                                     : v2::kCodecLz;
+      payload = packed_.data();
+      payload_len = packed_len;
+    }
+  }
+  h.payload_len = static_cast<std::uint32_t>(payload_len);
+  h.crc = crc32(payload, payload_len);
+  std::uint8_t hdr[v2::kMaxHeaderBytesV3];
+  std::size_t hdr_len = v2::kHeaderBytes;
+  if (format_ == ContainerFormat::kV3) {
+    hdr_len = v2::pack_header_v3(h, hdr);
+  } else {
+    v2::pack_header(h, hdr);
+  }
+  sink_->write(hdr, hdr_len);
+  sink_->write(payload, payload_len);
+  wire_bytes_ += hdr_len + payload_len;
+  raw_bytes_ += v2::kHeaderBytes + pending_len_;
   ++chunks_;
   pending_len_ = 0;
   chunk_entries_ = 0;
@@ -105,9 +299,15 @@ bool RecordReader::advance_segment() {
       torn(got, v2::kErrTornSegmentMagic);
       return false;
     }
-    if (std::memcmp(magic, v2::kStreamMagic, v2::kMagicBytes) != 0) {
+    // Every segment of one stream was cut by the same writer config, so it
+    // must carry the same container revision the probe saw.
+    const std::uint8_t* expect = format_ == ContainerFormat::kV3
+                                     ? v2::kStreamMagicV3
+                                     : v2::kStreamMagic;
+    if (std::memcmp(magic, expect, v2::kMagicBytes) != 0) {
       throw TraceError(TraceErrorKind::kCorrupt, v2::kErrBadSegmentMagic);
     }
+    raw_bytes_ += v2::kMagicBytes;
     return true;
   }
   return false;
@@ -121,11 +321,17 @@ ContainerFormat RecordReader::probe_format() {
   if (got == v2::kMagicBytes &&
       std::memcmp(magic, v2::kStreamMagic, v2::kMagicBytes) == 0) {
     format_ = ContainerFormat::kV2;
+    raw_bytes_ = v2::kMagicBytes;
+  } else if (got == v2::kMagicBytes &&
+             std::memcmp(magic, v2::kStreamMagicV3, v2::kMagicBytes) == 0) {
+    format_ = ContainerFormat::kV3;
+    raw_bytes_ = v2::kMagicBytes;
   } else {
     // Legacy raw stream (or an empty/tiny file): the probed bytes are
     // entry bytes — seed the v1 buffer with them.
     format_ = ContainerFormat::kV1;
     buf_.assign(magic, magic + got);
+    raw_bytes_ = got;
   }
   return format_;
 }
@@ -154,6 +360,7 @@ bool RecordReader::refill() {
   buf_.resize(old + kChunk);
   const std::size_t got = source_->read(buf_.data() + old, kChunk);
   buf_.resize(old + got);
+  raw_bytes_ += got;  // v1 has no codec: raw == wire
   if (got == 0) eof_ = true;
   return got > 0;
 }
@@ -200,8 +407,12 @@ std::optional<RecordEntry> RecordReader::next_v2() {
   }
   if (eof_) return std::nullopt;
 
-  std::uint8_t hdr[v2::kHeaderBytes];
-  std::size_t got = source_->read(hdr, v2::kHeaderBytes);
+  // v3 headers carry one extra codec byte, plus a 4-byte raw length only
+  // for chunks that actually compressed.
+  const bool v3 = format_ == ContainerFormat::kV3;
+  const std::size_t base = v3 ? v2::kHeaderBytesV3 : v2::kHeaderBytes;
+  std::uint8_t hdr[v2::kMaxHeaderBytesV3];
+  std::size_t got = source_->read(hdr, base);
   while (got == 0) {
     // Clean end exactly at a chunk boundary: either the next window
     // segment continues the stream, or this is the end of the recording.
@@ -209,36 +420,58 @@ std::optional<RecordEntry> RecordReader::next_v2() {
       eof_ = true;
       return std::nullopt;
     }
-    got = source_->read(hdr, v2::kHeaderBytes);
+    got = source_->read(hdr, base);
   }
-  if (got < v2::kHeaderBytes) return torn(got, v2::kErrTornHeader);
+  if (got < base) return torn(got, v2::kErrTornHeader);
 
   v2::ChunkHeader h;
   if (!v2::unpack_header(hdr, h)) {
     throw TraceError(TraceErrorKind::kCorrupt, v2::kErrBadMarker);
+  }
+  std::size_t hdr_len = base;
+  if (v3) {
+    h.codec = hdr[v2::kHeaderBytes];
+    if (h.codec > v2::kCodecMax) {
+      // Unknown codec: do not trust the header shape enough to read a raw
+      // length; leave raw_len inconsistent and let validate_header throw.
+      h.raw_len = 0;
+    } else if (h.codec != v2::kCodecStored) {
+      const std::size_t got2 = source_->read(hdr + v2::kHeaderBytesV3,
+                                             v2::kRawLenBytes);
+      if (got2 < v2::kRawLenBytes) {
+        return torn(base + got2, v2::kErrTornHeader);
+      }
+      h.raw_len = v2::unpack_u32(hdr + v2::kHeaderBytesV3);
+      hdr_len += v2::kRawLenBytes;
+    }
   }
   v2::validate_header(h, seq_expect_);
 
   payload_.resize(h.payload_len);
   const std::size_t pgot = source_->read(payload_.data(), h.payload_len);
   if (pgot < h.payload_len) {
-    return torn(v2::kHeaderBytes + pgot, v2::kErrTornPayload);
+    return torn(hdr_len + pgot, v2::kErrTornPayload);
   }
+  // CRC covers the on-wire (post-codec) payload, so integrity checking —
+  // and `verify`/salvage with it — never needs to inflate.
   if (crc32(payload_.data(), h.payload_len) != h.crc) {
     throw TraceError(TraceErrorKind::kCorrupt, v2::crc_mismatch_message(h));
   }
+  const std::uint8_t* raw =
+      inflate_chunk_payload(h, payload_.data(), inflate_, columns_);
 
   chunk_entries_.clear();
   chunk_pos_ = 0;
-  decode_chunk_entries(h, payload_.data(), chunk_entries_);
+  decode_chunk_entries(h, raw, chunk_entries_);
   seq_expect_ = h.last_seq + 1;
+  raw_bytes_ += v2::kHeaderBytes + h.raw_len;
   ++chunks_;
   return chunk_entries_[chunk_pos_++];
 }
 
 std::optional<RecordEntry> RecordReader::next_raw() {
   if (!probed_) probe_format();
-  return format_ == ContainerFormat::kV2 ? next_v2() : next_v1();
+  return format_ == ContainerFormat::kV1 ? next_v1() : next_v2();
 }
 
 std::optional<RecordEntry> RecordReader::next_mutated() {

@@ -11,7 +11,7 @@
 // gate): per-thread clock sequences are near-monotonic, so deltas are small
 // — the clock-delta-compression observation from ReMPI (SC'15).
 //
-// Two container formats wrap the entries (chunk_format.hpp):
+// Three container formats wrap the entries (chunk_format.hpp):
 //   v1  raw concatenated entries, stream-wide delta chain. No framing: a
 //       torn tail is detectable only as a trailing short varint, and a bit
 //       flip silently rewrites history. Read-compatible forever.
@@ -20,13 +20,20 @@
 //       reaches REOMP_TRACE_CHUNK_BYTES. The delta chain resets per chunk,
 //       so any chunk prefix of a torn stream decodes independently —
 //       that is what salvage recovers.
+//   v3  v2 plus a per-chunk block codec (TraceCompress ≠ off): the pending
+//       payload is optionally column-split (gate varints then delta
+//       varints — near-monotone clock deltas make runs the LZ stage can
+//       actually match) and LZ-compressed before framing, falling back to
+//       a stored chunk whenever compression fails to strictly shrink.
+//       The CRC covers the wire (compressed) payload.
 //
 // Chunk cut points are a pure function of the appended entry sequence
-// (never of flush timing), so deferred/async/direct writer modes still
-// produce byte-identical streams (record_equivalence_test relies on it).
-// flush() only pushes completed chunks to the sink; finish() seals the
-// stream by framing the pending tail chunk — callers must finish() before
-// the stream is complete.
+// (never of flush timing), and each chunk's codec choice is a pure
+// function of its payload bytes, so deferred/async/direct writer modes
+// still produce byte-identical streams (record_equivalence_test relies on
+// it). flush() only pushes completed chunks to the sink; finish() seals
+// the stream by framing the pending tail chunk — callers must finish()
+// before the stream is complete.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +41,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/lz.hpp"
 #include "src/common/varint.hpp"
 #include "src/trace/byte_io.hpp"
 #include "src/trace/chunk_format.hpp"
@@ -51,14 +59,52 @@ struct RecordEntry {
 /// A single entry is at most two 10-byte varints.
 inline constexpr std::size_t kMaxEntryBytes = 2 * kMaxVarintBytes;
 
-/// Decode exactly `h.entry_count` entries from a CRC-verified v2 chunk
-/// payload, appending to `out`. The chunk-local delta chain starts at 0.
-/// Throws TraceError(kCorrupt) when decoding overruns the payload or
-/// leaves trailing bytes. Shared by RecordReader and DecodedSchedule so
-/// both paths produce identical entries and identical diagnostics.
+/// Decode exactly `h.entry_count` entries from a CRC-verified chunk's RAW
+/// payload (`h.raw_len` bytes — inflate first for a compressed chunk),
+/// appending to `out`. The chunk-local delta chain starts at 0. Throws
+/// TraceError(kCorrupt) when decoding overruns the payload or leaves
+/// trailing bytes. Shared by RecordReader and DecodedSchedule so both
+/// paths produce identical entries and identical diagnostics.
 void decode_chunk_entries(const v2::ChunkHeader& h,
                           const std::uint8_t* payload,
                           std::vector<RecordEntry>& out);
+
+/// Decode a kCodecDeltaLz chunk straight from its inflated COLUMN-SPLIT
+/// payload, skipping column_join — the bulk decoder's fast path (the join
+/// costs as much as the decode itself, and the prefetch setup budget is
+/// the ISSUE's ≤10%-vs-raw-v2 acceptance gate). Failure classification is
+/// byte-identical to join-then-decode_chunk_entries: structural damage →
+/// inflate_mismatch_message(h), 64-bit varint overflow → payload overrun.
+void decode_chunk_entries_columns(const v2::ChunkHeader& h,
+                                  const std::uint8_t* split,
+                                  std::vector<RecordEntry>& out);
+
+/// The delta+lz pre-transform: reorder a chunk payload of interleaved
+/// (gate varint, delta varint) pairs into the gate column followed by the
+/// delta column. Same bytes, same total length — but each column is
+/// near-periodic on real traces (small recurring gate ids; tiny clock
+/// deltas, the ReMPI SC'15 observation), which turns into long LZ matches
+/// the interleaved layout hides. Invertible given `entry_count` (always
+/// available from the validated chunk header). Returns false on a
+/// malformed payload (torn/overlong varint, count mismatch).
+[[nodiscard]] bool column_split(const std::uint8_t* in, std::size_t n,
+                                std::uint32_t entry_count,
+                                std::vector<std::uint8_t>& out);
+[[nodiscard]] bool column_join(const std::uint8_t* in, std::size_t n,
+                               std::uint32_t entry_count,
+                               std::vector<std::uint8_t>& out);
+
+/// Inflate a v3 chunk's wire payload back to its raw entry bytes: LZ
+/// decompress, then column_join for kCodecDeltaLz. `scratch` and `out`
+/// are caller-owned reusable buffers (both read paths keep one pair
+/// alive across chunks). Returns a pointer into one of them holding
+/// `h.raw_len` raw bytes — or throws TraceError(kCorrupt) with
+/// inflate_mismatch_message(h), byte-identical on both paths. A stored
+/// chunk returns `wire` untouched.
+const std::uint8_t* inflate_chunk_payload(const v2::ChunkHeader& h,
+                                          const std::uint8_t* wire,
+                                          std::vector<std::uint8_t>& scratch,
+                                          std::vector<std::uint8_t>& out);
 
 class RecordWriter {
  public:
@@ -73,10 +119,17 @@ class RecordWriter {
   /// preceding segments, so chunk first_seq/last_seq keep counting the
   /// whole logical stream and a reader can validate ordinal continuity
   /// straight across a segment boundary. count() stays cumulative too.
+  ///
+  /// `compress` ≠ kOff upgrades a v2 stream to the v3 container (per-chunk
+  /// codec; format() reports kV3) — compression happens at chunk-emit
+  /// time, i.e. inside the batch-encode/drain path, never on the gate hot
+  /// path. Requesting compression for a v1 stream throws
+  /// std::invalid_argument (the raw container has no chunk to compress).
   explicit RecordWriter(ByteSink& sink,
                         ContainerFormat format = ContainerFormat::kV2,
                         std::size_t chunk_payload_bytes = kDefaultChunkPayload,
-                        std::uint64_t first_seq = 0);
+                        std::uint64_t first_seq = 0,
+                        TraceCompress compress = TraceCompress::kOff);
 
   void append(const RecordEntry& entry) {
     if (format_ == ContainerFormat::kV1) {
@@ -84,6 +137,7 @@ class RecordWriter {
       const std::size_t len = encode(entry, buf);
       sink_->write(buf, len);
       wire_bytes_ += len;
+      raw_bytes_ += len;
       ++count_;
       return;
     }
@@ -97,7 +151,7 @@ class RecordWriter {
   /// writer's double buffer (ring slots -> encode buffer -> sink).
   void append_batch(const RecordEntry* entries, std::size_t n) {
     if (n == 0) return;
-    if (format_ == ContainerFormat::kV2) {
+    if (format_ != ContainerFormat::kV1) {
       // v2 already accumulates into the pending chunk buffer; sink writes
       // only happen at chunk boundaries, so per-entry appends are cheap.
       for (std::size_t i = 0; i < n; ++i) append_chunked(entries[i]);
@@ -110,6 +164,7 @@ class RecordWriter {
     }
     sink_->write(batch_.data(), len);
     wire_bytes_ += len;
+    raw_bytes_ += len;
     count_ += n;
   }
 
@@ -123,17 +178,23 @@ class RecordWriter {
   /// Idempotent; append() may be called again afterwards (a new chunk
   /// starts), though the engine never does.
   void finish() {
-    if (format_ == ContainerFormat::kV2 && chunk_entries_ > 0) emit_chunk();
+    if (format_ != ContainerFormat::kV1 && chunk_entries_ > 0) emit_chunk();
     sink_->flush();
   }
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   /// Chunks emitted so far (0 for v1).
   [[nodiscard]] std::uint64_t chunks() const { return chunks_; }
-  /// Bytes handed to the sink so far, including v2 magic/headers. After
+  /// Bytes handed to the sink so far, including magic/headers. After
   /// finish() this equals the final file size.
   [[nodiscard]] std::uint64_t wire_bytes() const { return wire_bytes_; }
+  /// Bytes the bit-exact v2 anchor encoding of the same entries would
+  /// occupy (magic + 32-byte headers + raw payloads). For v1/v2 streams
+  /// this IS wire_bytes(); for v3, raw_bytes() / wire_bytes() is the
+  /// stream's compression ratio.
+  [[nodiscard]] std::uint64_t raw_bytes() const { return raw_bytes_; }
   [[nodiscard]] ContainerFormat format() const { return format_; }
+  [[nodiscard]] TraceCompress compress() const { return compress_; }
 
  private:
   std::size_t encode(const RecordEntry& entry, std::uint8_t* out) {
@@ -157,15 +218,22 @@ class RecordWriter {
 
   ByteSink* sink_;
   ContainerFormat format_;
+  TraceCompress compress_ = TraceCompress::kOff;
   std::size_t chunk_target_;
   std::vector<std::uint8_t> batch_;    // v1 append_batch encode buffer
-  std::vector<std::uint8_t> pending_;  // v2 pending chunk payload
+  std::vector<std::uint8_t> pending_;  // v2/v3 pending chunk payload (raw)
+  // v3 per-chunk codec scratch, reused across chunks (no steady-state
+  // allocation on the drain path):
+  std::vector<std::uint8_t> columns_;  // delta+lz column-split output
+  std::vector<std::uint8_t> packed_;   // LZ output
+  LzEncoder encoder_;
   std::size_t pending_len_ = 0;
   std::uint64_t chunk_entries_ = 0;    // entries in the pending chunk
   std::uint64_t prev_value_ = 0;
   std::uint64_t count_ = 0;
   std::uint64_t chunks_ = 0;
   std::uint64_t wire_bytes_ = 0;
+  std::uint64_t raw_bytes_ = 0;
 };
 
 class RecordReader {
@@ -211,6 +279,11 @@ class RecordReader {
 
   /// Complete chunks consumed so far (0 for v1 streams).
   [[nodiscard]] std::uint64_t chunks() const { return chunks_; }
+  /// Bytes the consumed prefix would occupy in the bit-exact v2 anchor
+  /// encoding (magic + 32-byte headers + raw payloads) — the reader-side
+  /// mirror of RecordWriter::raw_bytes(). Equals bytes consumed for
+  /// v1/v2; for v3, raw_bytes() / wire size is the compression ratio.
+  [[nodiscard]] std::uint64_t raw_bytes() const { return raw_bytes_; }
   /// True when a torn tail was dropped under salvage.
   [[nodiscard]] bool salvaged() const { return salvaged_; }
   /// Bytes of torn tail dropped under salvage (partial header/payload for
@@ -248,12 +321,16 @@ class RecordReader {
   std::uint64_t prev_value_ = 0;
   bool eof_ = false;
 
-  // v2 state: one decoded chunk at a time.
+  // v2/v3 state: one decoded chunk at a time. inflate_/columns_ are the
+  // single reusable scratch pair for v3 chunk-at-a-time inflation.
   std::vector<std::uint8_t> payload_;
+  std::vector<std::uint8_t> inflate_;
+  std::vector<std::uint8_t> columns_;
   std::vector<RecordEntry> chunk_entries_;
   std::size_t chunk_pos_ = 0;
   std::uint64_t seq_expect_ = 0;
   std::uint64_t chunks_ = 0;
+  std::uint64_t raw_bytes_ = 0;
   bool salvaged_ = false;
   std::uint64_t dropped_bytes_ = 0;
 

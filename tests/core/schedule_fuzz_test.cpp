@@ -13,8 +13,12 @@
 #include <string>
 
 #include "src/core/bundle.hpp"
+#include "src/core/engine.hpp"
 #include "src/romp/team.hpp"
+#include "src/trace/byte_io.hpp"
+#include "src/trace/chunk_format.hpp"
 #include "src/trace/fault_injection.hpp"
+#include "src/trace/record_stream.hpp"
 #include "src/trace/trace_error.hpp"
 
 namespace reomp::core {
@@ -72,6 +76,12 @@ RecordBundle record_workload(Strategy strategy) {
   topt.num_threads = 2;
   topt.engine.mode = Mode::kRecord;
   topt.engine.strategy = strategy;
+  // The CI compressed matrix re-runs this binary with
+  // REOMP_TRACE_COMPRESS=delta+lz: the bundle's streams then carry the v3
+  // compressed container and every fuzz cell replays through the codec.
+  if (const char* c = std::getenv("REOMP_TRACE_COMPRESS")) {
+    topt.engine.trace_compress = trace::trace_compress_from_string(c).value();
+  }
   romp::Team team(topt);
   romp::Handle hc = team.register_handle("fuzz:crit");
   romp::Handle ha = team.register_handle("fuzz:acc");
@@ -157,6 +167,123 @@ TEST(ScheduleFuzzMatrix, EveryMutationTerminatesStructurally) {
     // Control cell: with the injector disarmed the same replay completes.
     SCOPED_TRACE(std::string(to_string(strategy)) + "/control");
     EXPECT_EQ(replay_mutated(strategy, bundle, true, ""), "completed");
+  }
+}
+
+// ---------- codec-invariant divergence verdicts ----------
+
+/// Re-encode every stream of a bundle with `compress`: the logical
+/// schedule is untouched, only the chunk codec changes. Manifest
+/// accounting follows the new wire bytes.
+RecordBundle transcode(const RecordBundle& in, trace::TraceCompress c) {
+  RecordBundle out = in;
+  const std::size_t chunk = Options{}.trace_chunk_bytes;
+  const auto rewrite = [&](const std::vector<std::uint8_t>& bytes,
+                           const std::string& name) {
+    trace::MemorySource src(bytes);
+    trace::RecordReader reader(src);
+    const auto entries = reader.read_all();
+    trace::MemorySink sink;
+    trace::RecordWriter writer(sink, trace::ContainerFormat::kV2, chunk,
+                               /*first_seq=*/0, c);
+    for (const auto& e : entries) writer.append(e);
+    writer.finish();
+    const auto it = out.manifest.streams.find(name);
+    if (it != out.manifest.streams.end()) {
+      it->second.chunks = writer.chunks();
+      it->second.bytes = writer.wire_bytes();
+      it->second.raw_bytes = writer.raw_bytes();
+    }
+    return sink.take();
+  };
+  if (!in.shared_stream.empty()) {
+    out.shared_stream = rewrite(in.shared_stream, "shared");
+  }
+  for (std::size_t tid = 0; tid < in.thread_streams.size(); ++tid) {
+    if (in.thread_streams[tid].empty()) continue;
+    out.thread_streams[tid] =
+        rewrite(in.thread_streams[tid], "t" + std::to_string(tid));
+  }
+  out.manifest.extra["trace_compress"] = std::string(to_string(c));
+  return out;
+}
+
+/// Single-threaded gate-alternating workload: every schedule mutation
+/// shifts the gate parity, so divergence is detected at the mutated entry
+/// by the (timing-free) gate check — the verdict text is fully
+/// deterministic, which is what makes codecs comparable byte-for-byte.
+void solo_workload(Engine& eng, int events) {
+  const GateId g0 = eng.register_gate("fuzz:solo_a");
+  const GateId g1 = eng.register_gate("fuzz:solo_b");
+  ThreadCtx& ctx = eng.bind_thread(0);
+  std::atomic<int> la{0}, lb{0};
+  for (int i = 0; i < events; ++i) {
+    if ((i & 1) != 0) {
+      eng.sma_store(ctx, g1, lb, i);
+    } else {
+      (void)eng.sma_load(ctx, g0, la);
+    }
+  }
+}
+
+std::string solo_verdict(Strategy strategy, const RecordBundle& bundle,
+                         bool prefetch, const std::string& spec) {
+  if (!spec.empty()) fi::schedule_arm(spec);
+  std::string verdict;
+  try {
+    Options opt;
+    opt.mode = Mode::kReplay;
+    opt.strategy = strategy;
+    opt.num_threads = 1;
+    opt.bundle = &bundle;
+    opt.replay_prefetch = prefetch;
+    Engine eng(opt);
+    solo_workload(eng, 64);
+    eng.finalize();
+    verdict = "completed";
+  } catch (const ReplayDivergence& e) {
+    verdict = std::string("divergence: ") + e.what();
+  } catch (const trace::TraceError& e) {
+    verdict = std::string("trace-error: ") + e.what();
+  }
+  fi::schedule_disarm();
+  return verdict;
+}
+
+TEST(ScheduleFuzzMatrix, DivergenceVerdictsAreCodecInvariant) {
+  const char* specs[] = {"",       "drop@0", "drop@3", "dup@3",
+                         "swap@3", "gate@3", "gate@63"};
+  for (Strategy strategy : {Strategy::kST, Strategy::kDC, Strategy::kDE}) {
+    RecordBundle off;
+    {
+      Options opt;
+      opt.mode = Mode::kRecord;
+      opt.strategy = strategy;
+      opt.num_threads = 1;
+      Engine eng(opt);
+      solo_workload(eng, 64);
+      eng.finalize();
+      off = eng.take_bundle();
+    }
+    const RecordBundle lz = transcode(off, trace::TraceCompress::kLz);
+    const RecordBundle dlz = transcode(off, trace::TraceCompress::kDeltaLz);
+    for (bool prefetch : {true, false}) {
+      for (const char* spec : specs) {
+        SCOPED_TRACE(std::string(to_string(strategy)) +
+                     (prefetch ? "/prefetch/" : "/streaming/") + spec);
+        const std::string base = solo_verdict(strategy, off, prefetch, spec);
+        EXPECT_FALSE(base.empty());
+        if (*spec == '\0') {
+          EXPECT_EQ(base, "completed");
+        } else {
+          EXPECT_NE(base, "completed");
+        }
+        // The acceptance bar: the verdict for a given (mutation, data
+        // path) is BYTE-IDENTICAL whatever codec the container used.
+        EXPECT_EQ(base, solo_verdict(strategy, lz, prefetch, spec));
+        EXPECT_EQ(base, solo_verdict(strategy, dlz, prefetch, spec));
+      }
+    }
   }
 }
 

@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
 
 #include "src/common/prng.hpp"
@@ -48,6 +49,12 @@ Options base_opts(Strategy s, const std::string& dir, Mode mode) {
   opt.dir = dir;
   opt.trace_writer = TraceWriter::kDeferred;  // no helper threads
   opt.trace_chunk_bytes = 128;  // many small chunks -> fine-grained salvage
+  // The CI compressed matrix re-runs this binary with
+  // REOMP_TRACE_COMPRESS=delta+lz: every kill point then lands in a v3
+  // compressed stream, proving torn-compressed-tail salvage end to end.
+  if (const char* c = std::getenv("REOMP_TRACE_COMPRESS")) {
+    opt.trace_compress = trace::trace_compress_from_string(c).value();
+  }
   return opt;
 }
 

@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <optional>
 
 #include "src/common/prng.hpp"
 #include "src/core/engine.hpp"
@@ -34,10 +36,23 @@ struct FiGuard {
   ~FiGuard() { fi::disarm(); }
 };
 
+/// Restores the variable's pre-test value (not merely unset): the CI
+/// compressed matrix re-runs this whole binary with
+/// REOMP_TRACE_COMPRESS=delta+lz in the environment, and an env test
+/// must not strip that configuration from the tests that follow it.
 struct EnvGuard {
-  explicit EnvGuard(const char* name) : name_(name) {}
-  ~EnvGuard() { ::unsetenv(name_); }
+  explicit EnvGuard(const char* name) : name_(name) {
+    if (const char* v = ::getenv(name)) old_ = v;
+  }
+  ~EnvGuard() {
+    if (old_.has_value()) {
+      ::setenv(name_, old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
   const char* name_;
+  std::optional<std::string> old_;
 };
 
 std::vector<RecordEntry> make_entries(int n, std::uint64_t seed) {
@@ -225,6 +240,209 @@ TEST(ChunkedStream, SequenceGapIsCorrupt) {
   }
 }
 
+// ---------- v3 compressed container ----------
+
+std::vector<std::uint8_t> encode_compressed(
+    const std::vector<RecordEntry>& entries, std::size_t chunk_payload,
+    TraceCompress compress) {
+  MemorySink sink;
+  RecordWriter writer(sink, ContainerFormat::kV2, chunk_payload,
+                      /*first_seq=*/0, compress);
+  for (const auto& e : entries) writer.append(e);
+  writer.finish();
+  return sink.take();
+}
+
+TEST(CompressedStream, RoundTripWithExactRawAccounting) {
+  const auto entries = make_entries(5000, 7);
+  const auto anchor = encode_v2(entries, 4096);
+  for (const TraceCompress c : {TraceCompress::kLz, TraceCompress::kDeltaLz}) {
+    MemorySink sink;
+    RecordWriter writer(sink, ContainerFormat::kV2, 4096, /*first_seq=*/0, c);
+    for (const auto& e : entries) writer.append(e);
+    writer.finish();
+    EXPECT_EQ(writer.format(), ContainerFormat::kV3);
+    const auto bytes = sink.take();
+    ASSERT_GE(bytes.size(), static_cast<std::size_t>(v2::kMagicBytes));
+    EXPECT_EQ(0, std::memcmp(bytes.data(), v2::kStreamMagicV3,
+                             v2::kMagicBytes));
+    EXPECT_EQ(writer.wire_bytes(), bytes.size());
+    // raw_bytes is DEFINED as the bit-exact v2 anchor size, so the ratio
+    // raw/wire measures exactly what the codec saved over the baseline.
+    EXPECT_EQ(writer.raw_bytes(), anchor.size());
+    EXPECT_LT(bytes.size(), anchor.size());  // this trace compresses
+
+    MemorySource src(bytes);
+    RecordReader reader(src);
+    EXPECT_EQ(reader.read_all(), entries);
+    EXPECT_EQ(reader.chunks(), writer.chunks());
+    EXPECT_EQ(reader.raw_bytes(), anchor.size());  // reader mirrors writer
+    EXPECT_FALSE(reader.salvaged());
+  }
+}
+
+TEST(CompressedStream, FlushNeverCutsChunksOrChangesCodecChoice) {
+  // Codec selection must stay a pure function of the entry sequence —
+  // adversarial flushing may not change a single wire byte.
+  const auto entries = make_entries(300, 3);
+  MemorySink a_sink, b_sink;
+  RecordWriter a(a_sink, ContainerFormat::kV2, 64, 0, TraceCompress::kDeltaLz);
+  RecordWriter b(b_sink, ContainerFormat::kV2, 64, 0, TraceCompress::kDeltaLz);
+  for (const auto& e : entries) {
+    a.append(e);
+    a.flush();
+    b.append(e);
+  }
+  a.finish();
+  b.finish();
+  EXPECT_EQ(a_sink.take(), b_sink.take());
+}
+
+TEST(CompressedStream, V1ContainerRejectsCompression) {
+  MemorySink sink;
+  EXPECT_THROW(RecordWriter(sink, ContainerFormat::kV1, 1 << 16,
+                            /*first_seq=*/0, TraceCompress::kLz),
+               std::invalid_argument);
+}
+
+TEST(CompressedStream, EveryByteFlipOfAChunkIsCorrupt) {
+  // CRC covers the COMPRESSED payload and the header is fully validated,
+  // so flipping any single byte of a compressed chunk must surface as
+  // kCorrupt — never a salvage, never an inflate of garbage — with
+  // byte-identical diagnostics from the streaming and bulk decoders.
+  const auto entries = make_entries(2000, 21);
+  const auto bytes = encode_compressed(entries, 256, TraceCompress::kDeltaLz);
+  v2::ChunkHeader h{};
+  ASSERT_TRUE(v2::unpack_header(bytes.data() + v2::kMagicBytes, h));
+  ASSERT_EQ(bytes[v2::kMagicBytes + v2::kHeaderBytes], v2::kCodecDeltaLz)
+      << "fixture must produce a compressed first chunk";
+  const std::size_t chunk0 =
+      v2::kHeaderBytesV3 + v2::kRawLenBytes + h.payload_len;
+  // Later chunks must be able to absorb payload_len flips (+<=128 bytes)
+  // without the read going short, or a flip would read as torn instead.
+  ASSERT_LT(v2::kMagicBytes + chunk0 + 512, bytes.size());
+
+  for (std::size_t i = v2::kMagicBytes; i < v2::kMagicBytes + chunk0; ++i) {
+    auto flipped = bytes;
+    flipped[i] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    std::string streaming_msg;
+    for (const bool salvage : {false, true}) {
+      MemorySource src(flipped);
+      RecordReader reader(src, salvage);
+      try {
+        reader.read_all();
+        ADD_FAILURE() << "flip at byte " << i << " undetected (salvage="
+                      << salvage << ")";
+      } catch (const TraceError& e) {
+        EXPECT_EQ(e.kind(), TraceErrorKind::kCorrupt) << "flip at " << i;
+        streaming_msg = e.what();
+      }
+      EXPECT_FALSE(reader.salvaged());
+    }
+    try {
+      DecodedSchedule::decode_bytes(flipped.data(), flipped.size(),
+                                    /*salvage=*/true);
+      ADD_FAILURE() << "bulk decoder accepted flip at byte " << i;
+    } catch (const TraceError& e) {
+      EXPECT_EQ(e.kind(), TraceErrorKind::kCorrupt) << "flip at " << i;
+      EXPECT_EQ(streaming_msg, e.what()) << "flip at " << i;
+    }
+  }
+}
+
+TEST(CompressedStream, TornCompressedTailSalvagesIdentically) {
+  const auto entries = make_entries(2000, 5);
+  const auto full = encode_compressed(entries, 256, TraceCompress::kDeltaLz);
+  // Cuts inside a compressed payload, inside the 33-byte base header,
+  // inside the raw_len extension, and just past the magic.
+  for (const std::size_t cut :
+       {full.size() - 1, full.size() - 9, full.size() / 2, full.size() / 3,
+        static_cast<std::size_t>(v2::kMagicBytes + 1),
+        static_cast<std::size_t>(v2::kMagicBytes + v2::kHeaderBytesV3 + 2)}) {
+    std::vector<std::uint8_t> torn(full.begin(),
+                                   full.begin() + static_cast<long>(cut));
+    {
+      MemorySource src(torn);
+      RecordReader strict(src);
+      EXPECT_THROW(
+          {
+            try {
+              strict.read_all();
+            } catch (const TraceError& e) {
+              EXPECT_EQ(e.kind(), TraceErrorKind::kTruncated) << "cut=" << cut;
+              throw;
+            }
+          },
+          TraceError)
+          << "cut=" << cut;
+    }
+    MemorySource src(torn);
+    RecordReader reader(src, /*salvage=*/true);
+    const auto recovered = reader.read_all();
+    ASSERT_LT(recovered.size(), entries.size()) << "cut=" << cut;
+    EXPECT_TRUE(
+        std::equal(recovered.begin(), recovered.end(), entries.begin()))
+        << "cut=" << cut;
+    EXPECT_TRUE(reader.salvaged());
+    EXPECT_GT(reader.dropped_bytes(), 0u);
+
+    const DecodedSchedule bulk = DecodedSchedule::decode_bytes(
+        torn.data(), torn.size(), /*salvage=*/true);
+    EXPECT_EQ(bulk.entries, recovered) << "cut=" << cut;
+    EXPECT_TRUE(bulk.salvaged);
+    EXPECT_EQ(bulk.dropped_bytes, reader.dropped_bytes()) << "cut=" << cut;
+  }
+}
+
+TEST(CompressedStream, IncompressibleChunksFallBackToStored) {
+  // Full-width random gates and clock jumps varint-encode to near-random
+  // bytes. The stored-chunk fallback caps the cost of pointlessly running
+  // the codec at the codec byte: wire <= v2 anchor + 1 byte per chunk.
+  Xoshiro256 rng(0xD1CE);
+  std::vector<RecordEntry> entries;
+  std::uint64_t clock = 0;
+  for (int i = 0; i < 4000; ++i) {
+    clock += rng.next();
+    entries.push_back({static_cast<std::uint32_t>(rng.next()), clock});
+  }
+  const auto anchor = encode_v2(entries, 256);
+  for (const TraceCompress c : {TraceCompress::kLz, TraceCompress::kDeltaLz}) {
+    MemorySink sink;
+    RecordWriter writer(sink, ContainerFormat::kV2, 256, /*first_seq=*/0, c);
+    for (const auto& e : entries) writer.append(e);
+    writer.finish();
+    const auto bytes = sink.take();
+    EXPECT_LE(bytes.size(), anchor.size() + writer.chunks())
+        << "compress=" << to_string(c);
+    EXPECT_EQ(writer.raw_bytes(), anchor.size());
+    MemorySource src(bytes);
+    RecordReader reader(src);
+    EXPECT_EQ(reader.read_all(), entries);
+  }
+}
+
+TEST(CompressedStream, ColumnTransformRoundTripsAndRejectsTornPayloads) {
+  const auto entries = make_entries(500, 11);
+  const auto stream = encode_v2(entries, 1 << 20);  // single chunk
+  v2::ChunkHeader h{};
+  ASSERT_TRUE(v2::unpack_header(stream.data() + v2::kMagicBytes, h));
+  const std::uint8_t* payload =
+      stream.data() + v2::kMagicBytes + v2::kHeaderBytes;
+  std::vector<std::uint8_t> cols, back;
+  ASSERT_TRUE(column_split(payload, h.payload_len, h.entry_count, cols));
+  ASSERT_EQ(cols.size(), static_cast<std::size_t>(h.payload_len));
+  EXPECT_FALSE(std::equal(cols.begin(), cols.end(), payload))
+      << "split must actually reorder an interleaved payload";
+  ASSERT_TRUE(column_join(cols.data(), cols.size(), h.entry_count, back));
+  ASSERT_EQ(back.size(), static_cast<std::size_t>(h.payload_len));
+  EXPECT_EQ(0, std::memcmp(back.data(), payload, h.payload_len));
+
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(column_split(payload, h.payload_len - 1, h.entry_count, out));
+  EXPECT_FALSE(column_split(payload, h.payload_len, h.entry_count + 1, out));
+  EXPECT_FALSE(column_join(cols.data(), cols.size() - 1, h.entry_count, out));
+}
+
 // ---------- manifest v2 ----------
 
 TEST(ManifestV2, RoundTripWithStreamsAndCompleteness) {
@@ -261,6 +479,30 @@ TEST(ManifestV2, RejectsMalformedDurabilityFields) {
   EXPECT_FALSE(Manifest::from_text(head + "complete=yes\n").has_value());
   EXPECT_FALSE(Manifest::from_text(head + "stream.t0=1:2\n").has_value());
   EXPECT_FALSE(Manifest::from_text(head + "stream.t0=a:b:c\n").has_value());
+}
+
+TEST(ManifestV2, StreamStatRawBytesRoundTripAndBackCompat) {
+  Manifest m;
+  m.strategy = "dc";
+  m.num_threads = 1;
+  m.complete = true;
+  m.streams["t0"] = {12, 1000, 456, 3200};
+  const auto parsed = Manifest::from_text(m.to_text());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->streams.at("t0").raw_bytes, 3200u);
+  EXPECT_EQ(parsed->streams, m.streams);
+
+  // Pre-v3 manifests carry the 3-field form, where raw == wire.
+  const auto old = Manifest::from_text(
+      "version=2\nstrategy=dc\nnum_threads=1\ncomplete=1\n"
+      "stream.t0=3:123:456\n");
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(old->streams.at("t0").raw_bytes, 123u);
+
+  const std::string head = "version=2\nstrategy=dc\nnum_threads=1\n";
+  EXPECT_FALSE(Manifest::from_text(head + "stream.t0=1:2:3:4:5\n").has_value());
+  EXPECT_FALSE(Manifest::from_text(head + "stream.t0=1:2:3:\n").has_value());
+  EXPECT_FALSE(Manifest::from_text(head + "stream.t0=1:2:3:x\n").has_value());
 }
 
 TEST(ManifestV2, AtomicSaveLeavesNoTempFile) {
@@ -328,6 +570,12 @@ core::Options record_opts(const std::string& dir) {
   opt.num_threads = 1;
   opt.dir = dir;
   opt.trace_chunk_bytes = 256;  // many chunks even for small runs
+  // The CI compressed matrix re-runs this binary with
+  // REOMP_TRACE_COMPRESS=delta+lz in the environment: honor the knob so
+  // every engine-level crash-consistency proof covers the v3 container.
+  if (const char* c = std::getenv("REOMP_TRACE_COMPRESS")) {
+    opt.trace_compress = trace_compress_from_string(c).value();
+  }
   return opt;
 }
 
@@ -447,6 +695,40 @@ TEST(CrashConsistency, EnospcLatchesAndFinalizeAggregates) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CrashConsistency, CompressedRecordingSealsReplaysAndAccountsRatio) {
+  const std::string dir = temp_dir("compressed");
+  {
+    core::Options opt = record_opts(dir);
+    opt.trace_compress = TraceCompress::kDeltaLz;
+    core::Engine eng(opt);
+    const core::GateId g = eng.register_gate("durability:g");
+    core::ThreadCtx& ctx = eng.bind_thread(0);
+    std::atomic<int> loc{0};
+    for (int i = 0; i < 2000; ++i) eng.sma_store(ctx, g, loc, i);
+    eng.finalize();
+  }
+  auto m = Manifest::load(manifest_path(dir));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->complete);
+  const auto& s = m->streams.at("t0");
+  EXPECT_EQ(s.entries, 2000u);
+  EXPECT_EQ(s.bytes, std::filesystem::file_size(thread_file_path(dir, 0)));
+  EXPECT_GT(s.raw_bytes, s.bytes);  // this repetitive trace compresses
+  EXPECT_EQ(m->extra.at("trace_compress"), "delta+lz");
+  // Replay auto-probes the v3 container; no knob needed on the read side.
+  replay_run(dir, 2000, /*salvage=*/false);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CrashConsistency, CompressedV1ConfigurationIsRejected) {
+  const std::string dir = temp_dir("v1_compress");
+  core::Options opt = record_opts(dir);
+  opt.trace_format = ContainerFormat::kV1;
+  opt.trace_compress = TraceCompress::kLz;
+  EXPECT_THROW(core::Engine{opt}, std::invalid_argument);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(CrashConsistency, TransientWriteFaultsAreInvisible) {
   // short writes and EINTR storms must be absorbed by the retry loop:
   // the recording comes out byte-identical to an undisturbed run.
@@ -480,6 +762,24 @@ TEST(DurabilityEnv, TraceFormatIsStrict) {
   EXPECT_EQ(core::Options::from_env(1).trace_format, ContainerFormat::kV2);
   ::setenv("REOMP_TRACE_FORMAT", "v3", 1);
   EXPECT_THROW(core::Options::from_env(1), std::runtime_error);
+}
+
+TEST(DurabilityEnv, TraceCompressIsStrict) {
+  EnvGuard guard("REOMP_TRACE_COMPRESS");
+  ::unsetenv("REOMP_TRACE_COMPRESS");  // default: the ablation baseline
+  EXPECT_EQ(core::Options::from_env(1).trace_compress, TraceCompress::kOff);
+  ::setenv("REOMP_TRACE_COMPRESS", "off", 1);
+  EXPECT_EQ(core::Options::from_env(1).trace_compress, TraceCompress::kOff);
+  ::setenv("REOMP_TRACE_COMPRESS", "lz", 1);
+  EXPECT_EQ(core::Options::from_env(1).trace_compress, TraceCompress::kLz);
+  ::setenv("REOMP_TRACE_COMPRESS", "delta+lz", 1);
+  EXPECT_EQ(core::Options::from_env(1).trace_compress,
+            TraceCompress::kDeltaLz);
+  for (const char* junk : {"zstd", "LZ", "delta", "delta+lz ", "on", ""}) {
+    ::setenv("REOMP_TRACE_COMPRESS", junk, 1);
+    EXPECT_THROW(core::Options::from_env(1), std::runtime_error)
+        << '\'' << junk << '\'';
+  }
 }
 
 TEST(DurabilityEnv, ChunkBytesIsStrict) {

@@ -19,12 +19,14 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
 
 #include "src/common/prng.hpp"
 #include "src/core/engine.hpp"
+#include "src/trace/chunk_format.hpp"
 #include "src/trace/fault_injection.hpp"
 #include "src/trace/manifest.hpp"
 #include "src/trace/trace_dir.hpp"
@@ -55,6 +57,12 @@ Options base_opts(Strategy s, const std::string& dir, Mode mode) {
   if (mode == Mode::kRecord) {
     opt.trace_window_events = kWindowEvents;
     opt.trace_retain_windows = kRetain;
+  }
+  // The CI compressed matrix re-runs this binary with
+  // REOMP_TRACE_COMPRESS=delta+lz so every windowed segment (and every
+  // kill point) exercises the v3 compressed container.
+  if (const char* c = std::getenv("REOMP_TRACE_COMPRESS")) {
+    opt.trace_compress = trace::trace_compress_from_string(c).value();
   }
   return opt;
 }

@@ -160,10 +160,25 @@ int cmd_dump(const std::string& dir, int tid, std::uint64_t limit) {
   return 0;
 }
 
+/// "raw 123456 bytes, 3.21x" for a compressed stream, "" when raw == wire
+/// (the uncompressed containers, where printing a 1.00x ratio would only
+/// add noise). `raw` is the v2-anchor size reconstructed from the chunk
+/// headers' raw-length fields while the reader walked the stream.
+std::string ratio_note(std::uint64_t raw, std::uint64_t wire) {
+  if (raw == wire || wire == 0) return "";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "  (raw %llu bytes, %.2fx)",
+                static_cast<unsigned long long>(raw),
+                static_cast<double>(raw) / static_cast<double>(wire));
+  return buf;
+}
+
 // Walk one stream file with the CRC-checking reader (no salvage: verify
 // reports damage, it does not paper over it) and cross-check against the
-// manifest's recorder-side accounting. Returns true when the stream is
-// intact AND matches the manifest.
+// manifest's recorder-side accounting — both the on-disk byte count and,
+// for compressed streams, the uncompressed (v2-anchor) byte count the
+// reader reconstructs from the chunk headers. Returns true when the
+// stream is intact AND matches the manifest.
 bool verify_stream(const trace::Manifest& m, const std::string& name,
                    const std::string& path) {
   if (!trace::file_exists(path)) {
@@ -175,11 +190,13 @@ bool verify_stream(const trace::Manifest& m, const std::string& name,
       static_cast<std::uint64_t>(std::filesystem::file_size(path));
   std::uint64_t entries = 0;
   std::uint64_t chunks = 0;
+  std::uint64_t raw_bytes = 0;
   try {
     trace::FileSource src(path);
     trace::RecordReader reader(src);
     while (reader.next().has_value()) ++entries;
     chunks = reader.chunks();
+    raw_bytes = reader.raw_bytes();
   } catch (const trace::TraceError& e) {
     std::printf("  %-10s %8llu bytes  DAMAGED (%s): %s\n", name.c_str(),
                 static_cast<unsigned long long>(file_bytes),
@@ -190,20 +207,23 @@ bool verify_stream(const trace::Manifest& m, const std::string& name,
   bool ok = true;
   if (const auto it = m.streams.find(name); it != m.streams.end()) {
     const trace::Manifest::StreamStat& s = it->second;
-    if (s.entries != entries || s.chunks != chunks || s.bytes != file_bytes) {
+    if (s.entries != entries || s.chunks != chunks || s.bytes != file_bytes ||
+        (s.raw_bytes != 0 && s.raw_bytes != raw_bytes)) {
       note = "MANIFEST MISMATCH (recorded " + std::to_string(s.chunks) +
              " chunks, " + std::to_string(s.bytes) + " bytes, " +
-             std::to_string(s.entries) + " entries)";
+             std::to_string(s.entries) + " entries, " +
+             std::to_string(s.raw_bytes) + " raw bytes)";
       ok = false;
     }
   } else if (!m.streams.empty()) {
     note = "not listed in manifest";
     ok = false;
   }
-  std::printf("  %-10s %8llu bytes  %6llu chunks  %10llu entries  %s\n",
+  std::printf("  %-10s %8llu bytes  %6llu chunks  %10llu entries  %s%s\n",
               name.c_str(), static_cast<unsigned long long>(file_bytes),
               static_cast<unsigned long long>(chunks),
-              static_cast<unsigned long long>(entries), note.c_str());
+              static_cast<unsigned long long>(entries), note.c_str(),
+              ratio_note(raw_bytes, file_bytes).c_str());
   return ok;
 }
 
@@ -308,12 +328,14 @@ bool verify_windowed(const trace::Manifest& m, const std::string& dir) {
           static_cast<std::uint64_t>(std::filesystem::file_size(path));
       std::uint64_t entries = 0;
       std::uint64_t chunks = 0;
+      std::uint64_t raw_bytes = 0;
       try {
         std::vector<std::unique_ptr<trace::ByteSource>> segs;
         segs.push_back(std::make_unique<trace::FileSource>(path));
         trace::RecordReader reader(std::move(segs), false, expect);
         while (reader.next().has_value()) ++entries;
         chunks = reader.chunks();
+        raw_bytes = reader.raw_bytes();
       } catch (const trace::TraceError& e) {
         std::printf("  %-10s %8llu bytes  DAMAGED (%s): %s\n", label.c_str(),
                     static_cast<unsigned long long>(file_bytes),
@@ -328,10 +350,12 @@ bool verify_windowed(const trace::Manifest& m, const std::string& dir) {
             sit != wit->second.end()) {
           const trace::Manifest::StreamStat& s = sit->second;
           if (s.entries != entries || s.chunks != chunks ||
-              s.bytes != file_bytes) {
+              s.bytes != file_bytes ||
+              (s.raw_bytes != 0 && s.raw_bytes != raw_bytes)) {
             note = "MANIFEST MISMATCH (recorded " + std::to_string(s.chunks) +
                    " chunks, " + std::to_string(s.bytes) + " bytes, " +
-                   std::to_string(s.entries) + " entries)";
+                   std::to_string(s.entries) + " entries, " +
+                   std::to_string(s.raw_bytes) + " raw bytes)";
             ok = false;
           }
         } else {
@@ -339,10 +363,11 @@ bool verify_windowed(const trace::Manifest& m, const std::string& dir) {
           ok = false;
         }
       }
-      std::printf("  %-10s %8llu bytes  %6llu chunks  %10llu entries  %s\n",
+      std::printf("  %-10s %8llu bytes  %6llu chunks  %10llu entries  %s%s\n",
                   label.c_str(), static_cast<unsigned long long>(file_bytes),
                   static_cast<unsigned long long>(chunks),
-                  static_cast<unsigned long long>(entries), note.c_str());
+                  static_cast<unsigned long long>(entries), note.c_str(),
+                  ratio_note(raw_bytes, file_bytes).c_str());
       expect += entries;
     }
   }
@@ -449,6 +474,7 @@ int cmd_windows(const std::string& dir) {
               static_cast<unsigned long long>(open),
               static_cast<unsigned long long>(open - first));
   std::uint64_t total_bytes = 0;
+  std::uint64_t total_raw_bytes = 0;
   std::uint64_t total_entries = 0;
   for (std::uint64_t w = first; w <= open; ++w) {
     std::printf("  window %llu%s:\n", static_cast<unsigned long long>(w),
@@ -473,18 +499,21 @@ int cmd_windows(const std::string& dir) {
     }
     for (const auto& [name, s] : wit->second) {
       const std::string path = window_stream_path(dir, name, w);
-      std::printf("    %-8s %8llu bytes  %4llu chunks  %8llu entries%s\n",
+      std::printf("    %-8s %8llu bytes  %4llu chunks  %8llu entries%s%s\n",
                   name.c_str(), static_cast<unsigned long long>(s.bytes),
                   static_cast<unsigned long long>(s.chunks),
                   static_cast<unsigned long long>(s.entries),
+                  ratio_note(s.raw_bytes, s.bytes).c_str(),
                   trace::file_exists(path) ? "" : "  [file missing]");
       total_bytes += s.bytes;
+      total_raw_bytes += s.raw_bytes;
       total_entries += s.entries;
     }
   }
-  std::printf("  total:     %llu bytes, %llu entries retained\n",
+  std::printf("  total:     %llu bytes, %llu entries retained%s\n",
               static_cast<unsigned long long>(total_bytes),
-              static_cast<unsigned long long>(total_entries));
+              static_cast<unsigned long long>(total_entries),
+              ratio_note(total_raw_bytes, total_bytes).c_str());
   return report_stall(dir) ? 3 : 0;
 }
 
