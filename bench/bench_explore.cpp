@@ -1,0 +1,193 @@
+// Explore-mode throughput microbenchmark: schedules/sec for every
+// strategy × thread count, on a fixed contended workload (critical
+// section + gated atomic + barrier per thread).
+//
+// What it quantifies: the cost of one explored schedule — Team
+// construction, the fully serialized PCT token-passing run, trace
+// encoding, finalize — which is the unit an exploration campaign pays per
+// seed. A campaign's wall-clock is (schedules/sec)^-1 × seeds, so this
+// number is the capacity planning input for sweep drivers.
+//
+// Standalone binary (no google-benchmark) so the tier-1 smoke run is fast
+// and deterministic:
+//   bench_explore [--smoke] [--json PATH] [--schedules N] [--threads N]
+//
+// --smoke shrinks the sweep and exits nonzero if the determinism contract
+// breaks: same seed must yield byte-identical recorded streams, and a
+// small seed sweep must produce at least two distinct schedules.
+// Throughput is printed, not asserted (timing is host-dependent).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/bundle.hpp"
+#include "src/romp/team.hpp"
+
+namespace {
+
+using namespace reomp;
+using core::Mode;
+using core::RecordBundle;
+using core::Strategy;
+
+constexpr Strategy kStrategies[] = {Strategy::kST, Strategy::kDC,
+                                    Strategy::kDE};
+
+/// One explored schedule of the contended mix. Returns the recording so
+/// the smoke validation can compare streams across runs.
+RecordBundle run_schedule(Strategy strategy, std::uint32_t threads,
+                          std::uint64_t seed, int iters) {
+  romp::TeamOptions topt;
+  topt.num_threads = threads;
+  topt.engine.mode = Mode::kExplore;
+  topt.engine.strategy = strategy;
+  topt.engine.explore_seed = seed;
+  topt.engine.explore_preemptions = 2;
+  romp::Team team(topt);
+  romp::Handle hc = team.register_handle("bench:crit");
+  romp::Handle ha = team.register_handle("bench:acc");
+  std::atomic<std::int64_t> sum{0};
+  team.parallel([&](romp::WorkerCtx& w) {
+    for (int i = 0; i < iters; ++i) {
+      team.critical(w, hc, [&] { sum.fetch_add(1, std::memory_order_relaxed); });
+      team.atomic_fetch_add<std::int64_t>(w, ha, sum, 1);
+    }
+    team.barrier(w);
+    for (int i = 0; i < iters; ++i) {
+      team.atomic_fetch_add<std::int64_t>(w, ha, sum, 1);
+    }
+  });
+  team.finalize();
+  return team.engine().take_bundle();
+}
+
+struct Result {
+  Strategy strategy;
+  std::uint32_t threads;
+  double schedules_per_sec;
+  double events_per_sec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::uint64_t schedules = 64;
+  std::uint32_t max_threads = 8;
+  int iters = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      schedules = 8;
+      max_threads = 4;
+      iters = 8;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--schedules") == 0 && i + 1 < argc) {
+      schedules = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json PATH] [--schedules N] "
+                   "[--threads N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  bool ok = true;
+
+  // ---- validation: the determinism contract, per strategy ----
+  for (const Strategy s : kStrategies) {
+    const RecordBundle a = run_schedule(s, 2, /*seed=*/42, iters);
+    const RecordBundle b = run_schedule(s, 2, /*seed=*/42, iters);
+    if (a.shared_stream != b.shared_stream ||
+        a.thread_streams != b.thread_streams) {
+      std::fprintf(stderr,
+                   "FAIL: %s seed 42 streams differ across runs (explore "
+                   "determinism broken)\n",
+                   to_string(s).data());
+      ok = false;
+    }
+    std::set<std::vector<std::uint8_t>> distinct;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      RecordBundle r = run_schedule(s, 2, seed, iters);
+      std::vector<std::uint8_t> key = r.shared_stream;
+      for (const auto& t : r.thread_streams) {
+        key.insert(key.end(), t.begin(), t.end());
+      }
+      distinct.insert(std::move(key));
+    }
+    if (distinct.size() < 2) {
+      std::fprintf(stderr,
+                   "FAIL: %s seed sweep 1..8 collapsed to one schedule\n",
+                   to_string(s).data());
+      ok = false;
+    }
+  }
+
+  // ---- throughput sweep ----
+  std::vector<Result> results;
+  std::printf("%-4s %8s %15s %14s\n", "strat", "threads", "schedules/sec",
+              "events/sec");
+  std::vector<std::uint32_t> thread_counts;
+  for (std::uint32_t t = 2; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  for (const Strategy s : kStrategies) {
+    for (const std::uint32_t threads : thread_counts) {
+      std::uint64_t events = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint64_t seed = 1; seed <= schedules; ++seed) {
+        const RecordBundle b = run_schedule(s, threads, seed, iters);
+        std::uint64_t bytes = b.shared_stream.size();
+        for (const auto& st : b.thread_streams) bytes += st.size();
+        events += bytes > 0 ? 1 : 0;  // schedule produced a trace
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      const double sps =
+          static_cast<double>(schedules) / (secs > 0 ? secs : 1e-9);
+      // Events per schedule: iters gated pairs per thread (critical is one
+      // event, the atomic another) plus the post-barrier tail.
+      const double eps = sps * threads * (3.0 * iters);
+      results.push_back({s, threads, sps, eps});
+      std::printf("%-4s %8u %15.1f %14.0f\n", to_string(s).data(), threads,
+                  sps, eps);
+      if (events != schedules) {
+        std::fprintf(stderr, "FAIL: %s/%u: %llu of %llu schedules traced\n",
+                     to_string(s).data(), threads,
+                     static_cast<unsigned long long>(events),
+                     static_cast<unsigned long long>(schedules));
+        ok = false;
+      }
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path, std::ios::trunc);
+    f << "{\n  \"benchmark\": \"explore\",\n  \"workload\": "
+         "\"contended_mix\",\n  \"schedules\": "
+      << schedules << ",\n  \"iters\": " << iters << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      f << "    {\"strategy\": \"" << to_string(r.strategy)
+        << "\", \"threads\": " << r.threads << ", \"schedules_per_sec\": "
+        << static_cast<std::uint64_t>(r.schedules_per_sec * 10) / 10.0
+        << ", \"events_per_sec\": "
+        << static_cast<std::uint64_t>(r.events_per_sec)
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (smoke) std::printf("smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -203,7 +203,6 @@ inline std::uint32_t value_slice(T v) noexcept {
 /// One wait episode's pacing state. Construct (or reset()) per episode.
 class Waiter {
  public:
-  using Policy = WaitPolicy;  // compatibility: Backoff::Policy call sites
 
   explicit Waiter(WaitPolicy policy = WaitPolicy::kAuto) noexcept
       : policy_(policy) {}
@@ -224,7 +223,7 @@ class Waiter {
         }
         break;
       case WaitPolicy::kYield:
-      case WaitPolicy::kBlock:  // no address to park on: yield, as Backoff did
+      case WaitPolicy::kBlock:  // no address to park on: yield
         std::this_thread::yield();
         break;
       case WaitPolicy::kAuto:

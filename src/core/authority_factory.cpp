@@ -1,0 +1,46 @@
+#include "src/core/clock_authority.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/explore_authority.hpp"
+#include "src/core/schedule_authority.hpp"
+#include "src/core/st_authority.hpp"
+
+namespace reomp::core {
+
+std::unique_ptr<ScheduleAuthority> make_authority(Mode mode, Strategy strategy,
+                                                  Engine& engine) {
+  // Explore runs ARE record runs underneath: the scheduler layer wraps
+  // the strategy's record authority, so the recorded artifact is exactly
+  // what a record run of the imposed schedule would have produced.
+  const bool record = mode == Mode::kRecord || mode == Mode::kExplore;
+  std::unique_ptr<ScheduleAuthority> base;
+  switch (strategy) {
+    case Strategy::kST:
+      if (record) {
+        base = std::make_unique<StRecordAuthority>(engine);
+      } else {
+        base = std::make_unique<StReplayAuthority>(engine);
+      }
+      break;
+    case Strategy::kDC:
+      if (record) {
+        base = std::make_unique<ClockRecordAuthority>(engine, false);
+      } else {
+        base = std::make_unique<ClockReplayAuthority>(engine, false);
+      }
+      break;
+    case Strategy::kDE:
+      if (record) {
+        base = std::make_unique<ClockRecordAuthority>(engine, true);
+      } else {
+        base = std::make_unique<ClockReplayAuthority>(engine, true);
+      }
+      break;
+  }
+  if (mode == Mode::kExplore) {
+    return std::make_unique<ExploreAuthority>(std::move(base),
+                                              *engine.explorer());
+  }
+  return base;
+}
+
+}  // namespace reomp::core

@@ -1,4 +1,4 @@
-#include "src/core/clock_strategy.hpp"
+#include "src/core/clock_authority.hpp"
 
 #include <algorithm>
 
@@ -7,7 +7,9 @@
 
 namespace reomp::core {
 
-ClockStrategyBase::ClockStrategyBase(Engine& engine, bool use_epochs)
+// ---- record side ----
+
+ClockRecordAuthority::ClockRecordAuthority(Engine& engine, bool use_epochs)
     : engine_(engine),
       use_epochs_(use_epochs),
       // The lock-free DC claim is part of the new write-behind path; the
@@ -22,14 +24,12 @@ ClockStrategyBase::ClockStrategyBase(Engine& engine, bool use_epochs)
       deferred_(engine.options().trace_writer == TraceWriter::kDeferred),
       owner_flushes_(engine.options().trace_writer != TraceWriter::kAsync),
       collect_stats_(engine.options().collect_epoch_stats),
-      prefetch_(engine.replay_prefetched()),
-      notify_waiters_(Waiter::can_park(engine.options().wait_policy) &&
-                      engine.options().num_threads > 1),
-      wait_policy_(engine.options().wait_policy),
+      windowing_(engine.windowing()),
       history_cap_(engine.options().history_capacity) {}
 
-void ClockStrategyBase::record_gate_in(ThreadCtx&, GateState& g,
-                                       AccessKind kind) {
+void ClockRecordAuthority::gate_in(ThreadCtx&, GateState& g, GateId,
+                                   AccessKind kind) {
+  if (windowing_) engine_.window_enter();
   // Fig. 5 line 20: the SMA region plus clock assignment are serialized —
   // except for DC loads/stores on the lock-free path, whose "region" is a
   // single relaxed access ordered by the clock claim in gate_out.
@@ -37,8 +37,8 @@ void ClockStrategyBase::record_gate_in(ThreadCtx&, GateState& g,
   g.lock.lock();
 }
 
-void ClockStrategyBase::resolve_pending(GateState& g,
-                                        AccessKind current_kind) {
+void ClockRecordAuthority::resolve_pending(GateState& g,
+                                           AccessKind current_kind) {
   if (!g.pending.active()) return;
   // Condition 1 (ii): the pending store may be swapped with its preceding
   // store run only because a *store* follows it — which is the access being
@@ -53,8 +53,8 @@ void ClockStrategyBase::resolve_pending(GateState& g,
   g.pending.clear();
 }
 
-void ClockStrategyBase::record_gate_out(ThreadCtx& t, GateState& g,
-                                        GateId gid, AccessKind kind) {
+void ClockRecordAuthority::gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                                    AccessKind kind) {
   const bool locked = !lockfree(kind);
   // ---- under the gate lock (unless the DC lock-free claim applies) ----
   const std::uint64_t clock =
@@ -112,6 +112,13 @@ void ClockStrategyBase::record_gate_out(ThreadCtx& t, GateState& g,
     if (direct) t.writer->append({gid, direct_value});
     t.flush_resolved();
     g.lock.unlock();
+    // Count the event BEFORE leaving the window region: a cut quiesces on
+    // the region count, so every entry sealed into a window is also
+    // reflected in the snapshot's cumulative event count — the invariant
+    // that lets an app resume a windowed replay at exactly
+    // restored_snapshot()->events.
+    ++t.events;
+    if (windowing_) engine_.window_exit();
     return;
   }
   if (locked) g.lock.unlock();
@@ -119,20 +126,33 @@ void ClockStrategyBase::record_gate_out(ThreadCtx& t, GateState& g,
   // Fig. 5 lines 23-24: the I/O happens after unlock, overlapping with
   // other threads' SMA regions and I/O (§IV-C3). Under the async writer
   // it leaves the record thread altogether.
-  if (!owner_flushes_) return;
-  if (direct) t.writer->append({gid, direct_value});
-  // Deferred pacing: drain at the batch threshold — or whenever the ring
-  // has spilled, since an unresolved entry at the overflow front can hold
-  // the ring empty indefinitely and the size threshold would never fire,
-  // leaving every subsequent push on the locked allocating spill path.
-  if (!deferred_ || t.ring->producer_size() >= t.flush_batch ||
-      t.ring->has_overflowed()) {
-    t.flush_resolved();
+  if (owner_flushes_) {
+    if (direct) t.writer->append({gid, direct_value});
+    // Deferred pacing: drain at the batch threshold — or whenever the ring
+    // has spilled, since an unresolved entry at the overflow front can hold
+    // the ring empty indefinitely and the size threshold would never fire,
+    // leaving every subsequent push on the locked allocating spill path.
+    if (!deferred_ || t.ring->producer_size() >= t.flush_batch ||
+        t.ring->has_overflowed()) {
+      t.flush_resolved();
+    }
   }
+  ++t.events;  // before window_exit — see the ablation branch above
+  if (windowing_) engine_.window_exit();
 }
 
-void ClockStrategyBase::replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
-                                       AccessKind) {
+// ---- replay side ----
+
+ClockReplayAuthority::ClockReplayAuthority(Engine& engine, bool use_epochs)
+    : engine_(engine),
+      use_epochs_(use_epochs),
+      prefetch_(engine.replay_prefetched()),
+      notify_waiters_(Waiter::can_park(engine.options().wait_policy) &&
+                      engine.options().num_threads > 1),
+      wait_policy_(engine.options().wait_policy) {}
+
+void ClockReplayAuthority::gate_in(ThreadCtx& t, GateState& g, GateId gid,
+                                   AccessKind) {
   // Fig. 5 line 31: each thread reads the next value from its own stream —
   // a bounds-checked array index on the pre-decoded fast path, a streaming
   // decode on the ablation baseline / memory-cap fallback. Divergence
@@ -151,8 +171,7 @@ void ClockStrategyBase::replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
                        g.name + "' but its record expects gate '" +
                        engine_.gate_name_or(e.gate) + "'");
     }
-    t.replay_epoch_size =
-        s.epoch_size.empty() ? 0 : s.epoch_size[s.pos];
+    t.replay_epoch_size = s.epoch_size.empty() ? 0 : s.epoch_size[s.pos];
     ++s.pos;
     value = e.value;
     t.replay_turn = value;
@@ -188,10 +207,14 @@ void ClockStrategyBase::replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
       }
     } while ((seen = g.next_clock->load(std::memory_order_acquire)) < value);
   }
+  // Progress heartbeat for the stall supervisor: bumped the moment the
+  // wait (if any) is over, so a frozen sum means "no thread has cleared a
+  // gate since the last sample".
+  t.telemetry.beat_in();
 }
 
-void ClockStrategyBase::replay_gate_out(ThreadCtx& t, GateState& g, GateId,
-                                        AccessKind) {
+void ClockReplayAuthority::gate_out(ThreadCtx& t, GateState& g, GateId,
+                                    AccessKind) {
   // Fig. 5 line 34: one inter-thread communication per region (Fig. 7).
   bool published = true;
   if (prefetch_ && !use_epochs_) {
@@ -232,10 +255,8 @@ void ClockStrategyBase::replay_gate_out(ThreadCtx& t, GateState& g, GateId,
   // polling policies must not pay even the notify's shared load. Nothing
   // to wake when next_clock did not move.
   if (notify_waiters_ && published) Waiter::notify(*g.next_clock);
-}
-
-void ClockStrategyBase::finalize_record(ThreadCtx& t) {
-  if (owner_flushes_) t.flush_resolved();
+  ++t.events;
+  t.telemetry.beat_out();
 }
 
 }  // namespace reomp::core

@@ -1,7 +1,7 @@
 // Distributed clock (DC, paper §IV-B) and distributed epoch (DE, §IV-D)
-// recording. Both record a value-per-access into the executing thread's own
-// file and replay with the Fig. 5 next_clock protocol; they differ only in
-// the recorded value:
+// scheduling, split along the ScheduleAuthority seam. Both record a
+// value-per-access into the executing thread's own file and replay with
+// the Fig. 5 next_clock protocol; they differ only in the recorded value:
 //
 //   DC: value = clock            (X = 0 in Fig. 5)
 //   DE: value = clock - X_C      (epoch)
@@ -43,26 +43,18 @@
 // historical path for ablation.
 #pragma once
 
-#include "src/core/strategy.hpp"
+#include "src/core/schedule_authority.hpp"
 
 namespace reomp::core {
 
-class ClockStrategyBase : public IStrategy {
+class ClockRecordAuthority final : public ScheduleAuthority {
  public:
-  ClockStrategyBase(Engine& engine, bool use_epochs);
+  ClockRecordAuthority(Engine& engine, bool use_epochs);
 
-  void record_gate_in(ThreadCtx& t, GateState& g, AccessKind kind) override;
-  void record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
-                       AccessKind kind) override;
-  void replay_gate_in(ThreadCtx& t, GateState& g, GateId gid,
-                      AccessKind kind) override;
-  void replay_gate_out(ThreadCtx& t, GateState& g, GateId gid,
-                       AccessKind kind) override;
-  void finalize_record(ThreadCtx& t) override;
-
-  [[nodiscard]] bool replay_allows_concurrency() const override {
-    return use_epochs_;
-  }
+  void gate_in(ThreadCtx& t, GateState& g, GateId gid,
+               AccessKind kind) override;
+  void gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                AccessKind kind) override;
 
  private:
   /// Resolve the gate's pending store given the kind of the access that
@@ -77,31 +69,38 @@ class ClockStrategyBase : public IStrategy {
   }
 
   Engine& engine_;
-  const bool use_epochs_;       // false => DC, true => DE
-  const bool dc_lockfree_;      // DC load/store claims skip the ticket lock
+  const bool use_epochs_;   // false => DC, true => DE
+  const bool dc_lockfree_;  // DC load/store claims skip the ticket lock
   const bool write_inside_lock_;
-  const bool deferred_;         // thresholded owner-side batch flush
-  const bool owner_flushes_;    // false => the async writer drains the rings
+  const bool deferred_;       // thresholded owner-side batch flush
+  const bool owner_flushes_;  // false => the async writer drains the rings
   const bool collect_stats_;
-  const bool prefetch_;         // replay from the pre-decoded schedule
+  const bool windowing_;  // bracket regions for the flight recorder
+  const std::uint32_t history_cap_;
+};
+
+class ClockReplayAuthority final : public ScheduleAuthority {
+ public:
+  ClockReplayAuthority(Engine& engine, bool use_epochs);
+
+  void gate_in(ThreadCtx& t, GateState& g, GateId gid,
+               AccessKind kind) override;
+  void gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                AccessKind kind) override;
+
+  [[nodiscard]] bool allows_concurrency() const override {
+    return use_epochs_;
+  }
+
+ private:
+  Engine& engine_;
+  const bool use_epochs_;  // false => DC, true => DE
+  const bool prefetch_;    // replay from the pre-decoded schedule
   // A waiter under this run's policy may park on next_clock, so every
   // publish must notify (false for the polling policies, and for
   // single-threaded replays where no peer can ever be waiting).
   const bool notify_waiters_;
   const WaitPolicy wait_policy_;  // cached off Options for the hot loop
-  const std::uint32_t history_cap_;
-};
-
-class DcStrategy final : public ClockStrategyBase {
- public:
-  explicit DcStrategy(Engine& engine)
-      : ClockStrategyBase(engine, /*use_epochs=*/false) {}
-};
-
-class DeStrategy final : public ClockStrategyBase {
- public:
-  explicit DeStrategy(Engine& engine)
-      : ClockStrategyBase(engine, /*use_epochs=*/true) {}
 };
 
 }  // namespace reomp::core

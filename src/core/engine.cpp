@@ -10,6 +10,7 @@
 
 #include "src/common/log.hpp"
 #include "src/common/waiter.hpp"
+#include "src/core/explore_authority.hpp"
 #include "src/core/stall_supervisor.hpp"
 #include "src/trace/fault_injection.hpp"
 #include "src/trace/trace_dir.hpp"
@@ -26,6 +27,13 @@ trace::Manifest make_manifest(const Options& opt) {
   m.extra["history_cap"] = std::to_string(opt.history_capacity);
   m.extra["trace_format"] = std::string(to_string(opt.trace_format));
   m.extra["trace_compress"] = std::string(to_string(opt.trace_compress));
+  if (opt.mode == Mode::kExplore) {
+    // Self-describing artifacts: how this schedule was produced. Replay
+    // ignores unknown extras, so an explored trace replays unchanged.
+    m.extra["mode"] = "explore";
+    m.extra["explore_seed"] = std::to_string(opt.explore_seed);
+    m.extra["explore_preemptions"] = std::to_string(opt.explore_preemptions);
+  }
   return m;
 }
 
@@ -76,7 +84,8 @@ Engine::Engine(Options opt) : opt_(std::move(opt)) {
         "REOMP_TRACE_RETAIN_WINDOWS requires REOMP_TRACE_WINDOW_EVENTS "
         "(retention bounds a windowed recording)");
   }
-  if (opt_.mode == Mode::kRecord && opt_.trace_window_events > 0) {
+  if ((opt_.mode == Mode::kRecord || opt_.mode == Mode::kExplore) &&
+      opt_.trace_window_events > 0) {
     if (opt_.dir.empty()) {
       throw std::invalid_argument(
           "windowed recording (REOMP_TRACE_WINDOW_EVENTS) requires a trace "
@@ -97,14 +106,21 @@ Engine::Engine(Options opt) : opt_(std::move(opt)) {
     threads_.push_back(std::move(ctx));
   }
 
-  if (opt_.mode == Mode::kRecord) {
+  if (opt_.mode == Mode::kRecord || opt_.mode == Mode::kExplore) {
+    // Explore runs record through the standard streams: the scheduler
+    // layer only changes WHICH schedule gets recorded, never how.
     open_record_streams();
     if (opt_.trace_writer == TraceWriter::kAsync) start_async_writer();
+    if (opt_.mode == Mode::kExplore) {
+      explorer_ = std::make_unique<ExploreScheduler>(
+          opt_.num_threads, opt_.explore_seed, opt_.explore_preemptions,
+          opt_.wait_policy);
+    }
   } else if (opt_.mode == Mode::kReplay) {
     open_replay_streams();
   }
   if (opt_.mode != Mode::kOff) {
-    strategy_ = make_strategy(opt_.strategy, *this);
+    authority_ = make_authority(opt_.mode, opt_.strategy, *this);
   }
   if (opt_.mode == Mode::kReplay && opt_.replay_stall_timeout_ms > 0) {
     // Started last: everything the monitor samples (thread telemetry and
@@ -1137,10 +1153,10 @@ void Engine::finalize() {
   // throw: the latch keeps finalize from re-running, so this is the last
   // chance to join a thread that samples engine state.
   supervisor_.reset();
-  if (opt_.mode == Mode::kRecord) {
-    finalize_record();
-  } else {
+  if (opt_.mode == Mode::kReplay) {
     finalize_replay();
+  } else {
+    finalize_record();  // record AND explore: both sealed standard streams
   }
 }
 

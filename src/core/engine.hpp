@@ -30,7 +30,7 @@
 #include "src/core/bundle.hpp"
 #include "src/core/gate_state.hpp"
 #include "src/core/options.hpp"
-#include "src/core/strategy.hpp"
+#include "src/core/schedule_authority.hpp"
 #include "src/core/types.hpp"
 #include "src/trace/async_sink.hpp"
 #include "src/trace/byte_io.hpp"
@@ -49,6 +49,7 @@ class ReplayDivergence : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+class ExploreScheduler;
 class StallSupervisor;
 
 class Engine {
@@ -74,38 +75,20 @@ class Engine {
 
   // ---- the gate protocol (paper Figs. 4 & 5) ----
 
+  // No mode branching here: the mode x strategy dispatch happened once at
+  // construction (make_authority), and each authority owns its side's full
+  // per-call sequence — window bracketing + event counting on the record
+  // side, heartbeats + event counting on the replay side. kOff keeps the
+  // authority null, preserving the historical "no gate validation when
+  // off" behaviour.
   void gate_in(ThreadCtx& t, GateId gate, AccessKind kind) {
-    if (opt_.mode == Mode::kOff) return;
-    GateState& g = gate_ref(gate);
-    if (opt_.mode == Mode::kRecord) {
-      if (windowing_) window_enter();
-      strategy_->record_gate_in(t, g, kind);
-    } else {
-      strategy_->replay_gate_in(t, g, gate, kind);
-      // Progress heartbeat for the stall supervisor: bumped the moment the
-      // wait (if any) is over, so a frozen sum means "no thread has cleared
-      // a gate since the last sample".
-      t.telemetry.beat_in();
-    }
+    if (authority_ == nullptr) return;
+    authority_->gate_in(t, gate_ref(gate), gate, kind);
   }
 
   void gate_out(ThreadCtx& t, GateId gate, AccessKind kind) {
-    if (opt_.mode == Mode::kOff) return;
-    GateState& g = gate_ref(gate);
-    if (opt_.mode == Mode::kRecord) {
-      strategy_->record_gate_out(t, g, gate, kind);
-      // Count the event BEFORE leaving the window region: a cut quiesces
-      // on the region count, so every entry sealed into a window is also
-      // reflected in the snapshot's cumulative event count — the invariant
-      // that lets an app resume a windowed replay at exactly
-      // restored_snapshot()->events.
-      ++t.events;
-      if (windowing_) window_exit();
-    } else {
-      strategy_->replay_gate_out(t, g, gate, kind);
-      ++t.events;
-      t.telemetry.beat_out();
-    }
+    if (authority_ == nullptr) return;
+    authority_->gate_out(t, gate_ref(gate), gate, kind);
   }
 
   // ---- convenience wrappers for single racy accesses ----
@@ -270,7 +253,7 @@ class Engine {
   /// was never registered, and a divergence message must not itself throw.
   [[nodiscard]] std::string gate_name_or(GateId gate);
 
-  // ---- internals shared with strategies ----
+  // ---- internals shared with the schedule authorities ----
 
   /// ST shared channel: one serialized record stream (record runs) and one
   /// global replay cursor with the Fig. 4 next_tid protocol (replay runs).
@@ -345,6 +328,32 @@ class Engine {
     return *gates_[gate];
   }
 
+  /// Explore-mode schedule generator; null in every other mode. Used by
+  /// the ExploreAuthority at gate entries and by romp::Team at region /
+  /// barrier boundaries.
+  [[nodiscard]] ExploreScheduler* explorer() { return explorer_.get(); }
+
+  // ---- flight-recorder window bracket (record authorities ONLY) ----
+  // window_word_ packs [cut-pending:1][active gate regions:63]; entry to a
+  // region is a fetch_add that backs out and parks when the pending bit is
+  // up, so a cutter that raises the bit and waits for the count to reach
+  // zero owns every record-side structure exclusively. Record authorities
+  // bracket every gate execution with these (engine.cpp has the cut
+  // protocol walkthrough); nothing else may call them.
+  void window_enter() {
+    if ((window_word_.fetch_add(1, std::memory_order_acquire) & kCutPending) !=
+        0) {
+      window_enter_slow();
+    }
+  }
+  void window_exit() {
+    window_word_.fetch_sub(1, std::memory_order_release);
+    if (window_events_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+        opt_.trace_window_events) {
+      maybe_cut_window();
+    }
+  }
+
  private:
   void open_record_streams();
   /// Atomic write of the manifest with complete=0 the moment the record
@@ -359,25 +368,8 @@ class Engine {
   void finalize_record();
   void finalize_replay();
 
-  // ---- windowing internals (engine.cpp has the cut protocol walkthrough).
-  // window_word_ packs [cut-pending:1][active gate regions:63]; entry to a
-  // region is a fetch_add that backs out and parks when the pending bit is
-  // up, so a cutter that raises the bit and waits for the count to reach
-  // zero owns every record-side structure exclusively.
+  // ---- windowing internals ----
   static constexpr std::uint64_t kCutPending = 1ull << 63;
-  void window_enter() {
-    if ((window_word_.fetch_add(1, std::memory_order_acquire) & kCutPending) !=
-        0) {
-      window_enter_slow();
-    }
-  }
-  void window_exit() {
-    window_word_.fetch_sub(1, std::memory_order_release);
-    if (window_events_.fetch_add(1, std::memory_order_relaxed) + 1 >=
-        opt_.trace_window_events) {
-      maybe_cut_window();
-    }
-  }
   void window_enter_slow();
   void maybe_cut_window();
   void cut_window_locked();
@@ -421,7 +413,11 @@ class Engine {
   std::optional<trace::Snapshot> restored_snapshot_;
 
   std::vector<std::unique_ptr<ThreadCtx>> threads_;
-  std::unique_ptr<IStrategy> strategy_;
+  std::unique_ptr<ScheduleAuthority> authority_;
+  // Explore mode only: the seeded schedule generator the ExploreAuthority
+  // and romp::Team report to. Created before authority_ so the factory
+  // can wire the wrapper to it.
+  std::unique_ptr<ExploreScheduler> explorer_;
   StChannel st_;
   // Async trace-writer subsystem (record runs with trace_writer=async):
   // drains the rings/staging above, so it must be stopped before any of

@@ -1,0 +1,157 @@
+#include "src/core/explore_authority.hpp"
+
+#include <algorithm>
+
+namespace reomp::core {
+
+namespace {
+/// One in kPreemptOdds contended grants spends a preemption point while
+/// budget remains. Drawn from the seeded PRNG, so the choice is part of
+/// the deterministic schedule.
+constexpr std::uint64_t kPreemptOdds = 4;
+}  // namespace
+
+ExploreScheduler::ExploreScheduler(std::uint32_t num_threads,
+                                   std::uint64_t seed,
+                                   std::uint32_t preemptions,
+                                   WaitPolicy wait_policy)
+    : n_(num_threads),
+      seed_(seed),
+      initial_budget_(preemptions),
+      wait_policy_(wait_policy),
+      status_(num_threads, Status::kIdle),
+      priority_(num_threads, 0),
+      // Demotions hand out budget, budget-1, ..., 1 — every demoted
+      // priority sits below every initial one AND below earlier demotions,
+      // matching PCT's "change point d gets priority d".
+      next_low_(static_cast<std::int64_t>(preemptions)),
+      budget_(preemptions),
+      rng_(seed) {
+  // Initial priorities: a seeded random permutation of
+  // [budget+1, budget+n], so they are distinct and all above the
+  // demotion range.
+  std::vector<std::int64_t> vals(n_);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    vals[i] = static_cast<std::int64_t>(preemptions) + 1 + i;
+  }
+  for (std::uint32_t i = n_ - 1; i > 0; --i) {
+    std::swap(vals[i], vals[rng_.next_below(i + 1)]);
+  }
+  priority_ = std::move(vals);
+  grant_.reserve(n_);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    grant_.push_back(
+        std::make_unique<CachePadded<std::atomic<std::uint32_t>>>());
+  }
+}
+
+void ExploreScheduler::begin_region() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    status_[i] = Status::kRunning;
+    (*grant_[i])->store(0, std::memory_order_relaxed);
+  }
+  running_ = n_;
+}
+
+void ExploreScheduler::end_region() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::uint32_t i = 0; i < n_; ++i) status_[i] = Status::kIdle;
+  running_ = 0;
+}
+
+void ExploreScheduler::decide_locked() {
+  auto top = [this]() -> std::int64_t {
+    std::int64_t best = -1;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (status_[i] != Status::kAtGate) continue;
+      if (best < 0 || priority_[i] > priority_[static_cast<std::uint32_t>(
+                          best)]) {
+        best = static_cast<std::int64_t>(i);
+      }
+    }
+    return best;
+  };
+  std::int64_t best = top();
+  if (best < 0) return;  // nothing runnable: a barrier release or region
+                         // boundary will re-enter here
+  std::uint32_t candidates = 0;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (status_[i] == Status::kAtGate) ++candidates;
+  }
+  // A preemption point: demote the front runner below everyone and let
+  // the next-highest candidate take the token instead. Only meaningful
+  // with a real choice (>= 2 candidates) and remaining budget.
+  if (budget_ > 0 && candidates > 1 && rng_.next_below(kPreemptOdds) == 0) {
+    priority_[static_cast<std::uint32_t>(best)] = next_low_--;
+    --budget_;
+    best = top();
+  }
+  const auto tid = static_cast<std::uint32_t>(best);
+  status_[tid] = Status::kRunning;
+  ++running_;
+  auto& word = **grant_[tid];
+  word.store(1, std::memory_order_release);
+  Waiter::notify(word);
+}
+
+void ExploreScheduler::park_until_granted(WaitTelemetry& telemetry,
+                                          ThreadId tid, GateId gate) {
+  auto& word = **grant_[tid];
+  std::uint32_t seen = word.load(std::memory_order_acquire);
+  if (seen != 0) return;
+  WaitScope site(telemetry);
+  Waiter waiter(wait_policy_);
+  do {
+    site.arm(WaitKind::kExploreGrant, gate, 1, wait_policy_, seen);
+    site.poll(seen, waiter.would_park());
+    waiter.pause_wait(word, seen);
+  } while ((seen = word.load(std::memory_order_acquire)) == 0);
+}
+
+void ExploreScheduler::arrive(WaitTelemetry& telemetry, ThreadId tid,
+                              GateId gate) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    (*grant_[tid])->store(0, std::memory_order_relaxed);
+    // kIdle tolerates bare-engine drivers that never call begin_region:
+    // such a thread joins the schedule at its first gate.
+    if (status_[tid] == Status::kRunning) --running_;
+    status_[tid] = Status::kAtGate;
+    if (running_ == 0) decide_locked();
+  }
+  park_until_granted(telemetry, tid, gate);
+}
+
+void ExploreScheduler::block(ThreadId tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (*grant_[tid])->store(0, std::memory_order_relaxed);
+  if (status_[tid] == Status::kRunning) --running_;
+  status_[tid] = Status::kBlocked;
+  if (running_ == 0) decide_locked();
+}
+
+void ExploreScheduler::barrier_released() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (status_[i] == Status::kBlocked) status_[i] = Status::kAtGate;
+  }
+  // The releaser normally still holds the token (running_ >= 1) and will
+  // hit its own next scheduling point; the defensive decide covers a
+  // driver whose releaser blocks without one.
+  if (running_ == 0) decide_locked();
+}
+
+void ExploreScheduler::await_resume(WaitTelemetry& telemetry, ThreadId tid) {
+  park_until_granted(telemetry, tid, kInvalidGate);
+}
+
+void ExploreScheduler::done(ThreadId tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (*grant_[tid])->store(0, std::memory_order_relaxed);
+  if (status_[tid] == Status::kRunning) --running_;
+  status_[tid] = Status::kDone;
+  if (running_ == 0) decide_locked();
+}
+
+}  // namespace reomp::core

@@ -1,0 +1,151 @@
+// REOMP_MODE=explore — a seeded PCT-style schedule explorer.
+//
+// The gate/turn machinery that *enforces* a recorded schedule can just as
+// well *impose* a generated one. ExploreScheduler is a randomized-priority
+// scheduler in the spirit of probabilistic concurrency testing
+// (Burckhardt et al., ASPLOS'10): every thread gets a distinct random
+// priority drawn from a seeded PRNG, the highest-priority runnable thread
+// holds the execution token, and a bounded budget of priority-change
+// (preemption) points — REOMP_EXPLORE_PREEMPTIONS — demotes the front
+// runner at randomly chosen gate entries, forcing schedules a free-running
+// record run would essentially never take.
+//
+// Execution model: fully serialized cooperative token passing. A thread
+// that reaches a gate (or a team barrier, or the end of its task) parks
+// and reports to the scheduler; scheduling decisions happen only at
+// QUIESCENCE — when no granted thread is still running between decision
+// points — so the chosen schedule is a pure function of (seed, program
+// structure) and never of OS timing. That is the determinism contract:
+// same seed => same grant sequence => same gate order => byte-identical
+// recorded streams (chunk cuts are a pure function of the entry sequence).
+//
+// Explore runs ARE record runs: the ExploreAuthority wraps the strategy's
+// record authority, so every explored schedule lands in the standard
+// v2/v3 trace container (with the seed in the manifest) and any schedule
+// that trips the detector is immediately replayable with zero new trace
+// machinery.
+//
+// Scope: the serialization covers gated regions and team barriers.
+// Ungated code between gates may still overlap in real time; that cannot
+// perturb the recorded schedule (only gate order is recorded) but means
+// un-gated detector feeds keep their usual racy timing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/cacheline.hpp"
+#include "src/common/prng.hpp"
+#include "src/common/waiter.hpp"
+#include "src/core/schedule_authority.hpp"
+#include "src/core/wait_telemetry.hpp"
+
+namespace reomp::core {
+
+class ExploreScheduler {
+ public:
+  ExploreScheduler(std::uint32_t num_threads, std::uint64_t seed,
+                   std::uint32_t preemptions, WaitPolicy wait_policy);
+
+  // ---- region lifecycle (romp::Team, or any fork-join driver) ----
+
+  /// All threads are about to run a parallel region: mark every thread
+  /// Running BEFORE any of them can reach a gate, so decisions never
+  /// depend on which workers have woken yet.
+  void begin_region();
+  /// The region has joined: every thread is idle again.
+  void end_region();
+
+  // ---- per-thread events ----
+
+  /// The calling thread reached gate `gate`. Parks until the scheduler
+  /// grants it the token; returns with the token held. The token is
+  /// implicitly held through the gated region until the next arrive /
+  /// block / done from this thread.
+  void arrive(WaitTelemetry& telemetry, ThreadId tid, GateId gate);
+
+  /// The calling thread is about to park on an external condition a peer
+  /// must satisfy (team barrier): it is not runnable until
+  /// barrier_released(). Releases the token. Call BEFORE the actual park.
+  void block(ThreadId tid);
+
+  /// Every thread blocked on the barrier is runnable again. Called by the
+  /// releasing thread (which still holds the token), so the state update
+  /// is ordered before the releaser's next scheduling point.
+  void barrier_released();
+
+  /// After the external park of block() completes: wait for the grant so
+  /// the thread rejoins the serialized schedule before touching any gate.
+  void await_resume(WaitTelemetry& telemetry, ThreadId tid);
+
+  /// The calling thread finished its task for this region.
+  void done(ThreadId tid);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint32_t preemption_budget() const { return initial_budget_; }
+
+ private:
+  enum class Status : std::uint8_t {
+    kIdle = 0,  // outside any region
+    kRunning,   // holds the token (or is between begin_region and its
+                // first gate — regions start with every thread running)
+    kAtGate,    // parked at a gate, runnable
+    kBlocked,   // parked at a barrier, NOT runnable until released
+    kDone,      // finished its task for this region
+  };
+
+  /// Pick and wake the highest-priority runnable thread. Caller holds
+  /// mu_ and has observed running_ == 0 (quiescence).
+  void decide_locked();
+  void park_until_granted(WaitTelemetry& telemetry, ThreadId tid,
+                          GateId gate);
+
+  const std::uint32_t n_;
+  const std::uint64_t seed_;
+  const std::uint32_t initial_budget_;
+  const WaitPolicy wait_policy_;
+
+  std::mutex mu_;
+  std::vector<Status> status_;         // under mu_
+  std::uint32_t running_ = 0;          // under mu_: threads holding/awaiting no grant
+  std::vector<std::int64_t> priority_;  // under mu_; all distinct
+  std::int64_t next_low_;              // under mu_: next demotion priority
+  std::uint32_t budget_;               // under mu_: preemptions left
+  Xoshiro256 rng_;                     // under mu_
+  // One grant word per thread, each on its own line: 1 = token granted.
+  // Written under mu_, awaited lock-free by the owning thread.
+  std::vector<std::unique_ptr<CachePadded<std::atomic<std::uint32_t>>>>
+      grant_;
+};
+
+/// The explore-mode ScheduleAuthority: impose the generated schedule at
+/// every gate entry, then record the region through the wrapped strategy
+/// record authority exactly as a record run would.
+class ExploreAuthority final : public ScheduleAuthority {
+ public:
+  ExploreAuthority(std::unique_ptr<ScheduleAuthority> recorder,
+                   ExploreScheduler& scheduler)
+      : recorder_(std::move(recorder)), scheduler_(scheduler) {}
+
+  void gate_in(ThreadCtx& t, GateState& g, GateId gid,
+               AccessKind kind) override {
+    // Schedule first, record second: a thread waiting for the token must
+    // not be inside the flight-recorder window region (a cut quiesces on
+    // active regions) nor hold any gate lock.
+    scheduler_.arrive(t.telemetry, t.tid, gid);
+    recorder_->gate_in(t, g, gid, kind);
+  }
+  void gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                AccessKind kind) override {
+    recorder_->gate_out(t, g, gid, kind);
+  }
+
+ private:
+  std::unique_ptr<ScheduleAuthority> recorder_;
+  ExploreScheduler& scheduler_;
+};
+
+}  // namespace reomp::core

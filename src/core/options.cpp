@@ -1,5 +1,7 @@
 #include "src/core/options.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -67,6 +69,38 @@ std::uint32_t env_millis_strict(const char* name, std::uint32_t fallback) {
                              "' is not a millisecond count (0..2^30)");
   }
   return static_cast<std::uint32_t>(v);
+}
+
+/// Strict count knob where an explicit 0 is a meaningful value (e.g. a
+/// zero preemption budget = pure priority scheduling), not a typo.
+std::uint32_t env_count_strict(const char* name, std::uint32_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s->c_str(), &end, 10);
+  if (s->empty() || end == nullptr || *end != '\0' || v > (1ull << 30)) {
+    throw std::runtime_error(std::string(name) + "='" + *s +
+                             "' is not a count (0..2^30)");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+/// Strict 64-bit knob for PRNG seeds: any decimal uint64 (including 0) is
+/// accepted, everything else throws — an explore campaign driven by a
+/// typo'd seed would silently re-test one schedule N times.
+std::uint64_t env_u64_strict(const char* name, std::uint64_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s->c_str(), &end, 10);
+  // strtoull silently wraps a leading '-', so require a digit up front.
+  if (s->empty() || !std::isdigit(static_cast<unsigned char>((*s)[0])) ||
+      end == nullptr || *end != '\0' || errno == ERANGE) {
+    throw std::runtime_error(std::string(name) + "='" + *s +
+                             "' is not a decimal 64-bit seed");
+  }
+  return static_cast<std::uint64_t>(v);
 }
 
 }  // namespace
@@ -162,6 +196,9 @@ Options Options::from_env(std::uint32_t num_threads) {
       "REOMP_REPLAY_STALL_TIMEOUT_MS", opt.replay_stall_timeout_ms);
   opt.replay_stall_grace_ms = env_millis_strict("REOMP_REPLAY_STALL_GRACE_MS",
                                                 opt.replay_stall_grace_ms);
+  opt.explore_seed = env_u64_strict("REOMP_EXPLORE_SEED", opt.explore_seed);
+  opt.explore_preemptions =
+      env_count_strict("REOMP_EXPLORE_PREEMPTIONS", opt.explore_preemptions);
   return opt;
 }
 

@@ -209,6 +209,20 @@ struct Options {
   /// immediately at the deadline. Env: REOMP_REPLAY_STALL_GRACE_MS.
   std::uint32_t replay_stall_grace_ms = 1000;
 
+  /// Explore mode (Mode::kExplore): the PRNG seed the schedule is derived
+  /// from. Same seed + same program => byte-identical recorded trace; the
+  /// seed is stamped into the manifest so an artifact is self-describing.
+  /// Env: REOMP_EXPLORE_SEED (strict: any non-decimal throws; 0 is a
+  /// valid seed).
+  std::uint64_t explore_seed = 1;
+
+  /// Explore mode: the PCT preemption budget — at most this many
+  /// priority-change points are spent over the whole run, each demoting
+  /// the highest-priority runnable thread at a randomly chosen gate
+  /// entry. 0 = pure priority scheduling (no preemptions). Env:
+  /// REOMP_EXPLORE_PREEMPTIONS (strict; explicit 0 accepted).
+  std::uint32_t explore_preemptions = 2;
+
   /// Collect the epoch-size histogram (paper Fig. 20). Cheap; on by default.
   bool collect_epoch_stats = true;
 
@@ -234,6 +248,7 @@ struct Options {
   /// REOMP_TRACE_WINDOW_EVENTS / REOMP_TRACE_RETAIN_WINDOWS /
   /// REOMP_REPLAY_FROM_WINDOW /
   /// REOMP_REPLAY_STALL_TIMEOUT_MS / REOMP_REPLAY_STALL_GRACE_MS /
+  /// REOMP_EXPLORE_SEED / REOMP_EXPLORE_PREEMPTIONS /
   /// REOMP_REPLAY_PREFETCH / REOMP_REPLAY_MEM_CAP / REOMP_REPLAY_SALVAGE
   /// environment variables, mirroring the real tool's env-driven mode
   /// switch (paper §V). Invalid values for the wait-policy, trace-writer

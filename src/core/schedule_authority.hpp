@@ -1,0 +1,57 @@
+// ScheduleAuthority: the single seam every gate event flows through.
+//
+// A gate execution has exactly one authority over its schedule:
+//
+//   * record  ("observe + log")        — St/ClockRecordAuthority
+//   * replay  ("enforce the decoded schedule") — St/ClockReplayAuthority
+//   * explore ("impose a generated schedule")  — ExploreAuthority, a
+//     seeded PCT-style scheduler wrapped around a record authority so
+//     every explored run is simultaneously a standard recording.
+//
+// The engine picks one implementation at construction (mode x strategy,
+// see make_authority) and routes every gate_in/gate_out through it with
+// no mode branching on the hot path. Each authority owns its side's full
+// per-call sequence — the record side brackets the flight-recorder window
+// region and counts the event before window_exit (the cut-quiesce
+// invariant), the replay side publishes the stall-supervisor heartbeats —
+// so the contracts stay with the code that depends on them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/core/gate_state.hpp"
+#include "src/core/options.hpp"
+#include "src/core/types.hpp"
+
+namespace reomp::core {
+
+class Engine;
+
+class ScheduleAuthority {
+ public:
+  virtual ~ScheduleAuthority() = default;
+
+  /// Called before the SMA region (paper Fig. 1). The region executes
+  /// between the two calls with the authority's serialization in force.
+  /// The access kind is passed on entry too: DC skips the gate lock
+  /// entirely for pure loads/stores (the lock-free clock claim) but must
+  /// still serialize kOther regions.
+  virtual void gate_in(ThreadCtx& t, GateState& g, GateId gid,
+                       AccessKind kind) = 0;
+  /// Called after the SMA region.
+  virtual void gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                        AccessKind kind) = 0;
+
+  /// Whether this authority admits concurrency inside an epoch (DE
+  /// replay) — used by the engine to pick memory-safe access primitives
+  /// for racy regions.
+  [[nodiscard]] virtual bool allows_concurrency() const { return false; }
+};
+
+/// Factory. `engine` provides access to shared channels (the ST shared
+/// file/cursor), options, and — for Mode::kExplore — the ExploreScheduler.
+std::unique_ptr<ScheduleAuthority> make_authority(Mode mode, Strategy strategy,
+                                                  Engine& engine);
+
+}  // namespace reomp::core

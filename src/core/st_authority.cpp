@@ -1,24 +1,24 @@
-#include "src/core/st_strategy.hpp"
+#include "src/core/st_authority.hpp"
 
 #include "src/common/waiter.hpp"
 #include "src/core/engine.hpp"
 
 namespace reomp::core {
 
-StStrategy::StStrategy(Engine& engine)
+// ---- record side ----
+
+StRecordAuthority::StRecordAuthority(Engine& engine)
     : engine_(engine),
       owner_commits_(engine.options().trace_writer != TraceWriter::kAsync),
-      prefetch_(engine.replay_prefetched()),
-      notify_waiters_(Waiter::can_park(engine.options().wait_policy) &&
-                      engine.options().num_threads > 1),
-      wait_policy_(engine.options().wait_policy) {}
+      windowing_(engine.windowing()) {}
 
-void StStrategy::record_gate_in(ThreadCtx&, GateState& g, AccessKind) {
+void StRecordAuthority::gate_in(ThreadCtx&, GateState& g, GateId, AccessKind) {
+  if (windowing_) engine_.window_enter();
   // Fig. 4 line 1: the whole record sequence is serialized per gate.
   g.lock.lock();
 }
 
-void StStrategy::record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
+void StRecordAuthority::gate_out(ThreadCtx& t, GateState& g, GateId gid,
                                  AccessKind) {
   auto& st = engine_.st_channel();
   if (st.staging == nullptr) {
@@ -29,6 +29,13 @@ void StStrategy::record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
       st.writer->append({gid, t.tid});
     }
     g.lock.unlock();
+    // Count the event BEFORE leaving the window region: a cut quiesces
+    // on the region count, so every entry sealed into a window is also
+    // reflected in the snapshot's cumulative event count — the invariant
+    // that lets an app resume a windowed replay at exactly
+    // restored_snapshot()->events.
+    ++t.events;
+    if (windowing_) engine_.window_exit();
     return;
   }
 
@@ -61,9 +68,20 @@ void StStrategy::record_gate_out(ThreadCtx& t, GateState& g, GateId gid,
     st.commit_staged();
     st.file_lock.unlock();
   }
+  ++t.events;  // before window_exit — see the off-baseline branch above
+  if (windowing_) engine_.window_exit();
 }
 
-void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
+// ---- replay side ----
+
+StReplayAuthority::StReplayAuthority(Engine& engine)
+    : engine_(engine),
+      prefetch_(engine.replay_prefetched()),
+      notify_waiters_(Waiter::can_park(engine.options().wait_policy) &&
+                      engine.options().num_threads > 1),
+      wait_policy_(engine.options().wait_policy) {}
+
+void StReplayAuthority::gate_in(ThreadCtx& t, GateState&, GateId gid,
                                 AccessKind) {
   auto& st = engine_.st_channel();
   if (prefetch_) {
@@ -99,6 +117,10 @@ void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
         }
       } while ((seen = st.seq->load(std::memory_order_acquire)) < turn);
     }
+    // Progress heartbeat for the stall supervisor: bumped the moment the
+    // wait (if any) is over, so a frozen sum means "no thread has cleared
+    // a gate since the last sample".
+    t.telemetry.beat_in();
     return;
   }
   const std::uint64_t me = Engine::StChannel::pack(gid, t.tid);
@@ -108,7 +130,10 @@ void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
   Waiter waiter(wait_policy_);
   for (;;) {
     const std::uint64_t cur = st.current.load(std::memory_order_acquire);
-    if (cur == me) return;  // my turn (Fig. 4 line 11 exit)
+    if (cur == me) {  // my turn (Fig. 4 line 11 exit)
+      t.telemetry.beat_in();
+      return;
+    }
     if (cur == Engine::StChannel::kExhausted) {
       engine_.diverged("thread " + std::to_string(t.tid) + " entered gate '" +
                        engine_.gate_ref(gid).name +
@@ -155,7 +180,7 @@ void StStrategy::replay_gate_in(ThreadCtx& t, GateState&, GateId gid,
   }
 }
 
-void StStrategy::replay_gate_out(ThreadCtx& t, GateState&, GateId,
+void StReplayAuthority::gate_out(ThreadCtx& t, GateState&, GateId,
                                  AccessKind) {
   auto& st = engine_.st_channel();
   if (prefetch_) {
@@ -165,17 +190,15 @@ void StStrategy::replay_gate_out(ThreadCtx& t, GateState&, GateId,
     // still waiting), so a plain release store replaces the locked RMW.
     st.seq->store(t.replay_turn + 1, std::memory_order_release);
     if (notify_waiters_) Waiter::notify(*st.seq);
-    return;
+  } else {
+    // Fig. 4 line 17 analogue: releasing the turn is the signal to the
+    // thread that will read the next entry (inter-thread communication
+    // ST-4/ST-5).
+    st.current.store(Engine::StChannel::kNone, std::memory_order_release);
+    if (notify_waiters_) Waiter::notify(st.current);
   }
-  // Fig. 4 line 17 analogue: releasing the turn is the signal to the thread
-  // that will read the next entry (inter-thread communication ST-4/ST-5).
-  st.current.store(Engine::StChannel::kNone, std::memory_order_release);
-  if (notify_waiters_) Waiter::notify(st.current);
-}
-
-void StStrategy::finalize_record(ThreadCtx&) {
-  // Per-thread state: none (everything is in the shared channel, drained by
-  // the engine).
+  ++t.events;
+  t.telemetry.beat_out();
 }
 
 }  // namespace reomp::core

@@ -1,0 +1,70 @@
+// Serialized thread-ID scheduling (ST) — the traditional baseline
+// (paper §IV-A, Figs. 3-(a), 4 and 6), split along the ScheduleAuthority
+// seam into its record and replay sides.
+//
+// Record (StRecordAuthority): the SMA region and the thread-id fetch
+// execute under the gate lock. On the trace_writer=off baseline the append
+// to the single shared record file also happens inside the gate lock, one
+// channel-lock acquisition per entry — both the serialized I/O (§IV-C1)
+// and the missing I/O overlap (§IV-C3) that DC fixes. The deferred/async
+// paths replace the per-entry channel lock with a group commit: the
+// gate-lock holder claims the entry's stream position with one fetch_add
+// into a bounded MPSC staging ring of packed (gate, tid) words, and a
+// single committer — the channel-lock winner, or the async writer
+// thread — drains the ready prefix for everyone in one batch.
+//
+// Replay (StReplayAuthority), streaming baseline (replay_prefetch off or
+// over the memory cap): a single global cursor feeds Fig. 4's `next_tid`
+// protocol — all threads poll, any thread may grab the cursor lock to read
+// the next (gate, tid) entry, and only the matching thread may proceed;
+// two inter-thread communications per replayed region (Fig. 6).
+//
+// Replay, pre-decoded fast path: the shared stream is bulk-decoded at
+// engine construction and each thread is handed its own *ordinal
+// positions* in the global order — thread t's k-th recorded access is
+// (gate, global sequence number s). The whole cursor protocol collapses
+// to one global counter of completed entries (StChannel::seq): a thread
+// waits until seq == s, runs, then bumps seq. No cursor lock, no shared
+// RecordReader, no kNone/kExhausted handoffs, no `current` CAS traffic —
+// one acquire load in the wait loop and one fetch_add per region.
+#pragma once
+
+#include "src/core/schedule_authority.hpp"
+
+namespace reomp::core {
+
+class StRecordAuthority final : public ScheduleAuthority {
+ public:
+  explicit StRecordAuthority(Engine& engine);
+
+  void gate_in(ThreadCtx& t, GateState& g, GateId gid,
+               AccessKind kind) override;
+  void gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                AccessKind kind) override;
+
+ private:
+  Engine& engine_;
+  const bool owner_commits_;  // false => the async writer drains the staging
+  const bool windowing_;      // bracket regions for the flight recorder
+};
+
+class StReplayAuthority final : public ScheduleAuthority {
+ public:
+  explicit StReplayAuthority(Engine& engine);
+
+  void gate_in(ThreadCtx& t, GateState& g, GateId gid,
+               AccessKind kind) override;
+  void gate_out(ThreadCtx& t, GateState& g, GateId gid,
+                AccessKind kind) override;
+
+ private:
+  Engine& engine_;
+  const bool prefetch_;  // replay from per-thread ordinal positions
+  // A waiter under this run's policy may park on seq/current, so every
+  // turn publish must notify (false for polling policies and 1-thread
+  // replays, where no peer can be waiting).
+  const bool notify_waiters_;
+  const WaitPolicy wait_policy_;  // cached off Options for the hot loop
+};
+
+}  // namespace reomp::core

@@ -25,7 +25,15 @@ inline constexpr GateId kInvalidGate = ~GateId{0};
 enum class AccessKind : std::uint8_t { kLoad = 0, kStore = 1, kOther = 2 };
 
 /// Tool mode, switched by environment variable in the real tool (paper §V).
-enum class Mode : std::uint8_t { kOff = 0, kRecord = 1, kReplay = 2 };
+/// kExplore imposes a seeded PCT-style generated schedule (bounded random
+/// preemptions at gate entry) while recording it through the standard
+/// trace container — every explored schedule is immediately replayable.
+enum class Mode : std::uint8_t {
+  kOff = 0,
+  kRecord = 1,
+  kReplay = 2,
+  kExplore = 3,
+};
 
 /// Recording strategy (paper §IV).
 enum class Strategy : std::uint8_t {
@@ -48,6 +56,7 @@ constexpr std::string_view to_string(Mode m) {
     case Mode::kOff: return "off";
     case Mode::kRecord: return "record";
     case Mode::kReplay: return "replay";
+    case Mode::kExplore: return "explore";
   }
   return "?";
 }
@@ -65,6 +74,7 @@ constexpr std::optional<Mode> mode_from_string(std::string_view s) {
   if (s == "off") return Mode::kOff;
   if (s == "record") return Mode::kRecord;
   if (s == "replay") return Mode::kReplay;
+  if (s == "explore") return Mode::kExplore;
   return std::nullopt;
 }
 

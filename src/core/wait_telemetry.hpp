@@ -40,8 +40,9 @@ enum class WaitKind : std::uint8_t {
   kClockGate,    // DC/DE replay_gate_in on GateState::next_clock
   kStSeq,        // ST prefetch replay_gate_in on StChannel::seq
   kStCursor,     // ST streaming replay_gate_in on StChannel::current
-  kTeamJoin,     // romp::Team::parallel join on outstanding_
-  kTeamBarrier,  // romp::Team::barrier on barrier_phase_
+  kTeamJoin,      // romp::Team::parallel join on outstanding_
+  kTeamBarrier,   // romp::Team::barrier on barrier_phase_
+  kExploreGrant,  // ExploreScheduler grant word (explore mode)
 };
 
 constexpr std::string_view to_string(WaitKind k) {
@@ -52,12 +53,16 @@ constexpr std::string_view to_string(WaitKind k) {
     case WaitKind::kStCursor: return "st-cursor";
     case WaitKind::kTeamJoin: return "team-join";
     case WaitKind::kTeamBarrier: return "team-barrier";
+    case WaitKind::kExploreGrant: return "explore-grant";
   }
   return "?";
 }
 
 /// Whether sites of this kind check the poison word — and therefore which
 /// sites the poison wake storm must keep notifying until they unwind.
+/// kExploreGrant is diagnostic-only like kTeamJoin: explore runs are
+/// record runs (no stall supervisor, no poison), and a grant wait is
+/// bounded by the scheduler's quiescence invariant.
 constexpr bool is_abortable(WaitKind k) {
   return k == WaitKind::kClockGate || k == WaitKind::kStSeq ||
          k == WaitKind::kStCursor || k == WaitKind::kTeamBarrier;

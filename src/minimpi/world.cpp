@@ -80,6 +80,7 @@ Status Comm::recv(int source, int tag, std::vector<std::uint8_t>& payload) {
         m = take_wildcard(source, tag);
         break;
       case core::Mode::kRecord:
+      case core::Mode::kExplore:  // explored runs record like any other
         m = take_wildcard(source, tag);
         world_.recorder_.record_match(rank_, {m.source, m.tag});
         break;

@@ -5,6 +5,7 @@
 #include "src/common/affinity.hpp"
 #include "src/common/log.hpp"
 #include "src/common/waiter.hpp"
+#include "src/core/explore_authority.hpp"
 
 namespace reomp::romp {
 
@@ -14,7 +15,13 @@ Team::Team(TeamOptions opt) : opt_(std::move(opt)) {
   }
   opt_.engine.num_threads = opt_.num_threads;
 
-  if (opt_.detect) {
+  if (opt_.detect && opt_.engine.mode == core::Mode::kExplore) {
+    // Explore + detect: the one combination where engine and detector run
+    // together — the detector is the oracle deciding which imposed
+    // schedule tripped a race, and the engine records that schedule so
+    // the verdict is immediately replayable.
+    kind_ = RunKind::kExplore;
+  } else if (opt_.detect) {
     kind_ = RunKind::kDetect;
     opt_.engine.mode = core::Mode::kOff;  // detector and engine are separate runs
   } else {
@@ -22,6 +29,7 @@ Team::Team(TeamOptions opt) : opt_(std::move(opt)) {
       case core::Mode::kOff: kind_ = RunKind::kOff; break;
       case core::Mode::kRecord: kind_ = RunKind::kRecord; break;
       case core::Mode::kReplay: kind_ = RunKind::kReplay; break;
+      case core::Mode::kExplore: kind_ = RunKind::kExplore; break;
     }
   }
 
@@ -141,6 +149,10 @@ void Team::worker_loop(std::uint32_t tid) {
     } catch (...) {
       note_task_error(tid);
     }
+    // Explore: report task completion (normal or thrown) to the scheduler
+    // BEFORE the join decrement, so a quiescence decision never waits on a
+    // thread that already left the region.
+    if (kind_ == RunKind::kExplore) engine_->explorer()->done(tid);
     // The joiner only resumes at zero, so only the last worker must wake
     // it; intermediate decrements change the word, which is enough to
     // bounce a concurrently-parking joiner off its futex re-check.
@@ -155,6 +167,11 @@ void Team::parallel(const std::function<void(WorkerCtx&)>& fn) {
     std::lock_guard<std::mutex> lock(error_mu_);
     first_error_ = nullptr;
   }
+  // Explore: pre-mark EVERY thread Running before the task is published.
+  // A scheduling decision may then never depend on which workers have
+  // woken from the pool yet — the first decision fires only once all
+  // threads have reached their first scheduling point.
+  if (kind_ == RunKind::kExplore) engine_->explorer()->begin_region();
   outstanding_->store(opt_.num_threads - 1, std::memory_order_release);
   task_pub_->store(&fn, std::memory_order_release);
   bool wake_sleepers;
@@ -174,6 +191,7 @@ void Team::parallel(const std::function<void(WorkerCtx&)>& fn) {
   } catch (...) {
     note_task_error(0);
   }
+  if (kind_ == RunKind::kExplore) engine_->explorer()->done(0);
 
   // Adaptive join: workers decrement `outstanding_` as they finish; the
   // last one notifies, so a starved joiner parks on the count instead of
@@ -193,6 +211,7 @@ void Team::parallel(const std::function<void(WorkerCtx&)>& fn) {
     site.poll(left, waiter.would_park());
     waiter.pause_wait(*outstanding_, left);
   }
+  if (kind_ == RunKind::kExplore) engine_->explorer()->end_region();
 
   std::exception_ptr err;
   {
@@ -235,6 +254,37 @@ void Team::parallel_for_dynamic(
 }
 
 void Team::barrier(WorkerCtx& w) {
+  if (kind_ == RunKind::kExplore) {
+    auto* ex = engine_->explorer();
+    // Arrival is itself a scheduling point: grant order = arrival order,
+    // so the arrived count below is deterministic even when a barrier
+    // precedes any gate in the region (fan-in threads run concurrently
+    // until their first scheduling point).
+    ex->arrive(w.rctx->telemetry, w.tid, core::kInvalidGate);
+    const std::uint64_t phase = barrier_phase_->load(std::memory_order_acquire);
+    if (barrier_arrived_->fetch_add(1, std::memory_order_acq_rel) ==
+        opt_.num_threads - 1) {
+      // Last arriver (token held, everyone else Blocked): the detector's
+      // all-to-all join runs at a schedule-deterministic point.
+      if (detector_) detector_->on_barrier();
+      barrier_arrived_->store(0, std::memory_order_relaxed);
+      barrier_phase_->store(phase + 1, std::memory_order_release);
+      Waiter::notify(*barrier_phase_);
+      ex->barrier_released();
+    } else {
+      ex->block(w.tid);
+      core::WaitScope site(w.rctx->telemetry);
+      Waiter waiter(opt_.sync_policy);
+      while (barrier_phase_->load(std::memory_order_acquire) == phase) {
+        site.arm(core::WaitKind::kTeamBarrier, core::kInvalidGate, phase + 1,
+                 opt_.sync_policy, phase);
+        site.poll(phase, waiter.would_park());
+        waiter.pause_wait(*barrier_phase_, phase);
+      }
+      ex->await_resume(w.rctx->telemetry, w.tid);
+    }
+    return;
+  }
   const std::uint64_t phase = barrier_phase_->load(std::memory_order_acquire);
   if (barrier_arrived_->fetch_add(1, std::memory_order_acq_rel) ==
       opt_.num_threads - 1) {

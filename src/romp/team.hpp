@@ -39,10 +39,12 @@ class Team;
 
 /// How this run participates in the toolflow.
 enum class RunKind : std::uint8_t {
-  kOff,     // plain execution (engine off, no detector)
-  kRecord,  // engine records
-  kReplay,  // engine replays
-  kDetect,  // race detector attached (Fig. 2 step (1))
+  kOff,      // plain execution (engine off, no detector)
+  kRecord,   // engine records
+  kReplay,   // engine replays
+  kDetect,   // race detector attached (Fig. 2 step (1))
+  kExplore,  // engine imposes + records a generated schedule; the
+             // detector may ride along as the exploration oracle
 };
 
 /// Instrumentation handle for one shared-memory access site: a gate id for
@@ -68,7 +70,10 @@ struct WorkerCtx {
 struct TeamOptions {
   std::uint32_t num_threads = 1;
   core::Options engine;      // engine.num_threads is overwritten
-  bool detect = false;       // attach the race detector (forces engine off)
+  /// Attach the race detector. Forces the engine off — except with
+  /// engine.mode == kExplore, where the detector rides along as the
+  /// schedule-exploration oracle (ROADMAP's race hunter).
+  bool detect = false;
   bool pin_threads = true;   // worker k -> cpu k (paper's affinity policy)
   /// Wait policy for team barriers and the fork-join. Distinct from the
   /// engine's replay-gate policy knob, but both default to the unified
@@ -150,6 +155,15 @@ class Team {
         fn();
         engine_->gate_out(*w.rctx, h.gate, core::AccessKind::kOther);
         return;
+      case RunKind::kExplore:
+        // Gate as a record run (the explore scheduler serializes at
+        // gate_in) and feed the oracle detector when attached.
+        engine_->gate_in(*w.rctx, h.gate, core::AccessKind::kOther);
+        if (detector_) detector_->on_acquire(w.tid, h.site);
+        fn();
+        if (detector_) detector_->on_release(w.tid, h.site);
+        engine_->gate_out(*w.rctx, h.gate, core::AccessKind::kOther);
+        return;
     }
   }
 
@@ -170,6 +184,14 @@ class Team {
       case RunKind::kRecord:
       case RunKind::kReplay:
         return engine_->sma_fetch_add(*w.rctx, h.gate, loc, delta);
+      case RunKind::kExplore: {
+        engine_->gate_in(*w.rctx, h.gate, core::AccessKind::kOther);
+        if (detector_) detector_->on_acquire(w.tid, h.site);
+        const T old = loc.fetch_add(delta, std::memory_order_relaxed);
+        if (detector_) detector_->on_release(w.tid, h.site);
+        engine_->gate_out(*w.rctx, h.gate, core::AccessKind::kOther);
+        return old;
+      }
     }
     return T{};
   }
@@ -190,6 +212,29 @@ class Team {
           return loc.load(std::memory_order_relaxed);
         }
         return engine_->sma_load(*w.rctx, h.gate, loc);
+      case RunKind::kExplore: {
+        // Un-gated sites stay outside the imposed schedule; the oracle
+        // still observes them (with their natural racy timing). Gated
+        // sites feed the oracle INSIDE the region — while the explore
+        // token is held — so the detector's event order is a pure
+        // function of the imposed schedule and verdicts are
+        // seed-deterministic.
+        if (h.gate == core::kInvalidGate) {
+          if (detector_) {
+            detector_->on_read(*w.dclock,
+                               reinterpret_cast<std::uintptr_t>(&loc), h.site);
+          }
+          return loc.load(std::memory_order_relaxed);
+        }
+        engine_->gate_in(*w.rctx, h.gate, core::AccessKind::kLoad);
+        if (detector_) {
+          detector_->on_read(*w.dclock, reinterpret_cast<std::uintptr_t>(&loc),
+                             h.site);
+        }
+        const T v = loc.load(std::memory_order_relaxed);
+        engine_->gate_out(*w.rctx, h.gate, core::AccessKind::kLoad);
+        return v;
+      }
     }
     return T{};
   }
@@ -213,6 +258,25 @@ class Team {
           return;
         }
         engine_->sma_store(*w.rctx, h.gate, loc, value);
+        return;
+      case RunKind::kExplore:
+        // Same oracle placement rules as racy_load above.
+        if (h.gate == core::kInvalidGate) {
+          if (detector_) {
+            detector_->on_write(*w.dclock,
+                                reinterpret_cast<std::uintptr_t>(&loc),
+                                h.site);
+          }
+          loc.store(value, std::memory_order_relaxed);
+          return;
+        }
+        engine_->gate_in(*w.rctx, h.gate, core::AccessKind::kStore);
+        if (detector_) {
+          detector_->on_write(*w.dclock, reinterpret_cast<std::uintptr_t>(&loc),
+                              h.site);
+        }
+        loc.store(value, std::memory_order_relaxed);
+        engine_->gate_out(*w.rctx, h.gate, core::AccessKind::kStore);
         return;
     }
   }

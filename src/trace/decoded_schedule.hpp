@@ -44,7 +44,7 @@ constexpr std::uint64_t decoded_bytes_upper_bound(std::uint64_t encoded_bytes) {
 /// For DC/DE the entries are the thread's own (gate, clock/epoch) stream in
 /// program order. For ST each thread holds its *ordinal positions* in the
 /// global stream: entry k is (gate, global sequence number) of the thread's
-/// k-th recorded access — see st_strategy.hpp.
+/// k-th recorded access — see st_authority.hpp.
 struct DecodedSchedule {
   std::vector<RecordEntry> entries;
   // DE prefetch only (filled by Engine::open_replay_streams, else empty):

@@ -8,7 +8,6 @@
 #include <thread>
 #include <vector>
 
-#include "src/common/backoff.hpp"
 #include "src/common/barrier.hpp"
 #include "src/common/cacheline.hpp"
 #include "src/common/hash.hpp"
@@ -23,15 +22,15 @@
 namespace reomp {
 namespace {
 
-// ---------- Backoff ----------
+// ---------- Waiter wait/pause primitives ----------
 
-TEST(Backoff, BlockPolicyParksUntilNotified) {
+TEST(Waiter, BlockPolicyParksUntilNotified) {
   // A kBlock waiter must park on the word and wake when a peer bumps it
   // and notifies — the replay handoff pattern under wait_policy=block.
   std::atomic<std::uint64_t> word{0};
   std::atomic<bool> done{false};
   std::thread waiter([&] {
-    Backoff backoff(Backoff::Policy::kBlock);
+    Waiter backoff(WaitPolicy::kBlock);
     std::uint64_t seen;
     while ((seen = word.load(std::memory_order_acquire)) < 3) {
       backoff.pause_wait(word, seen);
@@ -47,15 +46,15 @@ TEST(Backoff, BlockPolicyParksUntilNotified) {
   EXPECT_TRUE(done.load());
 }
 
-TEST(Backoff, PauseWaitMatchesPauseForPollingPolicies) {
+TEST(Waiter, PauseWaitMatchesPauseForPollingPolicies) {
   // For every non-block policy pause_wait must behave exactly like
   // pause(): make progress with no notifier at all.
   for (const auto policy :
-       {Backoff::Policy::kSpin, Backoff::Policy::kSpinYield,
-        Backoff::Policy::kYield}) {
+       {WaitPolicy::kSpin, WaitPolicy::kSpinYield,
+        WaitPolicy::kYield}) {
     std::atomic<std::uint64_t> word{0};
     std::thread setter([&] { word.store(1, std::memory_order_release); });
-    Backoff backoff(policy);
+    Waiter backoff(policy);
     std::uint64_t seen;
     while ((seen = word.load(std::memory_order_acquire)) == 0) {
       backoff.pause_wait(word, seen);  // must not park: nobody notifies
@@ -65,18 +64,18 @@ TEST(Backoff, PauseWaitMatchesPauseForPollingPolicies) {
   }
 }
 
-TEST(Backoff, BlockPolicyBarePauseDegradesToYield) {
+TEST(Waiter, BlockPolicyBarePauseDegradesToYield) {
   // pause() without a word to park on must still make progress (used by
   // waiters that have no single watched atomic).
   std::atomic<bool> flag{false};
   std::thread setter([&] { flag.store(true, std::memory_order_release); });
-  Backoff backoff(Backoff::Policy::kBlock);
+  Waiter backoff(WaitPolicy::kBlock);
   while (!flag.load(std::memory_order_acquire)) backoff.pause();
   setter.join();
   SUCCEED();
 }
 
-// ---------- Waiter (the unified subsystem grown out of Backoff) ----------
+// ---------- Waiter (the unified wait subsystem) ----------
 
 TEST(Waiter, AutoPolicyParkedWaiterWakesOnNotify) {
   // The directed wake test for the notify contract: drive an auto-policy
@@ -392,7 +391,7 @@ TEST(MpscWordRing, ConcurrentProducersLoseNothing) {
   std::vector<std::thread> producers;
   for (std::uint32_t p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
-      Backoff backoff;  // escalates to yield: a pure spin starves the
+      Waiter backoff;  // escalates to yield: a pure spin starves the
                         // consumer on a single-core host
       for (std::uint64_t i = 0; i < kPerProducer; ++i) {
         const std::uint64_t w = (std::uint64_t{p} << 32) | i;

@@ -80,6 +80,22 @@ std::map<std::uint32_t, std::string> gate_names(const trace::Manifest& m) {
   return names;
 }
 
+/// Print the schedule-exploration provenance, if the manifest carries it.
+/// An explored trace is an ordinary recording plus these extras — knowing
+/// the (seed, preemption budget) pair is what makes a detector hit
+/// reproducible from scratch, not just replayable from this directory.
+void print_explore(const trace::Manifest& m) {
+  const auto mode = m.extra.find("mode");
+  if (mode == m.extra.end() || mode->second != "explore") return;
+  std::printf("  mode:        explore\n");
+  if (auto it = m.extra.find("explore_seed"); it != m.extra.end()) {
+    std::printf("  seed:        %s\n", it->second.c_str());
+  }
+  if (auto it = m.extra.find("explore_preemptions"); it != m.extra.end()) {
+    std::printf("  preemptions: %s\n", it->second.c_str());
+  }
+}
+
 std::uint64_t count_entries(const std::string& path) {
   trace::FileSource src(path);
   trace::RecordReader reader(src);
@@ -100,6 +116,7 @@ int cmd_info(const std::string& dir) {
   if (auto it = manifest->extra.find("events"); it != manifest->extra.end()) {
     std::printf("  events:      %s\n", it->second.c_str());
   }
+  print_explore(*manifest);
   const auto names = gate_names(*manifest);
   std::printf("  gates:       %zu\n", names.size());
   for (const auto& [id, name] : names) {
@@ -431,6 +448,7 @@ int cmd_verify(const std::string& dir) {
               manifest->version, manifest->strategy.c_str(),
               manifest->num_threads,
               manifest->complete ? "complete" : "INCOMPLETE");
+  print_explore(*manifest);
   if (!manifest->complete) ok = false;
   if (manifest->windowed) {
     ok &= verify_windowed(*manifest, dir);

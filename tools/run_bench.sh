@@ -4,8 +4,9 @@
 #   bench_detector_sync    -> BENCH_detector.json  (race-detector sync path)
 #   bench_record_overhead  -> BENCH_record.json    (record-side data path)
 #   bench_replay_overhead  -> BENCH_replay.json    (replay-side data path)
+#   bench_explore          -> BENCH_explore.json   (schedule-explorer throughput)
 #
-# Usage: tools/run_bench.sh [build-dir] [shadow|detector|record|replay|all] [extra args...]
+# Usage: tools/run_bench.sh [build-dir] [shadow|detector|record|replay|explore|all] [extra args...]
 #   BENCH_ITERS        per-thread iterations (default: bench defaults)
 #   BENCH_MAX_THREADS  top of the shadow thread sweep / record+replay threads
 #
@@ -70,19 +71,33 @@ run_replay() {
   "$BUILD_DIR/bench_replay_overhead" $ARGS "$@"
 }
 
+run_explore() {
+  if [ ! -x "$BUILD_DIR/bench_explore" ]; then
+    echo "error: $BUILD_DIR/bench_explore not built" >&2
+    echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  ARGS="--json BENCH_explore.json"
+  [ -n "${BENCH_MAX_THREADS:-}" ] && ARGS="$ARGS --threads $BENCH_MAX_THREADS"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/bench_explore" $ARGS "$@"
+}
+
 case "$WHICH" in
   shadow) run_shadow "$@" ;;
   detector) run_detector "$@" ;;
   record) run_record "$@" ;;
   replay) run_replay "$@" ;;
+  explore) run_explore "$@" ;;
   all)
     run_shadow "$@"
     run_detector "$@"
     run_record "$@"
     run_replay "$@"
+    run_explore "$@"
     ;;
   *)
-    echo "usage: tools/run_bench.sh [build-dir] [shadow|detector|record|replay|all] [args...]" >&2
+    echo "usage: tools/run_bench.sh [build-dir] [shadow|detector|record|replay|explore|all] [args...]" >&2
     exit 2
     ;;
 esac
